@@ -1,0 +1,100 @@
+//! The conventional offload-engine comparator (§II-B).
+//!
+//! The paper argues that "gathering information such as the function
+//! call arguments and passing them to the NxP is a necessary overhead
+//! even for the conventional offload style programming model" — i.e.
+//! Flick's descriptor costs are not extra. What offloading *saves* is
+//! the OS involvement (no fault, no syscall, no suspend/wake): the
+//! host instead **busy-waits** on a completion flag. This module prices
+//! that alternative with the same latency components, so the harness
+//! can show both the latency advantage of polling and what it costs —
+//! a host core pinned for the whole NxP execution (which
+//! `Machine::run_concurrent` shows Flick giving back).
+
+use flick::NxpTiming;
+use flick_mem::LatencyModel;
+use flick_sim::Picos;
+
+/// Cost breakdown of one busy-wait offload round trip.
+#[derive(Clone, Debug)]
+pub struct OffloadBreakdown {
+    /// User-space job-descriptor preparation (writes into a host-DRAM
+    /// ring; same information content as Flick's call descriptor).
+    pub desc_prep: Picos,
+    /// Doorbell + DMA fetch of the descriptor + NxP poll pickup.
+    pub submit: Picos,
+    /// NxP dispatch and the (empty) kernel invocation.
+    pub nxp_dispatch: Picos,
+    /// Completion write back to host DRAM.
+    pub complete: Picos,
+    /// Host spin-loop detection granularity.
+    pub host_poll: Picos,
+}
+
+impl OffloadBreakdown {
+    /// Total round trip.
+    pub fn total(&self) -> Picos {
+        self.desc_prep + self.submit + self.nxp_dispatch + self.complete + self.host_poll
+    }
+}
+
+/// Prices a null offload round trip from the same component models the
+/// Flick machinery uses.
+pub fn offload_round_trip(lat: &LatencyModel, nxp: &NxpTiming) -> OffloadBreakdown {
+    OffloadBreakdown {
+        // 128-byte descriptor into write-combined host DRAM plus
+        // argument marshalling — a couple hundred host cycles.
+        desc_prep: Picos::from_nanos(150),
+        // Same wire path as Flick's host→NxP leg.
+        submit: lat.host_to_nxp_write + lat.nxp_to_host_read + lat.dma_transfer(128)
+            + nxp.poll_period,
+        // The offload runtime parses the job and calls the kernel; no
+        // thread context to restore.
+        nxp_dispatch: nxp.dispatch,
+        // Completion flag + result posted back to host DRAM.
+        complete: lat.dma_transfer(64) + lat.nxp_to_host_write,
+        // The pinned host core spins on the flag in its cache; it sees
+        // the line within a coherence round trip.
+        host_poll: lat.host_to_host_dram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_workloads::measure_null_call;
+
+    #[test]
+    fn offload_round_trip_is_a_few_microseconds() {
+        let b = offload_round_trip(&LatencyModel::paper_default(), &NxpTiming::paper_default());
+        let t = b.total();
+        assert!(t > Picos::from_micros(2), "{t}");
+        assert!(t < Picos::from_micros(8), "{t}");
+    }
+
+    #[test]
+    fn flick_overhead_over_offload_is_the_os_path() {
+        // Flick pays the fault + syscall + suspend + wakeup on top of
+        // the shared wire costs; the difference must be close to the
+        // sum of those OS components.
+        let flick = measure_null_call(128).host_nxp_host;
+        let offload =
+            offload_round_trip(&LatencyModel::paper_default(), &NxpTiming::paper_default())
+                .total();
+        let os = flick_os::OsTiming::paper_default();
+        let os_path = os.page_fault_path
+            + os.syscall_entry
+            + os.syscall_exit
+            + os.ioctl_desc_prep_call
+            + os.suspend_and_switch
+            + os.irq_entry
+            + os.desc_copy
+            + os.wakeup_and_schedule;
+        let diff = flick.saturating_sub(offload);
+        let ratio = diff.as_nanos_f64() / os_path.as_nanos_f64();
+        assert!(
+            (0.7..1.3).contains(&ratio),
+            "flick-offload gap {diff} should track the OS path {os_path}"
+        );
+    }
+}

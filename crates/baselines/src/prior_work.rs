@@ -1,0 +1,88 @@
+//! The prior-work comparison rows of Table II.
+//!
+//! The paper does not re-run these systems; it compares against their
+//! published thread-migration overheads. We encode the rows verbatim so
+//! the `table2` harness can print the comparison with Flick's overhead
+//! *measured* on our simulated platform.
+
+use flick_sim::Picos;
+
+/// One row of Table II.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PriorWorkRow {
+    /// Publication shorthand used in the table.
+    pub work: &'static str,
+    /// Fast-core description.
+    pub fast_cores: &'static str,
+    /// Slow-core description.
+    pub slow_cores: &'static str,
+    /// Interconnect between them.
+    pub interconnect: &'static str,
+    /// Published migration overhead.
+    pub overhead: Picos,
+}
+
+/// The four prior-work rows of Table II.
+pub fn prior_work_rows() -> Vec<PriorWorkRow> {
+    vec![
+        PriorWorkRow {
+            work: "ASPLOS'12 (DeVuyst et al.)",
+            fast_cores: "MIPS @2GHz",
+            slow_cores: "ARM @833MHz",
+            interconnect: "Not Considered",
+            overhead: Picos::from_micros(600),
+        },
+        PriorWorkRow {
+            work: "EuroSys'15 (Popcorn)",
+            fast_cores: "Xeon E5-2695 @2.4GHz",
+            slow_cores: "Xeon Phi 3120A @1.1GHz",
+            interconnect: "PCIe",
+            overhead: Picos::from_micros(700),
+        },
+        PriorWorkRow {
+            work: "ISCA'16 (Biscuit)",
+            fast_cores: "Xeon E5-2640 @2.5GHz",
+            slow_cores: "ARM Cortex R7 @750MHz",
+            interconnect: "PCIe Gen3 x4",
+            overhead: Picos::from_micros(430),
+        },
+        PriorWorkRow {
+            work: "ARM big.LITTLE",
+            fast_cores: "ARM Cortex A15 @1.8GHz",
+            slow_cores: "ARM Cortex A7",
+            interconnect: "Onchip Network",
+            overhead: Picos::from_micros(22),
+        },
+    ]
+}
+
+/// Speedup factor of a measured Flick overhead against a prior-work
+/// row (the "23x to 38x" of the abstract).
+pub fn speedup_vs(flick_overhead: Picos, row: &PriorWorkRow) -> f64 {
+    row.overhead.as_nanos_f64() / flick_overhead.as_nanos_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_rows_with_paper_overheads() {
+        let rows = prior_work_rows();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].overhead, Picos::from_micros(600));
+        assert_eq!(rows[3].overhead, Picos::from_micros(22));
+    }
+
+    #[test]
+    fn paper_speedup_range_holds_at_18_3us() {
+        // With Flick at its measured 18.3 µs, the heterogeneous-ISA
+        // prior work is 23x–38x slower — the abstract's claim.
+        let flick = Picos(18_300_000);
+        let rows = prior_work_rows();
+        let het: Vec<f64> = rows[..3].iter().map(|r| speedup_vs(flick, r)).collect();
+        assert!(het.iter().all(|&s| (23.0..=38.5).contains(&s)), "{het:?}");
+        // And faster than on-chip big.LITTLE migration.
+        assert!(speedup_vs(flick, &rows[3]) > 1.0);
+    }
+}

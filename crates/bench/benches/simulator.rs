@@ -1,0 +1,97 @@
+//! Criterion benchmarks of the simulator itself: how fast the
+//! reproduction executes (wall-clock), orthogonal to the simulated
+//! times the experiment binaries report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flick::Machine;
+use flick_isa::{abi, FuncBuilder, TargetIsa};
+use flick_sim::TraceConfig;
+use flick_toolchain::ProgramBuilder;
+use flick_workloads::chase::{run_chase, ChaseConfig, ChaseMode};
+use flick_workloads::graph::rmat;
+use std::hint::black_box;
+
+fn quiet() -> Machine {
+    Machine::builder()
+        .trace(TraceConfig {
+            enabled: false,
+            capacity: 0,
+        })
+        .build()
+}
+
+/// Simulating one migration round trip (machinery cost).
+fn bench_migration_round_trip(c: &mut Criterion) {
+    c.bench_function("simulate_32_round_trips", |b| {
+        b.iter(|| {
+            let mut m = quiet();
+            let mut p = ProgramBuilder::new("bench");
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            let lp = main.new_label();
+            main.li(abi::S1, 32);
+            main.bind(lp);
+            main.call("nxp_nop");
+            main.addi(abi::S1, abi::S1, -1);
+            main.bne(abi::S1, abi::ZERO, lp);
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_nop", TargetIsa::Nxp);
+            f.ret();
+            p.func(f.finish());
+            let pid = m.load_program(&mut p).unwrap();
+            black_box(m.run(pid).unwrap().sim_time)
+        })
+    });
+}
+
+/// Raw interpreter throughput (host core, tight ALU loop).
+fn bench_interpreter(c: &mut Criterion) {
+    c.bench_function("interpret_100k_instructions", |b| {
+        b.iter(|| {
+            let mut m = quiet();
+            let mut p = ProgramBuilder::new("bench");
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            let lp = main.new_label();
+            main.li(abi::S1, 25_000);
+            main.bind(lp);
+            main.addi(abi::A0, abi::A0, 1);
+            main.addi(abi::A1, abi::A1, 2);
+            main.addi(abi::S1, abi::S1, -1);
+            main.bne(abi::S1, abi::ZERO, lp);
+            main.call("flick_exit");
+            p.func(main.finish());
+            let pid = m.load_program(&mut p).unwrap();
+            black_box(m.run(pid).unwrap().exit_code)
+        })
+    });
+}
+
+/// Pointer-chase workload end to end (Fig. 5 inner loop).
+fn bench_pointer_chase(c: &mut Criterion) {
+    c.bench_function("chase_256_nodes_8_calls", |b| {
+        b.iter(|| {
+            let cfg = ChaseConfig {
+                calls: 8,
+                ..ChaseConfig::frequent(256, ChaseMode::Flick)
+            };
+            black_box(run_chase(&cfg).unwrap().per_call)
+        })
+    });
+}
+
+/// Graph generation throughput (Table IV staging).
+fn bench_graph_generation(c: &mut Criterion) {
+    c.bench_function("rmat_64k_edges", |b| {
+        b.iter(|| black_box(rmat(8_192, 65_536, 42).e()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_migration_round_trip,
+              bench_interpreter,
+              bench_pointer_chase,
+              bench_graph_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,179 @@
+//! Ablations of the design points DESIGN.md calls out:
+//!
+//! 1. **Descriptor transfer: burst DMA vs per-word MMIO** (§IV-B's
+//!    "one PCIe burst" claim) — replace the burst cost with per-word
+//!    posted writes and re-measure the round trip.
+//! 2. **NxP stacks: on-chip SRAM vs host DRAM** (§III-D's local-stack
+//!    placement) — every handler stack access crosses PCIe.
+//! 3. **Huge pages: 1 GiB vs 2 MiB window mapping** (§IV-A / §V's
+//!    four-TLB-entry point) — the 16-entry NxP TLB starts thrashing on
+//!    random pointer chasing.
+//! 4. **Scheduler poll period** — how descriptor pickup latency scales.
+
+use flick::Machine;
+use flick_bench::{markdown_table, us};
+use flick_mem::LatencyModel;
+use flick_os::KernelConfig;
+use flick_paging::PageSize;
+use flick_sim::{Picos, TraceConfig};
+use flick_workloads::chase::{run_chase_on, ChaseConfig, ChaseMode};
+use flick_workloads::nullcall::null_call_program;
+use flick_baselines::offload_round_trip;
+
+fn quiet_trace() -> TraceConfig {
+    TraceConfig {
+        enabled: false,
+        capacity: 0,
+    }
+}
+
+/// Runs the null call on a custom machine; returns the average.
+/// `nested` adds an NxP→host leg, which is also the only variant whose
+/// handler frames touch the NxP stack.
+fn null_rt_with(mut m: Machine, iters: u64, nested: bool) -> Picos {
+    let mut p = null_call_program(iters, nested);
+    let pid = m.load_program(&mut p).expect("loads");
+    Picos::from_nanos(m.run(pid).expect("runs").exit_code)
+}
+
+/// H-N-H round trip.
+fn null_rt(m: Machine, iters: u64) -> Picos {
+    null_rt_with(m, iters, false)
+}
+
+fn main() {
+    let iters = 2_000;
+
+    println!("## Ablation 1: descriptor via burst DMA vs per-word MMIO\n");
+    let burst = null_rt(Machine::builder().trace(quiet_trace()).build(), iters);
+    let mmio = {
+        let mut lat = LatencyModel::paper_default();
+        // 64-byte beat = eight 8-byte posted writes instead of one burst
+        // beat; no setup amortisation.
+        lat.dma_setup = Picos::ZERO;
+        lat.dma_per_beat = lat.host_to_nxp_write * 8;
+        null_rt(
+            Machine::builder().trace(quiet_trace()).latency_model(lat).build(),
+            iters,
+        )
+    };
+    markdown_table(
+        &["Transfer", "H-N-H round trip"],
+        &[
+            vec!["one PCIe burst (paper design)".into(), us(burst)],
+            vec!["per-word MMIO writes".into(), us(mmio)],
+        ],
+    );
+    println!();
+
+    println!("## Ablation 2: NxP stacks in SRAM vs host DRAM\n");
+    // Measured on the *nested* null call (H-N-H-N-H): the NxP handler
+    // pushes/pops a frame on that path, so stack placement shows up.
+    let sram = null_rt_with(Machine::builder().trace(quiet_trace()).build(), iters, true);
+    let host_stacks = {
+        let cfg = KernelConfig {
+            stacks_in_host_dram: true,
+            ..KernelConfig::default()
+        };
+        null_rt_with(
+            Machine::builder().trace(quiet_trace()).kernel_config(cfg).build(),
+            iters,
+            true,
+        )
+    };
+    markdown_table(
+        &["Stack placement", "nested null-call round trip"],
+        &[
+            vec!["on-chip SRAM (paper design)".into(), us(sram)],
+            vec!["host DRAM (every access crosses PCIe)".into(), us(host_stacks)],
+        ],
+    );
+    println!();
+
+    println!("## Ablation 3: NxP window huge pages (pointer chase, 256 nodes/call)\n");
+    let chase_cfg = ChaseConfig {
+        calls: 8,
+        ..ChaseConfig::frequent(256, ChaseMode::Flick)
+    };
+    let huge = {
+        let mut m = Machine::builder().trace(quiet_trace()).build();
+        run_chase_on(&mut m, &chase_cfg).expect("1G-page chase")
+    };
+    let small = {
+        let cfg = KernelConfig {
+            nxp_window_page: PageSize::Size2M,
+            ..KernelConfig::default()
+        };
+        let mut m = Machine::builder().trace(quiet_trace()).kernel_config(cfg).build();
+        run_chase_on(&mut m, &chase_cfg).expect("2M-page chase")
+    };
+    markdown_table(
+        &["Window mapping", "per-node latency"],
+        &[
+            vec![
+                "4 x 1GiB pages (paper design, 4 TLB entries)".into(),
+                format!("{:.0}ns", huge.per_node.as_nanos_f64()),
+            ],
+            vec![
+                "2048 x 2MiB pages (TLB thrash, walks over PCIe)".into(),
+                format!("{:.0}ns", small.per_node.as_nanos_f64()),
+            ],
+        ],
+    );
+    println!();
+
+    println!("## Extension: Flick vs busy-wait offload engine (§II-B)\n");
+    let flick_rt = burst;
+    let off = offload_round_trip(
+        &LatencyModel::paper_default(),
+        &flick::NxpTiming::paper_default(),
+    );
+    markdown_table(
+        &["System", "null round trip", "host core during NxP leg"],
+        &[
+            vec!["Flick (suspend + wake)".into(), us(flick_rt), "free for other work".into()],
+            vec![
+                "offload engine (busy-wait)".into(),
+                us(off.total()),
+                "pinned, spinning".into(),
+            ],
+        ],
+    );
+    println!(
+        "\nThe gap is the OS path (fault + ioctl + suspend + wakeup); what it buys\nis shown by `cargo run --release --example concurrent_processes`.\n"
+    );
+
+    println!("## Ablation 5: hardened NxP cores (frequency sweep, §V-A claim)\n");
+    let mut rows = Vec::new();
+    for mhz in [200u64, 400, 1000, 2000] {
+        let freq = flick_sim::Hertz::mhz(mhz);
+        let mut core = flick_cpu::CoreConfig::nxp();
+        core.freq = freq;
+        let rt = null_rt(
+            Machine::builder()
+                .trace(quiet_trace())
+                .nxp_core(core)
+                .nxp_timing(flick::NxpTiming::at_freq(freq))
+                .build(),
+            iters,
+        );
+        rows.push(vec![format!("{mhz} MHz"), us(rt)]);
+    }
+    markdown_table(&["NxP clock", "H-N-H round trip"], &rows);
+    println!(
+        "\nPaper: \"We anticipate that the overhead of Flick can be further\nreduced when using hardened cores.\" The NxP-side share shrinks with\nthe clock; the remaining floor is the host OS path + PCIe.\n"
+    );
+
+    println!("## Ablation 4: NxP scheduler poll period\n");
+    let mut rows = Vec::new();
+    for poll_ns in [60u64, 500, 2_000, 10_000] {
+        let mut t = flick::NxpTiming::paper_default();
+        t.poll_period = Picos::from_nanos(poll_ns);
+        let rt = null_rt(
+            Machine::builder().trace(quiet_trace()).nxp_timing(t).build(),
+            iters,
+        );
+        rows.push(vec![format!("{poll_ns}ns"), us(rt)]);
+    }
+    markdown_table(&["Poll period", "H-N-H round trip"], &rows);
+}

@@ -1,0 +1,6 @@
+fn main() {
+    let r = flick_workloads::measure_null_call(2000);
+    println!("H-N-H: {} (paper 18.3us)", r.host_nxp_host);
+    println!("N-H-N: {} (paper 16.9us)", r.nxp_host_nxp);
+    println!("page fault share: {}", r.page_fault_share);
+}

@@ -1,0 +1,77 @@
+//! Regenerates Fig. 5a: pointer chasing with frequent migration.
+//! Normalized performance (baseline time / system time) vs memory
+//! accesses per migration, for Flick and for systems with 500 µs / 1 ms
+//! migration latency.
+//!
+//! Usage: `fig5a [step]` — step defaults to the paper's 4; pass a
+//! larger step (e.g. `fig5a 32`) for a quick sweep.
+
+use flick_baselines::added_latency_machine;
+use flick_sim::Picos;
+use flick_workloads::chase::{run_chase, run_chase_on, ChaseConfig, ChaseMode};
+
+/// One sweep point: (baseline, flick, +500us, +1ms) per-call times.
+pub fn sweep_point(k: u64, work: Picos) -> [Picos; 4] {
+    let mk = |mode| {
+        let mut c = ChaseConfig::frequent(k, mode);
+        c.inter_call_work = work;
+        c
+    };
+    let base = run_chase(&mk(ChaseMode::HostDirect)).expect("baseline runs");
+    let flick = run_chase(&mk(ChaseMode::Flick)).expect("flick runs");
+    let slow500 = {
+        let mut m = added_latency_machine(Picos::from_micros(500));
+        run_chase_on(&mut m, &mk(ChaseMode::Flick)).expect("500us system runs")
+    };
+    let slow1000 = {
+        let mut m = added_latency_machine(Picos::from_millis(1));
+        run_chase_on(&mut m, &mk(ChaseMode::Flick)).expect("1ms system runs")
+    };
+    [
+        base.per_call,
+        flick.per_call,
+        slow500.per_call,
+        slow1000.per_call,
+    ]
+}
+
+fn main() {
+    let step: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    println!("## Fig. 5a: pointer chasing, frequent migration (no inter-call work)\n");
+    println!("normalized performance = baseline_time / system_time\n");
+    println!("| accesses/migration | Flick | +500us latency | +1ms latency |");
+    println!("|---|---|---|---|");
+    let mut crossover = None;
+    let mut last_flick = 0.0;
+    let mut k = 4;
+    while k <= 1024 {
+        let [base, flick, s500, s1000] = sweep_point(k, Picos::ZERO);
+        let norm = |t: Picos| base.as_nanos_f64() / t.as_nanos_f64();
+        let nf = norm(flick);
+        if crossover.is_none() && nf >= 1.0 {
+            crossover = Some(k);
+        }
+        last_flick = nf;
+        println!(
+            "| {k} | {nf:.2} | {:.3} | {:.3} |",
+            norm(s500),
+            norm(s1000)
+        );
+        k += step;
+    }
+    println!(
+        "\nFlick crosses the baseline at ~{} accesses/migration (paper: ~32){}.",
+        crossover.map_or("never".to_string(), |k| k.to_string()),
+        if step > 4 {
+            format!(" — sampled at step {step}; run `fig5a 4` for the exact point")
+        } else {
+            String::new()
+        }
+    );
+    println!(
+        "Flick plateau at 1024 accesses: {last_flick:.2}x (paper: stabilises at ~2.6x)."
+    );
+}

@@ -1,0 +1,55 @@
+//! Regenerates Fig. 5b: pointer chasing with *infrequent* migration —
+//! the thread migrates every ~100 µs because the host performs 100 µs
+//! of work between traversal calls. The normalized performance
+//! includes that host work in both systems, which is why Flick's
+//! benefit shrinks to ~2x and slow systems are penalised less.
+//!
+//! Usage: `fig5b [step]` (step defaults to the paper's 4).
+
+use flick_baselines::added_latency_machine;
+use flick_sim::Picos;
+use flick_workloads::chase::{run_chase, run_chase_on, ChaseConfig, ChaseMode};
+
+fn main() {
+    let step: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4);
+    let work = Picos::from_micros(100);
+    println!("## Fig. 5b: pointer chasing, one migration per ~100us of host work\n");
+    println!("normalized performance = (baseline_time + work) / (system_time + work)\n");
+    println!("| accesses/migration | Flick | +500us latency | +1ms latency |");
+    println!("|---|---|---|---|");
+    let mut plateau = 0.0;
+    let mut k = 4;
+    while k <= 1024 {
+        let mk = |mode| ChaseConfig {
+            inter_call_work: work,
+            ..ChaseConfig::frequent(k, mode)
+        };
+        let base = run_chase(&mk(ChaseMode::HostDirect)).expect("baseline runs");
+        let flick = run_chase(&mk(ChaseMode::Flick)).expect("flick runs");
+        let s500 = {
+            let mut m = added_latency_machine(Picos::from_micros(500));
+            run_chase_on(&mut m, &mk(ChaseMode::Flick)).expect("500us system runs")
+        };
+        let s1000 = {
+            let mut m = added_latency_machine(Picos::from_millis(1));
+            run_chase_on(&mut m, &mk(ChaseMode::Flick)).expect("1ms system runs")
+        };
+        // Include the inter-call work in the figure of merit.
+        let total = |t: Picos| (t + work).as_nanos_f64();
+        let norm = |t: Picos| total(base.per_call) / total(t);
+        plateau = norm(flick.per_call);
+        println!(
+            "| {k} | {:.2} | {:.3} | {:.3} |",
+            norm(flick.per_call),
+            norm(s500.per_call),
+            norm(s1000.per_call)
+        );
+        k += step;
+    }
+    println!(
+        "\nFlick benefit at 1024 accesses: {plateau:.2}x (paper: reduced to ~2x vs 2.6x in Fig. 5a)."
+    );
+}

@@ -1,0 +1,52 @@
+//! Regenerates Table II: thread migration overhead from prior work and
+//! Flick. Prior-work rows carry their published numbers (the paper does
+//! not re-run those systems); the Flick row is measured live.
+
+use flick_baselines::{prior_work_rows, prior_work::speedup_vs};
+use flick_bench::{markdown_table, us};
+use flick_workloads::measure_null_call;
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10_000);
+    println!("## Table II: thread migration overhead, prior work vs Flick\n");
+    let flick = measure_null_call(iters).host_nxp_host;
+    let mut rows: Vec<Vec<String>> = prior_work_rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.work.to_string(),
+                r.fast_cores.to_string(),
+                r.slow_cores.to_string(),
+                r.interconnect.to_string(),
+                us(r.overhead),
+                format!("{:.1}x", speedup_vs(flick, r)),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "Flick (this reproduction)".into(),
+        "x64-like @2.4GHz".into(),
+        "rv64-like @200MHz".into(),
+        "PCIe Gen3 x8 (model)".into(),
+        us(flick),
+        "1.0x".into(),
+    ]);
+    markdown_table(
+        &[
+            "Work",
+            "Fast Cores",
+            "Slow Cores",
+            "Interconnect",
+            "Overhead",
+            "vs Flick",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper claim: 23x-38x below heterogeneous-ISA prior work; faster than big.LITTLE's 22us."
+    );
+}

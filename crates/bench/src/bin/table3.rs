@@ -1,0 +1,55 @@
+//! Regenerates Table III: Flick thread-migration round-trip overhead,
+//! plus the §V-A decomposition note (page-fault share).
+
+use flick_bench::{markdown_table, platform_banner, rel_err_pct, us};
+use flick_workloads::measure_null_call;
+use flick_workloads::nullcall::decompose_round_trip;
+
+fn main() {
+    let iters: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(10_000);
+    println!("{}\n", platform_banner());
+    println!("## Table III: Flick thread migration round trip overhead\n");
+    let r = measure_null_call(iters);
+    markdown_table(
+        &["Direction", "Paper", "Measured", "Error"],
+        &[
+            vec![
+                "Host-NxP-Host".into(),
+                "18.3us".into(),
+                us(r.host_nxp_host),
+                format!("{:+.1}%", rel_err_pct(r.host_nxp_host.as_micros_f64(), 18.3)),
+            ],
+            vec![
+                "NxP-Host-NxP".into(),
+                "16.9us".into(),
+                us(r.nxp_host_nxp),
+                format!("{:+.1}%", rel_err_pct(r.nxp_host_nxp.as_micros_f64(), 16.9)),
+            ],
+        ],
+    );
+    println!(
+        "\nHost-side page fault share: {} (paper: 0.7us) over {} iterations",
+        us(r.page_fault_share),
+        r.iterations
+    );
+
+    println!("\n### Round-trip decomposition (steady-state H-N-H, from the event trace)\n");
+    let phases = decompose_round_trip();
+    let total: flick_sim::Picos = phases.iter().map(|p| p.duration).sum();
+    let rows: Vec<Vec<String>> = phases
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.to_string(),
+                us(p.duration),
+                format!("{:.0}%", p.duration.as_nanos_f64() / total.as_nanos_f64() * 100.0),
+            ]
+        })
+        .collect();
+    markdown_table(&["Phase", "Time", "Share"], &rows);
+    println!("\ntotal: {}", us(total));
+}

@@ -1,0 +1,118 @@
+//! Regenerates Table IV: BFS over the three social-network datasets,
+//! baseline (host traverses over PCIe) vs Flick (traversal on the NxP,
+//! per-vertex dummy host callback).
+//!
+//! Epinions1 runs **twice**: fully interpreted on the simulated machine
+//! *and* through the accounted backend, cross-validating the backend
+//! that Pokec and LiveJournal1 (too large to interpret) rely on.
+//!
+//! Usage: `table4 [--quick]` — `--quick` scales the two big datasets
+//! down 16x to keep graph generation fast; the shape (who wins) is
+//! unchanged.
+
+use flick_bench::{markdown_table, secs};
+use flick_mem::LatencyModel;
+use flick_workloads::accounted::{run_accounted, BfsCostModel};
+use flick_workloads::bfs::{run_bfs, BfsConfig, BfsMode};
+use flick_workloads::graph::{rmat, Dataset};
+use flick_workloads::measure_null_call;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale: u64 = if quick { 16 } else { 1 };
+    let iterations = 10u64;
+    println!("## Table IV: BFS datasets and execution time\n");
+    if quick {
+        println!("(--quick: Pokec/LiveJournal scaled down {scale}x)\n");
+    }
+
+    // Calibrate the accounted callback cost on the real machinery.
+    let rt = measure_null_call(2_000);
+    let lat = LatencyModel::paper_default();
+    let flick_costs = BfsCostModel::flick(&lat, rt.nxp_host_nxp);
+    let base_costs = BfsCostModel::host_direct(&lat);
+
+    let mut rows = Vec::new();
+    for ds in Dataset::all() {
+        // Epinions1 is small enough to run at full size always.
+        let row_scale = if ds == Dataset::Epinions1 { 1 } else { scale };
+        let (v, e) = (ds.vertices() / row_scale, ds.edges() / row_scale);
+        let g = if row_scale == 1 {
+            ds.make(1)
+        } else {
+            rmat(v, e, 1)
+        };
+        let root = g.pick_root(7);
+
+        // Accounted runs (all datasets).
+        let fa = run_accounted(&g, root, iterations, &flick_costs);
+        let ba = run_accounted(&g, root, iterations, &base_costs);
+
+        // Interpreted run (Epinions only): full-machinery cross-check.
+        let interp = if ds == Dataset::Epinions1 {
+            let fi = run_bfs(
+                &g,
+                &BfsConfig {
+                    iterations,
+                    mode: BfsMode::Flick,
+                    seed: 7,
+                },
+            )
+            .expect("interpreted Flick BFS");
+            let bi = run_bfs(
+                &g,
+                &BfsConfig {
+                    iterations,
+                    mode: BfsMode::HostDirect,
+                    seed: 7,
+                },
+            )
+            .expect("interpreted baseline BFS");
+            Some((bi.per_iteration, fi.per_iteration))
+        } else {
+            None
+        };
+
+        rows.push(vec![
+            ds.name().to_string(),
+            format!("{}k", v / 1000),
+            format!("{}k", e / 1000),
+            format!("{:.1}s", ds.paper_baseline_secs()),
+            format!("{:.1}s", ds.paper_flick_secs()),
+            secs(ba.per_iteration),
+            secs(fa.per_iteration),
+            format!(
+                "{:.2}x",
+                ba.per_iteration.as_nanos_f64() / fa.per_iteration.as_nanos_f64()
+            ),
+        ]);
+        if let Some((bi, fi)) = interp {
+            rows.push(vec![
+                "  (interpreted)".into(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                secs(bi),
+                secs(fi),
+                format!("{:.2}x", bi.as_nanos_f64() / fi.as_nanos_f64()),
+            ]);
+        }
+    }
+    markdown_table(
+        &[
+            "Dataset",
+            "Vertices",
+            "Edges",
+            "Paper base",
+            "Paper Flick",
+            "Base (sim)",
+            "Flick (sim)",
+            "Flick speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "\nShape check: Flick loses on Epinions1 (high vertex/edge ratio) and wins on Pokec/LiveJournal1."
+    );
+}

@@ -1,0 +1,32 @@
+//! Prints a Fig. 2-style two-column timeline of a nested bidirectional
+//! migration (host → NxP → host → NxP → back), from the event trace.
+
+use flick::Machine;
+use flick_isa::{abi, FuncBuilder, TargetIsa};
+use flick_toolchain::ProgramBuilder;
+
+fn main() {
+    let mut m = Machine::paper_default();
+    let mut p = ProgramBuilder::new("timeline");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 5);
+    main.call("nxp_outer");
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut outer = FuncBuilder::new("nxp_outer", TargetIsa::Nxp);
+    outer.prologue(16, &[]);
+    outer.call("host_inner");
+    outer.epilogue(16, &[]);
+    p.func(outer.finish());
+    let mut inner = FuncBuilder::new("host_inner", TargetIsa::Host);
+    inner.add(abi::A0, abi::A0, abi::A0);
+    inner.ret();
+    p.func(inner.finish());
+    let pid = m.load_program(&mut p).expect("loads");
+    let out = m.run(pid).expect("runs");
+    println!(
+        "nested call chain main → nxp_outer → host_inner, exit = {}\n",
+        out.exit_code
+    );
+    print!("{}", flick::timeline::format(m.trace()));
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+//! Shared helpers for the experiment harnesses.
+//!
+//! Each table and figure of the paper has a binary in `src/bin/`:
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table2` | Table II — migration overhead vs prior work |
+//! | `table3` | Table III — Flick round-trip overhead (+ Table I header) |
+//! | `fig5a` | Fig. 5a — pointer chasing, frequent migration |
+//! | `fig5b` | Fig. 5b — pointer chasing, 100 µs migration interval |
+//! | `table4` | Table IV — BFS datasets, baseline vs Flick |
+//! | `ablations` | design-point ablations (DMA burst, stacks, hugepages, poll) |
+//! | `all_experiments` | everything above, in EXPERIMENTS.md format |
+
+use flick_sim::Picos;
+
+/// Formats a duration in microseconds with one decimal.
+pub fn us(p: Picos) -> String {
+    format!("{:.1}us", p.as_micros_f64())
+}
+
+/// Formats a duration in seconds with one decimal.
+pub fn secs(p: Picos) -> String {
+    format!("{:.1}s", p.as_secs_f64())
+}
+
+/// Relative error of `measured` against `expected`, in percent.
+pub fn rel_err_pct(measured: f64, expected: f64) -> f64 {
+    (measured - expected) / expected * 100.0
+}
+
+/// Prints a markdown table: header row then data rows.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) {
+    println!("| {} |", headers.join(" | "));
+    println!("|{}|", headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+}
+
+/// The Table I platform banner printed by harnesses.
+pub fn platform_banner() -> String {
+    [
+        "Simulated platform (cf. paper Table I):",
+        "  Host core     x64-like @ 2.4 GHz (Xeon E5-2620v3 class)",
+        "  NxP core      rv64-like in-order scalar @ 200 MHz (RV12 class)",
+        "  NxP memory    4 GiB DRAM behind BAR0, 1 GiB huge pages",
+        "  Interconnect  PCIe 3.0 x8 model (825 ns host->NxP read RT,",
+        "                267 ns NxP->local read RT, burst descriptor DMA)",
+        "  OS            simulated kernel w/ NX-fault migration hooks",
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(us(Picos::from_nanos(18_300)), "18.3us");
+        assert_eq!(secs(Picos::from_millis(1_500)), "1.5s");
+        assert!((rel_err_pct(110.0, 100.0) - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,194 @@
+//! Migration descriptors (§IV-B): the 128-byte records DMA'd across
+//! PCIe as single bursts.
+
+use crate::services::desc_layout as L;
+use std::fmt;
+
+/// The four descriptor kinds of Fig. 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DescKind {
+    /// Host calls an NxP function.
+    HostToNxpCall = 1,
+    /// NxP calls a host function.
+    NxpToHostCall = 2,
+    /// Host function finished; value returns to the NxP.
+    HostToNxpReturn = 3,
+    /// NxP function finished; value returns to the host.
+    NxpToHostReturn = 4,
+}
+
+impl DescKind {
+    /// Wire tag.
+    pub fn tag(self) -> u64 {
+        self as u64
+    }
+
+    /// Parses a wire tag.
+    pub fn from_tag(t: u64) -> Option<DescKind> {
+        match t {
+            1 => Some(DescKind::HostToNxpCall),
+            2 => Some(DescKind::NxpToHostCall),
+            3 => Some(DescKind::HostToNxpReturn),
+            4 => Some(DescKind::NxpToHostReturn),
+            _ => None,
+        }
+    }
+
+    /// True for the two call kinds.
+    pub fn is_call(self) -> bool {
+        matches!(self, DescKind::HostToNxpCall | DescKind::NxpToHostCall)
+    }
+
+    /// Short trace label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DescKind::HostToNxpCall => "h2n-call",
+            DescKind::NxpToHostCall => "n2h-call",
+            DescKind::HostToNxpReturn => "h2n-ret",
+            DescKind::NxpToHostReturn => "n2h-ret",
+        }
+    }
+}
+
+impl fmt::Display for DescKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One migration descriptor.
+///
+/// Carries everything §IV-B1 lists: target address, the argument
+/// registers, the return value (for return kinds), the PID used to wake
+/// the right thread, the CR3/PTBR so the NxP walks the same page
+/// tables, and the thread's NxP stack pointer.
+///
+/// # Examples
+///
+/// ```
+/// use flick::{DescKind, MigrationDescriptor};
+///
+/// let d = MigrationDescriptor {
+///     kind: DescKind::HostToNxpCall,
+///     target: 0x40_2000,
+///     ret: 0,
+///     args: [1, 2, 3, 4, 5, 6],
+///     pid: 9,
+///     cr3: 0x1000,
+///     nxp_sp: 0x6000_0000_fff0,
+/// };
+/// let bytes = d.to_bytes();
+/// assert_eq!(bytes.len(), 128);
+/// assert_eq!(MigrationDescriptor::from_bytes(&bytes).unwrap(), d);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationDescriptor {
+    /// Kind tag.
+    pub kind: DescKind,
+    /// Target function VA (call kinds).
+    pub target: u64,
+    /// Return value (return kinds).
+    pub ret: u64,
+    /// The six argument registers `a0`–`a5`, verbatim.
+    pub args: [u64; 6],
+    /// Thread id.
+    pub pid: u64,
+    /// Page-table base register value.
+    pub cr3: u64,
+    /// NxP stack pointer for this thread.
+    pub nxp_sp: u64,
+}
+
+impl MigrationDescriptor {
+    /// Serialises to the 128-byte wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut b = vec![0u8; L::SIZE as usize];
+        let put = |b: &mut Vec<u8>, at: u64, v: u64| {
+            b[at as usize..at as usize + 8].copy_from_slice(&v.to_le_bytes());
+        };
+        put(&mut b, L::KIND, self.kind.tag());
+        put(&mut b, L::TARGET, self.target);
+        put(&mut b, L::RET, self.ret);
+        for (i, a) in self.args.iter().enumerate() {
+            put(&mut b, L::ARGS + 8 * i as u64, *a);
+        }
+        put(&mut b, L::PID, self.pid);
+        put(&mut b, L::CR3, self.cr3);
+        put(&mut b, L::NXP_SP, self.nxp_sp);
+        b
+    }
+
+    /// Parses the wire format.
+    ///
+    /// Returns `None` for short buffers or unknown kind tags.
+    pub fn from_bytes(b: &[u8]) -> Option<Self> {
+        if b.len() < L::SIZE as usize {
+            return None;
+        }
+        let get = |at: u64| u64::from_le_bytes(b[at as usize..at as usize + 8].try_into().unwrap());
+        let kind = DescKind::from_tag(get(L::KIND))?;
+        let mut args = [0u64; 6];
+        for (i, a) in args.iter_mut().enumerate() {
+            *a = get(L::ARGS + 8 * i as u64);
+        }
+        Some(MigrationDescriptor {
+            kind,
+            target: get(L::TARGET),
+            ret: get(L::RET),
+            args,
+            pid: get(L::PID),
+            cr3: get(L::CR3),
+            nxp_sp: get(L::NXP_SP),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: DescKind) -> MigrationDescriptor {
+        MigrationDescriptor {
+            kind,
+            target: 0xDEAD_0000,
+            ret: 0xFEED,
+            args: [10, 11, 12, 13, 14, 15],
+            pid: 3,
+            cr3: 0x7000,
+            nxp_sp: 0x6000_0001_0000,
+        }
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [
+            DescKind::HostToNxpCall,
+            DescKind::NxpToHostCall,
+            DescKind::HostToNxpReturn,
+            DescKind::NxpToHostReturn,
+        ] {
+            let d = sample(kind);
+            assert_eq!(MigrationDescriptor::from_bytes(&d.to_bytes()), Some(d));
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut b = sample(DescKind::HostToNxpCall).to_bytes();
+        b[0] = 99;
+        assert_eq!(MigrationDescriptor::from_bytes(&b), None);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        let b = sample(DescKind::HostToNxpCall).to_bytes();
+        assert_eq!(MigrationDescriptor::from_bytes(&b[..100]), None);
+    }
+
+    #[test]
+    fn kind_properties() {
+        assert!(DescKind::HostToNxpCall.is_call());
+        assert!(!DescKind::NxpToHostReturn.is_call());
+        assert_eq!(DescKind::NxpToHostCall.to_string(), "n2h-call");
+    }
+}

@@ -1,0 +1,1409 @@
+//! The machine: host core + NxP core + PCIe DMA + interrupt
+//! controller + kernel + NxP runtime, and the complete bidirectional
+//! migration event loop of Fig. 2.
+
+use crate::descriptor::{DescKind, MigrationDescriptor};
+use crate::handlers;
+use crate::nxp::{NxpRuntime, NxpTiming};
+use crate::services::{self as svc, desc_layout as L};
+use flick_cpu::{Core, CoreConfig, CpuContext, Exception, InstFaultKind, MemEnv, StopReason};
+use flick_isa::abi;
+use flick_mem::{PhysAddr, PhysMem, VirtAddr};
+use flick_os::{Kernel, LoadError, OsTiming};
+use flick_pcie::{DmaEngine, InterruptController, Msi};
+use flick_sim::trace::Side;
+use flick_sim::{Event, Picos, Stats, Trace, TraceConfig};
+use flick_toolchain::{layout, MultiIsaImage, ProgramBuilder};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Why a run failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// Loading the program failed.
+    Load(LoadError),
+    /// Building the program failed.
+    Build(String),
+    /// A core took an unrecoverable exception.
+    Crash {
+        /// Which side crashed.
+        side: Side,
+        /// The exception.
+        exception: Exception,
+    },
+    /// An `ecall` used an unknown service number.
+    UnknownService {
+        /// Which side issued it.
+        side: Side,
+        /// The service number.
+        service: u16,
+    },
+    /// The instruction budget ran out.
+    FuelExhausted,
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Load(e) => write!(f, "load error: {e}"),
+            RunError::Build(e) => write!(f, "build error: {e}"),
+            RunError::Crash { side, exception } => write!(f, "{side} crashed: {exception}"),
+            RunError::UnknownService { side, service } => {
+                write!(f, "{side} used unknown service {service:#x}")
+            }
+            RunError::FuelExhausted => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+impl From<LoadError> for RunError {
+    fn from(e: LoadError) -> Self {
+        RunError::Load(e)
+    }
+}
+
+/// The result of running a process to completion.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Value passed to `flick_exit`.
+    pub exit_code: u64,
+    /// Host wall-clock simulated time at exit.
+    pub sim_time: Picos,
+    /// Console lines printed by the program.
+    pub console: Vec<String>,
+    /// Counters (migrations, faults, instructions, …). These are
+    /// **machine-lifetime cumulative** values snapshotted at exit, not
+    /// per-process deltas: running several processes on one machine
+    /// accumulates into the same counters.
+    pub stats: Stats,
+}
+
+/// Handler addresses for one loaded process.
+#[derive(Clone, Copy, Debug)]
+struct ProcessVas {
+    host_handler: VirtAddr,
+    nxp_handler: VirtAddr,
+    nxp_handler_loop: VirtAddr,
+}
+
+/// What a host `ecall` did to the control flow.
+enum EcallFlow {
+    /// Resume the same thread.
+    Continue,
+    /// The process exited with this code.
+    Exit(u64),
+    /// The thread suspended for migration; the MSI wakes it later.
+    Suspended(Msi),
+}
+
+/// Builder for a [`Machine`] with custom timing/trace configuration.
+#[derive(Debug, Default)]
+pub struct MachineBuilder {
+    os_timing: Option<OsTiming>,
+    nxp_timing: Option<NxpTiming>,
+    trace: Option<TraceConfig>,
+    host_cfg: Option<CoreConfig>,
+    nxp_cfg: Option<CoreConfig>,
+    latency: Option<flick_mem::LatencyModel>,
+    kernel_cfg: Option<flick_os::KernelConfig>,
+}
+
+impl MachineBuilder {
+    /// Overrides the kernel path timing.
+    pub fn os_timing(mut self, t: OsTiming) -> Self {
+        self.os_timing = Some(t);
+        self
+    }
+
+    /// Overrides the NxP runtime timing.
+    pub fn nxp_timing(mut self, t: NxpTiming) -> Self {
+        self.nxp_timing = Some(t);
+        self
+    }
+
+    /// Overrides trace recording.
+    pub fn trace(mut self, t: TraceConfig) -> Self {
+        self.trace = Some(t);
+        self
+    }
+
+    /// Overrides the host core configuration.
+    pub fn host_core(mut self, c: CoreConfig) -> Self {
+        self.host_cfg = Some(c);
+        self
+    }
+
+    /// Overrides the NxP core configuration.
+    pub fn nxp_core(mut self, c: CoreConfig) -> Self {
+        self.nxp_cfg = Some(c);
+        self
+    }
+
+    /// Overrides the memory latency model (ablations: descriptor
+    /// transfer over MMIO instead of burst DMA, slower links, …).
+    pub fn latency_model(mut self, lat: flick_mem::LatencyModel) -> Self {
+        self.latency = Some(lat);
+        self
+    }
+
+    /// Overrides kernel configuration (hugepage granularity of the NxP
+    /// window, stack placement ablation).
+    pub fn kernel_config(mut self, cfg: flick_os::KernelConfig) -> Self {
+        self.kernel_cfg = Some(cfg);
+        self
+    }
+
+    /// Builds the machine.
+    pub fn build(self) -> Machine {
+        let mut env = MemEnv::paper_default();
+        if let Some(lat) = self.latency {
+            env.latency = lat;
+        }
+        let mem = PhysMem::new();
+        let mut kcfg = self.kernel_cfg.unwrap_or_default();
+        if let Some(t) = self.os_timing {
+            kcfg.timing = t;
+        }
+        let kernel = Kernel::with_config(env.map.clone(), kcfg);
+        Machine {
+            host: Core::new(self.host_cfg.unwrap_or_else(CoreConfig::host)),
+            nxp: Core::new(self.nxp_cfg.unwrap_or_else(CoreConfig::nxp)),
+            dma: DmaEngine::new(env.latency.clone(), 0),
+            irq: InterruptController::new(),
+            kernel,
+            nxp_rt: NxpRuntime::new(),
+            nxp_timing: self.nxp_timing.unwrap_or_else(NxpTiming::paper_default),
+            trace: Trace::new(self.trace.unwrap_or_default()),
+            stats: Stats::default(),
+            vas: HashMap::new(),
+            symbols: HashMap::new(),
+            mem,
+            env,
+        }
+    }
+}
+
+/// The heterogeneous-ISA machine of Table I: a 2.4 GHz x64-like host
+/// core and a 200 MHz rv64-like NxP core behind PCIe 3.0, sharing one
+/// unified physical and virtual memory space.
+pub struct Machine {
+    mem: PhysMem,
+    env: MemEnv,
+    host: Core,
+    nxp: Core,
+    dma: DmaEngine,
+    irq: InterruptController,
+    kernel: Kernel,
+    nxp_rt: NxpRuntime,
+    nxp_timing: NxpTiming,
+    trace: Trace,
+    stats: Stats,
+    vas: HashMap<u64, ProcessVas>,
+    symbols: HashMap<u64, std::collections::BTreeMap<String, u64>>,
+}
+
+impl fmt::Debug for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Machine")
+            .field("host_now", &self.host.clock().now())
+            .field("nxp_now", &self.nxp.clock().now())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// A machine with all paper-calibrated defaults.
+    pub fn paper_default() -> Self {
+        MachineBuilder::default().build()
+    }
+
+    /// Starts building a customised machine.
+    pub fn builder() -> MachineBuilder {
+        MachineBuilder::default()
+    }
+
+    /// Loads a pre-built multi-ISA image, returning the new PID.
+    ///
+    /// The image must contain the Flick runtime (link it with
+    /// [`handlers::add_runtime`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the image lacks the runtime symbols or cannot be
+    /// mapped.
+    pub fn load(&mut self, image: &MultiIsaImage) -> Result<u64, RunError> {
+        let need = |name: &str| {
+            image
+                .find_symbol(name)
+                .map(VirtAddr)
+                .ok_or_else(|| RunError::Build(format!("image lacks runtime symbol `{name}`")))
+        };
+        let vas = ProcessVas {
+            host_handler: need(handlers::HOST_HANDLER)?,
+            nxp_handler: need(handlers::NXP_HANDLER)?,
+            nxp_handler_loop: need(handlers::NXP_HANDLER_LOOP)?,
+        };
+        let pid = self.kernel.create_process(&mut self.mem, image)?;
+        self.vas.insert(pid, vas);
+        self.symbols.insert(pid, image.symbols.clone());
+        Ok(pid)
+    }
+
+    /// Convenience: injects the Flick runtime into `program`, builds it
+    /// and loads it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build and load failures.
+    pub fn load_program(&mut self, program: &mut ProgramBuilder) -> Result<u64, RunError> {
+        handlers::add_runtime(program);
+        let image = program
+            .build()
+            .map_err(|e| RunError::Build(e.to_string()))?;
+        self.load(&image)
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The kernel (console, tasks).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Machine-level statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Looks up a linker symbol in the image `pid` was loaded from.
+    pub fn symbol(&self, pid: u64, name: &str) -> Option<VirtAddr> {
+        self.symbols
+            .get(&pid)
+            .and_then(|t| t.get(name))
+            .map(|&va| VirtAddr(va))
+    }
+
+    /// Host core time.
+    pub fn host_now(&self) -> Picos {
+        self.host.clock().now()
+    }
+
+    /// Allocates NxP-DRAM heap for `pid` without charging simulated
+    /// time — workload harnesses use this to stage data structures
+    /// (linked lists, graphs) before the measured run, the way the
+    /// paper's harness prepares the NxP-side storage.
+    pub fn stage_alloc_nxp(&mut self, pid: u64, size: u64) -> VirtAddr {
+        self.kernel.alloc_nxp_heap(pid, size)
+    }
+
+    /// Allocates host heap for `pid` without charging simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping failures.
+    pub fn stage_alloc_host(&mut self, pid: u64, size: u64) -> Result<VirtAddr, RunError> {
+        self.kernel
+            .alloc_host_heap(&mut self.mem, pid, size)
+            .map_err(RunError::Load)
+    }
+
+    /// Writes user memory without charging simulated time (staging).
+    pub fn stage_write(&mut self, pid: u64, va: VirtAddr, bytes: &[u8]) {
+        self.kernel.write_user(&mut self.mem, pid, va, bytes);
+    }
+
+    /// Reads user memory without charging simulated time (inspection).
+    pub fn stage_read(&self, pid: u64, va: VirtAddr, buf: &mut [u8]) {
+        self.kernel.read_user(&self.mem, pid, va, buf);
+    }
+
+    /// Runs process `pid` to completion with a default budget of two
+    /// billion instructions.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`].
+    pub fn run(&mut self, pid: u64) -> Result<Outcome, RunError> {
+        self.run_with_fuel(pid, 2_000_000_000)
+    }
+
+    /// Runs with an explicit instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`]; [`RunError::FuelExhausted`] if the budget runs
+    /// out.
+    pub fn run_with_fuel(&mut self, pid: u64, fuel: u64) -> Result<Outcome, RunError> {
+        if self.kernel.task(pid).state == flick_os::TaskState::Zombie {
+            return Err(RunError::Build(format!("process {pid} already exited")));
+        }
+        self.install_task(pid);
+        let start_insts = self.executed();
+
+        loop {
+            let used = self.executed() - start_insts;
+            if used >= fuel {
+                return Err(RunError::FuelExhausted);
+            }
+            let stop = self.host.run(&mut self.mem, &self.env, fuel - used);
+            match stop {
+                StopReason::Halt => {
+                    return Ok(self.finish(pid, self.host.reg(abi::A0)));
+                }
+                StopReason::Ecall(service) => match self.host_ecall(pid, service)? {
+                    EcallFlow::Continue => {}
+                    EcallFlow::Exit(code) => return Ok(self.finish(pid, code)),
+                    EcallFlow::Suspended(msi) => {
+                        // Single-process mode: the host has nothing else
+                        // to do, so take the interrupt immediately and
+                        // resume the thread.
+                        self.deliver_wakeup(pid, msi)?;
+                        self.install_task(pid);
+                    }
+                },
+                StopReason::Fault(Exception::InstFault {
+                    va,
+                    kind: InstFaultKind::NxViolation,
+                }) => {
+                    // The Flick trigger: host fetched NxP code. Charge
+                    // the measured 0.7µs fault path and hijack into the
+                    // user-space migration handler (§IV-B1).
+                    self.stats.bump("nx_faults");
+                    self.trace.record(
+                        self.host.clock().now(),
+                        Event::NxFault {
+                            side: Side::Host,
+                            fault_va: va.as_u64(),
+                        },
+                    );
+                    let t = self.kernel.timing().page_fault_path;
+                    self.host.clock_mut().advance(t);
+                    let handler = self.vas[&pid].host_handler;
+                    self.kernel
+                        .redirect_to_handler(pid, &mut self.host, va, handler);
+                }
+                StopReason::Fault(exception) => {
+                    return Err(RunError::Crash {
+                        side: Side::Host,
+                        exception,
+                    });
+                }
+                StopReason::OutOfFuel => return Err(RunError::FuelExhausted),
+            }
+        }
+    }
+
+    /// Runs several processes concurrently on the single host core.
+    ///
+    /// While one thread is suspended awaiting the NxP, the host core is
+    /// free and the scheduler runs another process — the property that
+    /// distinguishes Flick's suspend-based migration from busy-wait
+    /// offloading. A running thread is preempted when a wake-up
+    /// interrupt fires (checked at a timer-tick granularity of ~20 µs
+    /// of host time), so NxP-bound threads resume promptly even while a
+    /// compute-bound thread occupies the core.
+    ///
+    /// Returns `(pid, outcome)` pairs in completion order.
+    ///
+    /// # Errors
+    ///
+    /// See [`RunError`]. One crashing process fails the whole run.
+    pub fn run_concurrent(
+        &mut self,
+        pids: &[u64],
+        fuel: u64,
+    ) -> Result<Vec<(u64, Outcome)>, RunError> {
+        /// Instructions per scheduling quantum (~20 µs at host speed).
+        const QUANTUM: u64 = 50_000;
+        for &pid in pids {
+            if self.kernel.task(pid).state == flick_os::TaskState::Zombie {
+                return Err(RunError::Build(format!("process {pid} already exited")));
+            }
+        }
+        let mut runnable: std::collections::VecDeque<u64> = pids.iter().copied().collect();
+        let mut pending: Vec<(Msi, u64)> = Vec::new();
+        let mut done: Vec<(u64, Outcome)> = Vec::new();
+        let mut preempted: Option<u64> = None;
+        let start_insts = self.executed();
+        while done.len() < pids.len() {
+            if self.executed() - start_insts >= fuel {
+                return Err(RunError::FuelExhausted);
+            }
+            // Deliver every wake-up interrupt that has already fired,
+            // oldest first; a preempted thread re-queues *behind* the
+            // freshly woken ones.
+            pending.sort_by_key(|(msi, _)| msi.at);
+            while let Some(i) = pending
+                .iter()
+                .position(|(msi, _)| msi.at <= self.host.clock().now())
+            {
+                let (msi, pid) = pending.remove(i);
+                self.deliver_wakeup(pid, msi)?;
+                runnable.push_back(pid);
+            }
+            if let Some(p) = preempted.take() {
+                runnable.push_back(p);
+            }
+            let Some(pid) = runnable.pop_front() else {
+                // Host idle: fast-forward to the earliest pending wake.
+                let Some((msi, _)) = pending.first() else {
+                    unreachable!("no runnable, no pending, not all done");
+                };
+                let at = msi.at;
+                self.host.clock_mut().sync_to(at);
+                continue;
+            };
+            self.install_task(pid);
+            loop {
+                let used = self.executed() - start_insts;
+                if used >= fuel {
+                    return Err(RunError::FuelExhausted);
+                }
+                let stop = self
+                    .host
+                    .run(&mut self.mem, &self.env, QUANTUM.min(fuel - used));
+                match stop {
+                    StopReason::Halt => {
+                        let code = self.host.reg(abi::A0);
+                        done.push((pid, self.finish(pid, code)));
+                        break;
+                    }
+                    StopReason::Ecall(service) => match self.host_ecall(pid, service)? {
+                        EcallFlow::Continue => {}
+                        EcallFlow::Exit(code) => {
+                            done.push((pid, self.finish(pid, code)));
+                            break;
+                        }
+                        EcallFlow::Suspended(msi) => {
+                            pending.push((msi, pid));
+                            break; // host core is free: schedule someone else
+                        }
+                    },
+                    StopReason::Fault(Exception::InstFault {
+                        va,
+                        kind: InstFaultKind::NxViolation,
+                    }) => {
+                        self.stats.bump("nx_faults");
+                        self.trace.record(
+                            self.host.clock().now(),
+                            Event::NxFault {
+                                side: Side::Host,
+                                fault_va: va.as_u64(),
+                            },
+                        );
+                        let t = self.kernel.timing().page_fault_path;
+                        self.host.clock_mut().advance(t);
+                        let handler = self.vas[&pid].host_handler;
+                        self.kernel
+                            .redirect_to_handler(pid, &mut self.host, va, handler);
+                    }
+                    StopReason::Fault(exception) => {
+                        return Err(RunError::Crash {
+                            side: Side::Host,
+                            exception,
+                        })
+                    }
+                    StopReason::OutOfFuel => {
+                        // Quantum expired. Preempt only if a wake-up is
+                        // actually due — otherwise keep running.
+                        let now = self.host.clock().now();
+                        if pending.iter().any(|(msi, _)| msi.at <= now) {
+                            let t = self.kernel.timing().suspend_and_switch;
+                            self.host.clock_mut().advance(t);
+                            let ctx = self.host.save_context();
+                            let task = self.kernel.task_mut(pid);
+                            task.context = ctx;
+                            task.state = flick_os::TaskState::Runnable;
+                            preempted = Some(pid);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(done)
+    }
+
+    fn executed(&self) -> u64 {
+        self.host.stats().get("instructions") + self.nxp.stats().get("instructions")
+    }
+
+    fn finish(&mut self, pid: u64, code: u64) -> Outcome {
+        let task = self.kernel.task_mut(pid);
+        task.state = flick_os::TaskState::Zombie;
+        task.exit_code = code;
+        let mut stats = self.stats.clone();
+        stats.merge(self.host.stats());
+        // Prefix-less merge would collide; fold NxP counters under a
+        // different name space.
+        for (k, v) in self.nxp.stats().iter() {
+            let name: &'static str = match k {
+                "instructions" => "nxp_instructions",
+                "itlb_misses" => "nxp_itlb_misses",
+                "dtlb_misses" => "nxp_dtlb_misses",
+                "icache_misses" => "nxp_icache_misses",
+                "dcache_misses" => "nxp_dcache_misses",
+                "loads" => "nxp_loads",
+                "stores" => "nxp_stores",
+                "walks" => "nxp_walks",
+                _ => continue,
+            };
+            stats.bump_by(name, v);
+        }
+        Outcome {
+            exit_code: code,
+            sim_time: self.host.clock().now(),
+            console: self.kernel.console().to_vec(),
+            stats,
+        }
+    }
+
+    /// Handles a host `ecall`.
+    fn host_ecall(&mut self, pid: u64, service: u16) -> Result<EcallFlow, RunError> {
+        let timing = self.kernel.timing().clone();
+        self.host.clock_mut().advance(timing.syscall_entry);
+        match service {
+            svc::EXIT => {
+                return Ok(EcallFlow::Exit(self.host.reg(abi::A0)));
+            }
+            svc::PRINT_U64 => {
+                let v = self.host.reg(abi::A0);
+                self.kernel.console_push(format!("{v}"));
+            }
+            svc::PRINT_STR => {
+                let ptr = VirtAddr(self.host.reg(abi::A0));
+                let len = self.host.reg(abi::A1) as usize;
+                let mut buf = vec![0u8; len.min(4096)];
+                self.kernel.read_user(&self.mem, pid, ptr, &mut buf);
+                self.kernel
+                    .console_push(String::from_utf8_lossy(&buf).into_owned());
+            }
+            svc::ALLOC_HOST => {
+                let size = self.host.reg(abi::A0);
+                let pages = size.div_ceil(flick_mem::PAGE_SIZE);
+                let va = self
+                    .kernel
+                    .alloc_host_heap(&mut self.mem, pid, size)
+                    .map_err(RunError::Load)?;
+                self.host.clock_mut().advance(timing.page_alloc * pages.max(1));
+                self.host.set_reg(abi::A0, va.as_u64());
+            }
+            svc::ALLOC_NXP => {
+                let size = self.host.reg(abi::A0);
+                let va = self.kernel.alloc_nxp_heap(pid, size);
+                self.host.set_reg(abi::A0, va.as_u64());
+            }
+            svc::CLOCK_NS => {
+                let ns = self.host.clock().now().as_nanos();
+                self.host.set_reg(abi::A0, ns);
+            }
+            svc::SLEEP_NS => {
+                let ns = self.host.reg(abi::A0);
+                self.host.clock_mut().advance(Picos::from_nanos(ns));
+            }
+            svc::ALLOC_NXP_STACK => {
+                let sp = self.kernel.alloc_nxp_stack(&mut self.mem, pid);
+                self.host.clock_mut().advance(timing.nxp_stack_setup);
+                // Record it in the TCB word of the descriptor page so
+                // the handler's first-time check passes next time.
+                self.kernel.write_user(
+                    &mut self.mem,
+                    pid,
+                    VirtAddr(layout::DESC_PAGE_VA + L::TCB_NXP_SP),
+                    &sp.as_u64().to_le_bytes(),
+                );
+                self.stats.bump("nxp_stack_allocs");
+                // No register result: the handler must keep the original
+                // call's argument registers intact for the descriptor.
+                let _ = sp;
+            }
+            svc::MIGRATE_AND_SUSPEND => {
+                let msi = self.migrate_send(pid, DescKind::HostToNxpCall)?;
+                return Ok(EcallFlow::Suspended(msi));
+            }
+            svc::MIGRATE_RETURN_AND_SUSPEND => {
+                let msi = self.migrate_send(pid, DescKind::HostToNxpReturn)?;
+                return Ok(EcallFlow::Suspended(msi));
+            }
+            other => {
+                return Err(RunError::UnknownService {
+                    side: Side::Host,
+                    service: other,
+                })
+            }
+        }
+        self.host.clock_mut().advance(timing.syscall_exit);
+        Ok(EcallFlow::Continue)
+    }
+
+    /// The migrate-and-suspend `ioctl` (§IV-B1) plus the full NxP
+    /// phase: builds and sends the descriptor, suspends the thread,
+    /// runs the NxP side to completion of its leg, and returns the MSI
+    /// that will eventually wake the thread. The host core is *free*
+    /// from the moment the thread suspends — which is what lets other
+    /// processes run in the gap (see [`Machine::run_concurrent`]).
+    fn migrate_send(&mut self, pid: u64, kind: DescKind) -> Result<Msi, RunError> {
+        let timing = self.kernel.timing().clone();
+        // ioctl: gather target/CR3/PID/args from task_struct + regs
+        // (call) or just the return value (return).
+        self.host.clock_mut().advance(match kind {
+            DescKind::HostToNxpCall => timing.ioctl_desc_prep_call,
+            _ => timing.ioctl_desc_prep_return,
+        });
+        let desc = {
+            let task = self.kernel.task_mut(pid);
+            match kind {
+                DescKind::HostToNxpCall => MigrationDescriptor {
+                    kind,
+                    target: task
+                        .fault_va
+                        .take()
+                        .expect("migrate ioctl without a saved fault target")
+                        .as_u64(),
+                    ret: 0,
+                    args: [
+                        self.host.reg(abi::A0),
+                        self.host.reg(abi::A1),
+                        self.host.reg(abi::A2),
+                        self.host.reg(abi::A3),
+                        self.host.reg(abi::A4),
+                        self.host.reg(abi::A5),
+                    ],
+                    pid,
+                    cr3: task.cr3.as_u64(),
+                    nxp_sp: task.nxp_stack_ptr.as_u64(),
+                },
+                DescKind::HostToNxpReturn => {
+                    // The handler stored the host function's return
+                    // value in the descriptor page.
+                    let mut ret = [0u8; 8];
+                    self.kernel.read_user(
+                        &self.mem,
+                        pid,
+                        VirtAddr(layout::DESC_PAGE_VA + L::RET),
+                        &mut ret,
+                    );
+                    let t = self.kernel.task(pid);
+                    MigrationDescriptor {
+                        kind,
+                        target: 0,
+                        ret: u64::from_le_bytes(ret),
+                        args: [0; 6],
+                        pid,
+                        cr3: t.cr3.as_u64(),
+                        nxp_sp: t.nxp_stack_ptr.as_u64(),
+                    }
+                }
+                _ => unreachable!("host only sends host→NxP kinds"),
+            }
+        };
+
+        // Suspend (TASK_KILLABLE) and context switch away; the
+        // scheduler triggers the DMA *after* the switch via the
+        // migration flag (§IV-D).
+        self.kernel.suspend_for_migration(pid, &self.host);
+        self.host.clock_mut().advance(timing.suspend_and_switch);
+        self.trace
+            .record(self.host.clock().now(), Event::ThreadSuspended { pid });
+        let bytes = desc.to_bytes();
+        self.trace.record(
+            self.host.clock().now(),
+            Event::DescriptorSent {
+                from: Side::Host,
+                kind: kind.label(),
+                bytes: bytes.len(),
+            },
+        );
+        match kind {
+            DescKind::HostToNxpCall => self.stats.bump("migrations_host_to_nxp"),
+            _ => self.stats.bump("returns_host_to_nxp"),
+        }
+        let arrival = self.dma.kick_to_nxp(self.host.clock().now(), bytes);
+
+        // Run the NxP until it sends a descriptor back; the MSI it
+        // raises is queued for whenever the host takes the interrupt.
+        let (_back, msi) = self.nxp_phase(pid, arrival)?;
+        self.irq.raise(msi.clone());
+        Ok(msi)
+    }
+
+    /// The interrupt-driven wakeup: take the MSI, read the descriptor
+    /// out of the host ring, copy it into the process's descriptor
+    /// page, and mark the thread runnable again.
+    fn deliver_wakeup(&mut self, pid: u64, msi: Msi) -> Result<(), RunError> {
+        let timing = self.kernel.timing().clone();
+        self.host.clock_mut().sync_to(msi.at);
+        let msi = self
+            .irq
+            .take_due(self.host.clock().now())
+            .expect("wakeup delivered without a due MSI");
+        debug_assert_eq!(msi.vector, 0);
+        self.host.clock_mut().advance(timing.irq_entry);
+        let desc_bytes = self
+            .dma
+            .take_host_desc(self.host.clock().now())
+            .expect("descriptor precedes its MSI");
+        self.trace.record(
+            self.host.clock().now(),
+            Event::DescriptorReceived {
+                to: Side::Host,
+                kind: MigrationDescriptor::from_bytes(&desc_bytes)
+                    .map(|d| d.kind.label())
+                    .unwrap_or("?"),
+            },
+        );
+        // Kernel copies the descriptor into the process page, wakes the
+        // thread by PID, and schedules it.
+        self.host.clock_mut().advance(timing.desc_copy);
+        self.kernel.write_user(
+            &mut self.mem,
+            pid,
+            VirtAddr(layout::DESC_PAGE_VA),
+            &desc_bytes,
+        );
+        self.host.clock_mut().advance(timing.wakeup_and_schedule);
+        self.kernel.wake_from_migration(pid);
+        self.trace
+            .record(self.host.clock().now(), Event::ThreadWoken { pid });
+        Ok(())
+    }
+
+    /// Installs a runnable task onto the host core (context switch in).
+    fn install_task(&mut self, pid: u64) {
+        let task = self.kernel.task_mut(pid);
+        task.state = flick_os::TaskState::Running;
+        let ctx = task.context.clone();
+        let cr3 = task.cr3;
+        self.host.restore_context(&ctx);
+        if self.host.cr3() != cr3 {
+            self.host.set_cr3(cr3);
+        }
+    }
+
+    /// The NxP side: scheduler pickup, context switch, interpreted
+    /// execution, exec-fault redirects, until the thread hands a
+    /// descriptor back to the host.
+    fn nxp_phase(&mut self, pid: u64, arrival: Picos) -> Result<(Vec<u8>, Msi), RunError> {
+        let nt = self.nxp_timing.clone();
+        // The scheduler's poll loop observes the status register.
+        let now = self.nxp.clock().now().max(arrival);
+        self.nxp.clock_mut().sync_to(now + nt.poll_period);
+        let in_bytes = self
+            .dma
+            .poll_nxp(self.nxp.clock().now())
+            .expect("descriptor arrived before pickup");
+        let desc = MigrationDescriptor::from_bytes(&in_bytes)
+            .expect("host always sends well-formed descriptors");
+        self.trace.record(
+            self.nxp.clock().now(),
+            Event::DescriptorReceived {
+                to: Side::Nxp,
+                kind: desc.kind.label(),
+            },
+        );
+        self.nxp.clock_mut().advance(nt.dispatch);
+
+        // Land the descriptor in the NxP-local buffer the handler reads.
+        let desc_phys = self.nxp_desc_phys();
+        self.mem.write_bytes(desc_phys, &in_bytes);
+
+        // Context switch the thread in.
+        self.nxp.clock_mut().advance(nt.context_switch);
+        self.trace.record(
+            self.nxp.clock().now(),
+            Event::NxpContextSwitch { switch_in: true },
+        );
+        if self.nxp.cr3() != PhysAddr(desc.cr3) {
+            self.nxp.set_cr3(PhysAddr(desc.cr3));
+        }
+        let fresh = !self.nxp_rt.has_context(pid);
+        if fresh {
+            assert_eq!(
+                desc.kind,
+                DescKind::HostToNxpCall,
+                "first descriptor for a thread must be a call"
+            );
+            // The host initialised the stack; the thread starts inside
+            // the handler's while() loop (§IV-B1).
+            let mut ctx = CpuContext {
+                pc: self.vas[&pid].nxp_handler_loop,
+                ..CpuContext::default()
+            };
+            ctx.regs[abi::SP.index()] = desc.nxp_sp;
+            ctx.regs[abi::S0.index()] = layout::NXP_DESC_VA;
+            self.nxp.restore_context(&ctx);
+        } else {
+            let ctx = self
+                .nxp_rt
+                .thread_mut(pid)
+                .ctx
+                .take()
+                .expect("has_context checked");
+            self.nxp.restore_context(&ctx);
+        }
+
+        // Run until the thread emits a descriptor toward the host.
+        loop {
+            let stop = self.nxp.run(&mut self.mem, &self.env, u64::MAX / 2);
+            match stop {
+                StopReason::Ecall(s) if s == svc::NXP_MIGRATE_AND_SUSPEND => {
+                    let fault_va = self
+                        .nxp_rt
+                        .thread_mut(pid)
+                        .fault_va
+                        .take()
+                        .expect("NxP migrate without saved fault target");
+                    let out = MigrationDescriptor {
+                        kind: DescKind::NxpToHostCall,
+                        target: fault_va.as_u64(),
+                        ret: 0,
+                        args: [
+                            self.nxp.reg(abi::A0),
+                            self.nxp.reg(abi::A1),
+                            self.nxp.reg(abi::A2),
+                            self.nxp.reg(abi::A3),
+                            self.nxp.reg(abi::A4),
+                            self.nxp.reg(abi::A5),
+                        ],
+                        pid,
+                        cr3: self.nxp.cr3().as_u64(),
+                        nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
+                    };
+                    self.stats.bump("migrations_nxp_to_host");
+                    return Ok(self.nxp_send(pid, out));
+                }
+                StopReason::Ecall(s) if s == svc::NXP_RETURN_AND_SWITCH => {
+                    let ret = self.mem.read_u64(PhysAddr(desc_phys.as_u64() + L::RET));
+                    let out = MigrationDescriptor {
+                        kind: DescKind::NxpToHostReturn,
+                        target: 0,
+                        ret,
+                        args: [0; 6],
+                        pid,
+                        cr3: self.nxp.cr3().as_u64(),
+                        nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
+                    };
+                    self.stats.bump("returns_nxp_to_host");
+                    return Ok(self.nxp_send(pid, out));
+                }
+                StopReason::Ecall(s) if s == svc::ALLOC_NXP => {
+                    let size = self.nxp.reg(abi::A0);
+                    let va = self.kernel.alloc_nxp_heap(pid, size);
+                    self.nxp.set_reg(abi::A0, va.as_u64());
+                }
+                StopReason::Ecall(s) if s == svc::CLOCK_NS => {
+                    let ns = self.nxp.clock().now().as_nanos();
+                    self.nxp.set_reg(abi::A0, ns);
+                }
+                StopReason::Fault(Exception::InstFault { va, kind })
+                    if matches!(
+                        kind,
+                        InstFaultKind::IsaMismatch | InstFaultKind::Misaligned
+                    ) =>
+                {
+                    // The NxP called a host function: redirect into the
+                    // NxP migration handler (§IV-B2).
+                    self.stats.bump("nxp_exec_faults");
+                    match kind {
+                        InstFaultKind::Misaligned => self.trace.record(
+                            self.nxp.clock().now(),
+                            Event::MisalignedFetch { fault_va: va.as_u64() },
+                        ),
+                        _ => self.trace.record(
+                            self.nxp.clock().now(),
+                            Event::NxFault {
+                                side: Side::Nxp,
+                                fault_va: va.as_u64(),
+                            },
+                        ),
+                    }
+                    self.nxp.clock_mut().advance(nt.exception_entry);
+                    self.nxp_rt.thread_mut(pid).fault_va = Some(va);
+                    let handler = self.vas[&pid].nxp_handler;
+                    self.nxp.set_pc(handler);
+                }
+                StopReason::Ecall(service) => {
+                    return Err(RunError::UnknownService {
+                        side: Side::Nxp,
+                        service,
+                    })
+                }
+                StopReason::Fault(exception) => {
+                    return Err(RunError::Crash {
+                        side: Side::Nxp,
+                        exception,
+                    })
+                }
+                StopReason::Halt => {
+                    return Err(RunError::Crash {
+                        side: Side::Nxp,
+                        exception: Exception::InstFault {
+                            va: self.nxp.pc(),
+                            kind: InstFaultKind::Illegal,
+                        },
+                    })
+                }
+                StopReason::OutOfFuel => return Err(RunError::FuelExhausted),
+            }
+        }
+    }
+
+    /// Saves the NxP thread, switches to the scheduler and DMAs a
+    /// descriptor into host memory (plus MSI).
+    fn nxp_send(&mut self, pid: u64, desc: MigrationDescriptor) -> (Vec<u8>, Msi) {
+        let nt = self.nxp_timing.clone();
+        self.nxp.clock_mut().advance(nt.desc_build);
+        let ctx = self.nxp.save_context();
+        self.nxp_rt.thread_mut(pid).ctx = Some(ctx);
+        self.nxp.clock_mut().advance(nt.context_switch);
+        self.trace.record(
+            self.nxp.clock().now(),
+            Event::NxpContextSwitch { switch_in: false },
+        );
+        let bytes = desc.to_bytes();
+        self.trace.record(
+            self.nxp.clock().now(),
+            Event::DescriptorSent {
+                from: Side::Nxp,
+                kind: desc.kind.label(),
+                bytes: bytes.len(),
+            },
+        );
+        let (arrival, msi) = self.dma.kick_to_host(self.nxp.clock().now(), bytes.clone());
+        let _ = arrival;
+        (bytes, msi)
+    }
+
+    /// Physical address of the NxP-side descriptor buffer (the SRAM
+    /// page behind `layout::NXP_DESC_VA`).
+    fn nxp_desc_phys(&self) -> PhysAddr {
+        self.env.map.nxp_sram_host_base() + (layout::NXP_DESC_VA - layout::NXP_STACK_VA)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_isa::{FuncBuilder, MemSize, TargetIsa};
+    use flick_toolchain::{DataDef, Placement};
+
+    fn machine() -> Machine {
+        Machine::paper_default()
+    }
+
+    /// Builds, loads and runs a program; returns (machine, outcome).
+    fn run_program(build: impl FnOnce(&mut ProgramBuilder)) -> (Machine, Outcome) {
+        let mut p = ProgramBuilder::new("test");
+        build(&mut p);
+        let mut m = machine();
+        let pid = m.load_program(&mut p).unwrap();
+        let outcome = m.run(pid).unwrap();
+        (m, outcome)
+    }
+
+    #[test]
+    fn null_cross_call_round_trip() {
+        let (m, out) = run_program(|p| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.li(abi::A0, 40);
+            main.li(abi::A1, 2);
+            main.call("nxp_add");
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_add", TargetIsa::Nxp);
+            f.add(abi::A0, abi::A0, abi::A1);
+            f.ret();
+            p.func(f.finish());
+        });
+        assert_eq!(out.exit_code, 42);
+        assert_eq!(out.stats.get("migrations_host_to_nxp"), 1);
+        assert_eq!(out.stats.get("returns_nxp_to_host"), 1);
+        assert_eq!(out.stats.get("nx_faults"), 1);
+        assert_eq!(out.stats.get("nxp_stack_allocs"), 1);
+        // One round trip should land in the Table III ballpark.
+        assert!(out.sim_time > Picos::from_micros(8), "{}", out.sim_time);
+        assert!(out.sim_time < Picos::from_micros(60), "{}", out.sim_time);
+        assert!(m.trace().count(|e| matches!(e, Event::NxFault { .. })) == 1);
+    }
+
+    #[test]
+    fn repeated_migrations_reuse_stack() {
+        let (_, out) = run_program(|p| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            let lp = main.new_label();
+            main.li(abi::S1, 10);
+            main.li(abi::S2, 0);
+            main.bind(lp);
+            main.mv(abi::A0, abi::S2);
+            main.call("nxp_inc");
+            main.mv(abi::S2, abi::A0);
+            main.addi(abi::S1, abi::S1, -1);
+            main.bne(abi::S1, abi::ZERO, lp);
+            main.mv(abi::A0, abi::S2);
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_inc", TargetIsa::Nxp);
+            f.addi(abi::A0, abi::A0, 1);
+            f.ret();
+            p.func(f.finish());
+        });
+        assert_eq!(out.exit_code, 10);
+        assert_eq!(out.stats.get("migrations_host_to_nxp"), 10);
+        assert_eq!(out.stats.get("nxp_stack_allocs"), 1, "stack allocated once");
+    }
+
+    #[test]
+    fn nxp_calls_host_function() {
+        // main -> nxp_work -> host_double(21) -> back -> +0 -> exit 42.
+        let (_, out) = run_program(|p| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.li(abi::A0, 21);
+            main.call("nxp_work");
+            main.call("flick_exit");
+            p.func(main.finish());
+
+            let mut w = FuncBuilder::new("nxp_work", TargetIsa::Nxp);
+            w.prologue(16, &[]);
+            w.call("host_double");
+            w.epilogue(16, &[]);
+            p.func(w.finish());
+
+            let mut h = FuncBuilder::new("host_double", TargetIsa::Host);
+            h.add(abi::A0, abi::A0, abi::A0);
+            h.ret();
+            p.func(h.finish());
+        });
+        assert_eq!(out.exit_code, 42);
+        assert_eq!(out.stats.get("migrations_host_to_nxp"), 1);
+        assert_eq!(out.stats.get("migrations_nxp_to_host"), 1);
+        assert_eq!(out.stats.get("returns_host_to_nxp"), 1);
+        assert_eq!(out.stats.get("returns_nxp_to_host"), 1);
+        assert_eq!(out.stats.get("nxp_exec_faults"), 1);
+    }
+
+    #[test]
+    fn cross_isa_recursion() {
+        // Mutual recursion across the ISA boundary:
+        // host_fact(n) = n == 0 ? 1 : n * nxp_fact(n-1)
+        // nxp_fact(n)  = n == 0 ? 1 : n * host_fact(n-1)
+        let (_, out) = run_program(|p| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.li(abi::A0, 6);
+            main.call("host_fact");
+            main.call("flick_exit");
+            p.func(main.finish());
+
+            for (name, callee, target) in [
+                ("host_fact", "nxp_fact", TargetIsa::Host),
+                ("nxp_fact", "host_fact", TargetIsa::Nxp),
+            ] {
+                let mut f = FuncBuilder::new(name, target);
+                let base = f.new_label();
+                f.prologue(32, &[abi::S1]);
+                f.beq(abi::A0, abi::ZERO, base);
+                f.mv(abi::S1, abi::A0);
+                f.addi(abi::A0, abi::A0, -1);
+                f.call(callee);
+                f.mul(abi::A0, abi::A0, abi::S1);
+                f.epilogue(32, &[abi::S1]);
+                f.bind(base);
+                f.li(abi::A0, 1);
+                f.epilogue(32, &[abi::S1]);
+                p.func(f.finish());
+            }
+        });
+        assert_eq!(out.exit_code, 720);
+        // 6 levels: nxp_fact called for n = 5, 3, 1 → 3 host→NxP calls.
+        assert_eq!(out.stats.get("migrations_host_to_nxp"), 3);
+        assert_eq!(out.stats.get("migrations_nxp_to_host"), 3); // n = 4, 2, 0
+    }
+
+    #[test]
+    fn function_pointer_crosses_isa() {
+        let (_, out) = run_program(|p| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.li_sym(abi::T3, "nxp_seven");
+            main.call_reg(abi::T3);
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_seven", TargetIsa::Nxp);
+            f.li(abi::A0, 7);
+            f.ret();
+            p.func(f.finish());
+        });
+        assert_eq!(out.exit_code, 7);
+        assert_eq!(out.stats.get("migrations_host_to_nxp"), 1);
+    }
+
+    #[test]
+    fn nxp_reads_nxp_dram_data() {
+        let (_, out) = run_program(|p| {
+            p.data(
+                DataDef::new("nxp_table", 99u64.to_le_bytes().to_vec())
+                    .placed(Placement::NxpDram),
+            );
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.call("nxp_read");
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_read", TargetIsa::Nxp);
+            f.li_sym(abi::T0, "nxp_table");
+            f.ld(abi::A0, abi::T0, 0, MemSize::B8);
+            f.ret();
+            p.func(f.finish());
+        });
+        assert_eq!(out.exit_code, 99);
+    }
+
+    #[test]
+    fn console_output_collected() {
+        let (_, out) = run_program(|p| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.li(abi::A0, 123);
+            main.call("flick_print_u64");
+            main.li(abi::A0, 0);
+            main.call("flick_exit");
+            p.func(main.finish());
+        });
+        assert_eq!(out.console, vec!["123".to_string()]);
+    }
+
+    #[test]
+    fn trace_sequences_migration_events() {
+        let (m, _) = run_program(|p| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.call("nxp_nop");
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_nop", TargetIsa::Nxp);
+            f.ret();
+            p.func(f.finish());
+        });
+        let kinds: Vec<&str> = m
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Event::NxFault { .. } => Some("fault"),
+                Event::ThreadSuspended { .. } => Some("suspend"),
+                Event::DescriptorSent { from: Side::Host, .. } => Some("h-send"),
+                Event::DescriptorReceived { to: Side::Nxp, .. } => Some("n-recv"),
+                Event::DescriptorSent { from: Side::Nxp, .. } => Some("n-send"),
+                Event::DescriptorReceived { to: Side::Host, .. } => Some("h-recv"),
+                Event::ThreadWoken { .. } => Some("wake"),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "fault", "suspend", "h-send", "n-recv", "n-send", "h-recv", "wake"
+            ]
+        );
+        // Timestamps are monotone across the whole sequence.
+        let times: Vec<Picos> = m.trace().events().iter().map(|(t, _)| *t).collect();
+        for w in times.windows(2) {
+            assert!(w[0] <= w[1], "trace time went backwards");
+        }
+    }
+
+    #[test]
+    fn host_crash_reports_side_and_pc() {
+        let mut p = ProgramBuilder::new("crash");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.li(abi::A1, 0x1234_5678_0000u64 as i64); // unmapped
+        main.ld(abi::A0, abi::A1, 0, MemSize::B8);
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut m = machine();
+        let pid = m.load_program(&mut p).unwrap();
+        match m.run(pid) {
+            Err(RunError::Crash { side: Side::Host, exception }) => {
+                assert!(matches!(exception, Exception::DataFault { .. }));
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn image_without_runtime_rejected() {
+        let mut p = ProgramBuilder::new("bare");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.halt();
+        p.func(main.finish());
+        let image = p.build().unwrap();
+        let mut m = machine();
+        assert!(matches!(m.load(&image), Err(RunError::Build(_))));
+    }
+
+    #[test]
+    fn fuel_exhaustion_detected() {
+        let mut p = ProgramBuilder::new("spin");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        let lp = main.new_label();
+        main.bind(lp);
+        main.jmp(lp);
+        p.func(main.finish());
+        let mut m = machine();
+        let pid = m.load_program(&mut p).unwrap();
+        assert!(matches!(
+            m.run_with_fuel(pid, 10_000),
+            Err(RunError::FuelExhausted)
+        ));
+    }
+
+    #[test]
+    fn two_processes_run_sequentially() {
+        let build = |p: &mut ProgramBuilder, v: i64| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.li(abi::A0, v);
+            main.call("nxp_id");
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_id", TargetIsa::Nxp);
+            f.ret();
+            p.func(f.finish());
+        };
+        let mut m = machine();
+        let mut p1 = ProgramBuilder::new("p1");
+        build(&mut p1, 11);
+        let mut p2 = ProgramBuilder::new("p2");
+        build(&mut p2, 22);
+        let pid1 = m.load_program(&mut p1).unwrap();
+        let pid2 = m.load_program(&mut p2).unwrap();
+        assert_eq!(m.run(pid1).unwrap().exit_code, 11);
+        assert_eq!(m.run(pid2).unwrap().exit_code, 22);
+    }
+
+    /// A process that calls an NxP spin function `calls` times; each
+    /// call keeps the NxP busy for a while, leaving the host core idle
+    /// in single-process mode.
+    fn migration_loop_program(calls: i64, spin: i64, tag: i64) -> ProgramBuilder {
+        let mut p = ProgramBuilder::new("loop");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        let lp = main.new_label();
+        main.li(abi::S1, calls);
+        main.li(abi::S2, 0);
+        main.bind(lp);
+        main.li(abi::A0, spin);
+        main.call("nxp_spin");
+        main.add(abi::S2, abi::S2, abi::A0);
+        main.addi(abi::S1, abi::S1, -1);
+        main.bne(abi::S1, abi::ZERO, lp);
+        main.li(abi::T0, tag);
+        main.add(abi::A0, abi::S2, abi::T0);
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_spin", TargetIsa::Nxp);
+        let sl = f.new_label();
+        let done = f.new_label();
+        f.li(abi::T0, 0);
+        f.bind(sl);
+        f.bge(abi::T0, abi::A0, done);
+        f.addi(abi::T0, abi::T0, 1);
+        f.jmp(sl);
+        f.bind(done);
+        f.mv(abi::A0, abi::T0);
+        f.ret();
+        p.func(f.finish());
+        p
+    }
+
+    #[test]
+    fn concurrent_matches_single_process_semantics() {
+        let mut m1 = machine();
+        let mut p = migration_loop_program(5, 100, 7);
+        let pid = m1.load_program(&mut p).unwrap();
+        let serial = m1.run(pid).unwrap();
+
+        let mut m2 = machine();
+        let mut p = migration_loop_program(5, 100, 7);
+        let pid = m2.load_program(&mut p).unwrap();
+        let conc = m2.run_concurrent(&[pid], u64::MAX / 2).unwrap();
+        assert_eq!(conc.len(), 1);
+        assert_eq!(conc[0].1.exit_code, serial.exit_code);
+        // Identical machinery → identical simulated time.
+        assert_eq!(conc[0].1.sim_time, serial.sim_time);
+    }
+
+    #[test]
+    fn concurrent_processes_overlap_host_and_nxp_time() {
+        // Serial: run the two processes one after the other.
+        let mut serial_m = machine();
+        let mut p1 = migration_loop_program(8, 2_000, 1);
+        let mut p2 = migration_loop_program(8, 2_000, 2);
+        let a = serial_m.load_program(&mut p1).unwrap();
+        let b = serial_m.load_program(&mut p2).unwrap();
+        serial_m.run(a).unwrap();
+        serial_m.run(b).unwrap();
+        let serial_total = serial_m.host_now();
+
+        // Concurrent: while one thread is on the NxP, the other runs.
+        let mut conc_m = machine();
+        let mut p1 = migration_loop_program(8, 2_000, 1);
+        let mut p2 = migration_loop_program(8, 2_000, 2);
+        let a = conc_m.load_program(&mut p1).unwrap();
+        let b = conc_m.load_program(&mut p2).unwrap();
+        let done = conc_m.run_concurrent(&[a, b], u64::MAX / 2).unwrap();
+        let conc_total = conc_m.host_now();
+
+        let codes: std::collections::HashMap<u64, u64> =
+            done.iter().map(|(pid, o)| (*pid, o.exit_code)).collect();
+        assert_eq!(codes[&a], 8 * 2_000 + 1);
+        assert_eq!(codes[&b], 8 * 2_000 + 2);
+        assert!(
+            conc_total.as_nanos_f64() < serial_total.as_nanos_f64() * 0.9,
+            "overlap expected: concurrent {conc_total} vs serial {serial_total}"
+        );
+    }
+
+    #[test]
+    fn three_processes_all_complete() {
+        let mut m = machine();
+        let mut pids = Vec::new();
+        for tag in 0..3i64 {
+            let mut p = migration_loop_program(3, 50, tag * 1000);
+            pids.push(m.load_program(&mut p).unwrap());
+        }
+        let done = m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+        assert_eq!(done.len(), 3);
+        for (pid, out) in &done {
+            let idx = pids.iter().position(|p| p == pid).unwrap() as u64;
+            assert_eq!(out.exit_code, 3 * 50 + idx * 1000);
+        }
+    }
+
+    #[test]
+    fn concurrent_fuel_exhaustion() {
+        let mut m = machine();
+        let mut p = migration_loop_program(1000, 1000, 0);
+        let pid = m.load_program(&mut p).unwrap();
+        assert!(matches!(
+            m.run_concurrent(&[pid], 5_000),
+            Err(RunError::FuelExhausted)
+        ));
+    }
+
+    #[test]
+    fn outcome_merges_core_stats() {
+        let (_, out) = run_program(|p| {
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            main.call("nxp_three");
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_three", TargetIsa::Nxp);
+            f.li(abi::A0, 3);
+            f.ret();
+            p.func(f.finish());
+        });
+        assert!(out.stats.get("instructions") > 0, "host instructions");
+        assert!(out.stats.get("nxp_instructions") > 0, "nxp instructions");
+        assert!(out.stats.get("nxp_itlb_misses") > 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The `ecall` service interface and descriptor-page layout.
+//!
+//! Host services trap into the simulated kernel (syscalls / the Flick
+//! `ioctl`); NxP services trap into the NxP runtime. User-visible
+//! wrapper functions for the ordinary services are provided by
+//! [`crate::handlers::add_runtime`].
+
+/// Host: terminate the process; `a0` = exit code.
+pub const EXIT: u16 = 1;
+/// Host: print `a0` as a decimal line on the console.
+pub const PRINT_U64: u16 = 2;
+/// Host: print the UTF-8 string at `a0` with length `a1`.
+pub const PRINT_STR: u16 = 3;
+/// Host: allocate `a0` bytes of host-DRAM heap; returns VA in `a0`.
+pub const ALLOC_HOST: u16 = 4;
+/// Host or NxP: allocate `a0` bytes of NxP-DRAM heap; returns VA in
+/// `a0` (the per-region allocator of §III-D).
+pub const ALLOC_NXP: u16 = 5;
+/// Host or NxP: returns the local clock in nanoseconds in `a0`.
+pub const CLOCK_NS: u16 = 6;
+/// Host: sleep/busy-work for `a0` nanoseconds (models host-side work
+/// between migrations without interpreting a spin loop; used by the
+/// Fig. 5b infrequent-migration experiment).
+pub const SLEEP_NS: u16 = 7;
+
+/// Host (Flick): allocate this thread's NxP stack and record it in the
+/// TCB word of the descriptor page and the `task_struct`. Returns
+/// nothing — the handler's argument registers must survive untouched
+/// (Listing 1, lines 3–4).
+pub const ALLOC_NXP_STACK: u16 = 16;
+/// Host (Flick): the migrate-and-suspend `ioctl` for a host→NxP *call*
+/// (Listing 1, line 6).
+pub const MIGRATE_AND_SUSPEND: u16 = 17;
+/// Host (Flick): migrate-and-suspend for a host→NxP *return*
+/// (Listing 1, line 11).
+pub const MIGRATE_RETURN_AND_SUSPEND: u16 = 18;
+
+/// NxP runtime: build an NxP→host call descriptor from the saved fault
+/// target + argument registers, then context-switch to the scheduler
+/// (Listing 2, lines 3–4).
+pub const NXP_MIGRATE_AND_SUSPEND: u16 = 0x100;
+/// NxP runtime: build an NxP→host *return* descriptor and context-
+/// switch to the scheduler (Listing 2, line 9).
+pub const NXP_RETURN_AND_SWITCH: u16 = 0x101;
+
+/// Byte offsets inside a descriptor (and the descriptor pages).
+pub mod desc_layout {
+    /// Descriptor kind tag.
+    pub const KIND: u64 = 0;
+    /// Target function VA.
+    pub const TARGET: u64 = 8;
+    /// Return value.
+    pub const RET: u64 = 16;
+    /// Six argument registers.
+    pub const ARGS: u64 = 24;
+    /// Thread PID (identifies whom to wake, §IV-B1).
+    pub const PID: u64 = 72;
+    /// Page-table base (the x86 PTBR / CR3).
+    pub const CR3: u64 = 80;
+    /// The thread's NxP stack pointer.
+    pub const NXP_SP: u64 = 88;
+    /// Total wire size — one PCIe burst.
+    pub const SIZE: u64 = 128;
+    /// Host descriptor page only: the thread-control word holding the
+    /// cached NxP stack pointer the handler checks for first-time
+    /// migration.
+    pub const TCB_NXP_SP: u64 = 128;
+}
+
+// Compile-time layout invariants.
+const _: () = {
+    assert!(desc_layout::NXP_SP + 8 <= desc_layout::SIZE);
+    assert!(desc_layout::SIZE.is_multiple_of(64), "whole 64-byte beats");
+    assert!(NXP_MIGRATE_AND_SUSPEND > MIGRATE_RETURN_AND_SUSPEND);
+    assert!(EXIT < ALLOC_NXP_STACK);
+};

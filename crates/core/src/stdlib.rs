@@ -1,0 +1,350 @@
+//! A small FIR standard library, compiled for **both** ISAs.
+//!
+//! §III-B motivates OS-triggered migration with exactly this case:
+//! "typical software routinely calls functions in pre-compiled shared
+//! libraries (e.g., the standard C library), which do not have
+//! migration code inserted". Because Flick's trigger is the NX bit, a
+//! library needs no instrumentation — it just ships `.text` for each
+//! ISA it supports, and calls resolve to whichever side's variant the
+//! program links against.
+//!
+//! Host variants use the plain names (`memcpy`, `gcd`, …); NxP
+//! variants are prefixed `nxp_` (the linker-relocation convention of
+//! §III-D, as with the allocators). [`add_stdlib`] links all of them
+//! into a program.
+
+use flick_isa::{abi, Func, FuncBuilder, MemSize, TargetIsa};
+use flick_toolchain::ProgramBuilder;
+
+fn name_for(base: &str, target: TargetIsa) -> String {
+    match target {
+        TargetIsa::Host => base.to_string(),
+        TargetIsa::Nxp => format!("nxp_{base}"),
+    }
+}
+
+/// `memcpy(dst, src, n) -> dst`: byte copy.
+pub fn memcpy(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("memcpy", target), target);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.mv(abi::T3, abi::A0); // preserve dst for return
+    f.bind(lp);
+    f.beq(abi::A2, abi::ZERO, done);
+    f.ld(abi::T0, abi::A1, 0, MemSize::B1);
+    f.st(abi::T0, abi::A0, 0, MemSize::B1);
+    f.addi(abi::A0, abi::A0, 1);
+    f.addi(abi::A1, abi::A1, 1);
+    f.addi(abi::A2, abi::A2, -1);
+    f.jmp(lp);
+    f.bind(done);
+    f.mv(abi::A0, abi::T3);
+    f.ret();
+    f.finish()
+}
+
+/// `memset(dst, byte, n) -> dst`.
+pub fn memset(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("memset", target), target);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.mv(abi::T3, abi::A0);
+    f.bind(lp);
+    f.beq(abi::A2, abi::ZERO, done);
+    f.st(abi::A1, abi::A0, 0, MemSize::B1);
+    f.addi(abi::A0, abi::A0, 1);
+    f.addi(abi::A2, abi::A2, -1);
+    f.jmp(lp);
+    f.bind(done);
+    f.mv(abi::A0, abi::T3);
+    f.ret();
+    f.finish()
+}
+
+/// `gcd(a, b)` by Euclid's algorithm.
+pub fn gcd(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("gcd", target), target);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.bind(lp);
+    f.beq(abi::A1, abi::ZERO, done);
+    f.remu(abi::T0, abi::A0, abi::A1);
+    f.mv(abi::A0, abi::A1);
+    f.mv(abi::A1, abi::T0);
+    f.jmp(lp);
+    f.bind(done);
+    f.ret();
+    f.finish()
+}
+
+/// `umin(a, b)`.
+pub fn umin(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("umin", target), target);
+    let keep = f.new_label();
+    f.bltu(abi::A0, abi::A1, keep);
+    f.mv(abi::A0, abi::A1);
+    f.bind(keep);
+    f.ret();
+    f.finish()
+}
+
+/// `umax(a, b)`.
+pub fn umax(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("umax", target), target);
+    let keep = f.new_label();
+    f.bgeu(abi::A0, abi::A1, keep);
+    f.mv(abi::A0, abi::A1);
+    f.bind(keep);
+    f.ret();
+    f.finish()
+}
+
+/// `popcount(x)`: number of set bits.
+pub fn popcount(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("popcount", target), target);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0);
+    f.bind(lp);
+    f.beq(abi::A0, abi::ZERO, done);
+    f.andi(abi::T1, abi::A0, 1);
+    f.add(abi::T0, abi::T0, abi::T1);
+    f.srli(abi::A0, abi::A0, 1);
+    f.jmp(lp);
+    f.bind(done);
+    f.mv(abi::A0, abi::T0);
+    f.ret();
+    f.finish()
+}
+
+/// `strlen(p)`: length of a NUL-terminated byte string.
+pub fn strlen(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("strlen", target), target);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0);
+    f.bind(lp);
+    f.add(abi::T1, abi::A0, abi::T0);
+    f.ld(abi::T2, abi::T1, 0, MemSize::B1);
+    f.beq(abi::T2, abi::ZERO, done);
+    f.addi(abi::T0, abi::T0, 1);
+    f.jmp(lp);
+    f.bind(done);
+    f.mv(abi::A0, abi::T0);
+    f.ret();
+    f.finish()
+}
+
+/// `fib(n)`: iterative Fibonacci.
+pub fn fib(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("fib", target), target);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0); // a
+    f.li(abi::T1, 1); // b
+    f.bind(lp);
+    f.beq(abi::A0, abi::ZERO, done);
+    f.add(abi::T2, abi::T0, abi::T1);
+    f.mv(abi::T0, abi::T1);
+    f.mv(abi::T1, abi::T2);
+    f.addi(abi::A0, abi::A0, -1);
+    f.jmp(lp);
+    f.bind(done);
+    f.mv(abi::A0, abi::T0);
+    f.ret();
+    f.finish()
+}
+
+/// `checksum(ptr, n)`: a simple rolling 64-bit checksum over bytes
+/// (`h = h*31 + byte`), handy for verifying cross-ISA data movement.
+pub fn checksum(target: TargetIsa) -> Func {
+    let mut f = FuncBuilder::new(name_for("checksum", target), target);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0);
+    f.li(abi::T3, 31);
+    f.bind(lp);
+    f.beq(abi::A1, abi::ZERO, done);
+    f.ld(abi::T1, abi::A0, 0, MemSize::B1);
+    f.mul(abi::T0, abi::T0, abi::T3);
+    f.add(abi::T0, abi::T0, abi::T1);
+    f.addi(abi::A0, abi::A0, 1);
+    f.addi(abi::A1, abi::A1, -1);
+    f.jmp(lp);
+    f.bind(done);
+    f.mv(abi::A0, abi::T0);
+    f.ret();
+    f.finish()
+}
+
+/// All library functions for one target.
+pub fn funcs_for(target: TargetIsa) -> Vec<Func> {
+    vec![
+        memcpy(target),
+        memset(target),
+        gcd(target),
+        umin(target),
+        umax(target),
+        popcount(target),
+        strlen(target),
+        fib(target),
+        checksum(target),
+    ]
+}
+
+/// Links both ISA variants of the standard library into a program.
+pub fn add_stdlib(p: &mut ProgramBuilder) {
+    for f in funcs_for(TargetIsa::Host) {
+        p.func(f);
+    }
+    for f in funcs_for(TargetIsa::Nxp) {
+        p.func(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+    use flick_sim::{TraceConfig, Xoshiro256};
+
+    /// Runs `body(main)` after stdlib is linked; returns the exit code.
+    fn run(body: impl FnOnce(&mut FuncBuilder)) -> u64 {
+        let mut p = ProgramBuilder::new("stdlib-test");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        body(&mut main);
+        main.call("flick_exit");
+        p.func(main.finish());
+        add_stdlib(&mut p);
+        let mut m = Machine::builder()
+            .trace(TraceConfig {
+                enabled: false,
+                capacity: 0,
+            })
+            .build();
+        let pid = m.load_program(&mut p).unwrap();
+        m.run(pid).unwrap().exit_code
+    }
+
+    /// Calls a two-argument library function on both sides and checks
+    /// each against the reference.
+    fn check2(base: &str, a: u64, b: u64, expected: u64) {
+        for prefix in ["", "nxp_"] {
+            let name = format!("{prefix}{base}");
+            let got = run(|main| {
+                main.li(abi::A0, a as i64);
+                main.li(abi::A1, b as i64);
+                main.call(&name);
+            });
+            assert_eq!(got, expected, "{name}({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn gcd_both_isas() {
+        let mut rng = Xoshiro256::seeded(1);
+        for _ in 0..5 {
+            let a = rng.gen_range(1, 1 << 20);
+            let b = rng.gen_range(1, 1 << 20);
+            let mut x = a;
+            let mut y = b;
+            while y != 0 {
+                let t = x % y;
+                x = y;
+                y = t;
+            }
+            check2("gcd", a, b, x);
+        }
+    }
+
+    #[test]
+    fn min_max_both_isas() {
+        check2("umin", 17, 4, 4);
+        check2("umax", 17, 4, 17);
+        check2("umin", u64::MAX, 1, 1);
+        check2("umax", u64::MAX, 1, u64::MAX);
+    }
+
+    #[test]
+    fn popcount_both_isas() {
+        for (x, e) in [(0u64, 0u64), (1, 1), (0xFF, 8), (u64::MAX, 64), (0xA5A5, 8)] {
+            for prefix in ["", "nxp_"] {
+                let name = format!("{prefix}popcount");
+                let got = run(|main| {
+                    main.li(abi::A0, x as i64);
+                    main.call(&name);
+                });
+                assert_eq!(got, e, "{name}({x:#x})");
+            }
+        }
+    }
+
+    #[test]
+    fn fib_both_isas() {
+        for (n, e) in [(0u64, 0u64), (1, 1), (10, 55), (30, 832_040)] {
+            for prefix in ["", "nxp_"] {
+                let name = format!("{prefix}fib");
+                let got = run(|main| {
+                    main.li(abi::A0, n as i64);
+                    main.call(&name);
+                });
+                assert_eq!(got, e, "{name}({n})");
+            }
+        }
+    }
+
+    #[test]
+    fn memcpy_memset_checksum_cross_isa_agree() {
+        // Host memsets a host buffer, copies it into NxP memory with
+        // the *NxP* memcpy (data pulled across the boundary by the far
+        // side), then both sides checksum it and must agree.
+        let code = run(|main| {
+            // main is the entry point: callee-saved registers are free.
+            // hbuf = malloc_host(64); memset(hbuf, 0x5A, 64)
+            main.li(abi::A0, 64);
+            main.call("malloc_host");
+            main.mv(abi::S1, abi::A0);
+            main.li(abi::A1, 0x5A);
+            main.li(abi::A2, 64);
+            main.call("memset");
+            // nbuf = malloc_nxp(64); nxp_memcpy(nbuf, hbuf, 64)
+            main.li(abi::A0, 64);
+            main.call("malloc_nxp");
+            main.mv(abi::S2, abi::A0);
+            main.mv(abi::A1, abi::S1);
+            main.li(abi::A2, 64);
+            main.call("nxp_memcpy");
+            // host checksum of nbuf vs nxp checksum of hbuf: equal.
+            main.mv(abi::A0, abi::S2);
+            main.li(abi::A1, 64);
+            main.call("checksum");
+            main.mv(abi::T3, abi::A0);
+            main.mv(abi::A0, abi::S1);
+            main.li(abi::A1, 64);
+            // T3 is caller-saved but nxp_checksum's migration handler
+            // only touches t0-t2 — still, keep it in s1 to be ABI-clean.
+            main.mv(abi::S1, abi::T3);
+            main.call("nxp_checksum");
+            main.sub(abi::A0, abi::A0, abi::S1); // 0 iff equal
+        });
+        assert_eq!(code, 0, "checksums disagree across ISAs");
+    }
+
+    #[test]
+    fn strlen_both_isas() {
+        // Stage a string in host memory via memset-free path: build it
+        // with stores.
+        let got = run(|main| {
+            main.li(abi::A0, 16);
+            main.call("malloc_host");
+            main.mv(abi::S1, abi::A0);
+            for (i, b) in b"flick\0".iter().enumerate() {
+                main.li(abi::T0, *b as i64);
+                main.st(abi::T0, abi::S1, i as i32, MemSize::B1);
+            }
+            main.mv(abi::A0, abi::S1);
+            main.call("nxp_strlen"); // NxP reads host memory over PCIe
+        });
+        assert_eq!(got, 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Renders an event trace as a two-column host/NxP timeline — a
+//! text version of the paper's Fig. 2 sequence diagram.
+
+use flick_sim::trace::Side;
+use flick_sim::{Event, Trace};
+use std::fmt::Write as _;
+
+/// One rendered timeline row.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Timestamp (formatted).
+    pub at: String,
+    /// Host-column text (empty if the event is NxP-side).
+    pub host: String,
+    /// NxP-column text.
+    pub nxp: String,
+}
+
+fn describe(e: &Event) -> Option<(Side, String)> {
+    Some(match e {
+        Event::NxFault { side, fault_va } => {
+            (*side, format!("exec fault @ {fault_va:#x}"))
+        }
+        Event::MisalignedFetch { fault_va } => {
+            (Side::Nxp, format!("misaligned fetch @ {fault_va:#x}"))
+        }
+        Event::ThreadSuspended { pid } => (Side::Host, format!("suspend thread {pid}")),
+        Event::ThreadWoken { pid } => (Side::Host, format!("wake thread {pid}")),
+        Event::DescriptorSent { from, kind, bytes } => {
+            (*from, format!("send {kind} ({bytes}B) →"))
+        }
+        Event::DescriptorReceived { to, kind } => (*to, format!("→ recv {kind}")),
+        Event::NxpContextSwitch { switch_in } => (
+            Side::Nxp,
+            if *switch_in {
+                "ctx switch in".to_string()
+            } else {
+                "ctx switch out".to_string()
+            },
+        ),
+        Event::TlbMiss { side, va, levels } => {
+            (*side, format!("tlb miss @ {va:#x} ({levels} levels)"))
+        }
+        Event::Marker(m) => (Side::Host, format!("-- {m} --")),
+    })
+}
+
+/// Converts a trace into timeline rows.
+pub fn rows(trace: &Trace) -> Vec<Row> {
+    trace
+        .events()
+        .iter()
+        .filter_map(|(t, e)| {
+            let (side, text) = describe(e)?;
+            Some(match side {
+                Side::Host => Row {
+                    at: format!("{t}"),
+                    host: text,
+                    nxp: String::new(),
+                },
+                Side::Nxp => Row {
+                    at: format!("{t}"),
+                    host: String::new(),
+                    nxp: text,
+                },
+            })
+        })
+        .collect()
+}
+
+/// Formats the whole trace as a fixed-width two-column diagram.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{Event, Picos, Trace};
+///
+/// let mut t = Trace::default();
+/// t.record(Picos::from_micros(1), Event::ThreadSuspended { pid: 1 });
+/// let s = flick::timeline::format(&t);
+/// assert!(s.contains("suspend thread 1"));
+/// ```
+pub fn format(trace: &Trace) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{:>12}  {:<38}  {:<38}", "time", "HOST", "NXP");
+    let _ = writeln!(s, "{:>12}  {:-<38}  {:-<38}", "", "", "");
+    for r in rows(trace) {
+        let _ = writeln!(s, "{:>12}  {:<38}  {:<38}", r.at, r.host, r.nxp);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_sim::Picos;
+
+    #[test]
+    fn renders_columns_by_side() {
+        let mut t = Trace::default();
+        t.record(
+            Picos::from_nanos(10),
+            Event::NxFault {
+                side: Side::Host,
+                fault_va: 0x1000,
+            },
+        );
+        t.record(
+            Picos::from_nanos(20),
+            Event::DescriptorReceived {
+                to: Side::Nxp,
+                kind: "h2n-call",
+            },
+        );
+        let rs = rows(&t);
+        assert_eq!(rs.len(), 2);
+        assert!(!rs[0].host.is_empty() && rs[0].nxp.is_empty());
+        assert!(rs[1].host.is_empty() && !rs[1].nxp.is_empty());
+        let text = format(&t);
+        assert!(text.contains("exec fault"));
+        assert!(text.contains("recv h2n-call"));
+    }
+
+    #[test]
+    fn full_round_trip_renders_fig2_sequence() {
+        use crate::Machine;
+        use flick_isa::{FuncBuilder, TargetIsa};
+        use flick_toolchain::ProgramBuilder;
+
+        let mut m = Machine::paper_default();
+        let mut p = ProgramBuilder::new("t");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.call("nxp_f");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_f", TargetIsa::Nxp);
+        f.ret();
+        p.func(f.finish());
+        let pid = m.load_program(&mut p).unwrap();
+        m.run(pid).unwrap();
+        let text = format(m.trace());
+        // The Fig. 2 (a)→(g) order as text.
+        let fault = text.find("exec fault").unwrap();
+        let send = text.find("send h2n-call").unwrap();
+        let recv = text.find("recv h2n-call").unwrap();
+        let back = text.find("send n2h-ret").unwrap();
+        let wake = text.find("wake thread").unwrap();
+        assert!(fault < send && send < recv && recv < back && back < wake);
+    }
+}

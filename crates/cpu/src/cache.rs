@@ -1,0 +1,158 @@
+//! Small direct-mapped caches (I-cache and D-cache).
+//!
+//! The paper's NxP keeps its `.text` in *host* memory and "\[relies\] on
+//! the I-cache of the NxP core to minimize access latency" (§III-D);
+//! its D-cache can only cover NxP-local regions because PCIe offers no
+//! coherence. A direct-mapped tag array captures both effects.
+
+/// Cache geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+}
+
+impl CacheConfig {
+    /// A 32 KiB, 64-byte-line cache (host L1-ish).
+    pub fn host_l1() -> Self {
+        CacheConfig {
+            size: 32 << 10,
+            line: 64,
+        }
+    }
+
+    /// A 16 KiB, 64-byte-line cache (NxP BRAM cache).
+    pub fn nxp() -> Self {
+        CacheConfig {
+            size: 16 << 10,
+            line: 64,
+        }
+    }
+}
+
+/// A direct-mapped tag-only cache model.
+///
+/// Tracks hits/misses; data always lives in [`flick_mem::PhysMem`], so
+/// the cache influences *timing* only — which is all the experiments
+/// need.
+///
+/// # Examples
+///
+/// ```
+/// use flick_cpu::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig { size: 128, line: 64 });
+/// assert!(!c.access(0));   // cold miss
+/// assert!(c.access(63));   // same line
+/// assert!(!c.access(64));  // next line
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    tags: Vec<Option<u64>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size` is a multiple of `line` and both are powers
+    /// of two.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line.is_power_of_two() && cfg.size.is_power_of_two());
+        assert!(cfg.size >= cfg.line);
+        let sets = (cfg.size / cfg.line) as usize;
+        Cache {
+            cfg,
+            tags: vec![None; sets],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `addr`, filling the line on miss. Returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.cfg.line;
+        let set = (line as usize) % self.tags.len();
+        if self.tags[set] == Some(line) {
+            self.hits += 1;
+            true
+        } else {
+            self.tags[set] = Some(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Probe without filling (for assertions).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr / self.cfg.line;
+        let set = (line as usize) % self.tags.len();
+        self.tags[set] == Some(line)
+    }
+
+    /// Invalidates everything.
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Line size in bytes.
+    pub fn line(&self) -> u64 {
+        self.cfg.line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conflict_eviction() {
+        let mut c = Cache::new(CacheConfig { size: 128, line: 64 }); // 2 sets
+        assert!(!c.access(0));
+        assert!(!c.access(128)); // maps to set 0, evicts line 0
+        assert!(!c.access(0)); // miss again
+        assert_eq!(c.misses(), 3);
+        assert_eq!(c.hits(), 0);
+    }
+
+    #[test]
+    fn spatial_locality_hits() {
+        let mut c = Cache::new(CacheConfig::nxp());
+        assert!(!c.access(0x1000));
+        for off in 1..64 {
+            assert!(c.access(0x1000 + off));
+        }
+        assert_eq!(c.hits(), 63);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(CacheConfig::host_l1());
+        c.access(0x40);
+        assert!(c.probe(0x40));
+        c.flush();
+        assert!(!c.probe(0x40));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_rejected() {
+        Cache::new(CacheConfig { size: 100, line: 64 });
+    }
+}

@@ -1,0 +1,1183 @@
+//! The interpreting core: fetch → translate → decode → execute, with
+//! cycle/latency accounting and the Flick exception surface.
+
+use crate::cache::{Cache, CacheConfig};
+use crate::tlb::{MmuHole, Tlb, TlbEntry};
+use crate::MemEnv;
+use flick_isa::inst::AluOp;
+use flick_isa::{abi, DecodeError, Inst, Isa, MemSize, Reg, Target};
+use flick_mem::{AccessKind, PhysAddr, PhysMem, Region, Requester, VirtAddr, PAGE_SIZE};
+use flick_paging::{walk, WalkError};
+use flick_sim::trace::Side;
+use flick_sim::{Clock, Hertz, Picos, Stats};
+use std::fmt;
+
+/// Cycles charged per instruction class (before memory stalls).
+#[derive(Clone, Copy, Debug)]
+pub struct CpiModel {
+    /// Simple ALU / immediate ops.
+    pub alu: u64,
+    /// Multiply.
+    pub mul: u64,
+    /// Divide / remainder.
+    pub div: u64,
+    /// Load/store issue overhead (memory latency added separately).
+    pub mem: u64,
+    /// Conditional branch.
+    pub branch: u64,
+    /// Jumps, calls, returns.
+    pub jump: u64,
+    /// Trap entry for `ecall`.
+    pub ecall: u64,
+}
+
+impl CpiModel {
+    /// Wide out-of-order host core: everything is cheap.
+    pub fn host() -> Self {
+        CpiModel {
+            alu: 1,
+            mul: 3,
+            div: 20,
+            mem: 1,
+            branch: 1,
+            jump: 2,
+            ecall: 50,
+        }
+    }
+
+    /// In-order scalar NxP core (RV64-I soft core).
+    pub fn nxp() -> Self {
+        CpiModel {
+            alu: 1,
+            mul: 5,
+            div: 35,
+            mem: 3,
+            branch: 2,
+            jump: 2,
+            ecall: 10,
+        }
+    }
+}
+
+/// Static configuration of one core.
+#[derive(Clone, Debug)]
+pub struct CoreConfig {
+    /// Host or NxP side (selects requester, NX convention, walker cost).
+    pub side: Side,
+    /// Instruction encoding the core decodes.
+    pub isa: Isa,
+    /// Clock frequency.
+    pub freq: Hertz,
+    /// Per-class cycle costs.
+    pub cpi: CpiModel,
+    /// I-TLB entries.
+    pub itlb_entries: usize,
+    /// D-TLB entries.
+    pub dtlb_entries: usize,
+    /// I-cache geometry.
+    pub icache: CacheConfig,
+    /// D-cache geometry.
+    pub dcache: CacheConfig,
+    /// Extra per-walk firmware overhead (the NxP's MMU is a tiny
+    /// microcontroller, §IV-A; zero for the host's hardware walker).
+    pub walk_overhead: Picos,
+    /// Allow the D-cache to cover NxP DRAM (off by default: PCIe offers
+    /// no coherence, §III-D; an ablation bench flips this).
+    pub dcache_nxp_dram: bool,
+}
+
+impl CoreConfig {
+    /// The Xeon-like host core of Table I (2.4 GHz, big TLBs).
+    pub fn host() -> Self {
+        CoreConfig {
+            side: Side::Host,
+            isa: Isa::X64,
+            freq: Hertz::ghz_milli(2_400),
+            cpi: CpiModel::host(),
+            itlb_entries: 128,
+            dtlb_entries: 128,
+            icache: CacheConfig::host_l1(),
+            dcache: CacheConfig::host_l1(),
+            walk_overhead: Picos::ZERO,
+            dcache_nxp_dram: false,
+        }
+    }
+
+    /// The RV64-like NxP core of Table I (200 MHz, 16-entry TLBs,
+    /// programmable MMU).
+    pub fn nxp() -> Self {
+        CoreConfig {
+            side: Side::Nxp,
+            isa: Isa::Rv64,
+            freq: Hertz::mhz(200),
+            cpi: CpiModel::nxp(),
+            itlb_entries: 16,
+            dtlb_entries: 16,
+            icache: CacheConfig::nxp(),
+            dcache: CacheConfig::nxp(),
+            // MicroBlaze firmware: decode request, compute slot address,
+            // issue reads — per missed translation.
+            walk_overhead: Picos::from_nanos(150),
+            dcache_nxp_dram: false,
+        }
+    }
+}
+
+/// Why an instruction fetch faulted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstFaultKind {
+    /// No translation exists.
+    NotPresent,
+    /// Host core fetched from a page with NX **set** — a host thread
+    /// called an NxP function. The Flick migration trigger (§III-B).
+    NxViolation,
+    /// NxP core fetched from a page with NX **clear** — an NxP thread
+    /// called a host function. The inverted convention (§IV-B2).
+    IsaMismatch,
+    /// NxP fetch at a non-8-byte-aligned PC (x86 code is variable
+    /// length, so host function entries are usually misaligned).
+    Misaligned,
+    /// Bytes did not decode in this core's ISA.
+    Illegal,
+}
+
+impl fmt::Display for InstFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InstFaultKind::NotPresent => "not-present",
+            InstFaultKind::NxViolation => "nx-violation",
+            InstFaultKind::IsaMismatch => "isa-mismatch",
+            InstFaultKind::Misaligned => "misaligned",
+            InstFaultKind::Illegal => "illegal",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A synchronous exception. The PC is left at the faulting instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exception {
+    /// Instruction fetch fault (Flick's migration triggers live here).
+    InstFault {
+        /// Faulting virtual PC — for NX faults this is the *address of
+        /// the target function*, which the kernel passes to the
+        /// migration handler.
+        va: VirtAddr,
+        /// Fault classification.
+        kind: InstFaultKind,
+    },
+    /// Data access fault.
+    DataFault {
+        /// Faulting data address.
+        va: VirtAddr,
+        /// True for stores.
+        write: bool,
+    },
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exception::InstFault { va, kind } => write!(f, "inst fault at {va} ({kind})"),
+            Exception::DataFault { va, write } => {
+                write!(f, "data fault at {va} (write={write})")
+            }
+        }
+    }
+}
+
+/// Why [`Core::run`] stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// An `ecall` trapped to the kernel / NxP runtime; the PC has
+    /// already advanced past it.
+    Ecall(u16),
+    /// A `halt` retired.
+    Halt,
+    /// A synchronous exception; PC still points at the faulting
+    /// instruction.
+    Fault(Exception),
+    /// The fuel budget ran out before anything interesting happened.
+    OutOfFuel,
+}
+
+/// A thread's CPU state, as saved/restored on context switches and
+/// carried (in part) inside migration descriptors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CpuContext {
+    /// General-purpose registers.
+    pub regs: [u64; 32],
+    /// Program counter.
+    pub pc: VirtAddr,
+}
+
+impl Default for CpuContext {
+    fn default() -> Self {
+        CpuContext {
+            regs: [0; 32],
+            pc: VirtAddr::NULL,
+        }
+    }
+}
+
+/// One interpreting core.
+pub struct Core {
+    cfg: CoreConfig,
+    clock: Clock,
+    regs: [u64; 32],
+    pc: VirtAddr,
+    cr3: PhysAddr,
+    itlb: Tlb,
+    dtlb: Tlb,
+    icache: Cache,
+    dcache: Cache,
+    holes: Vec<MmuHole>,
+    stats: Stats,
+}
+
+impl fmt::Debug for Core {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Core")
+            .field("side", &self.cfg.side)
+            .field("pc", &self.pc)
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+impl Core {
+    /// Builds a core from its configuration.
+    pub fn new(cfg: CoreConfig) -> Self {
+        Core {
+            clock: Clock::new(cfg.freq),
+            regs: [0; 32],
+            pc: VirtAddr::NULL,
+            cr3: PhysAddr::NULL,
+            itlb: Tlb::new(cfg.itlb_entries),
+            dtlb: Tlb::new(cfg.dtlb_entries),
+            icache: Cache::new(cfg.icache),
+            dcache: Cache::new(cfg.dcache),
+            holes: Vec::new(),
+            stats: Stats::default(),
+            cfg,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Local clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Mutable clock (the OS charges kernel time here).
+    pub fn clock_mut(&mut self) -> &mut Clock {
+        &mut self.clock
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Reads a register (`zero` always reads 0).
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register (writes to `zero` are discarded).
+    pub fn set_reg(&mut self, r: Reg, v: u64) {
+        if r.index() != 0 {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Current PC.
+    pub fn pc(&self) -> VirtAddr {
+        self.pc
+    }
+
+    /// Redirects the PC (kernel return-address hijack, context switch).
+    pub fn set_pc(&mut self, pc: VirtAddr) {
+        self.pc = pc;
+    }
+
+    /// Current page-table base.
+    pub fn cr3(&self) -> PhysAddr {
+        self.cr3
+    }
+
+    /// Loads a new page-table base, flushing both TLBs (as a CR3 write
+    /// does).
+    pub fn set_cr3(&mut self, cr3: PhysAddr) {
+        self.cr3 = cr3;
+        self.itlb.flush();
+        self.dtlb.flush();
+    }
+
+    /// Flushes both TLBs without changing CR3 (mprotect shootdown).
+    pub fn flush_tlbs(&mut self) {
+        self.itlb.flush();
+        self.dtlb.flush();
+    }
+
+    /// Adds an MMU bypass hole (NxP scratchpad/debug windows, §IV-A).
+    pub fn add_hole(&mut self, hole: MmuHole) {
+        self.holes.push(hole);
+    }
+
+    /// Captures the thread-visible CPU state.
+    pub fn save_context(&self) -> CpuContext {
+        CpuContext {
+            regs: self.regs,
+            pc: self.pc,
+        }
+    }
+
+    /// Restores thread state (context switch in).
+    pub fn restore_context(&mut self, ctx: &CpuContext) {
+        self.regs = ctx.regs;
+        self.pc = ctx.pc;
+    }
+
+    /// I-TLB miss count (for experiment decomposition).
+    pub fn itlb_misses(&self) -> u64 {
+        self.itlb.misses()
+    }
+
+    /// D-TLB miss count.
+    pub fn dtlb_misses(&self) -> u64 {
+        self.dtlb.misses()
+    }
+
+    fn requester(&self) -> Requester {
+        match self.cfg.side {
+            Side::Host => Requester::HostCpu,
+            Side::Nxp => Requester::NxpCore,
+        }
+    }
+
+    fn walk_requester(&self) -> Requester {
+        match self.cfg.side {
+            Side::Host => Requester::HostCpu,
+            Side::Nxp => Requester::NxpMmu,
+        }
+    }
+
+    /// Translates for data access; fills the D-TLB.
+    fn translate_data(
+        &mut self,
+        va: VirtAddr,
+        write: bool,
+        mem: &PhysMem,
+        env: &MemEnv,
+    ) -> Result<PhysAddr, Exception> {
+        if let Some(h) = self.holes.iter().find(|h| h.contains(va)) {
+            return Ok(h.translate(va));
+        }
+        let entry = match self.dtlb.lookup(va) {
+            Some(e) => e,
+            None => {
+                let e = self.walk_fill(va, mem, env, false)?;
+                self.stats.bump("dtlb_misses");
+                e
+            }
+        };
+        if write && !entry.writable {
+            return Err(Exception::DataFault { va, write: true });
+        }
+        Ok(entry.translate(va))
+    }
+
+    /// Walks the page tables, charging latency per level, and fills the
+    /// right TLB.
+    fn walk_fill(
+        &mut self,
+        va: VirtAddr,
+        mem: &PhysMem,
+        env: &MemEnv,
+        exec: bool,
+    ) -> Result<TlbEntry, Exception> {
+        let who = self.walk_requester();
+        let mut stall = self.cfg.walk_overhead;
+        let result = walk(
+            |pte_addr| {
+                let region = env.map.classify(pte_addr);
+                stall += env.latency.access(who, region, AccessKind::Read);
+                mem.read_u64(pte_addr)
+            },
+            self.cr3,
+            va,
+        );
+        self.clock.advance(stall);
+        self.stats.bump("walks");
+        match result {
+            Ok(t) => {
+                let entry = TlbEntry::from_translation(&t);
+                if exec {
+                    self.itlb.insert(entry);
+                } else {
+                    self.dtlb.insert(entry);
+                }
+                Ok(entry)
+            }
+            Err(WalkError::NotPresent { .. }) => {
+                if exec {
+                    Err(Exception::InstFault {
+                        va,
+                        kind: InstFaultKind::NotPresent,
+                    })
+                } else {
+                    Err(Exception::DataFault { va, write: false })
+                }
+            }
+        }
+    }
+
+    /// Fetch-side translation: TLB, walk, and the per-side NX
+    /// convention — the heart of the migration trigger.
+    fn translate_exec(
+        &mut self,
+        va: VirtAddr,
+        mem: &PhysMem,
+        env: &MemEnv,
+    ) -> Result<PhysAddr, Exception> {
+        if let Some(h) = self.holes.iter().find(|h| h.contains(va)) {
+            if !h.executable {
+                return Err(Exception::InstFault {
+                    va,
+                    kind: InstFaultKind::NotPresent,
+                });
+            }
+            return Ok(h.translate(va));
+        }
+        let entry = match self.itlb.lookup(va) {
+            Some(e) => e,
+            None => {
+                let e = self.walk_fill(va, mem, env, true)?;
+                self.stats.bump("itlb_misses");
+                e
+            }
+        };
+        match self.cfg.side {
+            Side::Host if entry.nx => {
+                return Err(Exception::InstFault {
+                    va,
+                    kind: InstFaultKind::NxViolation,
+                })
+            }
+            Side::Nxp if !entry.nx => {
+                return Err(Exception::InstFault {
+                    va,
+                    kind: InstFaultKind::IsaMismatch,
+                })
+            }
+            _ => {}
+        }
+        if !va.as_u64().is_multiple_of(self.cfg.isa.fetch_align()) {
+            return Err(Exception::InstFault {
+                va,
+                kind: InstFaultKind::Misaligned,
+            });
+        }
+        Ok(entry.translate(va))
+    }
+
+    /// Charges I-cache / memory time for a fetch at `pa`.
+    fn charge_fetch(&mut self, pa: PhysAddr, env: &MemEnv) {
+        if !self.icache.access(pa.as_u64()) {
+            self.stats.bump("icache_misses");
+            let region = env.map.classify(pa);
+            self.clock
+                .advance(env.latency.access(self.requester(), region, AccessKind::Fetch));
+        }
+    }
+
+    /// Reads instruction bytes at the current PC, handling page-spanning
+    /// instructions.
+    fn fetch_decode(
+        &mut self,
+        mem: &PhysMem,
+        env: &MemEnv,
+    ) -> Result<(Inst, u64), Exception> {
+        let pc = self.pc;
+        let pa = self.translate_exec(pc, mem, env)?;
+        self.charge_fetch(pa, env);
+        let in_page = (PAGE_SIZE - pc.page_offset()) as usize;
+        let avail = in_page.min(16);
+        let mut buf = [0u8; 16];
+        mem.read_bytes(pa, &mut buf[..avail]);
+        match self.cfg.isa.decode(&buf[..avail]) {
+            Ok((inst, len)) => Ok((inst, len as u64)),
+            Err(DecodeError::Truncated) if avail < 16 => {
+                // Instruction spans a page boundary: fetch from the next
+                // page (with full permission checks there).
+                let next_va = VirtAddr(pc.page_base().as_u64() + PAGE_SIZE);
+                let next_pa = self.translate_exec(next_va, mem, env)?;
+                self.charge_fetch(next_pa, env);
+                mem.read_bytes(next_pa, &mut buf[avail..]);
+                match self.cfg.isa.decode(&buf) {
+                    Ok((inst, len)) => Ok((inst, len as u64)),
+                    Err(_) => Err(Exception::InstFault {
+                        va: pc,
+                        kind: InstFaultKind::Illegal,
+                    }),
+                }
+            }
+            Err(_) => Err(Exception::InstFault {
+                va: pc,
+                kind: InstFaultKind::Illegal,
+            }),
+        }
+    }
+
+    fn dcacheable(&self, region: Region) -> bool {
+        match (self.cfg.side, region) {
+            (Side::Host, Region::HostDram) => true,
+            (Side::Nxp, Region::NxpDram) => self.cfg.dcache_nxp_dram,
+            _ => false,
+        }
+    }
+
+    fn charge_data(&mut self, pa: PhysAddr, write: bool, env: &MemEnv) {
+        let region = env.map.classify(pa);
+        let kind = if write {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        if self.dcacheable(region) {
+            if write {
+                // Write-through: always pay the memory write.
+                self.clock
+                    .advance(env.latency.access(self.requester(), region, kind));
+                self.dcache.access(pa.as_u64());
+            } else if !self.dcache.access(pa.as_u64()) {
+                self.stats.bump("dcache_misses");
+                self.clock
+                    .advance(env.latency.access(self.requester(), region, kind));
+            }
+        } else {
+            self.clock
+                .advance(env.latency.access(self.requester(), region, kind));
+        }
+    }
+
+    /// Loads `size` bytes at `va` (zero-extended), splitting at page
+    /// boundaries.
+    pub fn mem_read(
+        &mut self,
+        va: VirtAddr,
+        size: MemSize,
+        mem: &PhysMem,
+        env: &MemEnv,
+    ) -> Result<u64, Exception> {
+        self.stats.bump("loads");
+        let n = size.bytes();
+        let mut bytes = [0u8; 8];
+        let first = (PAGE_SIZE - va.page_offset()).min(n);
+        let pa = self.translate_data(va, false, mem, env)?;
+        self.charge_data(pa, false, env);
+        mem.read_bytes(pa, &mut bytes[..first as usize]);
+        if first < n {
+            let va2 = VirtAddr(va.page_base().as_u64() + PAGE_SIZE);
+            let pa2 = self.translate_data(va2, false, mem, env)?;
+            self.charge_data(pa2, false, env);
+            mem.read_bytes(pa2, &mut bytes[first as usize..n as usize]);
+        }
+        Ok(u64::from_le_bytes(bytes) & mask(n))
+    }
+
+    /// Stores the low `size` bytes of `val` at `va`.
+    pub fn mem_write(
+        &mut self,
+        va: VirtAddr,
+        size: MemSize,
+        val: u64,
+        mem: &mut PhysMem,
+        env: &MemEnv,
+    ) -> Result<(), Exception> {
+        self.stats.bump("stores");
+        let n = size.bytes();
+        let bytes = val.to_le_bytes();
+        let first = (PAGE_SIZE - va.page_offset()).min(n);
+        let pa = self.translate_data(va, true, mem, env)?;
+        self.charge_data(pa, true, env);
+        mem.write_bytes(pa, &bytes[..first as usize]);
+        if first < n {
+            let va2 = VirtAddr(va.page_base().as_u64() + PAGE_SIZE);
+            let pa2 = self.translate_data(va2, true, mem, env)?;
+            self.charge_data(pa2, true, env);
+            mem.write_bytes(pa2, &bytes[first as usize..n as usize]);
+        }
+        Ok(())
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// `Err(stop)` when the core cannot simply continue: an `ecall`, a
+    /// `halt`, or a fault (PC is then still at the faulting
+    /// instruction).
+    pub fn step(&mut self, mem: &mut PhysMem, env: &MemEnv) -> Result<(), StopReason> {
+        let (inst, len) = match self.fetch_decode(mem, env) {
+            Ok(x) => x,
+            Err(e) => return Err(StopReason::Fault(e)),
+        };
+        let pc = self.pc;
+        let next = VirtAddr(pc.as_u64() + len);
+        self.stats.bump("instructions");
+        let cpi = self.cfg.cpi;
+        match inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                let cycles = match op {
+                    AluOp::Mul => cpi.mul,
+                    AluOp::Divu | AluOp::Remu => cpi.div,
+                    _ => cpi.alu,
+                };
+                self.clock.tick(cycles);
+                let v = op.eval(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+                self.pc = next;
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                let cycles = match op {
+                    AluOp::Mul => cpi.mul,
+                    AluOp::Divu | AluOp::Remu => cpi.div,
+                    _ => cpi.alu,
+                };
+                self.clock.tick(cycles);
+                let v = op.eval(self.reg(rs1), imm as i64 as u64);
+                self.set_reg(rd, v);
+                self.pc = next;
+            }
+            Inst::Li { rd, imm } => {
+                self.clock.tick(cpi.alu);
+                self.set_reg(rd, imm as u64);
+                self.pc = next;
+            }
+            Inst::LiSym { .. } => {
+                // LiSym only exists pre-link; linked images contain Li.
+                return Err(StopReason::Fault(Exception::InstFault {
+                    va: pc,
+                    kind: InstFaultKind::Illegal,
+                }));
+            }
+            Inst::Ld { rd, base, off, size } => {
+                self.clock.tick(cpi.mem);
+                let va = VirtAddr(self.reg(base).wrapping_add(off as i64 as u64));
+                match self.mem_read(va, size, mem, env) {
+                    Ok(v) => {
+                        self.set_reg(rd, v);
+                        self.pc = next;
+                    }
+                    Err(e) => return Err(StopReason::Fault(e)),
+                }
+            }
+            Inst::St { rs, base, off, size } => {
+                self.clock.tick(cpi.mem);
+                let va = VirtAddr(self.reg(base).wrapping_add(off as i64 as u64));
+                let v = self.reg(rs);
+                match self.mem_write(va, size, v, mem, env) {
+                    Ok(()) => self.pc = next,
+                    Err(e) => return Err(StopReason::Fault(e)),
+                }
+            }
+            Inst::Branch { op, rs1, rs2, target } => {
+                self.clock.tick(cpi.branch);
+                let taken = op.eval(self.reg(rs1), self.reg(rs2));
+                self.pc = if taken {
+                    let d = rel_of(target);
+                    VirtAddr((pc.as_u64() as i64 + d) as u64)
+                } else {
+                    next
+                };
+            }
+            Inst::Jal { rd, target } => {
+                self.clock.tick(cpi.jump);
+                self.set_reg(rd, next.as_u64());
+                let d = rel_of(target);
+                self.pc = VirtAddr((pc.as_u64() as i64 + d) as u64);
+            }
+            Inst::Jalr { rd, rs1, off } => {
+                self.clock.tick(cpi.jump);
+                let dest = self.reg(rs1).wrapping_add(off as i64 as u64);
+                self.set_reg(rd, next.as_u64());
+                self.pc = VirtAddr(dest);
+            }
+            Inst::Ret => {
+                self.clock.tick(cpi.jump);
+                self.pc = VirtAddr(self.reg(abi::RA));
+            }
+            Inst::Ecall { service } => {
+                self.clock.tick(cpi.ecall);
+                self.pc = next;
+                return Err(StopReason::Ecall(service));
+            }
+            Inst::Halt => {
+                self.clock.tick(cpi.alu);
+                self.pc = next;
+                return Err(StopReason::Halt);
+            }
+            Inst::Nop => {
+                self.clock.tick(cpi.alu);
+                self.pc = next;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until a stop event or `fuel` instructions.
+    pub fn run(&mut self, mem: &mut PhysMem, env: &MemEnv, fuel: u64) -> StopReason {
+        for _ in 0..fuel {
+            if let Err(stop) = self.step(mem, env) {
+                return stop;
+            }
+        }
+        StopReason::OutOfFuel
+    }
+}
+
+fn rel_of(t: Target) -> i64 {
+    match t {
+        Target::Rel(d) => d,
+        // Labels/symbols never reach execution: encoders resolve labels
+        // and the linker resolves symbols.
+        Target::Label(_) | Target::Symbol(_) => {
+            unreachable!("unresolved target reached execution")
+        }
+    }
+}
+
+fn mask(n: u64) -> u64 {
+    if n >= 8 {
+        u64::MAX
+    } else {
+        (1u64 << (n * 8)) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_isa::{FuncBuilder, TargetIsa};
+    use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
+
+    /// Builds a machine-less test fixture: physical memory, page tables
+    /// identity-mapping the low 16 MiB, and a core of the given side.
+    struct Fixture {
+        mem: PhysMem,
+        env: MemEnv,
+        core: Core,
+        aspace: AddressSpace,
+    }
+
+    fn fixture(cfg: CoreConfig) -> Fixture {
+        let mut mem = PhysMem::new();
+        let mut alloc = BumpFrameAlloc::new(PhysAddr(0x100_0000), PhysAddr(0x200_0000));
+        let mut aspace = AddressSpace::new(&mut mem, &mut alloc);
+        // Identity-map low 16 MiB with 4 KiB pages (so per-page
+        // mprotect works), writable, executable (NX clear).
+        aspace
+            .map_range(
+                &mut mem,
+                &mut alloc,
+                VirtAddr(0),
+                PhysAddr(0),
+                16 << 20,
+                flags::PRESENT | flags::WRITABLE | flags::USER,
+            )
+            .unwrap();
+        let mut core = Core::new(cfg);
+        core.set_cr3(aspace.cr3());
+        Fixture {
+            mem,
+            env: MemEnv::paper_default(),
+            core,
+            aspace,
+        }
+    }
+
+    fn load_host_prog(fx: &mut Fixture, build: impl FnOnce(&mut FuncBuilder)) {
+        let mut f = FuncBuilder::new("main", TargetIsa::Host);
+        build(&mut f);
+        let enc = Isa::X64.encode(&f.finish()).unwrap();
+        fx.mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+        fx.core.set_pc(VirtAddr(0x40_0000));
+    }
+
+    #[test]
+    fn arithmetic_program_runs() {
+        let mut fx = fixture(CoreConfig::host());
+        load_host_prog(&mut fx, |f| {
+            f.li(abi::A0, 6);
+            f.li(abi::A1, 7);
+            f.mul(abi::A0, abi::A0, abi::A1);
+            f.halt();
+        });
+        let stop = fx.core.run(&mut fx.mem, &fx.env, 100);
+        assert_eq!(stop, StopReason::Halt);
+        assert_eq!(fx.core.reg(abi::A0), 42);
+        assert_eq!(fx.core.stats().get("instructions"), 4);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut fx = fixture(CoreConfig::host());
+        load_host_prog(&mut fx, |f| {
+            f.li(abi::A1, 0x50_0000);
+            f.li(abi::A0, 0xDEAD_BEEF);
+            f.st(abi::A0, abi::A1, 8, MemSize::B8);
+            f.ld(abi::A2, abi::A1, 8, MemSize::B4);
+            f.halt();
+        });
+        assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 100), StopReason::Halt);
+        assert_eq!(fx.core.reg(abi::A2), 0xDEAD_BEEF);
+        assert_eq!(fx.mem.read_u64(PhysAddr(0x50_0008)), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn call_and_return() {
+        // main calls f, f returns 5.
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.call("f");
+        main.halt();
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        f.li(abi::A0, 5);
+        f.ret();
+        let obj = flick_toolchain_compile(vec![main.finish(), f.finish()]);
+        let mut fx = fixture(CoreConfig::host());
+        fx.mem.write_bytes(PhysAddr(0x40_0000), &obj);
+        fx.core.set_pc(VirtAddr(0x40_0000));
+        fx.core.set_reg(abi::SP, 0xF0_0000);
+        assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 100), StopReason::Halt);
+        assert_eq!(fx.core.reg(abi::A0), 5);
+    }
+
+    /// Minimal "link": encode funcs back to back at 0x40_0000 with
+    /// rel32 call patching (avoids a dev-dependency cycle on the real
+    /// toolchain crate).
+    fn flick_toolchain_compile(funcs: Vec<flick_isa::Func>) -> Vec<u8> {
+        let mut offsets = std::collections::HashMap::new();
+        let mut bytes = Vec::new();
+        let mut encs = Vec::new();
+        for f in &funcs {
+            let enc = Isa::X64.encode(f).unwrap();
+            offsets.insert(f.name.clone(), bytes.len() as u32);
+            bytes.extend_from_slice(&enc.bytes);
+            encs.push(enc);
+        }
+        let mut cursor = 0usize;
+        for (f, enc) in funcs.iter().zip(&encs) {
+            for r in &enc.relocs {
+                let target = offsets[f.symbol_name(
+                    // find index by name
+                    f.symbols.iter().position(|s| *s == r.symbol).unwrap() as u32,
+                )];
+                let disp = target as i64 - (cursor as i64 + r.inst_start as i64);
+                let at = cursor + r.field_at as usize;
+                bytes[at..at + 4].copy_from_slice(&(disp as i32).to_le_bytes());
+            }
+            cursor += enc.bytes.len();
+        }
+        bytes
+    }
+
+    #[test]
+    fn ecall_stops_and_resumes() {
+        let mut fx = fixture(CoreConfig::host());
+        load_host_prog(&mut fx, |f| {
+            f.li(abi::A0, 1);
+            f.ecall(9);
+            f.addi(abi::A0, abi::A0, 1);
+            f.halt();
+        });
+        assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 100), StopReason::Ecall(9));
+        // Kernel "handles" the call, e.g. doubling a0.
+        let v = fx.core.reg(abi::A0);
+        fx.core.set_reg(abi::A0, v * 10);
+        assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 100), StopReason::Halt);
+        assert_eq!(fx.core.reg(abi::A0), 11);
+    }
+
+    #[test]
+    fn host_nx_fetch_faults_with_target_address() {
+        let mut fx = fixture(CoreConfig::host());
+        // Map an NX page at 0x80_0000 (the "NxP function" page).
+        fx.aspace
+            .protect(&mut fx.mem, VirtAddr(0x80_0000), 0x1000, flags::NX, 0)
+            .unwrap();
+        fx.core.flush_tlbs();
+        load_host_prog(&mut fx, |f| {
+            f.li(abi::T0, 0x80_0000);
+            f.call_reg(abi::T0);
+            f.halt();
+        });
+        fx.core.set_reg(abi::SP, 0xF0_0000);
+        let stop = fx.core.run(&mut fx.mem, &fx.env, 100);
+        assert_eq!(
+            stop,
+            StopReason::Fault(Exception::InstFault {
+                va: VirtAddr(0x80_0000),
+                kind: InstFaultKind::NxViolation,
+            })
+        );
+        // The return address was linked before the fault: the hijack
+        // point the kernel relies on.
+        assert_ne!(fx.core.reg(abi::RA), 0);
+    }
+
+    #[test]
+    fn nxp_fetch_from_host_page_faults_isa_mismatch() {
+        let mut fx = fixture(CoreConfig::nxp());
+        // All pages have NX clear → any fetch is an ISA mismatch for
+        // the NxP (inverted convention).
+        fx.core.set_pc(VirtAddr(0x40_0000));
+        let stop = fx.core.run(&mut fx.mem, &fx.env, 10);
+        assert_eq!(
+            stop,
+            StopReason::Fault(Exception::InstFault {
+                va: VirtAddr(0x40_0000),
+                kind: InstFaultKind::IsaMismatch,
+            })
+        );
+    }
+
+    #[test]
+    fn nxp_runs_code_from_nx_page() {
+        let mut fx = fixture(CoreConfig::nxp());
+        fx.aspace
+            .protect(&mut fx.mem, VirtAddr(0x40_0000), 0x1000, flags::NX, 0)
+            .unwrap();
+        fx.core.flush_tlbs();
+        let mut f = FuncBuilder::new("w", TargetIsa::Nxp);
+        f.li(abi::A0, 3);
+        f.addi(abi::A0, abi::A0, 4);
+        f.halt();
+        let enc = Isa::Rv64.encode(&f.finish()).unwrap();
+        fx.mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+        fx.core.set_pc(VirtAddr(0x40_0000));
+        assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 100), StopReason::Halt);
+        assert_eq!(fx.core.reg(abi::A0), 7);
+    }
+
+    #[test]
+    fn nxp_misaligned_fetch_faults() {
+        let mut fx = fixture(CoreConfig::nxp());
+        fx.aspace
+            .protect(&mut fx.mem, VirtAddr(0x40_0000), 0x1000, flags::NX, 0)
+            .unwrap();
+        fx.core.set_pc(VirtAddr(0x40_0004)); // NX page, but odd entry
+        let stop = fx.core.run(&mut fx.mem, &fx.env, 10);
+        assert_eq!(
+            stop,
+            StopReason::Fault(Exception::InstFault {
+                va: VirtAddr(0x40_0004),
+                kind: InstFaultKind::Misaligned,
+            })
+        );
+    }
+
+    #[test]
+    fn nxp_illegal_decode_faults() {
+        let mut fx = fixture(CoreConfig::nxp());
+        fx.aspace
+            .protect(&mut fx.mem, VirtAddr(0x40_0000), 0x1000, flags::NX, 0)
+            .unwrap();
+        // Write x64-looking bytes (opcode 0xBA) at an aligned address.
+        fx.mem.write_bytes(PhysAddr(0x40_0000), &[0xBA; 16]);
+        fx.core.set_pc(VirtAddr(0x40_0000));
+        let stop = fx.core.run(&mut fx.mem, &fx.env, 10);
+        assert_eq!(
+            stop,
+            StopReason::Fault(Exception::InstFault {
+                va: VirtAddr(0x40_0000),
+                kind: InstFaultKind::Illegal,
+            })
+        );
+    }
+
+    #[test]
+    fn unmapped_data_access_faults() {
+        let mut fx = fixture(CoreConfig::host());
+        load_host_prog(&mut fx, |f| {
+            f.li(abi::A1, 0x7000_0000_0000u64 as i64);
+            f.ld(abi::A0, abi::A1, 0, MemSize::B8);
+            f.halt();
+        });
+        let stop = fx.core.run(&mut fx.mem, &fx.env, 10);
+        assert_eq!(
+            stop,
+            StopReason::Fault(Exception::DataFault {
+                va: VirtAddr(0x7000_0000_0000),
+                write: false,
+            })
+        );
+    }
+
+    #[test]
+    fn write_to_readonly_page_faults() {
+        let mut fx = fixture(CoreConfig::host());
+        fx.aspace
+            .protect(&mut fx.mem, VirtAddr(0x60_0000), 0x1000, 0, flags::WRITABLE)
+            .unwrap();
+        fx.core.flush_tlbs();
+        load_host_prog(&mut fx, |f| {
+            f.li(abi::A1, 0x60_0000);
+            f.st(abi::A0, abi::A1, 0, MemSize::B8);
+            f.halt();
+        });
+        let stop = fx.core.run(&mut fx.mem, &fx.env, 10);
+        assert_eq!(
+            stop,
+            StopReason::Fault(Exception::DataFault {
+                va: VirtAddr(0x60_0000),
+                write: true,
+            })
+        );
+    }
+
+    #[test]
+    fn nxp_time_advances_slower_core() {
+        let mut host_fx = fixture(CoreConfig::host());
+        let mut nxp_fx = fixture(CoreConfig::nxp());
+        // Same logical program for both ISAs.
+        let prog = |target| {
+            let mut f = FuncBuilder::new("m", target);
+            for _ in 0..100 {
+                f.addi(abi::A0, abi::A0, 1);
+            }
+            f.halt();
+            f.finish()
+        };
+        let x = Isa::X64.encode(&prog(TargetIsa::Host)).unwrap();
+        host_fx.mem.write_bytes(PhysAddr(0x40_0000), &x.bytes);
+        host_fx.core.set_pc(VirtAddr(0x40_0000));
+        host_fx.core.run(&mut host_fx.mem, &host_fx.env, 1000);
+
+        let rv = Isa::Rv64.encode(&prog(TargetIsa::Nxp)).unwrap();
+        nxp_fx
+            .aspace
+            .protect(&mut nxp_fx.mem, VirtAddr(0x40_0000), 0x2000, flags::NX, 0)
+            .unwrap();
+        nxp_fx.mem.write_bytes(PhysAddr(0x40_0000), &rv.bytes);
+        nxp_fx.core.set_pc(VirtAddr(0x40_0000));
+        nxp_fx.core.run(&mut nxp_fx.mem, &nxp_fx.env, 1000);
+
+        assert_eq!(host_fx.core.reg(abi::A0), 100);
+        assert_eq!(nxp_fx.core.reg(abi::A0), 100);
+        assert!(
+            nxp_fx.core.clock().now() > host_fx.core.clock().now() * 5,
+            "200 MHz in-order core must be much slower: {} vs {}",
+            nxp_fx.core.clock().now(),
+            host_fx.core.clock().now()
+        );
+    }
+
+    #[test]
+    fn tlb_miss_charges_walk_latency() {
+        let mut fx = fixture(CoreConfig::nxp());
+        fx.aspace
+            .protect(&mut fx.mem, VirtAddr(0x40_0000), 0x1000, flags::NX, 0)
+            .unwrap();
+        let mut f = FuncBuilder::new("w", TargetIsa::Nxp);
+        f.li(abi::A1, 0x50_0000);
+        f.ld(abi::A0, abi::A1, 0, MemSize::B8);
+        f.halt();
+        let enc = Isa::Rv64.encode(&f.finish()).unwrap();
+        fx.mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+        fx.core.set_pc(VirtAddr(0x40_0000));
+        fx.core.run(&mut fx.mem, &fx.env, 100);
+        // One I-TLB miss + one D-TLB miss, each a 3-level walk (2 MiB
+        // pages) over PCIe at 850ns/level plus firmware overhead.
+        assert_eq!(fx.core.stats().get("itlb_misses"), 1);
+        assert_eq!(fx.core.stats().get("dtlb_misses"), 1);
+        let wall = fx.core.clock().now();
+        assert!(
+            wall > Picos::from_nanos(2 * (3 * 850 + 150)),
+            "walks dominate: {wall}"
+        );
+    }
+
+    #[test]
+    fn mmu_hole_bypasses_walk() {
+        let mut fx = fixture(CoreConfig::nxp());
+        fx.aspace
+            .protect(&mut fx.mem, VirtAddr(0x40_0000), 0x1000, flags::NX, 0)
+            .unwrap();
+        fx.core.add_hole(MmuHole {
+            va_base: VirtAddr(0x9000_0000_0000),
+            size: 1 << 20,
+            pa_base: PhysAddr(0x9000_0000), // NxP SRAM via BAR1
+            executable: false,
+        });
+        let mut f = FuncBuilder::new("w", TargetIsa::Nxp);
+        f.li(abi::A1, 0x9000_0000_0000u64 as i64);
+        f.li(abi::A0, 77);
+        f.st(abi::A0, abi::A1, 0, MemSize::B8);
+        f.ld(abi::A2, abi::A1, 0, MemSize::B8);
+        f.halt();
+        let enc = Isa::Rv64.encode(&f.finish()).unwrap();
+        fx.mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+        fx.core.set_pc(VirtAddr(0x40_0000));
+        assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 100), StopReason::Halt);
+        assert_eq!(fx.core.reg(abi::A2), 77);
+        assert_eq!(fx.core.stats().get("dtlb_misses"), 0, "hole bypasses TLB");
+    }
+
+    #[test]
+    fn context_save_restore_round_trips() {
+        let mut core = Core::new(CoreConfig::host());
+        core.set_reg(abi::A0, 123);
+        core.set_pc(VirtAddr(0x1000));
+        let ctx = core.save_context();
+        core.set_reg(abi::A0, 0);
+        core.set_pc(VirtAddr::NULL);
+        core.restore_context(&ctx);
+        assert_eq!(core.reg(abi::A0), 123);
+        assert_eq!(core.pc(), VirtAddr(0x1000));
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut core = Core::new(CoreConfig::nxp());
+        core.set_reg(abi::ZERO, 999);
+        assert_eq!(core.reg(abi::ZERO), 0);
+    }
+
+    #[test]
+    fn page_spanning_host_instruction_decodes() {
+        let mut fx = fixture(CoreConfig::host());
+        // Place a 10-byte `li` so it straddles a page boundary.
+        let mut f = FuncBuilder::new("m", TargetIsa::Host);
+        f.li(abi::A0, 0x0102_0304_0506_0708);
+        f.halt();
+        let enc = Isa::X64.encode(&f.finish()).unwrap();
+        let start = 0x40_1000 - 4; // 10-byte inst crosses into next page
+        fx.mem.write_bytes(PhysAddr(start), &enc.bytes);
+        fx.core.set_pc(VirtAddr(start));
+        assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 10), StopReason::Halt);
+        assert_eq!(fx.core.reg(abi::A0), 0x0102_0304_0506_0708);
+    }
+
+    #[test]
+    fn cr3_switch_flushes_tlbs() {
+        let mut fx = fixture(CoreConfig::host());
+        load_host_prog(&mut fx, |f| {
+            f.li(abi::A1, 0x50_0000);
+            f.ld(abi::A0, abi::A1, 0, MemSize::B8);
+            f.halt();
+        });
+        fx.core.run(&mut fx.mem, &fx.env, 100);
+        let misses_before = fx.core.dtlb_misses();
+        let cr3 = fx.core.cr3();
+        fx.core.set_cr3(cr3); // reload same root — still flushes
+        fx.core.set_pc(VirtAddr(0x40_0000));
+        fx.core.run(&mut fx.mem, &fx.env, 100);
+        assert!(fx.core.dtlb_misses() > misses_before);
+    }
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+//! Core models: interpreting CPUs with TLBs, a programmable MMU, small
+//! caches and the exception surface Flick's migration mechanism rides.
+//!
+//! Two core flavours are configured from the paper's Table I platform:
+//!
+//! * the **host core** — an x86-64-like core at 2.4 GHz decoding the
+//!   variable-length encoding, walking page tables in local DRAM, and
+//!   faulting when it fetches from a page with the **NX bit set**;
+//! * the **NxP core** — an in-order RV64-like core at 200 MHz whose
+//!   16-entry TLBs are filled by a *programmable MMU* that walks the
+//!   host's page tables **across the PCIe link** (§IV-A), with BAR
+//!   remap windows and optional bypass "holes", and which faults when
+//!   it fetches from a page with the NX bit **clear** (the inverted
+//!   convention of §IV-B2) or at a misaligned / undecodable address.
+//!
+//! The interpreter charges simulated time for every instruction and
+//! memory access, so microbenchmark timing emerges from the same
+//! mechanisms the paper measures rather than from hard-coded totals.
+//!
+//! # Examples
+//!
+//! ```
+//! use flick_cpu::{Core, CoreConfig, MemEnv};
+//! use flick_mem::PhysMem;
+//!
+//! let env = MemEnv::paper_default();
+//! let host = Core::new(CoreConfig::host());
+//! let nxp = Core::new(CoreConfig::nxp());
+//! assert!(host.clock().freq() > nxp.clock().freq());
+//! ```
+
+pub mod cache;
+pub mod core_;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig};
+pub use core_::{Core, CoreConfig, CpiModel, CpuContext, Exception, InstFaultKind, StopReason};
+pub use tlb::{MmuHole, Tlb, TlbEntry};
+
+use flick_mem::{LatencyModel, SystemMap};
+
+/// The memory environment shared by every requester: the physical map
+/// and the latency model. Owned by the machine, passed by reference.
+#[derive(Clone, Debug)]
+pub struct MemEnv {
+    /// Physical memory map (host view + BAR windows).
+    pub map: SystemMap,
+    /// Access latency model.
+    pub latency: LatencyModel,
+}
+
+impl MemEnv {
+    /// Paper-calibrated environment.
+    pub fn paper_default() -> Self {
+        MemEnv {
+            map: SystemMap::paper_default(),
+            latency: LatencyModel::paper_default(),
+        }
+    }
+}
+
+impl Default for MemEnv {
+    fn default() -> Self {
+        MemEnv::paper_default()
+    }
+}

@@ -1,0 +1,290 @@
+//! TLBs with BAR remap windows and MMU bypass holes.
+//!
+//! The NxP's TLB is the crate's most paper-specific hardware: besides
+//! caching translations of the *host's* page tables, it (a) rewrites
+//! physical addresses that fall in dynamically-assigned BAR windows
+//! into NxP-local bus addresses via driver-programmed remap registers
+//! (Fig. 3), and (b) supports *holes* — VA ranges the programmable MMU
+//! resolves directly, bypassing the page-table walk, used for debugging
+//! and scratchpad access (§IV-A).
+
+use flick_mem::{PhysAddr, VirtAddr};
+use flick_paging::{PageSize, Translation};
+
+/// One cached translation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TlbEntry {
+    /// Virtual page base.
+    pub va_base: VirtAddr,
+    /// Physical page base (host view).
+    pub pa_base: PhysAddr,
+    /// Leaf page size.
+    pub page: PageSize,
+    /// Effective NX bit.
+    pub nx: bool,
+    /// Effective writability.
+    pub writable: bool,
+}
+
+impl TlbEntry {
+    /// Builds an entry from a walker result.
+    pub fn from_translation(t: &Translation) -> Self {
+        TlbEntry {
+            va_base: t.va_base,
+            pa_base: t.pa_base,
+            page: t.page,
+            nx: t.nx,
+            writable: t.writable,
+        }
+    }
+
+    /// True when `va` falls in this entry's page.
+    pub fn covers(&self, va: VirtAddr) -> bool {
+        va.as_u64() & !(self.page.bytes() - 1) == self.va_base.as_u64()
+    }
+
+    /// Translates `va` (must be covered).
+    pub fn translate(&self, va: VirtAddr) -> PhysAddr {
+        debug_assert!(self.covers(va));
+        PhysAddr(self.pa_base.as_u64() | (va.as_u64() & (self.page.bytes() - 1)))
+    }
+}
+
+/// An MMU bypass hole: a VA range translated by configuration rather
+/// than by walking page tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MmuHole {
+    /// Virtual base.
+    pub va_base: VirtAddr,
+    /// Size in bytes.
+    pub size: u64,
+    /// Physical base the hole maps to.
+    pub pa_base: PhysAddr,
+    /// Whether code may execute from the hole.
+    pub executable: bool,
+}
+
+impl MmuHole {
+    /// True when `va` falls inside the hole.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        va >= self.va_base && va.as_u64() < self.va_base.as_u64() + self.size
+    }
+
+    /// Translates `va` (must be contained).
+    pub fn translate(&self, va: VirtAddr) -> PhysAddr {
+        debug_assert!(self.contains(va));
+        self.pa_base + (va - self.va_base)
+    }
+}
+
+/// A fully-associative TLB with LRU replacement.
+///
+/// The prototype's NxP L1 I/D-TLBs have 16 entries each with one-cycle
+/// hit latency (§IV-A); the host TLBs are just bigger instances.
+///
+/// # Examples
+///
+/// ```
+/// use flick_cpu::{Tlb, TlbEntry};
+/// use flick_mem::{PhysAddr, VirtAddr};
+/// use flick_paging::PageSize;
+///
+/// let mut tlb = Tlb::new(2);
+/// tlb.insert(TlbEntry {
+///     va_base: VirtAddr(0x1000),
+///     pa_base: PhysAddr(0x8000),
+///     page: PageSize::Size4K,
+///     nx: false,
+///     writable: true,
+/// });
+/// let e = tlb.lookup(VirtAddr(0x1abc)).unwrap();
+/// assert_eq!(e.translate(VirtAddr(0x1abc)), PhysAddr(0x8abc));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<(TlbEntry, u64)>, // (entry, last-use stamp)
+    capacity: usize,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB needs at least one entry");
+        Tlb {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `va`, refreshing LRU on hit.
+    pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
+        self.stamp += 1;
+        for (e, used) in &mut self.entries {
+            if e.covers(va) {
+                *used = self.stamp;
+                self.hits += 1;
+                return Some(*e);
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Inserts a translation, evicting the LRU entry when full.
+    pub fn insert(&mut self, entry: TlbEntry) {
+        self.stamp += 1;
+        // Replace an existing mapping of the same page, if any.
+        if let Some(slot) = self.entries.iter_mut().find(|(e, _)| e.va_base == entry.va_base) {
+            *slot = (entry, self.stamp);
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.push((entry, self.stamp));
+        } else {
+            let lru = self
+                .entries
+                .iter_mut()
+                .min_by_key(|(_, used)| *used)
+                .expect("capacity > 0");
+            *lru = (entry, self.stamp);
+        }
+    }
+
+    /// Drops every entry (context switch / mprotect shootdown).
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Drops entries covering `va` (single-page shootdown).
+    pub fn flush_page(&mut self, va: VirtAddr) {
+        self.entries.retain(|(e, _)| !e.covers(va));
+    }
+
+    /// Hit count.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(va: u64, pa: u64, page: PageSize) -> TlbEntry {
+        TlbEntry {
+            va_base: VirtAddr(va),
+            pa_base: PhysAddr(pa),
+            page,
+            nx: false,
+            writable: true,
+        }
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(entry(0x1000, 0x1000, PageSize::Size4K));
+        tlb.insert(entry(0x2000, 0x2000, PageSize::Size4K));
+        tlb.lookup(VirtAddr(0x1000)); // touch first
+        tlb.insert(entry(0x3000, 0x3000, PageSize::Size4K)); // evicts 0x2000
+        assert!(tlb.lookup(VirtAddr(0x1000)).is_some());
+        assert!(tlb.lookup(VirtAddr(0x2000)).is_none());
+        assert!(tlb.lookup(VirtAddr(0x3000)).is_some());
+    }
+
+    #[test]
+    fn huge_page_covers_gig() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(1 << 30, 1 << 30, PageSize::Size1G));
+        let e = tlb.lookup(VirtAddr((1 << 30) + 0x1234_5678)).unwrap();
+        assert_eq!(
+            e.translate(VirtAddr((1 << 30) + 0x1234_5678)),
+            PhysAddr((1 << 30) + 0x1234_5678)
+        );
+    }
+
+    #[test]
+    fn four_entries_cover_nxp_storage() {
+        // §V: 1 GiB pages let four TLB entries cover the 4 GiB NxP
+        // window, avoiding most TLB misses.
+        let mut tlb = Tlb::new(16);
+        for i in 0..4u64 {
+            tlb.insert(entry(
+                0x5000_0000_0000 + i * (1 << 30),
+                0x1_0000_0000 + i * (1 << 30),
+                PageSize::Size1G,
+            ));
+        }
+        let (h0, m0) = (tlb.hits(), tlb.misses());
+        for i in 0..1000u64 {
+            let va = VirtAddr(0x5000_0000_0000 + (i * 7919) % (4 << 30));
+            assert!(tlb.lookup(va).is_some());
+        }
+        assert_eq!(tlb.hits() - h0, 1000);
+        assert_eq!(tlb.misses(), m0);
+    }
+
+    #[test]
+    fn same_page_reinsert_replaces() {
+        let mut tlb = Tlb::new(2);
+        tlb.insert(entry(0x1000, 0x1000, PageSize::Size4K));
+        let mut e2 = entry(0x1000, 0x9000, PageSize::Size4K);
+        e2.nx = true;
+        tlb.insert(e2);
+        assert_eq!(tlb.len(), 1);
+        let got = tlb.lookup(VirtAddr(0x1000)).unwrap();
+        assert!(got.nx);
+        assert_eq!(got.pa_base, PhysAddr(0x9000));
+    }
+
+    #[test]
+    fn page_shootdown() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(0x1000, 0x1000, PageSize::Size4K));
+        tlb.insert(entry(0x2000, 0x2000, PageSize::Size4K));
+        tlb.flush_page(VirtAddr(0x1000));
+        assert!(tlb.lookup(VirtAddr(0x1000)).is_none());
+        assert!(tlb.lookup(VirtAddr(0x2000)).is_some());
+    }
+
+    #[test]
+    fn hole_translation() {
+        let hole = MmuHole {
+            va_base: VirtAddr(0x9000_0000_0000),
+            size: 1 << 20,
+            pa_base: PhysAddr(0x8000_0000),
+            executable: false,
+        };
+        assert!(hole.contains(VirtAddr(0x9000_0000_0010)));
+        assert!(!hole.contains(VirtAddr(0x9000_0010_0000)));
+        assert_eq!(
+            hole.translate(VirtAddr(0x9000_0000_0010)),
+            PhysAddr(0x8000_0010)
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Exhaustive interpreter-semantics tests: every ALU operation, branch
+//! condition, memory width and control-flow form is executed through
+//! the full fetch→translate→decode→execute path on **both** cores and
+//! compared against the reference semantics in `flick-isa`.
+
+use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
+use flick_isa::inst::AluOp;
+use flick_isa::{abi, BranchOp, FuncBuilder, Isa, MemSize, TargetIsa};
+use flick_mem::{PhysAddr, PhysMem, VirtAddr};
+use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
+use flick_sim::Xoshiro256;
+
+/// A fixture with low 16 MiB identity-mapped; `nx` selects whether the
+/// code page is marked NX (required for the NxP core to execute).
+struct Fx {
+    mem: PhysMem,
+    env: MemEnv,
+    core: Core,
+}
+
+fn fixture(target: TargetIsa) -> Fx {
+    let mut mem = PhysMem::new();
+    let mut alloc = BumpFrameAlloc::new(PhysAddr(0x100_0000), PhysAddr(0x300_0000));
+    let mut asp = AddressSpace::new(&mut mem, &mut alloc);
+    asp.map_range(
+        &mut mem,
+        &mut alloc,
+        VirtAddr(0),
+        PhysAddr(0),
+        16 << 20,
+        flags::PRESENT | flags::WRITABLE | flags::USER,
+    )
+    .unwrap();
+    if target == TargetIsa::Nxp {
+        // The NxP executes only from NX pages (inverted convention).
+        asp.protect(&mut mem, VirtAddr(0x40_0000), 0x10_0000, flags::NX, 0)
+            .unwrap();
+    }
+    let cfg = match target {
+        TargetIsa::Host => CoreConfig::host(),
+        TargetIsa::Nxp => CoreConfig::nxp(),
+    };
+    let mut core = Core::new(cfg);
+    core.set_cr3(asp.cr3());
+    core.set_pc(VirtAddr(0x40_0000));
+    core.set_reg(abi::SP, 0xF0_0000);
+    Fx {
+        mem,
+        env: MemEnv::paper_default(),
+        core,
+    }
+}
+
+/// Builds, loads and runs a function body; returns a0 at halt.
+fn execute(target: TargetIsa, build: impl FnOnce(&mut FuncBuilder)) -> u64 {
+    let mut fx = fixture(target);
+    let mut f = FuncBuilder::new("t", target);
+    build(&mut f);
+    f.halt();
+    let isa = match target {
+        TargetIsa::Host => Isa::X64,
+        TargetIsa::Nxp => Isa::Rv64,
+    };
+    let enc = isa.encode(&f.finish()).unwrap();
+    fx.mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+    let stop = fx.core.run(&mut fx.mem, &fx.env, 10_000);
+    assert_eq!(stop, StopReason::Halt, "program must halt cleanly");
+    fx.core.reg(abi::A0)
+}
+
+const ALL_ALU: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Divu,
+    AluOp::Remu,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+#[test]
+fn every_alu_op_matches_reference_on_both_cores() {
+    let mut rng = Xoshiro256::seeded(99);
+    // Edge-case operands plus random ones.
+    let mut operands = vec![0u64, 1, 2, 63, 64, u64::MAX, 1 << 63, 0x8000_0000];
+    for _ in 0..6 {
+        operands.push(rng.next_u64());
+    }
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        for op in ALL_ALU {
+            for (i, &a) in operands.iter().enumerate() {
+                // Pair each operand with a rotated partner.
+                let b = operands[(i + 3) % operands.len()];
+                let got = execute(target, |f| {
+                    f.li(abi::A1, a as i64);
+                    f.li(abi::A2, b as i64);
+                    f.push(flick_isa::Inst::Alu {
+                        op,
+                        rd: abi::A0,
+                        rs1: abi::A1,
+                        rs2: abi::A2,
+                    });
+                });
+                assert_eq!(got, op.eval(a, b), "{target}: {op:?}({a:#x}, {b:#x})");
+            }
+        }
+    }
+}
+
+#[test]
+fn alu_immediates_sign_extend() {
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        let got = execute(target, |f| {
+            f.li(abi::A0, 10);
+            f.addi(abi::A0, abi::A0, -11);
+        });
+        assert_eq!(got, u64::MAX, "{target}: 10 + (-11) wraps to -1");
+        let got = execute(target, |f| {
+            f.li(abi::A0, -1);
+            f.andi(abi::A0, abi::A0, -16);
+        });
+        assert_eq!(got, (-16i64) as u64, "{target}: imm sign-extends for andi");
+    }
+}
+
+#[test]
+fn every_branch_condition_both_directions() {
+    let cases: [(u64, u64); 5] = [
+        (0, 0),
+        (1, 2),
+        (2, 1),
+        (u64::MAX, 0), // -1 vs 0: signed/unsigned diverge
+        (0, u64::MAX),
+    ];
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        for op in [
+            BranchOp::Eq,
+            BranchOp::Ne,
+            BranchOp::Lt,
+            BranchOp::Ge,
+            BranchOp::Ltu,
+            BranchOp::Geu,
+        ] {
+            for (a, b) in cases {
+                let got = execute(target, |f| {
+                    let taken = f.new_label();
+                    let out = f.new_label();
+                    f.li(abi::A1, a as i64);
+                    f.li(abi::A2, b as i64);
+                    f.push(flick_isa::Inst::Branch {
+                        op,
+                        rs1: abi::A1,
+                        rs2: abi::A2,
+                        target: flick_isa::Target::Label(taken),
+                    });
+                    f.li(abi::A0, 0); // not taken
+                    f.jmp(out);
+                    f.bind(taken);
+                    f.li(abi::A0, 1);
+                    f.bind(out);
+                });
+                assert_eq!(
+                    got != 0,
+                    op.eval(a, b),
+                    "{target}: {op:?}({a:#x}, {b:#x})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn loads_zero_extend_per_width() {
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        for (size, expect) in [
+            (MemSize::B1, 0xF8u64),
+            (MemSize::B2, 0xF7F8),
+            (MemSize::B4, 0xF5F6_F7F8),
+            (MemSize::B8, 0xF1F2_F3F4_F5F6_F7F8),
+        ] {
+            let got = execute(target, |f| {
+                f.li(abi::A1, 0x50_0000);
+                f.li(abi::T0, 0xF1F2_F3F4_F5F6_F7F8u64 as i64);
+                f.st(abi::T0, abi::A1, 0, MemSize::B8);
+                f.ld(abi::A0, abi::A1, 0, size);
+            });
+            assert_eq!(got, expect, "{target}: {size:?} load zero-extends");
+        }
+    }
+}
+
+#[test]
+fn stores_truncate_per_width() {
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        let got = execute(target, |f| {
+            f.li(abi::A1, 0x50_0000);
+            f.li(abi::T0, -1); // all ones
+            f.st(abi::T0, abi::A1, 0, MemSize::B8);
+            f.li(abi::T0, 0);
+            f.st(abi::T0, abi::A1, 0, MemSize::B2); // clear low 2 bytes
+            f.ld(abi::A0, abi::A1, 0, MemSize::B8);
+        });
+        assert_eq!(got, 0xFFFF_FFFF_FFFF_0000, "{target}");
+    }
+}
+
+#[test]
+fn negative_offsets_and_sp_addressing() {
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        let got = execute(target, |f| {
+            f.li(abi::T0, 777);
+            f.st(abi::T0, abi::SP, -24, MemSize::B8);
+            f.ld(abi::A0, abi::SP, -24, MemSize::B8);
+        });
+        assert_eq!(got, 777, "{target}");
+    }
+}
+
+#[test]
+fn jalr_links_and_jumps() {
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        // call a local leaf via function pointer; leaf returns 31.
+        let got = execute(target, |f| {
+            let leaf = f.new_label();
+            let over = f.new_label();
+            f.jmp(over);
+            f.bind(leaf);
+            f.li(abi::A0, 31);
+            f.ret();
+            f.bind(over);
+            // Materialise the leaf address: base 0x40_0000 + offset.
+            // Offsets differ per ISA, so compute via jal-link trick:
+            // jal t0, next; next: t0 = VA of next inst.
+            f.li(abi::A0, 0);
+            // Use a simple in-function call instead: jalr through a
+            // register holding the label address is not expressible
+            // portably here, so exercise call/ret via jal.
+            f.push(flick_isa::Inst::Jal {
+                rd: abi::RA,
+                target: flick_isa::Target::Label(leaf),
+            });
+        });
+        assert_eq!(got, 31, "{target}");
+    }
+}
+
+#[test]
+fn division_by_zero_follows_riscv_semantics() {
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        let q = execute(target, |f| {
+            f.li(abi::A1, 42);
+            f.li(abi::A2, 0);
+            f.divu(abi::A0, abi::A1, abi::A2);
+        });
+        assert_eq!(q, u64::MAX, "{target}: x/0 = all ones");
+        let r = execute(target, |f| {
+            f.li(abi::A1, 42);
+            f.li(abi::A2, 0);
+            f.remu(abi::A0, abi::A1, abi::A2);
+        });
+        assert_eq!(r, 42, "{target}: x%0 = x");
+    }
+}
+
+#[test]
+fn deep_call_chain_uses_stack_correctly() {
+    // 64 nested local calls each pushing a frame.
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        let got = execute(target, |f| {
+            let rec = f.new_label();
+            let base = f.new_label();
+            let start = f.new_label();
+            f.jmp(start);
+            // rec(n): n == 0 ? 0 : rec(n-1) + 1
+            f.bind(rec);
+            f.beq(abi::A0, abi::ZERO, base);
+            f.addi(abi::SP, abi::SP, -16);
+            f.st(abi::RA, abi::SP, 0, MemSize::B8);
+            f.addi(abi::A0, abi::A0, -1);
+            f.push(flick_isa::Inst::Jal {
+                rd: abi::RA,
+                target: flick_isa::Target::Label(rec),
+            });
+            f.addi(abi::A0, abi::A0, 1);
+            f.ld(abi::RA, abi::SP, 0, MemSize::B8);
+            f.addi(abi::SP, abi::SP, 16);
+            f.ret();
+            f.bind(base);
+            f.li(abi::A0, 0);
+            f.ret();
+            f.bind(start);
+            f.li(abi::A0, 64);
+            f.push(flick_isa::Inst::Jal {
+                rd: abi::RA,
+                target: flick_isa::Target::Label(rec),
+            });
+        });
+        assert_eq!(got, 64, "{target}");
+    }
+}

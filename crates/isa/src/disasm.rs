@@ -1,0 +1,135 @@
+//! Disassembler for encoded sections (debugging and tests).
+
+use crate::encode::DecodeError;
+use crate::Isa;
+use std::fmt::Write as _;
+
+/// One disassembled line.
+#[derive(Clone, Debug)]
+pub struct Line {
+    /// Byte offset within the input.
+    pub offset: usize,
+    /// Instruction length in bytes.
+    pub len: usize,
+    /// Rendered text (mnemonic + operands), or the decode error.
+    pub text: String,
+}
+
+/// Disassembles `bytes` from offset 0 until the end or the first decode
+/// error (which is reported as the final line).
+///
+/// # Examples
+///
+/// ```
+/// use flick_isa::{abi, disasm, FuncBuilder, Isa, TargetIsa};
+///
+/// let mut f = FuncBuilder::new("f", TargetIsa::Host);
+/// f.addi(abi::A0, abi::A0, 7);
+/// f.ret();
+/// let enc = Isa::X64.encode(&f.finish())?;
+/// let lines = disasm::disassemble(Isa::X64, &enc.bytes);
+/// assert_eq!(lines.len(), 2);
+/// assert!(lines[0].text.contains("addi"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn disassemble(isa: Isa, bytes: &[u8]) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut off = 0usize;
+    while off < bytes.len() {
+        match isa.decode(&bytes[off..]) {
+            Ok((inst, len)) => {
+                lines.push(Line {
+                    offset: off,
+                    len,
+                    text: inst.to_string(),
+                });
+                off += len;
+            }
+            Err(e) => {
+                lines.push(Line {
+                    offset: off,
+                    len: 0,
+                    text: format!("<decode error: {e}>"),
+                });
+                break;
+            }
+        }
+    }
+    lines
+}
+
+/// Formats a disassembly as a multi-line string with offsets.
+pub fn format(isa: Isa, bytes: &[u8]) -> String {
+    let mut s = String::new();
+    for line in disassemble(isa, bytes) {
+        let _ = writeln!(s, "{:6x}:  {}", line.offset, line.text);
+    }
+    s
+}
+
+/// Checks that `bytes` decodes cleanly end-to-end for `isa`.
+///
+/// # Errors
+///
+/// Returns the offset and error of the first undecodable instruction.
+pub fn verify(isa: Isa, bytes: &[u8]) -> Result<usize, (usize, DecodeError)> {
+    let mut off = 0usize;
+    let mut count = 0;
+    while off < bytes.len() {
+        match isa.decode(&bytes[off..]) {
+            Ok((_, len)) => {
+                off += len;
+                count += 1;
+            }
+            Err(e) => return Err((off, e)),
+        }
+    }
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::abi;
+    use crate::{FuncBuilder, TargetIsa};
+
+    fn sample(target: TargetIsa) -> Vec<u8> {
+        let mut f = FuncBuilder::new("f", target);
+        f.li(abi::A0, 99);
+        f.call("g");
+        f.ret();
+        target.isa().encode(&f.finish()).unwrap().bytes
+    }
+
+    #[test]
+    fn disassembles_both_isas() {
+        for target in [TargetIsa::Host, TargetIsa::Nxp] {
+            let bytes = sample(target);
+            let lines = disassemble(target.isa(), &bytes);
+            assert_eq!(lines.len(), 3);
+            assert!(lines[0].text.starts_with("li"));
+            assert!(lines[2].text.starts_with("ret"));
+        }
+    }
+
+    #[test]
+    fn verify_counts_instructions() {
+        let bytes = sample(TargetIsa::Nxp);
+        assert_eq!(verify(Isa::Rv64, &bytes), Ok(3));
+    }
+
+    #[test]
+    fn verify_reports_error_offset() {
+        let bytes = sample(TargetIsa::Host);
+        let err = verify(Isa::Rv64, &bytes);
+        assert!(err.is_err());
+        assert_eq!(err.unwrap_err().0, 0);
+    }
+
+    #[test]
+    fn format_is_line_per_inst() {
+        let bytes = sample(TargetIsa::Host);
+        let text = format(Isa::X64, &bytes);
+        assert_eq!(text.lines().count(), 3);
+    }
+}

@@ -1,0 +1,278 @@
+//! Per-ISA encoders and decoders, plus relocation records.
+//!
+//! The multi-ISA linker resolves symbols "using each ISA's relocation
+//! methods" selected by section name (§IV-C2); these are those methods.
+
+pub mod rv64;
+pub mod x64;
+
+use std::error::Error;
+use std::fmt;
+
+/// How a relocation patches the encoded bytes once the symbol address
+/// `S` and the instruction's virtual address are known.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelocKind {
+    /// 32-bit signed displacement at `field_at`, computed as
+    /// `S - va_of(inst_start)` (branch/call targets are relative to the
+    /// instruction start in both encodings).
+    Rel32,
+    /// 64-bit absolute little-endian address at `field_at` (x64 `li`).
+    Abs64,
+    /// Absolute address split across two 32-bit fields: low half at
+    /// `field_at`, high half at `field_at + 8` (rv64 `li` pair).
+    Abs64Pair,
+}
+
+/// One relocation emitted by an encoder.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Reloc {
+    /// Byte offset of the patch field within the encoded function.
+    pub field_at: u32,
+    /// Byte offset of the start of the instruction containing the field
+    /// (the reference point for [`RelocKind::Rel32`]).
+    pub inst_start: u32,
+    /// Patch method.
+    pub kind: RelocKind,
+    /// Name of the symbol whose address is needed.
+    pub symbol: String,
+}
+
+/// An encoded function body.
+#[derive(Clone, Debug, Default)]
+pub struct Encoded {
+    /// Machine bytes (entry point at offset 0).
+    pub bytes: Vec<u8>,
+    /// Relocations to apply at link time.
+    pub relocs: Vec<Reloc>,
+    /// Byte offset of each source instruction (diagnostics/tests).
+    pub offsets: Vec<u32>,
+}
+
+/// Errors while encoding a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncodeError {
+    /// A branch target is farther than a 32-bit displacement reaches.
+    BranchOutOfRange {
+        /// Index of the offending instruction.
+        inst: usize,
+    },
+    /// An immediate does not fit the field for this encoding.
+    ImmOutOfRange {
+        /// Index of the offending instruction.
+        inst: usize,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::BranchOutOfRange { inst } => {
+                write!(f, "branch target out of range at instruction {inst}")
+            }
+            EncodeError::ImmOutOfRange { inst } => {
+                write!(f, "immediate out of range at instruction {inst}")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Errors while decoding machine bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not belong to this ISA — fetching the other
+    /// ISA's code lands here (the illegal-opcode migration trigger).
+    UnknownOpcode(u8),
+    /// Fewer bytes than the instruction needs.
+    Truncated,
+    /// An rv64 constant-high word without its constant-low partner
+    /// (a jump into the middle of a `li` pair).
+    StrayConstHigh,
+    /// A register field holds an out-of-range index — another reliable
+    /// way wrong-ISA bytes fail to decode.
+    BadRegister(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::Truncated => write!(f, "truncated instruction"),
+            DecodeError::StrayConstHigh => write!(f, "stray li-high word"),
+            DecodeError::BadRegister(r) => write!(f, "bad register index {r}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+pub(crate) fn check_reg(b: u8) -> Result<crate::Reg, DecodeError> {
+    if b < 32 {
+        Ok(crate::Reg(b))
+    } else {
+        Err(DecodeError::BadRegister(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{abi, Inst, MemSize};
+    use crate::{FuncBuilder, Isa, TargetIsa};
+
+    fn sample_func() -> crate::Func {
+        let mut f = FuncBuilder::new("sample", TargetIsa::Host);
+        let top = f.new_label();
+        let out = f.new_label();
+        f.li(abi::T0, 0x1234_5678_9ABC_DEF0u64 as i64);
+        f.bind(top);
+        f.beq(abi::A0, abi::ZERO, out);
+        f.addi(abi::T0, abi::T0, -1);
+        f.ld(abi::A1, abi::A0, 8, MemSize::B8);
+        f.st(abi::A1, abi::SP, -16, MemSize::B4);
+        f.jmp(top);
+        f.bind(out);
+        f.call("helper");
+        f.li_sym(abi::A2, "global_table");
+        f.ecall(7);
+        f.nop();
+        f.ret();
+        f.finish()
+    }
+
+    fn round_trip(isa: Isa) {
+        let func = sample_func();
+        let enc = isa.encode(&func).unwrap();
+        // Decode every instruction back and compare shapes.
+        let mut off = 0usize;
+        let mut decoded = Vec::new();
+        while off < enc.bytes.len() {
+            let (inst, len) = isa.decode(&enc.bytes[off..]).unwrap();
+            decoded.push((off, inst, len));
+            off += len;
+        }
+        assert_eq!(off, enc.bytes.len());
+        assert_eq!(decoded.len(), func.insts.len());
+        // Non-control instructions decode exactly; branches/calls decode
+        // to resolved-relative form.
+        assert_eq!(
+            decoded[0].1,
+            Inst::Li {
+                rd: abi::T0,
+                imm: 0x1234_5678_9ABC_DEF0u64 as i64
+            }
+        );
+        assert!(matches!(decoded[2].1, Inst::AluImm { imm: -1, .. }));
+        assert!(matches!(decoded[3].1, Inst::Ld { off: 8, .. }));
+        assert!(matches!(decoded[4].1, Inst::St { off: -16, .. }));
+        assert_eq!(decoded[8].1, Inst::Ecall { service: 7 });
+        assert_eq!(decoded[9].1, Inst::Nop);
+        assert_eq!(decoded[10].1, Inst::Ret);
+        // Two symbol relocations: the call (Rel32) and the li_sym (Abs64*).
+        assert_eq!(enc.relocs.len(), 2);
+        assert_eq!(enc.relocs[0].symbol, "helper");
+        assert_eq!(enc.relocs[0].kind, RelocKind::Rel32);
+        assert_eq!(enc.relocs[1].symbol, "global_table");
+    }
+
+    #[test]
+    fn x64_round_trip() {
+        round_trip(Isa::X64);
+    }
+
+    #[test]
+    fn rv64_round_trip() {
+        round_trip(Isa::Rv64);
+    }
+
+    #[test]
+    fn branch_displacement_points_at_label() {
+        for isa in [Isa::X64, Isa::Rv64] {
+            let func = sample_func();
+            let enc = isa.encode(&func).unwrap();
+            // Instruction 1 (beq) targets label `out`, bound at source
+            // instruction 6; instruction 5 (jmp) targets `top` at 1.
+            let (inst, _) = isa.decode(&enc.bytes[enc.offsets[1] as usize..]).unwrap();
+            match inst {
+                Inst::Branch { target: crate::Target::Rel(d), .. } => {
+                    assert_eq!(
+                        (enc.offsets[1] as i64 + d) as u32,
+                        enc.offsets[6],
+                        "{isa}: branch lands on label"
+                    );
+                }
+                other => panic!("expected branch, got {other}"),
+            }
+            let (inst, _) = isa.decode(&enc.bytes[enc.offsets[5] as usize..]).unwrap();
+            match inst {
+                Inst::Jal { target: crate::Target::Rel(d), .. } => {
+                    assert_eq!((enc.offsets[5] as i64 + d) as u32, enc.offsets[1]);
+                }
+                other => panic!("expected jal, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn isas_reject_each_other() {
+        let func = sample_func();
+        let x = Isa::X64.encode(&func).unwrap();
+        let rv = Isa::Rv64.encode(&func).unwrap();
+        assert!(matches!(
+            Isa::Rv64.decode(&x.bytes),
+            Err(DecodeError::UnknownOpcode(_) | DecodeError::BadRegister(_))
+        ));
+        assert!(matches!(
+            Isa::X64.decode(&rv.bytes),
+            Err(DecodeError::UnknownOpcode(_))
+        ));
+    }
+
+    #[test]
+    fn rv64_is_fixed_width_multiple() {
+        let func = sample_func();
+        let enc = Isa::Rv64.encode(&func).unwrap();
+        assert_eq!(enc.bytes.len() % 8, 0);
+        for &o in &enc.offsets {
+            assert_eq!(o % 8, 0, "every rv64 instruction is 8-aligned");
+        }
+    }
+
+    #[test]
+    fn x64_is_variable_width() {
+        let func = sample_func();
+        let enc = Isa::X64.encode(&func).unwrap();
+        let mut lengths = std::collections::HashSet::new();
+        let mut off = 0;
+        while off < enc.bytes.len() {
+            let (_, len) = Isa::X64.decode(&enc.bytes[off..]).unwrap();
+            lengths.insert(len);
+            off += len;
+        }
+        assert!(lengths.len() > 2, "x64 encoding must vary in length");
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let func = sample_func();
+        for isa in [Isa::X64, Isa::Rv64] {
+            let enc = isa.encode(&func).unwrap();
+            assert_eq!(isa.decode(&enc.bytes[..1]), Err(DecodeError::Truncated));
+        }
+        assert_eq!(Isa::X64.decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn empty_rv_word_is_illegal() {
+        assert!(matches!(
+            Isa::Rv64.decode(&[0u8; 8]),
+            Err(DecodeError::UnknownOpcode(0))
+        ));
+        assert!(matches!(
+            Isa::X64.decode(&[0u8; 8]),
+            Err(DecodeError::UnknownOpcode(0))
+        ));
+    }
+}

@@ -1,0 +1,294 @@
+//! The fixed-width NxP encoding ("rv64-like").
+//!
+//! Every instruction occupies one 8-byte word, 8-byte aligned:
+//! `[opcode, rd, rs1, rs2, imm32le]`. A full 64-bit constant takes a
+//! *pair* of words (`li.lo` + `li.hi`), mirroring how real RISC-V
+//! synthesises wide constants with instruction sequences. Opcodes live
+//! in `0x01..=0x3F`, disjoint from the x64 space, so decoding host
+//! bytes fails immediately.
+
+use super::{check_reg, DecodeError, EncodeError, Encoded, Reloc, RelocKind};
+use crate::func::Func;
+use crate::inst::{AluOp, BranchOp, Inst, MemSize, Target};
+
+const W: u32 = 8;
+
+const OP_ALU: u8 = 0x01; // +alu_tag (13) -> 0x01..=0x0D
+const OP_ALUI: u8 = 0x10; // +alu_tag -> 0x10..=0x1C
+const OP_LI_LO: u8 = 0x20;
+const OP_LI_HI: u8 = 0x21;
+const OP_LD: u8 = 0x22; // +size_tag -> 0x22..=0x25
+const OP_ST: u8 = 0x26; // +size_tag -> 0x26..=0x29
+const OP_BR: u8 = 0x2A; // +branch_tag -> 0x2A..=0x2F
+const OP_JAL: u8 = 0x30;
+const OP_JALR: u8 = 0x31;
+const OP_RET: u8 = 0x32;
+const OP_ECALL: u8 = 0x33;
+const OP_HALT: u8 = 0x34;
+const OP_NOP: u8 = 0x35;
+
+fn inst_len(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Li { .. } | Inst::LiSym { .. } => 2 * W,
+        _ => W,
+    }
+}
+
+fn word(op: u8, b1: u8, b2: u8, b3: u8, imm: i32) -> [u8; 8] {
+    let i = imm.to_le_bytes();
+    [op, b1, b2, b3, i[0], i[1], i[2], i[3]]
+}
+
+/// Encodes `func` into NxP bytes.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BranchOutOfRange`] if a label displacement
+/// overflows 32 bits.
+pub fn encode(func: &Func) -> Result<Encoded, EncodeError> {
+    let mut offsets = Vec::with_capacity(func.insts.len());
+    let mut off = 0u32;
+    for inst in &func.insts {
+        offsets.push(off);
+        off += inst_len(inst);
+    }
+    let label_off = |l: crate::func::Label| offsets[func.labels[l.0 as usize].unwrap()];
+
+    let mut out = Encoded {
+        bytes: Vec::with_capacity(off as usize),
+        relocs: Vec::new(),
+        offsets: offsets.clone(),
+    };
+    for (i, inst) in func.insts.iter().enumerate() {
+        let start = offsets[i];
+        match *inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                out.bytes
+                    .extend_from_slice(&word(OP_ALU + op.tag(), rd.0, rs1.0, rs2.0, 0));
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                out.bytes
+                    .extend_from_slice(&word(OP_ALUI + op.tag(), rd.0, rs1.0, 0, imm));
+            }
+            Inst::Li { rd, imm } => {
+                let lo = imm as u32 as i32;
+                let hi = ((imm as u64) >> 32) as u32 as i32;
+                out.bytes.extend_from_slice(&word(OP_LI_LO, rd.0, 0, 0, lo));
+                out.bytes.extend_from_slice(&word(OP_LI_HI, rd.0, 0, 0, hi));
+            }
+            Inst::LiSym { rd, sym } => {
+                out.relocs.push(Reloc {
+                    field_at: start + 4,
+                    inst_start: start,
+                    kind: RelocKind::Abs64Pair,
+                    symbol: func.symbol_name(sym).to_string(),
+                });
+                out.bytes.extend_from_slice(&word(OP_LI_LO, rd.0, 0, 0, 0));
+                out.bytes.extend_from_slice(&word(OP_LI_HI, rd.0, 0, 0, 0));
+            }
+            Inst::Ld { rd, base, off, size } => {
+                out.bytes
+                    .extend_from_slice(&word(OP_LD + size.tag(), rd.0, base.0, 0, off));
+            }
+            Inst::St { rs, base, off, size } => {
+                out.bytes
+                    .extend_from_slice(&word(OP_ST + size.tag(), rs.0, base.0, 0, off));
+            }
+            Inst::Branch { op, rs1, rs2, target } => {
+                let rel: i64 = match target {
+                    Target::Label(l) => label_off(l) as i64 - start as i64,
+                    Target::Rel(d) => d,
+                    Target::Symbol(_) => unreachable!("branches use labels"),
+                };
+                let rel32 =
+                    i32::try_from(rel).map_err(|_| EncodeError::BranchOutOfRange { inst: i })?;
+                out.bytes
+                    .extend_from_slice(&word(OP_BR + op.tag(), rs1.0, rs2.0, 0, rel32));
+            }
+            Inst::Jal { rd, target } => {
+                let rel32: i32 = match target {
+                    Target::Label(l) => {
+                        i32::try_from(label_off(l) as i64 - start as i64)
+                            .map_err(|_| EncodeError::BranchOutOfRange { inst: i })?
+                    }
+                    Target::Rel(d) => {
+                        i32::try_from(d).map_err(|_| EncodeError::BranchOutOfRange { inst: i })?
+                    }
+                    Target::Symbol(s) => {
+                        out.relocs.push(Reloc {
+                            field_at: start + 4,
+                            inst_start: start,
+                            kind: RelocKind::Rel32,
+                            symbol: func.symbol_name(s).to_string(),
+                        });
+                        0
+                    }
+                };
+                out.bytes.extend_from_slice(&word(OP_JAL, rd.0, 0, 0, rel32));
+            }
+            Inst::Jalr { rd, rs1, off } => {
+                out.bytes.extend_from_slice(&word(OP_JALR, rd.0, rs1.0, 0, off));
+            }
+            Inst::Ret => out.bytes.extend_from_slice(&word(OP_RET, 0, 0, 0, 0)),
+            Inst::Ecall { service } => {
+                out.bytes
+                    .extend_from_slice(&word(OP_ECALL, 0, 0, 0, service as i32));
+            }
+            Inst::Halt => out.bytes.extend_from_slice(&word(OP_HALT, 0, 0, 0, 0)),
+            Inst::Nop => out.bytes.extend_from_slice(&word(OP_NOP, 0, 0, 0, 0)),
+        }
+        debug_assert_eq!(out.bytes.len() as u32, start + inst_len(inst));
+    }
+    Ok(out)
+}
+
+/// Decodes one NxP instruction (8 or 16 bytes).
+///
+/// # Errors
+///
+/// [`DecodeError::UnknownOpcode`] for non-NxP opcodes (e.g. host code),
+/// [`DecodeError::StrayConstHigh`] for a jump into the middle of a `li`
+/// pair, [`DecodeError::Truncated`] on short input.
+pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
+    if bytes.len() < W as usize {
+        return Err(DecodeError::Truncated);
+    }
+    let op = bytes[0];
+    let imm = i32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    let inst = match op {
+        _ if (OP_ALU..OP_ALU + 13).contains(&op) => Inst::Alu {
+            op: AluOp::from_tag(op - OP_ALU).unwrap(),
+            rd: check_reg(bytes[1])?,
+            rs1: check_reg(bytes[2])?,
+            rs2: check_reg(bytes[3])?,
+        },
+        _ if (OP_ALUI..OP_ALUI + 13).contains(&op) => Inst::AluImm {
+            op: AluOp::from_tag(op - OP_ALUI).unwrap(),
+            rd: check_reg(bytes[1])?,
+            rs1: check_reg(bytes[2])?,
+            imm,
+        },
+        OP_LI_LO => {
+            if bytes.len() < 2 * W as usize {
+                return Err(DecodeError::Truncated);
+            }
+            if bytes[8] != OP_LI_HI {
+                return Err(DecodeError::StrayConstHigh);
+            }
+            let hi = i32::from_le_bytes(bytes[12..16].try_into().unwrap());
+            let val = (imm as u32 as u64) | ((hi as u32 as u64) << 32);
+            return Ok((
+                Inst::Li {
+                    rd: check_reg(bytes[1])?,
+                    imm: val as i64,
+                },
+                2 * W as usize,
+            ));
+        }
+        OP_LI_HI => return Err(DecodeError::StrayConstHigh),
+        _ if (OP_LD..OP_LD + 4).contains(&op) => Inst::Ld {
+            rd: check_reg(bytes[1])?,
+            base: check_reg(bytes[2])?,
+            off: imm,
+            size: MemSize::from_tag(op - OP_LD).unwrap(),
+        },
+        _ if (OP_ST..OP_ST + 4).contains(&op) => Inst::St {
+            rs: check_reg(bytes[1])?,
+            base: check_reg(bytes[2])?,
+            off: imm,
+            size: MemSize::from_tag(op - OP_ST).unwrap(),
+        },
+        _ if (OP_BR..OP_BR + 6).contains(&op) => Inst::Branch {
+            op: BranchOp::from_tag(op - OP_BR).unwrap(),
+            rs1: check_reg(bytes[1])?,
+            rs2: check_reg(bytes[2])?,
+            target: Target::Rel(imm as i64),
+        },
+        OP_JAL => Inst::Jal {
+            rd: check_reg(bytes[1])?,
+            target: Target::Rel(imm as i64),
+        },
+        OP_JALR => Inst::Jalr {
+            rd: check_reg(bytes[1])?,
+            rs1: check_reg(bytes[2])?,
+            off: imm,
+        },
+        OP_RET => Inst::Ret,
+        OP_ECALL => Inst::Ecall {
+            service: imm as u16,
+        },
+        OP_HALT => Inst::Halt,
+        OP_NOP => Inst::Nop,
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    };
+    Ok((inst, W as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::abi;
+    use crate::{FuncBuilder, TargetIsa};
+
+    #[test]
+    fn all_words_are_eight_bytes() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Nxp);
+        f.addi(abi::A0, abi::A0, 1);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(enc.bytes.len(), 16);
+    }
+
+    #[test]
+    fn li_is_a_pair_and_round_trips() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Nxp);
+        f.li(abi::A0, -1);
+        f.li(abi::A1, 0x7FFF_FFFF_FFFF_FFFF);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        let (i0, l0) = decode(&enc.bytes).unwrap();
+        assert_eq!(i0, Inst::Li { rd: abi::A0, imm: -1 });
+        assert_eq!(l0, 16);
+        let (i1, _) = decode(&enc.bytes[16..]).unwrap();
+        assert_eq!(
+            i1,
+            Inst::Li {
+                rd: abi::A1,
+                imm: 0x7FFF_FFFF_FFFF_FFFF
+            }
+        );
+    }
+
+    #[test]
+    fn jump_into_li_pair_is_illegal() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Nxp);
+        f.li(abi::A0, 42);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(decode(&enc.bytes[8..]), Err(DecodeError::StrayConstHigh));
+    }
+
+    #[test]
+    fn li_sym_emits_pair_reloc() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Nxp);
+        f.nop();
+        f.li_sym(abi::A0, "table");
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(enc.relocs.len(), 1);
+        let r = &enc.relocs[0];
+        assert_eq!(r.kind, RelocKind::Abs64Pair);
+        assert_eq!(r.inst_start, 8);
+        assert_eq!(r.field_at, 12);
+    }
+
+    #[test]
+    fn ecall_service_round_trips() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Nxp);
+        f.ecall(0x1FF);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        let (inst, _) = decode(&enc.bytes).unwrap();
+        assert_eq!(inst, Inst::Ecall { service: 0x1FF });
+    }
+}

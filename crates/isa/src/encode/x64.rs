@@ -1,0 +1,340 @@
+//! The variable-length host encoding ("x64-like").
+//!
+//! Instructions are 1–10 bytes: an opcode byte followed by operand
+//! bytes whose count the opcode determines — the defining property of
+//! x86-style encodings, and the reason a RISC-V-style core that jumps
+//! into these bytes can fault on *alignment* before it ever decodes
+//! (§IV-B2). Opcodes live in `0x80..=0xBD`, disjoint from the rv64
+//! space.
+
+use super::{check_reg, DecodeError, EncodeError, Encoded, Reloc, RelocKind};
+use crate::func::Func;
+use crate::inst::{AluOp, BranchOp, Inst, MemSize, Target};
+
+const OP_ALU: u8 = 0x80; // +alu_tag (13)
+const OP_ALUI: u8 = 0x90; // +alu_tag (13)
+const OP_LI: u8 = 0xA0;
+const OP_LD: u8 = 0xA4; // +size_tag (4)
+const OP_ST: u8 = 0xA8; // +size_tag (4)
+const OP_BR: u8 = 0xB0; // +branch_tag (6)
+const OP_JAL: u8 = 0xB8;
+const OP_JALR: u8 = 0xB9;
+const OP_RET: u8 = 0xBA;
+const OP_ECALL: u8 = 0xBB;
+const OP_HALT: u8 = 0xBC;
+const OP_NOP: u8 = 0xBD;
+
+/// Encoded length of one instruction.
+fn inst_len(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Alu { .. } => 4,
+        Inst::AluImm { .. } => 7,
+        Inst::Li { .. } | Inst::LiSym { .. } => 10,
+        Inst::Ld { .. } | Inst::St { .. } => 7,
+        Inst::Branch { .. } => 7,
+        Inst::Jal { .. } => 6,
+        Inst::Jalr { .. } => 7,
+        Inst::Ret | Inst::Halt | Inst::Nop => 1,
+        Inst::Ecall { .. } => 3,
+    }
+}
+
+/// Encodes `func` into host bytes.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BranchOutOfRange`] if a label displacement
+/// overflows 32 bits.
+pub fn encode(func: &Func) -> Result<Encoded, EncodeError> {
+    // Pass 1: layout.
+    let mut offsets = Vec::with_capacity(func.insts.len());
+    let mut off = 0u32;
+    for inst in &func.insts {
+        offsets.push(off);
+        off += inst_len(inst);
+    }
+    let label_off = |l: crate::func::Label| offsets[func.labels[l.0 as usize].unwrap()];
+
+    // Pass 2: emit.
+    let mut out = Encoded {
+        bytes: Vec::with_capacity(off as usize),
+        relocs: Vec::new(),
+        offsets: offsets.clone(),
+    };
+    for (i, inst) in func.insts.iter().enumerate() {
+        let start = offsets[i];
+        let b = &mut out.bytes;
+        match *inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                b.extend_from_slice(&[OP_ALU + op.tag(), rd.0, rs1.0, rs2.0]);
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                b.extend_from_slice(&[OP_ALUI + op.tag(), rd.0, rs1.0]);
+                b.extend_from_slice(&imm.to_le_bytes());
+            }
+            Inst::Li { rd, imm } => {
+                b.extend_from_slice(&[OP_LI, rd.0]);
+                b.extend_from_slice(&imm.to_le_bytes());
+            }
+            Inst::LiSym { rd, sym } => {
+                out.relocs.push(Reloc {
+                    field_at: start + 2,
+                    inst_start: start,
+                    kind: RelocKind::Abs64,
+                    symbol: func.symbol_name(sym).to_string(),
+                });
+                b.extend_from_slice(&[OP_LI, rd.0]);
+                b.extend_from_slice(&0u64.to_le_bytes());
+            }
+            Inst::Ld { rd, base, off, size } => {
+                b.extend_from_slice(&[OP_LD + size.tag(), rd.0, base.0]);
+                b.extend_from_slice(&off.to_le_bytes());
+            }
+            Inst::St { rs, base, off, size } => {
+                b.extend_from_slice(&[OP_ST + size.tag(), rs.0, base.0]);
+                b.extend_from_slice(&off.to_le_bytes());
+            }
+            Inst::Branch { op, rs1, rs2, target } => {
+                let rel: i64 = match target {
+                    Target::Label(l) => label_off(l) as i64 - start as i64,
+                    Target::Rel(d) => d,
+                    Target::Symbol(_) => unreachable!("branches use labels"),
+                };
+                let rel32 =
+                    i32::try_from(rel).map_err(|_| EncodeError::BranchOutOfRange { inst: i })?;
+                b.extend_from_slice(&[OP_BR + op.tag(), rs1.0, rs2.0]);
+                b.extend_from_slice(&rel32.to_le_bytes());
+            }
+            Inst::Jal { rd, target } => {
+                let rel32: i32 = match target {
+                    Target::Label(l) => {
+                        i32::try_from(label_off(l) as i64 - start as i64)
+                            .map_err(|_| EncodeError::BranchOutOfRange { inst: i })?
+                    }
+                    Target::Rel(d) => {
+                        i32::try_from(d).map_err(|_| EncodeError::BranchOutOfRange { inst: i })?
+                    }
+                    Target::Symbol(s) => {
+                        out.relocs.push(Reloc {
+                            field_at: start + 2,
+                            inst_start: start,
+                            kind: RelocKind::Rel32,
+                            symbol: func.symbol_name(s).to_string(),
+                        });
+                        0
+                    }
+                };
+                b.extend_from_slice(&[OP_JAL, rd.0]);
+                b.extend_from_slice(&rel32.to_le_bytes());
+            }
+            Inst::Jalr { rd, rs1, off } => {
+                b.extend_from_slice(&[OP_JALR, rd.0, rs1.0]);
+                b.extend_from_slice(&off.to_le_bytes());
+            }
+            Inst::Ret => b.push(OP_RET),
+            Inst::Ecall { service } => {
+                b.push(OP_ECALL);
+                b.extend_from_slice(&service.to_le_bytes());
+            }
+            Inst::Halt => b.push(OP_HALT),
+            Inst::Nop => b.push(OP_NOP),
+        }
+        debug_assert_eq!(out.bytes.len() as u32, start + inst_len(inst));
+    }
+    Ok(out)
+}
+
+fn need(bytes: &[u8], n: usize) -> Result<(), DecodeError> {
+    if bytes.len() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn i32_at(bytes: &[u8], at: usize) -> i32 {
+    i32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// Decodes one host instruction, returning it and its byte length.
+///
+/// # Errors
+///
+/// [`DecodeError::UnknownOpcode`] for bytes outside the host opcode
+/// space (e.g. rv64 code), [`DecodeError::Truncated`] on short input.
+pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
+    need(bytes, 1)?;
+    let op = bytes[0];
+    match op {
+        _ if (OP_ALU..OP_ALU + 13).contains(&op) => {
+            need(bytes, 4)?;
+            Ok((
+                Inst::Alu {
+                    op: AluOp::from_tag(op - OP_ALU).unwrap(),
+                    rd: check_reg(bytes[1])?,
+                    rs1: check_reg(bytes[2])?,
+                    rs2: check_reg(bytes[3])?,
+                },
+                4,
+            ))
+        }
+        _ if (OP_ALUI..OP_ALUI + 13).contains(&op) => {
+            need(bytes, 7)?;
+            Ok((
+                Inst::AluImm {
+                    op: AluOp::from_tag(op - OP_ALUI).unwrap(),
+                    rd: check_reg(bytes[1])?,
+                    rs1: check_reg(bytes[2])?,
+                    imm: i32_at(bytes, 3),
+                },
+                7,
+            ))
+        }
+        OP_LI => {
+            need(bytes, 10)?;
+            Ok((
+                Inst::Li {
+                    rd: check_reg(bytes[1])?,
+                    imm: i64::from_le_bytes(bytes[2..10].try_into().unwrap()),
+                },
+                10,
+            ))
+        }
+        _ if (OP_LD..OP_LD + 4).contains(&op) => {
+            need(bytes, 7)?;
+            Ok((
+                Inst::Ld {
+                    rd: check_reg(bytes[1])?,
+                    base: check_reg(bytes[2])?,
+                    off: i32_at(bytes, 3),
+                    size: MemSize::from_tag(op - OP_LD).unwrap(),
+                },
+                7,
+            ))
+        }
+        _ if (OP_ST..OP_ST + 4).contains(&op) => {
+            need(bytes, 7)?;
+            Ok((
+                Inst::St {
+                    rs: check_reg(bytes[1])?,
+                    base: check_reg(bytes[2])?,
+                    off: i32_at(bytes, 3),
+                    size: MemSize::from_tag(op - OP_ST).unwrap(),
+                },
+                7,
+            ))
+        }
+        _ if (OP_BR..OP_BR + 6).contains(&op) => {
+            need(bytes, 7)?;
+            Ok((
+                Inst::Branch {
+                    op: BranchOp::from_tag(op - OP_BR).unwrap(),
+                    rs1: check_reg(bytes[1])?,
+                    rs2: check_reg(bytes[2])?,
+                    target: Target::Rel(i32_at(bytes, 3) as i64),
+                },
+                7,
+            ))
+        }
+        OP_JAL => {
+            need(bytes, 6)?;
+            Ok((
+                Inst::Jal {
+                    rd: check_reg(bytes[1])?,
+                    target: Target::Rel(i32_at(bytes, 2) as i64),
+                },
+                6,
+            ))
+        }
+        OP_JALR => {
+            need(bytes, 7)?;
+            Ok((
+                Inst::Jalr {
+                    rd: check_reg(bytes[1])?,
+                    rs1: check_reg(bytes[2])?,
+                    off: i32_at(bytes, 3),
+                },
+                7,
+            ))
+        }
+        OP_RET => Ok((Inst::Ret, 1)),
+        OP_ECALL => {
+            need(bytes, 3)?;
+            Ok((
+                Inst::Ecall {
+                    service: u16::from_le_bytes(bytes[1..3].try_into().unwrap()),
+                },
+                3,
+            ))
+        }
+        OP_HALT => Ok((Inst::Halt, 1)),
+        OP_NOP => Ok((Inst::Nop, 1)),
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::abi;
+    use crate::{FuncBuilder, TargetIsa};
+
+    #[test]
+    fn ret_is_one_byte() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(enc.bytes, vec![OP_RET]);
+    }
+
+    #[test]
+    fn jal_symbol_emits_rel32_reloc() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        f.call("target_fn");
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(enc.relocs.len(), 1);
+        let r = &enc.relocs[0];
+        assert_eq!(r.kind, RelocKind::Rel32);
+        assert_eq!(r.inst_start, 0);
+        assert_eq!(r.field_at, 2);
+        assert_eq!(r.symbol, "target_fn");
+    }
+
+    #[test]
+    fn function_entry_lengths_are_odd_sizes() {
+        // Variable length means consecutive host functions start at
+        // arbitrary (unaligned) offsets — the property that makes the
+        // NxP's misaligned-fetch trigger fire.
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        f.ecall(1); // 3 bytes
+        f.ret(); // 1 byte
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(enc.bytes.len(), 4);
+        assert_eq!(enc.bytes.len() % 8, 4);
+    }
+
+    #[test]
+    fn decode_rejects_register_out_of_range() {
+        let bytes = [OP_ALU, 40, 0, 0];
+        assert_eq!(decode(&bytes), Err(DecodeError::BadRegister(40)));
+    }
+
+    #[test]
+    fn negative_immediates_round_trip() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        f.addi(abi::SP, abi::SP, -4096);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        let (inst, _) = decode(&enc.bytes).unwrap();
+        assert_eq!(
+            inst,
+            Inst::AluImm {
+                op: AluOp::Add,
+                rd: abi::SP,
+                rs1: abi::SP,
+                imm: -4096
+            }
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! A small expression compiler on top of the [`FuncBuilder`] assembler.
+//!
+//! The paper's toolchain invokes *unmodified per-ISA compilers* on
+//! annotated C (§IV-C1); this reproduction's equivalent of "the
+//! compiler" is this module: it lowers arithmetic expression trees to
+//! FIR, which the per-ISA encoders then turn into machine code. It
+//! exists so workloads can be written at a C-expression level of
+//! abstraction instead of hand-allocating scratch registers.
+//!
+//! Code generation is deliberately the simplest correct scheme — a
+//! stack machine over a memory operand stack below `sp`, touching only
+//! two scratch registers — i.e. what a non-optimizing compiler emits.
+//! Correctness is locked by differential tests against [`Expr::eval`].
+
+use crate::func::FuncBuilder;
+use crate::inst::{abi, AluOp, MemSize};
+use std::fmt;
+
+/// A binary operator usable in expressions (any FIR ALU op).
+pub type BinOp = AluOp;
+
+/// Maximum supported expression depth (operand-stack slots).
+pub const MAX_DEPTH: usize = 64;
+
+/// An arithmetic expression over the function's arguments.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A 64-bit constant.
+    Const(i64),
+    /// The `i`-th function argument (`a0`–`a5`).
+    Arg(u8),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// `self op rhs`.
+    pub fn bin(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+
+
+    /// Bitwise-xor helper.
+    pub fn xor(self, rhs: Expr) -> Expr {
+        self.bin(AluOp::Xor, rhs)
+    }
+
+    /// Reference evaluation (the semantics code generation must match).
+    pub fn eval(&self, args: &[u64]) -> u64 {
+        match self {
+            Expr::Const(c) => *c as u64,
+            Expr::Arg(i) => args.get(*i as usize).copied().unwrap_or(0),
+            Expr::Bin(op, a, b) => op.eval(a.eval(args), b.eval(args)),
+        }
+    }
+
+    /// Expression depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Arg(_) => 1,
+            Expr::Bin(_, a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        self.bin(AluOp::Add, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        self.bin(AluOp::Sub, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        self.bin(AluOp::Mul, rhs)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Arg(i) => write!(f, "a{i}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+/// Errors from expression compilation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExprError {
+    /// `Arg(i)` with `i >= 6`.
+    BadArg(u8),
+    /// Expression deeper than [`MAX_DEPTH`].
+    TooDeep(usize),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::BadArg(i) => write!(f, "argument index {i} out of range (a0-a5)"),
+            ExprError::TooDeep(d) => write!(f, "expression depth {d} exceeds {MAX_DEPTH}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+// Frame layout below sp (the caller's red zone is ours to use inside
+// a leaf body): [sp-8*(1+i)] = operand stack slot i, then six argument
+// snapshots above the operand area.
+const ARG_SAVE: i32 = -(8 * (MAX_DEPTH as i32 + 7));
+
+fn arg_slot(i: u8) -> i32 {
+    ARG_SAVE + 8 * i as i32
+}
+
+fn stack_slot(depth: usize) -> i32 {
+    -(8 * (depth as i32 + 1))
+}
+
+/// Compiles `expr` so that its value ends up in `a0`.
+///
+/// Emits into an *entry-style* position: the function's arguments must
+/// still be live in `a0`–`a5`. Clobbers `t0`/`t1` and a red-zone area
+/// below `sp`; all other registers are preserved.
+///
+/// # Errors
+///
+/// [`ExprError::BadArg`] for out-of-range argument references,
+/// [`ExprError::TooDeep`] for expressions beyond [`MAX_DEPTH`].
+pub fn compile_expr(f: &mut FuncBuilder, expr: &Expr) -> Result<(), ExprError> {
+    if expr.depth() > MAX_DEPTH {
+        return Err(ExprError::TooDeep(expr.depth()));
+    }
+    let mut used = [false; 6];
+    collect_args(expr, &mut used)?;
+    // Snapshot referenced arguments: the operand stack never aliases
+    // them, but the caller may reuse a0-a5 between sub-expressions.
+    for (i, u) in used.iter().enumerate() {
+        if *u {
+            f.st(abi::A0.checked(i as u8), abi::SP, arg_slot(i as u8), MemSize::B8);
+        }
+    }
+    emit(f, expr, 0);
+    f.ld(abi::A0, abi::SP, stack_slot(0), MemSize::B8);
+    Ok(())
+}
+
+trait RegExt {
+    fn checked(self, offset: u8) -> crate::inst::Reg;
+}
+
+impl RegExt for crate::inst::Reg {
+    fn checked(self, offset: u8) -> crate::inst::Reg {
+        crate::inst::Reg(self.0 + offset)
+    }
+}
+
+fn collect_args(e: &Expr, used: &mut [bool; 6]) -> Result<(), ExprError> {
+    match e {
+        Expr::Const(_) => Ok(()),
+        Expr::Arg(i) => {
+            if *i >= 6 {
+                return Err(ExprError::BadArg(*i));
+            }
+            used[*i as usize] = true;
+            Ok(())
+        }
+        Expr::Bin(_, a, b) => {
+            collect_args(a, used)?;
+            collect_args(b, used)
+        }
+    }
+}
+
+/// Emits code leaving the value in operand-stack slot `depth`.
+fn emit(f: &mut FuncBuilder, e: &Expr, depth: usize) {
+    match e {
+        Expr::Const(c) => {
+            f.li(abi::T0, *c);
+            f.st(abi::T0, abi::SP, stack_slot(depth), MemSize::B8);
+        }
+        Expr::Arg(i) => {
+            f.ld(abi::T0, abi::SP, arg_slot(*i), MemSize::B8);
+            f.st(abi::T0, abi::SP, stack_slot(depth), MemSize::B8);
+        }
+        Expr::Bin(op, a, b) => {
+            emit(f, a, depth);
+            emit(f, b, depth + 1);
+            f.ld(abi::T0, abi::SP, stack_slot(depth), MemSize::B8);
+            f.ld(abi::T1, abi::SP, stack_slot(depth + 1), MemSize::B8);
+            f.push(crate::inst::Inst::Alu {
+                op: *op,
+                rd: abi::T0,
+                rs1: abi::T0,
+                rs2: abi::T1,
+            });
+            f.st(abi::T0, abi::SP, stack_slot(depth), MemSize::B8);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::ops::{Add, Mul, Sub};
+
+    #[test]
+    fn display_is_parenthesised() {
+        let e = Expr::Arg(0).add(Expr::Const(3)).mul(Expr::Arg(1));
+        assert_eq!(e.to_string(), "((a0 add 3) mul a1)");
+    }
+
+    #[test]
+    fn eval_matches_hand_computation() {
+        let e = Expr::Arg(0)
+            .add(Expr::Const(3))
+            .mul(Expr::Arg(1).sub(Expr::Const(1)));
+        assert_eq!(e.eval(&[7, 5]), (7 + 3) * (5 - 1));
+    }
+
+    #[test]
+    fn bad_arg_rejected() {
+        let mut f = FuncBuilder::new("f", crate::TargetIsa::Host);
+        assert_eq!(
+            compile_expr(&mut f, &Expr::Arg(6)),
+            Err(ExprError::BadArg(6))
+        );
+    }
+
+    #[test]
+    fn too_deep_rejected() {
+        let mut e = Expr::Const(1);
+        for _ in 0..MAX_DEPTH + 1 {
+            e = e.add(Expr::Const(1));
+        }
+        let mut f = FuncBuilder::new("f", crate::TargetIsa::Host);
+        assert_eq!(
+            compile_expr(&mut f, &e),
+            Err(ExprError::TooDeep(MAX_DEPTH + 2))
+        );
+    }
+
+    #[test]
+    fn compiles_and_encodes_for_both_isas() {
+        let e = Expr::Arg(0).mul(Expr::Const(3)).add(Expr::Arg(1));
+        for target in [crate::TargetIsa::Host, crate::TargetIsa::Nxp] {
+            let mut f = FuncBuilder::new("f", target);
+            compile_expr(&mut f, &e).unwrap();
+            f.ret();
+            assert!(target.isa().encode(&f.finish()).is_ok());
+        }
+    }
+}

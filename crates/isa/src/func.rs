@@ -1,0 +1,416 @@
+//! Functions and the label-based assembler used to write them.
+
+use crate::inst::{abi, AluOp, BranchOp, Inst, MemSize, Reg, Target};
+use crate::TargetIsa;
+use std::collections::HashMap;
+
+/// A forward-referencable position inside a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(pub u32);
+
+/// An assembled (but not yet encoded) function.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// Function name (the linker symbol it defines).
+    pub name: String,
+    /// Which ISA the user assigned this function to.
+    pub target: TargetIsa,
+    /// Instruction sequence; branch targets may be [`Target::Label`].
+    pub insts: Vec<Inst>,
+    /// Label bindings: label index → instruction index.
+    pub labels: Vec<Option<usize>>,
+    /// Referenced external symbol names, indexed by [`Target::Symbol`]
+    /// and [`Inst::LiSym`].
+    pub symbols: Vec<String>,
+    /// Extra symbols this function exports at label positions (e.g. a
+    /// re-entry point inside a loop), as `(name, label)` pairs.
+    pub exports: Vec<(String, Label)>,
+}
+
+impl Func {
+    /// Looks up the symbol name for a [`Target::Symbol`] index.
+    pub fn symbol_name(&self, idx: u32) -> &str {
+        &self.symbols[idx as usize]
+    }
+}
+
+/// Builds a [`Func`] instruction by instruction.
+///
+/// This is the reproduction's "assembler": workloads and the Flick
+/// migration handlers are written against it, then encoded for whichever
+/// ISA their annotation selects.
+///
+/// # Examples
+///
+/// ```
+/// use flick_isa::{abi, FuncBuilder, MemSize, TargetIsa};
+///
+/// // long count_nodes(node* p) { long n = 0; while (p) { n++; p = p->next; } return n; }
+/// let mut f = FuncBuilder::new("count_nodes", TargetIsa::Nxp);
+/// let loop_top = f.new_label();
+/// let done = f.new_label();
+/// f.li(abi::T0, 0);
+/// f.bind(loop_top);
+/// f.beq(abi::A0, abi::ZERO, done);
+/// f.addi(abi::T0, abi::T0, 1);
+/// f.ld(abi::A0, abi::A0, 0, MemSize::B8);
+/// f.jmp(loop_top);
+/// f.bind(done);
+/// f.mv(abi::A0, abi::T0);
+/// f.ret();
+/// let func = f.finish();
+/// assert_eq!(func.name, "count_nodes");
+/// ```
+#[derive(Debug)]
+pub struct FuncBuilder {
+    func: Func,
+    sym_index: HashMap<String, u32>,
+}
+
+impl FuncBuilder {
+    /// Starts a function named `name` targeting `target`.
+    pub fn new(name: impl Into<String>, target: TargetIsa) -> Self {
+        FuncBuilder {
+            func: Func {
+                name: name.into(),
+                target,
+                insts: Vec::new(),
+                labels: Vec::new(),
+                symbols: Vec::new(),
+                exports: Vec::new(),
+            },
+            sym_index: HashMap::new(),
+        }
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.func.labels.len() as u32);
+        self.func.labels.push(None);
+        l
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.func.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.func.insts.len());
+    }
+
+    /// Exports `label`'s position under `name` in the linked image —
+    /// used by the Flick runtime to enter the migration handler's loop
+    /// directly (the paper's "thread starts execution inside the
+    /// while() loop", §IV-B1).
+    pub fn export_label(&mut self, name: impl Into<String>, label: Label) -> &mut Self {
+        self.func.exports.push((name.into(), label));
+        self
+    }
+
+    /// Interns `name` into the symbol table.
+    pub fn symbol(&mut self, name: &str) -> u32 {
+        if let Some(&i) = self.sym_index.get(name) {
+            return i;
+        }
+        let i = self.func.symbols.len() as u32;
+        self.func.symbols.push(name.to_string());
+        self.sym_index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Emits a raw instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.func.insts.push(inst);
+        self
+    }
+
+    // ---- ALU ----------------------------------------------------------
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sub, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Mul, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 / rs2` (unsigned).
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Divu, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 % rs2` (unsigned).
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Remu, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::And, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Or, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Xor, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 << rs2`.
+    pub fn sll(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sll, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 >> rs2` (logical).
+    pub fn srl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Srl, rd, rs1, rs2 })
+    }
+
+    /// `rd = (rs1 < rs2)` unsigned.
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.push(Inst::Alu { op: AluOp::Sltu, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::And, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Sll, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Srl, rd, rs1, imm })
+    }
+
+    /// `rd = rs1` (move).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.push(Inst::AluImm { op: AluOp::Add, rd, rs1: rs, imm: 0 })
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.push(Inst::Li { rd, imm })
+    }
+
+    /// `rd = &name` (address of a linker symbol).
+    pub fn li_sym(&mut self, rd: Reg, name: &str) -> &mut Self {
+        let sym = self.symbol(name);
+        self.push(Inst::LiSym { rd, sym })
+    }
+
+    // ---- memory -------------------------------------------------------
+
+    /// `rd = mem[base+off]` of the given width (zero-extended).
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i32, size: MemSize) -> &mut Self {
+        self.push(Inst::Ld { rd, base, off, size })
+    }
+
+    /// `mem[base+off] = rs` of the given width.
+    pub fn st(&mut self, rs: Reg, base: Reg, off: i32, size: MemSize) -> &mut Self {
+        self.push(Inst::St { rs, base, off, size })
+    }
+
+    // ---- control flow --------------------------------------------------
+
+    fn branch(&mut self, op: BranchOp, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.push(Inst::Branch { op, rs1, rs2, target: Target::Label(l) })
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch(BranchOp::Eq, rs1, rs2, l)
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch(BranchOp::Ne, rs1, rs2, l)
+    }
+
+    /// Branch if signed less-than.
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch(BranchOp::Lt, rs1, rs2, l)
+    }
+
+    /// Branch if signed greater-or-equal.
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch(BranchOp::Ge, rs1, rs2, l)
+    }
+
+    /// Branch if unsigned less-than.
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch(BranchOp::Ltu, rs1, rs2, l)
+    }
+
+    /// Branch if unsigned greater-or-equal.
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, l: Label) -> &mut Self {
+        self.branch(BranchOp::Geu, rs1, rs2, l)
+    }
+
+    /// Unconditional jump to a local label.
+    pub fn jmp(&mut self, l: Label) -> &mut Self {
+        self.push(Inst::Jal { rd: abi::ZERO, target: Target::Label(l) })
+    }
+
+    /// Calls a named function (the linker resolves the symbol — possibly
+    /// to a function on the *other* ISA, which is where migrations come
+    /// from).
+    pub fn call(&mut self, name: &str) -> &mut Self {
+        let sym = self.symbol(name);
+        self.push(Inst::Jal { rd: abi::RA, target: Target::Symbol(sym) })
+    }
+
+    /// Indirect call through a register (function pointers).
+    pub fn call_reg(&mut self, rs1: Reg) -> &mut Self {
+        self.push(Inst::Jalr { rd: abi::RA, rs1, off: 0 })
+    }
+
+    /// Return.
+    pub fn ret(&mut self) -> &mut Self {
+        self.push(Inst::Ret)
+    }
+
+    /// Service call.
+    pub fn ecall(&mut self, service: u16) -> &mut Self {
+        self.push(Inst::Ecall { service })
+    }
+
+    /// Halt (thread exit).
+    pub fn halt(&mut self) -> &mut Self {
+        self.push(Inst::Halt)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+
+    // ---- stack helpers --------------------------------------------------
+
+    /// Prologue: `sp -= bytes`, then store `ra` at `sp+0` and the given
+    /// callee-saved registers at successive slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too small for `ra` plus the saves.
+    pub fn prologue(&mut self, bytes: i32, saves: &[Reg]) -> &mut Self {
+        assert!(bytes as usize >= 8 * (1 + saves.len()), "frame too small");
+        self.addi(abi::SP, abi::SP, -bytes);
+        self.st(abi::RA, abi::SP, 0, MemSize::B8);
+        for (i, &r) in saves.iter().enumerate() {
+            self.st(r, abi::SP, 8 * (1 + i as i32), MemSize::B8);
+        }
+        self
+    }
+
+    /// Epilogue matching [`prologue`](Self::prologue), ending in `ret`.
+    pub fn epilogue(&mut self, bytes: i32, saves: &[Reg]) -> &mut Self {
+        self.ld(abi::RA, abi::SP, 0, MemSize::B8);
+        for (i, &r) in saves.iter().enumerate() {
+            self.ld(r, abi::SP, 8 * (1 + i as i32), MemSize::B8);
+        }
+        self.addi(abi::SP, abi::SP, bytes);
+        self.ret()
+    }
+
+    /// Finishes the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is still unbound or the body is empty.
+    pub fn finish(self) -> Func {
+        assert!(!self.func.insts.is_empty(), "empty function body");
+        for (i, l) in self.func.labels.iter().enumerate() {
+            assert!(l.is_some(), "label .L{i} never bound");
+        }
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_binds_labels() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        let l = f.new_label();
+        f.li(abi::A0, 1);
+        f.bind(l);
+        f.jmp(l);
+        let func = f.finish();
+        assert_eq!(func.labels[0], Some(1));
+        assert_eq!(func.insts.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "label .L0 never bound")]
+    fn unbound_label_rejected() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        let l = f.new_label();
+        f.jmp(l);
+        // intentionally no bind
+        let mut g = f;
+        g.nop();
+        g.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_rejected() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        let l = f.new_label();
+        f.nop();
+        f.bind(l);
+        f.bind(l);
+    }
+
+    #[test]
+    fn symbols_are_interned() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Host);
+        f.call("g");
+        f.call("g");
+        f.call("h");
+        f.ret();
+        let func = f.finish();
+        assert_eq!(func.symbols, vec!["g".to_string(), "h".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty function body")]
+    fn empty_function_rejected() {
+        FuncBuilder::new("f", TargetIsa::Host).finish();
+    }
+
+    #[test]
+    fn prologue_epilogue_shape() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Nxp);
+        f.prologue(32, &[abi::S0, abi::S1]);
+        f.epilogue(32, &[abi::S0, abi::S1]);
+        let func = f.finish();
+        // addi, st ra, st s0, st s1 / ld ra, ld s0, ld s1, addi, ret
+        assert_eq!(func.insts.len(), 9);
+        assert_eq!(func.insts[8], Inst::Ret);
+    }
+}

@@ -1,0 +1,595 @@
+//! The FIR instruction set, registers, and calling convention.
+
+use std::fmt;
+
+/// A FIR register, `r0`–`r31`.
+///
+/// `r0` reads as zero and ignores writes (RISC-V style); the shared
+/// logical ABI is in [`abi`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Constructs `r{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn new(n: u8) -> Reg {
+        assert!(n < 32, "register index out of range");
+        Reg(n)
+    }
+
+    /// Register index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            0 => write!(f, "zero"),
+            1 => write!(f, "ra"),
+            2 => write!(f, "sp"),
+            10..=15 => write!(f, "a{}", self.0 - 10),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// The shared logical calling convention.
+///
+/// Both encodings use the same register *roles* so that the migration
+/// descriptor can carry argument registers verbatim; the paper relies on
+/// "all functions that can trigger a migration \[following\] the standard
+/// function call convention" (§IV-B).
+pub mod abi {
+    use super::Reg;
+
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer (grows down, 16-byte aligned at calls).
+    pub const SP: Reg = Reg(2);
+    /// Argument/return registers `a0`–`a5`.
+    pub const A0: Reg = Reg(10);
+    /// Second argument register.
+    pub const A1: Reg = Reg(11);
+    /// Third argument register.
+    pub const A2: Reg = Reg(12);
+    /// Fourth argument register.
+    pub const A3: Reg = Reg(13);
+    /// Fifth argument register.
+    pub const A4: Reg = Reg(14);
+    /// Sixth argument register.
+    pub const A5: Reg = Reg(15);
+    /// Scratch registers not preserved across calls.
+    pub const T0: Reg = Reg(5);
+    /// Second scratch register.
+    pub const T1: Reg = Reg(6);
+    /// Third scratch register.
+    pub const T2: Reg = Reg(7);
+    /// Fourth scratch register.
+    pub const T3: Reg = Reg(28);
+    /// Fifth scratch register.
+    pub const T4: Reg = Reg(29);
+    /// Callee-saved registers.
+    pub const S0: Reg = Reg(18);
+    /// Second callee-saved register.
+    pub const S1: Reg = Reg(19);
+    /// Third callee-saved register.
+    pub const S2: Reg = Reg(20);
+    /// Fourth callee-saved register.
+    pub const S3: Reg = Reg(21);
+    /// Fifth callee-saved register.
+    pub const S4: Reg = Reg(22);
+    /// Sixth callee-saved register.
+    pub const S5: Reg = Reg(23);
+    /// Seventh callee-saved register.
+    pub const S6: Reg = Reg(24);
+    /// Eighth callee-saved register.
+    pub const S7: Reg = Reg(25);
+    /// Ninth callee-saved register.
+    pub const S8: Reg = Reg(26);
+    /// Tenth callee-saved register.
+    pub const S9: Reg = Reg(27);
+
+    /// Number of register-passed arguments (a0–a5).
+    pub const NUM_ARG_REGS: usize = 6;
+}
+
+/// Memory access width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub const fn bytes(self) -> u64 {
+        match self {
+            MemSize::B1 => 1,
+            MemSize::B2 => 2,
+            MemSize::B4 => 4,
+            MemSize::B8 => 8,
+        }
+    }
+
+    /// Encoding tag (two bits).
+    pub const fn tag(self) -> u8 {
+        match self {
+            MemSize::B1 => 0,
+            MemSize::B2 => 1,
+            MemSize::B4 => 2,
+            MemSize::B8 => 3,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub const fn from_tag(t: u8) -> Option<MemSize> {
+        match t {
+            0 => Some(MemSize::B1),
+            1 => Some(MemSize::B2),
+            2 => Some(MemSize::B4),
+            3 => Some(MemSize::B8),
+            _ => None,
+        }
+    }
+}
+
+/// Comparison for conditional branches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl BranchOp {
+    /// Evaluates the comparison.
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            BranchOp::Eq => a == b,
+            BranchOp::Ne => a != b,
+            BranchOp::Lt => (a as i64) < (b as i64),
+            BranchOp::Ge => (a as i64) >= (b as i64),
+            BranchOp::Ltu => a < b,
+            BranchOp::Geu => a >= b,
+        }
+    }
+
+    /// Encoding tag.
+    pub const fn tag(self) -> u8 {
+        match self {
+            BranchOp::Eq => 0,
+            BranchOp::Ne => 1,
+            BranchOp::Lt => 2,
+            BranchOp::Ge => 3,
+            BranchOp::Ltu => 4,
+            BranchOp::Geu => 5,
+        }
+    }
+
+    /// The logically negated comparison (`a op b` false ⇔ `a !op b`
+    /// true) — used by structured-control-flow lowering.
+    pub const fn negate(self) -> BranchOp {
+        match self {
+            BranchOp::Eq => BranchOp::Ne,
+            BranchOp::Ne => BranchOp::Eq,
+            BranchOp::Lt => BranchOp::Ge,
+            BranchOp::Ge => BranchOp::Lt,
+            BranchOp::Ltu => BranchOp::Geu,
+            BranchOp::Geu => BranchOp::Ltu,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub const fn from_tag(t: u8) -> Option<BranchOp> {
+        match t {
+            0 => Some(BranchOp::Eq),
+            1 => Some(BranchOp::Ne),
+            2 => Some(BranchOp::Lt),
+            3 => Some(BranchOp::Ge),
+            4 => Some(BranchOp::Ltu),
+            5 => Some(BranchOp::Geu),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BranchOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchOp::Eq => "beq",
+            BranchOp::Ne => "bne",
+            BranchOp::Lt => "blt",
+            BranchOp::Ge => "bge",
+            BranchOp::Ltu => "bltu",
+            BranchOp::Geu => "bgeu",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Two-source ALU operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (x/0 = all-ones, RISC-V style).
+    Divu,
+    /// Unsigned remainder (x%0 = x).
+    Remu,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical left shift (by low 6 bits).
+    Sll,
+    /// Logical right shift.
+    Srl,
+    /// Arithmetic right shift.
+    Sra,
+    /// Set-if-less-than, signed.
+    Slt,
+    /// Set-if-less-than, unsigned.
+    Sltu,
+}
+
+impl AluOp {
+    /// Evaluates the operation.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Divu => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::Remu => a.checked_rem(b).unwrap_or(a),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Sll => a << (b & 63),
+            AluOp::Srl => a >> (b & 63),
+            AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+            AluOp::Slt => ((a as i64) < (b as i64)) as u64,
+            AluOp::Sltu => (a < b) as u64,
+        }
+    }
+
+    /// Encoding tag.
+    pub const fn tag(self) -> u8 {
+        match self {
+            AluOp::Add => 0,
+            AluOp::Sub => 1,
+            AluOp::Mul => 2,
+            AluOp::Divu => 3,
+            AluOp::Remu => 4,
+            AluOp::And => 5,
+            AluOp::Or => 6,
+            AluOp::Xor => 7,
+            AluOp::Sll => 8,
+            AluOp::Srl => 9,
+            AluOp::Sra => 10,
+            AluOp::Slt => 11,
+            AluOp::Sltu => 12,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag).
+    pub const fn from_tag(t: u8) -> Option<AluOp> {
+        match t {
+            0 => Some(AluOp::Add),
+            1 => Some(AluOp::Sub),
+            2 => Some(AluOp::Mul),
+            3 => Some(AluOp::Divu),
+            4 => Some(AluOp::Remu),
+            5 => Some(AluOp::And),
+            6 => Some(AluOp::Or),
+            7 => Some(AluOp::Xor),
+            8 => Some(AluOp::Sll),
+            9 => Some(AluOp::Srl),
+            10 => Some(AluOp::Sra),
+            11 => Some(AluOp::Slt),
+            12 => Some(AluOp::Sltu),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Divu => "divu",
+            AluOp::Remu => "remu",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A control-flow target, at the various stages of its life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// A label inside the same function (builder stage).
+    Label(crate::func::Label),
+    /// A named symbol, resolved by the linker (builder stage; encoders
+    /// turn it into a relocation). The `u32` indexes the function's
+    /// symbol table.
+    Symbol(u32),
+    /// Byte displacement relative to the *start of this instruction*
+    /// (decoder stage — what the machine actually executes).
+    Rel(i64),
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Label(l) => write!(f, ".L{}", l.0),
+            Target::Symbol(s) => write!(f, "sym#{s}"),
+            Target::Rel(d) => write!(f, "pc{d:+}"),
+        }
+    }
+}
+
+/// One FIR instruction.
+///
+/// Semantics are identical in both encodings; only the byte format
+/// differs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Inst {
+    /// `rd = op(rs1, rs2)`.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// `rd = op(rs1, imm)` (imm sign-extended to 64 bits).
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Immediate.
+        imm: i32,
+    },
+    /// `rd = imm` (full 64-bit constant).
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Constant.
+        imm: i64,
+    },
+    /// `rd = &symbol` — materialise a linked address (function pointers,
+    /// globals). Encoded as `Li` plus an `Abs64` relocation.
+    LiSym {
+        /// Destination.
+        rd: Reg,
+        /// Symbol-table index.
+        sym: u32,
+    },
+    /// `rd = zero_extend(mem[rs1 + off])`.
+    Ld {
+        /// Destination.
+        rd: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+        /// Width.
+        size: MemSize,
+    },
+    /// `mem[base + off] = low_bytes(rs)`.
+    St {
+        /// Value source.
+        rs: Reg,
+        /// Base register.
+        base: Reg,
+        /// Byte offset.
+        off: i32,
+        /// Width.
+        size: MemSize,
+    },
+    /// Conditional branch to `target` when `op(rs1, rs2)`.
+    Branch {
+        /// Comparison.
+        op: BranchOp,
+        /// First operand.
+        rs1: Reg,
+        /// Second operand.
+        rs2: Reg,
+        /// Destination.
+        target: Target,
+    },
+    /// `rd = pc_of_next_inst; pc = target` (direct call / jump).
+    Jal {
+        /// Link register (`zero` discards, making this a plain jump).
+        rd: Reg,
+        /// Destination.
+        target: Target,
+    },
+    /// `rd = pc_of_next_inst; pc = rs1 + off` (indirect call / jump —
+    /// this is how function pointers cross the ISA boundary).
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Target base register.
+        rs1: Reg,
+        /// Byte offset.
+        off: i32,
+    },
+    /// Return: `pc = ra`.
+    Ret,
+    /// Service call into the kernel (host) or the NxP runtime.
+    Ecall {
+        /// Service number; see the `flick` crate's service tables.
+        service: u16,
+    },
+    /// Stops the core (end of thread); `a0` carries the exit value.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl Inst {
+    /// True for instructions that transfer control.
+    pub fn is_control_flow(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Ret | Inst::Halt
+        )
+    }
+
+    /// True for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::Ld { .. } | Inst::St { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op} {rd}, {rs1}, {rs2}"),
+            Inst::AluImm { op, rd, rs1, imm } => write!(f, "{op}i {rd}, {rs1}, {imm}"),
+            Inst::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Inst::LiSym { rd, sym } => write!(f, "li {rd}, sym#{sym}"),
+            Inst::Ld { rd, base, off, size } => {
+                write!(f, "ld{} {rd}, {off}({base})", size.bytes())
+            }
+            Inst::St { rs, base, off, size } => {
+                write!(f, "st{} {rs}, {off}({base})", size.bytes())
+            }
+            Inst::Branch { op, rs1, rs2, target } => write!(f, "{op} {rs1}, {rs2}, {target}"),
+            Inst::Jal { rd, target } => write!(f, "jal {rd}, {target}"),
+            Inst::Jalr { rd, rs1, off } => write!(f, "jalr {rd}, {off}({rs1})"),
+            Inst::Ret => write!(f, "ret"),
+            Inst::Ecall { service } => write!(f, "ecall {service:#x}"),
+            Inst::Halt => write!(f, "halt"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(3, u64::MAX), 2); // wrapping
+        assert_eq!(AluOp::Sub.eval(1, 2), u64::MAX);
+        assert_eq!(AluOp::Divu.eval(7, 0), u64::MAX); // RISC-V div-by-zero
+        assert_eq!(AluOp::Remu.eval(7, 0), 7);
+        assert_eq!(AluOp::Sra.eval(u64::MAX, 1), u64::MAX); // sign extend
+        assert_eq!(AluOp::Srl.eval(u64::MAX, 63), 1);
+        assert_eq!(AluOp::Slt.eval(u64::MAX, 0), 1); // -1 < 0 signed
+        assert_eq!(AluOp::Sltu.eval(u64::MAX, 0), 0);
+        assert_eq!(AluOp::Sll.eval(1, 64), 1); // shift masked to 6 bits
+    }
+
+    #[test]
+    fn branch_semantics() {
+        assert!(BranchOp::Eq.eval(5, 5));
+        assert!(BranchOp::Lt.eval(u64::MAX, 0)); // signed
+        assert!(!BranchOp::Ltu.eval(u64::MAX, 0));
+        assert!(BranchOp::Geu.eval(u64::MAX, 0));
+    }
+
+    #[test]
+    fn negate_is_logical_complement() {
+        for op in [
+            BranchOp::Eq,
+            BranchOp::Ne,
+            BranchOp::Lt,
+            BranchOp::Ge,
+            BranchOp::Ltu,
+            BranchOp::Geu,
+        ] {
+            for (a, b) in [(0u64, 0u64), (1, 2), (u64::MAX, 0)] {
+                assert_eq!(op.eval(a, b), !op.negate().eval(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn tags_round_trip() {
+        for t in 0..13 {
+            assert_eq!(AluOp::from_tag(t).unwrap().tag(), t);
+        }
+        assert_eq!(AluOp::from_tag(13), None);
+        for t in 0..6 {
+            assert_eq!(BranchOp::from_tag(t).unwrap().tag(), t);
+        }
+        for t in 0..4 {
+            assert_eq!(MemSize::from_tag(t).unwrap().tag(), t);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn bad_register_panics() {
+        Reg::new(32);
+    }
+
+    #[test]
+    fn register_display_uses_abi_names() {
+        assert_eq!(abi::ZERO.to_string(), "zero");
+        assert_eq!(abi::RA.to_string(), "ra");
+        assert_eq!(abi::SP.to_string(), "sp");
+        assert_eq!(abi::A0.to_string(), "a0");
+        assert_eq!(Reg(20).to_string(), "r20");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Inst::Ret.is_control_flow());
+        assert!(!Inst::Nop.is_control_flow());
+        assert!(Inst::Ld {
+            rd: abi::A0,
+            base: abi::A1,
+            off: 0,
+            size: MemSize::B8
+        }
+        .is_mem());
+    }
+}

@@ -1,0 +1,528 @@
+//! A structured mini-language compiled to FIR: the statement layer of
+//! the reproduction's "compiler".
+//!
+//! Where [`crate::expr`] lowers arithmetic trees, this module adds
+//! locals, memory access, structured control flow (`if`/`while`) and
+//! **calls** — including calls that resolve to functions on the other
+//! ISA, which is where Flick's migrations come from. Together with the
+//! per-ISA encoders this forms a complete (if unoptimising) pipeline
+//! from a C-like program representation down to dual-ISA machine code.
+//!
+//! Code generation uses a fixed frame: `ra` save, an argument
+//! snapshot, locals, and a memory operand stack, all at positive
+//! offsets from the post-prologue `sp` — so calls (which build their
+//! frames *below* `sp`) are safe at any expression depth.
+//!
+//! # Examples
+//!
+//! ```
+//! use flick_isa::lang::{FnDef, LExpr, Stmt};
+//! use flick_isa::{BranchOp, TargetIsa};
+//!
+//! // fn double_until(n, limit) { while (n < limit) { n = n + n; } return n; }
+//! let f = FnDef {
+//!     name: "double_until".into(),
+//!     target: TargetIsa::Nxp,
+//!     num_args: 2,
+//!     num_locals: 1,
+//!     body: vec![
+//!         Stmt::Let(0, LExpr::Arg(0)),
+//!         Stmt::While(
+//!             (BranchOp::Ltu, LExpr::Local(0), LExpr::Arg(1)).into(),
+//!             vec![Stmt::Let(0, LExpr::Local(0) + LExpr::Local(0))],
+//!         ),
+//!         Stmt::Return(LExpr::Local(0)),
+//!     ],
+//! };
+//! let func = flick_isa::lang::compile_fn(&f)?;
+//! assert_eq!(func.name, "double_until");
+//! # Ok::<(), flick_isa::lang::LangError>(())
+//! ```
+
+use crate::expr::MAX_DEPTH;
+use crate::func::{Func, FuncBuilder, Label};
+use crate::inst::{abi, AluOp, BranchOp, Inst, MemSize, Reg};
+use crate::TargetIsa;
+use std::fmt;
+
+/// An expression over arguments, locals and memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LExpr {
+    /// A 64-bit constant.
+    Const(i64),
+    /// The `i`-th argument (`a0`–`a5`), snapshotted at entry.
+    Arg(u8),
+    /// The `i`-th local variable.
+    Local(u8),
+    /// Binary operation.
+    Bin(AluOp, Box<LExpr>, Box<LExpr>),
+    /// Zero-extended load of `size` bytes from the address expression.
+    Load(Box<LExpr>, MemSize),
+    /// Call a named function (possibly on the other ISA) with up to six
+    /// argument expressions; the value is the callee's `a0`.
+    Call(String, Vec<LExpr>),
+}
+
+impl LExpr {
+    /// `self op rhs`.
+    pub fn bin(self, op: AluOp, rhs: LExpr) -> LExpr {
+        LExpr::Bin(op, Box::new(self), Box::new(rhs))
+    }
+
+
+    fn depth(&self) -> usize {
+        match self {
+            LExpr::Const(_) | LExpr::Arg(_) | LExpr::Local(_) => 1,
+            LExpr::Bin(_, a, b) => 1 + a.depth().max(b.depth()),
+            LExpr::Load(a, _) => a.depth(),
+            // Arguments are evaluated left to right onto consecutive
+            // operand slots.
+            LExpr::Call(_, args) => args
+                .iter()
+                .enumerate()
+                .map(|(i, a)| i + a.depth())
+                .max()
+                .unwrap_or(1)
+                .max(1),
+        }
+    }
+}
+
+impl std::ops::Add for LExpr {
+    type Output = LExpr;
+    fn add(self, rhs: LExpr) -> LExpr {
+        self.bin(AluOp::Add, rhs)
+    }
+}
+
+impl std::ops::Sub for LExpr {
+    type Output = LExpr;
+    fn sub(self, rhs: LExpr) -> LExpr {
+        self.bin(AluOp::Sub, rhs)
+    }
+}
+
+impl std::ops::Mul for LExpr {
+    type Output = LExpr;
+    fn mul(self, rhs: LExpr) -> LExpr {
+        self.bin(AluOp::Mul, rhs)
+    }
+}
+
+impl fmt::Display for LExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LExpr::Const(c) => write!(f, "{c}"),
+            LExpr::Arg(i) => write!(f, "a{i}"),
+            LExpr::Local(i) => write!(f, "l{i}"),
+            LExpr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+            LExpr::Load(a, s) => write!(f, "*({a}):{}", s.bytes()),
+            LExpr::Call(n, args) => {
+                write!(f, "{n}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A branch condition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cond {
+    /// Comparison operator.
+    pub op: BranchOp,
+    /// Left operand.
+    pub lhs: LExpr,
+    /// Right operand.
+    pub rhs: LExpr,
+}
+
+impl From<(BranchOp, LExpr, LExpr)> for Cond {
+    fn from((op, lhs, rhs): (BranchOp, LExpr, LExpr)) -> Self {
+        Cond { op, lhs, rhs }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `locals[i] = expr` (declaration and assignment are the same).
+    Let(u8, LExpr),
+    /// `*(addr) = value` with the given width.
+    Store(LExpr, LExpr, MemSize),
+    /// `if (cond) { then } else { otherwise }`.
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `while (cond) { body }`.
+    While(Cond, Vec<Stmt>),
+    /// Evaluate for side effects (e.g. a bare call).
+    Expr(LExpr),
+    /// Return a value.
+    Return(LExpr),
+}
+
+/// A function definition in the mini-language.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Linker symbol.
+    pub name: String,
+    /// ISA annotation (§IV-C1's user partitioning).
+    pub target: TargetIsa,
+    /// Number of arguments (≤ 6).
+    pub num_args: u8,
+    /// Number of local variables.
+    pub num_locals: u8,
+    /// Body; an implicit `return 0` is appended.
+    pub body: Vec<Stmt>,
+}
+
+/// Compilation errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LangError {
+    /// `Arg(i)` beyond `num_args` or ≥ 6.
+    BadArg(u8),
+    /// `Local(i)` beyond `num_locals`.
+    BadLocal(u8),
+    /// More than six call arguments.
+    TooManyCallArgs(usize),
+    /// Expression exceeds the operand-stack depth.
+    TooDeep(usize),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::BadArg(i) => write!(f, "argument a{i} out of range"),
+            LangError::BadLocal(i) => write!(f, "local l{i} out of range"),
+            LangError::TooManyCallArgs(n) => write!(f, "{n} call arguments (max 6)"),
+            LangError::TooDeep(d) => write!(f, "expression depth {d} exceeds {MAX_DEPTH}"),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+struct Frame {
+    num_args: u8,
+    num_locals: u8,
+}
+
+impl Frame {
+    fn ra(&self) -> i32 {
+        0
+    }
+    fn arg(&self, i: u8) -> i32 {
+        8 + 8 * i as i32
+    }
+    fn local(&self, i: u8) -> i32 {
+        8 + 48 + 8 * i as i32
+    }
+    fn operand(&self, depth: usize) -> i32 {
+        8 + 48 + 8 * self.num_locals as i32 + 8 * depth as i32
+    }
+    fn size(&self) -> i32 {
+        let raw = self.operand(MAX_DEPTH);
+        (raw + 15) & !15
+    }
+}
+
+struct Gen<'a> {
+    f: &'a mut FuncBuilder,
+    frame: Frame,
+}
+
+/// Compiles a [`FnDef`] into an assembled [`Func`].
+///
+/// # Errors
+///
+/// See [`LangError`].
+pub fn compile_fn(def: &FnDef) -> Result<Func, LangError> {
+    let mut f = FuncBuilder::new(def.name.clone(), def.target);
+    let frame = Frame {
+        num_args: def.num_args.min(6),
+        num_locals: def.num_locals,
+    };
+    // Prologue: frame + ra + argument snapshot.
+    f.addi(abi::SP, abi::SP, -frame.size());
+    f.st(abi::RA, abi::SP, frame.ra(), MemSize::B8);
+    for i in 0..frame.num_args {
+        f.st(Reg(10 + i), abi::SP, frame.arg(i), MemSize::B8);
+    }
+    let mut gen = Gen { f: &mut f, frame };
+    for s in &def.body {
+        gen.stmt(s, def)?;
+    }
+    // Implicit `return 0`.
+    gen.stmt(&Stmt::Return(LExpr::Const(0)), def)?;
+    Ok(f.finish())
+}
+
+impl Gen<'_> {
+    fn check_expr(&self, e: &LExpr, def: &FnDef) -> Result<(), LangError> {
+        if e.depth() > MAX_DEPTH {
+            return Err(LangError::TooDeep(e.depth()));
+        }
+        self.check_refs(e, def)
+    }
+
+    fn check_refs(&self, e: &LExpr, def: &FnDef) -> Result<(), LangError> {
+        match e {
+            LExpr::Const(_) => Ok(()),
+            LExpr::Arg(i) => {
+                if *i >= def.num_args || *i >= 6 {
+                    Err(LangError::BadArg(*i))
+                } else {
+                    Ok(())
+                }
+            }
+            LExpr::Local(i) => {
+                if *i >= def.num_locals {
+                    Err(LangError::BadLocal(*i))
+                } else {
+                    Ok(())
+                }
+            }
+            LExpr::Bin(_, a, b) => {
+                self.check_refs(a, def)?;
+                self.check_refs(b, def)
+            }
+            LExpr::Load(a, _) => self.check_refs(a, def),
+            LExpr::Call(_, args) => {
+                if args.len() > 6 {
+                    return Err(LangError::TooManyCallArgs(args.len()));
+                }
+                for a in args {
+                    self.check_refs(a, def)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Emits `e`, leaving its value in operand slot `depth`.
+    fn expr(&mut self, e: &LExpr, depth: usize) {
+        match e {
+            LExpr::Const(c) => {
+                self.f.li(abi::T0, *c);
+                self.store_op(depth);
+            }
+            LExpr::Arg(i) => {
+                let off = self.frame.arg(*i);
+                self.f.ld(abi::T0, abi::SP, off, MemSize::B8);
+                self.store_op(depth);
+            }
+            LExpr::Local(i) => {
+                let off = self.frame.local(*i);
+                self.f.ld(abi::T0, abi::SP, off, MemSize::B8);
+                self.store_op(depth);
+            }
+            LExpr::Bin(op, a, b) => {
+                self.expr(a, depth);
+                self.expr(b, depth + 1);
+                self.load_op(abi::T0, depth);
+                self.load_op(abi::T1, depth + 1);
+                self.f.push(Inst::Alu {
+                    op: *op,
+                    rd: abi::T0,
+                    rs1: abi::T0,
+                    rs2: abi::T1,
+                });
+                self.store_op(depth);
+            }
+            LExpr::Load(a, size) => {
+                self.expr(a, depth);
+                self.load_op(abi::T0, depth);
+                self.f.ld(abi::T0, abi::T0, 0, *size);
+                self.store_op(depth);
+            }
+            LExpr::Call(name, args) => {
+                for (i, a) in args.iter().enumerate() {
+                    self.expr(a, depth + i);
+                }
+                for (i, _) in args.iter().enumerate() {
+                    self.load_op(Reg(10 + i as u8), depth + i);
+                }
+                self.f.call(name);
+                self.f.mv(abi::T0, abi::A0);
+                self.store_op(depth);
+            }
+        }
+    }
+
+    fn store_op(&mut self, depth: usize) {
+        let off = self.frame.operand(depth);
+        self.f.st(abi::T0, abi::SP, off, MemSize::B8);
+    }
+
+    fn load_op(&mut self, reg: Reg, depth: usize) {
+        let off = self.frame.operand(depth);
+        self.f.ld(reg, abi::SP, off, MemSize::B8);
+    }
+
+    /// Emits a conditional branch to `target` when `cond` is **false**.
+    fn branch_unless(&mut self, cond: &Cond, target: Label) {
+        self.expr(&cond.lhs, 0);
+        self.expr(&cond.rhs, 1);
+        self.load_op(abi::T0, 0);
+        self.load_op(abi::T1, 1);
+        self.f.push(Inst::Branch {
+            op: cond.op.negate(),
+            rs1: abi::T0,
+            rs2: abi::T1,
+            target: crate::inst::Target::Label(target),
+        });
+    }
+
+    fn stmt(&mut self, s: &Stmt, def: &FnDef) -> Result<(), LangError> {
+        match s {
+            Stmt::Let(i, e) => {
+                if *i >= def.num_locals {
+                    return Err(LangError::BadLocal(*i));
+                }
+                self.check_expr(e, def)?;
+                self.expr(e, 0);
+                self.load_op(abi::T0, 0);
+                let off = self.frame.local(*i);
+                self.f.st(abi::T0, abi::SP, off, MemSize::B8);
+            }
+            Stmt::Store(addr, val, size) => {
+                self.check_expr(addr, def)?;
+                self.check_expr(val, def)?;
+                self.expr(addr, 0);
+                self.expr(val, 1);
+                self.load_op(abi::T0, 0);
+                self.load_op(abi::T1, 1);
+                self.f.st(abi::T1, abi::T0, 0, *size);
+            }
+            Stmt::If(cond, then, otherwise) => {
+                self.check_expr(&cond.lhs, def)?;
+                self.check_expr(&cond.rhs, def)?;
+                let else_l = self.f.new_label();
+                let end = self.f.new_label();
+                self.branch_unless(cond, else_l);
+                for s in then {
+                    self.stmt(s, def)?;
+                }
+                self.f.jmp(end);
+                self.f.bind(else_l);
+                for s in otherwise {
+                    self.stmt(s, def)?;
+                }
+                self.f.bind(end);
+            }
+            Stmt::While(cond, body) => {
+                self.check_expr(&cond.lhs, def)?;
+                self.check_expr(&cond.rhs, def)?;
+                let head = self.f.new_label();
+                let end = self.f.new_label();
+                self.f.bind(head);
+                self.branch_unless(cond, end);
+                for s in body {
+                    self.stmt(s, def)?;
+                }
+                self.f.jmp(head);
+                self.f.bind(end);
+            }
+            Stmt::Expr(e) => {
+                self.check_expr(e, def)?;
+                self.expr(e, 0);
+            }
+            Stmt::Return(e) => {
+                self.check_expr(e, def)?;
+                self.expr(e, 0);
+                self.load_op(abi::A0, 0);
+                self.f.ld(abi::RA, abi::SP, self.frame.ra(), MemSize::B8);
+                self.f.addi(abi::SP, abi::SP, self.frame.size());
+                self.f.ret();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gcd_def(target: TargetIsa) -> FnDef {
+        // while (a1 != 0) { t = a0 % a1; a0 = a1; a1 = t }
+        FnDef {
+            name: "lgcd".into(),
+            target,
+            num_args: 2,
+            num_locals: 3,
+            body: vec![
+                Stmt::Let(0, LExpr::Arg(0)),
+                Stmt::Let(1, LExpr::Arg(1)),
+                Stmt::While(
+                    (BranchOp::Ne, LExpr::Local(1), LExpr::Const(0)).into(),
+                    vec![
+                        Stmt::Let(2, LExpr::Local(0).bin(AluOp::Remu, LExpr::Local(1))),
+                        Stmt::Let(0, LExpr::Local(1)),
+                        Stmt::Let(1, LExpr::Local(2)),
+                    ],
+                ),
+                Stmt::Return(LExpr::Local(0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn compiles_and_encodes_for_both_isas() {
+        for target in [TargetIsa::Host, TargetIsa::Nxp] {
+            let f = compile_fn(&gcd_def(target)).unwrap();
+            assert!(target.isa().encode(&f).is_ok());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_references() {
+        let mut d = gcd_def(TargetIsa::Host);
+        d.body.push(Stmt::Return(LExpr::Arg(5)));
+        assert!(matches!(compile_fn(&d), Err(LangError::BadArg(5))));
+        let mut d = gcd_def(TargetIsa::Host);
+        d.body.push(Stmt::Let(9, LExpr::Const(0)));
+        assert!(matches!(compile_fn(&d), Err(LangError::BadLocal(9))));
+    }
+
+    #[test]
+    fn rejects_too_many_call_args() {
+        let d = FnDef {
+            name: "f".into(),
+            target: TargetIsa::Host,
+            num_args: 0,
+            num_locals: 0,
+            body: vec![Stmt::Expr(LExpr::Call(
+                "g".into(),
+                vec![LExpr::Const(0); 7],
+            ))],
+        };
+        assert!(matches!(
+            compile_fn(&d),
+            Err(LangError::TooManyCallArgs(7))
+        ));
+    }
+
+    #[test]
+    fn frame_is_sixteen_aligned() {
+        let fr = Frame {
+            num_args: 3,
+            num_locals: 5,
+        };
+        assert_eq!(fr.size() % 16, 0);
+        assert!(fr.operand(MAX_DEPTH - 1) < fr.size());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = LExpr::Call(
+            "f".into(),
+            vec![LExpr::Arg(0), LExpr::Load(Box::new(LExpr::Local(1)), MemSize::B4)],
+        );
+        assert_eq!(e.to_string(), "f(a0, *(l1):4)");
+    }
+}

@@ -1,0 +1,209 @@
+//! Physical and virtual address newtypes.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Log2 of the base page size (4 KiB), matching x86-64.
+pub const PAGE_SHIFT: u64 = 12;
+/// Base page size in bytes.
+pub const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+
+macro_rules! addr_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The null address.
+            pub const NULL: $name = $name(0);
+
+            /// Raw 64-bit value.
+            pub const fn as_u64(self) -> u64 {
+                self.0
+            }
+
+            /// True when this is the null address.
+            pub const fn is_null(self) -> bool {
+                self.0 == 0
+            }
+
+            /// Offset within the containing 4 KiB page.
+            pub const fn page_offset(self) -> u64 {
+                self.0 & (PAGE_SIZE - 1)
+            }
+
+            /// Address rounded down to its 4 KiB page boundary.
+            pub const fn page_base(self) -> $name {
+                $name(self.0 & !(PAGE_SIZE - 1))
+            }
+
+            /// Address rounded up to the next 4 KiB boundary (identity if
+            /// already aligned).
+            pub const fn page_align_up(self) -> $name {
+                $name((self.0 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1))
+            }
+
+            /// True when aligned to `align` bytes (`align` must be a power
+            /// of two).
+            pub const fn is_aligned(self, align: u64) -> bool {
+                self.0 & (align - 1) == 0
+            }
+
+            /// Checked addition of a byte offset.
+            pub fn checked_add(self, off: u64) -> Option<$name> {
+                self.0.checked_add(off).map($name)
+            }
+        }
+
+        impl Add<u64> for $name {
+            type Output = $name;
+            fn add(self, rhs: u64) -> $name {
+                $name(self.0 + rhs)
+            }
+        }
+
+        impl AddAssign<u64> for $name {
+            fn add_assign(&mut self, rhs: u64) {
+                self.0 += rhs;
+            }
+        }
+
+        impl Sub<u64> for $name {
+            type Output = $name;
+            fn sub(self, rhs: u64) -> $name {
+                $name(self.0 - rhs)
+            }
+        }
+
+        impl Sub<$name> for $name {
+            type Output = u64;
+            fn sub(self, rhs: $name) -> u64 {
+                self.0 - rhs.0
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> $name {
+                $name(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{:#x}"), self.0)
+            }
+        }
+
+        impl fmt::LowerHex for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::LowerHex::fmt(&self.0, f)
+            }
+        }
+    };
+}
+
+addr_type!(
+    /// A physical address in the unified (host-view) physical address
+    /// space.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flick_mem::PhysAddr;
+    ///
+    /// let p = PhysAddr(0x1234);
+    /// assert_eq!(p.page_base(), PhysAddr(0x1000));
+    /// assert_eq!(p.page_offset(), 0x234);
+    /// ```
+    PhysAddr,
+    "p"
+);
+
+addr_type!(
+    /// A virtual address in a process address space (shared by all cores
+    /// regardless of ISA).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use flick_mem::VirtAddr;
+    ///
+    /// let v = VirtAddr(0x7fff_0000_1000);
+    /// assert!(v.is_aligned(0x1000));
+    /// ```
+    VirtAddr,
+    "v"
+);
+
+impl VirtAddr {
+    /// Index into the page-table level `level` (0 = PT … 3 = PML4),
+    /// matching the x86-64 9-bit-per-level split.
+    pub const fn pt_index(self, level: u8) -> usize {
+        ((self.0 >> (PAGE_SHIFT + 9 * level as u64)) & 0x1FF) as usize
+    }
+
+    /// Canonicalises bit 47 sign-extension the way x86-64 hardware does.
+    pub const fn canonical(self) -> VirtAddr {
+        let low = self.0 & 0x0000_FFFF_FFFF_FFFF;
+        if low & (1 << 47) != 0 {
+            VirtAddr(low | 0xFFFF_0000_0000_0000)
+        } else {
+            VirtAddr(low)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        let a = PhysAddr(0x5678);
+        assert_eq!(a.page_base(), PhysAddr(0x5000));
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.page_align_up(), PhysAddr(0x6000));
+        assert_eq!(PhysAddr(0x6000).page_align_up(), PhysAddr(0x6000));
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(VirtAddr(0x4000).is_aligned(0x4000));
+        assert!(!VirtAddr(0x4008).is_aligned(0x4000));
+        assert!(VirtAddr(0x4008).is_aligned(8));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VirtAddr(0x1000);
+        assert_eq!(a + 0x20, VirtAddr(0x1020));
+        assert_eq!((a + 0x20) - a, 0x20);
+        assert_eq!(a.checked_add(u64::MAX), None);
+    }
+
+    #[test]
+    fn pt_indices_split_address() {
+        // va = PML4[1], PDPT[2], PD[3], PT[4], offset 5
+        let va = VirtAddr((1 << 39) | (2 << 30) | (3 << 21) | (4 << 12) | 5);
+        assert_eq!(va.pt_index(3), 1);
+        assert_eq!(va.pt_index(2), 2);
+        assert_eq!(va.pt_index(1), 3);
+        assert_eq!(va.pt_index(0), 4);
+        assert_eq!(va.page_offset(), 5);
+    }
+
+    #[test]
+    fn canonicalisation() {
+        let high = VirtAddr(0x0000_8000_0000_0000);
+        assert_eq!(high.canonical(), VirtAddr(0xFFFF_8000_0000_0000));
+        let low = VirtAddr(0x0000_7FFF_FFFF_FFFF);
+        assert_eq!(low.canonical(), low);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PhysAddr(0x80000000).to_string(), "p0x80000000");
+        assert_eq!(VirtAddr(0x400000).to_string(), "v0x400000");
+    }
+}

@@ -1,0 +1,222 @@
+//! NUMA access-latency model.
+//!
+//! The paper measures two key round-trip numbers on its prototype
+//! (§V): the host x86 core reaches the NxP-side storage in ≈825 ns and
+//! the NxP RISC-V core reaches its local storage in ≈267 ns. These two
+//! values — and their ratio, which with the NxP's per-node loop cost
+//! becomes the ≈2.6× asymptote of Fig. 5 — are the backbone of every
+//! experiment, so the latency model is calibrated around them.
+
+use crate::region::Region;
+use flick_sim::Picos;
+
+/// Who issues a memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Requester {
+    /// An x86-64-like host core.
+    HostCpu,
+    /// The RV64-like NxP core.
+    NxpCore,
+    /// The NxP's programmable MMU (page-table walker).
+    NxpMmu,
+    /// The descriptor DMA engine.
+    DmaEngine,
+}
+
+/// What kind of access is being made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// Data load (round trip: the requester waits for the data).
+    Read,
+    /// Data store (posted where the fabric allows it).
+    Write,
+    /// Instruction fetch (reads a cache line).
+    Fetch,
+}
+
+/// Per-(requester, region) access latencies.
+///
+/// All values are *uncontended* point-to-point latencies; the simulation
+/// does not model queueing, which the paper's single-thread experiments
+/// do not exercise either.
+///
+/// # Examples
+///
+/// ```
+/// use flick_mem::{AccessKind, LatencyModel, Region, Requester};
+/// use flick_sim::Picos;
+///
+/// let m = LatencyModel::paper_default();
+/// // The two headline calibration points from §V of the paper:
+/// assert_eq!(
+///     m.access(Requester::HostCpu, Region::NxpDram, AccessKind::Read),
+///     Picos::from_nanos(825),
+/// );
+/// assert_eq!(
+///     m.access(Requester::NxpCore, Region::NxpDram, AccessKind::Read),
+///     Picos::from_nanos(267),
+/// );
+/// ```
+#[derive(Clone, Debug)]
+pub struct LatencyModel {
+    /// Host core → host DRAM (cache miss to local DDR4).
+    pub host_to_host_dram: Picos,
+    /// Host core → NxP DRAM through BAR0 (read round trip over PCIe).
+    pub host_to_nxp_read: Picos,
+    /// Host core → NxP resources, posted write over PCIe.
+    pub host_to_nxp_write: Picos,
+    /// NxP core → NxP local DRAM (DDR3 round trip).
+    pub nxp_to_local_dram: Picos,
+    /// NxP core → NxP stack SRAM (on-chip BRAM).
+    pub nxp_to_sram: Picos,
+    /// NxP core → NxP control registers.
+    pub nxp_to_local_mmio: Picos,
+    /// NxP core or MMU → host DRAM over PCIe (read round trip).
+    pub nxp_to_host_read: Picos,
+    /// NxP core → host DRAM posted write.
+    pub nxp_to_host_write: Picos,
+    /// DMA engine burst setup overhead per transfer.
+    pub dma_setup: Picos,
+    /// DMA payload cost per 64-byte beat over PCIe.
+    pub dma_per_beat: Picos,
+}
+
+impl LatencyModel {
+    /// Latencies calibrated to the paper's prototype (Table I platform,
+    /// §V measurements).
+    pub fn paper_default() -> Self {
+        LatencyModel {
+            host_to_host_dram: Picos::from_nanos(90),
+            host_to_nxp_read: Picos::from_nanos(825),
+            host_to_nxp_write: Picos::from_nanos(280),
+            nxp_to_local_dram: Picos::from_nanos(267),
+            nxp_to_sram: Picos::from_nanos(10),
+            nxp_to_local_mmio: Picos::from_nanos(15),
+            nxp_to_host_read: Picos::from_nanos(850),
+            nxp_to_host_write: Picos::from_nanos(300),
+            dma_setup: Picos::from_nanos(350),
+            dma_per_beat: Picos::from_nanos(16),
+        }
+    }
+
+    /// Latency of one access by `who` to an address in `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`Region::Unmapped`]; bus decode errors must be caught
+    /// before timing is charged.
+    pub fn access(&self, who: Requester, region: Region, kind: AccessKind) -> Picos {
+        let read = !matches!(kind, AccessKind::Write);
+        match (who, region) {
+            (_, Region::Unmapped) => panic!("access to unmapped region"),
+            (Requester::HostCpu, Region::HostDram) => self.host_to_host_dram,
+            (Requester::HostCpu, Region::NxpDram | Region::NxpSram | Region::NxpMmio) => {
+                if read {
+                    self.host_to_nxp_read
+                } else {
+                    self.host_to_nxp_write
+                }
+            }
+            (Requester::NxpCore | Requester::NxpMmu, Region::HostDram) => {
+                if read {
+                    self.nxp_to_host_read
+                } else {
+                    self.nxp_to_host_write
+                }
+            }
+            (Requester::NxpCore | Requester::NxpMmu, Region::NxpDram) => self.nxp_to_local_dram,
+            (Requester::NxpCore | Requester::NxpMmu, Region::NxpSram) => self.nxp_to_sram,
+            (Requester::NxpCore | Requester::NxpMmu, Region::NxpMmio) => self.nxp_to_local_mmio,
+            // The DMA engine sits on the NxP side of the link; its
+            // per-beat costs are charged separately via `dma_transfer`.
+            (Requester::DmaEngine, Region::HostDram) => {
+                if read {
+                    self.nxp_to_host_read
+                } else {
+                    self.nxp_to_host_write
+                }
+            }
+            (Requester::DmaEngine, _) => self.nxp_to_local_dram,
+        }
+    }
+
+    /// Total time for a DMA burst of `bytes` across the link: setup plus
+    /// one beat per 64 bytes (the paper transfers each migration
+    /// descriptor as a single PCIe burst, §IV-B).
+    pub fn dma_transfer(&self, bytes: usize) -> Picos {
+        let beats = bytes.div_ceil(64) as u64;
+        self.dma_setup + self.dma_per_beat * beats
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_points() {
+        let m = LatencyModel::paper_default();
+        assert_eq!(
+            m.access(Requester::HostCpu, Region::NxpDram, AccessKind::Read),
+            Picos::from_nanos(825)
+        );
+        assert_eq!(
+            m.access(Requester::NxpCore, Region::NxpDram, AccessKind::Read),
+            Picos::from_nanos(267)
+        );
+    }
+
+    #[test]
+    fn writes_cheaper_than_reads_over_pcie() {
+        let m = LatencyModel::paper_default();
+        let r = m.access(Requester::HostCpu, Region::NxpDram, AccessKind::Read);
+        let w = m.access(Requester::HostCpu, Region::NxpDram, AccessKind::Write);
+        assert!(w < r, "posted writes must be cheaper than read round trips");
+    }
+
+    #[test]
+    fn local_faster_than_remote_for_both_sides() {
+        let m = LatencyModel::paper_default();
+        assert!(
+            m.access(Requester::HostCpu, Region::HostDram, AccessKind::Read)
+                < m.access(Requester::HostCpu, Region::NxpDram, AccessKind::Read)
+        );
+        assert!(
+            m.access(Requester::NxpCore, Region::NxpDram, AccessKind::Read)
+                < m.access(Requester::NxpCore, Region::HostDram, AccessKind::Read)
+        );
+    }
+
+    #[test]
+    fn mmu_walk_crosses_pcie() {
+        let m = LatencyModel::paper_default();
+        // The programmable MMU reads host page tables over PCIe — this is
+        // exactly the "TLB miss penalty is high" point of §IV-A.
+        assert_eq!(
+            m.access(Requester::NxpMmu, Region::HostDram, AccessKind::Read),
+            Picos::from_nanos(850)
+        );
+    }
+
+    #[test]
+    fn dma_burst_scales_with_beats() {
+        let m = LatencyModel::paper_default();
+        let one = m.dma_transfer(64);
+        let two = m.dma_transfer(65);
+        assert_eq!(two - one, m.dma_per_beat);
+        assert_eq!(m.dma_transfer(0), m.dma_setup);
+    }
+
+    #[test]
+    #[should_panic(expected = "unmapped")]
+    fn unmapped_access_panics() {
+        let m = LatencyModel::paper_default();
+        m.access(Requester::HostCpu, Region::Unmapped, AccessKind::Read);
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+//! Memory substrate: addresses, the unified physical memory map, sparse
+//! backing storage and the NUMA latency model.
+//!
+//! Flick's central hardware requirement (§III-A of the paper) is a
+//! *unified physical memory space*: host DRAM appears at the same
+//! physical addresses from both the host CPUs and the NxP, and the NxP's
+//! local DRAM is exported to the host through a PCIe BAR so that one
+//! physical address names one storage location system-wide.
+//!
+//! * [`addr`] — [`PhysAddr`] / [`VirtAddr`] newtypes.
+//! * [`region`] — the [`SystemMap`]: where host DRAM, the NxP DRAM BAR
+//!   and NxP peripherals live in the host-view physical address space,
+//!   plus the NxP-local view and the BAR remap rule (paper Fig. 3).
+//! * [`phys`] — [`PhysMem`], a sparse page-granular byte store.
+//! * [`latency`] — [`LatencyModel`]: per-(requester, target-region)
+//!   access costs calibrated to the paper's measurements (825 ns host →
+//!   NxP storage round trip, 267 ns NxP → NxP storage).
+//!
+//! # Examples
+//!
+//! ```
+//! use flick_mem::{PhysMem, SystemMap};
+//!
+//! let map = SystemMap::paper_default();
+//! let mut mem = PhysMem::new();
+//! let a = map.nxp_dram_host_base(); // BAR0 window into NxP DRAM
+//! mem.write_u64(a, 0xDEADBEEF);
+//! assert_eq!(mem.read_u64(a), 0xDEADBEEF);
+//! ```
+
+pub mod addr;
+pub mod latency;
+pub mod phys;
+pub mod region;
+
+pub use addr::{PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use latency::{AccessKind, LatencyModel, Requester};
+pub use phys::PhysMem;
+pub use region::{Region, SystemMap};

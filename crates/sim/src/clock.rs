@@ -1,0 +1,122 @@
+//! Per-component simulated clocks.
+
+use crate::time::{Cycles, Hertz, Picos};
+
+/// A simulated clock belonging to one component (a core, a DMA engine, …).
+///
+/// The clock tracks the component's local time in picoseconds and its
+/// cycle count on the component's frequency. Components advance their own
+/// clocks; the machine-level orchestration synchronises them by passing
+/// explicit timestamps (e.g. "this descriptor arrives at T").
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{Clock, Hertz, Picos};
+///
+/// let mut c = Clock::new(Hertz::mhz(200));
+/// c.tick(3);
+/// c.advance(Picos::from_nanos(100));
+/// assert_eq!(c.now(), Picos::from_nanos(115));
+/// assert_eq!(c.cycles().count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Clock {
+    freq: Hertz,
+    now: Picos,
+    cycles: u64,
+}
+
+impl Clock {
+    /// Creates a clock at time zero running at `freq`.
+    pub fn new(freq: Hertz) -> Self {
+        Clock {
+            freq,
+            now: Picos::ZERO,
+            cycles: 0,
+        }
+    }
+
+    /// The clock's frequency.
+    pub fn freq(&self) -> Hertz {
+        self.freq
+    }
+
+    /// Current local time.
+    pub fn now(&self) -> Picos {
+        self.now
+    }
+
+    /// Total cycles ticked so far (does not include [`advance`] time).
+    ///
+    /// [`advance`]: Clock::advance
+    pub fn cycles(&self) -> Cycles {
+        Cycles(self.cycles)
+    }
+
+    /// Advances by `n` cycles of this clock's frequency.
+    pub fn tick(&mut self, n: u64) {
+        self.cycles += n;
+        self.now += self.freq.cycles(n);
+    }
+
+    /// Advances by an absolute duration (e.g. a memory stall), without
+    /// counting cycles.
+    pub fn advance(&mut self, d: Picos) {
+        self.now += d;
+    }
+
+    /// Moves local time forward to `t` if `t` is later; used when an
+    /// external event (descriptor arrival, interrupt) wakes the component.
+    pub fn sync_to(&mut self, t: Picos) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Resets time and cycle count to zero, keeping the frequency.
+    pub fn reset(&mut self) {
+        self.now = Picos::ZERO;
+        self.cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_advances_by_cycle_time() {
+        let mut c = Clock::new(Hertz::mhz(100)); // 10ns cycles
+        c.tick(7);
+        assert_eq!(c.now(), Picos::from_nanos(70));
+        assert_eq!(c.cycles(), Cycles(7));
+    }
+
+    #[test]
+    fn advance_does_not_count_cycles() {
+        let mut c = Clock::new(Hertz::mhz(100));
+        c.advance(Picos::from_micros(1));
+        assert_eq!(c.cycles(), Cycles::ZERO);
+        assert_eq!(c.now(), Picos::from_micros(1));
+    }
+
+    #[test]
+    fn sync_to_only_moves_forward() {
+        let mut c = Clock::new(Hertz::mhz(100));
+        c.advance(Picos::from_nanos(50));
+        c.sync_to(Picos::from_nanos(20));
+        assert_eq!(c.now(), Picos::from_nanos(50));
+        c.sync_to(Picos::from_nanos(80));
+        assert_eq!(c.now(), Picos::from_nanos(80));
+    }
+
+    #[test]
+    fn reset_keeps_frequency() {
+        let mut c = Clock::new(Hertz::mhz(200));
+        c.tick(10);
+        c.reset();
+        assert_eq!(c.now(), Picos::ZERO);
+        assert_eq!(c.freq(), Hertz::mhz(200));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Simulation substrate for the Flick reproduction.
+//!
+//! The original Flick prototype ran on real hardware (a Xeon host plus a
+//! PCIe-attached FPGA). This reproduction replaces the hardware with a
+//! deterministic discrete-time simulation; this crate provides the shared
+//! building blocks:
+//!
+//! * [`time`] — picosecond-resolution simulated time ([`Picos`]) and
+//!   frequency/cycle conversions ([`Hertz`], [`Cycles`]).
+//! * [`clock`] — per-component simulated clocks ([`Clock`]).
+//! * [`rng`] — a small deterministic RNG ([`SplitMix64`], [`Xoshiro256`])
+//!   used by workload generators so every experiment is reproducible.
+//! * [`trace`] — an event trace ([`Trace`], [`Event`]) recording faults,
+//!   migrations and DMA transfers for inspection and testing.
+//! * [`stats`] — counters and summary statistics helpers.
+//!
+//! # Examples
+//!
+//! ```
+//! use flick_sim::{Clock, Hertz, Picos};
+//!
+//! let mut clock = Clock::new(Hertz::mhz(200));
+//! clock.tick(10); // ten 200 MHz cycles = 50 ns
+//! assert_eq!(clock.now(), Picos::from_nanos(50));
+//! ```
+
+pub mod clock;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use clock::Clock;
+pub use rng::{SplitMix64, Xoshiro256};
+pub use stats::{Counter, Stats, Summary};
+pub use time::{Cycles, Hertz, Picos};
+pub use trace::{Event, Trace, TraceConfig};

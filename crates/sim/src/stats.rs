@@ -1,0 +1,238 @@
+//! Counters and summary statistics.
+
+use crate::time::Picos;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named monotonically increasing counter.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::Counter;
+///
+/// let mut c = Counter::default();
+/// c.add(3);
+/// c.incr();
+/// assert_eq!(c.get(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A bag of named counters, used by the machine to expose run statistics
+/// (migrations, faults, TLB misses, DMA bursts, instructions retired, …).
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::Stats;
+///
+/// let mut s = Stats::default();
+/// s.bump("nx_faults");
+/// s.bump_by("instructions", 100);
+/// assert_eq!(s.get("nx_faults"), 1);
+/// assert_eq!(s.get("missing"), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, u64>,
+}
+
+impl Stats {
+    /// Increments counter `name` by one.
+    pub fn bump(&mut self, name: &'static str) {
+        *self.counters.entry(name).or_insert(0) += 1;
+    }
+
+    /// Increments counter `name` by `n`.
+    pub fn bump_by(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads counter `name`, zero when absent.
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another stats bag into this one (summing counters).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in other.iter() {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Clears every counter.
+    pub fn clear(&mut self) {
+        self.counters.clear();
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:>32}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Summary of a sample of durations: count, mean, min, max.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{Picos, Summary};
+///
+/// let mut s = Summary::default();
+/// s.record(Picos::from_micros(18));
+/// s.record(Picos::from_micros(20));
+/// assert_eq!(s.count(), 2);
+/// assert_eq!(s.mean(), Picos::from_micros(19));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    total: Picos,
+    min: Option<Picos>,
+    max: Option<Picos>,
+}
+
+impl Summary {
+    /// Adds one sample.
+    pub fn record(&mut self, sample: Picos) {
+        self.count += 1;
+        self.total += sample;
+        self.min = Some(match self.min {
+            Some(m) => m.min(sample),
+            None => sample,
+        });
+        self.max = Some(match self.max {
+            Some(m) => m.max(sample),
+            None => sample,
+        });
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> Picos {
+        self.total
+    }
+
+    /// Mean sample, zero when empty.
+    pub fn mean(&self) -> Picos {
+        if self.count == 0 {
+            Picos::ZERO
+        } else {
+            self.total / self.count
+        }
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> Option<Picos> {
+        self.min
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> Option<Picos> {
+        self.max
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} max={}",
+            self.count,
+            self.mean(),
+            self.min.unwrap_or(Picos::ZERO),
+            self.max.unwrap_or(Picos::ZERO)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+    }
+
+    #[test]
+    fn stats_bump_and_get() {
+        let mut s = Stats::default();
+        s.bump("a");
+        s.bump("a");
+        s.bump_by("b", 5);
+        assert_eq!(s.get("a"), 2);
+        assert_eq!(s.get("b"), 5);
+        assert_eq!(s.get("c"), 0);
+    }
+
+    #[test]
+    fn stats_merge_sums() {
+        let mut a = Stats::default();
+        a.bump_by("x", 2);
+        let mut b = Stats::default();
+        b.bump_by("x", 3);
+        b.bump("y");
+        a.merge(&b);
+        assert_eq!(a.get("x"), 5);
+        assert_eq!(a.get("y"), 1);
+    }
+
+    #[test]
+    fn summary_tracks_extremes() {
+        let mut s = Summary::default();
+        for us in [5u64, 1, 9, 3] {
+            s.record(Picos::from_micros(us));
+        }
+        assert_eq!(s.min(), Some(Picos::from_micros(1)));
+        assert_eq!(s.max(), Some(Picos::from_micros(9)));
+        assert_eq!(s.mean(), Picos::from_micros(18) / 4);
+    }
+
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        let s = Summary::default();
+        assert_eq!(s.mean(), Picos::ZERO);
+        assert_eq!(s.min(), None);
+    }
+}

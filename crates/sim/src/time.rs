@@ -1,0 +1,296 @@
+//! Simulated time: picosecond instants/durations, frequencies and cycles.
+//!
+//! All timing in the reproduction is expressed as [`Picos`] — a `u64`
+//! picosecond count. One picosecond of resolution lets us represent a
+//! single cycle of the 2.4 GHz host core (≈417 ps) exactly enough while
+//! still covering more than 200 days of simulated time without overflow.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A simulated instant or duration, in picoseconds.
+///
+/// `Picos` is used for both points in time and spans of time; the
+/// arithmetic is saturating-free (plain `u64`) because a simulation that
+/// overflows 2^64 ps (~213 days) has a configuration bug worth a panic.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::Picos;
+///
+/// let t = Picos::from_micros(18) + Picos::from_nanos(300);
+/// assert_eq!(t.as_nanos_f64(), 18_300.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Picos(pub u64);
+
+impl Picos {
+    /// The zero instant / empty duration.
+    pub const ZERO: Picos = Picos(0);
+
+    /// Creates a duration from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Picos(ns * 1_000)
+    }
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Picos(us * 1_000_000)
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Picos(ms * 1_000_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Picos(s * 1_000_000_000_000)
+    }
+
+    /// Raw picosecond count.
+    pub const fn as_picos(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds, truncating sub-nanosecond remainder.
+    pub const fn as_nanos(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Nanoseconds as a float (no truncation).
+    pub fn as_nanos_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Microseconds as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    pub fn saturating_sub(self, other: Picos) -> Picos {
+        Picos(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two instants.
+    pub fn max(self, other: Picos) -> Picos {
+        Picos(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two instants.
+    pub fn min(self, other: Picos) -> Picos {
+        Picos(self.0.min(other.0))
+    }
+}
+
+impl Add for Picos {
+    type Output = Picos;
+    fn add(self, rhs: Picos) -> Picos {
+        Picos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Picos {
+    fn add_assign(&mut self, rhs: Picos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Picos {
+    type Output = Picos;
+    fn sub(self, rhs: Picos) -> Picos {
+        Picos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Picos {
+    fn sub_assign(&mut self, rhs: Picos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Picos {
+    type Output = Picos;
+    fn mul(self, rhs: u64) -> Picos {
+        Picos(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Picos {
+    type Output = Picos;
+    fn div(self, rhs: u64) -> Picos {
+        Picos(self.0 / rhs)
+    }
+}
+
+impl Sum for Picos {
+    fn sum<I: Iterator<Item = Picos>>(iter: I) -> Picos {
+        iter.fold(Picos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Picos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= 1_000_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ps >= 1_000_000_000 {
+            write!(f, "{:.3}ms", ps as f64 / 1e9)
+        } else if ps >= 1_000_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else if ps >= 1_000 {
+            write!(f, "{:.3}ns", self.as_nanos_f64())
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+/// A clock frequency.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{Hertz, Picos};
+///
+/// let host = Hertz::ghz_milli(2_400); // 2.4 GHz
+/// assert_eq!(host.cycle_time(), Picos(416)); // truncated to ps
+/// let nxp = Hertz::mhz(200);
+/// assert_eq!(nxp.cycle_time(), Picos::from_nanos(5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Hertz(pub u64);
+
+impl Hertz {
+    /// Frequency from megahertz.
+    pub const fn mhz(mhz: u64) -> Self {
+        Hertz(mhz * 1_000_000)
+    }
+
+    /// Frequency from thousandths of a gigahertz (e.g. `2_400` → 2.4 GHz).
+    pub const fn ghz_milli(milli_ghz: u64) -> Self {
+        Hertz(milli_ghz * 1_000_000)
+    }
+
+    /// Duration of one cycle, truncated to picoseconds.
+    pub const fn cycle_time(self) -> Picos {
+        Picos(1_000_000_000_000 / self.0)
+    }
+
+    /// Duration of `n` cycles, computed without accumulating the
+    /// single-cycle truncation error.
+    pub const fn cycles(self, n: u64) -> Picos {
+        // n / f seconds = n * 1e12 / f picoseconds; split to avoid overflow
+        // for large n: n up to ~1e13 cycles is exact with u128.
+        Picos((n as u128 * 1_000_000_000_000u128 / self.0 as u128) as u64)
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.2}GHz", self.0 as f64 / 1e9)
+        } else {
+            write!(f, "{:.0}MHz", self.0 as f64 / 1e6)
+        }
+    }
+}
+
+/// A cycle count on some clock domain.
+///
+/// `Cycles` is a plain counter; convert to time via [`Hertz::cycles`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Raw count.
+    pub const fn count(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cycles", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picos_constructors_scale() {
+        assert_eq!(Picos::from_nanos(1), Picos(1_000));
+        assert_eq!(Picos::from_micros(1), Picos(1_000_000));
+        assert_eq!(Picos::from_millis(1), Picos(1_000_000_000));
+        assert_eq!(Picos::from_secs(1), Picos(1_000_000_000_000));
+    }
+
+    #[test]
+    fn picos_arithmetic() {
+        let a = Picos::from_nanos(10);
+        let b = Picos::from_nanos(4);
+        assert_eq!(a + b, Picos::from_nanos(14));
+        assert_eq!(a - b, Picos::from_nanos(6));
+        assert_eq!(a * 3, Picos::from_nanos(30));
+        assert_eq!(a / 2, Picos::from_nanos(5));
+        assert_eq!(b.saturating_sub(a), Picos::ZERO);
+    }
+
+    #[test]
+    fn picos_display_picks_unit() {
+        assert_eq!(Picos(500).to_string(), "500ps");
+        assert_eq!(Picos::from_nanos(2).to_string(), "2.000ns");
+        assert_eq!(Picos::from_micros(18).to_string(), "18.000us");
+        assert_eq!(Picos::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(Picos::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn hertz_cycle_time() {
+        assert_eq!(Hertz::mhz(200).cycle_time(), Picos::from_nanos(5));
+        assert_eq!(Hertz::mhz(1000).cycle_time(), Picos::from_nanos(1));
+        // 2.4 GHz cycle is 416.67ps, truncated.
+        assert_eq!(Hertz::ghz_milli(2_400).cycle_time(), Picos(416));
+    }
+
+    #[test]
+    fn hertz_cycles_avoids_truncation_drift() {
+        let f = Hertz::ghz_milli(2_400);
+        // 2400 cycles at 2.4GHz is exactly 1us.
+        assert_eq!(f.cycles(2_400), Picos::from_micros(1));
+        // Per-cycle truncation would give 2400 * 416 = 998400ps instead.
+        assert!(f.cycle_time() * 2_400 < f.cycles(2_400));
+    }
+
+    #[test]
+    fn picos_sum() {
+        let total: Picos = (1..=4).map(Picos::from_nanos).sum();
+        assert_eq!(total, Picos::from_nanos(10));
+    }
+}

@@ -1,0 +1,248 @@
+//! Event tracing for simulated runs.
+//!
+//! Every interesting hardware/OS event (page fault, descriptor DMA,
+//! context switch, migration leg) can be recorded with its timestamp.
+//! Tests assert on the trace to verify mechanism-level behaviour (e.g.
+//! "a host→NxP call migration emits exactly one NX fault and one DMA
+//! burst"), and the bench harnesses use it to decompose round-trip
+//! overhead the way Table III of the paper does.
+
+use crate::time::Picos;
+use std::fmt;
+
+/// Which side of the system an event happened on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The x86-64-like host CPU / kernel.
+    Host,
+    /// The RV64-like NxP core / runtime.
+    Nxp,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Host => write!(f, "host"),
+            Side::Nxp => write!(f, "nxp"),
+        }
+    }
+}
+
+/// A traced simulation event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Instruction page fault caused by the NX-bit convention.
+    NxFault {
+        /// Side that faulted.
+        side: Side,
+        /// Virtual address of the function whose fetch faulted.
+        fault_va: u64,
+    },
+    /// RISC-V misaligned-instruction-address exception (fetching x86 bytes).
+    MisalignedFetch {
+        /// Faulting virtual PC.
+        fault_va: u64,
+    },
+    /// A migration descriptor left one side via the DMA engine.
+    DescriptorSent {
+        /// Sending side.
+        from: Side,
+        /// Descriptor kind tag (call/return).
+        kind: &'static str,
+        /// Payload size in bytes.
+        bytes: usize,
+    },
+    /// A migration descriptor was picked up by the other side.
+    DescriptorReceived {
+        /// Receiving side.
+        to: Side,
+        /// Descriptor kind tag.
+        kind: &'static str,
+    },
+    /// The kernel suspended a thread pending migration.
+    ThreadSuspended {
+        /// Process id.
+        pid: u64,
+    },
+    /// An interrupt woke a suspended thread.
+    ThreadWoken {
+        /// Process id.
+        pid: u64,
+    },
+    /// NxP scheduler context-switched a thread in or out.
+    NxpContextSwitch {
+        /// True when switching a thread in, false when switching out.
+        switch_in: bool,
+    },
+    /// A TLB miss was serviced by the programmable MMU.
+    TlbMiss {
+        /// Side whose TLB missed.
+        side: Side,
+        /// Virtual address.
+        va: u64,
+        /// Number of page-table levels walked.
+        levels: u8,
+    },
+    /// Free-form annotation (used by workloads to mark phases).
+    Marker(&'static str),
+}
+
+/// Trace recording configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Master switch; when false nothing is recorded.
+    pub enabled: bool,
+    /// Drop events once this many are stored (guards long benches).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            capacity: 1 << 20,
+        }
+    }
+}
+
+/// A timestamped event log.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{Event, Picos, Trace};
+///
+/// let mut trace = Trace::default();
+/// trace.record(Picos::from_nanos(10), Event::Marker("start"));
+/// assert_eq!(trace.len(), 1);
+/// assert_eq!(trace.count(|e| matches!(e, Event::Marker(_))), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    config: TraceConfig,
+    events: Vec<(Picos, Event)>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace with the given configuration.
+    pub fn new(config: TraceConfig) -> Self {
+        Trace {
+            config,
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Creates a disabled trace that records nothing.
+    pub fn disabled() -> Self {
+        Trace::new(TraceConfig {
+            enabled: false,
+            capacity: 0,
+        })
+    }
+
+    /// Records `event` at time `at` (no-op when disabled or full).
+    pub fn record(&mut self, at: Picos, event: Event) {
+        if !self.config.enabled {
+            return;
+        }
+        if self.events.len() >= self.config.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push((at, event));
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[(Picos, Event)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events dropped because the trace filled up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Counts events matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&Event) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+
+    /// First event matching a predicate, with its timestamp.
+    pub fn find(&self, mut pred: impl FnMut(&Event) -> bool) -> Option<(Picos, &Event)> {
+        self.events
+            .iter()
+            .find(|(_, e)| pred(e))
+            .map(|(t, e)| (*t, e))
+    }
+
+    /// Clears all recorded events (configuration is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut t = Trace::default();
+        t.record(Picos::from_nanos(1), Event::Marker("a"));
+        t.record(Picos::from_nanos(2), Event::Marker("b"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].1, Event::Marker("a"));
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(Picos::ZERO, Event::Marker("x"));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_drops_and_counts() {
+        let mut t = Trace::new(TraceConfig {
+            enabled: true,
+            capacity: 2,
+        });
+        for _ in 0..5 {
+            t.record(Picos::ZERO, Event::Marker("m"));
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.dropped(), 3);
+    }
+
+    #[test]
+    fn find_returns_first_match() {
+        let mut t = Trace::default();
+        t.record(Picos::from_nanos(5), Event::ThreadSuspended { pid: 1 });
+        t.record(Picos::from_nanos(9), Event::ThreadWoken { pid: 1 });
+        let (at, e) = t.find(|e| matches!(e, Event::ThreadWoken { .. })).unwrap();
+        assert_eq!(at, Picos::from_nanos(9));
+        assert_eq!(*e, Event::ThreadWoken { pid: 1 });
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Trace::default();
+        t.record(Picos::ZERO, Event::Marker("m"));
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

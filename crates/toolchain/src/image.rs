@@ -1,0 +1,313 @@
+//! The FatELF-like multi-ISA executable image.
+
+use crate::object::Placement;
+use flick_isa::TargetIsa;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Segment content classification (loader behaviour hangs off this).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// Executable code for one ISA. The loader sets the host NX bit on
+    /// `Text(TargetIsa::Nxp)` pages — that is Flick's whole trigger.
+    Text(TargetIsa),
+    /// Initialised data.
+    Data,
+    /// Zero-fill.
+    Bss,
+}
+
+/// One loadable segment.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Originating section name.
+    pub name: String,
+    /// Content kind.
+    pub kind: SegmentKind,
+    /// Physical placement the loader should honour.
+    pub placement: Placement,
+    /// Virtual base address (4 KiB aligned for text).
+    pub va: u64,
+    /// Size in bytes (≥ `bytes.len()`; the tail is zero-fill).
+    pub size: u64,
+    /// Initialised contents.
+    pub bytes: Vec<u8>,
+}
+
+impl Segment {
+    /// True when this segment holds NxP instructions.
+    pub fn is_nxp_text(&self) -> bool {
+        self.kind == SegmentKind::Text(TargetIsa::Nxp)
+    }
+
+    /// True when `va` falls inside this segment.
+    pub fn contains(&self, va: u64) -> bool {
+        va >= self.va && va < self.va + self.size
+    }
+}
+
+/// A linked multi-ISA executable: the reproduction's equivalent of the
+/// paper's dual-ISA ELF file.
+///
+/// All internal references are resolved — "host code directly refers to
+/// the code and data in the NxP sections" and vice versa (§IV-C2).
+#[derive(Clone, Debug)]
+pub struct MultiIsaImage {
+    /// Program name.
+    pub name: String,
+    /// Entry point VA (the host `main`; threads always start on the
+    /// host, §IV-B1).
+    pub entry: u64,
+    /// Loadable segments, sorted by VA.
+    pub segments: Vec<Segment>,
+    /// Global symbol table: name → VA.
+    pub symbols: BTreeMap<String, u64>,
+}
+
+impl MultiIsaImage {
+    /// Looks up a symbol's VA.
+    pub fn find_symbol(&self, name: &str) -> Option<u64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The segment containing `va`, if any.
+    pub fn segment_containing(&self, va: u64) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.contains(va))
+    }
+
+    /// Total loadable size (including zero-fill).
+    pub fn load_size(&self) -> u64 {
+        self.segments.iter().map(|s| s.size).sum()
+    }
+
+    /// Serialises to the on-disk container format (`FLK1`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"FLK1");
+        write_str(&mut out, &self.name);
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for s in &self.segments {
+            write_str(&mut out, &s.name);
+            let kind: u8 = match s.kind {
+                SegmentKind::Text(TargetIsa::Host) => 0,
+                SegmentKind::Text(TargetIsa::Nxp) => 1,
+                SegmentKind::Data => 2,
+                SegmentKind::Bss => 3,
+            };
+            out.push(kind);
+            out.push(match s.placement {
+                Placement::HostDram => 0,
+                Placement::NxpDram => 1,
+            });
+            out.extend_from_slice(&s.va.to_le_bytes());
+            out.extend_from_slice(&s.size.to_le_bytes());
+            out.extend_from_slice(&(s.bytes.len() as u64).to_le_bytes());
+            out.extend_from_slice(&s.bytes);
+        }
+        out.extend_from_slice(&(self.symbols.len() as u32).to_le_bytes());
+        for (name, va) in &self.symbols {
+            write_str(&mut out, name);
+            out.extend_from_slice(&va.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the `FLK1` container.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ImageFormatError`] on bad magic or truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ImageFormatError> {
+        let mut r = Reader { bytes, at: 0 };
+        if r.take(4)? != b"FLK1" {
+            return Err(ImageFormatError::BadMagic);
+        }
+        let name = r.str()?;
+        let entry = r.u64()?;
+        let nseg = r.u32()? as usize;
+        let mut segments = Vec::with_capacity(nseg);
+        for _ in 0..nseg {
+            let name = r.str()?;
+            let kind = match r.u8()? {
+                0 => SegmentKind::Text(TargetIsa::Host),
+                1 => SegmentKind::Text(TargetIsa::Nxp),
+                2 => SegmentKind::Data,
+                3 => SegmentKind::Bss,
+                k => return Err(ImageFormatError::BadTag(k)),
+            };
+            let placement = match r.u8()? {
+                0 => Placement::HostDram,
+                1 => Placement::NxpDram,
+                k => return Err(ImageFormatError::BadTag(k)),
+            };
+            let va = r.u64()?;
+            let size = r.u64()?;
+            let blen = r.u64()? as usize;
+            let bytes = r.take(blen)?.to_vec();
+            segments.push(Segment {
+                name,
+                kind,
+                placement,
+                va,
+                size,
+                bytes,
+            });
+        }
+        let nsym = r.u32()? as usize;
+        let mut symbols = BTreeMap::new();
+        for _ in 0..nsym {
+            let name = r.str()?;
+            let va = r.u64()?;
+            symbols.insert(name, va);
+        }
+        Ok(MultiIsaImage {
+            name,
+            entry,
+            segments,
+            symbols,
+        })
+    }
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ImageFormatError> {
+        if self.at + n > self.bytes.len() {
+            return Err(ImageFormatError::Truncated);
+        }
+        let s = &self.bytes[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ImageFormatError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ImageFormatError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, ImageFormatError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String, ImageFormatError> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).map_err(|_| ImageFormatError::BadString)
+    }
+}
+
+/// Container-format parse errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImageFormatError {
+    /// Not an `FLK1` file.
+    BadMagic,
+    /// Ran out of bytes.
+    Truncated,
+    /// Unknown enum tag.
+    BadTag(u8),
+    /// Non-UTF-8 string.
+    BadString,
+}
+
+impl fmt::Display for ImageFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageFormatError::BadMagic => write!(f, "bad image magic"),
+            ImageFormatError::Truncated => write!(f, "truncated image"),
+            ImageFormatError::BadTag(t) => write!(f, "invalid tag {t}"),
+            ImageFormatError::BadString => write!(f, "invalid string encoding"),
+        }
+    }
+}
+
+impl Error for ImageFormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MultiIsaImage {
+        MultiIsaImage {
+            name: "demo".into(),
+            entry: 0x40_0000,
+            segments: vec![
+                Segment {
+                    name: ".text".into(),
+                    kind: SegmentKind::Text(TargetIsa::Host),
+                    placement: Placement::HostDram,
+                    va: 0x40_0000,
+                    size: 16,
+                    bytes: vec![0xBA; 16],
+                },
+                Segment {
+                    name: ".bss.nxp".into(),
+                    kind: SegmentKind::Bss,
+                    placement: Placement::NxpDram,
+                    va: 0x5000_0000_0000,
+                    size: 4096,
+                    bytes: vec![],
+                },
+            ],
+            symbols: [("main".to_string(), 0x40_0000u64)].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        let back = MultiIsaImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back.name, img.name);
+        assert_eq!(back.entry, img.entry);
+        assert_eq!(back.segments.len(), 2);
+        assert_eq!(back.segments[1].size, 4096);
+        assert_eq!(back.segments[1].placement, Placement::NxpDram);
+        assert_eq!(back.find_symbol("main"), Some(0x40_0000));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(
+            MultiIsaImage::from_bytes(b"ELF!rest"),
+            Err(ImageFormatError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [3, 10, bytes.len() - 1] {
+            assert!(MultiIsaImage::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn segment_queries() {
+        let img = sample();
+        assert!(img.segment_containing(0x40_0008).unwrap().name == ".text");
+        assert!(img.segment_containing(0x999).is_none());
+        assert_eq!(img.load_size(), 16 + 4096);
+        assert!(img.segments[1].contains(0x5000_0000_0FFF));
+        assert!(!img.segments[1].contains(0x5000_0000_1000));
+    }
+
+    // PartialEq for error comparison in tests only.
+    impl PartialEq for MultiIsaImage {
+        fn eq(&self, other: &Self) -> bool {
+            self.to_bytes() == other.to_bytes()
+        }
+    }
+}

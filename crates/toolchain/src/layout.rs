@@ -1,0 +1,70 @@
+//! The virtual-address layout baked into the linker script.
+//!
+//! One address space, shared by every core regardless of ISA (§III-A);
+//! the loader backs each range with the appropriate physical region.
+
+/// Base of the host `.text` section.
+pub const HOST_TEXT_BASE: u64 = 0x0040_0000;
+/// Base of `.data`/`.bss` (host DRAM placement).
+pub const HOST_DATA_BASE: u64 = 0x0080_0000;
+/// Window mapping the entire 4 GiB NxP DRAM; `.data.nxp`, `.bss.nxp`
+/// and the NxP heap live at its bottom. The loader covers it with four
+/// 1 GiB huge pages, which is how §V keeps the whole NxP storage in
+/// four TLB entries.
+pub const NXP_WINDOW_VA: u64 = 0x5000_0000_0000;
+/// Size of the NxP DRAM window.
+pub const NXP_WINDOW_SIZE: u64 = 4 << 30;
+/// Window mapping the NxP stack SRAM (BAR1).
+pub const NXP_STACK_VA: u64 = 0x6000_0000_0000;
+/// Size of the NxP stack window.
+pub const NXP_STACK_SIZE: u64 = 16 << 20;
+/// Top of the host user stack (grows down).
+pub const HOST_STACK_TOP: u64 = 0x7FFF_FFFF_F000;
+/// Host stack reservation.
+pub const HOST_STACK_SIZE: u64 = 8 << 20;
+/// Base of the host heap.
+pub const HOST_HEAP_BASE: u64 = 0x1000_0000_0000;
+/// Descriptor page: one shared page the kernel maps into the process for
+/// migration descriptors (user handlers read call/return descriptors
+/// from here).
+pub const DESC_PAGE_VA: u64 = 0x2000_0000_0000;
+/// NxP-side descriptor buffer: the last page of the stack-SRAM window,
+/// where the DMA engine lands host→NxP descriptors (§IV-B1). The NxP
+/// migration handler reads descriptors here at SRAM latency.
+pub const NXP_DESC_VA: u64 = NXP_STACK_VA + NXP_STACK_SIZE - 4096;
+/// Per-thread NxP stack slot size carved out of the SRAM window.
+pub const NXP_STACK_SLOT: u64 = 64 << 10;
+
+/// Section alignment the linker script enforces for all `.text`
+/// sections: page granularity, so "pages holding code for each ISA have
+/// different page table entries" (§IV-C2).
+pub const TEXT_ALIGN: u64 = 4096;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_bases_are_page_aligned() {
+        assert_eq!(HOST_TEXT_BASE % TEXT_ALIGN, 0);
+        assert_eq!(NXP_WINDOW_VA % (1 << 30), 0, "1 GiB pages need 1 GiB VAs");
+        assert_eq!(NXP_STACK_VA % TEXT_ALIGN, 0);
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // Coarse sanity: ordered, disjoint ranges.
+        let ranges = [
+            (HOST_TEXT_BASE, HOST_DATA_BASE),
+            (HOST_DATA_BASE, HOST_HEAP_BASE),
+            (HOST_HEAP_BASE, DESC_PAGE_VA),
+            (DESC_PAGE_VA, NXP_WINDOW_VA),
+            (NXP_WINDOW_VA, NXP_WINDOW_VA + NXP_WINDOW_SIZE),
+            (NXP_STACK_VA, NXP_STACK_VA + NXP_STACK_SIZE),
+            (HOST_STACK_TOP - HOST_STACK_SIZE, HOST_STACK_TOP),
+        ];
+        for w in ranges.windows(2) {
+            assert!(w[0].1 <= w[1].0, "{:#x?} overlaps {:#x?}", w[0], w[1]);
+        }
+    }
+}

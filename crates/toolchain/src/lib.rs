@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+//! The multi-ISA toolchain: compiler driver, linker and fat image format.
+//!
+//! §IV-C of the paper describes a toolchain flow that produces *one*
+//! executable containing `.text` sections for several ISAs sharing a
+//! single virtual address space:
+//!
+//! 1. **Compiler** — user annotations assign each function to an ISA;
+//!    scripts split the source and invoke unmodified per-ISA compilers.
+//!    Here, [`compile`] encodes each [`flick_isa::Func`] with its
+//!    target's encoder into per-ISA object sections (`.text` vs
+//!    `.text.riscv`).
+//! 2. **Linker** — a custom linker script keeps per-ISA sections
+//!    separate and 4 KiB-aligned (so each ISA's code has its own page
+//!    table entries), then resolves symbols *across* sections with each
+//!    ISA's relocation functions. [`link()`](link()) does exactly this and fails
+//!    on undefined or duplicate symbols.
+//! 3. **Image** — the result is a FatELF-like [`MultiIsaImage`] whose
+//!    segments carry placement metadata (which sections the loader must
+//!    put in NxP-local memory, which must get the NX bit).
+//!
+//! # Examples
+//!
+//! ```
+//! use flick_isa::{abi, FuncBuilder, TargetIsa};
+//! use flick_toolchain::ProgramBuilder;
+//!
+//! let mut p = ProgramBuilder::new("demo");
+//! let mut main = FuncBuilder::new("main", TargetIsa::Host);
+//! main.call("work");
+//! main.halt();
+//! p.func(main.finish());
+//! let mut work = FuncBuilder::new("work", TargetIsa::Nxp);
+//! work.addi(abi::A0, abi::ZERO, 42);
+//! work.ret();
+//! p.func(work.finish());
+//!
+//! let image = p.build()?;
+//! assert!(image.find_symbol("work").is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod image;
+pub mod layout;
+pub mod link;
+pub mod object;
+pub mod program;
+
+pub use image::{MultiIsaImage, Segment, SegmentKind};
+pub use link::{link, LinkError};
+pub use object::{compile, CompileError, DataDef, ObjectFile, Placement, Section, SectionKind};
+pub use program::ProgramBuilder;

@@ -1,0 +1,301 @@
+//! The multi-ISA linker.
+//!
+//! Implements the custom linker script of §IV-C2: per-ISA text sections
+//! stay separate and 4 KiB-aligned, data sections are bucketed by
+//! placement, and symbols are resolved *across* ISA boundaries with each
+//! section's relocation method. The output image has every internal
+//! reference resolved.
+
+use crate::image::{MultiIsaImage, Segment, SegmentKind};
+use crate::layout;
+use crate::object::{ObjectFile, Placement, Section, SectionKind};
+use flick_isa::RelocKind;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Linking errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LinkError {
+    /// A referenced symbol is defined nowhere.
+    Undefined(String),
+    /// A symbol is defined more than once.
+    Duplicate(String),
+    /// A relocation points into a zero-fill section.
+    RelocInBss(String),
+    /// No entry symbol (`main` by default).
+    NoEntry(String),
+    /// A `Rel32` displacement overflowed (sections too far apart).
+    RelocOverflow(String),
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkError::Undefined(s) => write!(f, "undefined symbol `{s}`"),
+            LinkError::Duplicate(s) => write!(f, "duplicate symbol `{s}`"),
+            LinkError::RelocInBss(s) => write!(f, "relocation against zero-fill data `{s}`"),
+            LinkError::NoEntry(s) => write!(f, "entry symbol `{s}` not found"),
+            LinkError::RelocOverflow(s) => write!(f, "relocation overflow for `{s}`"),
+        }
+    }
+}
+
+impl Error for LinkError {}
+
+fn align_up(v: u64, a: u64) -> u64 {
+    v.div_ceil(a) * a
+}
+
+/// Assigns virtual addresses to sections per the linker script.
+fn assign_va(sections: &[Section]) -> Vec<u64> {
+    let mut vas = vec![0u64; sections.len()];
+    let mut host_text_cursor = layout::HOST_TEXT_BASE;
+    let mut host_data_cursor = layout::HOST_DATA_BASE;
+    let mut nxp_data_cursor = layout::NXP_WINDOW_VA;
+    for (i, s) in sections.iter().enumerate() {
+        let cursor = match (s.kind, s.placement) {
+            (SectionKind::Text(_), _) => &mut host_text_cursor,
+            (_, Placement::HostDram) => &mut host_data_cursor,
+            (_, Placement::NxpDram) => &mut nxp_data_cursor,
+        };
+        *cursor = align_up(*cursor, s.align.max(layout::TEXT_ALIGN));
+        vas[i] = *cursor;
+        *cursor += s.size;
+    }
+    vas
+}
+
+/// Links one or more objects into a [`MultiIsaImage`].
+///
+/// # Errors
+///
+/// See [`LinkError`].
+pub fn link(
+    objects: &[ObjectFile],
+    program_name: &str,
+    entry_symbol: &str,
+) -> Result<MultiIsaImage, LinkError> {
+    // Flatten sections (merging same-name sections across objects would
+    // be straightforward but our compiler emits one object).
+    let sections: Vec<&Section> = objects.iter().flat_map(|o| o.sections.iter()).collect();
+    let owned: Vec<Section> = sections.into_iter().cloned().collect();
+    let vas = assign_va(&owned);
+
+    // Global symbol table.
+    let mut symbols: BTreeMap<String, u64> = BTreeMap::new();
+    for (sec, &va) in owned.iter().zip(&vas) {
+        for (name, off) in &sec.symbols {
+            if symbols.insert(name.clone(), va + off).is_some() {
+                return Err(LinkError::Duplicate(name.clone()));
+            }
+        }
+    }
+
+    // Apply relocations.
+    let mut segments = Vec::with_capacity(owned.len());
+    for (mut sec, &va) in owned.into_iter().zip(&vas) {
+        for r in std::mem::take(&mut sec.relocs) {
+            let target = *symbols
+                .get(&r.symbol)
+                .ok_or_else(|| LinkError::Undefined(r.symbol.clone()))?;
+            if sec.kind == SectionKind::Bss {
+                return Err(LinkError::RelocInBss(r.symbol.clone()));
+            }
+            let field = r.field_at as usize;
+            match r.kind {
+                RelocKind::Rel32 => {
+                    let inst_va = va + r.inst_start as u64;
+                    let disp = target as i64 - inst_va as i64;
+                    let disp32 = i32::try_from(disp)
+                        .map_err(|_| LinkError::RelocOverflow(r.symbol.clone()))?;
+                    sec.bytes[field..field + 4].copy_from_slice(&disp32.to_le_bytes());
+                }
+                RelocKind::Abs64 => {
+                    sec.bytes[field..field + 8].copy_from_slice(&target.to_le_bytes());
+                }
+                RelocKind::Abs64Pair => {
+                    let lo = target as u32;
+                    let hi = (target >> 32) as u32;
+                    sec.bytes[field..field + 4].copy_from_slice(&lo.to_le_bytes());
+                    sec.bytes[field + 8..field + 12].copy_from_slice(&hi.to_le_bytes());
+                }
+            }
+        }
+        if sec.size == 0 {
+            continue; // drop empty sections (e.g. no NxP data)
+        }
+        segments.push(Segment {
+            name: sec.name,
+            kind: match sec.kind {
+                SectionKind::Text(isa) => SegmentKind::Text(isa),
+                SectionKind::Data => SegmentKind::Data,
+                SectionKind::Bss => SegmentKind::Bss,
+            },
+            placement: sec.placement,
+            va,
+            size: sec.size,
+            bytes: sec.bytes,
+        });
+    }
+    segments.sort_by_key(|s| s.va);
+
+    let entry = *symbols
+        .get(entry_symbol)
+        .ok_or_else(|| LinkError::NoEntry(entry_symbol.to_string()))?;
+
+    Ok(MultiIsaImage {
+        name: program_name.to_string(),
+        entry,
+        segments,
+        symbols,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{compile, DataDef};
+    use flick_isa::{abi, FuncBuilder, Isa, TargetIsa};
+
+    fn build(funcs: Vec<flick_isa::Func>, data: Vec<DataDef>) -> Result<MultiIsaImage, LinkError> {
+        let obj = compile(&funcs, &data).unwrap();
+        link(&[obj], "t", "main")
+    }
+
+    fn main_calling(callee: &str) -> flick_isa::Func {
+        let mut f = FuncBuilder::new("main", TargetIsa::Host);
+        f.call(callee);
+        f.halt();
+        f.finish()
+    }
+
+    fn nxp_leaf(name: &str) -> flick_isa::Func {
+        let mut f = FuncBuilder::new(name, TargetIsa::Nxp);
+        f.addi(abi::A0, abi::ZERO, 7);
+        f.ret();
+        f.finish()
+    }
+
+    #[test]
+    fn cross_isa_call_resolves() {
+        let img = build(vec![main_calling("leaf"), nxp_leaf("leaf")], vec![]).unwrap();
+        let text = img.segment_containing(img.entry).unwrap();
+        assert_eq!(text.kind, SegmentKind::Text(TargetIsa::Host));
+        // Decode main's call and check the displacement reaches `leaf`
+        // in .text.riscv.
+        let (inst, _) = Isa::X64.decode(&text.bytes).unwrap();
+        match inst {
+            flick_isa::Inst::Jal {
+                target: flick_isa::Target::Rel(d),
+                ..
+            } => {
+                assert_eq!((img.entry as i64 + d) as u64, img.find_symbol("leaf").unwrap());
+            }
+            other => panic!("expected jal, got {other}"),
+        }
+    }
+
+    #[test]
+    fn text_sections_page_separated() {
+        let img = build(vec![main_calling("leaf"), nxp_leaf("leaf")], vec![]).unwrap();
+        let host = img.segments.iter().find(|s| s.name == ".text").unwrap();
+        let nxp = img
+            .segments
+            .iter()
+            .find(|s| s.name == ".text.riscv")
+            .unwrap();
+        assert_eq!(host.va % 4096, 0);
+        assert_eq!(nxp.va % 4096, 0);
+        assert!(
+            nxp.va >= align_up(host.va + host.size, 4096),
+            "per-ISA text never shares a page"
+        );
+    }
+
+    #[test]
+    fn undefined_symbol_reported() {
+        assert_eq!(
+            build(vec![main_calling("nowhere")], vec![]),
+            Err(LinkError::Undefined("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_symbol_across_objects_reported() {
+        // Same symbol defined in two separately compiled objects.
+        let a = compile(&[main_calling("leaf"), nxp_leaf("leaf")], &[]).unwrap();
+        let b = compile(&[nxp_leaf("leaf")], &[]).unwrap();
+        assert_eq!(
+            link(&[a, b], "t", "main"),
+            Err(LinkError::Duplicate("leaf".into()))
+        );
+    }
+
+    #[test]
+    fn missing_entry_reported() {
+        let obj = compile(&[nxp_leaf("leaf")], &[]).unwrap();
+        assert_eq!(
+            link(&[obj], "t", "main"),
+            Err(LinkError::NoEntry("main".into()))
+        );
+    }
+
+    #[test]
+    fn nxp_data_lands_in_nxp_window() {
+        let img = build(
+            vec![main_calling("leaf"), nxp_leaf("leaf")],
+            vec![DataDef::bss("graph", 1 << 20).placed(Placement::NxpDram)],
+        )
+        .unwrap();
+        let sym = img.find_symbol("graph").unwrap();
+        assert!(sym >= layout::NXP_WINDOW_VA);
+        assert!(sym < layout::NXP_WINDOW_VA + layout::NXP_WINDOW_SIZE);
+    }
+
+    #[test]
+    fn abs64_data_pointer_patched() {
+        let img = build(
+            vec![main_calling("leaf"), nxp_leaf("leaf")],
+            vec![DataDef::new("table", vec![0u8; 8]).pointer_to(0, "leaf")],
+        )
+        .unwrap();
+        let data = img.segments.iter().find(|s| s.name == ".data").unwrap();
+        let table_va = img.find_symbol("table").unwrap();
+        let off = (table_va - data.va) as usize;
+        let ptr = u64::from_le_bytes(data.bytes[off..off + 8].try_into().unwrap());
+        assert_eq!(ptr, img.find_symbol("leaf").unwrap());
+    }
+
+    #[test]
+    fn li_sym_pair_patched_for_nxp() {
+        // An NxP function taking the address of a host function: the
+        // Abs64Pair relocation splits the VA across the li pair.
+        let mut f = FuncBuilder::new("take_ptr", TargetIsa::Nxp);
+        f.li_sym(abi::A0, "main");
+        f.ret();
+        let img = build(vec![main_calling("take_ptr"), f.finish()], vec![]).unwrap();
+        let nxp = img
+            .segments
+            .iter()
+            .find(|s| s.name == ".text.riscv")
+            .unwrap();
+        let (inst, _) = Isa::Rv64.decode(&nxp.bytes).unwrap();
+        assert_eq!(
+            inst,
+            flick_isa::Inst::Li {
+                rd: abi::A0,
+                imm: img.find_symbol("main").unwrap() as i64
+            }
+        );
+    }
+
+    #[test]
+    fn bss_reloc_rejected() {
+        let err = build(
+            vec![main_calling("leaf"), nxp_leaf("leaf")],
+            vec![DataDef::bss("z", 16).pointer_to(0, "leaf")],
+        );
+        assert_eq!(err, Err(LinkError::RelocInBss("leaf".into())));
+    }
+}

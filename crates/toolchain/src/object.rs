@@ -1,0 +1,386 @@
+//! Object files: sections, symbols, data definitions, and the compile
+//! step that encodes functions into per-ISA sections.
+
+use flick_isa::{EncodeError, Func, Reloc, TargetIsa};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`compile`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// A function failed to encode.
+    Encode(EncodeError),
+    /// Two functions or data objects share a name.
+    DuplicateSymbol(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Encode(e) => write!(f, "encode error: {e}"),
+            CompileError::DuplicateSymbol(s) => write!(f, "duplicate symbol `{s}`"),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Encode(e) => Some(e),
+            CompileError::DuplicateSymbol(_) => None,
+        }
+    }
+}
+
+impl From<EncodeError> for CompileError {
+    fn from(e: EncodeError) -> Self {
+        CompileError::Encode(e)
+    }
+}
+
+/// Where the loader should place a section's bytes (§III-D's
+/// instruction/data placement rules).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Placement {
+    /// Host DRAM (default for `.text`, `.data`, `.bss`).
+    HostDram,
+    /// NxP local DRAM (annotated `.data.nxp` / `.bss.nxp`; also the
+    /// region workloads allocate graph/list storage in).
+    NxpDram,
+}
+
+/// What a section contains.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SectionKind {
+    /// Executable code for one ISA.
+    Text(TargetIsa),
+    /// Initialised data.
+    Data,
+    /// Zero-initialised data (no bytes in the image).
+    Bss,
+}
+
+/// A named section within an object file or linked image.
+#[derive(Clone, Debug)]
+pub struct Section {
+    /// Section name (`.text`, `.text.riscv`, `.data`, `.data.nxp`, …).
+    pub name: String,
+    /// Content classification.
+    pub kind: SectionKind,
+    /// Placement target for the loader.
+    pub placement: Placement,
+    /// Initialised bytes (empty for `.bss`).
+    pub bytes: Vec<u8>,
+    /// Size (for `.bss`, may exceed `bytes.len()`).
+    pub size: u64,
+    /// Required alignment.
+    pub align: u64,
+    /// Symbols this section defines: name → offset.
+    pub symbols: BTreeMap<String, u64>,
+    /// Relocations into this section.
+    pub relocs: Vec<Reloc>,
+}
+
+impl Section {
+    fn new(name: &str, kind: SectionKind, placement: Placement, align: u64) -> Self {
+        Section {
+            name: name.to_string(),
+            kind,
+            placement,
+            bytes: Vec::new(),
+            size: 0,
+            align,
+            symbols: BTreeMap::new(),
+            relocs: Vec::new(),
+        }
+    }
+
+    /// True for `.text.riscv`-style sections: NxP code, which the loader
+    /// must mark NX for the host.
+    pub fn is_nxp_text(&self) -> bool {
+        self.kind == SectionKind::Text(TargetIsa::Nxp)
+    }
+}
+
+/// A global data definition supplied by the program.
+#[derive(Clone, Debug)]
+pub struct DataDef {
+    /// Symbol name.
+    pub name: String,
+    /// Initialised contents; `None` means `.bss` of `size` bytes.
+    pub bytes: Option<Vec<u8>>,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Alignment.
+    pub align: u64,
+    /// Placement annotation (the paper's source directive for NxP-local
+    /// variables).
+    pub placement: Placement,
+    /// Pointer fields inside the object to patch with symbol addresses
+    /// (offset, symbol) — e.g. function-pointer tables.
+    pub pointers: Vec<(u64, String)>,
+}
+
+impl DataDef {
+    /// An initialised data object.
+    pub fn new(name: impl Into<String>, bytes: Vec<u8>) -> Self {
+        let size = bytes.len() as u64;
+        DataDef {
+            name: name.into(),
+            bytes: Some(bytes),
+            size,
+            align: 8,
+            placement: Placement::HostDram,
+            pointers: Vec::new(),
+        }
+    }
+
+    /// A zero-initialised object of `size` bytes.
+    pub fn bss(name: impl Into<String>, size: u64) -> Self {
+        DataDef {
+            name: name.into(),
+            bytes: None,
+            size,
+            align: 8,
+            placement: Placement::HostDram,
+            pointers: Vec::new(),
+        }
+    }
+
+    /// Sets the placement annotation.
+    pub fn placed(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the alignment.
+    pub fn aligned(mut self, align: u64) -> Self {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        self.align = align;
+        self
+    }
+
+    /// Registers a pointer field at `offset` to be patched with the
+    /// address of `symbol`.
+    pub fn pointer_to(mut self, offset: u64, symbol: impl Into<String>) -> Self {
+        self.pointers.push((offset, symbol.into()));
+        self
+    }
+}
+
+/// A compiled translation unit: one or more sections.
+#[derive(Clone, Debug, Default)]
+pub struct ObjectFile {
+    /// Sections in this object.
+    pub sections: Vec<Section>,
+}
+
+impl fmt::Display for ObjectFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for s in &self.sections {
+            writeln!(
+                f,
+                "{:16} {:?} {:?} size={} syms={}",
+                s.name,
+                s.kind,
+                s.placement,
+                s.size,
+                s.symbols.len()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Pads a section so the next item starts aligned.
+fn pad_to(sec: &mut Section, align: u64) {
+    let pad = (align - (sec.size % align)) % align;
+    sec.bytes.extend(std::iter::repeat_n(0u8, pad as usize));
+    sec.size += pad;
+}
+
+/// The "compiler": partitions `funcs` by annotation, encodes each with
+/// its ISA's encoder and gathers `.text` / `.text.riscv` sections plus
+/// data sections from `data`.
+///
+/// This mirrors §IV-C1: no instrumentation is inserted anywhere — the
+/// migration trigger is entirely the OS's business.
+///
+/// # Errors
+///
+/// Propagates [`EncodeError`] from the per-ISA encoders.
+pub fn compile(funcs: &[Func], data: &[DataDef]) -> Result<ObjectFile, CompileError> {
+    let mut host_text = Section::new(
+        ".text",
+        SectionKind::Text(TargetIsa::Host),
+        Placement::HostDram,
+        crate::layout::TEXT_ALIGN,
+    );
+    let mut nxp_text = Section::new(
+        ".text.riscv",
+        SectionKind::Text(TargetIsa::Nxp),
+        Placement::HostDram, // NxP instructions stay in host DRAM (§III-D)
+        crate::layout::TEXT_ALIGN,
+    );
+
+    for func in funcs {
+        let sec = match func.target {
+            TargetIsa::Host => &mut host_text,
+            TargetIsa::Nxp => &mut nxp_text,
+        };
+        // Function entries align to the ISA's fetch alignment only — host
+        // entries land at arbitrary byte offsets (variable length).
+        pad_to(sec, func.target.isa().fetch_align());
+        let enc = func.target.isa().encode(func)?;
+        let base = sec.size;
+        if sec.symbols.insert(func.name.clone(), base).is_some() {
+            return Err(CompileError::DuplicateSymbol(func.name.clone()));
+        }
+        for mut r in enc.relocs {
+            r.field_at += base as u32;
+            r.inst_start += base as u32;
+            sec.relocs.push(r);
+        }
+        for (name, label) in &func.exports {
+            let inst_idx = func.labels[label.0 as usize].expect("bound label");
+            let off = base + enc.offsets[inst_idx] as u64;
+            if sec.symbols.insert(name.clone(), off).is_some() {
+                return Err(CompileError::DuplicateSymbol(name.clone()));
+            }
+        }
+        sec.bytes.extend_from_slice(&enc.bytes);
+        sec.size += enc.bytes.len() as u64;
+    }
+
+    let mut sections = vec![host_text, nxp_text];
+
+    // Data sections, one per (placement, initialised?) bucket.
+    let mut buckets: BTreeMap<(&str, SectionKind, Placement), Section> = BTreeMap::new();
+    for d in data {
+        let (name, kind) = match (&d.bytes, d.placement) {
+            (Some(_), Placement::HostDram) => (".data", SectionKind::Data),
+            (Some(_), Placement::NxpDram) => (".data.nxp", SectionKind::Data),
+            (None, Placement::HostDram) => (".bss", SectionKind::Bss),
+            (None, Placement::NxpDram) => (".bss.nxp", SectionKind::Bss),
+        };
+        let sec = buckets
+            .entry((name, kind, d.placement))
+            .or_insert_with(|| Section::new(name, kind, d.placement, 4096));
+        let pad = (d.align - (sec.size % d.align)) % d.align;
+        sec.size += pad;
+        if let Some(bytes) = &d.bytes {
+            sec.bytes.extend(std::iter::repeat_n(0u8, pad as usize));
+            sec.bytes.extend_from_slice(bytes);
+        }
+        let base = sec.size;
+        if sec.symbols.insert(d.name.clone(), base).is_some() {
+            return Err(CompileError::DuplicateSymbol(d.name.clone()));
+        }
+        for (off, sym) in &d.pointers {
+            sec.relocs.push(Reloc {
+                field_at: (base + off) as u32,
+                inst_start: (base + off) as u32,
+                kind: flick_isa::RelocKind::Abs64,
+                symbol: sym.clone(),
+            });
+        }
+        sec.size += d.size;
+    }
+    sections.extend(buckets.into_values());
+
+    Ok(ObjectFile { sections })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_isa::{abi, FuncBuilder};
+
+    fn host_fn(name: &str) -> Func {
+        let mut f = FuncBuilder::new(name, TargetIsa::Host);
+        f.ret();
+        f.finish()
+    }
+
+    fn nxp_fn(name: &str) -> Func {
+        let mut f = FuncBuilder::new(name, TargetIsa::Nxp);
+        f.addi(abi::A0, abi::A0, 1);
+        f.ret();
+        f.finish()
+    }
+
+    #[test]
+    fn partitions_by_annotation() {
+        let obj = compile(&[host_fn("a"), nxp_fn("b"), host_fn("c")], &[]).unwrap();
+        let host = &obj.sections[0];
+        let nxp = &obj.sections[1];
+        assert_eq!(host.name, ".text");
+        assert_eq!(nxp.name, ".text.riscv");
+        assert!(host.symbols.contains_key("a"));
+        assert!(host.symbols.contains_key("c"));
+        assert!(nxp.symbols.contains_key("b"));
+        assert!(!host.symbols.contains_key("b"));
+    }
+
+    #[test]
+    fn nxp_entries_eight_aligned_host_entries_packed() {
+        let obj = compile(
+            &[host_fn("a"), host_fn("b"), nxp_fn("x"), nxp_fn("y")],
+            &[],
+        )
+        .unwrap();
+        let host = &obj.sections[0];
+        // ret = 1 byte, so "b" starts at offset 1: unaligned, as real
+        // x86 function entries are.
+        assert_eq!(host.symbols["b"], 1);
+        let nxp = &obj.sections[1];
+        assert_eq!(nxp.symbols["y"] % 8, 0);
+    }
+
+    #[test]
+    fn reloc_offsets_are_section_relative() {
+        let mut f = FuncBuilder::new("caller", TargetIsa::Host);
+        f.nop(); // 1 byte
+        f.call("callee");
+        f.ret();
+        let obj = compile(&[host_fn("first"), f.finish()], &[]).unwrap();
+        let host = &obj.sections[0];
+        // first=1 byte, caller at 1, nop 1 byte, call at 2 → field at 4.
+        assert_eq!(host.relocs[0].inst_start, 2);
+        assert_eq!(host.relocs[0].field_at, 4);
+    }
+
+    #[test]
+    fn data_buckets_by_placement() {
+        let data = vec![
+            DataDef::new("host_table", vec![1, 2, 3, 4]),
+            DataDef::bss("nxp_buf", 1 << 20).placed(Placement::NxpDram),
+            DataDef::new("nxp_init", vec![9; 16]).placed(Placement::NxpDram),
+        ];
+        let obj = compile(&[host_fn("main")], &data).unwrap();
+        let names: Vec<_> = obj.sections.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&".data"));
+        assert!(names.contains(&".data.nxp"));
+        assert!(names.contains(&".bss.nxp"));
+    }
+
+    #[test]
+    fn data_pointer_fields_become_relocs() {
+        let data = vec![DataDef::new("fptr_table", vec![0u8; 16])
+            .pointer_to(0, "main")
+            .pointer_to(8, "main")];
+        let obj = compile(&[host_fn("main")], &data).unwrap();
+        let dsec = obj.sections.iter().find(|s| s.name == ".data").unwrap();
+        assert_eq!(dsec.relocs.len(), 2);
+        assert_eq!(dsec.relocs[1].field_at, 8);
+    }
+
+    #[test]
+    fn bss_has_size_but_no_bytes() {
+        let obj = compile(&[host_fn("main")], &[DataDef::bss("big", 4096)]).unwrap();
+        let bss = obj.sections.iter().find(|s| s.name == ".bss").unwrap();
+        assert_eq!(bss.size, 4096);
+        assert!(bss.bytes.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! The user-facing program builder: what "writing a Flick application"
+//! looks like in this reproduction.
+
+use crate::image::MultiIsaImage;
+use crate::link::{link, LinkError};
+use crate::object::{compile, CompileError, DataDef};
+use flick_isa::Func;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from [`ProgramBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// Compilation (encoding / symbol collection) failed.
+    Compile(CompileError),
+    /// Linking failed.
+    Link(LinkError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Compile(e) => write!(f, "compile error: {e}"),
+            BuildError::Link(e) => write!(f, "link error: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Compile(e) => Some(e),
+            BuildError::Link(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for BuildError {
+    fn from(e: CompileError) -> Self {
+        BuildError::Compile(e)
+    }
+}
+
+impl From<LinkError> for BuildError {
+    fn from(e: LinkError) -> Self {
+        BuildError::Link(e)
+    }
+}
+
+/// Collects annotated functions and data, then compiles and links them
+/// into a [`MultiIsaImage`].
+///
+/// # Examples
+///
+/// ```
+/// use flick_isa::{abi, FuncBuilder, TargetIsa};
+/// use flick_toolchain::{DataDef, Placement, ProgramBuilder};
+///
+/// let mut p = ProgramBuilder::new("app");
+/// let mut main = FuncBuilder::new("main", TargetIsa::Host);
+/// main.halt();
+/// p.func(main.finish());
+/// p.data(DataDef::bss("buffer", 4096).placed(Placement::NxpDram));
+/// let image = p.build()?;
+/// assert_eq!(image.name, "app");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    entry: String,
+    funcs: Vec<Func>,
+    data: Vec<DataDef>,
+}
+
+impl ProgramBuilder {
+    /// Starts a program named `name` with entry symbol `main`.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            entry: "main".to_string(),
+            funcs: Vec::new(),
+            data: Vec::new(),
+        }
+    }
+
+    /// Overrides the entry symbol.
+    pub fn entry(&mut self, symbol: impl Into<String>) -> &mut Self {
+        self.entry = symbol.into();
+        self
+    }
+
+    /// Adds a function (its [`flick_isa::TargetIsa`] annotation decides
+    /// which `.text` section it lands in).
+    pub fn func(&mut self, f: Func) -> &mut Self {
+        self.funcs.push(f);
+        self
+    }
+
+    /// Adds a global data definition.
+    pub fn data(&mut self, d: DataDef) -> &mut Self {
+        self.data.push(d);
+        self
+    }
+
+    /// Functions added so far.
+    pub fn funcs(&self) -> &[Func] {
+        &self.funcs
+    }
+
+    /// Compiles and links.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] for encoding or linking failures.
+    pub fn build(&self) -> Result<MultiIsaImage, BuildError> {
+        let obj = compile(&self.funcs, &self.data)?;
+        Ok(link(&[obj], &self.name, &self.entry)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_isa::{abi, FuncBuilder, TargetIsa};
+
+    #[test]
+    fn builds_minimal_program() {
+        let mut p = ProgramBuilder::new("x");
+        let mut m = FuncBuilder::new("main", TargetIsa::Host);
+        m.halt();
+        p.func(m.finish());
+        let img = p.build().unwrap();
+        assert_eq!(img.entry, img.find_symbol("main").unwrap());
+    }
+
+    #[test]
+    fn custom_entry() {
+        let mut p = ProgramBuilder::new("x");
+        p.entry("start");
+        let mut m = FuncBuilder::new("start", TargetIsa::Host);
+        m.halt();
+        p.func(m.finish());
+        assert!(p.build().is_ok());
+    }
+
+    #[test]
+    fn link_error_surfaces() {
+        let mut p = ProgramBuilder::new("x");
+        let mut m = FuncBuilder::new("main", TargetIsa::Host);
+        m.call("ghost");
+        m.halt();
+        p.func(m.finish());
+        assert!(matches!(
+            p.build(),
+            Err(BuildError::Link(LinkError::Undefined(_)))
+        ));
+    }
+
+    #[test]
+    fn mixed_isa_program_links() {
+        let mut p = ProgramBuilder::new("x");
+        let mut m = FuncBuilder::new("main", TargetIsa::Host);
+        m.call("nxp_work");
+        m.halt();
+        p.func(m.finish());
+        let mut w = FuncBuilder::new("nxp_work", TargetIsa::Nxp);
+        w.addi(abi::A0, abi::ZERO, 1);
+        w.call("host_helper");
+        w.ret();
+        p.func(w.finish());
+        let mut h = FuncBuilder::new("host_helper", TargetIsa::Host);
+        h.ret();
+        p.func(h.finish());
+        let img = p.build().unwrap();
+        assert_eq!(
+            img.segments
+                .iter()
+                .filter(|s| matches!(s.kind, crate::SegmentKind::Text(_)))
+                .count(),
+            2
+        );
+    }
+}

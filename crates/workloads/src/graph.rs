@@ -1,0 +1,288 @@
+//! Synthetic social graphs standing in for the SNAP datasets.
+//!
+//! The paper evaluates BFS on three SNAP graphs (Table IV). The actual
+//! downloads are unavailable offline, so we generate *directed R-MAT
+//! graphs with the same vertex and edge counts* (Graph500's generator
+//! family). R-MAT reproduces the heavy-tailed degree distribution and
+//! poor locality that make graph traversal memory-bound — the
+//! properties Table IV actually exercises; the concrete SNAP topology
+//! is not load-bearing for the baseline-vs-Flick comparison.
+
+use flick_sim::Xoshiro256;
+
+/// A directed graph in CSR form.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Vertex count.
+    pub v: u64,
+    /// CSR row offsets, length `v + 1`.
+    pub row_ptr: Vec<u64>,
+    /// CSR column indices (out-neighbours), length = edge count.
+    pub col: Vec<u32>,
+}
+
+impl Graph {
+    /// Edge count.
+    pub fn e(&self) -> u64 {
+        self.col.len() as u64
+    }
+
+    /// Out-neighbours of `u`.
+    pub fn neighbours(&self, u: u64) -> &[u32] {
+        &self.col[self.row_ptr[u as usize] as usize..self.row_ptr[u as usize + 1] as usize]
+    }
+
+    /// Out-degree of `u`.
+    pub fn degree(&self, u: u64) -> u64 {
+        self.row_ptr[u as usize + 1] - self.row_ptr[u as usize]
+    }
+
+    /// A vertex with non-zero out-degree, preferring high degree (a
+    /// sensible BFS root, as Graph500 requires non-isolated roots).
+    pub fn pick_root(&self, seed: u64) -> u64 {
+        let mut rng = Xoshiro256::seeded(seed);
+        let mut best = 0u64;
+        let mut best_deg = 0u64;
+        for _ in 0..64 {
+            let u = rng.gen_range(0, self.v);
+            let d = self.degree(u);
+            if d > best_deg {
+                best = u;
+                best_deg = d;
+            }
+        }
+        best
+    }
+
+    /// Bytes of the CSR arrays as laid out in NxP storage
+    /// (`row_ptr` as u64, `col` as u32).
+    pub fn storage_bytes(&self) -> u64 {
+        (self.row_ptr.len() as u64) * 8 + (self.col.len() as u64) * 4
+    }
+}
+
+/// Generates a directed R-MAT graph with `v` vertices and `e` edges
+/// (standard Graph500 parameters a=0.57 b=0.19 c=0.19 d=0.05).
+///
+/// Vertices are generated in a power-of-two space and folded into
+/// `[0, v)`; self-loops are redirected rather than discarded so the
+/// edge count is exact.
+///
+/// A small fraction of the edges (≤ a quarter, at most `7v/8`) forms a
+/// directed backbone path through a random vertex permutation. Pure
+/// directed R-MAT strands roughly half the vertices outside the giant
+/// component, whereas the SNAP social graphs Table IV uses have giant
+/// components covering most vertices — and the BFS experiment's cost
+/// balance depends on how many vertices a traversal *discovers* (each
+/// discovery is one migration in Flick mode). The backbone restores
+/// SNAP-like reachability while R-MAT keeps the degree skew.
+pub fn rmat(v: u64, e: u64, seed: u64) -> Graph {
+    assert!(v >= 2, "need at least two vertices");
+    let levels = 64 - (v - 1).leading_zeros();
+    let mut rng = Xoshiro256::seeded(seed);
+    let mut src = vec![0u32; e as usize];
+    let mut dst = vec![0u32; e as usize];
+    let backbone = (v - v / 8).min(e / 4) as usize;
+    let mut perm: Vec<u32> = (0..v as u32).collect();
+    rng.shuffle(&mut perm);
+    for i in 0..backbone {
+        src[i] = perm[i % perm.len()];
+        dst[i] = perm[(i + 1) % perm.len()];
+    }
+    for i in backbone..e as usize {
+        let (mut u, mut w) = (0u64, 0u64);
+        for _ in 0..levels {
+            u <<= 1;
+            w <<= 1;
+            let r = rng.gen_f64();
+            // Quadrant probabilities a/b/c/d.
+            if r < 0.57 {
+                // top-left
+            } else if r < 0.76 {
+                w |= 1;
+            } else if r < 0.95 {
+                u |= 1;
+            } else {
+                u |= 1;
+                w |= 1;
+            }
+        }
+        let mut uu = u % v;
+        let mut ww = w % v;
+        if uu == ww {
+            ww = (ww + 1) % v;
+        }
+        // Graph500 permutes vertex labels; a multiplicative hash keeps
+        // the degree skew while decorrelating ids.
+        uu = scramble(uu, v);
+        ww = scramble(ww, v);
+        src[i] = uu as u32;
+        dst[i] = ww as u32;
+    }
+
+    // Counting sort into CSR.
+    let mut row_ptr = vec![0u64; v as usize + 1];
+    for &u in &src {
+        row_ptr[u as usize + 1] += 1;
+    }
+    for i in 0..v as usize {
+        row_ptr[i + 1] += row_ptr[i];
+    }
+    let mut cursor = row_ptr.clone();
+    let mut col = vec![0u32; e as usize];
+    for i in 0..e as usize {
+        let u = src[i] as usize;
+        col[cursor[u] as usize] = dst[i];
+        cursor[u] += 1;
+    }
+    Graph { v, row_ptr, col }
+}
+
+fn scramble(x: u64, v: u64) -> u64 {
+    // Splittable-hash style mix, folded back into range.
+    let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)) % v
+}
+
+/// The three Table IV datasets (synthetic stand-ins; see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// soc-Epinions1: 76 k vertices, 509 k edges, 16.7 MB.
+    Epinions1,
+    /// soc-Pokec: 1 633 k vertices, 30 623 k edges, 1.0 GB.
+    Pokec,
+    /// soc-LiveJournal1: 4 848 k vertices, 68 994 k edges, 2.2 GB.
+    LiveJournal1,
+}
+
+impl Dataset {
+    /// All three, in Table IV order.
+    pub fn all() -> [Dataset; 3] {
+        [Dataset::Epinions1, Dataset::Pokec, Dataset::LiveJournal1]
+    }
+
+    /// Table label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::Epinions1 => "Epinions1",
+            Dataset::Pokec => "Pokec",
+            Dataset::LiveJournal1 => "LiveJournal1",
+        }
+    }
+
+    /// Vertex count from Table IV.
+    pub fn vertices(self) -> u64 {
+        match self {
+            Dataset::Epinions1 => 76_000,
+            Dataset::Pokec => 1_633_000,
+            Dataset::LiveJournal1 => 4_848_000,
+        }
+    }
+
+    /// Edge count from Table IV.
+    pub fn edges(self) -> u64 {
+        match self {
+            Dataset::Epinions1 => 509_000,
+            Dataset::Pokec => 30_623_000,
+            Dataset::LiveJournal1 => 68_994_000,
+        }
+    }
+
+    /// Paper baseline time (seconds) — for the comparison table.
+    pub fn paper_baseline_secs(self) -> f64 {
+        match self {
+            Dataset::Epinions1 => 1.8,
+            Dataset::Pokec => 107.4,
+            Dataset::LiveJournal1 => 240.5,
+        }
+    }
+
+    /// Paper Flick time (seconds).
+    pub fn paper_flick_secs(self) -> f64 {
+        match self {
+            Dataset::Epinions1 => 2.4,
+            Dataset::Pokec => 90.3,
+            Dataset::LiveJournal1 => 220.9,
+        }
+    }
+
+    /// Generates the synthetic stand-in.
+    pub fn make(self, seed: u64) -> Graph {
+        rmat(self.vertices(), self.edges(), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts() {
+        let g = rmat(1000, 8000, 1);
+        assert_eq!(g.v, 1000);
+        assert_eq!(g.e(), 8000);
+        assert_eq!(g.row_ptr.len(), 1001);
+        assert_eq!(*g.row_ptr.last().unwrap(), 8000);
+    }
+
+    #[test]
+    fn csr_is_consistent() {
+        let g = rmat(500, 4000, 2);
+        for u in 0..g.v {
+            assert!(g.row_ptr[u as usize] <= g.row_ptr[u as usize + 1]);
+            for &w in g.neighbours(u) {
+                assert!((w as u64) < g.v);
+            }
+        }
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        // R-MAT's point: a heavy tail. Max degree should far exceed the
+        // mean.
+        let g = rmat(10_000, 80_000, 3);
+        let mean = g.e() as f64 / g.v as f64;
+        let max = (0..g.v).map(|u| g.degree(u)).max().unwrap();
+        assert!(
+            (max as f64) > mean * 10.0,
+            "max {max} vs mean {mean:.1} — not skewed enough"
+        );
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = rmat(100, 500, 7);
+        let b = rmat(100, 500, 7);
+        assert_eq!(a.col, b.col);
+        let c = rmat(100, 500, 8);
+        assert_ne!(a.col, c.col);
+    }
+
+    #[test]
+    fn root_has_outgoing_edges() {
+        let g = rmat(1000, 10_000, 4);
+        let root = g.pick_root(1);
+        assert!(g.degree(root) > 0);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(200, 2000, 5);
+        // Scrambling maps u!=w to distinct values except on rare hash
+        // collisions folded by %v; tolerate a tiny number.
+        let mut loops = 0;
+        for u in 0..g.v {
+            loops += g.neighbours(u).iter().filter(|&&w| w as u64 == u).count();
+        }
+        assert!(loops < 20, "{loops} self loops");
+    }
+
+    #[test]
+    fn dataset_counts_match_table_iv() {
+        assert_eq!(Dataset::Epinions1.vertices(), 76_000);
+        assert_eq!(Dataset::Pokec.edges(), 30_623_000);
+        assert_eq!(Dataset::LiveJournal1.edges(), 68_994_000);
+    }
+}

@@ -1,0 +1,250 @@
+//! Near-storage key-value scan — the intro's NVMe motivation as a
+//! workload.
+//!
+//! §II-D: "when running graph workloads where the graph is stored in
+//! NVMe, only the graph traversal function should run on the cores
+//! close to the NVMe storage. The rest of the program, including the
+//! operations after the desired nodes have been found, should still
+//! run on the host". This workload is the key-value version: records
+//! live in NxP-side storage; a scan function filters them by key range
+//! and calls a host function **per match** (the "rest of the program").
+//!
+//! Selectivity is the crossover knob the paper's BFS table only probes
+//! at three points: at low selectivity the NxP-side scan touches
+//! millions of records locally and migrates rarely (Flick wins big);
+//! at high selectivity every record triggers a migration and the
+//! baseline wins.
+
+use flick::{Machine, RunError};
+use flick_isa::{abi, FuncBuilder, MemSize, TargetIsa};
+use flick_sim::{Picos, TraceConfig, Xoshiro256};
+use flick_toolchain::{DataDef, ProgramBuilder};
+
+/// Bytes per record: key (8) + value (8) + payload (16).
+pub const RECORD_BYTES: u64 = 32;
+
+/// Scan placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvMode {
+    /// Scan on the NxP; per-match host callback migrates.
+    Flick,
+    /// Scan on the host over PCIe; callback is local.
+    HostDirect,
+}
+
+/// One scan configuration.
+#[derive(Clone, Debug)]
+pub struct KvConfig {
+    /// Number of records in the store.
+    pub records: u64,
+    /// Fraction of records whose key falls in the queried range,
+    /// in parts per million.
+    pub selectivity_ppm: u64,
+    /// Placement.
+    pub mode: KvMode,
+    /// Data layout seed.
+    pub seed: u64,
+}
+
+/// Scan result.
+#[derive(Clone, Copy, Debug)]
+pub struct KvResult {
+    /// Simulated time for the scan.
+    pub scan_time: Picos,
+    /// Matching records found.
+    pub matches: u64,
+    /// Migrations caused by match callbacks.
+    pub match_migrations: u64,
+}
+
+/// Builds the scan program.
+///
+/// `scan(base, n, lo, hi)`: for each record, load the key; if
+/// `lo <= key < hi`, load the value and call `process_match(key, value)`
+/// on the host. Returns the match count.
+fn kv_program(cfg: &KvConfig) -> ProgramBuilder {
+    let mut p = ProgramBuilder::new("kvscan");
+    for g in ["kv_base", "kv_n", "kv_lo", "kv_hi", "kv_matches"] {
+        p.data(DataDef::bss(g, 8));
+    }
+
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    for (reg, sym) in [
+        (abi::A0, "kv_base"),
+        (abi::A1, "kv_n"),
+        (abi::A2, "kv_lo"),
+        (abi::A3, "kv_hi"),
+    ] {
+        main.li_sym(abi::T0, sym);
+        main.ld(reg, abi::T0, 0, MemSize::B8);
+    }
+    main.call("flick_clock_ns");
+    main.mv(abi::S4, abi::A0);
+    // reload args (clock_ns clobbered a0)
+    for (reg, sym) in [
+        (abi::A0, "kv_base"),
+        (abi::A1, "kv_n"),
+        (abi::A2, "kv_lo"),
+        (abi::A3, "kv_hi"),
+    ] {
+        main.li_sym(abi::T0, sym);
+        main.ld(reg, abi::T0, 0, MemSize::B8);
+    }
+    main.call("scan");
+    main.li_sym(abi::T0, "kv_matches");
+    main.st(abi::A0, abi::T0, 0, MemSize::B8);
+    main.call("flick_clock_ns");
+    main.sub(abi::A0, abi::A0, abi::S4);
+    main.call("flick_exit"); // exit code = scan nanoseconds
+    p.func(main.finish());
+
+    let target = match cfg.mode {
+        KvMode::Flick => TargetIsa::Nxp,
+        KvMode::HostDirect => TargetIsa::Host,
+    };
+    let saves = [abi::S0, abi::S1, abi::S2, abi::S3, abi::S5];
+    let mut f = FuncBuilder::new("scan", target);
+    let lp = f.new_label();
+    let skip = f.new_label();
+    let done = f.new_label();
+    f.prologue(64, &saves);
+    f.mv(abi::S0, abi::A0); // cursor
+    f.mv(abi::S1, abi::A1); // remaining
+    f.mv(abi::S2, abi::A2); // lo
+    f.mv(abi::S3, abi::A3); // hi
+    f.li(abi::S5, 0); // matches
+    f.bind(lp);
+    f.beq(abi::S1, abi::ZERO, done);
+    f.ld(abi::T0, abi::S0, 0, MemSize::B8); // key
+    f.bltu(abi::T0, abi::S2, skip);
+    f.bgeu(abi::T0, abi::S3, skip);
+    // match: load value, hand off to the host-side program logic
+    f.ld(abi::A1, abi::S0, 8, MemSize::B8);
+    f.mv(abi::A0, abi::T0);
+    f.call("process_match");
+    f.addi(abi::S5, abi::S5, 1);
+    f.bind(skip);
+    f.addi(abi::S0, abi::S0, RECORD_BYTES as i32);
+    f.addi(abi::S1, abi::S1, -1);
+    f.jmp(lp);
+    f.bind(done);
+    f.mv(abi::A0, abi::S5);
+    f.epilogue(64, &saves);
+    p.func(f.finish());
+
+    // The host-side per-match task (dummy, like Table IV's callback).
+    let mut task = FuncBuilder::new("process_match", TargetIsa::Host);
+    task.xor(abi::A0, abi::A0, abi::A1);
+    task.ret();
+    p.func(task.finish());
+    p
+}
+
+/// Stages `records` 32-byte records in NxP DRAM; keys are uniform in
+/// `[0, 1_000_000)` so a range `[0, selectivity_ppm)` matches the
+/// requested fraction in expectation.
+fn stage(m: &mut Machine, pid: u64, cfg: &KvConfig) -> Result<(), RunError> {
+    let base = m.stage_alloc_nxp(pid, cfg.records * RECORD_BYTES);
+    let mut rng = Xoshiro256::seeded(cfg.seed);
+    let mut bytes = Vec::with_capacity((cfg.records * RECORD_BYTES) as usize);
+    for i in 0..cfg.records {
+        let key = rng.gen_range(0, 1_000_000);
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(i * 7).to_le_bytes()); // value
+        bytes.extend_from_slice(&[0u8; 16]); // payload
+    }
+    m.stage_write(pid, base, &bytes);
+    for (sym, val) in [
+        ("kv_base", base.as_u64()),
+        ("kv_n", cfg.records),
+        ("kv_lo", 0),
+        ("kv_hi", cfg.selectivity_ppm),
+    ] {
+        let va = m.symbol(pid, sym).expect("kv globals exist");
+        m.stage_write(pid, va, &val.to_le_bytes());
+    }
+    Ok(())
+}
+
+/// Runs one scan configuration.
+///
+/// # Errors
+///
+/// Propagates program build/run failures.
+pub fn run_kvscan(cfg: &KvConfig) -> Result<KvResult, RunError> {
+    let mut m = Machine::builder()
+        .trace(TraceConfig {
+            enabled: false,
+            capacity: 0,
+        })
+        .build();
+    let mut p = kv_program(cfg);
+    let pid = m.load_program(&mut p)?;
+    stage(&mut m, pid, cfg)?;
+    let out = m.run(pid)?;
+    let mut matches = [0u8; 8];
+    let sym = m.symbol(pid, "kv_matches").expect("kv_matches exists");
+    m.stage_read(pid, sym, &mut matches);
+    Ok(KvResult {
+        scan_time: Picos::from_nanos(out.exit_code),
+        matches: u64::from_le_bytes(matches),
+        match_migrations: out.stats.get("migrations_nxp_to_host"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(selectivity_ppm: u64, mode: KvMode) -> KvConfig {
+        KvConfig {
+            records: 3_000,
+            selectivity_ppm,
+            mode,
+            seed: 77,
+        }
+    }
+
+    #[test]
+    fn match_counts_agree_across_placements() {
+        let f = run_kvscan(&cfg(50_000, KvMode::Flick)).unwrap();
+        let h = run_kvscan(&cfg(50_000, KvMode::HostDirect)).unwrap();
+        assert_eq!(f.matches, h.matches);
+        // ~5% of 3000 = ~150; allow wide statistical slack.
+        assert!((50..350).contains(&f.matches), "{}", f.matches);
+    }
+
+    #[test]
+    fn flick_migrates_once_per_match() {
+        let f = run_kvscan(&cfg(100_000, KvMode::Flick)).unwrap();
+        assert_eq!(f.match_migrations, f.matches);
+        let h = run_kvscan(&cfg(100_000, KvMode::HostDirect)).unwrap();
+        assert_eq!(h.match_migrations, 0);
+    }
+
+    #[test]
+    fn low_selectivity_favours_flick() {
+        // 0.1% matches: the scan is pure near-data work.
+        let f = run_kvscan(&cfg(1_000, KvMode::Flick)).unwrap();
+        let h = run_kvscan(&cfg(1_000, KvMode::HostDirect)).unwrap();
+        assert!(
+            f.scan_time < h.scan_time,
+            "flick {} vs host {}",
+            f.scan_time,
+            h.scan_time
+        );
+    }
+
+    #[test]
+    fn high_selectivity_favours_host() {
+        // 30% matches: a migration per match swamps the local-read win.
+        let f = run_kvscan(&cfg(300_000, KvMode::Flick)).unwrap();
+        let h = run_kvscan(&cfg(300_000, KvMode::HostDirect)).unwrap();
+        assert!(
+            f.scan_time > h.scan_time,
+            "flick {} vs host {}",
+            f.scan_time,
+            h.scan_time
+        );
+    }
+}

@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+//! The paper's workloads: the null-call microbenchmark (Table III),
+//! pointer chasing (Fig. 5), and BFS over synthetic social graphs
+//! (Table IV), plus the accounted-mode engine for datasets too large to
+//! interpret instruction-by-instruction.
+//!
+//! Each workload comes as *one logical program* whose kernel function
+//! is annotated for the host or the NxP — the baseline "host directly
+//! traverses over PCIe" and the Flick variant differ **only** in that
+//! annotation, exactly the programming model §III sells.
+
+pub mod accounted;
+pub mod bfs;
+pub mod chase;
+pub mod graph;
+pub mod kvscan;
+pub mod nullcall;
+
+pub use bfs::{BfsConfig, BfsResult};
+pub use kvscan::{run_kvscan, KvConfig, KvResult};
+pub use chase::{ChaseConfig, ChaseResult};
+pub use graph::{Dataset, Graph};
+pub use nullcall::{measure_null_call, NullCallReport};

@@ -1,0 +1,87 @@
+//! The payoff of suspend-based migration: while one thread is on the
+//! NxP, the host core runs other processes.
+//!
+//! Flick suspends the migrating thread (`TASK_KILLABLE`) instead of
+//! busy-waiting, so the host core is *free* during the NxP leg. This
+//! example runs two NxP-heavy processes serially and then concurrently
+//! and shows the overlap.
+//!
+//! Run with: `cargo run --release --example concurrent_processes`
+
+use flick::Machine;
+use flick_isa::{abi, FuncBuilder, TargetIsa};
+use flick_toolchain::ProgramBuilder;
+
+/// A process that ships `calls` chunks of work to the NxP.
+fn worker(calls: i64, spin: i64) -> ProgramBuilder {
+    let mut p = ProgramBuilder::new("worker");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    let lp = main.new_label();
+    main.li(abi::S1, calls);
+    main.bind(lp);
+    main.li(abi::A0, spin);
+    main.call("nxp_work");
+    main.addi(abi::S1, abi::S1, -1);
+    main.bne(abi::S1, abi::ZERO, lp);
+    main.li(abi::A0, 0);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut f = FuncBuilder::new("nxp_work", TargetIsa::Nxp);
+    let sl = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0);
+    f.bind(sl);
+    f.bge(abi::T0, abi::A0, done);
+    f.addi(abi::T0, abi::T0, 1);
+    f.jmp(sl);
+    f.bind(done);
+    f.ret();
+    p.func(f.finish());
+    p
+}
+
+/// A host-only compute process (never migrates).
+fn host_cruncher(iters: i64) -> ProgramBuilder {
+    let mut p = ProgramBuilder::new("cruncher");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    let lp = main.new_label();
+    main.li(abi::S1, iters);
+    main.bind(lp);
+    main.addi(abi::A0, abi::A0, 3);
+    main.addi(abi::S1, abi::S1, -1);
+    main.bne(abi::S1, abi::ZERO, lp);
+    main.call("flick_exit");
+    p.func(main.finish());
+    p
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (calls, spin) = (10, 4_000); // each call ≈ 60 µs of NxP time
+    let crunch = 1_500_000; // ≈ 600 µs of pure host compute
+
+    // Serial.
+    let mut m = Machine::paper_default();
+    let a = m.load_program(&mut worker(calls, spin))?;
+    let b = m.load_program(&mut host_cruncher(crunch))?;
+    m.run(a)?;
+    m.run(b)?;
+    let serial = m.host_now();
+
+    // Concurrent: B computes on the host while A waits on the NxP.
+    let mut m = Machine::paper_default();
+    let a = m.load_program(&mut worker(calls, spin))?;
+    let b = m.load_program(&mut host_cruncher(crunch))?;
+    m.run_concurrent(&[a, b], u64::MAX / 2)?;
+    let concurrent = m.host_now();
+
+    println!("one NxP-heavy process ({calls} migrations) + one host-bound process:");
+    println!("  serial:     {serial}");
+    println!("  concurrent: {concurrent}");
+    println!(
+        "  overlap recovered {:.0}% of the serial time",
+        (1.0 - concurrent.as_nanos_f64() / serial.as_nanos_f64()) * 100.0
+    );
+    println!("\nThe suspended thread costs the host nothing — that is what");
+    println!("TASK_KILLABLE suspension (instead of polling) buys (§IV-D).");
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! The toolchain's top layer: a C-like program compiled to both ISAs.
+//!
+//! Everything here is written in the structured mini-language
+//! (`flick_isa::lang`) — no hand assembly. The NxP-side function scans
+//! a number range for primes (trial division) and reports each prime to
+//! a host-side collector; the host side tallies. Each report is a
+//! transparent NxP→host migration originating from *compiled* code.
+//!
+//! Run with: `cargo run --release --example mini_language`
+
+use flick::Machine;
+use flick_isa::lang::{compile_fn, FnDef, LExpr, Stmt};
+use flick_isa::{abi, AluOp, BranchOp, FuncBuilder, TargetIsa};
+use flick_toolchain::ProgramBuilder;
+use std::ops::Mul;
+
+/// count_primes(lo, hi): NxP-side trial-division scan; calls
+/// report_prime(p) on the host for every prime found.
+fn count_primes() -> FnDef {
+    use BranchOp::*;
+    use LExpr::*;
+    let local = |i| Local(i);
+    FnDef {
+        name: "count_primes".into(),
+        target: TargetIsa::Nxp,
+        num_args: 2,
+        num_locals: 4, // 0: n, 1: divisor, 2: is_prime, 3: count
+        body: vec![
+            Stmt::Let(0, Arg(0)),
+            Stmt::Let(3, Const(0)),
+            Stmt::While(
+                (Ltu, local(0), Arg(1)).into(),
+                vec![
+                    Stmt::Let(2, Const(1)),
+                    Stmt::Let(1, Const(2)),
+                    // while (d*d <= n) { if (n % d == 0) { prime=0; d=n } d++ }
+                    Stmt::While(
+                        (Geu, local(0), local(1).mul(local(1))).into(),
+                        vec![Stmt::If(
+                            (Eq, local(0).bin(AluOp::Remu, local(1)), Const(0)).into(),
+                            vec![Stmt::Let(2, Const(0)), Stmt::Let(1, local(0))],
+                            vec![Stmt::Let(1, local(1) + Const(1))],
+                        )],
+                    ),
+                    Stmt::If(
+                        (Ne, local(2), Const(0)).into(),
+                        vec![
+                            // Cross-ISA call: report to the host.
+                            Stmt::Expr(Call("report_prime".into(), vec![local(0)])),
+                            Stmt::Let(3, local(3) + Const(1)),
+                        ],
+                        vec![],
+                    ),
+                    Stmt::Let(0, local(0) + Const(1)),
+                ],
+            ),
+            Stmt::Return(local(3)),
+        ],
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (lo, hi) = (2i64, 100i64);
+    let mut p = ProgramBuilder::new("primes");
+
+    let mut main_fn = FuncBuilder::new("main", TargetIsa::Host);
+    main_fn.li(abi::A0, lo);
+    main_fn.li(abi::A1, hi);
+    main_fn.call("count_primes");
+    main_fn.call("flick_exit");
+    p.func(main_fn.finish());
+
+    p.func(compile_fn(&count_primes())?);
+
+    // Host-side collector: prints each reported prime.
+    let mut report = FuncBuilder::new("report_prime", TargetIsa::Host);
+    report.prologue(16, &[]);
+    report.call("flick_print_u64");
+    report.epilogue(16, &[]);
+    p.func(report.finish());
+
+    let mut m = Machine::paper_default();
+    let pid = m.load_program(&mut p)?;
+    let out = m.run(pid)?;
+
+    let reference: Vec<u64> = (lo as u64..hi as u64)
+        .filter(|&n| (2..n).take_while(|d| d * d <= n).all(|d| n % d != 0))
+        .collect();
+    println!(
+        "primes in [{lo}, {hi}) found on the NxP, reported to the host:\n{}",
+        out.console.join(" ")
+    );
+    println!(
+        "\ncount = {} (reference {}), NxP→host reports = {}",
+        out.exit_code,
+        reference.len(),
+        out.stats.get("migrations_nxp_to_host")
+    );
+    println!("simulated time: {}", out.sim_time);
+    assert_eq!(out.exit_code, reference.len() as u64);
+    assert_eq!(
+        out.console,
+        reference.iter().map(u64::to_string).collect::<Vec<_>>()
+    );
+    Ok(())
+}

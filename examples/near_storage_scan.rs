@@ -1,0 +1,41 @@
+//! Near-storage key-value filtering — the intro's NVMe-NxP motivation
+//! as a running application, with a selectivity sweep showing where
+//! migrating the scan to the data pays off.
+//!
+//! Run with: `cargo run --release --example near_storage_scan`
+
+use flick_workloads::kvscan::{run_kvscan, KvConfig, KvMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let records = 20_000u64;
+    println!("scanning {records} 32-byte records stored in NxP DRAM;");
+    println!("each match hands (key, value) to host-side program logic\n");
+    println!(
+        "{:>12} {:>8} {:>14} {:>14} {:>10}",
+        "selectivity", "matches", "host-direct", "flick", "speedup"
+    );
+    for ppm in [100u64, 1_000, 10_000, 50_000, 150_000, 400_000] {
+        let mk = |mode| KvConfig {
+            records,
+            selectivity_ppm: ppm,
+            mode,
+            seed: 11,
+        };
+        let h = run_kvscan(&mk(KvMode::HostDirect))?;
+        let f = run_kvscan(&mk(KvMode::Flick))?;
+        assert_eq!(h.matches, f.matches);
+        println!(
+            "{:>11.2}% {:>8} {:>14} {:>14} {:>9.2}x",
+            ppm as f64 / 10_000.0,
+            f.matches,
+            format!("{}", h.scan_time),
+            format!("{}", f.scan_time),
+            h.scan_time.as_nanos_f64() / f.scan_time.as_nanos_f64()
+        );
+    }
+    println!("\nLow selectivity: the scan is pure near-data work and Flick");
+    println!("approaches the memory-latency ratio. High selectivity: one");
+    println!("migration per match and the host-direct baseline wins —");
+    println!("the same trade Table IV shows across graph densities.");
+    Ok(())
+}

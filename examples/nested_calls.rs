@@ -1,0 +1,78 @@
+//! Nested bidirectional ISA-crossing calls (§IV-B's reentrancy claim).
+//!
+//! A host function and an NxP function recurse into each other to
+//! compute a factorial; every level crosses the ISA boundary, and the
+//! trace shows the full descriptor ping-pong of the paper's Fig. 2.
+//!
+//! Run with: `cargo run --release --example nested_calls`
+
+use flick::Machine;
+use flick_isa::{abi, FuncBuilder, TargetIsa};
+use flick_sim::Event;
+use flick_toolchain::ProgramBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 8u64;
+    let mut program = ProgramBuilder::new("nested");
+
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, n as i64);
+    main.call("host_fact");
+    main.call("flick_exit");
+    program.func(main.finish());
+
+    // host_fact(n) = n == 0 ? 1 : n * nxp_fact(n - 1)   (host ISA)
+    // nxp_fact(n)  = n == 0 ? 1 : n * host_fact(n - 1)  (NxP ISA)
+    for (name, callee, target) in [
+        ("host_fact", "nxp_fact", TargetIsa::Host),
+        ("nxp_fact", "host_fact", TargetIsa::Nxp),
+    ] {
+        let mut f = FuncBuilder::new(name, target);
+        let base = f.new_label();
+        f.prologue(32, &[abi::S1]);
+        f.beq(abi::A0, abi::ZERO, base);
+        f.mv(abi::S1, abi::A0);
+        f.addi(abi::A0, abi::A0, -1);
+        f.call(callee); // crosses the ISA boundary at every level
+        f.mul(abi::A0, abi::A0, abi::S1);
+        f.epilogue(32, &[abi::S1]);
+        f.bind(base);
+        f.li(abi::A0, 1);
+        f.epilogue(32, &[abi::S1]);
+        program.func(f.finish());
+    }
+
+    let mut machine = Machine::paper_default();
+    let pid = machine.load_program(&mut program)?;
+    let outcome = machine.run(pid)?;
+
+    let expected: u64 = (1..=n).product();
+    println!("{n}! computed across the ISA boundary = {}", outcome.exit_code);
+    assert_eq!(outcome.exit_code, expected);
+    println!(
+        "host->NxP calls: {}, NxP->host calls: {}",
+        outcome.stats.get("migrations_host_to_nxp"),
+        outcome.stats.get("migrations_nxp_to_host"),
+    );
+    println!("simulated time: {}", outcome.sim_time);
+
+    // Show the first dozen migration events of the Fig. 2 ping-pong.
+    println!("\nfirst migration events:");
+    let mut shown = 0;
+    for (t, e) in machine.trace().events() {
+        let line = match e {
+            Event::NxFault { side, fault_va } => {
+                format!("{side} exec fault at {fault_va:#x}")
+            }
+            Event::DescriptorSent { from, kind, .. } => format!("{from} sends {kind}"),
+            Event::ThreadWoken { pid } => format!("host wakes thread {pid}"),
+            _ => continue,
+        };
+        println!("  [{t}] {line}");
+        shown += 1;
+        if shown >= 12 {
+            break;
+        }
+    }
+    Ok(())
+}

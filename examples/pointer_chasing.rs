@@ -1,0 +1,30 @@
+//! The Fig. 5 scenario as an application: traverse linked lists stored
+//! in NxP-side memory, comparing direct host access over PCIe with
+//! Flick migration, at a few list lengths.
+//!
+//! Run with: `cargo run --release --example pointer_chasing`
+
+use flick_workloads::chase::{run_chase, ChaseConfig, ChaseMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("pointer chasing: host-direct vs Flick (lists in NxP DRAM)\n");
+    println!("{:>12} {:>14} {:>14} {:>10}", "nodes/call", "host-direct", "flick", "speedup");
+    for k in [8u64, 32, 128, 512, 1024] {
+        let base = run_chase(&ChaseConfig::frequent(k, ChaseMode::HostDirect))?;
+        let flick = run_chase(&ChaseConfig::frequent(k, ChaseMode::Flick))?;
+        println!(
+            "{:>12} {:>14} {:>14} {:>9.2}x",
+            k,
+            format!("{}", base.per_call),
+            format!("{}", flick.per_call),
+            base.per_call.as_nanos_f64() / flick.per_call.as_nanos_f64()
+        );
+    }
+    println!(
+        "\nShort lists: the ~18us migration dominates and the baseline wins."
+    );
+    println!(
+        "Long lists: migration amortises; Flick approaches the 825ns/267ns\nmemory-latency ratio (~2.6x), as in Fig. 5a."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: one program, two ISAs, transparent migration.
+//!
+//! Builds a dual-ISA program where `main` (host) calls `nxp_sum_range`
+//! (NxP). The call site is an ordinary `call` — no offload API, no
+//! descriptors in user code. The host faults on the NX page, Flick
+//! migrates the thread, the NxP computes, and the return migrates back.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use flick::Machine;
+use flick_isa::{abi, FuncBuilder, TargetIsa};
+use flick_toolchain::ProgramBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut program = ProgramBuilder::new("quickstart");
+
+    // fn main() { let s = nxp_sum_range(1, 100); print(s); exit(s) }
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 1);
+    main.li(abi::A1, 100);
+    main.call("nxp_sum_range"); // <- crosses the ISA boundary
+    main.mv(abi::S1, abi::A0);
+    main.call("flick_print_u64");
+    main.mv(abi::A0, abi::S1);
+    main.call("flick_exit");
+    program.func(main.finish());
+
+    // fn nxp_sum_range(lo, hi) -> sum(lo..=hi), annotated for the NxP.
+    let mut f = FuncBuilder::new("nxp_sum_range", TargetIsa::Nxp);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0);
+    f.bind(lp);
+    f.bgeu(abi::A0, abi::A1, done);
+    f.add(abi::T0, abi::T0, abi::A0);
+    f.addi(abi::A0, abi::A0, 1);
+    f.jmp(lp);
+    f.bind(done);
+    f.add(abi::T0, abi::T0, abi::A1); // include hi
+    f.mv(abi::A0, abi::T0);
+    f.ret();
+    program.func(f.finish());
+
+    let mut machine = Machine::paper_default();
+    let pid = machine.load_program(&mut program)?;
+    let outcome = machine.run(pid)?;
+
+    println!("console output: {:?}", outcome.console);
+    println!("exit code:      {} (expected 5050)", outcome.exit_code);
+    println!("simulated time: {}", outcome.sim_time);
+    println!(
+        "migrations:     {} host->NxP call, {} NxP->host return",
+        outcome.stats.get("migrations_host_to_nxp"),
+        outcome.stats.get("returns_nxp_to_host"),
+    );
+    println!(
+        "NX faults:      {} (the migration trigger)",
+        outcome.stats.get("nx_faults")
+    );
+    assert_eq!(outcome.exit_code, 5050);
+    Ok(())
+}

@@ -1,0 +1,4 @@
+#![warn(missing_docs)]
+//! Meta-crate for the Flick reproduction; see the member crates.
+pub use flick as core;
+

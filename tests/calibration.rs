@@ -1,0 +1,94 @@
+//! Locks the paper's headline numbers in place: if a refactor drifts
+//! the calibrated timing model, these tests fail before the bench
+//! harnesses would show it.
+
+use flick_sim::Picos;
+use flick_workloads::chase::{run_chase, ChaseConfig, ChaseMode};
+use flick_workloads::measure_null_call;
+use flick_workloads::nullcall::decompose_round_trip;
+
+fn within(measured: Picos, expected_us: f64, tol: f64) -> bool {
+    let m = measured.as_micros_f64();
+    (m - expected_us).abs() / expected_us <= tol
+}
+
+#[test]
+fn table3_round_trips_within_two_percent() {
+    let r = measure_null_call(2_000);
+    assert!(
+        within(r.host_nxp_host, 18.3, 0.02),
+        "H-N-H drifted: {} vs paper 18.3us",
+        r.host_nxp_host
+    );
+    assert!(
+        within(r.nxp_host_nxp, 16.9, 0.02),
+        "N-H-N drifted: {} vs paper 16.9us",
+        r.nxp_host_nxp
+    );
+}
+
+#[test]
+fn page_fault_share_is_exactly_the_papers() {
+    let r = measure_null_call(64);
+    assert_eq!(r.page_fault_share, Picos::from_nanos(700));
+}
+
+#[test]
+fn decomposition_is_complete_and_ordered() {
+    let phases = decompose_round_trip();
+    assert_eq!(phases.len(), 6);
+    for p in &phases {
+        assert!(p.duration > Picos::ZERO, "empty phase {}", p.name);
+    }
+    let total: Picos = phases.iter().map(|p| p.duration).sum();
+    assert!(within(total, 18.3, 0.05), "decomposed total {total}");
+}
+
+#[test]
+fn fig5a_crossover_and_plateau_shapes() {
+    // Break-even between 24 and 48 accesses (paper ~32), plateau
+    // between 2.3x and 2.9x (paper ~2.6x).
+    let norm_at = |k: u64| {
+        let base = run_chase(&ChaseConfig {
+            calls: 6,
+            ..ChaseConfig::frequent(k, ChaseMode::HostDirect)
+        })
+        .unwrap();
+        let flick = run_chase(&ChaseConfig {
+            calls: 6,
+            ..ChaseConfig::frequent(k, ChaseMode::Flick)
+        })
+        .unwrap();
+        base.per_call.as_nanos_f64() / flick.per_call.as_nanos_f64()
+    };
+    assert!(norm_at(24) < 1.0, "24 accesses must still lose");
+    assert!(norm_at(48) > 1.0, "48 accesses must already win");
+    let plateau = norm_at(1024);
+    assert!(
+        (2.3..2.9).contains(&plateau),
+        "plateau {plateau:.2} out of band"
+    );
+}
+
+#[test]
+fn memory_calibration_points_hold_end_to_end() {
+    // 825ns/node host-direct, ~310ns/node on the NxP — measured through
+    // the full interpreter, not just the latency table.
+    let host = run_chase(&ChaseConfig {
+        calls: 4,
+        ..ChaseConfig::frequent(512, ChaseMode::HostDirect)
+    })
+    .unwrap();
+    let host_ns = host.per_node.as_nanos_f64();
+    assert!((800.0..900.0).contains(&host_ns), "host {host_ns:.0}ns/node");
+    let flick = run_chase(&ChaseConfig {
+        calls: 4,
+        ..ChaseConfig::frequent(512, ChaseMode::Flick)
+    })
+    .unwrap();
+    // per_call includes one ~18us migration; remove it for the pure
+    // per-node cost.
+    let pure =
+        (flick.per_call.as_nanos_f64() - 18_300.0) / 512.0;
+    assert!((280.0..360.0).contains(&pure), "nxp {pure:.0}ns/node");
+}

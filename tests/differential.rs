@@ -1,0 +1,224 @@
+//! Differential testing: a random FIR program, encoded for the host
+//! ISA and for the NxP ISA, executed on the corresponding cores, must
+//! leave the architectural state that a reference Rust interpretation
+//! predicts — on both. This pins the two encoders, two decoders and
+//! the interpreter to one shared semantics.
+
+use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
+use flick_isa::inst::AluOp;
+use flick_isa::{abi, compile_expr, Expr, FuncBuilder, Inst, Isa, Reg, TargetIsa};
+use flick_mem::{PhysAddr, PhysMem, VirtAddr};
+use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
+use proptest::prelude::*;
+
+const ALL_ALU: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Divu,
+    AluOp::Remu,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
+
+/// One straight-line step over registers r10..r18.
+#[derive(Clone, Debug)]
+enum Step {
+    Alu(AluOp, u8, u8, u8),
+    AluImm(AluOp, u8, u8, i32),
+    Li(u8, i64),
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    let reg = 10u8..18;
+    let op = prop::sample::select(ALL_ALU.to_vec());
+    prop_oneof![
+        (op.clone(), reg.clone(), reg.clone(), reg.clone())
+            .prop_map(|(op, a, b, c)| Step::Alu(op, a, b, c)),
+        (op, reg.clone(), reg.clone(), any::<i32>())
+            .prop_map(|(op, a, b, i)| Step::AluImm(op, a, b, i)),
+        (reg, any::<i64>()).prop_map(|(a, v)| Step::Li(a, v)),
+    ]
+}
+
+/// Reference semantics in plain Rust.
+fn reference(steps: &[Step], init: &[u64; 8]) -> [u64; 8] {
+    let mut r = *init;
+    let get = |r: &[u64; 8], i: u8| r[(i - 10) as usize];
+    for s in steps {
+        match *s {
+            Step::Alu(op, d, a, b) => {
+                let v = op.eval(get(&r, a), get(&r, b));
+                r[(d - 10) as usize] = v;
+            }
+            Step::AluImm(op, d, a, imm) => {
+                let v = op.eval(get(&r, a), imm as i64 as u64);
+                r[(d - 10) as usize] = v;
+            }
+            Step::Li(d, v) => r[(d - 10) as usize] = v as u64,
+        }
+    }
+    r
+}
+
+/// Executes the steps on a real core of the given target.
+fn execute_on(target: TargetIsa, steps: &[Step], init: &[u64; 8]) -> [u64; 8] {
+    let mut mem = PhysMem::new();
+    let mut alloc = BumpFrameAlloc::new(PhysAddr(0x100_0000), PhysAddr(0x300_0000));
+    let mut asp = AddressSpace::new(&mut mem, &mut alloc);
+    asp.map_range(
+        &mut mem,
+        &mut alloc,
+        VirtAddr(0),
+        PhysAddr(0),
+        8 << 20,
+        flags::PRESENT | flags::WRITABLE | flags::USER,
+    )
+    .unwrap();
+    if target == TargetIsa::Nxp {
+        asp.protect(&mut mem, VirtAddr(0x40_0000), 0x40_0000, flags::NX, 0)
+            .unwrap();
+    }
+    let mut f = FuncBuilder::new("t", target);
+    for s in steps {
+        match *s {
+            Step::Alu(op, d, a, b) => {
+                f.push(Inst::Alu {
+                    op,
+                    rd: Reg(d),
+                    rs1: Reg(a),
+                    rs2: Reg(b),
+                });
+            }
+            Step::AluImm(op, d, a, imm) => {
+                f.push(Inst::AluImm {
+                    op,
+                    rd: Reg(d),
+                    rs1: Reg(a),
+                    imm,
+                });
+            }
+            Step::Li(d, v) => {
+                f.li(Reg(d), v);
+            }
+        }
+    }
+    f.halt();
+    let isa = match target {
+        TargetIsa::Host => Isa::X64,
+        TargetIsa::Nxp => Isa::Rv64,
+    };
+    let enc = isa.encode(&f.finish()).unwrap();
+    mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+    let cfg = match target {
+        TargetIsa::Host => CoreConfig::host(),
+        TargetIsa::Nxp => CoreConfig::nxp(),
+    };
+    let mut core = Core::new(cfg);
+    core.set_cr3(asp.cr3());
+    core.set_pc(VirtAddr(0x40_0000));
+    for (i, v) in init.iter().enumerate() {
+        core.set_reg(Reg(10 + i as u8), *v);
+    }
+    let env = MemEnv::paper_default();
+    assert_eq!(core.run(&mut mem, &env, 100_000), StopReason::Halt);
+    let mut out = [0u64; 8];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = core.reg(Reg(10 + i as u8));
+    }
+    out
+}
+
+/// Random expression trees of bounded depth.
+fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Expr::Const),
+        (0u8..6).prop_map(Expr::Arg),
+    ];
+    leaf.prop_recursive(depth, 64, 2, |inner| {
+        (
+            prop::sample::select(ALL_ALU.to_vec()),
+            inner.clone(),
+            inner,
+        )
+            .prop_map(|(op, a, b)| a.bin(op, b))
+    })
+}
+
+/// Runs a compiled expression on a real core; returns a0.
+fn run_expr(target: TargetIsa, e: &Expr, args: &[u64; 6]) -> u64 {
+    let mut mem = PhysMem::new();
+    let mut alloc = BumpFrameAlloc::new(PhysAddr(0x100_0000), PhysAddr(0x300_0000));
+    let mut asp = AddressSpace::new(&mut mem, &mut alloc);
+    asp.map_range(
+        &mut mem,
+        &mut alloc,
+        VirtAddr(0),
+        PhysAddr(0),
+        8 << 20,
+        flags::PRESENT | flags::WRITABLE | flags::USER,
+    )
+    .unwrap();
+    if target == TargetIsa::Nxp {
+        asp.protect(&mut mem, VirtAddr(0x40_0000), 0x40_0000, flags::NX, 0)
+            .unwrap();
+    }
+    let mut f = FuncBuilder::new("e", target);
+    compile_expr(&mut f, e).unwrap();
+    f.halt();
+    let isa = match target {
+        TargetIsa::Host => Isa::X64,
+        TargetIsa::Nxp => Isa::Rv64,
+    };
+    let enc = isa.encode(&f.finish()).unwrap();
+    mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+    let mut core = Core::new(match target {
+        TargetIsa::Host => CoreConfig::host(),
+        TargetIsa::Nxp => CoreConfig::nxp(),
+    });
+    core.set_cr3(asp.cr3());
+    core.set_pc(VirtAddr(0x40_0000));
+    core.set_reg(abi::SP, 0x70_0000);
+    for (i, v) in args.iter().enumerate() {
+        core.set_reg(Reg(10 + i as u8), *v);
+    }
+    let env = MemEnv::paper_default();
+    assert_eq!(core.run(&mut mem, &env, 1_000_000), StopReason::Halt);
+    core.reg(abi::A0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn compiled_expressions_agree_with_eval(
+        e in arb_expr(6),
+        args in any::<[u64; 6]>(),
+    ) {
+        let expect = e.eval(&args);
+        prop_assert_eq!(run_expr(TargetIsa::Host, &e, &args), expect, "host: {}", e);
+        prop_assert_eq!(run_expr(TargetIsa::Nxp, &e, &args), expect, "nxp: {}", e);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn both_isas_agree_with_reference(
+        steps in prop::collection::vec(arb_step(), 1..60),
+        init in any::<[u64; 8]>(),
+    ) {
+        let expect = reference(&steps, &init);
+        let host = execute_on(TargetIsa::Host, &steps, &init);
+        prop_assert_eq!(host, expect, "host ISA diverged from reference");
+        let nxp = execute_on(TargetIsa::Nxp, &steps, &init);
+        prop_assert_eq!(nxp, expect, "nxp ISA diverged from reference");
+    }
+}

@@ -1,0 +1,146 @@
+//! Failure-injection tests: the machine must report crashes and
+//! misconfigurations precisely instead of wedging.
+
+use flick::{Machine, RunError};
+use flick_cpu::Exception;
+use flick_isa::{abi, FuncBuilder, MemSize, TargetIsa};
+use flick_sim::trace::Side;
+use flick_toolchain::ProgramBuilder;
+
+fn run(build: impl FnOnce(&mut ProgramBuilder)) -> Result<flick::Outcome, RunError> {
+    let mut p = ProgramBuilder::new("err");
+    build(&mut p);
+    let mut m = Machine::paper_default();
+    let pid = m.load_program(&mut p)?;
+    m.run(pid)
+}
+
+#[test]
+fn nxp_data_fault_reports_nxp_side() {
+    let err = run(|p| {
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.call("nxp_bad");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_bad", TargetIsa::Nxp);
+        f.li(abi::A1, 0x0BAD_0000_0000u64 as i64); // unmapped VA
+        f.ld(abi::A0, abi::A1, 0, MemSize::B8);
+        f.ret();
+        p.func(f.finish());
+    });
+    match err {
+        Err(RunError::Crash { side: Side::Nxp, exception }) => {
+            assert!(matches!(exception, Exception::DataFault { write: false, .. }));
+        }
+        other => panic!("expected NxP crash, got {other:?}"),
+    }
+}
+
+#[test]
+fn nxp_store_to_readonly_text_faults() {
+    let err = run(|p| {
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.call("nxp_vandal");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_vandal", TargetIsa::Nxp);
+        // Try to overwrite main's code (text is mapped read-only).
+        f.li_sym(abi::A1, "main");
+        f.li(abi::T0, 0);
+        f.st(abi::T0, abi::A1, 0, MemSize::B8);
+        f.ret();
+        p.func(f.finish());
+    });
+    match err {
+        Err(RunError::Crash { side: Side::Nxp, exception }) => {
+            assert!(matches!(exception, Exception::DataFault { write: true, .. }));
+        }
+        other => panic!("expected write fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn host_jump_to_data_is_a_crash_not_a_migration() {
+    // Data pages carry NX too, but a host jump into .data must be a
+    // real crash: the kernel distinguishes "NxP text" from garbage by
+    // the fault address — jumping to data reaches the migration
+    // handler, the NxP then faults trying to run non-code. Either way
+    // the run must terminate with an error, never hang.
+    let err = run(|p| {
+        p.data(flick_toolchain::DataDef::new("blob", vec![0u8; 64]));
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.li_sym(abi::T0, "blob");
+        main.call_reg(abi::T0);
+        main.call("flick_exit");
+        p.func(main.finish());
+    });
+    assert!(err.is_err(), "jumping into data must fail, got {err:?}");
+}
+
+#[test]
+fn unknown_host_service_reported() {
+    let err = run(|p| {
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.ecall(0x7F); // no such service
+        main.call("flick_exit");
+        p.func(main.finish());
+    });
+    assert!(matches!(
+        err,
+        Err(RunError::UnknownService { side: Side::Host, service: 0x7F })
+    ));
+}
+
+#[test]
+fn unknown_nxp_service_reported() {
+    let err = run(|p| {
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.call("nxp_weird");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_weird", TargetIsa::Nxp);
+        f.ecall(0x3FF);
+        f.ret();
+        p.func(f.finish());
+    });
+    assert!(matches!(
+        err,
+        Err(RunError::UnknownService { side: Side::Nxp, service: 0x3FF })
+    ));
+}
+
+#[test]
+fn halt_on_nxp_is_a_crash() {
+    // `halt` is a host-only concept (process exit); NxP code must exit
+    // via return migration.
+    let err = run(|p| {
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.call("nxp_halts");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_halts", TargetIsa::Nxp);
+        f.halt();
+        p.func(f.finish());
+    });
+    assert!(matches!(err, Err(RunError::Crash { side: Side::Nxp, .. })));
+}
+
+#[test]
+fn stack_overflow_on_host_faults_eventually() {
+    // Unbounded recursion runs the host stack past its guard (the
+    // stack mapping is finite), producing a data fault rather than
+    // silent corruption.
+    let err = run(|p| {
+        let mut f = FuncBuilder::new("main", TargetIsa::Host);
+        let top = f.new_label();
+        f.bind(top);
+        f.addi(abi::SP, abi::SP, -4096);
+        f.st(abi::RA, abi::SP, 0, MemSize::B8);
+        f.jmp(top);
+        p.func(f.finish());
+    });
+    assert!(matches!(
+        err,
+        Err(RunError::Crash { side: Side::Host, exception: Exception::DataFault { .. } })
+    ));
+}

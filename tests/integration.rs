@@ -1,0 +1,320 @@
+//! End-to-end integration tests spanning the whole stack: toolchain →
+//! image serialisation → loader → machine → migration.
+
+use flick::Machine;
+use flick_isa::{abi, FuncBuilder, MemSize, TargetIsa};
+use flick_mem::VirtAddr;
+use flick_sim::Picos;
+use flick_toolchain::{DataDef, MultiIsaImage, Placement, ProgramBuilder};
+
+fn machine() -> Machine {
+    Machine::paper_default()
+}
+
+#[test]
+fn image_survives_serialisation_and_runs() {
+    // Build → serialise to the FLK1 container → parse → load → run:
+    // the full "compile once, ship one binary" pipeline of §IV-C.
+    let mut p = ProgramBuilder::new("serde");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 5);
+    main.li(abi::A1, 9);
+    main.call("nxp_mul");
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut f = FuncBuilder::new("nxp_mul", TargetIsa::Nxp);
+    f.mul(abi::A0, abi::A0, abi::A1);
+    f.ret();
+    p.func(f.finish());
+    flick::handlers::add_runtime(&mut p);
+
+    let image = p.build().unwrap();
+    let bytes = image.to_bytes();
+    let reloaded = MultiIsaImage::from_bytes(&bytes).unwrap();
+
+    let mut m = machine();
+    let pid = m.load(&reloaded).unwrap();
+    assert_eq!(m.run(pid).unwrap().exit_code, 45);
+}
+
+#[test]
+fn all_six_arguments_cross_the_boundary() {
+    let mut p = ProgramBuilder::new("args");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    for (i, reg) in [abi::A0, abi::A1, abi::A2, abi::A3, abi::A4, abi::A5]
+        .iter()
+        .enumerate()
+    {
+        main.li(*reg, (i as i64 + 1) * 100);
+    }
+    main.call("nxp_sum6");
+    main.call("flick_exit");
+    p.func(main.finish());
+    // nxp_sum6 then calls host_sum3 with three derived args, proving
+    // argument marshalling in the other direction too.
+    let mut f = FuncBuilder::new("nxp_sum6", TargetIsa::Nxp);
+    f.prologue(16, &[]);
+    f.add(abi::A0, abi::A0, abi::A1);
+    f.add(abi::A0, abi::A0, abi::A2);
+    f.add(abi::A0, abi::A0, abi::A3);
+    f.add(abi::A0, abi::A0, abi::A4);
+    f.add(abi::A0, abi::A0, abi::A5); // 2100
+    f.li(abi::A1, 10);
+    f.li(abi::A2, 1);
+    f.call("host_sum3");
+    f.epilogue(16, &[]);
+    p.func(f.finish());
+    let mut h = FuncBuilder::new("host_sum3", TargetIsa::Host);
+    h.add(abi::A0, abi::A0, abi::A1);
+    h.add(abi::A0, abi::A0, abi::A2);
+    h.ret();
+    p.func(h.finish());
+
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    assert_eq!(m.run(pid).unwrap().exit_code, 2111);
+}
+
+#[test]
+fn nxp_sums_array_staged_in_nxp_dram() {
+    // Host-side staging writes an array into NxP DRAM; the NxP sums it
+    // locally; the host gets the result back. Pointers pass unchanged
+    // thanks to the unified address space (§III-A).
+    let mut p = ProgramBuilder::new("sumarr");
+    p.data(DataDef::bss("arr_ptr", 8));
+    p.data(DataDef::bss("arr_len", 8));
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li_sym(abi::T0, "arr_ptr");
+    main.ld(abi::A0, abi::T0, 0, MemSize::B8);
+    main.li_sym(abi::T0, "arr_len");
+    main.ld(abi::A1, abi::T0, 0, MemSize::B8);
+    main.call("nxp_sum_array");
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut f = FuncBuilder::new("nxp_sum_array", TargetIsa::Nxp);
+    let lp = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0);
+    f.bind(lp);
+    f.beq(abi::A1, abi::ZERO, done);
+    f.ld(abi::T1, abi::A0, 0, MemSize::B8);
+    f.add(abi::T0, abi::T0, abi::T1);
+    f.addi(abi::A0, abi::A0, 8);
+    f.addi(abi::A1, abi::A1, -1);
+    f.jmp(lp);
+    f.bind(done);
+    f.mv(abi::A0, abi::T0);
+    f.ret();
+    p.func(f.finish());
+
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    let n = 257u64;
+    let arr = m.stage_alloc_nxp(pid, n * 8);
+    let mut bytes = Vec::new();
+    for i in 0..n {
+        bytes.extend_from_slice(&(i * 3).to_le_bytes());
+    }
+    m.stage_write(pid, arr, &bytes);
+    for (sym, val) in [("arr_ptr", arr.as_u64()), ("arr_len", n)] {
+        let va = m.symbol(pid, sym).unwrap();
+        m.stage_write(pid, va, &val.to_le_bytes());
+    }
+    let expected: u64 = (0..n).map(|i| i * 3).sum();
+    assert_eq!(m.run(pid).unwrap().exit_code, expected);
+}
+
+#[test]
+fn caller_stack_pointer_works_across_isas() {
+    // §III-D: "in the rare event that a callee function uses pointers
+    // to access data on the caller's stack frame, the unified address
+    // space ensures correct execution". The host passes a pointer to
+    // its own stack; the NxP reads and writes through it.
+    let mut p = ProgramBuilder::new("stackptr");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.addi(abi::SP, abi::SP, -16);
+    main.li(abi::T0, 4242);
+    main.st(abi::T0, abi::SP, 0, MemSize::B8);
+    main.mv(abi::A0, abi::SP); // pointer into the HOST stack
+    main.call("nxp_incr_through_ptr");
+    main.ld(abi::A0, abi::SP, 0, MemSize::B8); // NxP wrote it
+    main.addi(abi::SP, abi::SP, 16);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut f = FuncBuilder::new("nxp_incr_through_ptr", TargetIsa::Nxp);
+    f.ld(abi::T0, abi::A0, 0, MemSize::B8);
+    f.addi(abi::T0, abi::T0, 1);
+    f.st(abi::T0, abi::A0, 0, MemSize::B8);
+    f.ret();
+    p.func(f.finish());
+
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    assert_eq!(m.run(pid).unwrap().exit_code, 4243);
+}
+
+#[test]
+fn twenty_level_cross_isa_recursion() {
+    // 20! through alternating ISAs: 10 host→NxP and 10 NxP→host legs
+    // of nested, reentrant handler frames.
+    let mut p = ProgramBuilder::new("deep");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 20);
+    main.call("host_fact");
+    main.call("flick_exit");
+    p.func(main.finish());
+    for (name, callee, target) in [
+        ("host_fact", "nxp_fact", TargetIsa::Host),
+        ("nxp_fact", "host_fact", TargetIsa::Nxp),
+    ] {
+        let mut f = FuncBuilder::new(name, target);
+        let base = f.new_label();
+        f.prologue(32, &[abi::S1]);
+        f.beq(abi::A0, abi::ZERO, base);
+        f.mv(abi::S1, abi::A0);
+        f.addi(abi::A0, abi::A0, -1);
+        f.call(callee);
+        f.mul(abi::A0, abi::A0, abi::S1);
+        f.epilogue(32, &[abi::S1]);
+        f.bind(base);
+        f.li(abi::A0, 1);
+        f.epilogue(32, &[abi::S1]);
+        p.func(f.finish());
+    }
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    let out = m.run(pid).unwrap();
+    assert_eq!(out.exit_code, (1..=20u64).product());
+    assert_eq!(out.stats.get("migrations_host_to_nxp"), 10);
+    assert_eq!(out.stats.get("migrations_nxp_to_host"), 10);
+}
+
+#[test]
+fn same_computation_same_result_either_placement() {
+    // The §III programming-model promise: moving a function across the
+    // ISA boundary changes performance, never semantics.
+    let build = |target: TargetIsa| {
+        let mut p = ProgramBuilder::new("either");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.li(abi::A0, 12345);
+        main.call("work");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("work", target);
+        let lp = f.new_label();
+        let done = f.new_label();
+        // Collatz-step count for a fixed start (bounded).
+        f.li(abi::T0, 0);
+        f.bind(lp);
+        f.li(abi::T1, 1);
+        f.beq(abi::A0, abi::T1, done);
+        f.andi(abi::T2, abi::A0, 1);
+        let odd = f.new_label();
+        let next = f.new_label();
+        f.bne(abi::T2, abi::ZERO, odd);
+        f.srli(abi::A0, abi::A0, 1);
+        f.jmp(next);
+        f.bind(odd);
+        f.li(abi::T1, 3);
+        f.mul(abi::A0, abi::A0, abi::T1);
+        f.addi(abi::A0, abi::A0, 1);
+        f.bind(next);
+        f.addi(abi::T0, abi::T0, 1);
+        f.jmp(lp);
+        f.bind(done);
+        f.mv(abi::A0, abi::T0);
+        f.ret();
+        p.func(f.finish());
+        p
+    };
+    let run = |mut p: ProgramBuilder| {
+        let mut m = machine();
+        let pid = m.load_program(&mut p).unwrap();
+        m.run(pid).unwrap()
+    };
+    let host = run(build(TargetIsa::Host));
+    let nxp = run(build(TargetIsa::Nxp));
+    assert_eq!(host.exit_code, nxp.exit_code, "placement must not change semantics");
+    assert_eq!(host.stats.get("nx_faults"), 0);
+    assert_eq!(nxp.stats.get("nx_faults"), 1);
+    // The NxP runs the loop slower, plus one migration round trip.
+    assert!(nxp.sim_time > host.sim_time);
+}
+
+#[test]
+fn migration_time_scales_linearly_with_call_count() {
+    let run_n = |n: i64| {
+        let mut p = ProgramBuilder::new("linear");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        let lp = main.new_label();
+        main.call("nxp_nop"); // warm-up: stack alloc
+        main.li(abi::S1, n);
+        main.call("flick_clock_ns");
+        main.mv(abi::S2, abi::A0);
+        main.bind(lp);
+        main.call("nxp_nop");
+        main.addi(abi::S1, abi::S1, -1);
+        main.bne(abi::S1, abi::ZERO, lp);
+        main.call("flick_clock_ns");
+        main.sub(abi::A0, abi::A0, abi::S2);
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_nop", TargetIsa::Nxp);
+        f.ret();
+        p.func(f.finish());
+        let mut m = machine();
+        let pid = m.load_program(&mut p).unwrap();
+        Picos::from_nanos(m.run(pid).unwrap().exit_code)
+    };
+    let t8 = run_n(8);
+    let t64 = run_n(64);
+    let ratio = t64.as_nanos_f64() / t8.as_nanos_f64();
+    assert!((7.5..8.5).contains(&ratio), "8x calls → ~8x time, got {ratio:.2}");
+}
+
+#[test]
+fn unified_address_space_pointer_identity() {
+    // A pointer produced on the host names the same bytes on the NxP:
+    // host stages a value, passes the raw pointer, NxP dereferences.
+    let mut p = ProgramBuilder::new("ptr-identity");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.call("malloc_nxp_wrapper");
+    main.call("flick_exit");
+    p.func(main.finish());
+    // wrapper: p = malloc_nxp(64); *p = 777; return nxp_deref(p)
+    let mut w = FuncBuilder::new("malloc_nxp_wrapper", TargetIsa::Host);
+    w.prologue(16, &[]);
+    w.li(abi::A0, 64);
+    w.call("malloc_nxp");
+    w.li(abi::T0, 777);
+    w.st(abi::T0, abi::A0, 0, MemSize::B8);
+    w.call("nxp_deref");
+    w.epilogue(16, &[]);
+    p.func(w.finish());
+    let mut d = FuncBuilder::new("nxp_deref", TargetIsa::Nxp);
+    d.ld(abi::A0, abi::A0, 0, MemSize::B8);
+    d.ret();
+    p.func(d.finish());
+
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    assert_eq!(m.run(pid).unwrap().exit_code, 777);
+}
+
+#[test]
+fn nxp_data_annotation_lands_in_nxp_storage() {
+    // §III-D source directives: data annotated for NxP placement is
+    // physically in NxP DRAM and the VA is inside the NxP window.
+    let mut p = ProgramBuilder::new("placement");
+    p.data(DataDef::new("near_data", vec![0xAB; 8]).placed(Placement::NxpDram));
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li_sym(abi::T0, "near_data");
+    main.ld(abi::A0, abi::T0, 0, MemSize::B1);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    let va = m.symbol(pid, "near_data").unwrap();
+    assert!(va >= VirtAddr(flick_toolchain::layout::NXP_WINDOW_VA));
+    assert_eq!(m.run(pid).unwrap().exit_code, 0xAB);
+}

@@ -1,0 +1,227 @@
+//! End-to-end tests of the mini-language: programs written at the
+//! C-like statement level, compiled for both ISAs, running on the full
+//! machine with migrations.
+
+use flick::Machine;
+use flick_isa::lang::{compile_fn, FnDef, LExpr, Stmt};
+use flick_isa::{abi, AluOp, BranchOp, FuncBuilder, MemSize, TargetIsa};
+use std::ops::{Add, Mul};
+use flick_toolchain::ProgramBuilder;
+
+fn machine() -> Machine {
+    Machine::builder()
+        .trace(flick_sim::TraceConfig {
+            enabled: false,
+            capacity: 0,
+        })
+        .build()
+}
+
+/// gcd in the mini-language, placed on either side.
+fn lang_gcd(name: &str, target: TargetIsa) -> FnDef {
+    FnDef {
+        name: name.into(),
+        target,
+        num_args: 2,
+        num_locals: 3,
+        body: vec![
+            Stmt::Let(0, LExpr::Arg(0)),
+            Stmt::Let(1, LExpr::Arg(1)),
+            Stmt::While(
+                (BranchOp::Ne, LExpr::Local(1), LExpr::Const(0)).into(),
+                vec![
+                    Stmt::Let(2, LExpr::Local(0).bin(AluOp::Remu, LExpr::Local(1))),
+                    Stmt::Let(0, LExpr::Local(1)),
+                    Stmt::Let(1, LExpr::Local(2)),
+                ],
+            ),
+            Stmt::Return(LExpr::Local(0)),
+        ],
+    }
+}
+
+#[test]
+fn lang_gcd_matches_rust_on_both_sides() {
+    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        let mut p = ProgramBuilder::new("lgcd");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.li(abi::A0, 252);
+        main.li(abi::A1, 105);
+        main.call("lgcd");
+        main.call("flick_exit");
+        p.func(main.finish());
+        p.func(compile_fn(&lang_gcd("lgcd", target)).unwrap());
+        let mut m = machine();
+        let pid = m.load_program(&mut p).unwrap();
+        assert_eq!(m.run(pid).unwrap().exit_code, 21, "{target}");
+    }
+}
+
+#[test]
+fn lang_collatz_with_if_inside_while() {
+    // steps(n): count Collatz steps to 1.
+    let def = FnDef {
+        name: "steps".into(),
+        target: TargetIsa::Nxp,
+        num_args: 1,
+        num_locals: 2,
+        body: vec![
+            Stmt::Let(0, LExpr::Arg(0)),
+            Stmt::Let(1, LExpr::Const(0)),
+            Stmt::While(
+                (BranchOp::Ne, LExpr::Local(0), LExpr::Const(1)).into(),
+                vec![
+                    Stmt::If(
+                        (
+                            BranchOp::Eq,
+                            LExpr::Local(0).bin(AluOp::And, LExpr::Const(1)),
+                            LExpr::Const(0),
+                        )
+                            .into(),
+                        vec![Stmt::Let(
+                            0,
+                            LExpr::Local(0).bin(AluOp::Srl, LExpr::Const(1)),
+                        )],
+                        vec![Stmt::Let(
+                            0,
+                            LExpr::Local(0).mul(LExpr::Const(3)).add(LExpr::Const(1)),
+                        )],
+                    ),
+                    Stmt::Let(1, LExpr::Local(1).add(LExpr::Const(1))),
+                ],
+            ),
+            Stmt::Return(LExpr::Local(1)),
+        ],
+    };
+    let mut p = ProgramBuilder::new("collatz");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 27);
+    main.call("steps");
+    main.call("flick_exit");
+    p.func(main.finish());
+    p.func(compile_fn(&def).unwrap());
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    // Reference: Collatz(27) takes 111 steps.
+    let mut n = 27u64;
+    let mut steps = 0;
+    while n != 1 {
+        n = if n.is_multiple_of(2) { n / 2 } else { 3 * n + 1 };
+        steps += 1;
+    }
+    assert_eq!(m.run(pid).unwrap().exit_code, steps);
+}
+
+#[test]
+fn lang_near_data_reduce_with_host_callbacks() {
+    // A lang-written NxP reducer: sums 64-bit elements via Load in a
+    // While, and calls a host-side progress function every 64 elements
+    // — cross-ISA calls originating from *compiled* code.
+    let reduce = FnDef {
+        name: "reduce".into(),
+        target: TargetIsa::Nxp,
+        num_args: 2, // (ptr, n)
+        num_locals: 3,
+        body: vec![
+            Stmt::Let(0, LExpr::Const(0)), // sum
+            Stmt::Let(1, LExpr::Arg(0)),   // cursor
+            Stmt::Let(2, LExpr::Const(0)), // index
+            Stmt::While(
+                (BranchOp::Ltu, LExpr::Local(2), LExpr::Arg(1)).into(),
+                vec![
+                    Stmt::Let(
+                        0,
+                        LExpr::Local(0)
+                            .add(LExpr::Load(Box::new(LExpr::Local(1)), MemSize::B8)),
+                    ),
+                    Stmt::Let(1, LExpr::Local(1).add(LExpr::Const(8))),
+                    Stmt::Let(2, LExpr::Local(2).add(LExpr::Const(1))),
+                    Stmt::If(
+                        (
+                            BranchOp::Eq,
+                            LExpr::Local(2).bin(AluOp::And, LExpr::Const(63)),
+                            LExpr::Const(0),
+                        )
+                            .into(),
+                        vec![Stmt::Expr(LExpr::Call(
+                            "progress".into(),
+                            vec![LExpr::Local(2)],
+                        ))],
+                        vec![],
+                    ),
+                ],
+            ),
+            Stmt::Return(LExpr::Local(0)),
+        ],
+    };
+    let mut p = ProgramBuilder::new("reduce");
+    p.data(flick_toolchain::DataDef::bss("rptr", 8));
+    p.data(flick_toolchain::DataDef::bss("rlen", 8));
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li_sym(abi::T0, "rptr");
+    main.ld(abi::A0, abi::T0, 0, MemSize::B8);
+    main.li_sym(abi::T0, "rlen");
+    main.ld(abi::A1, abi::T0, 0, MemSize::B8);
+    main.call("reduce");
+    main.call("flick_exit");
+    p.func(main.finish());
+    p.func(compile_fn(&reduce).unwrap());
+    let mut progress = FuncBuilder::new("progress", TargetIsa::Host);
+    progress.ret();
+    p.func(progress.finish());
+
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    let n = 200u64;
+    let base = m.stage_alloc_nxp(pid, n * 8);
+    let mut bytes = Vec::new();
+    for i in 0..n {
+        bytes.extend_from_slice(&(i * i).to_le_bytes());
+    }
+    m.stage_write(pid, base, &bytes);
+    for (sym, v) in [("rptr", base.as_u64()), ("rlen", n)] {
+        let va = m.symbol(pid, sym).unwrap();
+        m.stage_write(pid, va, &v.to_le_bytes());
+    }
+    let out = m.run(pid).unwrap();
+    let expected: u64 = (0..n).map(|i| i * i).sum();
+    assert_eq!(out.exit_code, expected);
+    // 200 elements → progress at 64 and 128 and 192 → 3 callbacks.
+    assert_eq!(out.stats.get("migrations_nxp_to_host"), 3);
+}
+
+#[test]
+fn lang_functions_call_each_other_across_isas() {
+    // host_poly(x) = nxp_sq(x) * 2 + 1, both written in the language.
+    let host_poly = FnDef {
+        name: "host_poly".into(),
+        target: TargetIsa::Host,
+        num_args: 1,
+        num_locals: 0,
+        body: vec![Stmt::Return(
+            LExpr::Call("nxp_sq".into(), vec![LExpr::Arg(0)])
+                .mul(LExpr::Const(2))
+                .add(LExpr::Const(1)),
+        )],
+    };
+    let nxp_sq = FnDef {
+        name: "nxp_sq".into(),
+        target: TargetIsa::Nxp,
+        num_args: 1,
+        num_locals: 0,
+        body: vec![Stmt::Return(LExpr::Arg(0).mul(LExpr::Arg(0)))],
+    };
+    let mut p = ProgramBuilder::new("poly");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 9);
+    main.call("host_poly");
+    main.call("flick_exit");
+    p.func(main.finish());
+    p.func(compile_fn(&host_poly).unwrap());
+    p.func(compile_fn(&nxp_sq).unwrap());
+    let mut m = machine();
+    let pid = m.load_program(&mut p).unwrap();
+    let out = m.run(pid).unwrap();
+    assert_eq!(out.exit_code, 9 * 9 * 2 + 1);
+    assert_eq!(out.stats.get("migrations_host_to_nxp"), 1);
+}

@@ -1,0 +1,84 @@
+//! Shared-library style linking: separately compiled objects resolved
+//! into one multi-ISA executable — the §III-B argument for OS-level
+//! migration triggers ("typical software routinely calls functions in
+//! pre-compiled shared libraries ... which do not have migration code
+//! inserted").
+
+use flick::Machine;
+use flick_isa::{abi, FuncBuilder, TargetIsa};
+use flick_toolchain::{compile, link, DataDef, ProgramBuilder};
+
+/// "libgraph": a pre-compiled library with one function per ISA and a
+/// lookup table, built as its *own object file* with no knowledge of
+/// the application.
+fn libgraph_object() -> flick_toolchain::ObjectFile {
+    let mut scale = FuncBuilder::new("lib_scale", TargetIsa::Host);
+    scale.li_sym(abi::T0, "lib_factor");
+    scale.ld(abi::T1, abi::T0, 0, flick_isa::MemSize::B8);
+    scale.mul(abi::A0, abi::A0, abi::T1);
+    scale.ret();
+    let mut square = FuncBuilder::new("lib_nxp_square", TargetIsa::Nxp);
+    square.mul(abi::A0, abi::A0, abi::A0);
+    square.ret();
+    compile(
+        &[scale.finish(), square.finish()],
+        &[DataDef::new("lib_factor", 3u64.to_le_bytes().to_vec())],
+    )
+    .unwrap()
+}
+
+#[test]
+fn app_links_against_precompiled_multi_isa_library() {
+    // Application object, compiled separately; calls into the library
+    // across the ISA boundary without knowing where its functions run.
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 7);
+    main.call("lib_nxp_square"); // library code on the NxP
+    main.call("lib_scale"); // library code on the host
+    main.call("flick_exit");
+    let mut app_funcs = vec![main.finish()];
+    app_funcs.push(flick::handlers::host_migration_handler());
+    app_funcs.push(flick::handlers::nxp_migration_handler());
+    app_funcs.extend(flick::handlers::runtime_funcs());
+    let app = compile(&app_funcs, &[]).unwrap();
+
+    let image = link(&[app, libgraph_object()], "app+lib", "main").unwrap();
+    let mut m = Machine::paper_default();
+    let pid = m.load(&image).unwrap();
+    let out = m.run(pid).unwrap();
+    assert_eq!(out.exit_code, 7 * 7 * 3);
+    assert_eq!(out.stats.get("migrations_host_to_nxp"), 1);
+}
+
+#[test]
+fn stdlib_links_like_a_library() {
+    // The built-in stdlib is exactly such a library: both-ISA variants,
+    // no instrumentation, works through the same NX trigger.
+    let mut p = ProgramBuilder::new("app");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 48);
+    main.li(abi::A1, 36);
+    main.call("nxp_gcd"); // the NxP variant: one migration
+    main.call("flick_exit");
+    p.func(main.finish());
+    flick::stdlib::add_stdlib(&mut p);
+    let mut m = Machine::paper_default();
+    let pid = m.load_program(&mut p).unwrap();
+    let out = m.run(pid).unwrap();
+    assert_eq!(out.exit_code, 12);
+    assert_eq!(out.stats.get("migrations_host_to_nxp"), 1);
+}
+
+#[test]
+fn duplicate_symbols_across_app_and_library_rejected() {
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.call("flick_exit");
+    let mut clash = FuncBuilder::new("lib_scale", TargetIsa::Host);
+    clash.ret();
+    let app = compile(&[main.finish(), clash.finish()], &[]).unwrap();
+    let err = link(&[app, libgraph_object()], "x", "main");
+    assert!(matches!(
+        err,
+        Err(flick_toolchain::LinkError::Duplicate(s)) if s == "lib_scale"
+    ));
+}

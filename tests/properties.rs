@@ -1,0 +1,235 @@
+//! Property-based tests over the core data structures and the machine:
+//! encodings, memory, paging, descriptors, graphs, and the migration
+//! semantics themselves.
+
+use flick::{DescKind, MigrationDescriptor};
+use flick_isa::{abi, AluOp, FuncBuilder, Isa, MemSize, Reg, TargetIsa};
+use flick_mem::{PhysAddr, PhysMem, VirtAddr};
+use flick_paging::{flags, AddressSpace, BumpFrameAlloc, PageSize};
+use flick_sim::Xoshiro256;
+use flick_toolchain::ProgramBuilder;
+use flick_workloads::graph::rmat;
+use proptest::prelude::*;
+
+// ---- instruction encodings ------------------------------------------------
+
+/// Strategy for a random straight-line instruction (no control flow —
+/// control flow needs labels, tested via the builder elsewhere).
+fn arb_inst() -> impl Strategy<Value = flick_isa::Inst> {
+    let reg = (0u8..32).prop_map(Reg);
+    let size = prop_oneof![
+        Just(MemSize::B1),
+        Just(MemSize::B2),
+        Just(MemSize::B4),
+        Just(MemSize::B8)
+    ];
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Divu),
+        Just(AluOp::Remu),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Sll),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+    ];
+    prop_oneof![
+        (alu.clone(), reg.clone(), reg.clone(), reg.clone()).prop_map(|(op, rd, rs1, rs2)| {
+            flick_isa::Inst::Alu { op, rd, rs1, rs2 }
+        }),
+        (alu, reg.clone(), reg.clone(), any::<i32>()).prop_map(|(op, rd, rs1, imm)| {
+            flick_isa::Inst::AluImm { op, rd, rs1, imm }
+        }),
+        (reg.clone(), any::<i64>()).prop_map(|(rd, imm)| flick_isa::Inst::Li { rd, imm }),
+        (reg.clone(), reg.clone(), any::<i32>(), size.clone()).prop_map(
+            |(rd, base, off, size)| flick_isa::Inst::Ld { rd, base, off, size }
+        ),
+        (reg.clone(), reg.clone(), any::<i32>(), size).prop_map(|(rs, base, off, size)| {
+            flick_isa::Inst::St { rs, base, off, size }
+        }),
+        (reg.clone(), reg, any::<i32>()).prop_map(|(rd, rs1, off)| flick_isa::Inst::Jalr {
+            rd,
+            rs1,
+            off
+        }),
+        any::<u16>().prop_map(|service| flick_isa::Inst::Ecall { service }),
+        Just(flick_isa::Inst::Ret),
+        Just(flick_isa::Inst::Nop),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_instruction_sequence_round_trips_both_isas(
+        insts in prop::collection::vec(arb_inst(), 1..40)
+    ) {
+        for isa in [Isa::X64, Isa::Rv64] {
+            let mut f = FuncBuilder::new("f", TargetIsa::Host);
+            for i in &insts {
+                f.push(*i);
+            }
+            let enc = isa.encode(&f.finish()).unwrap();
+            let mut off = 0usize;
+            let mut decoded = Vec::new();
+            while off < enc.bytes.len() {
+                let (inst, len) = isa.decode(&enc.bytes[off..]).unwrap();
+                decoded.push(inst);
+                off += len;
+            }
+            prop_assert_eq!(&decoded, &insts, "{} mis-round-tripped", isa);
+        }
+    }
+
+    #[test]
+    fn physmem_read_back_exact(
+        writes in prop::collection::vec((0u64..1 << 20, prop::collection::vec(any::<u8>(), 1..64)), 1..20)
+    ) {
+        let mut mem = PhysMem::new();
+        // Apply writes in order; then the final state of each byte is
+        // the last write covering it.
+        let mut model = std::collections::HashMap::new();
+        for (addr, bytes) in &writes {
+            mem.write_bytes(PhysAddr(*addr), bytes);
+            for (i, b) in bytes.iter().enumerate() {
+                model.insert(addr + i as u64, *b);
+            }
+        }
+        for (addr, byte) in model {
+            prop_assert_eq!(mem.read_u8(PhysAddr(addr)), byte);
+        }
+    }
+
+    #[test]
+    fn paging_translates_every_mapped_page(
+        pages in prop::collection::btree_set(0u64..512, 1..40),
+        offset in 0u64..4096,
+    ) {
+        let mut mem = PhysMem::new();
+        let mut alloc = BumpFrameAlloc::new(PhysAddr(0x100_0000), PhysAddr(0x400_0000));
+        let mut asp = AddressSpace::new(&mut mem, &mut alloc);
+        for &p in &pages {
+            asp.map(
+                &mut mem,
+                &mut alloc,
+                VirtAddr(0x40_0000 + p * 4096),
+                PhysAddr(0x80_0000 + p * 4096),
+                PageSize::Size4K,
+                flags::PRESENT | flags::USER,
+            )
+            .unwrap();
+        }
+        for &p in &pages {
+            let va = VirtAddr(0x40_0000 + p * 4096 + offset);
+            let t = asp.translate(&mem, va).unwrap();
+            prop_assert_eq!(t.pa, PhysAddr(0x80_0000 + p * 4096 + offset));
+        }
+        // And an unmapped neighbour page faults.
+        if let Some(unmapped) = (0u64..512).find(|p| !pages.contains(p)) {
+            prop_assert!(asp
+                .translate(&mem, VirtAddr(0x40_0000 + unmapped * 4096))
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn descriptor_wire_format_total(
+        target in any::<u64>(),
+        ret in any::<u64>(),
+        args in any::<[u64; 6]>(),
+        pid in any::<u64>(),
+        cr3 in any::<u64>(),
+        nxp_sp in any::<u64>(),
+        kind_tag in 1u64..=4,
+    ) {
+        let d = MigrationDescriptor {
+            kind: DescKind::from_tag(kind_tag).unwrap(),
+            target,
+            ret,
+            args,
+            pid,
+            cr3,
+            nxp_sp,
+        };
+        prop_assert_eq!(MigrationDescriptor::from_bytes(&d.to_bytes()), Some(d));
+    }
+
+    #[test]
+    fn rmat_always_valid_csr(v in 2u64..2000, e in 1u64..8000, seed in any::<u64>()) {
+        let g = rmat(v, e, seed);
+        prop_assert_eq!(g.v, v);
+        prop_assert_eq!(g.e(), e);
+        prop_assert_eq!(*g.row_ptr.last().unwrap(), e);
+        for u in 0..v {
+            prop_assert!(g.row_ptr[u as usize] <= g.row_ptr[u as usize + 1]);
+        }
+        for &w in &g.col {
+            prop_assert!((w as u64) < v);
+        }
+    }
+
+    #[test]
+    fn rng_range_always_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+        let mut rng = Xoshiro256::seeded(seed);
+        for _ in 0..100 {
+            let x = rng.gen_range(lo, lo + span);
+            prop_assert!((lo..lo + span).contains(&x));
+        }
+    }
+}
+
+// ---- machine-level properties ---------------------------------------------
+
+/// Reference semantics of the random cross-ISA pipeline below.
+fn reference_chain(stages: &[(bool, u32, u32)], x0: u64) -> u64 {
+    stages
+        .iter()
+        .fold(x0, |x, (_, k, c)| x.wrapping_mul(*k as u64).wrapping_add(*c as u64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random chains of functions with random ISA placements compute
+    /// the same value as native Rust, no matter how many times the
+    /// thread crosses the boundary.
+    #[test]
+    fn random_cross_isa_chain_matches_reference(
+        stages in prop::collection::vec((any::<bool>(), 1u32..50, 0u32..1000), 1..6),
+        x0 in 0u64..1_000_000,
+    ) {
+        let mut p = ProgramBuilder::new("chain");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.li(abi::A0, x0 as i64);
+        main.call("stage0");
+        main.call("flick_exit");
+        p.func(main.finish());
+        for (i, (on_nxp, k, c)) in stages.iter().enumerate() {
+            let target = if *on_nxp { TargetIsa::Nxp } else { TargetIsa::Host };
+            let mut f = FuncBuilder::new(format!("stage{i}"), target);
+            f.li(abi::T0, *k as i64);
+            f.mul(abi::A0, abi::A0, abi::T0);
+            f.addi(abi::A0, abi::A0, *c as i32);
+            if i + 1 < stages.len() {
+                f.prologue(16, &[]);
+                f.call(&format!("stage{}", i + 1));
+                f.epilogue(16, &[]);
+            } else {
+                f.ret();
+            }
+            p.func(f.finish());
+        }
+        let mut m = flick::Machine::builder()
+            .trace(flick_sim::TraceConfig { enabled: false, capacity: 0 })
+            .build();
+        let pid = m.load_program(&mut p).unwrap();
+        let out = m.run(pid).unwrap();
+        prop_assert_eq!(out.exit_code, reference_chain(&stages, x0));
+    }
+}
