@@ -1,8 +1,11 @@
-//! Criterion benchmarks of the simulator itself: how fast the
-//! reproduction executes (wall-clock), orthogonal to the simulated
-//! times the experiment binaries report.
+//! Wall-clock benchmarks of the simulator itself: how fast the
+//! reproduction executes, orthogonal to the simulated times the
+//! experiment binaries report.
+//!
+//! Self-timing harness (`harness = false`): each workload runs a few
+//! warm-up iterations, then reports mean wall-clock per iteration over
+//! a fixed sample count. Run with `cargo bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use flick::Machine;
 use flick_isa::{abi, FuncBuilder, TargetIsa};
 use flick_sim::TraceConfig;
@@ -10,6 +13,7 @@ use flick_toolchain::ProgramBuilder;
 use flick_workloads::chase::{run_chase, ChaseConfig, ChaseMode};
 use flick_workloads::graph::rmat;
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn quiet() -> Machine {
     Machine::builder()
@@ -20,78 +24,88 @@ fn quiet() -> Machine {
         .build()
 }
 
+/// Times `f` over `samples` iterations after `warmup` unrecorded ones.
+fn bench(name: &str, samples: u32, mut f: impl FnMut()) {
+    const WARMUP: u32 = 2;
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut total = Duration::ZERO;
+    let mut best = Duration::MAX;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        f();
+        let dt = t0.elapsed();
+        total += dt;
+        best = best.min(dt);
+    }
+    let mean = total / samples;
+    println!("{name:<32} mean {mean:>12.3?}  best {best:>12.3?}  (n={samples})");
+}
+
 /// Simulating one migration round trip (machinery cost).
-fn bench_migration_round_trip(c: &mut Criterion) {
-    c.bench_function("simulate_32_round_trips", |b| {
-        b.iter(|| {
-            let mut m = quiet();
-            let mut p = ProgramBuilder::new("bench");
-            let mut main = FuncBuilder::new("main", TargetIsa::Host);
-            let lp = main.new_label();
-            main.li(abi::S1, 32);
-            main.bind(lp);
-            main.call("nxp_nop");
-            main.addi(abi::S1, abi::S1, -1);
-            main.bne(abi::S1, abi::ZERO, lp);
-            main.call("flick_exit");
-            p.func(main.finish());
-            let mut f = FuncBuilder::new("nxp_nop", TargetIsa::Nxp);
-            f.ret();
-            p.func(f.finish());
-            let pid = m.load_program(&mut p).unwrap();
-            black_box(m.run(pid).unwrap().sim_time)
-        })
+fn bench_migration_round_trip() {
+    bench("simulate_32_round_trips", 10, || {
+        let mut m = quiet();
+        let mut p = ProgramBuilder::new("bench");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        let lp = main.new_label();
+        main.li(abi::S1, 32);
+        main.bind(lp);
+        main.call("nxp_nop");
+        main.addi(abi::S1, abi::S1, -1);
+        main.bne(abi::S1, abi::ZERO, lp);
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_nop", TargetIsa::Nxp);
+        f.ret();
+        p.func(f.finish());
+        let pid = m.load_program(&mut p).unwrap();
+        black_box(m.run(pid).unwrap().sim_time);
     });
 }
 
 /// Raw interpreter throughput (host core, tight ALU loop).
-fn bench_interpreter(c: &mut Criterion) {
-    c.bench_function("interpret_100k_instructions", |b| {
-        b.iter(|| {
-            let mut m = quiet();
-            let mut p = ProgramBuilder::new("bench");
-            let mut main = FuncBuilder::new("main", TargetIsa::Host);
-            let lp = main.new_label();
-            main.li(abi::S1, 25_000);
-            main.bind(lp);
-            main.addi(abi::A0, abi::A0, 1);
-            main.addi(abi::A1, abi::A1, 2);
-            main.addi(abi::S1, abi::S1, -1);
-            main.bne(abi::S1, abi::ZERO, lp);
-            main.call("flick_exit");
-            p.func(main.finish());
-            let pid = m.load_program(&mut p).unwrap();
-            black_box(m.run(pid).unwrap().exit_code)
-        })
+fn bench_interpreter() {
+    bench("interpret_100k_instructions", 10, || {
+        let mut m = quiet();
+        let mut p = ProgramBuilder::new("bench");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        let lp = main.new_label();
+        main.li(abi::S1, 25_000);
+        main.bind(lp);
+        main.addi(abi::A0, abi::A0, 1);
+        main.addi(abi::A1, abi::A1, 2);
+        main.addi(abi::S1, abi::S1, -1);
+        main.bne(abi::S1, abi::ZERO, lp);
+        main.call("flick_exit");
+        p.func(main.finish());
+        let pid = m.load_program(&mut p).unwrap();
+        black_box(m.run(pid).unwrap().exit_code);
     });
 }
 
 /// Pointer-chase workload end to end (Fig. 5 inner loop).
-fn bench_pointer_chase(c: &mut Criterion) {
-    c.bench_function("chase_256_nodes_8_calls", |b| {
-        b.iter(|| {
-            let cfg = ChaseConfig {
-                calls: 8,
-                ..ChaseConfig::frequent(256, ChaseMode::Flick)
-            };
-            black_box(run_chase(&cfg).unwrap().per_call)
-        })
+fn bench_pointer_chase() {
+    bench("chase_256_nodes_8_calls", 10, || {
+        let cfg = ChaseConfig {
+            calls: 8,
+            ..ChaseConfig::frequent(256, ChaseMode::Flick)
+        };
+        black_box(run_chase(&cfg).unwrap().per_call);
     });
 }
 
 /// Graph generation throughput (Table IV staging).
-fn bench_graph_generation(c: &mut Criterion) {
-    c.bench_function("rmat_64k_edges", |b| {
-        b.iter(|| black_box(rmat(8_192, 65_536, 42).e()))
+fn bench_graph_generation() {
+    bench("rmat_64k_edges", 10, || {
+        black_box(rmat(8_192, 65_536, 42).e());
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_migration_round_trip,
-              bench_interpreter,
-              bench_pointer_chase,
-              bench_graph_generation
+fn main() {
+    bench_migration_round_trip();
+    bench_interpreter();
+    bench_pointer_chase();
+    bench_graph_generation();
 }
-criterion_main!(benches);

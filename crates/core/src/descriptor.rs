@@ -56,12 +56,64 @@ impl fmt::Display for DescKind {
     }
 }
 
+/// Why a received descriptor was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DescError {
+    /// Buffer shorter than the 128-byte wire size.
+    TooShort,
+    /// The checksum did not cover the payload — the burst was damaged
+    /// in flight. Carries the stored and recomputed values.
+    BadChecksum {
+        /// Checksum carried on the wire.
+        stored: u64,
+        /// Checksum recomputed from the payload.
+        computed: u64,
+    },
+    /// The kind tag is not one of the four descriptor kinds.
+    BadKind(u64),
+}
+
+impl fmt::Display for DescError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescError::TooShort => write!(f, "descriptor buffer too short"),
+            DescError::BadChecksum { stored, computed } => write!(
+                f,
+                "descriptor checksum mismatch (wire {stored:#x}, computed {computed:#x})"
+            ),
+            DescError::BadKind(t) => write!(f, "unknown descriptor kind tag {t}"),
+        }
+    }
+}
+
+impl std::error::Error for DescError {}
+
+/// FNV-1a-64 over `bytes`, skipping the 8-byte checksum field itself.
+/// Any single corrupted byte changes the digest (each step is injective
+/// in the running hash), which is the property the DMA recovery path
+/// needs; this models the link-layer CRC real PCIe provides for free.
+fn fnv1a_except_crc(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for (i, b) in bytes.iter().enumerate() {
+        if (L::CRC as usize..L::CRC as usize + 8).contains(&i) {
+            continue;
+        }
+        h = (h ^ *b as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
 /// One migration descriptor.
 ///
 /// Carries everything §IV-B1 lists: target address, the argument
 /// registers, the return value (for return kinds), the PID used to wake
 /// the right thread, the CR3/PTBR so the NxP walks the same page
-/// tables, and the thread's NxP stack pointer.
+/// tables, and the thread's NxP stack pointer. On top of the paper's
+/// fields the wire format carries a per-direction sequence number (so
+/// receivers can discard retransmitted duplicates) and a checksum (so
+/// corrupted bursts are detected and NAKed instead of trusted).
 ///
 /// # Examples
 ///
@@ -76,10 +128,12 @@ impl fmt::Display for DescKind {
 ///     pid: 9,
 ///     cr3: 0x1000,
 ///     nxp_sp: 0x6000_0000_fff0,
+///     seq: 1,
 /// };
 /// let bytes = d.to_bytes();
 /// assert_eq!(bytes.len(), 128);
 /// assert_eq!(MigrationDescriptor::from_bytes(&bytes).unwrap(), d);
+/// assert_eq!(MigrationDescriptor::from_bytes_checked(&bytes), Ok(d));
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MigrationDescriptor {
@@ -97,10 +151,12 @@ pub struct MigrationDescriptor {
     pub cr3: u64,
     /// NxP stack pointer for this thread.
     pub nxp_sp: u64,
+    /// Per-direction sequence number (unchanged across retransmits).
+    pub seq: u64,
 }
 
 impl MigrationDescriptor {
-    /// Serialises to the 128-byte wire format.
+    /// Serialises to the 128-byte wire format, checksum included.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut b = vec![0u8; L::SIZE as usize];
         let put = |b: &mut Vec<u8>, at: u64, v: u64| {
@@ -115,10 +171,14 @@ impl MigrationDescriptor {
         put(&mut b, L::PID, self.pid);
         put(&mut b, L::CR3, self.cr3);
         put(&mut b, L::NXP_SP, self.nxp_sp);
+        put(&mut b, L::SEQ, self.seq);
+        let crc = fnv1a_except_crc(&b);
+        put(&mut b, L::CRC, crc);
         b
     }
 
-    /// Parses the wire format.
+    /// Parses the wire format without verifying the checksum (trusting
+    /// local, non-DMA copies such as the process descriptor page).
     ///
     /// Returns `None` for short buffers or unknown kind tags.
     pub fn from_bytes(b: &[u8]) -> Option<Self> {
@@ -139,7 +199,32 @@ impl MigrationDescriptor {
             pid: get(L::PID),
             cr3: get(L::CR3),
             nxp_sp: get(L::NXP_SP),
+            seq: get(L::SEQ),
         })
+    }
+
+    /// Parses and *verifies* the wire format — the entry point for
+    /// bytes that crossed the link. Checksum is verified before the
+    /// kind tag so a corrupted tag reports as corruption, not protocol
+    /// breakage.
+    ///
+    /// # Errors
+    ///
+    /// [`DescError::TooShort`] for truncated buffers,
+    /// [`DescError::BadChecksum`] for in-flight corruption, and
+    /// [`DescError::BadKind`] for a clean buffer with an invalid tag.
+    pub fn from_bytes_checked(b: &[u8]) -> Result<Self, DescError> {
+        if b.len() < L::SIZE as usize {
+            return Err(DescError::TooShort);
+        }
+        let get = |at: u64| u64::from_le_bytes(b[at as usize..at as usize + 8].try_into().unwrap());
+        let stored = get(L::CRC);
+        let computed = fnv1a_except_crc(&b[..L::SIZE as usize]);
+        if stored != computed {
+            return Err(DescError::BadChecksum { stored, computed });
+        }
+        let tag = get(L::KIND);
+        Self::from_bytes(b).ok_or(DescError::BadKind(tag))
     }
 }
 
@@ -156,6 +241,7 @@ mod tests {
             pid: 3,
             cr3: 0x7000,
             nxp_sp: 0x6000_0001_0000,
+            seq: 42,
         }
     }
 
@@ -183,6 +269,51 @@ mod tests {
     fn short_buffer_rejected() {
         let b = sample(DescKind::HostToNxpCall).to_bytes();
         assert_eq!(MigrationDescriptor::from_bytes(&b[..100]), None);
+    }
+
+    #[test]
+    fn checked_parse_accepts_clean_wire_bytes() {
+        let d = sample(DescKind::NxpToHostReturn);
+        assert_eq!(MigrationDescriptor::from_bytes_checked(&d.to_bytes()), Ok(d));
+    }
+
+    #[test]
+    fn checked_parse_rejects_flipped_byte_anywhere() {
+        let d = sample(DescKind::HostToNxpCall);
+        let clean = d.to_bytes();
+        for i in 0..clean.len() {
+            let mut b = clean.clone();
+            b[i] ^= 0x40;
+            assert!(
+                matches!(
+                    MigrationDescriptor::from_bytes_checked(&b),
+                    Err(DescError::BadChecksum { .. })
+                ),
+                "flip at byte {i} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn checked_parse_reports_short_buffer() {
+        let b = sample(DescKind::HostToNxpCall).to_bytes();
+        assert_eq!(
+            MigrationDescriptor::from_bytes_checked(&b[..64]),
+            Err(DescError::TooShort)
+        );
+    }
+
+    #[test]
+    fn seq_survives_round_trip_and_is_covered_by_crc() {
+        let mut d = sample(DescKind::HostToNxpCall);
+        d.seq = 0x0123_4567_89AB_CDEF;
+        let b = d.to_bytes();
+        assert_eq!(MigrationDescriptor::from_bytes_checked(&b).unwrap().seq, d.seq);
+        // A different seq must change the checksum.
+        let mut d2 = d;
+        d2.seq += 1;
+        let b2 = d2.to_bytes();
+        assert_ne!(b[104..112], b2[104..112], "CRC must cover SEQ");
     }
 
     #[test]

@@ -61,6 +61,6 @@ pub mod services;
 pub mod stdlib;
 pub mod timeline;
 
-pub use descriptor::{DescKind, MigrationDescriptor};
+pub use descriptor::{DescError, DescKind, MigrationDescriptor};
 pub use machine::{Machine, MachineBuilder, Outcome, RunError};
 pub use nxp::NxpTiming;

@@ -11,8 +11,9 @@ use flick_isa::abi;
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_os::{Kernel, LoadError, OsTiming};
 use flick_pcie::{DmaEngine, InterruptController, Msi};
+use flick_sim::fault::BurstPerturbation;
 use flick_sim::trace::Side;
-use flick_sim::{Event, Picos, Stats, Trace, TraceConfig};
+use flick_sim::{Event, FaultCounts, FaultPlan, MsiFate, Picos, Stats, Trace, TraceConfig};
 use flick_toolchain::{layout, MultiIsaImage, ProgramBuilder};
 use std::collections::HashMap;
 use std::error::Error;
@@ -41,6 +42,26 @@ pub enum RunError {
     },
     /// The instruction budget ran out.
     FuelExhausted,
+    /// The migration protocol reached a state its invariants forbid
+    /// (e.g. the migrate `ioctl` issued without a saved fault target).
+    /// Reachable by hand-written guest code that calls the Flick
+    /// services outside the handler protocol.
+    Protocol {
+        /// Which side broke the protocol.
+        side: Side,
+        /// What was violated.
+        context: &'static str,
+    },
+    /// Descriptor delivery kept failing past the bounded retransmission
+    /// budget and the failure was not recoverable by degradation (a
+    /// lost *return* leg cannot be re-run without doubling the remote
+    /// call's side effects).
+    LinkDead {
+        /// The thread whose migration was lost.
+        pid: u64,
+        /// Which leg of the protocol gave up.
+        stage: &'static str,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -53,6 +74,12 @@ impl fmt::Display for RunError {
                 write!(f, "{side} used unknown service {service:#x}")
             }
             RunError::FuelExhausted => write!(f, "instruction budget exhausted"),
+            RunError::Protocol { side, context } => {
+                write!(f, "{side} migration protocol violation: {context}")
+            }
+            RunError::LinkDead { pid, stage } => {
+                write!(f, "PCIe link dead for pid {pid} during {stage}")
+            }
         }
     }
 }
@@ -89,14 +116,49 @@ struct ProcessVas {
     nxp_handler_loop: VirtAddr,
 }
 
+/// How a suspended thread expects to be woken.
+#[derive(Clone, Copy, Debug)]
+struct PendingWake {
+    /// Arrival time of the wake-up MSI, or `None` when the interrupt
+    /// (or its whole payload burst) was lost in flight — the watchdog
+    /// deadline in the `task_struct` then drives recovery.
+    msi_at: Option<Picos>,
+}
+
 /// What a host `ecall` did to the control flow.
 enum EcallFlow {
     /// Resume the same thread.
     Continue,
     /// The process exited with this code.
     Exit(u64),
-    /// The thread suspended for migration; the MSI wakes it later.
-    Suspended(Msi),
+    /// The thread suspended for migration; an MSI or the watchdog wakes
+    /// it later.
+    Suspended(PendingWake),
+    /// The thread was made runnable again immediately with a modified
+    /// context (graceful degradation unwound the migration); reinstall
+    /// it and keep running.
+    Resume,
+}
+
+/// Outcome of one NxP pickup attempt of a host→NxP burst.
+enum Pickup {
+    /// Clean, in-order descriptor: run the NxP leg.
+    Accept(Vec<u8>, MigrationDescriptor),
+    /// Checksum rejected — the NxP NAKs and the host must retransmit.
+    Corrupt,
+    /// Sequence number already accepted (stale retransmit): discarded.
+    Duplicate,
+}
+
+/// Outcome of one host-side attempt to accept the n2h descriptor.
+enum HostAccept {
+    /// Descriptor accepted; the thread is runnable again. Carries the
+    /// accepted sequence number.
+    Woken(u64),
+    /// Nothing (new) in the host ring yet.
+    Empty,
+    /// A corrupted burst was drained and NAKed; retransmission needed.
+    Corrupt,
 }
 
 /// Builder for a [`Machine`] with custom timing/trace configuration.
@@ -109,6 +171,7 @@ pub struct MachineBuilder {
     nxp_cfg: Option<CoreConfig>,
     latency: Option<flick_mem::LatencyModel>,
     kernel_cfg: Option<flick_os::KernelConfig>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl MachineBuilder {
@@ -156,6 +219,14 @@ impl MachineBuilder {
         self
     }
 
+    /// Installs a seeded fault-injection plan for the PCIe/DMA/MSI
+    /// paths. The default is [`FaultPlan::none`], which draws no random
+    /// numbers and perturbs nothing.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the machine.
     pub fn build(self) -> Machine {
         let mut env = MemEnv::paper_default();
@@ -180,6 +251,13 @@ impl MachineBuilder {
             stats: Stats::default(),
             vas: HashMap::new(),
             symbols: HashMap::new(),
+            plan: self.fault_plan.unwrap_or_else(FaultPlan::none),
+            emu: None,
+            h2n_seq: 1,
+            n2h_seq: 1,
+            nxp_last_seq: 0,
+            host_last_seq: 0,
+            retained_n2h: HashMap::new(),
             mem,
             env,
         }
@@ -203,6 +281,22 @@ pub struct Machine {
     stats: Stats,
     vas: HashMap<u64, ProcessVas>,
     symbols: HashMap<u64, std::collections::BTreeMap<String, u64>>,
+    /// Seeded fault injection for the interconnect (inactive by
+    /// default).
+    plan: FaultPlan,
+    /// Lazily created host-side interpreter core for degraded threads.
+    emu: Option<Core>,
+    /// Next host→NxP descriptor sequence number.
+    h2n_seq: u64,
+    /// Next NxP→host descriptor sequence number.
+    n2h_seq: u64,
+    /// Highest host→NxP sequence the NxP has accepted.
+    nxp_last_seq: u64,
+    /// Highest NxP→host sequence the host has accepted.
+    host_last_seq: u64,
+    /// Wire bytes of each thread's in-flight NxP→host descriptor,
+    /// retained until acceptance so the host can demand retransmission.
+    retained_n2h: HashMap<u64, Vec<u8>>,
 }
 
 impl fmt::Debug for Machine {
@@ -281,6 +375,11 @@ impl Machine {
         &self.stats
     }
 
+    /// Per-kind tallies of the faults the plan actually injected.
+    pub fn fault_counts(&self) -> FaultCounts {
+        self.plan.counts()
+    }
+
     /// Looks up a linker symbol in the image `pid` was loaded from.
     pub fn symbol(&self, pid: u64, name: &str) -> Option<VirtAddr> {
         self.symbols
@@ -299,7 +398,9 @@ impl Machine {
     /// (linked lists, graphs) before the measured run, the way the
     /// paper's harness prepares the NxP-side storage.
     pub fn stage_alloc_nxp(&mut self, pid: u64, size: u64) -> VirtAddr {
-        self.kernel.alloc_nxp_heap(pid, size)
+        self.kernel
+            .alloc_nxp_heap(pid, size)
+            .expect("staging allocation fits the NxP window")
     }
 
     /// Allocates host heap for `pid` without charging simulated time.
@@ -315,12 +416,16 @@ impl Machine {
 
     /// Writes user memory without charging simulated time (staging).
     pub fn stage_write(&mut self, pid: u64, va: VirtAddr, bytes: &[u8]) {
-        self.kernel.write_user(&mut self.mem, pid, va, bytes);
+        self.kernel
+            .write_user(&mut self.mem, pid, va, bytes)
+            .expect("staging writes touch mapped memory");
     }
 
     /// Reads user memory without charging simulated time (inspection).
     pub fn stage_read(&self, pid: u64, va: VirtAddr, buf: &mut [u8]) {
-        self.kernel.read_user(&self.mem, pid, va, buf);
+        self.kernel
+            .read_user(&self.mem, pid, va, buf)
+            .expect("staging reads touch mapped memory");
     }
 
     /// Runs process `pid` to completion with a default budget of two
@@ -359,21 +464,24 @@ impl Machine {
                 StopReason::Ecall(service) => match self.host_ecall(pid, service)? {
                     EcallFlow::Continue => {}
                     EcallFlow::Exit(code) => return Ok(self.finish(pid, code)),
-                    EcallFlow::Suspended(msi) => {
+                    EcallFlow::Suspended(wake) => {
                         // Single-process mode: the host has nothing else
                         // to do, so take the interrupt immediately and
                         // resume the thread.
-                        self.deliver_wakeup(pid, msi)?;
+                        self.deliver_wakeup(pid, wake)?;
                         self.install_task(pid);
                     }
+                    EcallFlow::Resume => self.install_task(pid),
                 },
                 StopReason::Fault(Exception::InstFault {
                     va,
                     kind: InstFaultKind::NxViolation,
                 }) => {
                     // The Flick trigger: host fetched NxP code. Charge
-                    // the measured 0.7µs fault path and hijack into the
-                    // user-space migration handler (§IV-B1).
+                    // the measured 0.7µs fault path, then either hijack
+                    // into the user-space migration handler (§IV-B1) or
+                    // — for a thread whose link died — interpret the NxP
+                    // function on the host.
                     self.stats.bump("nx_faults");
                     self.trace.record(
                         self.host.clock().now(),
@@ -384,9 +492,14 @@ impl Machine {
                     );
                     let t = self.kernel.timing().page_fault_path;
                     self.host.clock_mut().advance(t);
-                    let handler = self.vas[&pid].host_handler;
-                    self.kernel
-                        .redirect_to_handler(pid, &mut self.host, va, handler);
+                    if self.kernel.task(pid).degraded {
+                        let used = self.executed() - start_insts;
+                        self.emulate_segment(pid, va, fuel.saturating_sub(used))?;
+                    } else {
+                        let handler = self.vas[&pid].host_handler;
+                        self.kernel
+                            .redirect_to_handler(pid, &mut self.host, va, handler);
+                    }
                 }
                 StopReason::Fault(exception) => {
                     return Err(RunError::Crash {
@@ -427,7 +540,9 @@ impl Machine {
             }
         }
         let mut runnable: std::collections::VecDeque<u64> = pids.iter().copied().collect();
-        let mut pending: Vec<(Msi, u64)> = Vec::new();
+        // (due time, wake, pid): due is the MSI arrival, or the watchdog
+        // deadline when the interrupt was lost.
+        let mut pending: Vec<(Picos, PendingWake, u64)> = Vec::new();
         let mut done: Vec<(u64, Outcome)> = Vec::new();
         let mut preempted: Option<u64> = None;
         let start_insts = self.executed();
@@ -438,13 +553,13 @@ impl Machine {
             // Deliver every wake-up interrupt that has already fired,
             // oldest first; a preempted thread re-queues *behind* the
             // freshly woken ones.
-            pending.sort_by_key(|(msi, _)| msi.at);
+            pending.sort_by_key(|(due, _, _)| *due);
             while let Some(i) = pending
                 .iter()
-                .position(|(msi, _)| msi.at <= self.host.clock().now())
+                .position(|(due, _, _)| *due <= self.host.clock().now())
             {
-                let (msi, pid) = pending.remove(i);
-                self.deliver_wakeup(pid, msi)?;
+                let (_, wake, pid) = pending.remove(i);
+                self.deliver_wakeup(pid, wake)?;
                 runnable.push_back(pid);
             }
             if let Some(p) = preempted.take() {
@@ -452,10 +567,10 @@ impl Machine {
             }
             let Some(pid) = runnable.pop_front() else {
                 // Host idle: fast-forward to the earliest pending wake.
-                let Some((msi, _)) = pending.first() else {
+                let Some((due, _, _)) = pending.first() else {
                     unreachable!("no runnable, no pending, not all done");
                 };
-                let at = msi.at;
+                let at = *due;
                 self.host.clock_mut().sync_to(at);
                 continue;
             };
@@ -480,10 +595,17 @@ impl Machine {
                             done.push((pid, self.finish(pid, code)));
                             break;
                         }
-                        EcallFlow::Suspended(msi) => {
-                            pending.push((msi, pid));
+                        EcallFlow::Suspended(wake) => {
+                            let due = wake.msi_at.unwrap_or_else(|| {
+                                self.kernel
+                                    .task(pid)
+                                    .deadline
+                                    .unwrap_or_else(|| self.host.clock().now())
+                            });
+                            pending.push((due, wake, pid));
                             break; // host core is free: schedule someone else
                         }
+                        EcallFlow::Resume => self.install_task(pid),
                     },
                     StopReason::Fault(Exception::InstFault {
                         va,
@@ -499,9 +621,14 @@ impl Machine {
                         );
                         let t = self.kernel.timing().page_fault_path;
                         self.host.clock_mut().advance(t);
-                        let handler = self.vas[&pid].host_handler;
-                        self.kernel
-                            .redirect_to_handler(pid, &mut self.host, va, handler);
+                        if self.kernel.task(pid).degraded {
+                            let used = self.executed() - start_insts;
+                            self.emulate_segment(pid, va, fuel.saturating_sub(used))?;
+                        } else {
+                            let handler = self.vas[&pid].host_handler;
+                            self.kernel
+                                .redirect_to_handler(pid, &mut self.host, va, handler);
+                        }
                     }
                     StopReason::Fault(exception) => {
                         return Err(RunError::Crash {
@@ -513,7 +640,7 @@ impl Machine {
                         // Quantum expired. Preempt only if a wake-up is
                         // actually due — otherwise keep running.
                         let now = self.host.clock().now();
-                        if pending.iter().any(|(msi, _)| msi.at <= now) {
+                        if pending.iter().any(|(due, _, _)| *due <= now) {
                             let t = self.kernel.timing().suspend_and_switch;
                             self.host.clock_mut().advance(t);
                             let ctx = self.host.save_context();
@@ -531,7 +658,12 @@ impl Machine {
     }
 
     fn executed(&self) -> u64 {
-        self.host.stats().get("instructions") + self.nxp.stats().get("instructions")
+        self.host.stats().get("instructions")
+            + self.nxp.stats().get("instructions")
+            + self
+                .emu
+                .as_ref()
+                .map_or(0, |c| c.stats().get("instructions"))
     }
 
     fn finish(&mut self, pid: u64, code: u64) -> Outcome {
@@ -555,6 +687,9 @@ impl Machine {
                 _ => continue,
             };
             stats.bump_by(name, v);
+        }
+        if let Some(emu) = &self.emu {
+            stats.bump_by("emulated_instructions", emu.stats().get("instructions"));
         }
         Outcome {
             exit_code: code,
@@ -580,7 +715,9 @@ impl Machine {
                 let ptr = VirtAddr(self.host.reg(abi::A0));
                 let len = self.host.reg(abi::A1) as usize;
                 let mut buf = vec![0u8; len.min(4096)];
-                self.kernel.read_user(&self.mem, pid, ptr, &mut buf);
+                self.kernel
+                    .read_user(&self.mem, pid, ptr, &mut buf)
+                    .map_err(RunError::Load)?;
                 self.kernel
                     .console_push(String::from_utf8_lossy(&buf).into_owned());
             }
@@ -596,7 +733,10 @@ impl Machine {
             }
             svc::ALLOC_NXP => {
                 let size = self.host.reg(abi::A0);
-                let va = self.kernel.alloc_nxp_heap(pid, size);
+                let va = self
+                    .kernel
+                    .alloc_nxp_heap(pid, size)
+                    .map_err(RunError::Load)?;
                 self.host.set_reg(abi::A0, va.as_u64());
             }
             svc::CLOCK_NS => {
@@ -608,28 +748,30 @@ impl Machine {
                 self.host.clock_mut().advance(Picos::from_nanos(ns));
             }
             svc::ALLOC_NXP_STACK => {
-                let sp = self.kernel.alloc_nxp_stack(&mut self.mem, pid);
+                let sp = self
+                    .kernel
+                    .alloc_nxp_stack(&mut self.mem, pid)
+                    .map_err(RunError::Load)?;
                 self.host.clock_mut().advance(timing.nxp_stack_setup);
                 // Record it in the TCB word of the descriptor page so
                 // the handler's first-time check passes next time.
-                self.kernel.write_user(
-                    &mut self.mem,
-                    pid,
-                    VirtAddr(layout::DESC_PAGE_VA + L::TCB_NXP_SP),
-                    &sp.as_u64().to_le_bytes(),
-                );
+                self.kernel
+                    .write_user(
+                        &mut self.mem,
+                        pid,
+                        VirtAddr(layout::DESC_PAGE_VA + L::TCB_NXP_SP),
+                        &sp.as_u64().to_le_bytes(),
+                    )
+                    .map_err(RunError::Load)?;
                 self.stats.bump("nxp_stack_allocs");
                 // No register result: the handler must keep the original
                 // call's argument registers intact for the descriptor.
-                let _ = sp;
             }
             svc::MIGRATE_AND_SUSPEND => {
-                let msi = self.migrate_send(pid, DescKind::HostToNxpCall)?;
-                return Ok(EcallFlow::Suspended(msi));
+                return self.migrate_send(pid, DescKind::HostToNxpCall);
             }
             svc::MIGRATE_RETURN_AND_SUSPEND => {
-                let msi = self.migrate_send(pid, DescKind::HostToNxpReturn)?;
-                return Ok(EcallFlow::Suspended(msi));
+                return self.migrate_send(pid, DescKind::HostToNxpReturn);
             }
             other => {
                 return Err(RunError::UnknownService {
@@ -643,12 +785,20 @@ impl Machine {
     }
 
     /// The migrate-and-suspend `ioctl` (§IV-B1) plus the full NxP
-    /// phase: builds and sends the descriptor, suspends the thread,
-    /// runs the NxP side to completion of its leg, and returns the MSI
-    /// that will eventually wake the thread. The host core is *free*
-    /// from the moment the thread suspends — which is what lets other
-    /// processes run in the gap (see [`Machine::run_concurrent`]).
-    fn migrate_send(&mut self, pid: u64, kind: DescKind) -> Result<Msi, RunError> {
+    /// phase: builds and sends the descriptor (retransmitting, bounded,
+    /// on injected burst faults), suspends the thread, runs the NxP
+    /// side to completion of its leg, and returns how the thread
+    /// expects to be woken. The host core is *free* from the moment the
+    /// thread suspends — which is what lets other processes run in the
+    /// gap (see [`Machine::run_concurrent`]).
+    ///
+    /// If the host→NxP *call* leg exhausts its delivery budget the call
+    /// degrades gracefully: the thread is unwound out of the migration
+    /// handler and re-pointed at the target function, which the
+    /// host-side interpreter then executes ([`EcallFlow::Resume`]). A
+    /// dead *return* leg is unrecoverable ([`RunError::LinkDead`]):
+    /// re-running the remote call would double its side effects.
+    fn migrate_send(&mut self, pid: u64, kind: DescKind) -> Result<EcallFlow, RunError> {
         let timing = self.kernel.timing().clone();
         // ioctl: gather target/CR3/PID/args from task_struct + regs
         // (call) or just the return value (return).
@@ -656,16 +806,20 @@ impl Machine {
             DescKind::HostToNxpCall => timing.ioctl_desc_prep_call,
             _ => timing.ioctl_desc_prep_return,
         });
-        let desc = {
-            let task = self.kernel.task_mut(pid);
-            match kind {
-                DescKind::HostToNxpCall => MigrationDescriptor {
+        let seq = self.h2n_seq;
+        self.h2n_seq += 1;
+        let desc = match kind {
+            DescKind::HostToNxpCall => {
+                let task = self.kernel.task_mut(pid);
+                let Some(target) = task.fault_va.take() else {
+                    return Err(RunError::Protocol {
+                        side: Side::Host,
+                        context: "migrate ioctl without a saved fault target",
+                    });
+                };
+                MigrationDescriptor {
                     kind,
-                    target: task
-                        .fault_va
-                        .take()
-                        .expect("migrate ioctl without a saved fault target")
-                        .as_u64(),
+                    target: target.as_u64(),
                     ret: 0,
                     args: [
                         self.host.reg(abi::A0),
@@ -676,31 +830,40 @@ impl Machine {
                         self.host.reg(abi::A5),
                     ],
                     pid,
-                    cr3: task.cr3.as_u64(),
-                    nxp_sp: task.nxp_stack_ptr.as_u64(),
-                },
-                DescKind::HostToNxpReturn => {
-                    // The handler stored the host function's return
-                    // value in the descriptor page.
-                    let mut ret = [0u8; 8];
-                    self.kernel.read_user(
+                    cr3: self.kernel.task(pid).cr3.as_u64(),
+                    nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
+                    seq,
+                }
+            }
+            DescKind::HostToNxpReturn => {
+                // The handler stored the host function's return value
+                // in the descriptor page.
+                let mut ret = [0u8; 8];
+                self.kernel
+                    .read_user(
                         &self.mem,
                         pid,
                         VirtAddr(layout::DESC_PAGE_VA + L::RET),
                         &mut ret,
-                    );
-                    let t = self.kernel.task(pid);
-                    MigrationDescriptor {
-                        kind,
-                        target: 0,
-                        ret: u64::from_le_bytes(ret),
-                        args: [0; 6],
-                        pid,
-                        cr3: t.cr3.as_u64(),
-                        nxp_sp: t.nxp_stack_ptr.as_u64(),
-                    }
+                    )
+                    .map_err(RunError::Load)?;
+                let t = self.kernel.task(pid);
+                MigrationDescriptor {
+                    kind,
+                    target: 0,
+                    ret: u64::from_le_bytes(ret),
+                    args: [0; 6],
+                    pid,
+                    cr3: t.cr3.as_u64(),
+                    nxp_sp: t.nxp_stack_ptr.as_u64(),
+                    seq,
                 }
-                _ => unreachable!("host only sends host→NxP kinds"),
+            }
+            _ => {
+                return Err(RunError::Protocol {
+                    side: Side::Host,
+                    context: "host only sends host-to-NxP descriptor kinds",
+                })
             }
         };
 
@@ -711,67 +874,458 @@ impl Machine {
         self.host.clock_mut().advance(timing.suspend_and_switch);
         self.trace
             .record(self.host.clock().now(), Event::ThreadSuspended { pid });
-        let bytes = desc.to_bytes();
         self.trace.record(
             self.host.clock().now(),
             Event::DescriptorSent {
                 from: Side::Host,
                 kind: kind.label(),
-                bytes: bytes.len(),
+                bytes: L::SIZE as usize,
             },
         );
         match kind {
             DescKind::HostToNxpCall => self.stats.bump("migrations_host_to_nxp"),
             _ => self.stats.bump("returns_host_to_nxp"),
         }
-        let arrival = self.dma.kick_to_nxp(self.host.clock().now(), bytes);
 
-        // Run the NxP until it sends a descriptor back; the MSI it
-        // raises is queued for whenever the host takes the interrupt.
-        let (_back, msi) = self.nxp_phase(pid, arrival)?;
-        self.irq.raise(msi.clone());
-        Ok(msi)
+        // Host→NxP delivery: kick the DMA, let the NxP scheduler pick
+        // the burst up, and retransmit — bounded, with exponential
+        // backoff — on a lost burst or a checksum NAK.
+        let mut attempt = 0u32;
+        let (in_bytes, in_desc) = loop {
+            attempt += 1;
+            if attempt > timing.max_link_attempts {
+                return if kind == DescKind::HostToNxpCall {
+                    self.degrade_unwind(pid, &desc)?;
+                    Ok(EcallFlow::Resume)
+                } else {
+                    Err(RunError::LinkDead {
+                        pid,
+                        stage: "host-to-nxp return",
+                    })
+                };
+            }
+            if attempt > 1 {
+                self.stats.bump("retransmits");
+                self.trace.record(
+                    self.host.clock().now(),
+                    Event::Retransmit {
+                        to: Side::Nxp,
+                        seq,
+                        attempt,
+                    },
+                );
+            }
+            let now = self.host.clock().now();
+            let (arrival, pert) = self
+                .dma
+                .kick_to_nxp_faulty(now, desc.to_bytes(), &mut self.plan);
+            self.note_burst_faults(Side::Nxp, now, &pert);
+            if pert.dropped {
+                // Posted write lost: the driver's completion timer
+                // expires and it re-kicks after an exponential backoff.
+                self.host
+                    .clock_mut()
+                    .advance(timing.retry_backoff * (1u64 << (attempt - 1).min(8)));
+                continue;
+            }
+            match self.nxp_pickup(arrival, seq) {
+                Pickup::Accept(b, d) => break (b, d),
+                Pickup::Corrupt => {
+                    // The NxP NAKed: the NAK crosses the link and the
+                    // host driver re-kicks.
+                    let t = self.nxp.clock().now();
+                    self.host.clock_mut().sync_to(t);
+                    self.host.clock_mut().advance(timing.nak_path);
+                }
+                Pickup::Duplicate => {
+                    // Defensive: a stale burst was discarded; re-kick
+                    // after a backoff.
+                    self.host
+                        .clock_mut()
+                        .advance(timing.retry_backoff * (1u64 << (attempt - 1).min(8)));
+                }
+            }
+        };
+
+        // Accepted: run the NxP leg until it sends a descriptor back,
+        // then arm the watchdog from the *expected* wake time so a lost
+        // wake-up interrupt is always noticed.
+        let wake = self.nxp_execute(pid, in_bytes, in_desc)?;
+        let base = wake
+            .msi_at
+            .unwrap_or_else(|| self.nxp.clock().now().max(self.host.clock().now()));
+        self.kernel.task_mut(pid).deadline = Some(base + timing.migration_watchdog);
+        Ok(EcallFlow::Suspended(wake))
     }
 
-    /// The interrupt-driven wakeup: take the MSI, read the descriptor
-    /// out of the host ring, copy it into the process's descriptor
-    /// page, and mark the thread runnable again.
-    fn deliver_wakeup(&mut self, pid: u64, msi: Msi) -> Result<(), RunError> {
+    /// Records trace events and counters for injected burst faults.
+    fn note_burst_faults(&mut self, to: Side, at: Picos, p: &BurstPerturbation) {
+        if p.dropped {
+            self.stats.bump("faults_injected");
+            self.trace.record(
+                at,
+                Event::FaultInjected {
+                    kind: "drop-burst",
+                    to,
+                },
+            );
+        }
+        if p.corrupted.is_some() {
+            self.stats.bump("faults_injected");
+            self.trace.record(
+                at,
+                Event::FaultInjected {
+                    kind: "corrupt-burst",
+                    to,
+                },
+            );
+        }
+        if p.stall > Picos::ZERO {
+            self.stats.bump("faults_injected");
+            self.trace.record(
+                at,
+                Event::FaultInjected {
+                    kind: "link-stall",
+                    to,
+                },
+            );
+        }
+    }
+
+    /// Raises an MSI through the fault plan; returns its arrival time,
+    /// or `None` if the interrupt was swallowed in flight.
+    fn raise_msi(&mut self, msi: Msi, at: Picos) -> Option<Picos> {
+        let due = msi.at;
+        match self.irq.raise_with(msi, &mut self.plan) {
+            MsiFate::Delivered => Some(due),
+            MsiFate::Duplicated => {
+                self.stats.bump("faults_injected");
+                self.trace.record(
+                    at,
+                    Event::FaultInjected {
+                        kind: "dup-msi",
+                        to: Side::Host,
+                    },
+                );
+                Some(due)
+            }
+            MsiFate::Dropped => {
+                self.stats.bump("faults_injected");
+                self.trace.record(
+                    at,
+                    Event::FaultInjected {
+                        kind: "drop-msi",
+                        to: Side::Host,
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    /// The interrupt-driven wakeup with recovery: wait for the MSI (or
+    /// the watchdog deadline), validate the descriptor out of the host
+    /// ring, NAK corruption, discard duplicates, demand retransmission
+    /// after watchdog expiry, and finally copy the descriptor into the
+    /// process page and mark the thread runnable.
+    fn deliver_wakeup(&mut self, pid: u64, wake: PendingWake) -> Result<(), RunError> {
         let timing = self.kernel.timing().clone();
-        self.host.clock_mut().sync_to(msi.at);
-        let msi = self
-            .irq
-            .take_due(self.host.clock().now())
-            .expect("wakeup delivered without a due MSI");
-        debug_assert_eq!(msi.vector, 0);
-        self.host.clock_mut().advance(timing.irq_entry);
-        let desc_bytes = self
-            .dma
-            .take_host_desc(self.host.clock().now())
-            .expect("descriptor precedes its MSI");
+        let mut expect_msi = wake.msi_at;
+        let mut attempt = 1u32; // kicks of the current descriptor so far
+        loop {
+            let Some(deadline) = self.kernel.task(pid).deadline else {
+                return Err(RunError::Protocol {
+                    side: Side::Host,
+                    context: "suspended thread without an armed watchdog",
+                });
+            };
+            let accepted = match expect_msi.filter(|at| *at <= deadline) {
+                Some(at) => {
+                    self.host.clock_mut().sync_to(at);
+                    let now = self.host.clock().now();
+                    let Some(msi) = self.irq.take_due(now) else {
+                        return Err(RunError::Protocol {
+                            side: Side::Host,
+                            context: "expected wake-up MSI was not queued",
+                        });
+                    };
+                    debug_assert_eq!(msi.vector, 0);
+                    self.host.clock_mut().advance(timing.irq_entry);
+                    let r = self.try_accept_host_desc(pid, &timing)?;
+                    // A duplicated MSI sits at the same instant; the
+                    // kernel takes the extra interrupt, finds nothing
+                    // to deliver, and returns.
+                    while self.irq.take_due(msi.at).is_some() {
+                        self.stats.bump("spurious_wakeups");
+                        self.trace
+                            .record(self.host.clock().now(), Event::SpuriousWakeup { pid });
+                        self.host.clock_mut().advance(timing.irq_entry);
+                    }
+                    r
+                }
+                None => {
+                    // No interrupt by the deadline: the watchdog fires
+                    // and polls the descriptor ring directly.
+                    self.host.clock_mut().sync_to(deadline);
+                    self.stats.bump("watchdog_fires");
+                    self.trace
+                        .record(self.host.clock().now(), Event::WatchdogFired { pid });
+                    self.host.clock_mut().advance(timing.irq_entry);
+                    let r = self.try_accept_host_desc(pid, &timing)?;
+                    if let HostAccept::Woken(seq) = r {
+                        // The payload made it but its MSI did not.
+                        self.stats.bump("msi_losses_recovered");
+                        self.trace.record(
+                            self.host.clock().now(),
+                            Event::MsiLossRecovered { pid, seq },
+                        );
+                    }
+                    r
+                }
+            };
+            match accepted {
+                HostAccept::Woken(_) => return Ok(()),
+                HostAccept::Empty | HostAccept::Corrupt => {
+                    // Lost or damaged burst: demand retransmission of
+                    // the retained wire bytes and re-arm the watchdog.
+                    attempt += 1;
+                    if attempt > timing.max_link_attempts {
+                        return Err(RunError::LinkDead {
+                            pid,
+                            stage: "nxp-to-host",
+                        });
+                    }
+                    let Some(bytes) = self.retained_n2h.get(&pid).cloned() else {
+                        return Err(RunError::Protocol {
+                            side: Side::Host,
+                            context: "no retained descriptor to retransmit",
+                        });
+                    };
+                    let seq = MigrationDescriptor::from_bytes(&bytes).map_or(0, |d| d.seq);
+                    self.stats.bump("retransmits");
+                    let now = self.host.clock().now();
+                    self.trace.record(
+                        now,
+                        Event::Retransmit {
+                            to: Side::Host,
+                            seq,
+                            attempt,
+                        },
+                    );
+                    let (_arrival, maybe_msi, pert) =
+                        self.dma.kick_to_host_faulty(now, bytes, &mut self.plan);
+                    self.note_burst_faults(Side::Host, now, &pert);
+                    expect_msi = maybe_msi.and_then(|m| self.raise_msi(m, now));
+                    self.kernel.task_mut(pid).deadline =
+                        Some(self.host.clock().now() + timing.migration_watchdog);
+                }
+            }
+        }
+    }
+
+    /// Drains the host descriptor ring: discards stale duplicates,
+    /// NAKs corruption, and on a clean in-order descriptor copies it
+    /// into the process page and wakes the thread.
+    fn try_accept_host_desc(
+        &mut self,
+        pid: u64,
+        timing: &OsTiming,
+    ) -> Result<HostAccept, RunError> {
+        loop {
+            let now = self.host.clock().now();
+            let Some(bytes) = self.dma.take_host_desc(now) else {
+                return Ok(HostAccept::Empty);
+            };
+            match MigrationDescriptor::from_bytes_checked(&bytes) {
+                Err(_) => {
+                    self.stats.bump("crc_rejects");
+                    let seq = self
+                        .retained_n2h
+                        .get(&pid)
+                        .and_then(|b| MigrationDescriptor::from_bytes(b))
+                        .map_or(0, |d| d.seq);
+                    self.trace
+                        .record(now, Event::CorruptDescriptor { to: Side::Host, seq });
+                    self.trace
+                        .record(now, Event::NakSent { from: Side::Host, seq });
+                    self.host.clock_mut().advance(timing.nak_path);
+                    return Ok(HostAccept::Corrupt);
+                }
+                Ok(d) if d.seq <= self.host_last_seq => {
+                    self.stats.bump("duplicate_descs_dropped");
+                    self.trace.record(
+                        now,
+                        Event::DuplicateDescriptor {
+                            to: Side::Host,
+                            seq: d.seq,
+                        },
+                    );
+                    // The ring may also hold the real descriptor.
+                    continue;
+                }
+                Ok(d) => {
+                    self.host_last_seq = d.seq;
+                    self.trace.record(
+                        now,
+                        Event::DescriptorReceived {
+                            to: Side::Host,
+                            kind: d.kind.label(),
+                        },
+                    );
+                    // Kernel copies the descriptor into the process
+                    // page, wakes the thread by PID, and schedules it.
+                    self.host.clock_mut().advance(timing.desc_copy);
+                    self.kernel
+                        .write_user(&mut self.mem, pid, VirtAddr(layout::DESC_PAGE_VA), &bytes)
+                        .map_err(RunError::Load)?;
+                    self.host.clock_mut().advance(timing.wakeup_and_schedule);
+                    if !self.kernel.try_wake_from_migration(pid) {
+                        return Err(RunError::Protocol {
+                            side: Side::Host,
+                            context: "woken thread was not in migration wait",
+                        });
+                    }
+                    self.trace
+                        .record(self.host.clock().now(), Event::ThreadWoken { pid });
+                    self.retained_n2h.remove(&pid);
+                    return Ok(HostAccept::Woken(d.seq));
+                }
+            }
+        }
+    }
+
+    /// Graceful degradation: the link died while delivering a host→NxP
+    /// *call*. Unwind the suspended thread out of the user-space
+    /// migration handler frame (RA at `[sp+0]`, S0 at `[sp+8]`, 32-byte
+    /// frame) and point it straight at the target function: the
+    /// argument registers are restored from the descriptor and the
+    /// restored RA returns to the original call site when the function
+    /// returns. The thread is marked degraded, so its NX faults now run
+    /// NxP text through the host-side interpreter instead of migrating.
+    fn degrade_unwind(&mut self, pid: u64, desc: &MigrationDescriptor) -> Result<(), RunError> {
+        self.stats.bump("migrations_degraded");
+        self.trace
+            .record(self.host.clock().now(), Event::Degraded { pid });
+        let sp = self.kernel.task(pid).context.regs[abi::SP.index()];
+        let mut ra = [0u8; 8];
+        let mut s0 = [0u8; 8];
+        self.kernel
+            .read_user(&self.mem, pid, VirtAddr(sp), &mut ra)
+            .map_err(RunError::Load)?;
+        self.kernel
+            .read_user(&self.mem, pid, VirtAddr(sp + 8), &mut s0)
+            .map_err(RunError::Load)?;
+        let task = self.kernel.task_mut(pid);
+        task.degraded = true;
+        task.deadline = None;
+        task.context.regs[abi::RA.index()] = u64::from_le_bytes(ra);
+        task.context.regs[abi::S0.index()] = u64::from_le_bytes(s0);
+        task.context.regs[abi::SP.index()] = sp + 32;
+        for (i, r) in [abi::A0, abi::A1, abi::A2, abi::A3, abi::A4, abi::A5]
+            .into_iter()
+            .enumerate()
+        {
+            task.context.regs[r.index()] = desc.args[i];
+        }
+        task.context.pc = VirtAddr(desc.target);
+        if !self.kernel.try_wake_from_migration(pid) {
+            return Err(RunError::Protocol {
+                side: Side::Host,
+                context: "degraded thread was not in migration wait",
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs one segment of NxP text through the host-side interpreter
+    /// core, from the faulting target until control returns to host
+    /// text. Nested cross-ISA calls hand back and forth naturally: the
+    /// interpreter faults `IsaMismatch` at host text and the native
+    /// core faults `NxViolation` at NxP text.
+    fn emulate_segment(&mut self, pid: u64, va: VirtAddr, fuel: u64) -> Result<(), RunError> {
+        self.stats.bump("emulated_calls");
         self.trace.record(
             self.host.clock().now(),
-            Event::DescriptorReceived {
-                to: Side::Host,
-                kind: MigrationDescriptor::from_bytes(&desc_bytes)
-                    .map(|d| d.kind.label())
-                    .unwrap_or("?"),
+            Event::EmulatedSegment {
+                pid,
+                from_va: va.as_u64(),
             },
         );
-        // Kernel copies the descriptor into the process page, wakes the
-        // thread by PID, and schedules it.
-        self.host.clock_mut().advance(timing.desc_copy);
-        self.kernel.write_user(
-            &mut self.mem,
-            pid,
-            VirtAddr(layout::DESC_PAGE_VA),
-            &desc_bytes,
-        );
-        self.host.clock_mut().advance(timing.wakeup_and_schedule);
-        self.kernel.wake_from_migration(pid);
-        self.trace
-            .record(self.host.clock().now(), Event::ThreadWoken { pid });
-        Ok(())
+        let host_cr3 = self.host.cr3();
+        let host_now = self.host.clock().now();
+        let mut ctx = self.host.save_context();
+        ctx.pc = va;
+        let emu = self
+            .emu
+            .get_or_insert_with(|| Core::new(CoreConfig::host_emulator()));
+        emu.restore_context(&ctx);
+        if emu.cr3() != host_cr3 {
+            emu.set_cr3(host_cr3);
+        }
+        emu.clock_mut().sync_to(host_now);
+        let mut left = fuel;
+        loop {
+            if left == 0 {
+                return Err(RunError::FuelExhausted);
+            }
+            let emu = self.emu.as_mut().expect("emulation core installed above");
+            let before = emu.stats().get("instructions");
+            let stop = emu.run(&mut self.mem, &self.env, left);
+            let ran = emu.stats().get("instructions") - before;
+            left = left.saturating_sub(ran);
+            match stop {
+                StopReason::Fault(Exception::InstFault {
+                    va: back,
+                    kind: InstFaultKind::IsaMismatch,
+                }) => {
+                    // Control reached host text: hand the context back
+                    // to the native core.
+                    let mut ctx = emu.save_context();
+                    ctx.pc = back;
+                    let at = emu.clock().now();
+                    self.host.restore_context(&ctx);
+                    self.host.clock_mut().sync_to(at);
+                    return Ok(());
+                }
+                StopReason::Ecall(s) if s == svc::ALLOC_NXP => {
+                    let size = emu.reg(abi::A0);
+                    let va = self
+                        .kernel
+                        .alloc_nxp_heap(pid, size)
+                        .map_err(RunError::Load)?;
+                    self.emu
+                        .as_mut()
+                        .expect("emulation core installed above")
+                        .set_reg(abi::A0, va.as_u64());
+                }
+                StopReason::Ecall(s) if s == svc::CLOCK_NS => {
+                    let ns = emu.clock().now().as_nanos();
+                    emu.set_reg(abi::A0, ns);
+                }
+                StopReason::Ecall(service) => {
+                    return Err(RunError::UnknownService {
+                        side: Side::Host,
+                        service,
+                    })
+                }
+                StopReason::Fault(exception) => {
+                    return Err(RunError::Crash {
+                        side: Side::Host,
+                        exception,
+                    })
+                }
+                StopReason::Halt => {
+                    return Err(RunError::Crash {
+                        side: Side::Host,
+                        exception: Exception::InstFault {
+                            va: emu.pc(),
+                            kind: InstFaultKind::Illegal,
+                        },
+                    })
+                }
+                StopReason::OutOfFuel => return Err(RunError::FuelExhausted),
+            }
+        }
     }
 
     /// Installs a runnable task onto the host core (context switch in).
@@ -786,29 +1340,74 @@ impl Machine {
         }
     }
 
-    /// The NxP side: scheduler pickup, context switch, interpreted
-    /// execution, exec-fault redirects, until the thread hands a
-    /// descriptor back to the host.
-    fn nxp_phase(&mut self, pid: u64, arrival: Picos) -> Result<(Vec<u8>, Msi), RunError> {
+    /// One NxP scheduler pickup of a host→NxP burst: poll the DMA
+    /// status register, fetch the burst and validate its checksum and
+    /// sequence number.
+    fn nxp_pickup(&mut self, arrival: Picos, expect_seq: u64) -> Pickup {
         let nt = self.nxp_timing.clone();
         // The scheduler's poll loop observes the status register.
         let now = self.nxp.clock().now().max(arrival);
         self.nxp.clock_mut().sync_to(now + nt.poll_period);
-        let in_bytes = self
-            .dma
-            .poll_nxp(self.nxp.clock().now())
-            .expect("descriptor arrived before pickup");
-        let desc = MigrationDescriptor::from_bytes(&in_bytes)
-            .expect("host always sends well-formed descriptors");
-        self.trace.record(
-            self.nxp.clock().now(),
-            Event::DescriptorReceived {
-                to: Side::Nxp,
-                kind: desc.kind.label(),
-            },
-        );
-        self.nxp.clock_mut().advance(nt.dispatch);
+        let Some(in_bytes) = self.dma.poll_nxp(self.nxp.clock().now()) else {
+            // Burst never queued — indistinguishable from a lost one.
+            return Pickup::Corrupt;
+        };
+        match MigrationDescriptor::from_bytes_checked(&in_bytes) {
+            Ok(d) if d.seq <= self.nxp_last_seq => {
+                self.stats.bump("duplicate_descs_dropped");
+                self.trace.record(
+                    self.nxp.clock().now(),
+                    Event::DuplicateDescriptor {
+                        to: Side::Nxp,
+                        seq: d.seq,
+                    },
+                );
+                Pickup::Duplicate
+            }
+            Ok(d) => {
+                self.nxp_last_seq = d.seq;
+                self.trace.record(
+                    self.nxp.clock().now(),
+                    Event::DescriptorReceived {
+                        to: Side::Nxp,
+                        kind: d.kind.label(),
+                    },
+                );
+                self.nxp.clock_mut().advance(nt.dispatch);
+                Pickup::Accept(in_bytes, d)
+            }
+            Err(_) => {
+                // The link CRC caught in-flight corruption: NAK it.
+                self.stats.bump("crc_rejects");
+                self.trace.record(
+                    self.nxp.clock().now(),
+                    Event::CorruptDescriptor {
+                        to: Side::Nxp,
+                        seq: expect_seq,
+                    },
+                );
+                self.trace.record(
+                    self.nxp.clock().now(),
+                    Event::NakSent {
+                        from: Side::Nxp,
+                        seq: expect_seq,
+                    },
+                );
+                Pickup::Corrupt
+            }
+        }
+    }
 
+    /// The NxP side after a descriptor is accepted: context switch,
+    /// interpreted execution, exec-fault redirects, until the thread
+    /// hands a descriptor back to the host.
+    fn nxp_execute(
+        &mut self,
+        pid: u64,
+        in_bytes: Vec<u8>,
+        desc: MigrationDescriptor,
+    ) -> Result<PendingWake, RunError> {
+        let nt = self.nxp_timing.clone();
         // Land the descriptor in the NxP-local buffer the handler reads.
         let desc_phys = self.nxp_desc_phys();
         self.mem.write_bytes(desc_phys, &in_bytes);
@@ -824,11 +1423,12 @@ impl Machine {
         }
         let fresh = !self.nxp_rt.has_context(pid);
         if fresh {
-            assert_eq!(
-                desc.kind,
-                DescKind::HostToNxpCall,
-                "first descriptor for a thread must be a call"
-            );
+            if desc.kind != DescKind::HostToNxpCall {
+                return Err(RunError::Protocol {
+                    side: Side::Nxp,
+                    context: "first descriptor for a thread must be a call",
+                });
+            }
             // The host initialised the stack; the thread starts inside
             // the handler's while() loop (§IV-B1).
             let mut ctx = CpuContext {
@@ -853,12 +1453,12 @@ impl Machine {
             let stop = self.nxp.run(&mut self.mem, &self.env, u64::MAX / 2);
             match stop {
                 StopReason::Ecall(s) if s == svc::NXP_MIGRATE_AND_SUSPEND => {
-                    let fault_va = self
-                        .nxp_rt
-                        .thread_mut(pid)
-                        .fault_va
-                        .take()
-                        .expect("NxP migrate without saved fault target");
+                    let Some(fault_va) = self.nxp_rt.thread_mut(pid).fault_va.take() else {
+                        return Err(RunError::Protocol {
+                            side: Side::Nxp,
+                            context: "NxP migrate without a saved fault target",
+                        });
+                    };
                     let out = MigrationDescriptor {
                         kind: DescKind::NxpToHostCall,
                         target: fault_va.as_u64(),
@@ -874,6 +1474,7 @@ impl Machine {
                         pid,
                         cr3: self.nxp.cr3().as_u64(),
                         nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
+                        seq: 0, // assigned by nxp_send
                     };
                     self.stats.bump("migrations_nxp_to_host");
                     return Ok(self.nxp_send(pid, out));
@@ -888,13 +1489,17 @@ impl Machine {
                         pid,
                         cr3: self.nxp.cr3().as_u64(),
                         nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
+                        seq: 0, // assigned by nxp_send
                     };
                     self.stats.bump("returns_nxp_to_host");
                     return Ok(self.nxp_send(pid, out));
                 }
                 StopReason::Ecall(s) if s == svc::ALLOC_NXP => {
                     let size = self.nxp.reg(abi::A0);
-                    let va = self.kernel.alloc_nxp_heap(pid, size);
+                    let va = self
+                        .kernel
+                        .alloc_nxp_heap(pid, size)
+                        .map_err(RunError::Load)?;
                     self.nxp.set_reg(abi::A0, va.as_u64());
                 }
                 StopReason::Ecall(s) if s == svc::CLOCK_NS => {
@@ -955,9 +1560,13 @@ impl Machine {
     }
 
     /// Saves the NxP thread, switches to the scheduler and DMAs a
-    /// descriptor into host memory (plus MSI).
-    fn nxp_send(&mut self, pid: u64, desc: MigrationDescriptor) -> (Vec<u8>, Msi) {
+    /// descriptor into host memory (plus its wake-up MSI). The wire
+    /// bytes are retained until the host accepts them so the watchdog
+    /// can demand retransmission.
+    fn nxp_send(&mut self, pid: u64, mut desc: MigrationDescriptor) -> PendingWake {
         let nt = self.nxp_timing.clone();
+        desc.seq = self.n2h_seq;
+        self.n2h_seq += 1;
         self.nxp.clock_mut().advance(nt.desc_build);
         let ctx = self.nxp.save_context();
         self.nxp_rt.thread_mut(pid).ctx = Some(ctx);
@@ -975,9 +1584,12 @@ impl Machine {
                 bytes: bytes.len(),
             },
         );
-        let (arrival, msi) = self.dma.kick_to_host(self.nxp.clock().now(), bytes.clone());
-        let _ = arrival;
-        (bytes, msi)
+        self.retained_n2h.insert(pid, bytes.clone());
+        let now = self.nxp.clock().now();
+        let (_arrival, maybe_msi, pert) = self.dma.kick_to_host_faulty(now, bytes, &mut self.plan);
+        self.note_burst_faults(Side::Host, now, &pert);
+        let msi_at = maybe_msi.and_then(|msi| self.raise_msi(msi, now));
+        PendingWake { msi_at }
     }
 
     /// Physical address of the NxP-side descriptor buffer (the SRAM

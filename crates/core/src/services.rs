@@ -59,6 +59,15 @@ pub mod desc_layout {
     pub const CR3: u64 = 80;
     /// The thread's NxP stack pointer.
     pub const NXP_SP: u64 = 88;
+    /// Per-direction sequence number: receivers discard descriptors
+    /// whose sequence they have already accepted, making doorbell
+    /// re-kicks and retransmissions idempotent.
+    pub const SEQ: u64 = 96;
+    /// FNV-1a-64 checksum over the other 120 bytes; lets a receiver
+    /// detect DMA burst corruption and NAK for retransmission. Lives in
+    /// previously-reserved padding, so the handlers' field offsets are
+    /// unchanged.
+    pub const CRC: u64 = 104;
     /// Total wire size — one PCIe burst.
     pub const SIZE: u64 = 128;
     /// Host descriptor page only: the thread-control word holding the
@@ -69,7 +78,9 @@ pub mod desc_layout {
 
 // Compile-time layout invariants.
 const _: () = {
-    assert!(desc_layout::NXP_SP + 8 <= desc_layout::SIZE);
+    assert!(desc_layout::NXP_SP + 8 <= desc_layout::SEQ);
+    assert!(desc_layout::SEQ + 8 == desc_layout::CRC);
+    assert!(desc_layout::CRC + 8 <= desc_layout::SIZE);
     assert!(desc_layout::SIZE.is_multiple_of(64), "whole 64-byte beats");
     assert!(NXP_MIGRATE_AND_SUSPEND > MIGRATE_RETURN_AND_SUSPEND);
     assert!(EXIT < ALLOC_NXP_STACK);

@@ -41,6 +41,32 @@ fn describe(e: &Event) -> Option<(Side, String)> {
         Event::TlbMiss { side, va, levels } => {
             (*side, format!("tlb miss @ {va:#x} ({levels} levels)"))
         }
+        Event::FaultInjected { kind, to } => (*to, format!("⚡ fault: {kind}")),
+        Event::CorruptDescriptor { to, seq } => {
+            (*to, format!("bad checksum on desc #{seq}"))
+        }
+        Event::DuplicateDescriptor { to, seq } => {
+            (*to, format!("drop duplicate desc #{seq}"))
+        }
+        Event::NakSent { from, seq } => (*from, format!("NAK desc #{seq}")),
+        Event::Retransmit { to, seq, attempt } => {
+            (*to, format!("retransmit desc #{seq} (try {attempt})"))
+        }
+        Event::SpuriousWakeup { pid } => {
+            (Side::Host, format!("spurious wakeup pid {pid}"))
+        }
+        Event::WatchdogFired { pid } => {
+            (Side::Host, format!("watchdog fired pid {pid}"))
+        }
+        Event::MsiLossRecovered { pid, seq } => {
+            (Side::Host, format!("lost MSI recovered pid {pid} desc #{seq}"))
+        }
+        Event::Degraded { pid } => {
+            (Side::Host, format!("pid {pid} degraded to host interpreter"))
+        }
+        Event::EmulatedSegment { pid, from_va } => {
+            (Side::Host, format!("pid {pid} emulating NxP code @ {from_va:#x}"))
+        }
         Event::Marker(m) => (Side::Host, format!("-- {m} --")),
     })
 }

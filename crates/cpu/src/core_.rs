@@ -57,6 +57,23 @@ impl CpiModel {
             ecall: 10,
         }
     }
+
+    /// Host core running the software *interpreter* for foreign (NxP)
+    /// text — the graceful-degradation path taken when the PCIe link is
+    /// declared dead. Each guest instruction costs a dispatch loop on
+    /// the wide host core, so everything is roughly an order of
+    /// magnitude more expensive than native host execution.
+    pub fn host_emulating() -> Self {
+        CpiModel {
+            alu: 14,
+            mul: 18,
+            div: 40,
+            mem: 16,
+            branch: 15,
+            jump: 16,
+            ecall: 80,
+        }
+    }
 }
 
 /// Static configuration of one core.
@@ -84,6 +101,13 @@ pub struct CoreConfig {
     /// Allow the D-cache to cover NxP DRAM (off by default: PCIe offers
     /// no coherence, §III-D; an ablation bench flips this).
     pub dcache_nxp_dram: bool,
+    /// This core models a software interpreter executing the *other*
+    /// side's text (graceful degradation after link death). Inverts the
+    /// fetch NX convention: a host-side emulating core fetches NX-set
+    /// (NxP) pages and faults with `IsaMismatch` on NX-clear (host)
+    /// pages, so control returning to host text hands execution back to
+    /// the native core.
+    pub emulates_foreign_isa: bool,
 }
 
 impl CoreConfig {
@@ -100,6 +124,19 @@ impl CoreConfig {
             dcache: CacheConfig::host_l1(),
             walk_overhead: Picos::ZERO,
             dcache_nxp_dram: false,
+            emulates_foreign_isa: false,
+        }
+    }
+
+    /// A host core configured as the degraded-mode interpreter: decodes
+    /// RV64 text at host frequency with interpreter-loop CPI, and
+    /// accepts NX-set pages (see `emulates_foreign_isa`).
+    pub fn host_emulator() -> Self {
+        CoreConfig {
+            isa: Isa::Rv64,
+            cpi: CpiModel::host_emulating(),
+            emulates_foreign_isa: true,
+            ..CoreConfig::host()
         }
     }
 
@@ -119,6 +156,7 @@ impl CoreConfig {
             // issue reads — per missed translation.
             walk_overhead: Picos::from_nanos(150),
             dcache_nxp_dram: false,
+            emulates_foreign_isa: false,
         }
     }
 }
@@ -462,20 +500,22 @@ impl Core {
                 e
             }
         };
-        match self.cfg.side {
-            Side::Host if entry.nx => {
-                return Err(Exception::InstFault {
-                    va,
-                    kind: InstFaultKind::NxViolation,
-                })
-            }
-            Side::Nxp if !entry.nx => {
-                return Err(Exception::InstFault {
-                    va,
-                    kind: InstFaultKind::IsaMismatch,
-                })
-            }
-            _ => {}
+        // Fetch NX convention: host cores execute NX-clear pages, NxP
+        // cores NX-set pages; an emulating core accepts the opposite
+        // side's pages (it interprets foreign text in software). The
+        // fault kind follows the page, not the core: fetching NX-set
+        // text on a non-accepting core is the Flick migration trigger
+        // (NxViolation); fetching NX-clear text is an encoding mismatch.
+        let expects_nx = matches!(self.cfg.side, Side::Nxp) != self.cfg.emulates_foreign_isa;
+        if entry.nx != expects_nx {
+            return Err(Exception::InstFault {
+                va,
+                kind: if entry.nx {
+                    InstFaultKind::NxViolation
+                } else {
+                    InstFaultKind::IsaMismatch
+                },
+            });
         }
         if !va.as_u64().is_multiple_of(self.cfg.isa.fetch_align()) {
             return Err(Exception::InstFault {
@@ -963,6 +1003,36 @@ mod tests {
         fx.core.set_pc(VirtAddr(0x40_0000));
         assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 100), StopReason::Halt);
         assert_eq!(fx.core.reg(abi::A0), 7);
+    }
+
+    #[test]
+    fn emulator_core_runs_nx_pages_and_bounces_off_host_text() {
+        // The degraded-mode interpreter accepts NX-set (NxP) text...
+        let mut fx = fixture(CoreConfig::host_emulator());
+        fx.aspace
+            .protect(&mut fx.mem, VirtAddr(0x40_0000), 0x1000, flags::NX, 0)
+            .unwrap();
+        fx.core.flush_tlbs();
+        let mut f = FuncBuilder::new("w", TargetIsa::Nxp);
+        f.li(abi::A0, 21);
+        f.addi(abi::A0, abi::A0, 21);
+        f.halt();
+        let enc = Isa::Rv64.encode(&f.finish()).unwrap();
+        fx.mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+        fx.core.set_pc(VirtAddr(0x40_0000));
+        assert_eq!(fx.core.run(&mut fx.mem, &fx.env, 100), StopReason::Halt);
+        assert_eq!(fx.core.reg(abi::A0), 42);
+        // ...and faults with IsaMismatch on NX-clear (host) pages, the
+        // signal that hands control back to the native host core.
+        fx.core.set_pc(VirtAddr(0x50_0000));
+        let stop = fx.core.run(&mut fx.mem, &fx.env, 10);
+        assert_eq!(
+            stop,
+            StopReason::Fault(Exception::InstFault {
+                va: VirtAddr(0x50_0000),
+                kind: InstFaultKind::IsaMismatch,
+            })
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use flick_toolchain::{MultiIsaImage, Placement, SegmentKind};
 use std::error::Error;
 use std::fmt;
 
-/// Errors while loading a multi-ISA executable.
+/// Errors while loading a multi-ISA executable or servicing a process's
+/// memory requests. The resource-exhaustion and bad-pointer variants
+/// are *guest-reachable*: a user program can trigger them with a large
+/// enough allocation or a wild pointer, so they surface as errors
+/// rather than simulator panics.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum LoadError {
     /// Page-table manipulation failed.
@@ -21,6 +25,13 @@ pub enum LoadError {
     SegmentOutsideWindow(String),
     /// A host-placed segment overlaps a reserved region.
     BadSegment(String),
+    /// A user-supplied pointer touched unmapped memory
+    /// (`copy_from_user`/`copy_to_user` would have returned `-EFAULT`).
+    UserFault(VirtAddr),
+    /// The NxP SRAM stack window has no free slots left.
+    NxpSramExhausted,
+    /// The per-process NxP DRAM heap window is exhausted.
+    NxpDramExhausted,
 }
 
 impl fmt::Display for LoadError {
@@ -31,6 +42,11 @@ impl fmt::Display for LoadError {
                 write!(f, "segment `{s}` outside the NxP window")
             }
             LoadError::BadSegment(s) => write!(f, "segment `{s}` not loadable"),
+            LoadError::UserFault(va) => {
+                write!(f, "user pointer {:#x} touches unmapped memory", va.as_u64())
+            }
+            LoadError::NxpSramExhausted => write!(f, "NxP stack SRAM exhausted"),
+            LoadError::NxpDramExhausted => write!(f, "NxP DRAM heap exhausted"),
         }
     }
 }
@@ -327,31 +343,30 @@ impl Kernel {
     /// host-DRAM block under the stack ablation) and records the stack
     /// pointer in the `task_struct`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the SRAM window is exhausted.
-    pub fn alloc_nxp_stack(&mut self, mem: &mut PhysMem, pid: u64) -> VirtAddr {
+    /// [`LoadError::NxpSramExhausted`] when no stack slots remain — a
+    /// guest-reachable condition (spawn enough threads), so it is an
+    /// error, not a panic.
+    pub fn alloc_nxp_stack(&mut self, mem: &mut PhysMem, pid: u64) -> Result<VirtAddr, LoadError> {
         if self.config.stacks_in_host_dram {
-            let base = self
-                .alloc_host_heap(mem, pid, NXP_STACK_SLOT)
-                .expect("host heap for ablated NxP stack");
+            let base = self.alloc_host_heap(mem, pid, NXP_STACK_SLOT)?;
             let sp = VirtAddr(base.as_u64() + NXP_STACK_SLOT - 128);
             self.task_mut(pid).nxp_stack_ptr = sp;
-            return sp;
+            return Ok(sp);
         }
         // Keep the last page for the descriptor buffer.
         let usable = layout::NXP_STACK_SIZE - PAGE_SIZE;
         let slot = self.next_stack_slot;
-        assert!(
-            (slot + 1) * NXP_STACK_SLOT <= usable,
-            "NxP stack SRAM exhausted"
-        );
+        if (slot + 1) * NXP_STACK_SLOT > usable {
+            return Err(LoadError::NxpSramExhausted);
+        }
         self.next_stack_slot += 1;
         // Stack grows down from the top of the slot; keep a small
         // red zone below the top.
         let sp = VirtAddr(layout::NXP_STACK_VA + (slot + 1) * NXP_STACK_SLOT - 128);
         self.task_mut(pid).nxp_stack_ptr = sp;
-        sp
+        Ok(sp)
     }
 
     /// `brk`-style host-heap allocation: extends the mapping as needed
@@ -390,46 +405,74 @@ impl Kernel {
     /// NxP-DRAM heap allocation: a pure bump (the window is premapped),
     /// which is the "separate memory allocator for each core's local
     /// memory" of §III-D.
-    pub fn alloc_nxp_heap(&mut self, pid: u64, size: u64) -> VirtAddr {
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::NxpDramExhausted`] when the bump pointer would
+    /// leave the window — reachable from the guest's `nxp_malloc`.
+    pub fn alloc_nxp_heap(&mut self, pid: u64, size: u64) -> Result<VirtAddr, LoadError> {
         let task = self.task_mut(pid);
         let base = VirtAddr((task.nxp_brk.as_u64() + 15) & !15);
-        let end = base.as_u64() + size;
-        assert!(
-            end <= layout::NXP_WINDOW_VA + layout::NXP_WINDOW_SIZE,
-            "NxP DRAM exhausted"
-        );
+        let end = match base.as_u64().checked_add(size) {
+            Some(e) if e <= layout::NXP_WINDOW_VA + layout::NXP_WINDOW_SIZE => e,
+            _ => return Err(LoadError::NxpDramExhausted),
+        };
         task.nxp_brk = VirtAddr(end);
-        base
+        Ok(base)
     }
 
     /// Reads user memory through the task's page tables (kernel-style
     /// `copy_from_user`; no simulated-time charge).
-    pub fn read_user(&self, mem: &PhysMem, pid: u64, va: VirtAddr, buf: &mut [u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::UserFault`] if any byte of the range is unmapped —
+    /// the kernel's `-EFAULT`, reachable from any guest-supplied
+    /// pointer (e.g. `flick_print_str` with a wild address).
+    pub fn read_user(
+        &self,
+        mem: &PhysMem,
+        pid: u64,
+        va: VirtAddr,
+        buf: &mut [u8],
+    ) -> Result<(), LoadError> {
         let cr3 = self.task(pid).cr3;
         let mut off = 0usize;
         while off < buf.len() {
             let cur = VirtAddr(va.as_u64() + off as u64);
-            let t = walk(|a| mem.read_u64(a), cr3, cur).expect("read_user: unmapped");
+            let t = walk(|a| mem.read_u64(a), cr3, cur).map_err(|_| LoadError::UserFault(cur))?;
             let in_page = (t.page.bytes() - (cur.as_u64() & (t.page.bytes() - 1))) as usize;
             let n = in_page.min(buf.len() - off);
             mem.read_bytes(t.pa, &mut buf[off..off + n]);
             off += n;
         }
+        Ok(())
     }
 
     /// Writes user memory through the task's page tables
     /// (`copy_to_user`).
-    pub fn write_user(&self, mem: &mut PhysMem, pid: u64, va: VirtAddr, buf: &[u8]) {
+    ///
+    /// # Errors
+    ///
+    /// [`LoadError::UserFault`] if any byte of the range is unmapped.
+    pub fn write_user(
+        &self,
+        mem: &mut PhysMem,
+        pid: u64,
+        va: VirtAddr,
+        buf: &[u8],
+    ) -> Result<(), LoadError> {
         let cr3 = self.task(pid).cr3;
         let mut off = 0usize;
         while off < buf.len() {
             let cur = VirtAddr(va.as_u64() + off as u64);
-            let t = walk(|a| mem.read_u64(a), cr3, cur).expect("write_user: unmapped");
+            let t = walk(|a| mem.read_u64(a), cr3, cur).map_err(|_| LoadError::UserFault(cur))?;
             let in_page = (t.page.bytes() - (cur.as_u64() & (t.page.bytes() - 1))) as usize;
             let n = in_page.min(buf.len() - off);
             mem.write_bytes(t.pa, &buf[off..off + n]);
             off += n;
         }
+        Ok(())
     }
 
     /// Transitions a task into the suspended migration-wait state,
@@ -448,12 +491,26 @@ impl Kernel {
     ///
     /// # Panics
     ///
-    /// Panics if the task is not in migration wait.
+    /// Panics if the task is not in migration wait. Interrupt-driven
+    /// callers that can legitimately race a duplicate MSI should use
+    /// [`Kernel::try_wake_from_migration`] instead.
     pub fn wake_from_migration(&mut self, pid: u64) {
+        assert!(self.try_wake_from_migration(pid), "spurious wakeup");
+    }
+
+    /// Non-panicking wake: returns `false` (and changes nothing) if the
+    /// task is not in `MigrationWait` — a *spurious* wakeup, which a
+    /// duplicated MSI produces legitimately. Clears the watchdog
+    /// deadline on a real wake.
+    pub fn try_wake_from_migration(&mut self, pid: u64) -> bool {
         let task = self.task_mut(pid);
-        assert_eq!(task.state, TaskState::MigrationWait, "spurious wakeup");
+        if task.state != TaskState::MigrationWait {
+            return false;
+        }
         task.state = TaskState::Runnable;
         task.migration_flag = false;
+        task.deadline = None;
+        true
     }
 }
 
@@ -535,9 +592,9 @@ mod tests {
         let hostvar = image.find_symbol("hostvar").unwrap();
         let nxpvar = image.find_symbol("nxpvar").unwrap();
         let mut buf = [0u8; 8];
-        kernel.read_user(&mem, pid, VirtAddr(hostvar), &mut buf);
+        kernel.read_user(&mem, pid, VirtAddr(hostvar), &mut buf).unwrap();
         assert_eq!(buf[0], 7);
-        kernel.read_user(&mem, pid, VirtAddr(nxpvar), &mut buf);
+        kernel.read_user(&mem, pid, VirtAddr(nxpvar), &mut buf).unwrap();
         assert_eq!(buf, [9u8; 8]);
         assert!(nxpvar >= layout::NXP_WINDOW_VA);
     }
@@ -563,9 +620,9 @@ mod tests {
         let a = kernel.alloc_host_heap(&mut mem, pid, 100).unwrap();
         let b = kernel.alloc_host_heap(&mut mem, pid, 10_000).unwrap();
         assert!(b.as_u64() >= a.as_u64() + 100);
-        kernel.write_user(&mut mem, pid, b, &[0xEE; 100]);
+        kernel.write_user(&mut mem, pid, b, &[0xEE; 100]).unwrap();
         let mut buf = [0u8; 100];
-        kernel.read_user(&mem, pid, b, &mut buf);
+        kernel.read_user(&mem, pid, b, &mut buf).unwrap();
         assert_eq!(buf, [0xEE; 100]);
     }
 
@@ -575,8 +632,8 @@ mod tests {
         let mut kernel = Kernel::new(&mut mem);
         let image = simple_image();
         let pid = kernel.create_process(&mut mem, &image).unwrap();
-        let a = kernel.alloc_nxp_heap(pid, 64);
-        let b = kernel.alloc_nxp_heap(pid, 64);
+        let a = kernel.alloc_nxp_heap(pid, 64).unwrap();
+        let b = kernel.alloc_nxp_heap(pid, 64).unwrap();
         assert!(a.as_u64() >= layout::NXP_WINDOW_VA);
         assert!(b.as_u64() >= a.as_u64() + 64);
     }
@@ -588,8 +645,8 @@ mod tests {
         let image = simple_image();
         let p1 = kernel.create_process(&mut mem, &image).unwrap();
         let p2 = kernel.create_process(&mut mem, &image).unwrap();
-        let s1 = kernel.alloc_nxp_stack(&mut mem, p1);
-        let s2 = kernel.alloc_nxp_stack(&mut mem, p2);
+        let s1 = kernel.alloc_nxp_stack(&mut mem, p1).unwrap();
+        let s2 = kernel.alloc_nxp_stack(&mut mem, p2).unwrap();
         assert_ne!(s1, s2);
         assert!(kernel.task(p1).has_nxp_stack());
         assert_eq!(
@@ -641,9 +698,9 @@ mod tests {
         assert_ne!(kernel.task(p1).cr3, kernel.task(p2).cr3);
         let hostvar = image.find_symbol("hostvar").unwrap();
         // Writing p1's copy must not affect p2's.
-        kernel.write_user(&mut mem, p1, VirtAddr(hostvar), &[0xFF]);
+        kernel.write_user(&mut mem, p1, VirtAddr(hostvar), &[0xFF]).unwrap();
         let mut buf = [0u8; 1];
-        kernel.read_user(&mem, p2, VirtAddr(hostvar), &mut buf);
+        kernel.read_user(&mem, p2, VirtAddr(hostvar), &mut buf).unwrap();
         assert_eq!(buf[0], 7);
     }
 }

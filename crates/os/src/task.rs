@@ -2,6 +2,7 @@
 
 use flick_cpu::CpuContext;
 use flick_mem::{PhysAddr, VirtAddr};
+use flick_sim::Picos;
 use std::fmt;
 
 /// Scheduling state of a task.
@@ -51,6 +52,14 @@ pub struct TaskStruct {
     /// the descriptor DMA only *after* the context switch, avoiding the
     /// race described in §IV-D.
     pub migration_flag: bool,
+    /// **Recovery field**: absolute simulated time at which the
+    /// migration watchdog fires if no wake-up MSI has arrived. Armed on
+    /// suspension, cleared on wake-up.
+    pub deadline: Option<Picos>,
+    /// **Recovery field**: the PCIe link was declared dead for this
+    /// thread; its NxP calls now run through the host-side interpreter
+    /// instead of migrating.
+    pub degraded: bool,
     /// Exit code once `Zombie`.
     pub exit_code: u64,
     /// Bump pointer for this process's host heap.
@@ -70,6 +79,8 @@ impl TaskStruct {
             fault_va: None,
             nxp_stack_ptr: VirtAddr::NULL,
             migration_flag: false,
+            deadline: None,
+            degraded: false,
             exit_code: 0,
             host_brk: VirtAddr(flick_toolchain::layout::HOST_HEAP_BASE),
             nxp_brk: VirtAddr::NULL,

@@ -44,6 +44,18 @@ pub struct OsTiming {
     pub nxp_stack_setup: Picos,
     /// `mmap`-style page allocation per 4 KiB page (loader, heap).
     pub page_alloc: Picos,
+    /// How long a suspended thread waits for its wake-up MSI before the
+    /// migration watchdog fires and polls the descriptor ring directly
+    /// (recovering from a lost interrupt, or deciding to retransmit).
+    pub migration_watchdog: Picos,
+    /// Building and kicking a NAK after a checksum-rejected descriptor.
+    pub nak_path: Picos,
+    /// Base back-off before the first host→NxP retransmission; doubles
+    /// per attempt (bounded by `max_link_attempts`).
+    pub retry_backoff: Picos,
+    /// Delivery attempts per descriptor before the link is declared
+    /// dead and the call degrades to the host interpreter.
+    pub max_link_attempts: u32,
 }
 
 impl OsTiming {
@@ -62,6 +74,12 @@ impl OsTiming {
             wakeup_and_schedule: Picos::from_nanos(8_830),
             nxp_stack_setup: Picos::from_nanos(2_000),
             page_alloc: Picos::from_nanos(400),
+            // Generous versus the ~18 µs round trip so the watchdog
+            // never fires on a healthy link.
+            migration_watchdog: Picos::from_micros(200),
+            nak_path: Picos::from_nanos(900),
+            retry_backoff: Picos::from_micros(5),
+            max_link_attempts: 7,
         }
     }
 }

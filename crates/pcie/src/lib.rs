@@ -32,7 +32,7 @@
 //! ```
 
 use flick_mem::LatencyModel;
-use flick_sim::Picos;
+use flick_sim::{BurstPerturbation, FaultPlan, MsiFate, Picos};
 use std::collections::VecDeque;
 
 /// An MSI interrupt raised toward the host.
@@ -111,6 +111,24 @@ impl DmaEngine {
     /// Returns the time at which the NxP-side status register shows the
     /// descriptor (the earliest instant a poll can see it).
     pub fn kick_to_nxp(&mut self, now: Picos, bytes: Vec<u8>) -> Picos {
+        self.kick_to_nxp_faulty(now, bytes, &mut FaultPlan::none()).0
+    }
+
+    /// [`DmaEngine::kick_to_nxp`] with a fault-injection point: the plan
+    /// may corrupt the payload in flight, stall the link, or drop the
+    /// burst entirely (nothing lands; the status register never shows
+    /// it).
+    ///
+    /// Returns the arrival time the burst lands (or would have landed,
+    /// when dropped — the mover is busy either way) and what was
+    /// injected.
+    pub fn kick_to_nxp_faulty(
+        &mut self,
+        now: Picos,
+        mut bytes: Vec<u8>,
+        plan: &mut FaultPlan,
+    ) -> (Picos, BurstPerturbation) {
+        let perturbation = plan.perturb_burst(&mut bytes);
         // Doorbell: posted write host→NxP MMIO.
         let doorbell = self.latency.host_to_nxp_write;
         // Engine fetches the descriptor from host DRAM: one read round
@@ -119,11 +137,13 @@ impl DmaEngine {
         // same direction serialise.
         let start = (now + doorbell).max(self.nxp_busy_until);
         let fetch = self.latency.nxp_to_host_read + self.latency.dma_transfer(bytes.len());
-        let arrival = start + fetch;
+        let arrival = start + fetch + perturbation.stall;
         self.nxp_busy_until = arrival;
-        self.to_nxp.push_back(InFlight { arrival, bytes });
         self.bursts_to_nxp += 1;
-        arrival
+        if !perturbation.dropped {
+            self.to_nxp.push_back(InFlight { arrival, bytes });
+        }
+        (arrival, perturbation)
     }
 
     /// NxP runtime sends a descriptor to the host: local register write,
@@ -132,20 +152,43 @@ impl DmaEngine {
     /// Returns `(descriptor_arrival, msi)`; the MSI trails the payload so
     /// the kernel never observes the interrupt before the data.
     pub fn kick_to_host(&mut self, now: Picos, bytes: Vec<u8>) -> (Picos, Msi) {
+        let (arrival, msi, _) = self.kick_to_host_faulty(now, bytes, &mut FaultPlan::none());
+        (arrival, msi.expect("no-fault plan always delivers"))
+    }
+
+    /// [`DmaEngine::kick_to_host`] with a fault-injection point.
+    ///
+    /// A dropped burst loses payload *and* interrupt (the engine raises
+    /// the MSI only after the write burst completes), so `msi` is `None`
+    /// and nothing enters the host ring; corruption and stalls land the
+    /// damaged/late payload with its MSI as usual. MSI-specific faults
+    /// (drop/duplicate) are injected later, at the interrupt controller
+    /// — see [`InterruptController::raise_with`].
+    pub fn kick_to_host_faulty(
+        &mut self,
+        now: Picos,
+        mut bytes: Vec<u8>,
+        plan: &mut FaultPlan,
+    ) -> (Picos, Option<Msi>, BurstPerturbation) {
+        let perturbation = plan.perturb_burst(&mut bytes);
         let start = (now + self.latency.nxp_to_local_mmio).max(self.host_busy_until);
         let push = self.latency.dma_transfer(bytes.len()) + self.latency.nxp_to_host_write;
-        let arrival = start + push;
+        let arrival = start + push + perturbation.stall;
         self.host_busy_until = arrival;
+        self.bursts_to_host += 1;
+        if perturbation.dropped {
+            return (arrival, None, perturbation);
+        }
         // The MSI is one more posted write behind the payload.
         let msi_at = arrival + self.latency.nxp_to_host_write;
         self.to_host.push_back(InFlight { arrival, bytes });
-        self.bursts_to_host += 1;
         (
             arrival,
-            Msi {
+            Some(Msi {
                 vector: self.msi_vector,
                 at: msi_at,
-            },
+            }),
+            perturbation,
         )
     }
 
@@ -212,6 +255,23 @@ impl InterruptController {
             .position(|m| m.at > msi.at)
             .unwrap_or(self.pending.len());
         self.pending.insert(pos, msi);
+    }
+
+    /// [`InterruptController::raise`] with a fault-injection point: the
+    /// plan may lose the interrupt on its way to the LAPIC (the host
+    /// must then notice the descriptor by watchdog-driven ring polling)
+    /// or deliver it twice (the extra edge causes a spurious wakeup).
+    pub fn raise_with(&mut self, msi: Msi, plan: &mut FaultPlan) -> MsiFate {
+        let fate = plan.msi_fate();
+        match fate {
+            MsiFate::Dropped => {}
+            MsiFate::Duplicated => {
+                self.raise(msi.clone());
+                self.raise(msi);
+            }
+            MsiFate::Delivered => self.raise(msi),
+        }
+        fate
     }
 
     /// Pops the next interrupt deliverable at or before `now`.
@@ -307,6 +367,84 @@ mod tests {
         let small = a.kick_to_nxp(Picos::ZERO, vec![0u8; 64]);
         let large = b.kick_to_nxp(Picos::ZERO, vec![0u8; 4096]);
         assert!(large > small);
+    }
+
+    #[test]
+    fn dropped_burst_never_becomes_visible() {
+        let mut dma = DmaEngine::paper_default();
+        let mut plan = FaultPlan::seeded(1).with_drop_burst(1.0);
+        let (arrival, p) = dma.kick_to_nxp_faulty(Picos::ZERO, vec![9u8; 128], &mut plan);
+        assert!(p.dropped);
+        assert!(!dma.status_nxp(arrival + Picos::from_micros(100)));
+        assert_eq!(dma.poll_nxp(arrival + Picos::from_micros(100)), None);
+        // The burst still counts (the wire carried it) and the mover was
+        // occupied.
+        assert_eq!(dma.bursts_to_nxp(), 1);
+    }
+
+    #[test]
+    fn stalled_burst_arrives_late_but_intact() {
+        let mut clean = DmaEngine::paper_default();
+        let baseline = clean.kick_to_nxp(Picos::ZERO, vec![7u8; 128]);
+        let mut dma = DmaEngine::paper_default();
+        let mut plan = FaultPlan::seeded(2).with_stall(1.0, Picos::from_micros(25));
+        let (arrival, p) = dma.kick_to_nxp_faulty(Picos::ZERO, vec![7u8; 128], &mut plan);
+        assert!(p.stall > Picos::ZERO);
+        assert_eq!(arrival, baseline + p.stall);
+        assert_eq!(dma.poll_nxp(arrival), Some(vec![7u8; 128]));
+    }
+
+    #[test]
+    fn corrupted_burst_lands_damaged() {
+        let mut dma = DmaEngine::paper_default();
+        let mut plan = FaultPlan::seeded(3).with_corrupt(1.0);
+        let (arrival, msi, p) =
+            dma.kick_to_host_faulty(Picos::ZERO, vec![0u8; 128], &mut plan);
+        let idx = p.corrupted.unwrap();
+        let landed = dma.take_host_desc(arrival).unwrap();
+        assert_ne!(landed[idx], 0, "payload must land corrupted");
+        assert!(msi.is_some(), "corruption does not lose the interrupt");
+    }
+
+    #[test]
+    fn dropped_host_burst_loses_its_msi_too() {
+        let mut dma = DmaEngine::paper_default();
+        let mut plan = FaultPlan::seeded(4).with_drop_burst(1.0);
+        let (arrival, msi, p) =
+            dma.kick_to_host_faulty(Picos::ZERO, vec![1u8; 128], &mut plan);
+        assert!(p.dropped);
+        assert!(msi.is_none());
+        assert_eq!(dma.take_host_desc(arrival + Picos::from_micros(50)), None);
+    }
+
+    #[test]
+    fn faultless_plan_matches_plain_kicks_exactly() {
+        let mut a = DmaEngine::paper_default();
+        let mut b = DmaEngine::paper_default();
+        let mut plan = FaultPlan::none();
+        for i in 0..4u8 {
+            let t = Picos::from_micros(i as u64);
+            let plain = a.kick_to_nxp(t, vec![i; 128]);
+            let (faulty, p) = b.kick_to_nxp_faulty(t, vec![i; 128], &mut plan);
+            assert!(p.is_clean());
+            assert_eq!(plain, faulty);
+        }
+        assert_eq!(a.poll_nxp(Picos::from_millis(1)), b.poll_nxp(Picos::from_millis(1)));
+    }
+
+    #[test]
+    fn msi_drop_and_duplicate_at_controller() {
+        let msi = Msi {
+            vector: 0,
+            at: Picos::from_nanos(100),
+        };
+        let mut ic = InterruptController::new();
+        let mut drop_plan = FaultPlan::seeded(5).with_drop_msi(1.0);
+        assert_eq!(ic.raise_with(msi.clone(), &mut drop_plan), MsiFate::Dropped);
+        assert_eq!(ic.pending(), 0);
+        let mut dup_plan = FaultPlan::seeded(6).with_dup_msi(1.0);
+        assert_eq!(ic.raise_with(msi, &mut dup_plan), MsiFate::Duplicated);
+        assert_eq!(ic.pending(), 2);
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Seeded, deterministic fault injection for the interconnect model.
+//!
+//! A [`FaultPlan`] decides — from its own [`Xoshiro256`] stream — which
+//! DMA bursts get corrupted, dropped or stalled and which MSIs get lost
+//! or duplicated. Because every decision is a pure function of the seed
+//! and the (deterministic) order of injection-point calls, any chaos run
+//! replays bit-identically from its seed.
+//!
+//! [`FaultPlan::none`] is the zero-cost default: it is `enabled: false`,
+//! draws nothing from the RNG and perturbs nothing, so a machine built
+//! with it produces timelines identical to one with no fault layer at
+//! all.
+
+use crate::rng::Xoshiro256;
+use crate::time::Picos;
+
+/// How a single DMA burst was perturbed at an injection point.
+///
+/// Faults layer: a burst can be both corrupted and stalled. A dropped
+/// burst is exclusive — nothing arrives, so the other perturbations are
+/// moot and not drawn.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BurstPerturbation {
+    /// The burst never arrives at the receiver.
+    pub dropped: bool,
+    /// One payload byte was flipped (its index), defeating naive trust
+    /// in the wire format; receivers detect this via the descriptor
+    /// checksum.
+    pub corrupted: Option<usize>,
+    /// Extra link latency added to the arrival time.
+    pub stall: Picos,
+}
+
+impl BurstPerturbation {
+    /// True when nothing was perturbed.
+    pub fn is_clean(&self) -> bool {
+        !self.dropped && self.corrupted.is_none() && self.stall == Picos::ZERO
+    }
+}
+
+/// What the fault injector decided for one MSI delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsiFate {
+    /// Delivered normally.
+    Delivered,
+    /// Silently lost; the host must notice via its migration watchdog.
+    Dropped,
+    /// Delivered twice; the second wakeup is spurious.
+    Duplicated,
+}
+
+/// Per-kind injection counters, for post-run audits ("every injected
+/// fault was recovered").
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Corrupted DMA bursts.
+    pub corrupt_burst: u64,
+    /// Dropped DMA bursts.
+    pub drop_burst: u64,
+    /// Transient link stalls.
+    pub link_stall: u64,
+    /// Dropped MSIs.
+    pub drop_msi: u64,
+    /// Duplicated MSIs.
+    pub dup_msi: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected.
+    pub fn total(&self) -> u64 {
+        self.corrupt_burst + self.drop_burst + self.link_stall + self.drop_msi + self.dup_msi
+    }
+}
+
+/// A seeded, replayable fault-injection plan.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{FaultPlan, Picos};
+///
+/// // Disabled plan: zero cost, zero perturbation.
+/// let mut none = FaultPlan::none();
+/// let mut burst = [0u8; 128];
+/// assert!(none.perturb_burst(&mut burst).is_clean());
+///
+/// // Seeded plan: deterministic — two plans with the same seed and the
+/// // same call sequence make identical decisions.
+/// let mk = || {
+///     FaultPlan::seeded(7)
+///         .with_corrupt(0.5)
+///         .with_stall(0.5, Picos::from_micros(10))
+/// };
+/// let (mut a, mut b) = (mk(), mk());
+/// for _ in 0..32 {
+///     let mut x = [0u8; 128];
+///     let mut y = [0u8; 128];
+///     assert_eq!(a.perturb_burst(&mut x), b.perturb_burst(&mut y));
+///     assert_eq!(x, y);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    enabled: bool,
+    seed: u64,
+    rng: Xoshiro256,
+    p_corrupt_burst: f64,
+    p_drop_burst: f64,
+    p_link_stall: f64,
+    max_stall: Picos,
+    p_drop_msi: f64,
+    p_dup_msi: f64,
+    max_injections: u64,
+    skip: u64,
+    counts: FaultCounts,
+}
+
+impl FaultPlan {
+    /// The disabled plan: no RNG draws, no perturbation, no cost.
+    pub fn none() -> Self {
+        FaultPlan {
+            enabled: false,
+            seed: 0,
+            rng: Xoshiro256::seeded(0),
+            p_corrupt_burst: 0.0,
+            p_drop_burst: 0.0,
+            p_link_stall: 0.0,
+            max_stall: Picos::ZERO,
+            p_drop_msi: 0.0,
+            p_dup_msi: 0.0,
+            max_injections: u64::MAX,
+            skip: 0,
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// An enabled plan with all probabilities zero; dial in faults with
+    /// the `with_*` knobs.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            enabled: true,
+            seed,
+            rng: Xoshiro256::seeded(seed),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// A moderately hostile preset used by the chaos soak tests: every
+    /// fault kind enabled at a rate where multi-fault migrations are
+    /// common but bounded retransmission always converges.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan::seeded(seed)
+            .with_corrupt(0.10)
+            .with_drop_burst(0.08)
+            .with_stall(0.12, Picos::from_micros(25))
+            .with_drop_msi(0.10)
+            .with_dup_msi(0.10)
+    }
+
+    /// Probability that a DMA burst has one byte flipped.
+    pub fn with_corrupt(mut self, p: f64) -> Self {
+        self.p_corrupt_burst = p;
+        self
+    }
+
+    /// Probability that a DMA burst is silently dropped.
+    pub fn with_drop_burst(mut self, p: f64) -> Self {
+        self.p_drop_burst = p;
+        self
+    }
+
+    /// Probability of a transient link stall, and the worst-case extra
+    /// latency (the actual stall is uniform in `(0, max]`).
+    pub fn with_stall(mut self, p: f64, max: Picos) -> Self {
+        self.p_link_stall = p;
+        self.max_stall = max;
+        self
+    }
+
+    /// Probability that an MSI is lost.
+    pub fn with_drop_msi(mut self, p: f64) -> Self {
+        self.p_drop_msi = p;
+        self
+    }
+
+    /// Probability that an MSI is delivered twice.
+    pub fn with_dup_msi(mut self, p: f64) -> Self {
+        self.p_dup_msi = p;
+        self
+    }
+
+    /// Stops injecting after `n` faults (the plan then behaves as
+    /// disabled); keeps adversarial runs finite.
+    pub fn with_max_injections(mut self, n: u64) -> Self {
+        self.max_injections = n;
+        self
+    }
+
+    /// Leaves the first `n` injection points (bursts *and* MSIs,
+    /// counted together in call order) unperturbed, without consuming
+    /// randomness. This stages fault onset deep into a protocol — e.g.
+    /// letting a call leg deliver cleanly and then killing the return
+    /// leg.
+    pub fn with_skip(mut self, n: u64) -> Self {
+        self.skip = n;
+        self
+    }
+
+    /// True when this plan can still inject faults.
+    pub fn is_active(&self) -> bool {
+        self.enabled && self.counts.total() < self.max_injections
+    }
+
+    /// The seed this plan was built from (0 for [`FaultPlan::none`]).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// What has been injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        self.counts
+    }
+
+    /// Injection point for one DMA burst: decides drop/corrupt/stall
+    /// and applies the corruption to `bytes` in place.
+    pub fn perturb_burst(&mut self, bytes: &mut [u8]) -> BurstPerturbation {
+        if !self.is_active() {
+            return BurstPerturbation::default();
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return BurstPerturbation::default();
+        }
+        if self.rng.gen_bool(self.p_drop_burst) {
+            self.counts.drop_burst += 1;
+            return BurstPerturbation {
+                dropped: true,
+                ..BurstPerturbation::default()
+            };
+        }
+        let mut p = BurstPerturbation::default();
+        if !bytes.is_empty() && self.rng.gen_bool(self.p_corrupt_burst) {
+            let idx = self.rng.gen_range(0, bytes.len() as u64) as usize;
+            let flip = (self.rng.gen_range(1, 256)) as u8;
+            bytes[idx] ^= flip;
+            self.counts.corrupt_burst += 1;
+            p.corrupted = Some(idx);
+        }
+        if self.rng.gen_bool(self.p_link_stall) && self.max_stall > Picos::ZERO {
+            let stall = Picos(self.rng.gen_range(1, self.max_stall.0 + 1));
+            self.counts.link_stall += 1;
+            p.stall = stall;
+        }
+        p
+    }
+
+    /// Injection point for one MSI delivery.
+    pub fn msi_fate(&mut self) -> MsiFate {
+        if !self.is_active() {
+            return MsiFate::Delivered;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return MsiFate::Delivered;
+        }
+        if self.rng.gen_bool(self.p_drop_msi) {
+            self.counts.drop_msi += 1;
+            return MsiFate::Dropped;
+        }
+        if self.rng.gen_bool(self.p_dup_msi) {
+            self.counts.dup_msi += 1;
+            return MsiFate::Duplicated;
+        }
+        MsiFate::Delivered
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inert_and_drawless() {
+        let mut plan = FaultPlan::none();
+        let before = plan.rng.clone();
+        let mut bytes = [0xAA; 64];
+        for _ in 0..100 {
+            assert!(plan.perturb_burst(&mut bytes).is_clean());
+            assert_eq!(plan.msi_fate(), MsiFate::Delivered);
+        }
+        assert_eq!(bytes, [0xAA; 64]);
+        assert_eq!(plan.counts().total(), 0);
+        // The RNG stream was never consumed.
+        assert_eq!(plan.rng.next_u64(), before.clone().next_u64());
+    }
+
+    #[test]
+    fn same_seed_same_decisions() {
+        let mk = || FaultPlan::chaos(0xFEED);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..500 {
+            let mut x = [0x5Au8; 128];
+            let mut y = [0x5Au8; 128];
+            assert_eq!(a.perturb_burst(&mut x), b.perturb_burst(&mut y));
+            assert_eq!(x, y);
+            assert_eq!(a.msi_fate(), b.msi_fate());
+        }
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn chaos_plan_injects_every_kind() {
+        let mut plan = FaultPlan::chaos(3);
+        for _ in 0..2000 {
+            let mut bytes = [0u8; 128];
+            plan.perturb_burst(&mut bytes);
+            plan.msi_fate();
+        }
+        let c = plan.counts();
+        assert!(c.corrupt_burst > 0, "{c:?}");
+        assert!(c.drop_burst > 0, "{c:?}");
+        assert!(c.link_stall > 0, "{c:?}");
+        assert!(c.drop_msi > 0, "{c:?}");
+        assert!(c.dup_msi > 0, "{c:?}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_byte() {
+        let mut plan = FaultPlan::seeded(11).with_corrupt(1.0);
+        let clean = [0x33u8; 128];
+        let mut bytes = clean;
+        let p = plan.perturb_burst(&mut bytes);
+        let idx = p.corrupted.expect("p=1 must corrupt");
+        assert_ne!(bytes[idx], clean[idx]);
+        let diffs = bytes.iter().zip(&clean).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+    }
+
+    #[test]
+    fn max_injections_caps_the_plan() {
+        let mut plan = FaultPlan::seeded(5).with_drop_burst(1.0).with_max_injections(3);
+        let mut dropped = 0;
+        for _ in 0..10 {
+            let mut b = [0u8; 8];
+            if plan.perturb_burst(&mut b).dropped {
+                dropped += 1;
+            }
+        }
+        assert_eq!(dropped, 3);
+        assert!(!plan.is_active());
+    }
+
+    #[test]
+    fn skip_delays_fault_onset() {
+        let mut plan = FaultPlan::seeded(2).with_drop_burst(1.0).with_skip(3);
+        let mut fates = Vec::new();
+        for _ in 0..5 {
+            let mut b = [0u8; 8];
+            fates.push(plan.perturb_burst(&mut b).dropped);
+        }
+        assert_eq!(fates, [false, false, false, true, true]);
+    }
+
+    #[test]
+    fn stall_bounded_by_max() {
+        let max = Picos::from_micros(25);
+        let mut plan = FaultPlan::seeded(9).with_stall(1.0, max);
+        for _ in 0..200 {
+            let mut b = [0u8; 8];
+            let p = plan.perturb_burst(&mut b);
+            assert!(p.stall > Picos::ZERO && p.stall <= max, "{:?}", p.stall);
+        }
+    }
+}

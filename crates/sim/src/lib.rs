@@ -13,6 +13,8 @@
 //!   used by workload generators so every experiment is reproducible.
 //! * [`trace`] — an event trace ([`Trace`], [`Event`]) recording faults,
 //!   migrations and DMA transfers for inspection and testing.
+//! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`])
+//!   for chaos-testing the interconnect and migration recovery paths.
 //! * [`stats`] — counters and summary statistics helpers.
 //!
 //! # Examples
@@ -26,12 +28,14 @@
 //! ```
 
 pub mod clock;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use clock::Clock;
+pub use fault::{BurstPerturbation, FaultCounts, FaultPlan, MsiFate};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{Counter, Stats, Summary};
 pub use time::{Cycles, Hertz, Picos};

@@ -83,6 +83,78 @@ pub enum Event {
         /// Number of page-table levels walked.
         levels: u8,
     },
+    /// The fault injector perturbed the interconnect (chaos testing).
+    FaultInjected {
+        /// What was injected: `"corrupt-burst"`, `"drop-burst"`,
+        /// `"link-stall"`, `"drop-msi"` or `"dup-msi"`.
+        kind: &'static str,
+        /// Receiving side of the affected transfer.
+        to: Side,
+    },
+    /// A receiver rejected a descriptor whose checksum failed.
+    CorruptDescriptor {
+        /// Side that detected the corruption.
+        to: Side,
+        /// Sequence number carried by the damaged descriptor.
+        seq: u64,
+    },
+    /// A receiver discarded a descriptor whose sequence number was
+    /// already accepted (late original after a retransmit, or a
+    /// duplicate delivery).
+    DuplicateDescriptor {
+        /// Side that discarded it.
+        to: Side,
+        /// The stale sequence number.
+        seq: u64,
+    },
+    /// A NAK asked the sender to retransmit a damaged/lost descriptor.
+    NakSent {
+        /// Side sending the NAK (the receiver of the bad transfer).
+        from: Side,
+        /// Sequence number being NAKed.
+        seq: u64,
+    },
+    /// A descriptor was retransmitted after a NAK or timeout.
+    Retransmit {
+        /// Receiving side of the retried transfer.
+        to: Side,
+        /// Sequence number (unchanged across retries).
+        seq: u64,
+        /// Retry attempt, 1-based; backoff doubles with each.
+        attempt: u32,
+    },
+    /// An interrupt fired with no fresh descriptor behind it (duplicate
+    /// or stale MSI); the wakeup was ignored.
+    SpuriousWakeup {
+        /// Process whose wait loop observed it.
+        pid: u64,
+    },
+    /// The host migration watchdog expired for a suspended thread.
+    WatchdogFired {
+        /// The timed-out process.
+        pid: u64,
+    },
+    /// A watchdog poll found the descriptor ring non-empty: the MSI was
+    /// lost but the payload had landed, and delivery proceeds.
+    MsiLossRecovered {
+        /// The recovering process.
+        pid: u64,
+        /// Sequence number of the recovered descriptor.
+        seq: u64,
+    },
+    /// Migration was abandoned after bounded retries; the task is now
+    /// sticky-degraded and runs NxP functions via the host interpreter.
+    Degraded {
+        /// The degraded process.
+        pid: u64,
+    },
+    /// A degraded task entered host-interpreter execution of NxP text.
+    EmulatedSegment {
+        /// The process.
+        pid: u64,
+        /// Virtual address where emulation started.
+        from_va: u64,
+    },
     /// Free-form annotation (used by workloads to mark phases).
     Marker(&'static str),
 }

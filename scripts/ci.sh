@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, the whole workspace test suite, and
+# clippy with warnings promoted to errors. Run from anywhere.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -3,13 +3,16 @@
 //! leave the architectural state that a reference Rust interpretation
 //! predicts — on both. This pins the two encoders, two decoders and
 //! the interpreter to one shared semantics.
+//!
+//! Cases come from the repo's deterministic [`Xoshiro256`], so every
+//! run replays the same programs.
 
 use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
 use flick_isa::inst::AluOp;
 use flick_isa::{abi, compile_expr, Expr, FuncBuilder, Inst, Isa, Reg, TargetIsa};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
-use proptest::prelude::*;
+use flick_sim::Xoshiro256;
 
 const ALL_ALU: [AluOp; 13] = [
     AluOp::Add,
@@ -35,16 +38,14 @@ enum Step {
     Li(u8, i64),
 }
 
-fn arb_step() -> impl Strategy<Value = Step> {
-    let reg = 10u8..18;
-    let op = prop::sample::select(ALL_ALU.to_vec());
-    prop_oneof![
-        (op.clone(), reg.clone(), reg.clone(), reg.clone())
-            .prop_map(|(op, a, b, c)| Step::Alu(op, a, b, c)),
-        (op, reg.clone(), reg.clone(), any::<i32>())
-            .prop_map(|(op, a, b, i)| Step::AluImm(op, a, b, i)),
-        (reg, any::<i64>()).prop_map(|(a, v)| Step::Li(a, v)),
-    ]
+fn arb_step(rng: &mut Xoshiro256) -> Step {
+    let reg = |rng: &mut Xoshiro256| rng.gen_range(10, 18) as u8;
+    let op = ALL_ALU[rng.gen_range(0, ALL_ALU.len() as u64) as usize];
+    match rng.gen_range(0, 3) {
+        0 => Step::Alu(op, reg(rng), reg(rng), reg(rng)),
+        1 => Step::AluImm(op, reg(rng), reg(rng), rng.next_u64() as i32),
+        _ => Step::Li(reg(rng), rng.next_u64() as i64),
+    }
 }
 
 /// Reference semantics in plain Rust.
@@ -136,19 +137,19 @@ fn execute_on(target: TargetIsa, steps: &[Step], init: &[u64; 8]) -> [u64; 8] {
 }
 
 /// Random expression trees of bounded depth.
-fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        any::<i64>().prop_map(Expr::Const),
-        (0u8..6).prop_map(Expr::Arg),
-    ];
-    leaf.prop_recursive(depth, 64, 2, |inner| {
-        (
-            prop::sample::select(ALL_ALU.to_vec()),
-            inner.clone(),
-            inner,
-        )
-            .prop_map(|(op, a, b)| a.bin(op, b))
-    })
+fn arb_expr(rng: &mut Xoshiro256, depth: u32) -> Expr {
+    if depth == 0 || rng.gen_bool(0.3) {
+        if rng.gen_bool(0.5) {
+            Expr::Const(rng.next_u64() as i64)
+        } else {
+            Expr::Arg(rng.gen_range(0, 6) as u8)
+        }
+    } else {
+        let op = ALL_ALU[rng.gen_range(0, ALL_ALU.len() as u64) as usize];
+        let a = arb_expr(rng, depth - 1);
+        let b = arb_expr(rng, depth - 1);
+        a.bin(op, b)
+    }
 }
 
 /// Runs a compiled expression on a real core; returns a0.
@@ -193,32 +194,29 @@ fn run_expr(target: TargetIsa, e: &Expr, args: &[u64; 6]) -> u64 {
     core.reg(abi::A0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn compiled_expressions_agree_with_eval(
-        e in arb_expr(6),
-        args in any::<[u64; 6]>(),
-    ) {
+#[test]
+fn compiled_expressions_agree_with_eval() {
+    let mut rng = Xoshiro256::seeded(0xd1f1);
+    for _case in 0..32 {
+        let e = arb_expr(&mut rng, 6);
+        let args: [u64; 6] = std::array::from_fn(|_| rng.next_u64());
         let expect = e.eval(&args);
-        prop_assert_eq!(run_expr(TargetIsa::Host, &e, &args), expect, "host: {}", e);
-        prop_assert_eq!(run_expr(TargetIsa::Nxp, &e, &args), expect, "nxp: {}", e);
+        assert_eq!(run_expr(TargetIsa::Host, &e, &args), expect, "host: {e}");
+        assert_eq!(run_expr(TargetIsa::Nxp, &e, &args), expect, "nxp: {e}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn both_isas_agree_with_reference(
-        steps in prop::collection::vec(arb_step(), 1..60),
-        init in any::<[u64; 8]>(),
-    ) {
+#[test]
+fn both_isas_agree_with_reference() {
+    let mut rng = Xoshiro256::seeded(0xd1f2);
+    for _case in 0..48 {
+        let n = rng.gen_range(1, 60) as usize;
+        let steps: Vec<_> = (0..n).map(|_| arb_step(&mut rng)).collect();
+        let init: [u64; 8] = std::array::from_fn(|_| rng.next_u64());
         let expect = reference(&steps, &init);
         let host = execute_on(TargetIsa::Host, &steps, &init);
-        prop_assert_eq!(host, expect, "host ISA diverged from reference");
+        assert_eq!(host, expect, "host ISA diverged from reference");
         let nxp = execute_on(TargetIsa::Nxp, &steps, &init);
-        prop_assert_eq!(nxp, expect, "nxp ISA diverged from reference");
+        assert_eq!(nxp, expect, "nxp ISA diverged from reference");
     }
 }

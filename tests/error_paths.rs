@@ -144,3 +144,167 @@ fn stack_overflow_on_host_faults_eventually() {
         Err(RunError::Crash { side: Side::Host, exception: Exception::DataFault { .. } })
     ));
 }
+
+// ---- fault-during-migration ------------------------------------------------
+
+use flick_sim::FaultPlan;
+
+/// Runs `build` on a machine with `plan` installed; returns the machine
+/// for stats inspection plus the run result.
+fn run_faulty(
+    plan: FaultPlan,
+    build: impl FnOnce(&mut ProgramBuilder),
+) -> (Machine, Result<flick::Outcome, RunError>) {
+    let mut p = ProgramBuilder::new("err");
+    build(&mut p);
+    let mut m = Machine::builder().fault_plan(plan).build();
+    let pid = m.load_program(&mut p).expect("load");
+    let out = m.run(pid);
+    (m, out)
+}
+
+/// One NxP round trip: `main` calls `nxp_inc(41)`, exits with 42.
+fn null_call(p: &mut ProgramBuilder) {
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 41);
+    main.call("nxp_inc");
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut f = FuncBuilder::new("nxp_inc", TargetIsa::Nxp);
+    f.addi(abi::A0, abi::A0, 1);
+    f.ret();
+    p.func(f.finish());
+}
+
+/// Nested ping-pong: `main` calls `nxp_wrap(5)`, which calls the host
+/// function `host_leaf` (+2), then adds 1 — exit code 8.
+fn nested_call(p: &mut ProgramBuilder) {
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 5);
+    main.call("nxp_wrap");
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut w = FuncBuilder::new("nxp_wrap", TargetIsa::Nxp);
+    w.prologue(16, &[]);
+    w.call("host_leaf");
+    w.addi(abi::A0, abi::A0, 1);
+    w.epilogue(16, &[]);
+    p.func(w.finish());
+    let mut l = FuncBuilder::new("host_leaf", TargetIsa::Host);
+    l.addi(abi::A0, abi::A0, 2);
+    l.ret();
+    p.func(l.finish());
+}
+
+#[test]
+fn corrupt_descriptor_is_naked_and_retransmitted() {
+    // One in-flight bit flip on the call descriptor: the NxP's checksum
+    // rejects it, NAKs, and the host retransmits. The program never
+    // notices.
+    let plan = FaultPlan::seeded(7).with_corrupt(1.0).with_max_injections(1);
+    let (m, out) = run_faulty(plan, null_call);
+    let out = out.expect("recovered run");
+    assert_eq!(out.exit_code, 42);
+    assert_eq!(out.stats.get("crc_rejects"), 1);
+    assert_eq!(out.stats.get("retransmits"), 1);
+    assert_eq!(m.fault_counts().corrupt_burst, 1);
+}
+
+#[test]
+fn corrupt_nested_return_leg_recovers() {
+    // The fault lands mid-migration: the NxP→host *call* burst (the
+    // nested leg of an in-flight host→NxP migration) is corrupted; the
+    // host NAKs off its retained copy and the NxP retransmits.
+    let plan = FaultPlan::seeded(11)
+        .with_corrupt(1.0)
+        .with_skip(1)
+        .with_max_injections(1);
+    let (_, out) = run_faulty(plan, nested_call);
+    let out = out.expect("recovered run");
+    assert_eq!(out.exit_code, 8);
+    assert_eq!(out.stats.get("crc_rejects"), 1);
+    assert_eq!(out.stats.get("retransmits"), 1);
+}
+
+#[test]
+fn lost_msi_recovered_by_watchdog() {
+    // The wake-up interrupt vanishes; the payload made it. The
+    // suspended thread's watchdog fires at its deadline and polls the
+    // ring directly.
+    let plan = FaultPlan::seeded(9).with_drop_msi(1.0).with_max_injections(1);
+    let (_, out) = run_faulty(plan, null_call);
+    let out = out.expect("recovered run");
+    assert_eq!(out.exit_code, 42);
+    assert_eq!(out.stats.get("watchdog_fires"), 1);
+    assert_eq!(out.stats.get("msi_losses_recovered"), 1);
+    assert_eq!(out.stats.get("retransmits"), 0);
+}
+
+#[test]
+fn duplicated_msi_is_drained_as_spurious() {
+    let plan = FaultPlan::seeded(13).with_dup_msi(1.0).with_max_injections(1);
+    let (_, out) = run_faulty(plan, null_call);
+    let out = out.expect("recovered run");
+    assert_eq!(out.exit_code, 42);
+    assert_eq!(out.stats.get("spurious_wakeups"), 1);
+}
+
+#[test]
+fn dead_call_link_degrades_to_host_emulation() {
+    // Every host→NxP burst is dropped: delivery exhausts its attempts
+    // and the call degrades — the thread is unwound out of the handler
+    // and the NxP function runs through the host-side interpreter. The
+    // result is still correct, just slow.
+    let plan = FaultPlan::seeded(3).with_drop_burst(1.0);
+    let (m, out) = run_faulty(plan, null_call);
+    let out = out.expect("degraded run still completes");
+    assert_eq!(out.exit_code, 42);
+    assert_eq!(out.stats.get("migrations_degraded"), 1);
+    assert!(out.stats.get("emulated_calls") >= 1);
+    assert!(out.stats.get("emulated_instructions") >= 1);
+    // The NxP never saw the thread.
+    assert_eq!(out.stats.get("migrations_nxp_to_host"), 0);
+    assert_eq!(out.stats.get("returns_nxp_to_host"), 0);
+    assert!(m.fault_counts().drop_burst >= 7);
+}
+
+#[test]
+fn degraded_thread_handles_nested_host_calls() {
+    // Graceful degradation must survive the ping-pong: the emulated NxP
+    // function calls a host function (interpreter bounces control back
+    // to the native core) and the host function returns into NxP text
+    // (native core bounces back into the interpreter).
+    let plan = FaultPlan::seeded(5).with_drop_burst(1.0);
+    let (_, out) = run_faulty(plan, nested_call);
+    let out = out.expect("degraded nested run still completes");
+    assert_eq!(out.exit_code, 8);
+    assert_eq!(out.stats.get("migrations_degraded"), 1);
+    assert!(out.stats.get("emulated_calls") >= 2, "re-entry after host leg");
+}
+
+#[test]
+fn dead_return_link_is_fatal() {
+    // NxP→host delivery dies for good: the watchdog retransmits up to
+    // the attempt budget and then reports a dead link. No degradation
+    // here — the call already ran, re-running it would double side
+    // effects.
+    let plan = FaultPlan::seeded(17).with_drop_burst(1.0).with_skip(1);
+    let (_, out) = run_faulty(plan, null_call);
+    match out {
+        Err(RunError::LinkDead { pid: 1, stage: "nxp-to-host" }) => {}
+        other => panic!("expected nxp-to-host LinkDead, got {other:?}"),
+    }
+}
+
+#[test]
+fn dead_host_return_leg_is_fatal() {
+    // Same, for the host→NxP *return* leg of a nested call: the first
+    // three injection points (h2n call burst, n2h call burst, its MSI)
+    // deliver cleanly, then the link dies.
+    let plan = FaultPlan::seeded(19).with_drop_burst(1.0).with_skip(3);
+    let (_, out) = run_faulty(plan, nested_call);
+    match out {
+        Err(RunError::LinkDead { pid: 1, stage: "host-to-nxp return" }) => {}
+        other => panic!("expected host-to-nxp return LinkDead, got {other:?}"),
+    }
+}

@@ -1,6 +1,10 @@
-//! Property-based tests over the core data structures and the machine:
-//! encodings, memory, paging, descriptors, graphs, and the migration
-//! semantics themselves.
+//! Randomised property tests over the core data structures and the
+//! machine: encodings, memory, paging, descriptors, graphs, and the
+//! migration semantics themselves.
+//!
+//! Cases are generated from the repo's own deterministic [`Xoshiro256`]
+//! so every run explores the same inputs — a failure reproduces by
+//! rerunning the test, no external shrinker required.
 
 use flick::{DescKind, MigrationDescriptor};
 use flick_isa::{abi, AluOp, FuncBuilder, Isa, MemSize, Reg, TargetIsa};
@@ -9,67 +13,79 @@ use flick_paging::{flags, AddressSpace, BumpFrameAlloc, PageSize};
 use flick_sim::Xoshiro256;
 use flick_toolchain::ProgramBuilder;
 use flick_workloads::graph::rmat;
-use proptest::prelude::*;
 
-// ---- instruction encodings ------------------------------------------------
+const ALL_ALU: [AluOp; 13] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::Mul,
+    AluOp::Divu,
+    AluOp::Remu,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Slt,
+    AluOp::Sltu,
+];
 
-/// Strategy for a random straight-line instruction (no control flow —
-/// control flow needs labels, tested via the builder elsewhere).
-fn arb_inst() -> impl Strategy<Value = flick_isa::Inst> {
-    let reg = (0u8..32).prop_map(Reg);
-    let size = prop_oneof![
-        Just(MemSize::B1),
-        Just(MemSize::B2),
-        Just(MemSize::B4),
-        Just(MemSize::B8)
-    ];
-    let alu = prop_oneof![
-        Just(AluOp::Add),
-        Just(AluOp::Sub),
-        Just(AluOp::Mul),
-        Just(AluOp::Divu),
-        Just(AluOp::Remu),
-        Just(AluOp::And),
-        Just(AluOp::Or),
-        Just(AluOp::Xor),
-        Just(AluOp::Sll),
-        Just(AluOp::Srl),
-        Just(AluOp::Sra),
-        Just(AluOp::Slt),
-        Just(AluOp::Sltu),
-    ];
-    prop_oneof![
-        (alu.clone(), reg.clone(), reg.clone(), reg.clone()).prop_map(|(op, rd, rs1, rs2)| {
-            flick_isa::Inst::Alu { op, rd, rs1, rs2 }
-        }),
-        (alu, reg.clone(), reg.clone(), any::<i32>()).prop_map(|(op, rd, rs1, imm)| {
-            flick_isa::Inst::AluImm { op, rd, rs1, imm }
-        }),
-        (reg.clone(), any::<i64>()).prop_map(|(rd, imm)| flick_isa::Inst::Li { rd, imm }),
-        (reg.clone(), reg.clone(), any::<i32>(), size.clone()).prop_map(
-            |(rd, base, off, size)| flick_isa::Inst::Ld { rd, base, off, size }
-        ),
-        (reg.clone(), reg.clone(), any::<i32>(), size).prop_map(|(rs, base, off, size)| {
-            flick_isa::Inst::St { rs, base, off, size }
-        }),
-        (reg.clone(), reg, any::<i32>()).prop_map(|(rd, rs1, off)| flick_isa::Inst::Jalr {
-            rd,
-            rs1,
-            off
-        }),
-        any::<u16>().prop_map(|service| flick_isa::Inst::Ecall { service }),
-        Just(flick_isa::Inst::Ret),
-        Just(flick_isa::Inst::Nop),
-    ]
+const ALL_SIZES: [MemSize; 4] = [MemSize::B1, MemSize::B2, MemSize::B4, MemSize::B8];
+
+/// One random straight-line instruction (no control flow — control flow
+/// needs labels, tested via the builder elsewhere).
+fn arb_inst(rng: &mut Xoshiro256) -> flick_isa::Inst {
+    let reg = |rng: &mut Xoshiro256| Reg(rng.gen_range(0, 32) as u8);
+    let alu = |rng: &mut Xoshiro256| ALL_ALU[rng.gen_range(0, ALL_ALU.len() as u64) as usize];
+    let size = |rng: &mut Xoshiro256| ALL_SIZES[rng.gen_range(0, 4) as usize];
+    match rng.gen_range(0, 9) {
+        0 => flick_isa::Inst::Alu {
+            op: alu(rng),
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        1 => flick_isa::Inst::AluImm {
+            op: alu(rng),
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: rng.next_u64() as i32,
+        },
+        2 => flick_isa::Inst::Li {
+            rd: reg(rng),
+            imm: rng.next_u64() as i64,
+        },
+        3 => flick_isa::Inst::Ld {
+            rd: reg(rng),
+            base: reg(rng),
+            off: rng.next_u64() as i32,
+            size: size(rng),
+        },
+        4 => flick_isa::Inst::St {
+            rs: reg(rng),
+            base: reg(rng),
+            off: rng.next_u64() as i32,
+            size: size(rng),
+        },
+        5 => flick_isa::Inst::Jalr {
+            rd: reg(rng),
+            rs1: reg(rng),
+            off: rng.next_u64() as i32,
+        },
+        6 => flick_isa::Inst::Ecall {
+            service: rng.next_u64() as u16,
+        },
+        7 => flick_isa::Inst::Ret,
+        _ => flick_isa::Inst::Nop,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn any_instruction_sequence_round_trips_both_isas(
-        insts in prop::collection::vec(arb_inst(), 1..40)
-    ) {
+#[test]
+fn any_instruction_sequence_round_trips_both_isas() {
+    let mut rng = Xoshiro256::seeded(0x9cb1);
+    for _case in 0..64 {
+        let n = rng.gen_range(1, 40) as usize;
+        let insts: Vec<_> = (0..n).map(|_| arb_inst(&mut rng)).collect();
         for isa in [Isa::X64, Isa::Rv64] {
             let mut f = FuncBuilder::new("f", TargetIsa::Host);
             for i in &insts {
@@ -83,34 +99,44 @@ proptest! {
                 decoded.push(inst);
                 off += len;
             }
-            prop_assert_eq!(&decoded, &insts, "{} mis-round-tripped", isa);
+            assert_eq!(&decoded, &insts, "{isa} mis-round-tripped");
         }
     }
+}
 
-    #[test]
-    fn physmem_read_back_exact(
-        writes in prop::collection::vec((0u64..1 << 20, prop::collection::vec(any::<u8>(), 1..64)), 1..20)
-    ) {
+#[test]
+fn physmem_read_back_exact() {
+    let mut rng = Xoshiro256::seeded(0x9cb2);
+    for _case in 0..64 {
         let mut mem = PhysMem::new();
         // Apply writes in order; then the final state of each byte is
         // the last write covering it.
         let mut model = std::collections::HashMap::new();
-        for (addr, bytes) in &writes {
-            mem.write_bytes(PhysAddr(*addr), bytes);
+        let writes = rng.gen_range(1, 20);
+        for _ in 0..writes {
+            let addr = rng.gen_range(0, 1 << 20);
+            let len = rng.gen_range(1, 64) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            mem.write_bytes(PhysAddr(addr), &bytes);
             for (i, b) in bytes.iter().enumerate() {
                 model.insert(addr + i as u64, *b);
             }
         }
         for (addr, byte) in model {
-            prop_assert_eq!(mem.read_u8(PhysAddr(addr)), byte);
+            assert_eq!(mem.read_u8(PhysAddr(addr)), byte);
         }
     }
+}
 
-    #[test]
-    fn paging_translates_every_mapped_page(
-        pages in prop::collection::btree_set(0u64..512, 1..40),
-        offset in 0u64..4096,
-    ) {
+#[test]
+fn paging_translates_every_mapped_page() {
+    let mut rng = Xoshiro256::seeded(0x9cb3);
+    for _case in 0..48 {
+        let mut pages = std::collections::BTreeSet::new();
+        for _ in 0..rng.gen_range(1, 40) {
+            pages.insert(rng.gen_range(0, 512));
+        }
+        let offset = rng.gen_range(0, 4096);
         let mut mem = PhysMem::new();
         let mut alloc = BumpFrameAlloc::new(PhysAddr(0x100_0000), PhysAddr(0x400_0000));
         let mut asp = AddressSpace::new(&mut mem, &mut alloc);
@@ -128,58 +154,98 @@ proptest! {
         for &p in &pages {
             let va = VirtAddr(0x40_0000 + p * 4096 + offset);
             let t = asp.translate(&mem, va).unwrap();
-            prop_assert_eq!(t.pa, PhysAddr(0x80_0000 + p * 4096 + offset));
+            assert_eq!(t.pa, PhysAddr(0x80_0000 + p * 4096 + offset));
         }
         // And an unmapped neighbour page faults.
         if let Some(unmapped) = (0u64..512).find(|p| !pages.contains(p)) {
-            prop_assert!(asp
+            assert!(asp
                 .translate(&mem, VirtAddr(0x40_0000 + unmapped * 4096))
                 .is_err());
         }
     }
+}
 
-    #[test]
-    fn descriptor_wire_format_total(
-        target in any::<u64>(),
-        ret in any::<u64>(),
-        args in any::<[u64; 6]>(),
-        pid in any::<u64>(),
-        cr3 in any::<u64>(),
-        nxp_sp in any::<u64>(),
-        kind_tag in 1u64..=4,
-    ) {
+#[test]
+fn descriptor_wire_format_total() {
+    let mut rng = Xoshiro256::seeded(0x9cb4);
+    for _case in 0..256 {
         let d = MigrationDescriptor {
-            kind: DescKind::from_tag(kind_tag).unwrap(),
-            target,
-            ret,
-            args,
-            pid,
-            cr3,
-            nxp_sp,
+            kind: DescKind::from_tag(rng.gen_range(1, 5)).unwrap(),
+            target: rng.next_u64(),
+            ret: rng.next_u64(),
+            args: std::array::from_fn(|_| rng.next_u64()),
+            pid: rng.next_u64(),
+            cr3: rng.next_u64(),
+            nxp_sp: rng.next_u64(),
+            seq: rng.next_u64(),
         };
-        prop_assert_eq!(MigrationDescriptor::from_bytes(&d.to_bytes()), Some(d));
+        assert_eq!(MigrationDescriptor::from_bytes(&d.to_bytes()), Some(d));
+        assert_eq!(
+            MigrationDescriptor::from_bytes_checked(&d.to_bytes()),
+            Ok(d)
+        );
     }
+}
 
-    #[test]
-    fn rmat_always_valid_csr(v in 2u64..2000, e in 1u64..8000, seed in any::<u64>()) {
+#[test]
+fn descriptor_checksum_rejects_any_single_byte_flip() {
+    let mut rng = Xoshiro256::seeded(0x9cb5);
+    for _case in 0..64 {
+        let d = MigrationDescriptor {
+            kind: DescKind::from_tag(rng.gen_range(1, 5)).unwrap(),
+            target: rng.next_u64(),
+            ret: rng.next_u64(),
+            args: std::array::from_fn(|_| rng.next_u64()),
+            pid: rng.next_u64(),
+            cr3: rng.next_u64(),
+            nxp_sp: rng.next_u64(),
+            seq: rng.next_u64(),
+        };
+        let mut bytes = d.to_bytes();
+        let idx = rng.gen_range(0, bytes.len() as u64) as usize;
+        let mut flip = rng.next_u64() as u8;
+        if flip == 0 {
+            flip = 1;
+        }
+        bytes[idx] ^= flip;
+        assert!(
+            MigrationDescriptor::from_bytes_checked(&bytes).is_err(),
+            "flip at byte {idx} went undetected"
+        );
+    }
+}
+
+#[test]
+fn rmat_always_valid_csr() {
+    let mut rng = Xoshiro256::seeded(0x9cb6);
+    for _case in 0..24 {
+        let v = rng.gen_range(2, 2000);
+        let e = rng.gen_range(1, 8000);
+        let seed = rng.next_u64();
         let g = rmat(v, e, seed);
-        prop_assert_eq!(g.v, v);
-        prop_assert_eq!(g.e(), e);
-        prop_assert_eq!(*g.row_ptr.last().unwrap(), e);
+        assert_eq!(g.v, v);
+        assert_eq!(g.e(), e);
+        assert_eq!(*g.row_ptr.last().unwrap(), e);
         for u in 0..v {
-            prop_assert!(g.row_ptr[u as usize] <= g.row_ptr[u as usize + 1]);
+            assert!(g.row_ptr[u as usize] <= g.row_ptr[u as usize + 1]);
         }
         for &w in &g.col {
-            prop_assert!((w as u64) < v);
+            assert!((w as u64) < v);
         }
     }
+}
 
-    #[test]
-    fn rng_range_always_in_bounds(seed in any::<u64>(), lo in 0u64..1000, span in 1u64..1000) {
+#[test]
+fn rng_range_always_in_bounds() {
+    let mut meta = Xoshiro256::seeded(0x9cb7);
+    for _case in 0..64 {
+        let seed = meta.next_u64();
+        let lo = meta.gen_range(0, 1000);
+        let span = meta.gen_range(1, 1000);
         let mut rng = Xoshiro256::seeded(seed);
         for _ in 0..100 {
             let x = rng.gen_range(lo, lo + span);
-            prop_assert!((lo..lo + span).contains(&x));
+            assert!((lo..lo + span).contains(&x));
         }
     }
 }
@@ -193,17 +259,25 @@ fn reference_chain(stages: &[(bool, u32, u32)], x0: u64) -> u64 {
         .fold(x0, |x, (_, k, c)| x.wrapping_mul(*k as u64).wrapping_add(*c as u64))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Random chains of functions with random ISA placements compute the
+/// same value as native Rust, no matter how many times the thread
+/// crosses the boundary.
+#[test]
+fn random_cross_isa_chain_matches_reference() {
+    let mut rng = Xoshiro256::seeded(0x9cb8);
+    for _case in 0..12 {
+        let n = rng.gen_range(1, 6) as usize;
+        let stages: Vec<(bool, u32, u32)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_bool(0.5),
+                    rng.gen_range(1, 50) as u32,
+                    rng.gen_range(0, 1000) as u32,
+                )
+            })
+            .collect();
+        let x0 = rng.gen_range(0, 1_000_000);
 
-    /// Random chains of functions with random ISA placements compute
-    /// the same value as native Rust, no matter how many times the
-    /// thread crosses the boundary.
-    #[test]
-    fn random_cross_isa_chain_matches_reference(
-        stages in prop::collection::vec((any::<bool>(), 1u32..50, 0u32..1000), 1..6),
-        x0 in 0u64..1_000_000,
-    ) {
         let mut p = ProgramBuilder::new("chain");
         let mut main = FuncBuilder::new("main", TargetIsa::Host);
         main.li(abi::A0, x0 as i64);
@@ -226,10 +300,13 @@ proptest! {
             p.func(f.finish());
         }
         let mut m = flick::Machine::builder()
-            .trace(flick_sim::TraceConfig { enabled: false, capacity: 0 })
+            .trace(flick_sim::TraceConfig {
+                enabled: false,
+                capacity: 0,
+            })
             .build();
         let pid = m.load_program(&mut p).unwrap();
         let out = m.run(pid).unwrap();
-        prop_assert_eq!(out.exit_code, reference_chain(&stages, x0));
+        assert_eq!(out.exit_code, reference_chain(&stages, x0));
     }
 }
