@@ -4,10 +4,17 @@
 //!
 //! Self-timing harness (`harness = false`): each workload runs a few
 //! warm-up iterations, then reports mean wall-clock per iteration over
-//! a fixed sample count. Run with `cargo bench`.
+//! a sample count settable with `--samples N` (default 10). With
+//! `--json PATH` the results (per-bench ns/op plus instructions/sec
+//! where the bench retires a known instruction count) are also written
+//! as JSON — `scripts/bench.sh` uses this to track the perf trajectory
+//! in `BENCH_simulator.json` across PRs. Run with `cargo bench`.
 
 use flick::Machine;
-use flick_isa::{abi, FuncBuilder, TargetIsa};
+use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
+use flick_isa::{abi, FuncBuilder, Isa, TargetIsa};
+use flick_mem::{PhysAddr, PhysMem, VirtAddr};
+use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
 use flick_sim::TraceConfig;
 use flick_toolchain::ProgramBuilder;
 use flick_workloads::chase::{run_chase, ChaseConfig, ChaseMode};
@@ -24,8 +31,30 @@ fn quiet() -> Machine {
         .build()
 }
 
-/// Times `f` over `samples` iterations after `warmup` unrecorded ones.
-fn bench(name: &str, samples: u32, mut f: impl FnMut()) {
+/// One bench's timing, plus the simulated instructions it retires per
+/// iteration when that is well-defined (for instructions/sec).
+struct BenchResult {
+    name: &'static str,
+    mean: Duration,
+    best: Duration,
+    samples: u32,
+    insts_per_iter: Option<u64>,
+}
+
+impl BenchResult {
+    fn insts_per_sec(&self) -> Option<f64> {
+        let insts = self.insts_per_iter? as f64;
+        Some(insts / self.mean.as_secs_f64())
+    }
+}
+
+/// Times `f` over `samples` iterations after `WARMUP` unrecorded ones.
+fn bench(
+    name: &'static str,
+    samples: u32,
+    insts_per_iter: Option<u64>,
+    mut f: impl FnMut(),
+) -> BenchResult {
     const WARMUP: u32 = 2;
     for _ in 0..WARMUP {
         f();
@@ -40,12 +69,27 @@ fn bench(name: &str, samples: u32, mut f: impl FnMut()) {
         best = best.min(dt);
     }
     let mean = total / samples;
-    println!("{name:<32} mean {mean:>12.3?}  best {best:>12.3?}  (n={samples})");
+    let r = BenchResult {
+        name,
+        mean,
+        best,
+        samples,
+        insts_per_iter,
+    };
+    let n = r.samples;
+    match r.insts_per_sec() {
+        Some(ips) => println!(
+            "{name:<32} mean {mean:>12.3?}  best {best:>12.3?}  ({:.2} M inst/s, n={n})",
+            ips / 1e6
+        ),
+        None => println!("{name:<32} mean {mean:>12.3?}  best {best:>12.3?}  (n={n})"),
+    }
+    r
 }
 
 /// Simulating one migration round trip (machinery cost).
-fn bench_migration_round_trip() {
-    bench("simulate_32_round_trips", 10, || {
+fn bench_migration_round_trip(samples: u32) -> BenchResult {
+    bench("simulate_32_round_trips", samples, None, || {
         let mut m = quiet();
         let mut p = ProgramBuilder::new("bench");
         let mut main = FuncBuilder::new("main", TargetIsa::Host);
@@ -62,50 +106,162 @@ fn bench_migration_round_trip() {
         p.func(f.finish());
         let pid = m.load_program(&mut p).unwrap();
         black_box(m.run(pid).unwrap().sim_time);
-    });
+    })
 }
 
-/// Raw interpreter throughput (host core, tight ALU loop).
-fn bench_interpreter() {
-    bench("interpret_100k_instructions", 10, || {
-        let mut m = quiet();
-        let mut p = ProgramBuilder::new("bench");
-        let mut main = FuncBuilder::new("main", TargetIsa::Host);
-        let lp = main.new_label();
-        main.li(abi::S1, 25_000);
-        main.bind(lp);
-        main.addi(abi::A0, abi::A0, 1);
-        main.addi(abi::A1, abi::A1, 2);
-        main.addi(abi::S1, abi::S1, -1);
-        main.bne(abi::S1, abi::ZERO, lp);
-        main.call("flick_exit");
-        p.func(main.finish());
-        let pid = m.load_program(&mut p).unwrap();
-        black_box(m.run(pid).unwrap().exit_code);
-    });
+/// Number of loop iterations in the interpreter benches (4 instructions
+/// per iteration).
+const INTERP_ITERS: i64 = 25_000;
+
+/// Full-machine interpreter throughput (host core, tight ALU loop,
+/// including kernel load/exit overhead).
+fn bench_interpreter(samples: u32) -> BenchResult {
+    bench(
+        "interpret_100k_instructions",
+        samples,
+        Some(4 * INTERP_ITERS as u64),
+        || {
+            let mut m = quiet();
+            let mut p = ProgramBuilder::new("bench");
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            let lp = main.new_label();
+            main.li(abi::S1, INTERP_ITERS);
+            main.bind(lp);
+            main.addi(abi::A0, abi::A0, 1);
+            main.addi(abi::A1, abi::A1, 2);
+            main.addi(abi::S1, abi::S1, -1);
+            main.bne(abi::S1, abi::ZERO, lp);
+            main.call("flick_exit");
+            p.func(main.finish());
+            let pid = m.load_program(&mut p).unwrap();
+            black_box(m.run(pid).unwrap().exit_code);
+        },
+    )
+}
+
+/// Pure step-loop throughput: a bare `Core` against identity-mapped
+/// memory, no machine, kernel, or scheduler in the loop. This is the
+/// ceiling the decoded-instruction fast path is chasing.
+fn bench_pure_interpret(samples: u32) -> BenchResult {
+    // Identity-map the low 16 MiB and plant the loop at 0x40_0000, like
+    // the cpu crate's own fixtures.
+    let mut mem = PhysMem::new();
+    let mut alloc = BumpFrameAlloc::new(PhysAddr(0x100_0000), PhysAddr(0x200_0000));
+    let mut aspace = AddressSpace::new(&mut mem, &mut alloc);
+    aspace
+        .map_range(
+            &mut mem,
+            &mut alloc,
+            VirtAddr(0),
+            PhysAddr(0),
+            16 << 20,
+            flags::PRESENT | flags::WRITABLE | flags::USER,
+        )
+        .unwrap();
+    let cr3 = aspace.cr3();
+    let mut f = FuncBuilder::new("loop", TargetIsa::Host);
+    let lp = f.new_label();
+    f.li(abi::S1, INTERP_ITERS);
+    f.bind(lp);
+    f.addi(abi::A0, abi::A0, 1);
+    f.addi(abi::A1, abi::A1, 2);
+    f.addi(abi::S1, abi::S1, -1);
+    f.bne(abi::S1, abi::ZERO, lp);
+    f.halt();
+    let enc = Isa::X64.encode(&f.finish()).unwrap();
+    mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
+    let env = MemEnv::paper_default();
+
+    // Count retired instructions once so instructions/sec is exact.
+    let mut probe = Core::new(CoreConfig::host());
+    probe.set_cr3(cr3);
+    probe.set_pc(VirtAddr(0x40_0000));
+    assert_eq!(probe.run(&mut mem, &env, u64::MAX), StopReason::Halt);
+    let insts = probe.counters().instructions;
+
+    bench("interpret", samples, Some(insts), move || {
+        let mut core = Core::new(CoreConfig::host());
+        core.set_cr3(cr3);
+        core.set_pc(VirtAddr(0x40_0000));
+        black_box(core.run(&mut mem, &env, u64::MAX));
+    })
 }
 
 /// Pointer-chase workload end to end (Fig. 5 inner loop).
-fn bench_pointer_chase() {
-    bench("chase_256_nodes_8_calls", 10, || {
+fn bench_pointer_chase(samples: u32) -> BenchResult {
+    bench("chase_256_nodes_8_calls", samples, None, || {
         let cfg = ChaseConfig {
             calls: 8,
             ..ChaseConfig::frequent(256, ChaseMode::Flick)
         };
         black_box(run_chase(&cfg).unwrap().per_call);
-    });
+    })
 }
 
 /// Graph generation throughput (Table IV staging).
-fn bench_graph_generation() {
-    bench("rmat_64k_edges", 10, || {
+fn bench_graph_generation(samples: u32) -> BenchResult {
+    bench("rmat_64k_edges", samples, None, || {
         black_box(rmat(8_192, 65_536, 42).e());
-    });
+    })
+}
+
+/// Renders results as JSON (no serializer dependency; the shape is flat
+/// enough to format by hand).
+fn to_json(samples: u32, results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let extra = match (r.insts_per_iter, r.insts_per_sec()) {
+            (Some(n), Some(ips)) => format!(
+                ", \"instructions_per_iter\": {n}, \"instructions_per_sec\": {ips:.0}"
+            ),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}{}}}{}\n",
+            r.name,
+            r.mean.as_nanos(),
+            r.best.as_nanos(),
+            extra,
+            sep
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn main() {
-    bench_migration_round_trip();
-    bench_interpreter();
-    bench_pointer_chase();
-    bench_graph_generation();
+    let mut samples: u32 = 10;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--samples needs a positive integer");
+            }
+            "--json" => {
+                json_path = Some(args.next().expect("--json needs a path"));
+            }
+            // `cargo bench` passes --bench through to the harness.
+            "--bench" => {}
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+    let results = vec![
+        bench_migration_round_trip(samples),
+        bench_interpreter(samples),
+        bench_pure_interpret(samples),
+        bench_pointer_chase(samples),
+        bench_graph_generation(samples),
+    ];
+    if let Some(path) = json_path {
+        std::fs::write(&path, to_json(samples, &results)).expect("write json");
+        println!("wrote {path}");
+    }
 }

@@ -172,6 +172,7 @@ pub struct MachineBuilder {
     latency: Option<flick_mem::LatencyModel>,
     kernel_cfg: Option<flick_os::KernelConfig>,
     fault_plan: Option<FaultPlan>,
+    fast_path: Option<bool>,
 }
 
 impl MachineBuilder {
@@ -227,6 +228,16 @@ impl MachineBuilder {
         self
     }
 
+    /// Toggles the host-side decoded-instruction fast path on every
+    /// core (host, NxP, and the degraded-mode emulator). On by default;
+    /// the differential tests switch it off to prove simulated clocks,
+    /// stats, and traces are bit-identical either way. Overrides any
+    /// `fast_path` already present in custom core configurations.
+    pub fn fast_path(mut self, enabled: bool) -> Self {
+        self.fast_path = Some(enabled);
+        self
+    }
+
     /// Builds the machine.
     pub fn build(self) -> Machine {
         let mut env = MemEnv::paper_default();
@@ -239,9 +250,15 @@ impl MachineBuilder {
             kcfg.timing = t;
         }
         let kernel = Kernel::with_config(env.map.clone(), kcfg);
+        let mut host_cfg = self.host_cfg.unwrap_or_else(CoreConfig::host);
+        let mut nxp_cfg = self.nxp_cfg.unwrap_or_else(CoreConfig::nxp);
+        if let Some(fp) = self.fast_path {
+            host_cfg.fast_path = fp;
+            nxp_cfg.fast_path = fp;
+        }
         Machine {
-            host: Core::new(self.host_cfg.unwrap_or_else(CoreConfig::host)),
-            nxp: Core::new(self.nxp_cfg.unwrap_or_else(CoreConfig::nxp)),
+            host: Core::new(host_cfg),
+            nxp: Core::new(nxp_cfg),
             dma: DmaEngine::new(env.latency.clone(), 0),
             irq: InterruptController::new(),
             kernel,
@@ -658,12 +675,11 @@ impl Machine {
     }
 
     fn executed(&self) -> u64 {
-        self.host.stats().get("instructions")
-            + self.nxp.stats().get("instructions")
-            + self
-                .emu
-                .as_ref()
-                .map_or(0, |c| c.stats().get("instructions"))
+        // Polled every scheduling-loop iteration: read the cores' raw
+        // counters instead of materializing a Stats bag each time.
+        self.host.counters().instructions
+            + self.nxp.counters().instructions
+            + self.emu.as_ref().map_or(0, |c| c.counters().instructions)
     }
 
     fn finish(&mut self, pid: u64, code: u64) -> Outcome {
@@ -671,7 +687,7 @@ impl Machine {
         task.state = flick_os::TaskState::Zombie;
         task.exit_code = code;
         let mut stats = self.stats.clone();
-        stats.merge(self.host.stats());
+        stats.merge(&self.host.stats());
         // Prefix-less merge would collide; fold NxP counters under a
         // different name space.
         for (k, v) in self.nxp.stats().iter() {
@@ -689,7 +705,7 @@ impl Machine {
             stats.bump_by(name, v);
         }
         if let Some(emu) = &self.emu {
-            stats.bump_by("emulated_instructions", emu.stats().get("instructions"));
+            stats.bump_by("emulated_instructions", emu.counters().instructions);
         }
         Outcome {
             exit_code: code,
@@ -1255,9 +1271,15 @@ impl Machine {
         let host_now = self.host.clock().now();
         let mut ctx = self.host.save_context();
         ctx.pc = va;
-        let emu = self
-            .emu
-            .get_or_insert_with(|| Core::new(CoreConfig::host_emulator()));
+        // The degraded-mode interpreter inherits the host's fast-path
+        // setting so the differential tests cover it too.
+        let fast_path = self.host.config().fast_path;
+        let emu = self.emu.get_or_insert_with(|| {
+            Core::new(CoreConfig {
+                fast_path,
+                ..CoreConfig::host_emulator()
+            })
+        });
         emu.restore_context(&ctx);
         if emu.cr3() != host_cr3 {
             emu.set_cr3(host_cr3);
@@ -1269,9 +1291,9 @@ impl Machine {
                 return Err(RunError::FuelExhausted);
             }
             let emu = self.emu.as_mut().expect("emulation core installed above");
-            let before = emu.stats().get("instructions");
+            let before = emu.counters().instructions;
             let stop = emu.run(&mut self.mem, &self.env, left);
-            let ran = emu.stats().get("instructions") - before;
+            let ran = emu.counters().instructions - before;
             left = left.saturating_sub(ran);
             match stop {
                 StopReason::Fault(Exception::InstFault {

@@ -52,6 +52,11 @@ impl CacheConfig {
 pub struct Cache {
     cfg: CacheConfig,
     tags: Vec<Option<u64>>,
+    /// `log2(line)` — line and set math use shifts/masks instead of the
+    /// two u64 divisions, which sit on the per-instruction fetch path.
+    line_shift: u32,
+    /// `sets - 1` (sets is a power of two).
+    set_mask: u64,
     hits: u64,
     misses: u64,
 }
@@ -70,6 +75,8 @@ impl Cache {
         Cache {
             cfg,
             tags: vec![None; sets],
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: sets as u64 - 1,
             hits: 0,
             misses: 0,
         }
@@ -77,8 +84,8 @@ impl Cache {
 
     /// Looks up `addr`, filling the line on miss. Returns true on hit.
     pub fn access(&mut self, addr: u64) -> bool {
-        let line = addr / self.cfg.line;
-        let set = (line as usize) % self.tags.len();
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
         if self.tags[set] == Some(line) {
             self.hits += 1;
             true
@@ -91,8 +98,8 @@ impl Cache {
 
     /// Probe without filling (for assertions).
     pub fn probe(&self, addr: u64) -> bool {
-        let line = addr / self.cfg.line;
-        let set = (line as usize) % self.tags.len();
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
         self.tags[set] == Some(line)
     }
 
@@ -114,6 +121,12 @@ impl Cache {
     /// Line size in bytes.
     pub fn line(&self) -> u64 {
         self.cfg.line
+    }
+
+    /// The line number `addr` falls in (for callers that memoize the
+    /// last accessed line).
+    pub fn line_index(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
     }
 }
 

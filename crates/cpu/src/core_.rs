@@ -2,6 +2,7 @@
 //! cycle/latency accounting and the Flick exception surface.
 
 use crate::cache::{Cache, CacheConfig};
+use crate::decoded::DecodedCache;
 use crate::tlb::{MmuHole, Tlb, TlbEntry};
 use crate::MemEnv;
 use flick_isa::inst::AluOp;
@@ -108,6 +109,12 @@ pub struct CoreConfig {
     /// pages, so control returning to host text hands execution back to
     /// the native core.
     pub emulates_foreign_isa: bool,
+    /// Enables the host-side decoded-instruction cache (see
+    /// [`DecodedCache`]). Purely a host wall-clock optimization: the
+    /// simulated clocks, stats, and traces are bit-identical either way
+    /// (enforced by `tests/fastpath.rs`). On by default; switched off by
+    /// the differential tests.
+    pub fast_path: bool,
 }
 
 impl CoreConfig {
@@ -125,6 +132,7 @@ impl CoreConfig {
             walk_overhead: Picos::ZERO,
             dcache_nxp_dram: false,
             emulates_foreign_isa: false,
+            fast_path: true,
         }
     }
 
@@ -157,6 +165,7 @@ impl CoreConfig {
             walk_overhead: Picos::from_nanos(150),
             dcache_nxp_dram: false,
             emulates_foreign_isa: false,
+            fast_path: true,
         }
     }
 }
@@ -258,6 +267,77 @@ impl Default for CpuContext {
     }
 }
 
+/// Hot-path event counters, kept as plain struct fields so the
+/// per-instruction loop pays a register increment instead of a
+/// `BTreeMap<&str, u64>` probe. They are folded into a named [`Stats`]
+/// bag only at report time ([`Core::stats`]), preserving the exact key
+/// set the map-backed counters produced: a key exists iff its count is
+/// nonzero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Load instructions executed.
+    pub loads: u64,
+    /// Store instructions executed.
+    pub stores: u64,
+    /// I-TLB misses (fetch-side walks).
+    pub itlb_misses: u64,
+    /// D-TLB misses (data-side walks).
+    pub dtlb_misses: u64,
+    /// I-cache misses.
+    pub icache_misses: u64,
+    /// D-cache misses (reads only; writes are write-through).
+    pub dcache_misses: u64,
+    /// Page-table walks performed (either TLB).
+    pub walks: u64,
+}
+
+impl CoreCounters {
+    /// Materializes the counters into a named [`Stats`] bag. Zero-valued
+    /// counters are skipped so the key set is identical to what
+    /// incremental `Stats::bump` calls would have produced.
+    pub fn to_stats(self) -> Stats {
+        let mut s = Stats::default();
+        for (name, v) in [
+            ("instructions", self.instructions),
+            ("loads", self.loads),
+            ("stores", self.stores),
+            ("itlb_misses", self.itlb_misses),
+            ("dtlb_misses", self.dtlb_misses),
+            ("icache_misses", self.icache_misses),
+            ("dcache_misses", self.dcache_misses),
+            ("walks", self.walks),
+        ] {
+            if v != 0 {
+                s.bump_by(name, v);
+            }
+        }
+        s
+    }
+}
+
+/// Host-side memo of the last successful fetch translation: the page it
+/// landed in, that page's physical frame, and the I-cache line it
+/// touched. A fetch that stays on the same page with the same I-TLB
+/// generation *would* be an MRU hit in [`Tlb::lookup`] and (same line)
+/// a hit in [`Cache::access`]; both of those mutate nothing but their
+/// private hit tallies, so skipping them is invisible to simulated
+/// clocks, stats, and traces. Any I-TLB insert/flush bumps the TLB
+/// generation and invalidates the frame.
+#[derive(Clone, Copy)]
+struct FetchFrame {
+    /// 4 KiB-aligned VA page base of the last fetch.
+    va_page: u64,
+    /// Matching 4 KiB-aligned physical frame base.
+    pa_page: u64,
+    /// I-cache line index of the last fetch (the tag array is known to
+    /// hold this line, so a same-line fetch is a guaranteed hit).
+    line: u64,
+    /// [`Tlb::generation`] snapshot at memo time.
+    itlb_gen: u64,
+}
+
 /// One interpreting core.
 pub struct Core {
     cfg: CoreConfig,
@@ -270,7 +350,13 @@ pub struct Core {
     icache: Cache,
     dcache: Cache,
     holes: Vec<MmuHole>,
-    stats: Stats,
+    counters: CoreCounters,
+    decoded: DecodedCache,
+    /// Last-fetch translation memo (fast path only; see [`FetchFrame`]).
+    fetch_frame: Option<FetchFrame>,
+    /// `isa.fetch_align() - 1`, cached so the per-fetch alignment check
+    /// is a mask instead of a division by a runtime value.
+    fetch_align_mask: u64,
 }
 
 impl fmt::Debug for Core {
@@ -296,7 +382,10 @@ impl Core {
             icache: Cache::new(cfg.icache),
             dcache: Cache::new(cfg.dcache),
             holes: Vec::new(),
-            stats: Stats::default(),
+            counters: CoreCounters::default(),
+            decoded: DecodedCache::new(),
+            fetch_frame: None,
+            fetch_align_mask: cfg.isa.fetch_align() - 1,
             cfg,
         }
     }
@@ -316,9 +405,16 @@ impl Core {
         &mut self.clock
     }
 
-    /// Run statistics.
-    pub fn stats(&self) -> &Stats {
-        &self.stats
+    /// Run statistics, materialized from the hot counters. For
+    /// per-iteration polling prefer [`counters`](Self::counters), which
+    /// is free.
+    pub fn stats(&self) -> Stats {
+        self.counters.to_stats()
+    }
+
+    /// Raw hot-path counters (no materialization cost).
+    pub fn counters(&self) -> &CoreCounters {
+        &self.counters
     }
 
     /// Reads a register (`zero` always reads 0).
@@ -349,22 +445,30 @@ impl Core {
     }
 
     /// Loads a new page-table base, flushing both TLBs (as a CR3 write
-    /// does).
+    /// does) and the host-side decoded-instruction cache.
     pub fn set_cr3(&mut self, cr3: PhysAddr) {
         self.cr3 = cr3;
         self.itlb.flush();
         self.dtlb.flush();
+        self.decoded.clear();
+        self.fetch_frame = None;
     }
 
-    /// Flushes both TLBs without changing CR3 (mprotect shootdown).
+    /// Flushes both TLBs without changing CR3 (mprotect shootdown), plus
+    /// the host-side decoded-instruction cache.
     pub fn flush_tlbs(&mut self) {
         self.itlb.flush();
         self.dtlb.flush();
+        self.decoded.clear();
+        self.fetch_frame = None;
     }
 
     /// Adds an MMU bypass hole (NxP scratchpad/debug windows, §IV-A).
     pub fn add_hole(&mut self, hole: MmuHole) {
         self.holes.push(hole);
+        // Holes take priority over TLB translations, so a memoized fetch
+        // translation may no longer be how this VA resolves.
+        self.fetch_frame = None;
     }
 
     /// Captures the thread-visible CPU state.
@@ -413,14 +517,17 @@ impl Core {
         mem: &PhysMem,
         env: &MemEnv,
     ) -> Result<PhysAddr, Exception> {
-        if let Some(h) = self.holes.iter().find(|h| h.contains(va)) {
-            return Ok(h.translate(va));
+        // Most cores configure no holes; skip the scan outright then.
+        if !self.holes.is_empty() {
+            if let Some(h) = self.holes.iter().find(|h| h.contains(va)) {
+                return Ok(h.translate(va));
+            }
         }
         let entry = match self.dtlb.lookup(va) {
             Some(e) => e,
             None => {
                 let e = self.walk_fill(va, mem, env, false)?;
-                self.stats.bump("dtlb_misses");
+                self.counters.dtlb_misses += 1;
                 e
             }
         };
@@ -451,7 +558,7 @@ impl Core {
             va,
         );
         self.clock.advance(stall);
-        self.stats.bump("walks");
+        self.counters.walks += 1;
         match result {
             Ok(t) => {
                 let entry = TlbEntry::from_translation(&t);
@@ -483,20 +590,23 @@ impl Core {
         mem: &PhysMem,
         env: &MemEnv,
     ) -> Result<PhysAddr, Exception> {
-        if let Some(h) = self.holes.iter().find(|h| h.contains(va)) {
-            if !h.executable {
-                return Err(Exception::InstFault {
-                    va,
-                    kind: InstFaultKind::NotPresent,
-                });
+        // Most cores configure no holes; skip the scan outright then.
+        if !self.holes.is_empty() {
+            if let Some(h) = self.holes.iter().find(|h| h.contains(va)) {
+                if !h.executable {
+                    return Err(Exception::InstFault {
+                        va,
+                        kind: InstFaultKind::NotPresent,
+                    });
+                }
+                return Ok(h.translate(va));
             }
-            return Ok(h.translate(va));
         }
         let entry = match self.itlb.lookup(va) {
             Some(e) => e,
             None => {
                 let e = self.walk_fill(va, mem, env, true)?;
-                self.stats.bump("itlb_misses");
+                self.counters.itlb_misses += 1;
                 e
             }
         };
@@ -517,7 +627,7 @@ impl Core {
                 },
             });
         }
-        if !va.as_u64().is_multiple_of(self.cfg.isa.fetch_align()) {
+        if va.as_u64() & self.fetch_align_mask != 0 {
             return Err(Exception::InstFault {
                 va,
                 kind: InstFaultKind::Misaligned,
@@ -529,32 +639,110 @@ impl Core {
     /// Charges I-cache / memory time for a fetch at `pa`.
     fn charge_fetch(&mut self, pa: PhysAddr, env: &MemEnv) {
         if !self.icache.access(pa.as_u64()) {
-            self.stats.bump("icache_misses");
+            self.counters.icache_misses += 1;
             let region = env.map.classify(pa);
             self.clock
                 .advance(env.latency.access(self.requester(), region, AccessKind::Fetch));
         }
     }
 
+    /// Fast-path fetch translation through the last-fetch memo. Returns
+    /// `Ok(Some(pa))` only when the slow path would have taken an I-TLB
+    /// MRU hit with the same entry (same page, no entry-set change) —
+    /// in which case the only state the slow path would touch is private
+    /// hit tallies. Alignment still depends on the PC, so it is
+    /// re-checked; the I-cache charge still runs whenever the fetch
+    /// moves to a different line.
+    fn fetch_frame_translate(
+        &mut self,
+        pc: VirtAddr,
+        env: &MemEnv,
+    ) -> Result<Option<PhysAddr>, Exception> {
+        if !self.cfg.fast_path {
+            return Ok(None);
+        }
+        let Some(fc) = self.fetch_frame else {
+            return Ok(None);
+        };
+        if fc.va_page != pc.page_base().as_u64() || fc.itlb_gen != self.itlb.generation() {
+            return Ok(None);
+        }
+        if pc.as_u64() & self.fetch_align_mask != 0 {
+            return Err(Exception::InstFault {
+                va: pc,
+                kind: InstFaultKind::Misaligned,
+            });
+        }
+        let pa = PhysAddr(fc.pa_page | pc.page_offset());
+        let line = self.icache.line_index(pa.as_u64());
+        if line != fc.line {
+            self.charge_fetch(pa, env);
+            if let Some(fc) = &mut self.fetch_frame {
+                fc.line = line;
+            }
+        }
+        Ok(Some(pa))
+    }
+
     /// Reads instruction bytes at the current PC, handling page-spanning
     /// instructions.
+    ///
+    /// Simulated-time charging (`translate_exec`, `charge_fetch`) runs
+    /// unconditionally; the fast path only short-circuits the host-side
+    /// byte read + decode, which are deterministic functions of the text
+    /// bytes. That is why fast-path on/off cannot change simulated
+    /// clocks, stats, or traces.
     fn fetch_decode(
         &mut self,
-        mem: &PhysMem,
+        mem: &mut PhysMem,
         env: &MemEnv,
     ) -> Result<(Inst, u64), Exception> {
         let pc = self.pc;
-        let pa = self.translate_exec(pc, mem, env)?;
-        self.charge_fetch(pa, env);
+        let pa = match self.fetch_frame_translate(pc, env)? {
+            Some(pa) => pa,
+            None => {
+                let pa = self.translate_exec(pc, mem, env)?;
+                self.charge_fetch(pa, env);
+                self.fetch_frame = if self.cfg.fast_path && self.holes.is_empty() {
+                    Some(FetchFrame {
+                        va_page: pc.page_base().as_u64(),
+                        pa_page: pa.as_u64() & !(PAGE_SIZE - 1),
+                        line: self.icache.line_index(pa.as_u64()),
+                        itlb_gen: self.itlb.generation(),
+                    })
+                } else {
+                    None
+                };
+                pa
+            }
+        };
+        if self.cfg.fast_path {
+            if let Some((inst, len)) = self.decoded.get(pa, mem.text_gen()) {
+                return Ok((inst, len as u64));
+            }
+        }
         let in_page = (PAGE_SIZE - pc.page_offset()) as usize;
         let avail = in_page.min(16);
         let mut buf = [0u8; 16];
         mem.read_bytes(pa, &mut buf[..avail]);
         match self.cfg.isa.decode(&buf[..avail]) {
-            Ok((inst, len)) => Ok((inst, len as u64)),
+            Ok((inst, len)) => {
+                // The decode succeeded within this page (len <= avail),
+                // so it is safe to memoize; page-spanning instructions
+                // take the branch below and are never cached (their
+                // next-page translation and fetch charge must replay).
+                if self.cfg.fast_path {
+                    mem.watch_text(pa);
+                    self.decoded.put(pa, inst, len as u8);
+                }
+                Ok((inst, len as u64))
+            }
             Err(DecodeError::Truncated) if avail < 16 => {
                 // Instruction spans a page boundary: fetch from the next
-                // page (with full permission checks there).
+                // page (with full permission checks there). The extra
+                // translation/charge can touch I-TLB and I-cache state
+                // the fetch memo assumed stable, so drop it.
+                self.fetch_frame = None;
                 let next_va = VirtAddr(pc.page_base().as_u64() + PAGE_SIZE);
                 let next_pa = self.translate_exec(next_va, mem, env)?;
                 self.charge_fetch(next_pa, env);
@@ -596,7 +784,7 @@ impl Core {
                     .advance(env.latency.access(self.requester(), region, kind));
                 self.dcache.access(pa.as_u64());
             } else if !self.dcache.access(pa.as_u64()) {
-                self.stats.bump("dcache_misses");
+                self.counters.dcache_misses += 1;
                 self.clock
                     .advance(env.latency.access(self.requester(), region, kind));
             }
@@ -615,7 +803,7 @@ impl Core {
         mem: &PhysMem,
         env: &MemEnv,
     ) -> Result<u64, Exception> {
-        self.stats.bump("loads");
+        self.counters.loads += 1;
         let n = size.bytes();
         let mut bytes = [0u8; 8];
         let first = (PAGE_SIZE - va.page_offset()).min(n);
@@ -640,7 +828,7 @@ impl Core {
         mem: &mut PhysMem,
         env: &MemEnv,
     ) -> Result<(), Exception> {
-        self.stats.bump("stores");
+        self.counters.stores += 1;
         let n = size.bytes();
         let bytes = val.to_le_bytes();
         let first = (PAGE_SIZE - va.page_offset()).min(n);
@@ -670,7 +858,7 @@ impl Core {
         };
         let pc = self.pc;
         let next = VirtAddr(pc.as_u64() + len);
-        self.stats.bump("instructions");
+        self.counters.instructions += 1;
         let cpi = self.cfg.cpi;
         match inst {
             Inst::Alu { op, rd, rs1, rs2 } => {

@@ -1,0 +1,195 @@
+//! Decoded-instruction cache: the host-side fast path through
+//! fetch/translate/decode.
+//!
+//! Interpreter fetch pays, per simulated instruction, a 16-byte
+//! `PhysMem` read plus a full byte-level re-decode of bytes that almost
+//! never change. This cache memoizes the decoder's output keyed by
+//! *physical* address — per-page baskets of `(offset → (Inst, len))`
+//! slots, after terminus's `ICache`/`ICacheBasket` — so a hot loop
+//! fetches at array-index speed.
+//!
+//! Keying by physical address keeps the cache honest across address
+//! spaces: the same text frame decoded through two mappings shares one
+//! basket, and remaps cannot alias stale decodes. Two invalidation
+//! mechanisms keep it coherent:
+//!
+//! - **Text writes**: every cached page is marked *watched* in
+//!   [`PhysMem`](flick_mem::PhysMem); any write into a watched frame
+//!   bumps the store's `text_gen`. [`DecodedCache::get`] compares that
+//!   generation against its snapshot — one `u64` compare per fetch —
+//!   and drops everything on mismatch. Self-modifying or reloaded code
+//!   is therefore never served stale.
+//! - **Structural events**: the owning core clears the cache outright on
+//!   CR3 switches and TLB flushes/shootdowns (mprotect NX flips flow
+//!   through those). This is belt-and-braces — permissions are
+//!   re-checked by `translate_exec` on every fetch regardless, the
+//!   cache only short-circuits the byte read + decode.
+//!
+//! The cache is purely a *host* optimization: hits and misses here are
+//! invisible to the simulated machine. Simulated I-TLB/I-cache charging
+//! still runs on every fetch, so clocks, stats, and traces are
+//! bit-identical with the cache on or off (`tests/fastpath.rs` enforces
+//! this).
+
+use flick_isa::Inst;
+use flick_mem::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+
+/// Direct-mapped basket count. Conflicts only cost host time (re-decode
+/// on the next fetch), so a small power of two covering the text working
+/// set of both cores is enough.
+const BASKETS: usize = 32;
+
+/// Tag value meaning "basket holds no page".
+const NO_PAGE: u64 = u64::MAX;
+
+type Slot = Option<(Inst, u8)>;
+
+/// One cached text page: decoded instructions by page offset.
+struct Basket {
+    /// Physical frame number this basket caches, or [`NO_PAGE`].
+    tag: u64,
+    /// One slot per byte offset (x64-style text places instructions at
+    /// arbitrary byte offsets).
+    slots: Vec<Slot>,
+}
+
+impl Basket {
+    fn new() -> Self {
+        Basket {
+            tag: NO_PAGE,
+            slots: vec![None; PAGE_SIZE as usize],
+        }
+    }
+}
+
+/// Physically-indexed decoded-instruction cache. See the module docs for
+/// keying and invalidation rules.
+pub struct DecodedCache {
+    baskets: Vec<Option<Box<Basket>>>,
+    /// `PhysMem::text_gen` snapshot the cached decodes were taken at.
+    gen: u64,
+}
+
+impl Default for DecodedCache {
+    fn default() -> Self {
+        DecodedCache::new()
+    }
+}
+
+impl DecodedCache {
+    /// Creates an empty cache. Baskets are allocated lazily, so idle
+    /// cores (the degraded-mode emulator until link death) cost nothing.
+    pub fn new() -> Self {
+        let mut baskets = Vec::with_capacity(BASKETS);
+        baskets.resize_with(BASKETS, || None);
+        DecodedCache { baskets, gen: 0 }
+    }
+
+    /// Looks up the decoded instruction at physical address `pa`,
+    /// validating against the current text generation. A generation
+    /// mismatch (some watched frame was written since the snapshot)
+    /// drops the whole cache and re-snapshots.
+    pub fn get(&mut self, pa: PhysAddr, text_gen: u64) -> Option<(Inst, u8)> {
+        if text_gen != self.gen {
+            self.clear();
+            self.gen = text_gen;
+            return None;
+        }
+        let pfn = pa.as_u64() >> PAGE_SHIFT;
+        let basket = self.baskets[(pfn as usize) % BASKETS].as_ref()?;
+        if basket.tag != pfn {
+            return None;
+        }
+        basket.slots[(pa.as_u64() & (PAGE_SIZE - 1)) as usize]
+    }
+
+    /// Records a decode result. The caller must have called [`get`]
+    /// with the current generation this fetch (so the snapshot is
+    /// up to date) and must not cache page-spanning instructions —
+    /// their second-page translation and fetch charge must replay on
+    /// every execution.
+    ///
+    /// [`get`]: DecodedCache::get
+    pub fn put(&mut self, pa: PhysAddr, inst: Inst, len: u8) {
+        debug_assert!(
+            (pa.as_u64() & (PAGE_SIZE - 1)) + len as u64 <= PAGE_SIZE,
+            "page-spanning instructions are not cacheable"
+        );
+        let pfn = pa.as_u64() >> PAGE_SHIFT;
+        let basket =
+            self.baskets[(pfn as usize) % BASKETS].get_or_insert_with(|| Box::new(Basket::new()));
+        if basket.tag != pfn {
+            // Conflict (or first use): repurpose the basket.
+            basket.slots.fill(None);
+            basket.tag = pfn;
+        }
+        basket.slots[(pa.as_u64() & (PAGE_SIZE - 1)) as usize] = Some((inst, len));
+    }
+
+    /// Drops every cached decode (CR3 switch, TLB flush/shootdown).
+    /// O(baskets): slots are lazily scrubbed when a basket is reused.
+    pub fn clear(&mut self) {
+        for b in self.baskets.iter_mut().flatten() {
+            b.tag = NO_PAGE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flick_isa::Reg;
+
+    fn inst(i: u64) -> Inst {
+        Inst::Li {
+            rd: Reg::new(1),
+            imm: i as i64,
+        }
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = DecodedCache::new();
+        assert_eq!(c.get(PhysAddr(0x40_0010), 0), None);
+        c.put(PhysAddr(0x40_0010), inst(7), 10);
+        assert_eq!(c.get(PhysAddr(0x40_0010), 0), Some((inst(7), 10)));
+        assert_eq!(c.get(PhysAddr(0x40_0011), 0), None);
+    }
+
+    #[test]
+    fn generation_bump_invalidates_everything() {
+        let mut c = DecodedCache::new();
+        c.get(PhysAddr(0x1000), 0);
+        c.put(PhysAddr(0x1000), inst(1), 4);
+        c.put(PhysAddr(0x2000), inst(2), 4);
+        assert_eq!(c.get(PhysAddr(0x1000), 1), None, "stale gen must miss");
+        assert_eq!(c.get(PhysAddr(0x2000), 1), None);
+        // Re-populated under the new generation.
+        c.put(PhysAddr(0x1000), inst(3), 4);
+        assert_eq!(c.get(PhysAddr(0x1000), 1), Some((inst(3), 4)));
+    }
+
+    #[test]
+    fn conflicting_pages_evict_cleanly() {
+        let mut c = DecodedCache::new();
+        let a = PhysAddr(0x1000);
+        let b = PhysAddr(0x1000 + (BASKETS as u64) * PAGE_SIZE); // same basket
+        c.get(a, 0);
+        c.put(a, inst(1), 4);
+        c.put(b, inst(2), 4);
+        assert_eq!(c.get(a, 0), None, "evicted by conflicting page");
+        assert_eq!(c.get(b, 0), Some((inst(2), 4)));
+        // And the offset from the old page must not leak into the new one.
+        c.put(a, inst(3), 4);
+        assert_eq!(c.get(PhysAddr(b.as_u64() + 8), 0), None);
+    }
+
+    #[test]
+    fn clear_drops_all() {
+        let mut c = DecodedCache::new();
+        c.get(PhysAddr(0x5000), 0);
+        c.put(PhysAddr(0x5000), inst(9), 2);
+        c.clear();
+        assert_eq!(c.get(PhysAddr(0x5000), 0), None);
+    }
+}

@@ -32,10 +32,14 @@
 
 pub mod cache;
 pub mod core_;
+pub mod decoded;
 pub mod tlb;
 
 pub use cache::{Cache, CacheConfig};
-pub use core_::{Core, CoreConfig, CpiModel, CpuContext, Exception, InstFaultKind, StopReason};
+pub use core_::{
+    Core, CoreConfig, CoreCounters, CpiModel, CpuContext, Exception, InstFaultKind, StopReason,
+};
+pub use decoded::DecodedCache;
 pub use tlb::{MmuHole, Tlb, TlbEntry};
 
 use flick_mem::{LatencyModel, SystemMap};

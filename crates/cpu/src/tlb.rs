@@ -8,8 +8,9 @@
 //! resolves directly, bypassing the page-table walk, used for debugging
 //! and scratchpad access (§IV-A).
 
-use flick_mem::{PhysAddr, VirtAddr};
+use flick_mem::{PhysAddr, U64BuildHasher, VirtAddr};
 use flick_paging::{PageSize, Translation};
+use std::collections::HashMap;
 
 /// One cached translation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,6 +108,37 @@ pub struct Tlb {
     stamp: u64,
     hits: u64,
     misses: u64,
+    /// Most-recently-hit entry index: a one-entry micro-cache consulted
+    /// before the indexed probe. Repeated hits on the MRU entry skip both
+    /// the probe and the stamp assignment — safe, because the MRU entry
+    /// already holds the maximum stamp, so re-stamping it cannot change
+    /// the *relative* LRU order that eviction decisions depend on.
+    mru: Option<usize>,
+    /// Page-base → entry index. Keyed by `va_base | class` where the
+    /// class id lives in the low (page-offset) bits, so one map serves
+    /// all page sizes; lookups probe once per size class present.
+    index: HashMap<u64, usize, U64BuildHasher>,
+    /// Entry count per page-size class, to skip probes for absent sizes.
+    class_counts: [usize; PAGE_CLASSES.len()],
+    /// Bumped whenever the entry set changes (insert, flush, shootdown).
+    /// Callers that cache a translation outside the TLB (the core's
+    /// last-fetch micro-cache) compare this to detect that their entry
+    /// may have been evicted or invalidated.
+    generation: u64,
+}
+
+/// Page-size classes probed by [`Tlb::lookup`], smallest first.
+const PAGE_CLASSES: [PageSize; 3] = [PageSize::Size4K, PageSize::Size2M, PageSize::Size1G];
+
+fn class_of(page: PageSize) -> usize {
+    page.leaf_level() as usize
+}
+
+/// Index key for a page: base address with the class id folded into the
+/// always-zero offset bits (every base is at least 4 KiB aligned).
+fn key_of(va_base: VirtAddr, page: PageSize) -> u64 {
+    debug_assert_eq!(va_base.as_u64() & (page.bytes() - 1), 0);
+    va_base.as_u64() | class_of(page) as u64
 }
 
 impl Tlb {
@@ -123,17 +155,42 @@ impl Tlb {
             stamp: 0,
             hits: 0,
             misses: 0,
+            mru: None,
+            index: HashMap::with_capacity_and_hasher(capacity, U64BuildHasher::default()),
+            class_counts: [0; PAGE_CLASSES.len()],
+            generation: 0,
         }
     }
 
     /// Looks up `va`, refreshing LRU on hit.
+    ///
+    /// The stamp counter is consumed only when it is assigned to an
+    /// entry (scan-path hits and inserts); empty lookups, MRU hits, and
+    /// misses leave it alone. Only the relative order of stamps is ever
+    /// observable (through eviction), and that order is preserved.
     pub fn lookup(&mut self, va: VirtAddr) -> Option<TlbEntry> {
-        self.stamp += 1;
-        for (e, used) in &mut self.entries {
+        if self.entries.is_empty() {
+            self.misses += 1;
+            return None;
+        }
+        if let Some(i) = self.mru {
+            let (e, _) = self.entries[i];
             if e.covers(va) {
-                *used = self.stamp;
                 self.hits += 1;
-                return Some(*e);
+                return Some(e);
+            }
+        }
+        for (c, page) in PAGE_CLASSES.iter().enumerate() {
+            if self.class_counts[c] == 0 {
+                continue;
+            }
+            let key = (va.as_u64() & !(page.bytes() - 1)) | c as u64;
+            if let Some(&i) = self.index.get(&key) {
+                self.stamp += 1;
+                self.entries[i].1 = self.stamp;
+                self.hits += 1;
+                self.mru = Some(i);
+                return Some(self.entries[i].0);
             }
         }
         self.misses += 1;
@@ -141,33 +198,77 @@ impl Tlb {
     }
 
     /// Inserts a translation, evicting the LRU entry when full.
+    ///
+    /// Insert sits behind a page walk, so the same-page scan and the LRU
+    /// search stay linear; only `lookup` is on the per-instruction path.
     pub fn insert(&mut self, entry: TlbEntry) {
+        self.generation += 1;
         self.stamp += 1;
         // Replace an existing mapping of the same page, if any.
-        if let Some(slot) = self.entries.iter_mut().find(|(e, _)| e.va_base == entry.va_base) {
-            *slot = (entry, self.stamp);
-            return;
-        }
-        if self.entries.len() < self.capacity {
+        let pos = if let Some(pos) = self
+            .entries
+            .iter()
+            .position(|(e, _)| e.va_base == entry.va_base)
+        {
+            self.unindex(pos);
+            self.entries[pos] = (entry, self.stamp);
+            pos
+        } else if self.entries.len() < self.capacity {
             self.entries.push((entry, self.stamp));
+            self.entries.len() - 1
         } else {
-            let lru = self
+            let pos = self
                 .entries
-                .iter_mut()
-                .min_by_key(|(_, used)| *used)
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(i, _)| i)
                 .expect("capacity > 0");
-            *lru = (entry, self.stamp);
-        }
+            self.unindex(pos);
+            self.entries[pos] = (entry, self.stamp);
+            pos
+        };
+        self.index.insert(key_of(entry.va_base, entry.page), pos);
+        self.class_counts[class_of(entry.page)] += 1;
+        self.mru = Some(pos);
+    }
+
+    /// Removes entry `pos` from the index and class counts.
+    fn unindex(&mut self, pos: usize) {
+        let (e, _) = self.entries[pos];
+        self.index.remove(&key_of(e.va_base, e.page));
+        self.class_counts[class_of(e.page)] -= 1;
     }
 
     /// Drops every entry (context switch / mprotect shootdown).
     pub fn flush(&mut self) {
+        self.generation += 1;
         self.entries.clear();
+        self.index.clear();
+        self.class_counts = [0; PAGE_CLASSES.len()];
+        self.mru = None;
     }
 
     /// Drops entries covering `va` (single-page shootdown).
     pub fn flush_page(&mut self, va: VirtAddr) {
+        self.generation += 1;
         self.entries.retain(|(e, _)| !e.covers(va));
+        // Removal shifts indices; rebuild the side structures. Shootdowns
+        // are rare (mprotect, munmap), so this stays off the hot path.
+        self.index.clear();
+        self.class_counts = [0; PAGE_CLASSES.len()];
+        for (i, (e, _)) in self.entries.iter().enumerate() {
+            self.index.insert(key_of(e.va_base, e.page), i);
+            self.class_counts[class_of(e.page)] += 1;
+        }
+        self.mru = None;
+    }
+
+    /// Entry-set change counter (see the `generation` field). Lookups do
+    /// not bump it: a hit changes which entries are *recent*, never
+    /// which entries *exist*.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Hit count.
@@ -270,6 +371,74 @@ mod tests {
         tlb.flush_page(VirtAddr(0x1000));
         assert!(tlb.lookup(VirtAddr(0x1000)).is_none());
         assert!(tlb.lookup(VirtAddr(0x2000)).is_some());
+    }
+
+    #[test]
+    fn empty_lookup_counts_miss_without_scan() {
+        let mut tlb = Tlb::new(4);
+        assert!(tlb.lookup(VirtAddr(0x1000)).is_none());
+        assert!(tlb.lookup(VirtAddr(0x2000)).is_none());
+        assert_eq!(tlb.misses(), 2);
+        assert_eq!(tlb.hits(), 0);
+    }
+
+    #[test]
+    fn mru_repeats_preserve_lru_order() {
+        // Hammering one entry through the MRU micro-cache must not
+        // change which entry gets evicted: relative LRU order is the
+        // only thing eviction observes, and the MRU entry already holds
+        // the maximum stamp.
+        let mut tlb = Tlb::new(3);
+        tlb.insert(entry(0x1000, 0x1000, PageSize::Size4K));
+        tlb.insert(entry(0x2000, 0x2000, PageSize::Size4K));
+        tlb.insert(entry(0x3000, 0x3000, PageSize::Size4K));
+        // Touch order: 0x1000 then 0x2000 (many MRU repeats) — so
+        // 0x3000 is now least recent.
+        tlb.lookup(VirtAddr(0x1000));
+        for _ in 0..100 {
+            assert!(tlb.lookup(VirtAddr(0x2abc)).is_some());
+        }
+        tlb.insert(entry(0x4000, 0x4000, PageSize::Size4K)); // must evict 0x3000
+        assert!(tlb.lookup(VirtAddr(0x3000)).is_none());
+        assert!(tlb.lookup(VirtAddr(0x1000)).is_some());
+        assert!(tlb.lookup(VirtAddr(0x2000)).is_some());
+        assert!(tlb.lookup(VirtAddr(0x4000)).is_some());
+        assert_eq!(tlb.hits(), 101 + 3);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn mixed_page_sizes_probe_all_classes() {
+        let mut tlb = Tlb::new(8);
+        tlb.insert(entry(0x1000, 0x1000, PageSize::Size4K));
+        tlb.insert(entry(2 << 30, 1 << 30, PageSize::Size1G));
+        tlb.insert(entry(4 << 20, 2 << 20, PageSize::Size2M));
+        assert!(tlb.lookup(VirtAddr(0x1abc)).is_some());
+        assert!(tlb.lookup(VirtAddr((2 << 30) + 12345)).is_some());
+        assert!(tlb.lookup(VirtAddr((4 << 20) + 777)).is_some());
+        assert!(tlb.lookup(VirtAddr(0x8000)).is_none());
+        assert_eq!(tlb.hits(), 3);
+        assert_eq!(tlb.misses(), 1);
+    }
+
+    #[test]
+    fn shootdown_then_reuse_keeps_index_consistent() {
+        let mut tlb = Tlb::new(4);
+        tlb.insert(entry(0x1000, 0x1000, PageSize::Size4K));
+        tlb.insert(entry(0x2000, 0x2000, PageSize::Size4K));
+        tlb.insert(entry(0x3000, 0x3000, PageSize::Size4K));
+        tlb.flush_page(VirtAddr(0x2000));
+        assert_eq!(tlb.len(), 2);
+        assert!(tlb.lookup(VirtAddr(0x1000)).is_some());
+        assert!(tlb.lookup(VirtAddr(0x3000)).is_some());
+        tlb.insert(entry(0x2000, 0x9000, PageSize::Size4K));
+        assert_eq!(
+            tlb.lookup(VirtAddr(0x2000)).unwrap().pa_base,
+            PhysAddr(0x9000)
+        );
+        tlb.flush();
+        assert!(tlb.is_empty());
+        assert!(tlb.lookup(VirtAddr(0x1000)).is_none());
     }
 
     #[test]

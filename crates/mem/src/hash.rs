@@ -1,0 +1,68 @@
+//! A fast, deterministic hasher for `u64` keys (frame numbers, page
+//! bases).
+//!
+//! `std`'s default SipHash is keyed per-process and costs tens of
+//! nanoseconds per probe — both properties are wrong here: frame lookups
+//! sit under every memory access the interpreter simulates, and a
+//! reproduction wants identical data-structure behavior run to run. A
+//! single multiply by a high-entropy odd constant (the 64-bit golden
+//! ratio, as in Fibonacci hashing) plus an xor-fold scrambles page-base
+//! keys plenty: callers key by frame number or page base, which are
+//! already unique per entry — the hash only needs to spread them across
+//! buckets, not resist adversarial collisions.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Hasher specialized for single-`u64` keys. Falls back to FNV-1a for
+/// other widths so it stays a correct general [`Hasher`].
+#[derive(Default)]
+pub struct U64Hasher(u64);
+
+impl Hasher for U64Hasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        let mixed = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Fold the strong high bits down — hashbrown indexes buckets
+        // with the low bits, and a bare multiply leaves those weak.
+        self.0 = mixed ^ (mixed >> 32);
+    }
+}
+
+/// `BuildHasher` for [`U64Hasher`] — stateless, so maps built with it
+/// are deterministic across processes and runs.
+pub type U64BuildHasher = BuildHasherDefault<U64Hasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn u64_keys_round_trip() {
+        let mut m: HashMap<u64, u64, U64BuildHasher> = HashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 4096, i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 4096)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        use std::hash::BuildHasher;
+        let a = U64BuildHasher::default().hash_one(0xDEAD_BEEFu64);
+        let b = U64BuildHasher::default().hash_one(0xDEAD_BEEFu64);
+        assert_eq!(a, b);
+        assert_ne!(a, U64BuildHasher::default().hash_one(0xDEAD_BEE0u64));
+    }
+}

@@ -30,11 +30,13 @@
 //! ```
 
 pub mod addr;
+pub mod hash;
 pub mod latency;
 pub mod phys;
 pub mod region;
 
 pub use addr::{PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use hash::{U64BuildHasher, U64Hasher};
 pub use latency::{AccessKind, LatencyModel, Requester};
 pub use phys::PhysMem;
 pub use region::{Region, SystemMap};

@@ -1,7 +1,28 @@
 //! Sparse physical memory backing store.
 
 use crate::addr::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+use crate::hash::U64BuildHasher;
 use std::collections::HashMap;
+
+/// One resident frame: its bytes plus a *watched* flag. Watched frames
+/// are the ones some host-side structure (the cores' decoded-instruction
+/// caches) derived state from; any write to a watched frame bumps the
+/// store's [text generation](PhysMem::text_gen) so the derived state can
+/// be discarded. The flag costs nothing on the write path — the frame is
+/// already in hand when the bytes land.
+struct Frame {
+    data: Box<[u8; PAGE_SIZE as usize]>,
+    watched: bool,
+}
+
+impl Frame {
+    fn new() -> Self {
+        Frame {
+            data: Box::new([0u8; PAGE_SIZE as usize]),
+            watched: false,
+        }
+    }
+}
 
 /// Byte-addressable sparse physical memory.
 ///
@@ -23,7 +44,12 @@ use std::collections::HashMap;
 /// ```
 #[derive(Default)]
 pub struct PhysMem {
-    frames: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    frames: HashMap<u64, Frame, U64BuildHasher>,
+    /// Bumped on every write that touches a watched frame. Consumers
+    /// that cache data derived from watched frames (decoded-instruction
+    /// caches) compare this against their snapshot: one integer compare
+    /// per use, regardless of how many pages they cached.
+    text_gen: u64,
 }
 
 impl std::fmt::Debug for PhysMem {
@@ -46,13 +72,33 @@ impl PhysMem {
     }
 
     fn frame(&self, fno: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
-        self.frames.get(&fno).map(|b| &**b)
+        self.frames.get(&fno).map(|fr| &*fr.data)
     }
 
+    /// Mutable frame access for writers. Bumps the text generation when
+    /// the frame is watched — the caller is about to scribble on it.
     fn frame_mut(&mut self, fno: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        let fr = self.frames.entry(fno).or_insert_with(Frame::new);
+        if fr.watched {
+            self.text_gen += 1;
+        }
+        &mut fr.data
+    }
+
+    /// Marks the frame containing `addr` as watched: any later write to
+    /// it bumps [`text_gen`](Self::text_gen). Used by decoded-instruction
+    /// caches to detect self-modifying / reloaded code.
+    pub fn watch_text(&mut self, addr: PhysAddr) {
         self.frames
-            .entry(fno)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+            .entry(addr.as_u64() >> PAGE_SHIFT)
+            .or_insert_with(Frame::new)
+            .watched = true;
+    }
+
+    /// Generation counter for writes into watched frames. Cached decode
+    /// state is valid only while this value is unchanged.
+    pub fn text_gen(&self) -> u64 {
+        self.text_gen
     }
 
     /// Reads `buf.len()` bytes starting at `addr`, crossing frames as
@@ -202,6 +248,34 @@ mod tests {
         assert_eq!(mem.read_u64(PhysAddr(0)), 1);
         assert_eq!(mem.read_u64(PhysAddr(0x1_0000_0000)), 2);
         assert_eq!(mem.resident_frames(), 2);
+    }
+
+    #[test]
+    fn watched_frames_bump_text_gen() {
+        let mut mem = PhysMem::new();
+        mem.write_u64(PhysAddr(0x1000), 1);
+        mem.write_u64(PhysAddr(0x2000), 2);
+        let g0 = mem.text_gen();
+        mem.watch_text(PhysAddr(0x1008)); // watches the whole 0x1000 frame
+
+        // Writes to unwatched frames leave the generation alone.
+        mem.write_u64(PhysAddr(0x2000), 3);
+        assert_eq!(mem.text_gen(), g0);
+
+        // Any write into the watched frame bumps it.
+        mem.write_u8(PhysAddr(0x1FFF), 7);
+        assert!(mem.text_gen() > g0);
+
+        // Reads never bump.
+        let g1 = mem.text_gen();
+        let _ = mem.read_u64(PhysAddr(0x1000));
+        assert_eq!(mem.text_gen(), g1);
+
+        // Watching an untouched frame materializes it zeroed.
+        mem.watch_text(PhysAddr(0x9000));
+        assert_eq!(mem.read_u64(PhysAddr(0x9000)), 0);
+        mem.fill(PhysAddr(0x9000), 16, 0xEE);
+        assert!(mem.text_gen() > g1);
     }
 
     #[test]

@@ -378,6 +378,25 @@ impl AddressSpace {
             return Err(MapError::Misaligned);
         }
         let leaf_level = size.leaf_level();
+        let table = self.leaf_table(mem, alloc, va, leaf_level)?;
+        let slot = PhysAddr(table.as_u64() + va.pt_index(leaf_level) as u64 * 8);
+        if Pte(mem.read_u64(slot)).present() {
+            return Err(MapError::AlreadyMapped(va));
+        }
+        let leaf_fl = if leaf_level > 0 { fl | flags::HUGE } else { fl };
+        mem.write_u64(slot, Pte::new(pa, leaf_fl).bits());
+        Ok(())
+    }
+
+    /// Walks (allocating tables as needed) down to the table that holds
+    /// `va`'s leaf entry at `leaf_level`, returning the table base.
+    fn leaf_table(
+        &mut self,
+        mem: &mut PhysMem,
+        alloc: &mut BumpFrameAlloc,
+        va: VirtAddr,
+        leaf_level: u8,
+    ) -> Result<PhysAddr, MapError> {
         let mut table = self.cr3;
         for level in (leaf_level + 1..=3).rev() {
             let slot = PhysAddr(table.as_u64() + va.pt_index(level) as u64 * 8);
@@ -399,17 +418,18 @@ impl AddressSpace {
                 table = new;
             }
         }
-        let slot = PhysAddr(table.as_u64() + va.pt_index(leaf_level) as u64 * 8);
-        if Pte(mem.read_u64(slot)).present() {
-            return Err(MapError::AlreadyMapped(va));
-        }
-        let leaf_fl = if leaf_level > 0 { fl | flags::HUGE } else { fl };
-        mem.write_u64(slot, Pte::new(pa, leaf_fl).bits());
-        Ok(())
+        Ok(table)
     }
 
     /// Maps a contiguous `[va, va+len)` → `[pa, pa+len)` range with 4 KiB
     /// pages.
+    ///
+    /// One leaf table serves 512 consecutive 4 KiB pages, so the walk
+    /// from CR3 is resolved once per 2 MiB block instead of once per
+    /// page. The tables and PTEs written are byte-identical to mapping
+    /// each page individually; multi-MiB loader mappings (stacks, BAR
+    /// windows) just stop paying four `PhysMem` accesses per page to
+    /// rediscover the same table.
     ///
     /// # Errors
     ///
@@ -423,16 +443,28 @@ impl AddressSpace {
         len: u64,
         fl: u64,
     ) -> Result<(), MapError> {
+        if !va.is_aligned(PAGE_SIZE) || !pa.is_aligned(PAGE_SIZE) {
+            return Err(MapError::Misaligned);
+        }
         let pages = len.div_ceil(PAGE_SIZE);
+        let mut cached: Option<(u64, PhysAddr)> = None;
         for i in 0..pages {
-            self.map(
-                mem,
-                alloc,
-                va + i * PAGE_SIZE,
-                pa + i * PAGE_SIZE,
-                PageSize::Size4K,
-                fl,
-            )?;
+            let v = va + i * PAGE_SIZE;
+            let p = pa + i * PAGE_SIZE;
+            let block = v.as_u64() >> 21;
+            let table = match cached {
+                Some((b, t)) if b == block => t,
+                _ => {
+                    let t = self.leaf_table(mem, alloc, v, 0)?;
+                    cached = Some((block, t));
+                    t
+                }
+            };
+            let slot = PhysAddr(table.as_u64() + v.pt_index(0) as u64 * 8);
+            if Pte(mem.read_u64(slot)).present() {
+                return Err(MapError::AlreadyMapped(v));
+            }
+            mem.write_u64(slot, Pte::new(p, fl).bits());
         }
         Ok(())
     }

@@ -25,15 +25,29 @@ pub struct Clock {
     freq: Hertz,
     now: Picos,
     cycles: u64,
+    /// `freq.cycles(n).0` precomputed for n below [`SMALL_TICKS`]. The
+    /// interpreter ticks 1–80 cycles per retired instruction, and the
+    /// u128 division inside [`Hertz::cycles`] would otherwise sit on
+    /// that per-instruction path. Values are identical by construction
+    /// (the table is filled by calling `Hertz::cycles` itself).
+    small: [u64; SMALL_TICKS],
 }
+
+/// Tick counts served from the precomputed table.
+const SMALL_TICKS: usize = 128;
 
 impl Clock {
     /// Creates a clock at time zero running at `freq`.
     pub fn new(freq: Hertz) -> Self {
+        let mut small = [0u64; SMALL_TICKS];
+        for (n, slot) in small.iter_mut().enumerate() {
+            *slot = freq.cycles(n as u64).0;
+        }
         Clock {
             freq,
             now: Picos::ZERO,
             cycles: 0,
+            small,
         }
     }
 
@@ -57,7 +71,11 @@ impl Clock {
     /// Advances by `n` cycles of this clock's frequency.
     pub fn tick(&mut self, n: u64) {
         self.cycles += n;
-        self.now += self.freq.cycles(n);
+        self.now += if (n as usize) < SMALL_TICKS {
+            Picos(self.small[n as usize])
+        } else {
+            self.freq.cycles(n)
+        };
     }
 
     /// Advances by an absolute duration (e.g. a memory stall), without

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Runs the simulator wall-clock benchmarks and records the results as
+# JSON at the repo root (BENCH_simulator.json), so the perf trajectory
+# is tracked across PRs. Extra arguments are passed through to the
+# bench harness, e.g. `scripts/bench.sh --samples 30`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Cargo runs bench binaries with the package directory as cwd, so the
+# output path must be absolute to land at the repo root.
+cargo bench -p flick-bench --bench simulator -- --json "$PWD/BENCH_simulator.json" "$@"

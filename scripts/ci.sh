@@ -5,5 +5,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo build --release --benches
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Smoke-run the bench harness (1 sample: checks it runs, not the timings).
+cargo bench -p flick-bench --bench simulator -- --samples 1

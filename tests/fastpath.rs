@@ -1,0 +1,202 @@
+//! Differential proof that the decoded-instruction fast path is a pure
+//! host-side optimization: a machine with the fast path disabled must
+//! produce **bit-identical** results — final simulated clock, every
+//! stats counter, the full trace event stream, exit code and console —
+//! for every workload, including chaos runs that stress migration
+//! recovery. Only host wall-clock time may differ.
+
+use flick::{Machine, Outcome};
+use flick_isa::{abi, FuncBuilder, MemSize, TargetIsa};
+use flick_sim::{FaultPlan, TraceConfig};
+use flick_toolchain::{DataDef, ProgramBuilder};
+
+const CHASE_LEN: u64 = 64;
+const CHASE_STEPS: i64 = 48;
+
+fn chase_table() -> Vec<u8> {
+    let mut bytes = Vec::with_capacity((CHASE_LEN * 8) as usize);
+    for i in 0..CHASE_LEN {
+        let next = (i.wrapping_mul(17).wrapping_add(5)) % CHASE_LEN;
+        bytes.extend_from_slice(&next.to_le_bytes());
+    }
+    bytes
+}
+
+/// Tight host ALU loop — the workload the fast path accelerates most.
+fn build_alu_loop(p: &mut ProgramBuilder) {
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    let lp = main.new_label();
+    main.li(abi::S1, 5_000);
+    main.bind(lp);
+    main.addi(abi::A0, abi::A0, 1);
+    main.addi(abi::A1, abi::A1, 2);
+    main.addi(abi::S1, abi::S1, -1);
+    main.bne(abi::S1, abi::ZERO, lp);
+    main.call("flick_exit");
+    p.func(main.finish());
+}
+
+/// Migration round trips: exercises both cores, CR3 switches and the
+/// full descriptor protocol.
+fn build_null_call(p: &mut ProgramBuilder) {
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::S1, 0);
+    for k in 1..=4 {
+        main.li(abi::A0, k);
+        main.call("nxp_inc");
+        main.add(abi::S1, abi::S1, abi::A0);
+    }
+    main.mv(abi::A0, abi::S1);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut inc = FuncBuilder::new("nxp_inc", TargetIsa::Nxp);
+    inc.addi(abi::A0, abi::A0, 1);
+    inc.ret();
+    p.func(inc.finish());
+}
+
+/// Pointer chase with a nested NxP→host→NxP ping-pong: loads, stores,
+/// both TLBs, both ISAs.
+fn build_chase(p: &mut ProgramBuilder) {
+    p.data(DataDef::new("table", chase_table()));
+
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li_sym(abi::A0, "table");
+    main.li(abi::A1, CHASE_STEPS);
+    main.call("nxp_chase");
+    main.mv(abi::S1, abi::A0);
+    main.li(abi::A0, 5);
+    main.call("nxp_pingpong");
+    main.add(abi::A0, abi::A0, abi::S1);
+    main.call("flick_exit");
+    p.func(main.finish());
+
+    let mut chase = FuncBuilder::new("nxp_chase", TargetIsa::Nxp);
+    chase.li(abi::T0, 0);
+    chase.li(abi::T1, 0);
+    chase.mv(abi::T2, abi::A1);
+    let top = chase.new_label();
+    let done = chase.new_label();
+    chase.bind(top);
+    chase.beq(abi::T2, abi::ZERO, done);
+    chase.slli(abi::T3, abi::T0, 3);
+    chase.add(abi::T3, abi::A0, abi::T3);
+    chase.ld(abi::T0, abi::T3, 0, MemSize::B8);
+    chase.add(abi::T1, abi::T1, abi::T0);
+    chase.addi(abi::T2, abi::T2, -1);
+    chase.jmp(top);
+    chase.bind(done);
+    chase.mv(abi::A0, abi::T1);
+    chase.ret();
+    p.func(chase.finish());
+
+    let mut ping = FuncBuilder::new("nxp_pingpong", TargetIsa::Nxp);
+    ping.prologue(16, &[]);
+    ping.addi(abi::A0, abi::A0, 1);
+    ping.call("host_leaf");
+    ping.addi(abi::A0, abi::A0, 7);
+    ping.epilogue(16, &[]);
+    p.func(ping.finish());
+
+    let mut leaf = FuncBuilder::new("host_leaf", TargetIsa::Host);
+    leaf.slli(abi::T0, abi::A0, 1);
+    leaf.add(abi::A0, abi::A0, abi::T0);
+    leaf.ret();
+    p.func(leaf.finish());
+}
+
+fn run_one(
+    fast_path: bool,
+    plan: Option<FaultPlan>,
+    build: impl FnOnce(&mut ProgramBuilder),
+) -> (Machine, Outcome) {
+    let mut p = ProgramBuilder::new("fastpath");
+    build(&mut p);
+    let mut b = Machine::builder()
+        .fast_path(fast_path)
+        .trace(TraceConfig {
+            enabled: true,
+            capacity: 1 << 20,
+        });
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    let mut m = b.build();
+    let pid = m.load_program(&mut p).expect("load");
+    let out = m.run(pid).expect("run");
+    (m, out)
+}
+
+/// Runs the workload with the fast path on and off and asserts every
+/// simulated observable is bit-identical.
+fn assert_bit_identical(
+    label: &str,
+    plan: Option<FaultPlan>,
+    build: fn(&mut ProgramBuilder),
+) {
+    let (m_on, out_on) = run_one(true, plan.clone(), build);
+    let (m_off, out_off) = run_one(false, plan, build);
+
+    assert_eq!(out_on.exit_code, out_off.exit_code, "{label}: exit code");
+    assert_eq!(out_on.console, out_off.console, "{label}: console");
+    assert_eq!(out_on.sim_time, out_off.sim_time, "{label}: final clock");
+
+    // Full stats identity: the same set of keys with the same values —
+    // a key present on one side but not the other is a failure even at
+    // value zero.
+    let stats_on: Vec<(&str, u64)> = out_on.stats.iter().collect();
+    let stats_off: Vec<(&str, u64)> = out_off.stats.iter().collect();
+    assert_eq!(stats_on, stats_off, "{label}: stats");
+
+    // Byte-identical trace streams: same events, timestamps, order.
+    assert_eq!(
+        m_on.trace().events(),
+        m_off.trace().events(),
+        "{label}: trace"
+    );
+    assert_eq!(
+        format!("{:?}", m_on.trace().events()),
+        format!("{:?}", m_off.trace().events())
+    );
+}
+
+#[test]
+fn fast_path_is_on_by_default() {
+    use flick_cpu::CoreConfig;
+    assert!(CoreConfig::host().fast_path);
+    assert!(CoreConfig::nxp().fast_path);
+}
+
+#[test]
+fn alu_loop_bit_identical() {
+    assert_bit_identical("alu_loop", None, build_alu_loop);
+}
+
+#[test]
+fn null_call_bit_identical() {
+    assert_bit_identical("null_call", None, build_null_call);
+}
+
+#[test]
+fn chase_bit_identical() {
+    assert_bit_identical("chase", None, build_chase);
+}
+
+#[test]
+fn chaos_seeds_bit_identical() {
+    // Chaos plans inject PCIe faults, retransmissions, watchdog fires
+    // and spurious wakeups — timeline perturbations that reorder TLB
+    // fills and CR3 switches. The fast path must shadow all of it.
+    for seed in [1, 2, 7, 100, 104, 0xD1CE] {
+        assert_bit_identical(
+            &format!("chaos_null_call seed {seed}"),
+            Some(FaultPlan::chaos(seed)),
+            build_null_call,
+        );
+        assert_bit_identical(
+            &format!("chaos_chase seed {seed}"),
+            Some(FaultPlan::chaos(seed)),
+            build_chase,
+        );
+    }
+}
