@@ -10,7 +10,7 @@
 //! as JSON — `scripts/bench.sh` uses this to track the perf trajectory
 //! in `BENCH_simulator.json` across PRs. Run with `cargo bench`.
 
-use flick::Machine;
+use flick::{Machine, Topology};
 use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
 use flick_isa::{abi, FuncBuilder, Isa, TargetIsa};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
@@ -39,6 +39,11 @@ struct BenchResult {
     best: Duration,
     samples: u32,
     insts_per_iter: Option<u64>,
+    /// Simulated migration calls per simulated second, for benches
+    /// that measure the machine's migration throughput at a given
+    /// topology (deterministic — a property of the simulation, not of
+    /// wall clock).
+    sim_calls_per_sec: Option<f64>,
 }
 
 impl BenchResult {
@@ -75,6 +80,7 @@ fn bench(
         best,
         samples,
         insts_per_iter,
+        sim_calls_per_sec: None,
     };
     let n = r.samples;
     match r.insts_per_sec() {
@@ -107,6 +113,67 @@ fn bench_migration_round_trip(samples: u32) -> BenchResult {
         let pid = m.load_program(&mut p).unwrap();
         black_box(m.run(pid).unwrap().sim_time);
     })
+}
+
+/// Migration throughput at a topology: 8 processes × 8 NxP calls over
+/// 2 host cores and a varying NxP count. The wall-clock number tracks
+/// simulator cost; the attached `sim_calls_per_sec` is the paper-side
+/// result — simulated calls/sec must scale with the NxP count.
+fn bench_migration_throughput(samples: u32, nxps: usize, name: &'static str) -> BenchResult {
+    const PROCS: i64 = 8;
+    const CALLS: i64 = 8;
+    const SPIN: i64 = 2_000;
+    let run = || {
+        let mut m = Machine::builder()
+            .trace(TraceConfig {
+                enabled: false,
+                capacity: 0,
+            })
+            .topology(Topology::new(2, nxps))
+            .build();
+        let mut pids = Vec::new();
+        for tag in 0..PROCS {
+            let mut p = ProgramBuilder::new("tput");
+            let mut main = FuncBuilder::new("main", TargetIsa::Host);
+            let lp = main.new_label();
+            main.li(abi::S1, CALLS);
+            main.li(abi::S2, 0);
+            main.bind(lp);
+            main.li(abi::A0, SPIN);
+            main.call("nxp_spin");
+            main.add(abi::S2, abi::S2, abi::A0);
+            main.addi(abi::S1, abi::S1, -1);
+            main.bne(abi::S1, abi::ZERO, lp);
+            main.li(abi::T0, tag);
+            main.add(abi::A0, abi::S2, abi::T0);
+            main.call("flick_exit");
+            p.func(main.finish());
+            let mut f = FuncBuilder::new("nxp_spin", TargetIsa::Nxp);
+            let sl = f.new_label();
+            let done = f.new_label();
+            f.li(abi::T0, 0);
+            f.bind(sl);
+            f.bge(abi::T0, abi::A0, done);
+            f.addi(abi::T0, abi::T0, 1);
+            f.jmp(sl);
+            f.bind(done);
+            f.mv(abi::A0, abi::T0);
+            f.ret();
+            p.func(f.finish());
+            pids.push(m.load_program(&mut p).unwrap());
+        }
+        m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+        m.host_now()
+    };
+    let sim_elapsed = run();
+    let calls = (PROCS * CALLS) as f64;
+    let sim_cps = calls / (sim_elapsed.as_nanos_f64() * 1e-9);
+    let mut r = bench(name, samples, None, || {
+        black_box(run());
+    });
+    println!("{:<32} {sim_cps:>12.0} simulated calls/sec", "");
+    r.sim_calls_per_sec = Some(sim_cps);
+    r
 }
 
 /// Number of loop iterations in the interpreter benches (4 instructions
@@ -213,12 +280,15 @@ fn to_json(samples: u32, results: &[BenchResult]) -> String {
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
-        let extra = match (r.insts_per_iter, r.insts_per_sec()) {
+        let mut extra = match (r.insts_per_iter, r.insts_per_sec()) {
             (Some(n), Some(ips)) => format!(
                 ", \"instructions_per_iter\": {n}, \"instructions_per_sec\": {ips:.0}"
             ),
             _ => String::new(),
         };
+        if let Some(cps) = r.sim_calls_per_sec {
+            extra.push_str(&format!(", \"sim_calls_per_sec\": {cps:.0}"));
+        }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}{}}}{}\n",
             r.name,
@@ -259,6 +329,9 @@ fn main() {
         bench_pure_interpret(samples),
         bench_pointer_chase(samples),
         bench_graph_generation(samples),
+        bench_migration_throughput(samples, 1, "migration_throughput_1nxp"),
+        bench_migration_throughput(samples, 2, "migration_throughput_2nxp"),
+        bench_migration_throughput(samples, 4, "migration_throughput_4nxp"),
     ];
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(samples, &results)).expect("write json");

@@ -21,9 +21,12 @@
 //! * [`nxp`] — the **NxP scheduler/runtime**: polls the DMA status
 //!   register, context-switches threads in and out, redirects
 //!   exec-faults into the NxP migration handler.
-//! * [`machine`] — the [`Machine`]: host core + NxP core + DMA +
+//! * [`machine`] — the [`Machine`]: host cores + NxP cores + DMA +
 //!   interrupt controller + kernel, with the full event loop for NX
 //!   page-fault-triggered bidirectional thread migration.
+//! * [`topology`] — N host cores × M NxPs ([`Topology`]) and the
+//!   [`NxpPlacement`] policy that spreads concurrent in-flight calls
+//!   across the NxPs.
 //!
 //! # Quickstart
 //!
@@ -60,7 +63,9 @@ pub mod nxp;
 pub mod services;
 pub mod stdlib;
 pub mod timeline;
+pub mod topology;
 
 pub use descriptor::{DescError, DescKind, MigrationDescriptor};
 pub use machine::{Machine, MachineBuilder, Outcome, RunError};
 pub use nxp::NxpTiming;
+pub use topology::{NxpPlacement, Topology};

@@ -1,23 +1,36 @@
-//! The machine: host core + NxP core + PCIe DMA + interrupt
+//! The machine: N host cores × M NxP cores + PCIe fabric + interrupt
 //! controller + kernel + NxP runtime, and the complete bidirectional
 //! migration event loop of Fig. 2.
+//!
+//! The fleet is driven by a deterministic discrete-event interleave:
+//! each scheduling turn goes to the eligible host core whose clock is
+//! globally earliest (ties toward the lowest core index), so any
+//! topology — including the paper's 1×1 pair — replays bit-identically
+//! run after run.
 
 use crate::descriptor::{DescKind, MigrationDescriptor};
 use crate::handlers;
 use crate::nxp::{NxpRuntime, NxpTiming};
 use crate::services::{self as svc, desc_layout as L};
+use crate::topology::{NxpPlacement, Topology};
 use flick_cpu::{Core, CoreConfig, CpuContext, Exception, InstFaultKind, MemEnv, StopReason};
 use flick_isa::abi;
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
-use flick_os::{Kernel, LoadError, OsTiming};
-use flick_pcie::{DmaEngine, InterruptController, Msi};
+use flick_os::{Kernel, LoadError, OsTiming, RunQueues};
+use flick_pcie::{InterruptController, Msi, PcieFabric};
 use flick_sim::fault::BurstPerturbation;
 use flick_sim::trace::Side;
-use flick_sim::{Event, FaultCounts, FaultPlan, MsiFate, Picos, Stats, Trace, TraceConfig};
+use flick_sim::{
+    CoreId, Event, FaultCounts, FaultPlan, MsiFate, Picos, Stats, Trace, TraceConfig,
+};
 use flick_toolchain::{layout, MultiIsaImage, ProgramBuilder};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
+
+/// Instructions per scheduling quantum (~20 µs at host speed).
+const QUANTUM: u64 = 50_000;
 
 /// Why a run failed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -62,6 +75,14 @@ pub enum RunError {
         /// Which leg of the protocol gave up.
         stage: &'static str,
     },
+    /// Every host core went idle with no queued task and no pending
+    /// wake-up, yet some processes never finished — they can never run
+    /// again (e.g. they were abandoned mid-migration by an earlier
+    /// aborted run).
+    Deadlock {
+        /// The pids that never completed.
+        stuck: Vec<u64>,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -79,6 +100,13 @@ impl fmt::Display for RunError {
             }
             RunError::LinkDead { pid, stage } => {
                 write!(f, "PCIe link dead for pid {pid} during {stage}")
+            }
+            RunError::Deadlock { stuck } => {
+                write!(
+                    f,
+                    "scheduler deadlock: no runnable task or pending wake-up; \
+                     stuck pids {stuck:?}"
+                )
             }
         }
     }
@@ -123,6 +151,45 @@ struct PendingWake {
     /// (or its whole payload burst) was lost in flight — the watchdog
     /// deadline in the `task_struct` then drives recovery.
     msi_at: Option<Picos>,
+    /// The descriptor channel (= NxP index = MSI vector) the wake-up
+    /// travels on.
+    chan: usize,
+}
+
+/// Per-channel descriptor protocol state: independent sequence spaces
+/// per NxP, exactly as each device pair would keep on real hardware.
+#[derive(Clone, Copy, Debug)]
+struct ChannelSeqs {
+    /// Next host→NxP descriptor sequence number.
+    h2n: u64,
+    /// Next NxP→host descriptor sequence number.
+    n2h: u64,
+    /// Highest host→NxP sequence the NxP has accepted.
+    nxp_last: u64,
+    /// Highest NxP→host sequence the host has accepted.
+    host_last: u64,
+}
+
+impl Default for ChannelSeqs {
+    fn default() -> Self {
+        ChannelSeqs {
+            h2n: 1,
+            n2h: 1,
+            nxp_last: 0,
+            host_last: 0,
+        }
+    }
+}
+
+/// What one host core currently holds between scheduling turns.
+#[derive(Clone, Copy, Debug, Default)]
+struct CoreSlot {
+    /// Task whose live context is on the core (its quantum expired
+    /// with nothing due, so it keeps running next turn).
+    running: Option<u64>,
+    /// Task preempted by a due wake-up, to re-queue behind the
+    /// freshly woken ones.
+    preempted: Option<u64>,
 }
 
 /// What a host `ecall` did to the control flow.
@@ -173,6 +240,8 @@ pub struct MachineBuilder {
     kernel_cfg: Option<flick_os::KernelConfig>,
     fault_plan: Option<FaultPlan>,
     fast_path: Option<bool>,
+    topology: Option<Topology>,
+    nxp_placement: Option<NxpPlacement>,
 }
 
 impl MachineBuilder {
@@ -238,6 +307,21 @@ impl MachineBuilder {
         self
     }
 
+    /// Configures the machine as `topology.host_cores` symmetric host
+    /// cores × `topology.nxp_cores` NxPs, each NxP behind its own
+    /// descriptor channel. The default is the paper's 1×1 pair.
+    pub fn topology(mut self, t: Topology) -> Self {
+        self.topology = Some(t);
+        self
+    }
+
+    /// Picks the placement policy for fresh host→NxP calls. The
+    /// default is [`NxpPlacement::RoundRobin`].
+    pub fn nxp_placement(mut self, p: NxpPlacement) -> Self {
+        self.nxp_placement = Some(p);
+        self
+    }
+
     /// Builds the machine.
     pub fn build(self) -> Machine {
         let mut env = MemEnv::paper_default();
@@ -256,10 +340,15 @@ impl MachineBuilder {
             host_cfg.fast_path = fp;
             nxp_cfg.fast_path = fp;
         }
+        let topology = self.topology.unwrap_or_default();
         Machine {
-            host: Core::new(host_cfg),
-            nxp: Core::new(nxp_cfg),
-            dma: DmaEngine::new(env.latency.clone(), 0),
+            hosts: (0..topology.host_cores)
+                .map(|_| Core::new(host_cfg.clone()))
+                .collect(),
+            nxps: (0..topology.nxp_cores)
+                .map(|_| Core::new(nxp_cfg.clone()))
+                .collect(),
+            fabric: PcieFabric::new(env.latency.clone(), topology.nxp_cores),
             irq: InterruptController::new(),
             kernel,
             nxp_rt: NxpRuntime::new(),
@@ -269,12 +358,13 @@ impl MachineBuilder {
             vas: HashMap::new(),
             symbols: HashMap::new(),
             plan: self.fault_plan.unwrap_or_else(FaultPlan::none),
-            emu: None,
-            h2n_seq: 1,
-            n2h_seq: 1,
-            nxp_last_seq: 0,
-            host_last_seq: 0,
+            emus: (0..topology.host_cores).map(|_| None).collect(),
+            chans: vec![ChannelSeqs::default(); topology.nxp_cores],
             retained_n2h: HashMap::new(),
+            nxp_of: HashMap::new(),
+            placement: self.nxp_placement.unwrap_or_default(),
+            rr_next: 0,
+            topology,
             mem,
             env,
         }
@@ -287,9 +377,10 @@ impl MachineBuilder {
 pub struct Machine {
     mem: PhysMem,
     env: MemEnv,
-    host: Core,
-    nxp: Core,
-    dma: DmaEngine,
+    topology: Topology,
+    hosts: Vec<Core>,
+    nxps: Vec<Core>,
+    fabric: PcieFabric,
     irq: InterruptController,
     kernel: Kernel,
     nxp_rt: NxpRuntime,
@@ -301,26 +392,29 @@ pub struct Machine {
     /// Seeded fault injection for the interconnect (inactive by
     /// default).
     plan: FaultPlan,
-    /// Lazily created host-side interpreter core for degraded threads.
-    emu: Option<Core>,
-    /// Next host→NxP descriptor sequence number.
-    h2n_seq: u64,
-    /// Next NxP→host descriptor sequence number.
-    n2h_seq: u64,
-    /// Highest host→NxP sequence the NxP has accepted.
-    nxp_last_seq: u64,
-    /// Highest NxP→host sequence the host has accepted.
-    host_last_seq: u64,
-    /// Wire bytes of each thread's in-flight NxP→host descriptor,
-    /// retained until acceptance so the host can demand retransmission.
-    retained_n2h: HashMap<u64, Vec<u8>>,
+    /// Lazily created per-host-core interpreter cores for degraded
+    /// threads.
+    emus: Vec<Option<Core>>,
+    /// Per-channel sequence-number state (one entry per NxP).
+    chans: Vec<ChannelSeqs>,
+    /// Channel and wire bytes of each thread's in-flight NxP→host
+    /// descriptor, retained until acceptance so the host can demand
+    /// retransmission.
+    retained_n2h: HashMap<u64, (usize, Vec<u8>)>,
+    /// Which NxP currently holds each thread's continuation; return
+    /// legs always follow the thread back there.
+    nxp_of: HashMap<u64, usize>,
+    /// Placement policy for fresh host→NxP calls.
+    placement: NxpPlacement,
+    /// Round-robin cursor for [`NxpPlacement::RoundRobin`].
+    rr_next: usize,
 }
 
 impl fmt::Debug for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Machine")
-            .field("host_now", &self.host.clock().now())
-            .field("nxp_now", &self.nxp.clock().now())
+            .field("topology", &self.topology)
+            .field("host_now", &self.host_now())
             .finish()
     }
 }
@@ -405,9 +499,38 @@ impl Machine {
             .map(|&va| VirtAddr(va))
     }
 
-    /// Host core time.
+    /// Latest host-core time (the host-side wall clock: with several
+    /// cores, the furthest-ahead one).
     pub fn host_now(&self) -> Picos {
-        self.host.clock().now()
+        self.hosts
+            .iter()
+            .map(|c| c.clock().now())
+            .max()
+            .expect("a machine has at least one host core")
+    }
+
+    /// The machine's core topology.
+    pub fn topology(&self) -> Topology {
+        self.topology
+    }
+
+    /// Per-core statistics snapshots, labelled `host{i}`, `nxp{i}` and
+    /// (for host cores that ran degraded threads) `emu{i}`. The
+    /// aggregate counters in [`Outcome::stats`] are the sums of these.
+    pub fn per_core_stats(&self) -> Vec<(String, Stats)> {
+        let mut out = Vec::new();
+        for (i, c) in self.hosts.iter().enumerate() {
+            out.push((format!("host{i}"), c.stats()));
+        }
+        for (i, c) in self.nxps.iter().enumerate() {
+            out.push((format!("nxp{i}"), c.stats()));
+        }
+        for (i, c) in self.emus.iter().enumerate() {
+            if let Some(c) = c {
+                out.push((format!("emu{i}"), c.stats()));
+            }
+        }
+        out
     }
 
     /// Allocates NxP-DRAM heap for `pid` without charging simulated
@@ -462,82 +585,21 @@ impl Machine {
     /// See [`RunError`]; [`RunError::FuelExhausted`] if the budget runs
     /// out.
     pub fn run_with_fuel(&mut self, pid: u64, fuel: u64) -> Result<Outcome, RunError> {
-        if self.kernel.task(pid).state == flick_os::TaskState::Zombie {
-            return Err(RunError::Build(format!("process {pid} already exited")));
-        }
-        self.install_task(pid);
-        let start_insts = self.executed();
-
-        loop {
-            let used = self.executed() - start_insts;
-            if used >= fuel {
-                return Err(RunError::FuelExhausted);
-            }
-            let stop = self.host.run(&mut self.mem, &self.env, fuel - used);
-            match stop {
-                StopReason::Halt => {
-                    return Ok(self.finish(pid, self.host.reg(abi::A0)));
-                }
-                StopReason::Ecall(service) => match self.host_ecall(pid, service)? {
-                    EcallFlow::Continue => {}
-                    EcallFlow::Exit(code) => return Ok(self.finish(pid, code)),
-                    EcallFlow::Suspended(wake) => {
-                        // Single-process mode: the host has nothing else
-                        // to do, so take the interrupt immediately and
-                        // resume the thread.
-                        self.deliver_wakeup(pid, wake)?;
-                        self.install_task(pid);
-                    }
-                    EcallFlow::Resume => self.install_task(pid),
-                },
-                StopReason::Fault(Exception::InstFault {
-                    va,
-                    kind: InstFaultKind::NxViolation,
-                }) => {
-                    // The Flick trigger: host fetched NxP code. Charge
-                    // the measured 0.7µs fault path, then either hijack
-                    // into the user-space migration handler (§IV-B1) or
-                    // — for a thread whose link died — interpret the NxP
-                    // function on the host.
-                    self.stats.bump("nx_faults");
-                    self.trace.record(
-                        self.host.clock().now(),
-                        Event::NxFault {
-                            side: Side::Host,
-                            fault_va: va.as_u64(),
-                        },
-                    );
-                    let t = self.kernel.timing().page_fault_path;
-                    self.host.clock_mut().advance(t);
-                    if self.kernel.task(pid).degraded {
-                        let used = self.executed() - start_insts;
-                        self.emulate_segment(pid, va, fuel.saturating_sub(used))?;
-                    } else {
-                        let handler = self.vas[&pid].host_handler;
-                        self.kernel
-                            .redirect_to_handler(pid, &mut self.host, va, handler);
-                    }
-                }
-                StopReason::Fault(exception) => {
-                    return Err(RunError::Crash {
-                        side: Side::Host,
-                        exception,
-                    });
-                }
-                StopReason::OutOfFuel => return Err(RunError::FuelExhausted),
-            }
-        }
+        // No quantum: a lone process is never preempted, exactly as in
+        // the pre-topology single-process loop.
+        let mut done = self.run_event_loop(&[pid], fuel, u64::MAX)?;
+        Ok(done.pop().expect("one pid in, one outcome out").1)
     }
 
-    /// Runs several processes concurrently on the single host core.
+    /// Runs several processes concurrently across the host cores.
     ///
-    /// While one thread is suspended awaiting the NxP, the host core is
+    /// While one thread is suspended awaiting an NxP, its host core is
     /// free and the scheduler runs another process — the property that
     /// distinguishes Flick's suspend-based migration from busy-wait
     /// offloading. A running thread is preempted when a wake-up
     /// interrupt fires (checked at a timer-tick granularity of ~20 µs
     /// of host time), so NxP-bound threads resume promptly even while a
-    /// compute-bound thread occupies the core.
+    /// compute-bound thread occupies a core.
     ///
     /// Returns `(pid, outcome)` pairs in completion order.
     ///
@@ -549,187 +611,300 @@ impl Machine {
         pids: &[u64],
         fuel: u64,
     ) -> Result<Vec<(u64, Outcome)>, RunError> {
-        /// Instructions per scheduling quantum (~20 µs at host speed).
-        const QUANTUM: u64 = 50_000;
+        self.run_event_loop(pids, fuel, QUANTUM)
+    }
+
+    /// The deterministic discrete-event interleave driving every run:
+    /// each turn goes to the eligible host core whose clock is globally
+    /// earliest (ties toward the lowest index). A core is eligible when
+    /// it holds a task (running or preempted), has queued or stealable
+    /// work, or awaits a wake-up; when no core qualifies but processes
+    /// remain, the machine is deadlocked.
+    fn run_event_loop(
+        &mut self,
+        pids: &[u64],
+        fuel: u64,
+        quantum: u64,
+    ) -> Result<Vec<(u64, Outcome)>, RunError> {
         for &pid in pids {
             if self.kernel.task(pid).state == flick_os::TaskState::Zombie {
                 return Err(RunError::Build(format!("process {pid} already exited")));
             }
         }
-        let mut runnable: std::collections::VecDeque<u64> = pids.iter().copied().collect();
-        // (due time, wake, pid): due is the MSI arrival, or the watchdog
-        // deadline when the interrupt was lost.
-        let mut pending: Vec<(Picos, PendingWake, u64)> = Vec::new();
+        let n = self.hosts.len();
+        let mut rq = RunQueues::new(n);
+        for (i, &pid) in pids.iter().enumerate() {
+            let task = self.kernel.task_mut(pid);
+            if matches!(
+                task.state,
+                flick_os::TaskState::Runnable | flick_os::TaskState::Running
+            ) {
+                task.last_core = i % n;
+                rq.enqueue(i % n, pid);
+            }
+        }
+        // Per-core pending wake-ups, keyed (due, pid): due is the MSI
+        // arrival, or the watchdog deadline when the interrupt was
+        // lost. A min-heap replaces the old sort-then-scan so delivery
+        // stays O(log n) per wake.
+        let mut pending: Vec<BinaryHeap<Reverse<(Picos, u64)>>> =
+            (0..n).map(|_| BinaryHeap::new()).collect();
+        let mut wakes: HashMap<u64, PendingWake> = HashMap::new();
+        let mut slots: Vec<CoreSlot> = vec![CoreSlot::default(); n];
         let mut done: Vec<(u64, Outcome)> = Vec::new();
-        let mut preempted: Option<u64> = None;
         let start_insts = self.executed();
         while done.len() < pids.len() {
             if self.executed() - start_insts >= fuel {
                 return Err(RunError::FuelExhausted);
             }
-            // Deliver every wake-up interrupt that has already fired,
-            // oldest first; a preempted thread re-queues *behind* the
-            // freshly woken ones.
-            pending.sort_by_key(|(due, _, _)| *due);
-            while let Some(i) = pending
-                .iter()
-                .position(|(due, _, _)| *due <= self.host.clock().now())
-            {
-                let (_, wake, pid) = pending.remove(i);
-                self.deliver_wakeup(pid, wake)?;
-                runnable.push_back(pid);
-            }
-            if let Some(p) = preempted.take() {
-                runnable.push_back(p);
-            }
-            let Some(pid) = runnable.pop_front() else {
-                // Host idle: fast-forward to the earliest pending wake.
-                let Some((due, _, _)) = pending.first() else {
-                    unreachable!("no runnable, no pending, not all done");
-                };
-                let at = *due;
-                self.host.clock_mut().sync_to(at);
-                continue;
+            let stealable = rq.total() > 0;
+            let hc = (0..n)
+                .filter(|&c| {
+                    slots[c].running.is_some()
+                        || slots[c].preempted.is_some()
+                        || rq.len(c) > 0
+                        || stealable
+                        || !pending[c].is_empty()
+                })
+                .min_by_key(|&c| (self.hosts[c].clock().now(), c));
+            let Some(hc) = hc else {
+                let stuck = pids
+                    .iter()
+                    .copied()
+                    .filter(|p| !done.iter().any(|(d, _)| d == p))
+                    .collect();
+                return Err(RunError::Deadlock { stuck });
             };
-            self.install_task(pid);
-            loop {
-                let used = self.executed() - start_insts;
-                if used >= fuel {
-                    return Err(RunError::FuelExhausted);
+            self.core_turn(
+                hc,
+                &mut rq,
+                &mut pending,
+                &mut wakes,
+                &mut slots,
+                &mut done,
+                start_insts,
+                fuel,
+                quantum,
+            )?;
+        }
+        Ok(done)
+    }
+
+    /// One scheduling turn of host core `hc`: deliver its due
+    /// wake-ups, re-queue its preempted task, pick up work (locally,
+    /// then by stealing), and run until the next scheduling event.
+    #[allow(clippy::too_many_arguments)]
+    fn core_turn(
+        &mut self,
+        hc: usize,
+        rq: &mut RunQueues,
+        pending: &mut [BinaryHeap<Reverse<(Picos, u64)>>],
+        wakes: &mut HashMap<u64, PendingWake>,
+        slots: &mut [CoreSlot],
+        done: &mut Vec<(u64, Outcome)>,
+        start_insts: u64,
+        fuel: u64,
+        quantum: u64,
+    ) -> Result<(), RunError> {
+        // Deliver every wake-up that has already fired on this core,
+        // oldest first; a preempted thread re-queues *behind* the
+        // freshly woken ones.
+        while pending[hc]
+            .peek()
+            .is_some_and(|&Reverse((due, _))| due <= self.hosts[hc].clock().now())
+        {
+            let Reverse((_, pid)) = pending[hc].pop().expect("peeked above");
+            let wake = wakes.remove(&pid).expect("heaped wake has a record");
+            self.deliver_wakeup(hc, pid, wake)?;
+            let now = self.hosts[hc].clock().now();
+            let task = self.kernel.task_mut(pid);
+            task.ready_at = now;
+            task.last_core = hc;
+            rq.enqueue(hc, pid);
+        }
+        if let Some(p) = slots[hc].preempted.take() {
+            rq.enqueue(hc, p);
+        }
+        let pid = match slots[hc].running {
+            Some(pid) => pid,
+            None => match rq.pop_local(hc).or_else(|| rq.steal(hc)) {
+                Some(pid) => {
+                    // Causality across cores: never run a task before
+                    // the event that readied it (forward-only sync).
+                    let ready = self.kernel.task(pid).ready_at;
+                    self.hosts[hc].clock_mut().sync_to(ready);
+                    self.kernel.task_mut(pid).last_core = hc;
+                    self.install_task(hc, pid);
+                    slots[hc].running = Some(pid);
+                    pid
                 }
-                let stop = self
-                    .host
-                    .run(&mut self.mem, &self.env, QUANTUM.min(fuel - used));
-                match stop {
-                    StopReason::Halt => {
-                        let code = self.host.reg(abi::A0);
-                        done.push((pid, self.finish(pid, code)));
-                        break;
+                None => {
+                    // Idle: fast-forward to this core's earliest wake.
+                    if let Some(&Reverse((due, _))) = pending[hc].peek() {
+                        self.hosts[hc].clock_mut().sync_to(due);
                     }
-                    StopReason::Ecall(service) => match self.host_ecall(pid, service)? {
-                        EcallFlow::Continue => {}
-                        EcallFlow::Exit(code) => {
-                            done.push((pid, self.finish(pid, code)));
-                            break;
-                        }
-                        EcallFlow::Suspended(wake) => {
-                            let due = wake.msi_at.unwrap_or_else(|| {
-                                self.kernel
-                                    .task(pid)
-                                    .deadline
-                                    .unwrap_or_else(|| self.host.clock().now())
-                            });
-                            pending.push((due, wake, pid));
-                            break; // host core is free: schedule someone else
-                        }
-                        EcallFlow::Resume => self.install_task(pid),
-                    },
-                    StopReason::Fault(Exception::InstFault {
-                        va,
-                        kind: InstFaultKind::NxViolation,
-                    }) => {
-                        self.stats.bump("nx_faults");
-                        self.trace.record(
-                            self.host.clock().now(),
-                            Event::NxFault {
-                                side: Side::Host,
-                                fault_va: va.as_u64(),
-                            },
-                        );
-                        let t = self.kernel.timing().page_fault_path;
-                        self.host.clock_mut().advance(t);
-                        if self.kernel.task(pid).degraded {
-                            let used = self.executed() - start_insts;
-                            self.emulate_segment(pid, va, fuel.saturating_sub(used))?;
-                        } else {
-                            let handler = self.vas[&pid].host_handler;
+                    return Ok(());
+                }
+            },
+        };
+        loop {
+            let used = self.executed() - start_insts;
+            if used >= fuel {
+                return Err(RunError::FuelExhausted);
+            }
+            let stop = self.hosts[hc].run(&mut self.mem, &self.env, quantum.min(fuel - used));
+            match stop {
+                StopReason::Halt => {
+                    let code = self.hosts[hc].reg(abi::A0);
+                    slots[hc].running = None;
+                    done.push((pid, self.finish(hc, pid, code)));
+                    return Ok(());
+                }
+                StopReason::Ecall(service) => match self.host_ecall(hc, pid, service)? {
+                    EcallFlow::Continue => {}
+                    EcallFlow::Exit(code) => {
+                        slots[hc].running = None;
+                        done.push((pid, self.finish(hc, pid, code)));
+                        return Ok(());
+                    }
+                    EcallFlow::Suspended(wake) => {
+                        let due = wake.msi_at.unwrap_or_else(|| {
                             self.kernel
-                                .redirect_to_handler(pid, &mut self.host, va, handler);
-                        }
+                                .task(pid)
+                                .deadline
+                                .unwrap_or_else(|| self.hosts[hc].clock().now())
+                        });
+                        pending[hc].push(Reverse((due, pid)));
+                        wakes.insert(pid, wake);
+                        slots[hc].running = None;
+                        return Ok(()); // this core is free for others
                     }
-                    StopReason::Fault(exception) => {
-                        return Err(RunError::Crash {
+                    EcallFlow::Resume => self.install_task(hc, pid),
+                },
+                StopReason::Fault(Exception::InstFault {
+                    va,
+                    kind: InstFaultKind::NxViolation,
+                }) => {
+                    // The Flick trigger: host fetched NxP code. Charge
+                    // the measured 0.7µs fault path, then either hijack
+                    // into the user-space migration handler (§IV-B1) or
+                    // — for a thread whose link died — interpret the
+                    // NxP function on the host.
+                    self.stats.bump("nx_faults");
+                    self.trace.record_on(
+                        CoreId::host(hc),
+                        self.hosts[hc].clock().now(),
+                        Event::NxFault {
                             side: Side::Host,
-                            exception,
-                        })
+                            fault_va: va.as_u64(),
+                        },
+                    );
+                    let t = self.kernel.timing().page_fault_path;
+                    self.hosts[hc].clock_mut().advance(t);
+                    if self.kernel.task(pid).degraded {
+                        let used = self.executed() - start_insts;
+                        self.emulate_segment(hc, pid, va, fuel.saturating_sub(used))?;
+                    } else {
+                        let handler = self.vas[&pid].host_handler;
+                        self.kernel
+                            .redirect_to_handler(pid, &mut self.hosts[hc], va, handler);
                     }
-                    StopReason::OutOfFuel => {
-                        // Quantum expired. Preempt only if a wake-up is
-                        // actually due — otherwise keep running.
-                        let now = self.host.clock().now();
-                        if pending.iter().any(|(due, _, _)| *due <= now) {
-                            let t = self.kernel.timing().suspend_and_switch;
-                            self.host.clock_mut().advance(t);
-                            let ctx = self.host.save_context();
-                            let task = self.kernel.task_mut(pid);
-                            task.context = ctx;
-                            task.state = flick_os::TaskState::Runnable;
-                            preempted = Some(pid);
-                            break;
-                        }
+                }
+                StopReason::Fault(exception) => {
+                    return Err(RunError::Crash {
+                        side: Side::Host,
+                        exception,
+                    })
+                }
+                StopReason::OutOfFuel => {
+                    // Quantum expired. Preempt only if a wake-up is
+                    // actually due here — otherwise the task keeps the
+                    // core and the turn ends (another core may hold
+                    // the globally earliest clock now).
+                    let now = self.hosts[hc].clock().now();
+                    if pending[hc]
+                        .peek()
+                        .is_some_and(|&Reverse((due, _))| due <= now)
+                    {
+                        let t = self.kernel.timing().suspend_and_switch;
+                        self.hosts[hc].clock_mut().advance(t);
+                        let ctx = self.hosts[hc].save_context();
+                        let task = self.kernel.task_mut(pid);
+                        task.context = ctx;
+                        task.state = flick_os::TaskState::Runnable;
+                        task.ready_at = self.hosts[hc].clock().now();
+                        slots[hc].running = None;
+                        slots[hc].preempted = Some(pid);
                     }
+                    return Ok(());
                 }
             }
         }
-        Ok(done)
     }
 
     fn executed(&self) -> u64 {
         // Polled every scheduling-loop iteration: read the cores' raw
         // counters instead of materializing a Stats bag each time.
-        self.host.counters().instructions
-            + self.nxp.counters().instructions
-            + self.emu.as_ref().map_or(0, |c| c.counters().instructions)
+        self.hosts
+            .iter()
+            .chain(self.nxps.iter())
+            .chain(self.emus.iter().flatten())
+            .map(|c| c.counters().instructions)
+            .sum()
     }
 
-    fn finish(&mut self, pid: u64, code: u64) -> Outcome {
+    fn finish(&mut self, hc: usize, pid: u64, code: u64) -> Outcome {
         let task = self.kernel.task_mut(pid);
         task.state = flick_os::TaskState::Zombie;
         task.exit_code = code;
         let mut stats = self.stats.clone();
-        stats.merge(&self.host.stats());
+        for host in &self.hosts {
+            stats.merge(&host.stats());
+        }
         // Prefix-less merge would collide; fold NxP counters under a
         // different name space.
-        for (k, v) in self.nxp.stats().iter() {
-            let name: &'static str = match k {
-                "instructions" => "nxp_instructions",
-                "itlb_misses" => "nxp_itlb_misses",
-                "dtlb_misses" => "nxp_dtlb_misses",
-                "icache_misses" => "nxp_icache_misses",
-                "dcache_misses" => "nxp_dcache_misses",
-                "loads" => "nxp_loads",
-                "stores" => "nxp_stores",
-                "walks" => "nxp_walks",
-                _ => continue,
-            };
-            stats.bump_by(name, v);
+        for nxp in &self.nxps {
+            for (k, v) in nxp.stats().iter() {
+                let name: &'static str = match k {
+                    "instructions" => "nxp_instructions",
+                    "itlb_misses" => "nxp_itlb_misses",
+                    "dtlb_misses" => "nxp_dtlb_misses",
+                    "icache_misses" => "nxp_icache_misses",
+                    "dcache_misses" => "nxp_dcache_misses",
+                    "loads" => "nxp_loads",
+                    "stores" => "nxp_stores",
+                    "walks" => "nxp_walks",
+                    _ => continue,
+                };
+                stats.bump_by(name, v);
+            }
         }
-        if let Some(emu) = &self.emu {
+        for emu in self.emus.iter().flatten() {
             stats.bump_by("emulated_instructions", emu.counters().instructions);
         }
         Outcome {
             exit_code: code,
-            sim_time: self.host.clock().now(),
+            sim_time: self.hosts[hc].clock().now(),
             console: self.kernel.console().to_vec(),
             stats,
         }
     }
 
     /// Handles a host `ecall`.
-    fn host_ecall(&mut self, pid: u64, service: u16) -> Result<EcallFlow, RunError> {
+    fn host_ecall(&mut self, hc: usize, pid: u64, service: u16) -> Result<EcallFlow, RunError> {
         let timing = self.kernel.timing().clone();
-        self.host.clock_mut().advance(timing.syscall_entry);
+        self.hosts[hc].clock_mut().advance(timing.syscall_entry);
         match service {
             svc::EXIT => {
-                return Ok(EcallFlow::Exit(self.host.reg(abi::A0)));
+                return Ok(EcallFlow::Exit(self.hosts[hc].reg(abi::A0)));
             }
             svc::PRINT_U64 => {
-                let v = self.host.reg(abi::A0);
+                let v = self.hosts[hc].reg(abi::A0);
                 self.kernel.console_push(format!("{v}"));
             }
             svc::PRINT_STR => {
-                let ptr = VirtAddr(self.host.reg(abi::A0));
-                let len = self.host.reg(abi::A1) as usize;
+                let ptr = VirtAddr(self.hosts[hc].reg(abi::A0));
+                let len = self.hosts[hc].reg(abi::A1) as usize;
                 let mut buf = vec![0u8; len.min(4096)];
                 self.kernel
                     .read_user(&self.mem, pid, ptr, &mut buf)
@@ -738,37 +913,37 @@ impl Machine {
                     .console_push(String::from_utf8_lossy(&buf).into_owned());
             }
             svc::ALLOC_HOST => {
-                let size = self.host.reg(abi::A0);
+                let size = self.hosts[hc].reg(abi::A0);
                 let pages = size.div_ceil(flick_mem::PAGE_SIZE);
                 let va = self
                     .kernel
                     .alloc_host_heap(&mut self.mem, pid, size)
                     .map_err(RunError::Load)?;
-                self.host.clock_mut().advance(timing.page_alloc * pages.max(1));
-                self.host.set_reg(abi::A0, va.as_u64());
+                self.hosts[hc].clock_mut().advance(timing.page_alloc * pages.max(1));
+                self.hosts[hc].set_reg(abi::A0, va.as_u64());
             }
             svc::ALLOC_NXP => {
-                let size = self.host.reg(abi::A0);
+                let size = self.hosts[hc].reg(abi::A0);
                 let va = self
                     .kernel
                     .alloc_nxp_heap(pid, size)
                     .map_err(RunError::Load)?;
-                self.host.set_reg(abi::A0, va.as_u64());
+                self.hosts[hc].set_reg(abi::A0, va.as_u64());
             }
             svc::CLOCK_NS => {
-                let ns = self.host.clock().now().as_nanos();
-                self.host.set_reg(abi::A0, ns);
+                let ns = self.hosts[hc].clock().now().as_nanos();
+                self.hosts[hc].set_reg(abi::A0, ns);
             }
             svc::SLEEP_NS => {
-                let ns = self.host.reg(abi::A0);
-                self.host.clock_mut().advance(Picos::from_nanos(ns));
+                let ns = self.hosts[hc].reg(abi::A0);
+                self.hosts[hc].clock_mut().advance(Picos::from_nanos(ns));
             }
             svc::ALLOC_NXP_STACK => {
                 let sp = self
                     .kernel
                     .alloc_nxp_stack(&mut self.mem, pid)
                     .map_err(RunError::Load)?;
-                self.host.clock_mut().advance(timing.nxp_stack_setup);
+                self.hosts[hc].clock_mut().advance(timing.nxp_stack_setup);
                 // Record it in the TCB word of the descriptor page so
                 // the handler's first-time check passes next time.
                 self.kernel
@@ -784,10 +959,10 @@ impl Machine {
                 // call's argument registers intact for the descriptor.
             }
             svc::MIGRATE_AND_SUSPEND => {
-                return self.migrate_send(pid, DescKind::HostToNxpCall);
+                return self.migrate_send(hc, pid, DescKind::HostToNxpCall);
             }
             svc::MIGRATE_RETURN_AND_SUSPEND => {
-                return self.migrate_send(pid, DescKind::HostToNxpReturn);
+                return self.migrate_send(hc, pid, DescKind::HostToNxpReturn);
             }
             other => {
                 return Err(RunError::UnknownService {
@@ -796,7 +971,7 @@ impl Machine {
                 })
             }
         }
-        self.host.clock_mut().advance(timing.syscall_exit);
+        self.hosts[hc].clock_mut().advance(timing.syscall_exit);
         Ok(EcallFlow::Continue)
     }
 
@@ -814,16 +989,41 @@ impl Machine {
     /// host-side interpreter then executes ([`EcallFlow::Resume`]). A
     /// dead *return* leg is unrecoverable ([`RunError::LinkDead`]):
     /// re-running the remote call would double its side effects.
-    fn migrate_send(&mut self, pid: u64, kind: DescKind) -> Result<EcallFlow, RunError> {
+    fn migrate_send(&mut self, hc: usize, pid: u64, kind: DescKind) -> Result<EcallFlow, RunError> {
         let timing = self.kernel.timing().clone();
         // ioctl: gather target/CR3/PID/args from task_struct + regs
         // (call) or just the return value (return).
-        self.host.clock_mut().advance(match kind {
+        self.hosts[hc].clock_mut().advance(match kind {
             DescKind::HostToNxpCall => timing.ioctl_desc_prep_call,
             _ => timing.ioctl_desc_prep_return,
         });
-        let seq = self.h2n_seq;
-        self.h2n_seq += 1;
+        // Pick the serving NxP: a return leg follows the thread back to
+        // the NxP holding its continuation; a fresh call goes where the
+        // placement policy says.
+        let nc = match kind {
+            DescKind::HostToNxpReturn => {
+                *self.nxp_of.get(&pid).ok_or(RunError::Protocol {
+                    side: Side::Host,
+                    context: "return leg for a thread with no NxP continuation",
+                })?
+            }
+            _ => {
+                let nc = match self.placement {
+                    NxpPlacement::RoundRobin => {
+                        let k = self.rr_next % self.nxps.len();
+                        self.rr_next = self.rr_next.wrapping_add(1);
+                        k
+                    }
+                    NxpPlacement::LeastLoaded => (0..self.nxps.len())
+                        .min_by_key(|&k| (self.nxps[k].clock().now(), k))
+                        .expect("a machine has at least one NxP"),
+                };
+                self.nxp_of.insert(pid, nc);
+                nc
+            }
+        };
+        let seq = self.chans[nc].h2n;
+        self.chans[nc].h2n += 1;
         let desc = match kind {
             DescKind::HostToNxpCall => {
                 let task = self.kernel.task_mut(pid);
@@ -838,12 +1038,12 @@ impl Machine {
                     target: target.as_u64(),
                     ret: 0,
                     args: [
-                        self.host.reg(abi::A0),
-                        self.host.reg(abi::A1),
-                        self.host.reg(abi::A2),
-                        self.host.reg(abi::A3),
-                        self.host.reg(abi::A4),
-                        self.host.reg(abi::A5),
+                        self.hosts[hc].reg(abi::A0),
+                        self.hosts[hc].reg(abi::A1),
+                        self.hosts[hc].reg(abi::A2),
+                        self.hosts[hc].reg(abi::A3),
+                        self.hosts[hc].reg(abi::A4),
+                        self.hosts[hc].reg(abi::A5),
                     ],
                     pid,
                     cr3: self.kernel.task(pid).cr3.as_u64(),
@@ -886,12 +1086,16 @@ impl Machine {
         // Suspend (TASK_KILLABLE) and context switch away; the
         // scheduler triggers the DMA *after* the switch via the
         // migration flag (§IV-D).
-        self.kernel.suspend_for_migration(pid, &self.host);
-        self.host.clock_mut().advance(timing.suspend_and_switch);
-        self.trace
-            .record(self.host.clock().now(), Event::ThreadSuspended { pid });
-        self.trace.record(
-            self.host.clock().now(),
+        self.kernel.suspend_for_migration(pid, &self.hosts[hc]);
+        self.hosts[hc].clock_mut().advance(timing.suspend_and_switch);
+        self.trace.record_on(
+            CoreId::host(hc),
+            self.hosts[hc].clock().now(),
+            Event::ThreadSuspended { pid },
+        );
+        self.trace.record_on(
+            CoreId::host(hc),
+            self.hosts[hc].clock().now(),
             Event::DescriptorSent {
                 from: Side::Host,
                 kind: kind.label(),
@@ -911,7 +1115,7 @@ impl Machine {
             attempt += 1;
             if attempt > timing.max_link_attempts {
                 return if kind == DescKind::HostToNxpCall {
-                    self.degrade_unwind(pid, &desc)?;
+                    self.degrade_unwind(hc, pid, &desc)?;
                     Ok(EcallFlow::Resume)
                 } else {
                     Err(RunError::LinkDead {
@@ -922,8 +1126,9 @@ impl Machine {
             }
             if attempt > 1 {
                 self.stats.bump("retransmits");
-                self.trace.record(
-                    self.host.clock().now(),
+                self.trace.record_on(
+                    CoreId::host(hc),
+                    self.hosts[hc].clock().now(),
                     Event::Retransmit {
                         to: Side::Nxp,
                         seq,
@@ -931,32 +1136,32 @@ impl Machine {
                     },
                 );
             }
-            let now = self.host.clock().now();
-            let (arrival, pert) = self
-                .dma
-                .kick_to_nxp_faulty(now, desc.to_bytes(), &mut self.plan);
-            self.note_burst_faults(Side::Nxp, now, &pert);
+            let now = self.hosts[hc].clock().now();
+            let (arrival, pert) =
+                self.fabric
+                    .kick_to_nxp_faulty(nc, now, desc.to_bytes(), &mut self.plan);
+            self.note_burst_faults(CoreId::host(hc), Side::Nxp, now, &pert);
             if pert.dropped {
                 // Posted write lost: the driver's completion timer
                 // expires and it re-kicks after an exponential backoff.
-                self.host
+                self.hosts[hc]
                     .clock_mut()
                     .advance(timing.retry_backoff * (1u64 << (attempt - 1).min(8)));
                 continue;
             }
-            match self.nxp_pickup(arrival, seq) {
+            match self.nxp_pickup(nc, arrival, seq) {
                 Pickup::Accept(b, d) => break (b, d),
                 Pickup::Corrupt => {
                     // The NxP NAKed: the NAK crosses the link and the
                     // host driver re-kicks.
-                    let t = self.nxp.clock().now();
-                    self.host.clock_mut().sync_to(t);
-                    self.host.clock_mut().advance(timing.nak_path);
+                    let t = self.nxps[nc].clock().now();
+                    self.hosts[hc].clock_mut().sync_to(t);
+                    self.hosts[hc].clock_mut().advance(timing.nak_path);
                 }
                 Pickup::Duplicate => {
                     // Defensive: a stale burst was discarded; re-kick
                     // after a backoff.
-                    self.host
+                    self.hosts[hc]
                         .clock_mut()
                         .advance(timing.retry_backoff * (1u64 << (attempt - 1).min(8)));
                 }
@@ -966,19 +1171,20 @@ impl Machine {
         // Accepted: run the NxP leg until it sends a descriptor back,
         // then arm the watchdog from the *expected* wake time so a lost
         // wake-up interrupt is always noticed.
-        let wake = self.nxp_execute(pid, in_bytes, in_desc)?;
+        let wake = self.nxp_execute(nc, pid, in_bytes, in_desc)?;
         let base = wake
             .msi_at
-            .unwrap_or_else(|| self.nxp.clock().now().max(self.host.clock().now()));
+            .unwrap_or_else(|| self.nxps[nc].clock().now().max(self.hosts[hc].clock().now()));
         self.kernel.task_mut(pid).deadline = Some(base + timing.migration_watchdog);
         Ok(EcallFlow::Suspended(wake))
     }
 
     /// Records trace events and counters for injected burst faults.
-    fn note_burst_faults(&mut self, to: Side, at: Picos, p: &BurstPerturbation) {
+    fn note_burst_faults(&mut self, on: CoreId, to: Side, at: Picos, p: &BurstPerturbation) {
         if p.dropped {
             self.stats.bump("faults_injected");
-            self.trace.record(
+            self.trace.record_on(
+                on,
                 at,
                 Event::FaultInjected {
                     kind: "drop-burst",
@@ -988,7 +1194,8 @@ impl Machine {
         }
         if p.corrupted.is_some() {
             self.stats.bump("faults_injected");
-            self.trace.record(
+            self.trace.record_on(
+                on,
                 at,
                 Event::FaultInjected {
                     kind: "corrupt-burst",
@@ -998,7 +1205,8 @@ impl Machine {
         }
         if p.stall > Picos::ZERO {
             self.stats.bump("faults_injected");
-            self.trace.record(
+            self.trace.record_on(
+                on,
                 at,
                 Event::FaultInjected {
                     kind: "link-stall",
@@ -1010,13 +1218,14 @@ impl Machine {
 
     /// Raises an MSI through the fault plan; returns its arrival time,
     /// or `None` if the interrupt was swallowed in flight.
-    fn raise_msi(&mut self, msi: Msi, at: Picos) -> Option<Picos> {
+    fn raise_msi(&mut self, on: CoreId, msi: Msi, at: Picos) -> Option<Picos> {
         let due = msi.at;
         match self.irq.raise_with(msi, &mut self.plan) {
             MsiFate::Delivered => Some(due),
             MsiFate::Duplicated => {
                 self.stats.bump("faults_injected");
-                self.trace.record(
+                self.trace.record_on(
+                    on,
                     at,
                     Event::FaultInjected {
                         kind: "dup-msi",
@@ -1027,7 +1236,8 @@ impl Machine {
             }
             MsiFate::Dropped => {
                 self.stats.bump("faults_injected");
-                self.trace.record(
+                self.trace.record_on(
+                    on,
                     at,
                     Event::FaultInjected {
                         kind: "drop-msi",
@@ -1044,7 +1254,7 @@ impl Machine {
     /// ring, NAK corruption, discard duplicates, demand retransmission
     /// after watchdog expiry, and finally copy the descriptor into the
     /// process page and mark the thread runnable.
-    fn deliver_wakeup(&mut self, pid: u64, wake: PendingWake) -> Result<(), RunError> {
+    fn deliver_wakeup(&mut self, hc: usize, pid: u64, wake: PendingWake) -> Result<(), RunError> {
         let timing = self.kernel.timing().clone();
         let mut expect_msi = wake.msi_at;
         let mut attempt = 1u32; // kicks of the current descriptor so far
@@ -1057,42 +1267,48 @@ impl Machine {
             };
             let accepted = match expect_msi.filter(|at| *at <= deadline) {
                 Some(at) => {
-                    self.host.clock_mut().sync_to(at);
-                    let now = self.host.clock().now();
-                    let Some(msi) = self.irq.take_due(now) else {
+                    self.hosts[hc].clock_mut().sync_to(at);
+                    let now = self.hosts[hc].clock().now();
+                    let Some(msi) = self.irq.take_due_vector(now, wake.chan as u32) else {
                         return Err(RunError::Protocol {
                             side: Side::Host,
                             context: "expected wake-up MSI was not queued",
                         });
                     };
-                    debug_assert_eq!(msi.vector, 0);
-                    self.host.clock_mut().advance(timing.irq_entry);
-                    let r = self.try_accept_host_desc(pid, &timing)?;
+                    self.hosts[hc].clock_mut().advance(timing.irq_entry);
+                    let r = self.try_accept_host_desc(hc, wake.chan, pid, &timing)?;
                     // A duplicated MSI sits at the same instant; the
                     // kernel takes the extra interrupt, finds nothing
                     // to deliver, and returns.
-                    while self.irq.take_due(msi.at).is_some() {
+                    while self.irq.take_due_vector(msi.at, wake.chan as u32).is_some() {
                         self.stats.bump("spurious_wakeups");
-                        self.trace
-                            .record(self.host.clock().now(), Event::SpuriousWakeup { pid });
-                        self.host.clock_mut().advance(timing.irq_entry);
+                        self.trace.record_on(
+                            CoreId::host(hc),
+                            self.hosts[hc].clock().now(),
+                            Event::SpuriousWakeup { pid },
+                        );
+                        self.hosts[hc].clock_mut().advance(timing.irq_entry);
                     }
                     r
                 }
                 None => {
                     // No interrupt by the deadline: the watchdog fires
                     // and polls the descriptor ring directly.
-                    self.host.clock_mut().sync_to(deadline);
+                    self.hosts[hc].clock_mut().sync_to(deadline);
                     self.stats.bump("watchdog_fires");
-                    self.trace
-                        .record(self.host.clock().now(), Event::WatchdogFired { pid });
-                    self.host.clock_mut().advance(timing.irq_entry);
-                    let r = self.try_accept_host_desc(pid, &timing)?;
+                    self.trace.record_on(
+                        CoreId::host(hc),
+                        self.hosts[hc].clock().now(),
+                        Event::WatchdogFired { pid },
+                    );
+                    self.hosts[hc].clock_mut().advance(timing.irq_entry);
+                    let r = self.try_accept_host_desc(hc, wake.chan, pid, &timing)?;
                     if let HostAccept::Woken(seq) = r {
                         // The payload made it but its MSI did not.
                         self.stats.bump("msi_losses_recovered");
-                        self.trace.record(
-                            self.host.clock().now(),
+                        self.trace.record_on(
+                            CoreId::host(hc),
+                            self.hosts[hc].clock().now(),
                             Event::MsiLossRecovered { pid, seq },
                         );
                     }
@@ -1111,7 +1327,7 @@ impl Machine {
                             stage: "nxp-to-host",
                         });
                     }
-                    let Some(bytes) = self.retained_n2h.get(&pid).cloned() else {
+                    let Some((chan, bytes)) = self.retained_n2h.get(&pid).cloned() else {
                         return Err(RunError::Protocol {
                             side: Side::Host,
                             context: "no retained descriptor to retransmit",
@@ -1119,8 +1335,9 @@ impl Machine {
                     };
                     let seq = MigrationDescriptor::from_bytes(&bytes).map_or(0, |d| d.seq);
                     self.stats.bump("retransmits");
-                    let now = self.host.clock().now();
-                    self.trace.record(
+                    let now = self.hosts[hc].clock().now();
+                    self.trace.record_on(
+                        CoreId::host(hc),
                         now,
                         Event::Retransmit {
                             to: Side::Host,
@@ -1129,11 +1346,13 @@ impl Machine {
                         },
                     );
                     let (_arrival, maybe_msi, pert) =
-                        self.dma.kick_to_host_faulty(now, bytes, &mut self.plan);
-                    self.note_burst_faults(Side::Host, now, &pert);
-                    expect_msi = maybe_msi.and_then(|m| self.raise_msi(m, now));
+                        self.fabric
+                            .kick_to_host_faulty(chan, now, bytes, &mut self.plan);
+                    self.note_burst_faults(CoreId::host(hc), Side::Host, now, &pert);
+                    expect_msi =
+                        maybe_msi.and_then(|m| self.raise_msi(CoreId::host(hc), m, now));
                     self.kernel.task_mut(pid).deadline =
-                        Some(self.host.clock().now() + timing.migration_watchdog);
+                        Some(self.hosts[hc].clock().now() + timing.migration_watchdog);
                 }
             }
         }
@@ -1144,12 +1363,24 @@ impl Machine {
     /// into the process page and wakes the thread.
     fn try_accept_host_desc(
         &mut self,
+        hc: usize,
+        chan: usize,
         pid: u64,
         timing: &OsTiming,
     ) -> Result<HostAccept, RunError> {
         loop {
-            let now = self.host.clock().now();
-            let Some(bytes) = self.dma.take_host_desc(now) else {
+            let now = self.hosts[hc].clock().now();
+            // Several threads share the channel ring: take the first
+            // due descriptor that concerns *this* wakeup — ours by
+            // pid, a stale duplicate to drain, or a corrupt burst
+            // (unattributable, so whoever looks first NAKs it).
+            let last = self.chans[chan].host_last;
+            let Some(bytes) = self.fabric.take_host_desc_where(chan, now, |b| {
+                match MigrationDescriptor::from_bytes_checked(b) {
+                    Err(_) => true,
+                    Ok(d) => d.seq <= last || d.pid == pid,
+                }
+            }) else {
                 return Ok(HostAccept::Empty);
             };
             match MigrationDescriptor::from_bytes_checked(&bytes) {
@@ -1158,18 +1389,22 @@ impl Machine {
                     let seq = self
                         .retained_n2h
                         .get(&pid)
-                        .and_then(|b| MigrationDescriptor::from_bytes(b))
+                        .and_then(|(_, b)| MigrationDescriptor::from_bytes(b))
                         .map_or(0, |d| d.seq);
+                    self.trace.record_on(
+                        CoreId::host(hc),
+                        now,
+                        Event::CorruptDescriptor { to: Side::Host, seq },
+                    );
                     self.trace
-                        .record(now, Event::CorruptDescriptor { to: Side::Host, seq });
-                    self.trace
-                        .record(now, Event::NakSent { from: Side::Host, seq });
-                    self.host.clock_mut().advance(timing.nak_path);
+                        .record_on(CoreId::host(hc), now, Event::NakSent { from: Side::Host, seq });
+                    self.hosts[hc].clock_mut().advance(timing.nak_path);
                     return Ok(HostAccept::Corrupt);
                 }
-                Ok(d) if d.seq <= self.host_last_seq => {
+                Ok(d) if d.seq <= self.chans[chan].host_last => {
                     self.stats.bump("duplicate_descs_dropped");
-                    self.trace.record(
+                    self.trace.record_on(
+                        CoreId::host(hc),
                         now,
                         Event::DuplicateDescriptor {
                             to: Side::Host,
@@ -1180,8 +1415,9 @@ impl Machine {
                     continue;
                 }
                 Ok(d) => {
-                    self.host_last_seq = d.seq;
-                    self.trace.record(
+                    self.chans[chan].host_last = d.seq;
+                    self.trace.record_on(
+                        CoreId::host(hc),
                         now,
                         Event::DescriptorReceived {
                             to: Side::Host,
@@ -1190,19 +1426,22 @@ impl Machine {
                     );
                     // Kernel copies the descriptor into the process
                     // page, wakes the thread by PID, and schedules it.
-                    self.host.clock_mut().advance(timing.desc_copy);
+                    self.hosts[hc].clock_mut().advance(timing.desc_copy);
                     self.kernel
                         .write_user(&mut self.mem, pid, VirtAddr(layout::DESC_PAGE_VA), &bytes)
                         .map_err(RunError::Load)?;
-                    self.host.clock_mut().advance(timing.wakeup_and_schedule);
+                    self.hosts[hc].clock_mut().advance(timing.wakeup_and_schedule);
                     if !self.kernel.try_wake_from_migration(pid) {
                         return Err(RunError::Protocol {
                             side: Side::Host,
                             context: "woken thread was not in migration wait",
                         });
                     }
-                    self.trace
-                        .record(self.host.clock().now(), Event::ThreadWoken { pid });
+                    self.trace.record_on(
+                        CoreId::host(hc),
+                        self.hosts[hc].clock().now(),
+                        Event::ThreadWoken { pid },
+                    );
                     self.retained_n2h.remove(&pid);
                     return Ok(HostAccept::Woken(d.seq));
                 }
@@ -1218,10 +1457,13 @@ impl Machine {
     /// restored RA returns to the original call site when the function
     /// returns. The thread is marked degraded, so its NX faults now run
     /// NxP text through the host-side interpreter instead of migrating.
-    fn degrade_unwind(&mut self, pid: u64, desc: &MigrationDescriptor) -> Result<(), RunError> {
+    fn degrade_unwind(&mut self, hc: usize, pid: u64, desc: &MigrationDescriptor) -> Result<(), RunError> {
         self.stats.bump("migrations_degraded");
-        self.trace
-            .record(self.host.clock().now(), Event::Degraded { pid });
+        self.trace.record_on(
+            CoreId::host(hc),
+            self.hosts[hc].clock().now(),
+            Event::Degraded { pid },
+        );
         let sp = self.kernel.task(pid).context.regs[abi::SP.index()];
         let mut ra = [0u8; 8];
         let mut s0 = [0u8; 8];
@@ -1258,23 +1500,24 @@ impl Machine {
     /// text. Nested cross-ISA calls hand back and forth naturally: the
     /// interpreter faults `IsaMismatch` at host text and the native
     /// core faults `NxViolation` at NxP text.
-    fn emulate_segment(&mut self, pid: u64, va: VirtAddr, fuel: u64) -> Result<(), RunError> {
+    fn emulate_segment(&mut self, hc: usize, pid: u64, va: VirtAddr, fuel: u64) -> Result<(), RunError> {
         self.stats.bump("emulated_calls");
-        self.trace.record(
-            self.host.clock().now(),
+        self.trace.record_on(
+            CoreId::host(hc),
+            self.hosts[hc].clock().now(),
             Event::EmulatedSegment {
                 pid,
                 from_va: va.as_u64(),
             },
         );
-        let host_cr3 = self.host.cr3();
-        let host_now = self.host.clock().now();
-        let mut ctx = self.host.save_context();
+        let host_cr3 = self.hosts[hc].cr3();
+        let host_now = self.hosts[hc].clock().now();
+        let mut ctx = self.hosts[hc].save_context();
         ctx.pc = va;
         // The degraded-mode interpreter inherits the host's fast-path
         // setting so the differential tests cover it too.
-        let fast_path = self.host.config().fast_path;
-        let emu = self.emu.get_or_insert_with(|| {
+        let fast_path = self.hosts[hc].config().fast_path;
+        let emu = self.emus[hc].get_or_insert_with(|| {
             Core::new(CoreConfig {
                 fast_path,
                 ..CoreConfig::host_emulator()
@@ -1290,7 +1533,7 @@ impl Machine {
             if left == 0 {
                 return Err(RunError::FuelExhausted);
             }
-            let emu = self.emu.as_mut().expect("emulation core installed above");
+            let emu = self.emus[hc].as_mut().expect("emulation core installed above");
             let before = emu.counters().instructions;
             let stop = emu.run(&mut self.mem, &self.env, left);
             let ran = emu.counters().instructions - before;
@@ -1305,8 +1548,8 @@ impl Machine {
                     let mut ctx = emu.save_context();
                     ctx.pc = back;
                     let at = emu.clock().now();
-                    self.host.restore_context(&ctx);
-                    self.host.clock_mut().sync_to(at);
+                    self.hosts[hc].restore_context(&ctx);
+                    self.hosts[hc].clock_mut().sync_to(at);
                     return Ok(());
                 }
                 StopReason::Ecall(s) if s == svc::ALLOC_NXP => {
@@ -1315,7 +1558,7 @@ impl Machine {
                         .kernel
                         .alloc_nxp_heap(pid, size)
                         .map_err(RunError::Load)?;
-                    self.emu
+                    self.emus[hc]
                         .as_mut()
                         .expect("emulation core installed above")
                         .set_reg(abi::A0, va.as_u64());
@@ -1350,35 +1593,36 @@ impl Machine {
         }
     }
 
-    /// Installs a runnable task onto the host core (context switch in).
-    fn install_task(&mut self, pid: u64) {
+    /// Installs a runnable task onto host core `hc` (context switch in).
+    fn install_task(&mut self, hc: usize, pid: u64) {
         let task = self.kernel.task_mut(pid);
         task.state = flick_os::TaskState::Running;
         let ctx = task.context.clone();
         let cr3 = task.cr3;
-        self.host.restore_context(&ctx);
-        if self.host.cr3() != cr3 {
-            self.host.set_cr3(cr3);
+        self.hosts[hc].restore_context(&ctx);
+        if self.hosts[hc].cr3() != cr3 {
+            self.hosts[hc].set_cr3(cr3);
         }
     }
 
     /// One NxP scheduler pickup of a host→NxP burst: poll the DMA
     /// status register, fetch the burst and validate its checksum and
     /// sequence number.
-    fn nxp_pickup(&mut self, arrival: Picos, expect_seq: u64) -> Pickup {
+    fn nxp_pickup(&mut self, nc: usize, arrival: Picos, expect_seq: u64) -> Pickup {
         let nt = self.nxp_timing.clone();
         // The scheduler's poll loop observes the status register.
-        let now = self.nxp.clock().now().max(arrival);
-        self.nxp.clock_mut().sync_to(now + nt.poll_period);
-        let Some(in_bytes) = self.dma.poll_nxp(self.nxp.clock().now()) else {
+        let now = self.nxps[nc].clock().now().max(arrival);
+        self.nxps[nc].clock_mut().sync_to(now + nt.poll_period);
+        let Some(in_bytes) = self.fabric.poll_nxp(nc, self.nxps[nc].clock().now()) else {
             // Burst never queued — indistinguishable from a lost one.
             return Pickup::Corrupt;
         };
         match MigrationDescriptor::from_bytes_checked(&in_bytes) {
-            Ok(d) if d.seq <= self.nxp_last_seq => {
+            Ok(d) if d.seq <= self.chans[nc].nxp_last => {
                 self.stats.bump("duplicate_descs_dropped");
-                self.trace.record(
-                    self.nxp.clock().now(),
+                self.trace.record_on(
+                    CoreId::nxp(nc),
+                    self.nxps[nc].clock().now(),
                     Event::DuplicateDescriptor {
                         to: Side::Nxp,
                         seq: d.seq,
@@ -1387,29 +1631,32 @@ impl Machine {
                 Pickup::Duplicate
             }
             Ok(d) => {
-                self.nxp_last_seq = d.seq;
-                self.trace.record(
-                    self.nxp.clock().now(),
+                self.chans[nc].nxp_last = d.seq;
+                self.trace.record_on(
+                    CoreId::nxp(nc),
+                    self.nxps[nc].clock().now(),
                     Event::DescriptorReceived {
                         to: Side::Nxp,
                         kind: d.kind.label(),
                     },
                 );
-                self.nxp.clock_mut().advance(nt.dispatch);
+                self.nxps[nc].clock_mut().advance(nt.dispatch);
                 Pickup::Accept(in_bytes, d)
             }
             Err(_) => {
                 // The link CRC caught in-flight corruption: NAK it.
                 self.stats.bump("crc_rejects");
-                self.trace.record(
-                    self.nxp.clock().now(),
+                self.trace.record_on(
+                    CoreId::nxp(nc),
+                    self.nxps[nc].clock().now(),
                     Event::CorruptDescriptor {
                         to: Side::Nxp,
                         seq: expect_seq,
                     },
                 );
-                self.trace.record(
-                    self.nxp.clock().now(),
+                self.trace.record_on(
+                    CoreId::nxp(nc),
+                    self.nxps[nc].clock().now(),
                     Event::NakSent {
                         from: Side::Nxp,
                         seq: expect_seq,
@@ -1425,6 +1672,7 @@ impl Machine {
     /// hands a descriptor back to the host.
     fn nxp_execute(
         &mut self,
+        nc: usize,
         pid: u64,
         in_bytes: Vec<u8>,
         desc: MigrationDescriptor,
@@ -1435,13 +1683,14 @@ impl Machine {
         self.mem.write_bytes(desc_phys, &in_bytes);
 
         // Context switch the thread in.
-        self.nxp.clock_mut().advance(nt.context_switch);
-        self.trace.record(
-            self.nxp.clock().now(),
+        self.nxps[nc].clock_mut().advance(nt.context_switch);
+        self.trace.record_on(
+            CoreId::nxp(nc),
+            self.nxps[nc].clock().now(),
             Event::NxpContextSwitch { switch_in: true },
         );
-        if self.nxp.cr3() != PhysAddr(desc.cr3) {
-            self.nxp.set_cr3(PhysAddr(desc.cr3));
+        if self.nxps[nc].cr3() != PhysAddr(desc.cr3) {
+            self.nxps[nc].set_cr3(PhysAddr(desc.cr3));
         }
         let fresh = !self.nxp_rt.has_context(pid);
         if fresh {
@@ -1459,7 +1708,7 @@ impl Machine {
             };
             ctx.regs[abi::SP.index()] = desc.nxp_sp;
             ctx.regs[abi::S0.index()] = layout::NXP_DESC_VA;
-            self.nxp.restore_context(&ctx);
+            self.nxps[nc].restore_context(&ctx);
         } else {
             let ctx = self
                 .nxp_rt
@@ -1467,12 +1716,12 @@ impl Machine {
                 .ctx
                 .take()
                 .expect("has_context checked");
-            self.nxp.restore_context(&ctx);
+            self.nxps[nc].restore_context(&ctx);
         }
 
         // Run until the thread emits a descriptor toward the host.
         loop {
-            let stop = self.nxp.run(&mut self.mem, &self.env, u64::MAX / 2);
+            let stop = self.nxps[nc].run(&mut self.mem, &self.env, u64::MAX / 2);
             match stop {
                 StopReason::Ecall(s) if s == svc::NXP_MIGRATE_AND_SUSPEND => {
                     let Some(fault_va) = self.nxp_rt.thread_mut(pid).fault_va.take() else {
@@ -1486,20 +1735,20 @@ impl Machine {
                         target: fault_va.as_u64(),
                         ret: 0,
                         args: [
-                            self.nxp.reg(abi::A0),
-                            self.nxp.reg(abi::A1),
-                            self.nxp.reg(abi::A2),
-                            self.nxp.reg(abi::A3),
-                            self.nxp.reg(abi::A4),
-                            self.nxp.reg(abi::A5),
+                            self.nxps[nc].reg(abi::A0),
+                            self.nxps[nc].reg(abi::A1),
+                            self.nxps[nc].reg(abi::A2),
+                            self.nxps[nc].reg(abi::A3),
+                            self.nxps[nc].reg(abi::A4),
+                            self.nxps[nc].reg(abi::A5),
                         ],
                         pid,
-                        cr3: self.nxp.cr3().as_u64(),
+                        cr3: self.nxps[nc].cr3().as_u64(),
                         nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
                         seq: 0, // assigned by nxp_send
                     };
                     self.stats.bump("migrations_nxp_to_host");
-                    return Ok(self.nxp_send(pid, out));
+                    return Ok(self.nxp_send(nc, pid, out));
                 }
                 StopReason::Ecall(s) if s == svc::NXP_RETURN_AND_SWITCH => {
                     let ret = self.mem.read_u64(PhysAddr(desc_phys.as_u64() + L::RET));
@@ -1509,24 +1758,24 @@ impl Machine {
                         ret,
                         args: [0; 6],
                         pid,
-                        cr3: self.nxp.cr3().as_u64(),
+                        cr3: self.nxps[nc].cr3().as_u64(),
                         nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
                         seq: 0, // assigned by nxp_send
                     };
                     self.stats.bump("returns_nxp_to_host");
-                    return Ok(self.nxp_send(pid, out));
+                    return Ok(self.nxp_send(nc, pid, out));
                 }
                 StopReason::Ecall(s) if s == svc::ALLOC_NXP => {
-                    let size = self.nxp.reg(abi::A0);
+                    let size = self.nxps[nc].reg(abi::A0);
                     let va = self
                         .kernel
                         .alloc_nxp_heap(pid, size)
                         .map_err(RunError::Load)?;
-                    self.nxp.set_reg(abi::A0, va.as_u64());
+                    self.nxps[nc].set_reg(abi::A0, va.as_u64());
                 }
                 StopReason::Ecall(s) if s == svc::CLOCK_NS => {
-                    let ns = self.nxp.clock().now().as_nanos();
-                    self.nxp.set_reg(abi::A0, ns);
+                    let ns = self.nxps[nc].clock().now().as_nanos();
+                    self.nxps[nc].set_reg(abi::A0, ns);
                 }
                 StopReason::Fault(Exception::InstFault { va, kind })
                     if matches!(
@@ -1538,22 +1787,24 @@ impl Machine {
                     // NxP migration handler (§IV-B2).
                     self.stats.bump("nxp_exec_faults");
                     match kind {
-                        InstFaultKind::Misaligned => self.trace.record(
-                            self.nxp.clock().now(),
+                        InstFaultKind::Misaligned => self.trace.record_on(
+                            CoreId::nxp(nc),
+                            self.nxps[nc].clock().now(),
                             Event::MisalignedFetch { fault_va: va.as_u64() },
                         ),
-                        _ => self.trace.record(
-                            self.nxp.clock().now(),
+                        _ => self.trace.record_on(
+                            CoreId::nxp(nc),
+                            self.nxps[nc].clock().now(),
                             Event::NxFault {
                                 side: Side::Nxp,
                                 fault_va: va.as_u64(),
                             },
                         ),
                     }
-                    self.nxp.clock_mut().advance(nt.exception_entry);
+                    self.nxps[nc].clock_mut().advance(nt.exception_entry);
                     self.nxp_rt.thread_mut(pid).fault_va = Some(va);
                     let handler = self.vas[&pid].nxp_handler;
-                    self.nxp.set_pc(handler);
+                    self.nxps[nc].set_pc(handler);
                 }
                 StopReason::Ecall(service) => {
                     return Err(RunError::UnknownService {
@@ -1571,7 +1822,7 @@ impl Machine {
                     return Err(RunError::Crash {
                         side: Side::Nxp,
                         exception: Exception::InstFault {
-                            va: self.nxp.pc(),
+                            va: self.nxps[nc].pc(),
                             kind: InstFaultKind::Illegal,
                         },
                     })
@@ -1585,33 +1836,37 @@ impl Machine {
     /// descriptor into host memory (plus its wake-up MSI). The wire
     /// bytes are retained until the host accepts them so the watchdog
     /// can demand retransmission.
-    fn nxp_send(&mut self, pid: u64, mut desc: MigrationDescriptor) -> PendingWake {
+    fn nxp_send(&mut self, nc: usize, pid: u64, mut desc: MigrationDescriptor) -> PendingWake {
         let nt = self.nxp_timing.clone();
-        desc.seq = self.n2h_seq;
-        self.n2h_seq += 1;
-        self.nxp.clock_mut().advance(nt.desc_build);
-        let ctx = self.nxp.save_context();
+        desc.seq = self.chans[nc].n2h;
+        self.chans[nc].n2h += 1;
+        self.nxps[nc].clock_mut().advance(nt.desc_build);
+        let ctx = self.nxps[nc].save_context();
         self.nxp_rt.thread_mut(pid).ctx = Some(ctx);
-        self.nxp.clock_mut().advance(nt.context_switch);
-        self.trace.record(
-            self.nxp.clock().now(),
+        self.nxps[nc].clock_mut().advance(nt.context_switch);
+        self.trace.record_on(
+            CoreId::nxp(nc),
+            self.nxps[nc].clock().now(),
             Event::NxpContextSwitch { switch_in: false },
         );
         let bytes = desc.to_bytes();
-        self.trace.record(
-            self.nxp.clock().now(),
+        self.trace.record_on(
+            CoreId::nxp(nc),
+            self.nxps[nc].clock().now(),
             Event::DescriptorSent {
                 from: Side::Nxp,
                 kind: desc.kind.label(),
                 bytes: bytes.len(),
             },
         );
-        self.retained_n2h.insert(pid, bytes.clone());
-        let now = self.nxp.clock().now();
-        let (_arrival, maybe_msi, pert) = self.dma.kick_to_host_faulty(now, bytes, &mut self.plan);
-        self.note_burst_faults(Side::Host, now, &pert);
-        let msi_at = maybe_msi.and_then(|msi| self.raise_msi(msi, now));
-        PendingWake { msi_at }
+        self.retained_n2h.insert(pid, (nc, bytes.clone()));
+        let now = self.nxps[nc].clock().now();
+        let (_arrival, maybe_msi, pert) =
+            self.fabric
+                .kick_to_host_faulty(nc, now, bytes, &mut self.plan);
+        self.note_burst_faults(CoreId::nxp(nc), Side::Host, now, &pert);
+        let msi_at = maybe_msi.and_then(|msi| self.raise_msi(CoreId::nxp(nc), msi, now));
+        PendingWake { msi_at, chan: nc }
     }
 
     /// Physical address of the NxP-side descriptor buffer (the SRAM
@@ -2022,6 +2277,49 @@ mod tests {
             m.run_concurrent(&[pid], 5_000),
             Err(RunError::FuelExhausted)
         ));
+    }
+
+    #[test]
+    fn two_nxps_round_robin_uses_both() {
+        use crate::topology::Topology;
+        let mut m = Machine::builder().topology(Topology::new(1, 2)).build();
+        let mut pids = Vec::new();
+        for tag in 0..2i64 {
+            let mut p = migration_loop_program(2, 100, tag * 1000);
+            pids.push(m.load_program(&mut p).unwrap());
+        }
+        let done = m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+        assert_eq!(done.len(), 2);
+        for (name, stats) in m.per_core_stats() {
+            if name.starts_with("nxp") {
+                assert!(stats.get("instructions") > 0, "{name} starved");
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_idle_nxp() {
+        use crate::topology::{NxpPlacement, Topology};
+        // One long call occupies NxP 0; the next call must land on the
+        // idle NxP 1 because its clock is furthest behind.
+        let mut m = Machine::builder()
+            .topology(Topology::new(1, 2))
+            .nxp_placement(NxpPlacement::LeastLoaded)
+            .build();
+        let mut p = migration_loop_program(2, 5_000, 0);
+        let pid = m.load_program(&mut p).unwrap();
+        m.run(pid).unwrap();
+        let nxp_insts: Vec<u64> = m
+            .per_core_stats()
+            .into_iter()
+            .filter(|(n, _)| n.starts_with("nxp"))
+            .map(|(_, s)| s.get("instructions"))
+            .collect();
+        assert_eq!(nxp_insts.len(), 2);
+        assert!(
+            nxp_insts.iter().all(|&i| i > 0),
+            "least-loaded alternates between the NxPs: {nxp_insts:?}"
+        );
     }
 
     #[test]

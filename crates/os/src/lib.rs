@@ -30,9 +30,11 @@
 //! ```
 
 pub mod kernel;
+pub mod sched;
 pub mod task;
 pub mod timing;
 
 pub use kernel::{Kernel, KernelConfig, LoadError};
+pub use sched::RunQueues;
 pub use task::{TaskState, TaskStruct};
 pub use timing::OsTiming;

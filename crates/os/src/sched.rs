@@ -1,0 +1,107 @@
+//! Per-core runqueues with task affinity and idle stealing.
+//!
+//! A topology-configured machine runs one scheduler instance per host
+//! core. Each core has its own FIFO runqueue; a woken task is enqueued
+//! on the core it last ran on (cache affinity), and a core whose own
+//! queue drains steals the oldest task from the most-loaded sibling.
+//! Both policies are fully deterministic — ties break toward the
+//! lowest core index — which is what keeps N×M runs bit-reproducible.
+
+use std::collections::VecDeque;
+
+/// One FIFO runqueue per host core.
+#[derive(Clone, Debug)]
+pub struct RunQueues {
+    queues: Vec<VecDeque<u64>>,
+}
+
+impl RunQueues {
+    /// Empty runqueues for `cores` host cores.
+    pub fn new(cores: usize) -> Self {
+        assert!(cores >= 1, "a scheduler needs at least one core");
+        RunQueues {
+            queues: vec![VecDeque::new(); cores],
+        }
+    }
+
+    /// Number of cores (queues).
+    pub fn cores(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Appends `pid` to `core`'s queue.
+    pub fn enqueue(&mut self, core: usize, pid: u64) {
+        self.queues[core].push_back(pid);
+    }
+
+    /// Pops the oldest task queued on `core`, if any.
+    pub fn pop_local(&mut self, core: usize) -> Option<u64> {
+        self.queues[core].pop_front()
+    }
+
+    /// Idle-steal: takes the oldest task from the most-loaded queue
+    /// other than `thief`'s (ties toward the lowest core index).
+    /// Returns `None` when every other queue is empty.
+    pub fn steal(&mut self, thief: usize) -> Option<u64> {
+        let victim = (0..self.queues.len())
+            .filter(|&c| c != thief && !self.queues[c].is_empty())
+            .max_by_key(|&c| (self.queues[c].len(), std::cmp::Reverse(c)))?;
+        self.queues[victim].pop_front()
+    }
+
+    /// Number of tasks queued on `core`.
+    pub fn len(&self, core: usize) -> usize {
+        self.queues[core].len()
+    }
+
+    /// Total queued tasks across all cores.
+    pub fn total(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// True when no core has queued work.
+    pub fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_fifo_order() {
+        let mut rq = RunQueues::new(2);
+        rq.enqueue(0, 1);
+        rq.enqueue(0, 2);
+        assert_eq!(rq.pop_local(0), Some(1));
+        assert_eq!(rq.pop_local(0), Some(2));
+        assert_eq!(rq.pop_local(0), None);
+    }
+
+    #[test]
+    fn steal_takes_oldest_from_most_loaded() {
+        let mut rq = RunQueues::new(3);
+        rq.enqueue(1, 10);
+        rq.enqueue(2, 20);
+        rq.enqueue(2, 21);
+        // Core 0 is idle: it steals from core 2 (the longest queue),
+        // taking the oldest task there.
+        assert_eq!(rq.steal(0), Some(20));
+        // Now the queues tie at one task each; the lowest index wins.
+        assert_eq!(rq.steal(0), Some(10));
+        assert_eq!(rq.steal(0), Some(21));
+        assert_eq!(rq.steal(0), None);
+    }
+
+    #[test]
+    fn steal_never_robs_own_queue() {
+        let mut rq = RunQueues::new(2);
+        rq.enqueue(0, 7);
+        assert_eq!(rq.steal(0), None);
+        assert_eq!(rq.total(), 1);
+        assert!(!rq.is_empty());
+        assert_eq!(rq.len(0), 1);
+        assert_eq!(rq.cores(), 2);
+    }
+}

@@ -60,6 +60,15 @@ pub struct TaskStruct {
     /// thread; its NxP calls now run through the host-side interpreter
     /// instead of migrating.
     pub degraded: bool,
+    /// **Topology field**: index of the host core this task last ran
+    /// on. Wake-ups re-enqueue the task on that core's runqueue (cache
+    /// affinity); idle stealing updates it when the task moves.
+    pub last_core: usize,
+    /// **Topology field**: simulated time at which the task last became
+    /// runnable. A core that picks the task up (locally or by stealing)
+    /// syncs its clock forward to this instant so cross-core scheduling
+    /// never runs a task before the event that readied it.
+    pub ready_at: Picos,
     /// Exit code once `Zombie`.
     pub exit_code: u64,
     /// Bump pointer for this process's host heap.
@@ -81,6 +90,8 @@ impl TaskStruct {
             migration_flag: false,
             deadline: None,
             degraded: false,
+            last_core: 0,
+            ready_at: Picos::ZERO,
             exit_code: 0,
             host_brk: VirtAddr(flick_toolchain::layout::HOST_HEAP_BASE),
             nxp_brk: VirtAddr::NULL,

@@ -223,6 +223,24 @@ impl DmaEngine {
         }
     }
 
+    /// Pops the earliest-arrived NxP→host descriptor at or before `now`
+    /// for which `pred` holds, leaving the rest of the ring in order.
+    /// The kernel's IRQ handler uses this to claim the descriptor that
+    /// belongs to the thread it is waking while unrelated traffic sits
+    /// in the same ring (bursts in one direction serialise, so ring
+    /// order is arrival order).
+    pub fn take_host_desc_where(
+        &mut self,
+        now: Picos,
+        mut pred: impl FnMut(&[u8]) -> bool,
+    ) -> Option<Vec<u8>> {
+        let idx = self
+            .to_host
+            .iter()
+            .position(|d| d.arrival <= now && pred(&d.bytes))?;
+        self.to_host.remove(idx).map(|d| d.bytes)
+    }
+
     /// Number of host→NxP bursts performed.
     pub fn bursts_to_nxp(&self) -> u64 {
         self.bursts_to_nxp
@@ -231,6 +249,102 @@ impl DmaEngine {
     /// Number of NxP→host bursts performed.
     pub fn bursts_to_host(&self) -> u64 {
         self.bursts_to_host
+    }
+}
+
+/// The PCIe switch fabric of a topology-configured machine: one
+/// descriptor channel ([`DmaEngine`]) per NxP, each with its own MSI
+/// vector, behind a shared host root port.
+///
+/// Doorbell arbitration: host→NxP doorbells are posted writes issued
+/// through the one root port, so doorbells rung closely together
+/// serialise across channels (each occupies the port for the doorbell
+/// write time). DMA bursts themselves ride independent point-to-point
+/// links and only serialise within a channel/direction (the per-engine
+/// single-mover rule). This is what lets N descriptors be in flight to
+/// N different NxPs simultaneously.
+#[derive(Debug)]
+pub struct PcieFabric {
+    channels: Vec<DmaEngine>,
+    /// Host root port busy with a doorbell write until this instant.
+    doorbell_busy_until: Picos,
+}
+
+impl PcieFabric {
+    /// A fabric with `channels` descriptor channels, one per NxP, all
+    /// sharing one latency model. Channel `k` raises MSI vector `k`.
+    pub fn new(latency: LatencyModel, channels: usize) -> Self {
+        assert!(channels >= 1, "a fabric needs at least one channel");
+        PcieFabric {
+            channels: (0..channels)
+                .map(|k| DmaEngine::new(latency.clone(), k as u32))
+                .collect(),
+            doorbell_busy_until: Picos::ZERO,
+        }
+    }
+
+    /// Number of channels (NxPs).
+    pub fn channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Immutable view of channel `k`'s DMA engine.
+    pub fn channel(&self, k: usize) -> &DmaEngine {
+        &self.channels[k]
+    }
+
+    /// Rings channel `k`'s doorbell and kicks a host→NxP burst,
+    /// arbitrating the doorbell write against other channels' doorbells
+    /// at the root port. See [`DmaEngine::kick_to_nxp_faulty`].
+    pub fn kick_to_nxp_faulty(
+        &mut self,
+        k: usize,
+        now: Picos,
+        bytes: Vec<u8>,
+        plan: &mut FaultPlan,
+    ) -> (Picos, BurstPerturbation) {
+        let issue = now.max(self.doorbell_busy_until);
+        self.doorbell_busy_until = issue + self.channels[k].latency.host_to_nxp_write;
+        self.channels[k].kick_to_nxp_faulty(issue, bytes, plan)
+    }
+
+    /// Kicks an NxP→host burst on channel `k`. NxP-side doorbells are
+    /// device-local MMIO writes, so they need no cross-channel
+    /// arbitration. See [`DmaEngine::kick_to_host_faulty`].
+    pub fn kick_to_host_faulty(
+        &mut self,
+        k: usize,
+        now: Picos,
+        bytes: Vec<u8>,
+        plan: &mut FaultPlan,
+    ) -> (Picos, Option<Msi>, BurstPerturbation) {
+        self.channels[k].kick_to_host_faulty(now, bytes, plan)
+    }
+
+    /// Polls channel `k`'s NxP-side status register. See
+    /// [`DmaEngine::poll_nxp`].
+    pub fn poll_nxp(&mut self, k: usize, now: Picos) -> Option<Vec<u8>> {
+        self.channels[k].poll_nxp(now)
+    }
+
+    /// Takes a matching descriptor out of channel `k`'s host ring. See
+    /// [`DmaEngine::take_host_desc_where`].
+    pub fn take_host_desc_where(
+        &mut self,
+        k: usize,
+        now: Picos,
+        pred: impl FnMut(&[u8]) -> bool,
+    ) -> Option<Vec<u8>> {
+        self.channels[k].take_host_desc_where(now, pred)
+    }
+
+    /// Total bursts performed in either direction, summed over
+    /// channels.
+    pub fn total_bursts(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(|c| c.bursts_to_nxp() + c.bursts_to_host())
+            .sum()
     }
 }
 
@@ -281,6 +395,18 @@ impl InterruptController {
         } else {
             None
         }
+    }
+
+    /// Pops the earliest interrupt on `vector` deliverable at or before
+    /// `now`, leaving other vectors' interrupts queued — how a
+    /// per-channel IRQ handler claims its own wake-ups on a machine
+    /// with several NxP channels.
+    pub fn take_due_vector(&mut self, now: Picos, vector: u32) -> Option<Msi> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|m| m.at <= now && m.vector == vector)?;
+        self.pending.remove(idx)
     }
 
     /// Earliest pending delivery time, if any.
@@ -445,6 +571,76 @@ mod tests {
         let mut dup_plan = FaultPlan::seeded(6).with_dup_msi(1.0);
         assert_eq!(ic.raise_with(msi, &mut dup_plan), MsiFate::Duplicated);
         assert_eq!(ic.pending(), 2);
+    }
+
+    #[test]
+    fn take_where_skips_unrelated_descriptors() {
+        let mut dma = DmaEngine::paper_default();
+        let a1 = dma.kick_to_nxp(Picos::ZERO, vec![0]); // park the mover
+        let _ = a1;
+        let (b1, _) = dma.kick_to_host(Picos::ZERO, vec![1, 1]);
+        let (b2, _) = dma.kick_to_host(b1, vec![2, 2]);
+        // Claim the second descriptor without disturbing the first.
+        let got = dma.take_host_desc_where(b2, |b| b[0] == 2);
+        assert_eq!(got, Some(vec![2, 2]));
+        assert_eq!(dma.take_host_desc(b2), Some(vec![1, 1]));
+        // Not-yet-arrived descriptors never match.
+        let (c, _) = dma.kick_to_host(b2, vec![3, 3]);
+        assert_eq!(dma.take_host_desc_where(c - Picos(1), |_| true), None);
+    }
+
+    #[test]
+    fn fabric_channels_are_independent_but_doorbells_arbitrate() {
+        let mut plan = FaultPlan::none();
+        let lat = LatencyModel::paper_default();
+        let mut fab = PcieFabric::new(lat.clone(), 2);
+        // Two doorbells rung at the same instant: the root port
+        // serialises the posted writes, so channel 1's burst starts one
+        // doorbell-write later than channel 0's.
+        let (a0, _) = fab.kick_to_nxp_faulty(0, Picos::ZERO, vec![0u8; 128], &mut plan);
+        let (a1, _) = fab.kick_to_nxp_faulty(1, Picos::ZERO, vec![0u8; 128], &mut plan);
+        assert_eq!(a1, a0 + lat.host_to_nxp_write);
+        // But the bursts do NOT serialise against each other the way two
+        // bursts on one channel would (independent links).
+        let mut one = PcieFabric::new(lat.clone(), 1);
+        let (b0, _) = one.kick_to_nxp_faulty(0, Picos::ZERO, vec![0u8; 128], &mut plan);
+        let (b1, _) = one.kick_to_nxp_faulty(0, Picos::ZERO, vec![0u8; 128], &mut plan);
+        assert!(b1 > b0 + lat.host_to_nxp_write, "{b1} vs {b0}");
+        // Each channel raises its own MSI vector.
+        let (_, msi0, _) = fab.kick_to_host_faulty(0, Picos::ZERO, vec![0u8; 64], &mut plan);
+        let (_, msi1, _) = fab.kick_to_host_faulty(1, Picos::ZERO, vec![0u8; 64], &mut plan);
+        assert_eq!(msi0.unwrap().vector, 0);
+        assert_eq!(msi1.unwrap().vector, 1);
+        assert_eq!(fab.total_bursts(), 4);
+    }
+
+    #[test]
+    fn single_channel_fabric_matches_bare_engine() {
+        // The 1×1 differential guarantee starts here: one channel, no
+        // contending doorbells → timing identical to a bare DmaEngine.
+        let mut plan = FaultPlan::none();
+        let mut fab = PcieFabric::new(LatencyModel::paper_default(), 1);
+        let mut dma = DmaEngine::paper_default();
+        let t = Picos::from_micros(3);
+        let (fa, _) = fab.kick_to_nxp_faulty(0, t, vec![5u8; 128], &mut plan);
+        let da = dma.kick_to_nxp(t, vec![5u8; 128]);
+        assert_eq!(fa, da);
+        let (fb, fm, _) = fab.kick_to_host_faulty(0, fa, vec![6u8; 64], &mut plan);
+        let (db, dm) = dma.kick_to_host(fa, vec![6u8; 64]);
+        assert_eq!(fb, db);
+        assert_eq!(fm.unwrap().at, dm.at);
+    }
+
+    #[test]
+    fn take_due_vector_leaves_other_vectors() {
+        let mut ic = InterruptController::new();
+        ic.raise(Msi { vector: 1, at: Picos::from_nanos(10) });
+        ic.raise(Msi { vector: 0, at: Picos::from_nanos(20) });
+        let now = Picos::from_nanos(30);
+        assert_eq!(ic.take_due_vector(now, 0).unwrap().at, Picos::from_nanos(20));
+        assert_eq!(ic.pending(), 1);
+        assert_eq!(ic.take_due_vector(now, 0), None);
+        assert_eq!(ic.take_due_vector(now, 1).unwrap().at, Picos::from_nanos(10));
     }
 
     #[test]

@@ -39,4 +39,4 @@ pub use fault::{BurstPerturbation, FaultCounts, FaultPlan, MsiFate};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use stats::{Counter, Stats, Summary};
 pub use time::{Cycles, Hertz, Picos};
-pub use trace::{Event, Trace, TraceConfig};
+pub use trace::{CoreId, Event, Side, Trace, TraceConfig};

@@ -28,6 +28,40 @@ impl fmt::Display for Side {
     }
 }
 
+/// Identity of one core in a topology-configured machine: which fleet
+/// it belongs to and its index within that fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CoreId {
+    /// Host or NxP fleet.
+    pub side: Side,
+    /// Index within the fleet (0-based).
+    pub index: usize,
+}
+
+impl CoreId {
+    /// The `index`-th host core.
+    pub fn host(index: usize) -> Self {
+        CoreId {
+            side: Side::Host,
+            index,
+        }
+    }
+
+    /// The `index`-th NxP core.
+    pub fn nxp(index: usize) -> Self {
+        CoreId {
+            side: Side::Nxp,
+            index,
+        }
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.side, self.index)
+    }
+}
+
 /// A traced simulation event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
@@ -193,6 +227,11 @@ impl Default for TraceConfig {
 pub struct Trace {
     config: TraceConfig,
     events: Vec<(Picos, Event)>,
+    /// Which core recorded each event, parallel to `events`. `None` for
+    /// untagged records (markers, legacy callers); kept out of the
+    /// event tuples so trace-equality assertions over [`Trace::events`]
+    /// are independent of the machine topology that produced them.
+    cores: Vec<Option<CoreId>>,
     dropped: u64,
 }
 
@@ -202,6 +241,7 @@ impl Trace {
         Trace {
             config,
             events: Vec::new(),
+            cores: Vec::new(),
             dropped: 0,
         }
     }
@@ -216,6 +256,16 @@ impl Trace {
 
     /// Records `event` at time `at` (no-op when disabled or full).
     pub fn record(&mut self, at: Picos, event: Event) {
+        self.push(None, at, event);
+    }
+
+    /// Records `event` at time `at`, attributed to `core` — the
+    /// topology-aware variant of [`Trace::record`].
+    pub fn record_on(&mut self, core: CoreId, at: Picos, event: Event) {
+        self.push(Some(core), at, event);
+    }
+
+    fn push(&mut self, core: Option<CoreId>, at: Picos, event: Event) {
         if !self.config.enabled {
             return;
         }
@@ -224,11 +274,27 @@ impl Trace {
             return;
         }
         self.events.push((at, event));
+        self.cores.push(core);
     }
 
     /// All recorded events in order.
     pub fn events(&self) -> &[(Picos, Event)] {
         &self.events
+    }
+
+    /// Which core recorded each event, parallel to [`Trace::events`]
+    /// (`None` for untagged records).
+    pub fn core_tags(&self) -> &[Option<CoreId>] {
+        &self.cores
+    }
+
+    /// The events a particular core recorded, with timestamps.
+    pub fn events_on(&self, core: CoreId) -> impl Iterator<Item = &(Picos, Event)> {
+        self.events
+            .iter()
+            .zip(self.cores.iter())
+            .filter(move |(_, c)| **c == Some(core))
+            .map(|(e, _)| e)
     }
 
     /// Number of recorded events.
@@ -262,6 +328,7 @@ impl Trace {
     /// Clears all recorded events (configuration is kept).
     pub fn clear(&mut self) {
         self.events.clear();
+        self.cores.clear();
         self.dropped = 0;
     }
 }
@@ -316,5 +383,22 @@ mod tests {
         t.record(Picos::ZERO, Event::Marker("m"));
         t.clear();
         assert!(t.is_empty());
+        assert!(t.core_tags().is_empty());
+    }
+
+    #[test]
+    fn core_tags_parallel_events() {
+        let mut t = Trace::default();
+        t.record_on(CoreId::host(0), Picos::from_nanos(1), Event::Marker("a"));
+        t.record(Picos::from_nanos(2), Event::Marker("b"));
+        t.record_on(CoreId::nxp(1), Picos::from_nanos(3), Event::Marker("c"));
+        assert_eq!(t.core_tags(), &[
+            Some(CoreId::host(0)),
+            None,
+            Some(CoreId::nxp(1)),
+        ]);
+        let on_nxp1: Vec<_> = t.events_on(CoreId::nxp(1)).collect();
+        assert_eq!(on_nxp1, vec![&(Picos::from_nanos(3), Event::Marker("c"))]);
+        assert_eq!(CoreId::nxp(1).to_string(), "nxp1");
     }
 }

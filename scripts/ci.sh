@@ -11,3 +11,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-run the bench harness (1 sample: checks it runs, not the timings).
 cargo bench -p flick-bench --bench simulator -- --samples 1
+
+# Topology smoke matrix: the classic 1x1 pair and a 2x2 fleet must both
+# run the same concurrent workload to completion.
+cargo run --release --example topology -- 1 1
+cargo run --release --example topology -- 2 2

@@ -308,3 +308,42 @@ fn dead_host_return_leg_is_fatal() {
         other => panic!("expected host-to-nxp return LinkDead, got {other:?}"),
     }
 }
+
+#[test]
+fn abandoned_migration_wait_deadlocks_instead_of_wedging() {
+    // Exhaust the fuel budget while the thread sits in MigrationWait,
+    // then re-run it: the thread can never be woken (its wake-up was
+    // abandoned with the aborted run), and the scheduler must report a
+    // typed deadlock naming the stuck pid — not spin or panic.
+    let mut seen_deadlock = false;
+    for fuel in 10..200 {
+        let mut p = ProgramBuilder::new("dl");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.li(abi::A0, 1);
+        main.call("nxp_id");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_id", TargetIsa::Nxp);
+        f.ret();
+        p.func(f.finish());
+        let mut m = Machine::paper_default();
+        let pid = m.load_program(&mut p).unwrap();
+        if !matches!(m.run_with_fuel(pid, fuel), Err(RunError::FuelExhausted)) {
+            continue;
+        }
+        match m.run(pid) {
+            Err(RunError::Deadlock { stuck }) => {
+                assert_eq!(stuck, vec![pid]);
+                seen_deadlock = true;
+            }
+            // Fuel ran out while the thread was runnable on the host:
+            // the re-run resumes from the stale context and finishes.
+            Ok(_) | Err(RunError::FuelExhausted) => {}
+            other => panic!("unexpected re-run result: {other:?}"),
+        }
+    }
+    assert!(
+        seen_deadlock,
+        "some fuel level must abort inside MigrationWait"
+    );
+}

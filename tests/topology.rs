@@ -1,0 +1,413 @@
+//! Topology tests: the N×M machine must replay bit-identically run
+//! after run on every topology, the 1×1 configuration must reproduce
+//! the pre-topology machine picosecond-for-picosecond, and a wider
+//! topology must actually overlap migrations in simulated time.
+
+use flick::{Machine, NxpPlacement, Topology};
+use flick_isa::{abi, FuncBuilder, MemSize, TargetIsa};
+use flick_sim::{CoreId, Event, FaultPlan, Picos, TraceConfig};
+use flick_toolchain::{DataDef, ProgramBuilder};
+
+const CHASE_LEN: u64 = 64;
+const CHASE_STEPS: i64 = 48;
+
+fn chase_table() -> Vec<u8> {
+    let mut bytes = Vec::with_capacity((CHASE_LEN * 8) as usize);
+    for i in 0..CHASE_LEN {
+        let next = (i.wrapping_mul(17).wrapping_add(5)) % CHASE_LEN;
+        bytes.extend_from_slice(&next.to_le_bytes());
+    }
+    bytes
+}
+
+/// main() calls nxp_inc(k) for k = 1..=4 and exits with the sum.
+fn build_null_call(p: &mut ProgramBuilder) {
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::S1, 0);
+    for k in 1..=4 {
+        main.li(abi::A0, k);
+        main.call("nxp_inc");
+        main.add(abi::S1, abi::S1, abi::A0);
+    }
+    main.mv(abi::A0, abi::S1);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut inc = FuncBuilder::new("nxp_inc", TargetIsa::Nxp);
+    inc.addi(abi::A0, abi::A0, 1);
+    inc.ret();
+    p.func(inc.finish());
+}
+
+/// Pointer chase on the NxP plus a host-calling ping-pong leg — the
+/// workload the chaos golden was captured with.
+fn build_chase(p: &mut ProgramBuilder) {
+    p.data(DataDef::new("table", chase_table()));
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li_sym(abi::A0, "table");
+    main.li(abi::A1, CHASE_STEPS);
+    main.call("nxp_chase");
+    main.mv(abi::S1, abi::A0);
+    main.li(abi::A0, 5);
+    main.call("nxp_pingpong");
+    main.add(abi::A0, abi::A0, abi::S1);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut chase = FuncBuilder::new("nxp_chase", TargetIsa::Nxp);
+    chase.li(abi::T0, 0);
+    chase.li(abi::T1, 0);
+    chase.mv(abi::T2, abi::A1);
+    let top = chase.new_label();
+    let done = chase.new_label();
+    chase.bind(top);
+    chase.beq(abi::T2, abi::ZERO, done);
+    chase.slli(abi::T3, abi::T0, 3);
+    chase.add(abi::T3, abi::A0, abi::T3);
+    chase.ld(abi::T0, abi::T3, 0, MemSize::B8);
+    chase.add(abi::T1, abi::T1, abi::T0);
+    chase.addi(abi::T2, abi::T2, -1);
+    chase.jmp(top);
+    chase.bind(done);
+    chase.mv(abi::A0, abi::T1);
+    chase.ret();
+    p.func(chase.finish());
+    let mut ping = FuncBuilder::new("nxp_pingpong", TargetIsa::Nxp);
+    ping.prologue(16, &[]);
+    ping.addi(abi::A0, abi::A0, 1);
+    ping.call("host_leaf");
+    ping.addi(abi::A0, abi::A0, 7);
+    ping.epilogue(16, &[]);
+    p.func(ping.finish());
+    let mut leaf = FuncBuilder::new("host_leaf", TargetIsa::Host);
+    leaf.slli(abi::T0, abi::A0, 1);
+    leaf.add(abi::A0, abi::A0, abi::T0);
+    leaf.ret();
+    p.func(leaf.finish());
+}
+
+/// A process that calls an NxP spin function `calls` times.
+fn migration_loop_program(calls: i64, spin: i64, tag: i64) -> ProgramBuilder {
+    let mut p = ProgramBuilder::new("loop");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    let lp = main.new_label();
+    main.li(abi::S1, calls);
+    main.li(abi::S2, 0);
+    main.bind(lp);
+    main.li(abi::A0, spin);
+    main.call("nxp_spin");
+    main.add(abi::S2, abi::S2, abi::A0);
+    main.addi(abi::S1, abi::S1, -1);
+    main.bne(abi::S1, abi::ZERO, lp);
+    main.li(abi::T0, tag);
+    main.add(abi::A0, abi::S2, abi::T0);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut f = FuncBuilder::new("nxp_spin", TargetIsa::Nxp);
+    let sl = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0);
+    f.bind(sl);
+    f.bge(abi::T0, abi::A0, done);
+    f.addi(abi::T0, abi::T0, 1);
+    f.jmp(sl);
+    f.bind(done);
+    f.mv(abi::A0, abi::T0);
+    f.ret();
+    p.func(f.finish());
+    p
+}
+
+fn traced_builder() -> flick::MachineBuilder {
+    Machine::builder().trace(TraceConfig {
+        enabled: true,
+        capacity: 1 << 20,
+    })
+}
+
+// ---------------------------------------------------------------------
+// 1×1 must be bit-identical to the pre-topology machine. The constants
+// below were captured from the fixed host+NxP-pair implementation
+// immediately before the topology refactor; any drift in timing,
+// counters or trace length is a regression.
+// ---------------------------------------------------------------------
+
+#[test]
+fn one_by_one_null_call_matches_pre_topology_golden() {
+    let mut p = ProgramBuilder::new("g");
+    build_null_call(&mut p);
+    let mut m = traced_builder().build();
+    assert_eq!(m.topology(), Topology::single());
+    let pid = m.load_program(&mut p).unwrap();
+    let out = m.run(pid).unwrap();
+    assert_eq!(out.exit_code, 14);
+    assert_eq!(out.sim_time.as_picos(), 86_634_287);
+    assert_eq!(m.trace().len(), 36);
+    for (key, want) in [
+        ("instructions", 77),
+        ("nxp_instructions", 63),
+        ("migrations_host_to_nxp", 4),
+        ("returns_nxp_to_host", 4),
+        ("nx_faults", 4),
+        ("nxp_stack_allocs", 1),
+        ("loads", 20),
+        ("stores", 8),
+        ("walks", 4),
+        ("nxp_loads", 32),
+        ("nxp_stores", 4),
+        ("nxp_walks", 2),
+        ("itlb_misses", 2),
+        ("dtlb_misses", 2),
+        ("icache_misses", 5),
+        ("dcache_misses", 2),
+        ("nxp_itlb_misses", 1),
+        ("nxp_dtlb_misses", 1),
+        ("nxp_icache_misses", 3),
+    ] {
+        assert_eq!(out.stats.get(key), want, "stat {key} drifted");
+    }
+}
+
+#[test]
+fn one_by_one_chaos_chase_matches_pre_topology_golden() {
+    let mut p = ProgramBuilder::new("g");
+    build_chase(&mut p);
+    let mut m = traced_builder().fault_plan(FaultPlan::chaos(0xD1CE)).build();
+    let pid = m.load_program(&mut p).unwrap();
+    let out = m.run(pid).unwrap();
+    assert_eq!(out.exit_code, 1553);
+    assert_eq!(out.sim_time.as_picos(), 536_091_133);
+    assert_eq!(m.trace().len(), 39);
+    assert_eq!(m.fault_counts().total(), 4);
+    for (key, want) in [
+        ("crc_rejects", 1),
+        ("faults_injected", 4),
+        ("msi_losses_recovered", 1),
+        ("retransmits", 3),
+        ("watchdog_fires", 2),
+        ("migrations_host_to_nxp", 2),
+        ("migrations_nxp_to_host", 1),
+        ("returns_host_to_nxp", 1),
+        ("returns_nxp_to_host", 2),
+        ("nxp_exec_faults", 1),
+        ("instructions", 57),
+        ("nxp_instructions", 390),
+    ] {
+        assert_eq!(out.stats.get(key), want, "stat {key} drifted");
+    }
+}
+
+#[test]
+fn one_by_one_concurrent_matches_pre_topology_golden() {
+    let mut m = traced_builder().build();
+    let mut pids = Vec::new();
+    for tag in 0..3i64 {
+        let mut p = migration_loop_program(3, 50, tag * 1000);
+        pids.push(m.load_program(&mut p).unwrap());
+    }
+    let done = m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+    assert_eq!(m.host_now().as_picos(), 150_695_000);
+    assert_eq!(m.trace().len(), 81);
+    let sim: Vec<(u64, u64, u64)> = done
+        .iter()
+        .map(|(pid, o)| (*pid, o.exit_code, o.sim_time.as_picos()))
+        .collect();
+    assert_eq!(
+        sim,
+        vec![
+            (pids[0], 150, 147_980_018),
+            (pids[1], 1150, 149_337_509),
+            (pids[2], 2150, 150_695_000),
+        ]
+    );
+}
+
+#[test]
+fn one_by_one_concurrent_pair_matches_pre_topology_golden() {
+    let mut m = traced_builder().build();
+    let mut p1 = migration_loop_program(8, 2_000, 1);
+    let mut p2 = migration_loop_program(8, 2_000, 2);
+    let a = m.load_program(&mut p1).unwrap();
+    let b = m.load_program(&mut p2).unwrap();
+    let done = m.run_concurrent(&[a, b], u64::MAX / 2).unwrap();
+    assert_eq!(m.host_now().as_picos(), 975_512_734);
+    assert_eq!(m.trace().len(), 144);
+    let by_pid: std::collections::HashMap<u64, u64> = done
+        .iter()
+        .map(|(pid, o)| (*pid, o.sim_time.as_picos()))
+        .collect();
+    assert_eq!(by_pid[&a], 916_312_734);
+    assert_eq!(by_pid[&b], 975_512_734);
+}
+
+// ---------------------------------------------------------------------
+// Every topology must replay bit-identically: same programs, same
+// machine configuration → same exit codes, same picosecond timeline,
+// same trace, run after run.
+// ---------------------------------------------------------------------
+
+/// Everything an identical replay must reproduce: per-pid
+/// (pid, exit_code, sim_time_ps), final host time, and the full trace.
+type Fingerprint = (Vec<(u64, u64, u64)>, u64, Vec<(Picos, Event)>);
+
+/// Runs the 4-process migration workload on `topology` and returns
+/// everything an identical replay must reproduce.
+fn concurrent_fingerprint(topology: Topology, plan: Option<FaultPlan>) -> Fingerprint {
+    let mut b = traced_builder().topology(topology);
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    let mut m = b.build();
+    let mut pids = Vec::new();
+    for tag in 0..4i64 {
+        let mut p = migration_loop_program(3, 400, tag * 10_000);
+        pids.push(m.load_program(&mut p).unwrap());
+    }
+    let done = m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+    let outcomes = done
+        .iter()
+        .map(|(pid, o)| (*pid, o.exit_code, o.sim_time.as_picos()))
+        .collect();
+    (outcomes, m.host_now().as_picos(), m.trace().events().to_vec())
+}
+
+#[test]
+fn every_topology_replays_bit_identically() {
+    for (h, n) in [(1, 1), (2, 1), (2, 2)] {
+        let topo = Topology::new(h, n);
+        let first = concurrent_fingerprint(topo, None);
+        let second = concurrent_fingerprint(topo, None);
+        assert_eq!(first.0, second.0, "{topo}: outcomes diverged");
+        assert_eq!(first.1, second.1, "{topo}: host_now diverged");
+        assert_eq!(first.2, second.2, "{topo}: trace diverged");
+        // All four processes exit with calls*spin + tag.
+        for (i, (_, code, _)) in first.0.iter().enumerate() {
+            assert_eq!(code % 10_000, 1200, "{topo}: pid #{i} wrong sum");
+        }
+    }
+}
+
+#[test]
+fn chaos_fault_plan_replays_bit_identically_on_2x2() {
+    let topo = Topology::new(2, 2);
+    let first = concurrent_fingerprint(topo, Some(FaultPlan::chaos(0xBEEF)));
+    let second = concurrent_fingerprint(topo, Some(FaultPlan::chaos(0xBEEF)));
+    assert_eq!(first.0, second.0, "chaos outcomes diverged");
+    assert_eq!(first.1, second.1, "chaos host_now diverged");
+    assert_eq!(first.2, second.2, "chaos trace diverged");
+}
+
+// ---------------------------------------------------------------------
+// The point of M > 1: migrations from different threads must actually
+// overlap in simulated time, with both NxPs doing work.
+// ---------------------------------------------------------------------
+
+#[test]
+fn two_nxps_overlap_migrations_in_simulated_time() {
+    let mut m = traced_builder().topology(Topology::new(2, 2)).build();
+    let mut pids = Vec::new();
+    for tag in 0..4i64 {
+        let mut p = migration_loop_program(4, 1_000, tag * 100_000);
+        pids.push(m.load_program(&mut p).unwrap());
+    }
+    let done = m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+    assert_eq!(done.len(), 4);
+
+    // Reconstruct each thread's suspended intervals from the trace:
+    // ThreadSuspended { pid } .. ThreadWoken { pid } brackets one
+    // in-flight migration.
+    let mut open: std::collections::HashMap<u64, Picos> = std::collections::HashMap::new();
+    let mut intervals: Vec<(u64, Picos, Picos)> = Vec::new();
+    for (at, ev) in m.trace().events() {
+        match ev {
+            Event::ThreadSuspended { pid } => {
+                open.insert(*pid, *at);
+            }
+            Event::ThreadWoken { pid } => {
+                let start = open.remove(pid).expect("woken thread was suspended");
+                intervals.push((*pid, start, *at));
+            }
+            _ => {}
+        }
+    }
+    assert!(intervals.len() >= 16, "4 procs × 4 calls migrate");
+    let mut overlapping = 0usize;
+    for (i, a) in intervals.iter().enumerate() {
+        for b in &intervals[i + 1..] {
+            if a.0 != b.0 && a.1 < b.2 && b.1 < a.2 {
+                overlapping += 1;
+            }
+        }
+    }
+    assert!(
+        overlapping >= 2,
+        "expected ≥2 concurrent in-flight migrations, saw {overlapping}"
+    );
+
+    // Both NxPs served work (round-robin placement spreads the calls),
+    // and the per-core breakdown agrees.
+    let per_core = m.per_core_stats();
+    for want in ["nxp0", "nxp1"] {
+        let (_, stats) = per_core
+            .iter()
+            .find(|(name, _)| name == want)
+            .expect("per-core stats cover every NxP");
+        assert!(stats.get("instructions") > 0, "{want} never ran");
+    }
+    for nc in 0..2 {
+        assert!(
+            m.trace().events_on(CoreId::nxp(nc)).count() > 0,
+            "nxp{nc} recorded no events"
+        );
+    }
+    // Host-side instruction counts across cores sum to the aggregate.
+    let outcome_insts = done.last().unwrap().1.stats.get("instructions");
+    let per_core_sum: u64 = per_core
+        .iter()
+        .filter(|(name, _)| name.starts_with("host"))
+        .map(|(_, s)| s.get("instructions"))
+        .sum();
+    assert_eq!(per_core_sum, outcome_insts);
+}
+
+#[test]
+fn least_loaded_placement_also_uses_both_nxps() {
+    let mut m = Machine::builder()
+        .topology(Topology::new(1, 2))
+        .nxp_placement(NxpPlacement::LeastLoaded)
+        .build();
+    let mut pids = Vec::new();
+    for tag in 0..2i64 {
+        let mut p = migration_loop_program(3, 500, tag * 10_000);
+        pids.push(m.load_program(&mut p).unwrap());
+    }
+    m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+    let per_core = m.per_core_stats();
+    for want in ["nxp0", "nxp1"] {
+        let (_, stats) = per_core
+            .iter()
+            .find(|(name, _)| name == want)
+            .expect("per-core stats cover every NxP");
+        assert!(stats.get("instructions") > 0, "{want} never ran");
+    }
+}
+
+#[test]
+fn wider_topology_finishes_sooner() {
+    // Same 4-process workload; more NxPs → less queueing at the device
+    // → earlier completion. (Host cores help too: 2×2 beats 1×1.)
+    let host_now = |topo: Topology| {
+        let mut m = Machine::builder().topology(topo).build();
+        let mut pids = Vec::new();
+        for tag in 0..4i64 {
+            let mut p = migration_loop_program(4, 2_000, tag * 100_000);
+            pids.push(m.load_program(&mut p).unwrap());
+        }
+        m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+        m.host_now()
+    };
+    let narrow = host_now(Topology::new(1, 1));
+    let wide = host_now(Topology::new(2, 2));
+    assert!(
+        wide.as_nanos_f64() < narrow.as_nanos_f64() * 0.75,
+        "2x2 ({wide}) should beat 1x1 ({narrow}) clearly"
+    );
+}
