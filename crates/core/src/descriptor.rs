@@ -129,6 +129,7 @@ fn fnv1a_except_crc(bytes: &[u8]) -> u64 {
 ///     cr3: 0x1000,
 ///     nxp_sp: 0x6000_0000_fff0,
 ///     seq: 1,
+///     span: 1,
 /// };
 /// let bytes = d.to_bytes();
 /// assert_eq!(bytes.len(), 128);
@@ -153,6 +154,10 @@ pub struct MigrationDescriptor {
     pub nxp_sp: u64,
     /// Per-direction sequence number (unchanged across retransmits).
     pub seq: u64,
+    /// Observability span id attributing both sides' lifecycle marks to
+    /// one migration. Assigned deterministically whether or not span
+    /// recording is enabled, so observability never changes wire bytes.
+    pub span: u64,
 }
 
 impl MigrationDescriptor {
@@ -172,6 +177,7 @@ impl MigrationDescriptor {
         put(&mut b, L::CR3, self.cr3);
         put(&mut b, L::NXP_SP, self.nxp_sp);
         put(&mut b, L::SEQ, self.seq);
+        put(&mut b, L::SPAN, self.span);
         let crc = fnv1a_except_crc(&b);
         put(&mut b, L::CRC, crc);
         b
@@ -200,6 +206,7 @@ impl MigrationDescriptor {
             cr3: get(L::CR3),
             nxp_sp: get(L::NXP_SP),
             seq: get(L::SEQ),
+            span: get(L::SPAN),
         })
     }
 
@@ -242,6 +249,7 @@ mod tests {
             cr3: 0x7000,
             nxp_sp: 0x6000_0001_0000,
             seq: 42,
+            span: 7,
         }
     }
 
@@ -314,6 +322,25 @@ mod tests {
         d2.seq += 1;
         let b2 = d2.to_bytes();
         assert_ne!(b[104..112], b2[104..112], "CRC must cover SEQ");
+    }
+
+    #[test]
+    fn span_survives_round_trip_and_is_covered_by_crc() {
+        use crate::services::desc_layout as L;
+        let mut d = sample(DescKind::NxpToHostCall);
+        d.span = 0xAB54_A98C_EB1F_0AD2;
+        let b = d.to_bytes();
+        assert_eq!(
+            MigrationDescriptor::from_bytes_checked(&b).unwrap().span,
+            d.span
+        );
+        // A different span id must change the checksum: the id rides in
+        // formerly-reserved padding but is link-protected like any field.
+        let mut d2 = d;
+        d2.span += 1;
+        let b2 = d2.to_bytes();
+        let crc = L::CRC as usize;
+        assert_ne!(b[crc..crc + 8], b2[crc..crc + 8], "CRC must cover SPAN");
     }
 
     #[test]

@@ -69,3 +69,6 @@ pub use descriptor::{DescError, DescKind, MigrationDescriptor};
 pub use machine::{Machine, MachineBuilder, Outcome, RunError};
 pub use nxp::NxpTiming;
 pub use topology::{NxpPlacement, Topology};
+
+// Observability building blocks re-exported for timeline/export users.
+pub use flick_sim::{chrome_trace, validate_json, Histogram, Span, SpanMark, SpanStage};

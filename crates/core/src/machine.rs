@@ -16,12 +16,13 @@ use crate::topology::{NxpPlacement, Topology};
 use flick_cpu::{Core, CoreConfig, CpuContext, Exception, InstFaultKind, MemEnv, StopReason};
 use flick_isa::abi;
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
-use flick_os::{Kernel, LoadError, OsTiming, RunQueues};
+use flick_os::{Kernel, KernelError, LoadError, OsTiming, RunQueues};
 use flick_pcie::{InterruptController, Msi, PcieFabric};
 use flick_sim::fault::BurstPerturbation;
 use flick_sim::trace::Side;
 use flick_sim::{
-    CoreId, Event, FaultCounts, FaultPlan, MsiFate, Picos, Stats, Trace, TraceConfig,
+    CoreId, Event, FaultCounts, FaultPlan, MsiFate, Picos, Span, SpanRecorder, SpanStage, Stats,
+    Trace, TraceConfig,
 };
 use flick_toolchain::{layout, MultiIsaImage, ProgramBuilder};
 use std::cmp::Reverse;
@@ -37,6 +38,11 @@ const QUANTUM: u64 = 50_000;
 pub enum RunError {
     /// Loading the program failed.
     Load(LoadError),
+    /// A kernel API was asked about a task that does not exist (or an
+    /// equally impossible task-state transition). Reachable by driving
+    /// the machine with a PID that was never loaded; previously this
+    /// was a library panic.
+    Kernel(KernelError),
     /// Building the program failed.
     Build(String),
     /// A core took an unrecoverable exception.
@@ -89,6 +95,7 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::Load(e) => write!(f, "load error: {e}"),
+            RunError::Kernel(e) => write!(f, "kernel error: {e}"),
             RunError::Build(e) => write!(f, "build error: {e}"),
             RunError::Crash { side, exception } => write!(f, "{side} crashed: {exception}"),
             RunError::UnknownService { side, service } => {
@@ -117,6 +124,12 @@ impl Error for RunError {}
 impl From<LoadError> for RunError {
     fn from(e: LoadError) -> Self {
         RunError::Load(e)
+    }
+}
+
+impl From<KernelError> for RunError {
+    fn from(e: KernelError) -> Self {
+        RunError::Kernel(e)
     }
 }
 
@@ -242,6 +255,7 @@ pub struct MachineBuilder {
     fast_path: Option<bool>,
     topology: Option<Topology>,
     nxp_placement: Option<NxpPlacement>,
+    observability: Option<bool>,
 }
 
 impl MachineBuilder {
@@ -322,6 +336,21 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables the migration observability layer: a lifecycle
+    /// [`Span`] per cross-ISA call (NX fault → descriptor pack → DMA
+    /// submit → NxP dispatch → return submit → MSI → wake), per-segment
+    /// latency histograms and per-NxP queue-depth gauges folded into
+    /// [`Outcome::stats`], all exportable as a Perfetto/Chrome trace.
+    ///
+    /// Off by default and provably inert: span ids are assigned and
+    /// carried in descriptors either way, marks never advance a clock,
+    /// so enabling this changes neither simulated time nor counters nor
+    /// the event trace (the differential tests pin this down).
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = Some(enabled);
+        self
+    }
+
     /// Builds the machine.
     pub fn build(self) -> Machine {
         let mut env = MemEnv::paper_default();
@@ -364,6 +393,11 @@ impl MachineBuilder {
             nxp_of: HashMap::new(),
             placement: self.nxp_placement.unwrap_or_default(),
             rr_next: 0,
+            obs: SpanRecorder::new(self.observability.unwrap_or(false)),
+            obs_stats: Stats::default(),
+            next_span: 1,
+            span_of: HashMap::new(),
+            last_nx_fault: HashMap::new(),
             topology,
             mem,
             env,
@@ -408,6 +442,22 @@ pub struct Machine {
     placement: NxpPlacement,
     /// Round-robin cursor for [`NxpPlacement::RoundRobin`].
     rr_next: usize,
+    /// Migration lifecycle spans (inert unless enabled at build time).
+    obs: SpanRecorder,
+    /// Histograms and gauges recorded by the observability layer, kept
+    /// apart from the machine counters and merged into
+    /// [`Outcome::stats`] at exit so the counter map is untouched.
+    obs_stats: Stats,
+    /// Next span id. Always advanced — span ids ride in descriptor
+    /// wire bytes whether or not recording is on, which is what makes
+    /// the observability toggle bit-inert.
+    next_span: u64,
+    /// Span id of each thread's current suspension round trip.
+    span_of: HashMap<u64, u64>,
+    /// Time and host core of each thread's latest NX fault, stashed so
+    /// the span that opens at the migrate `ioctl` can backdate its
+    /// first mark to the trigger.
+    last_nx_fault: HashMap<u64, (Picos, usize)>,
 }
 
 impl fmt::Debug for Machine {
@@ -489,6 +539,24 @@ impl Machine {
     /// Per-kind tallies of the faults the plan actually injected.
     pub fn fault_counts(&self) -> FaultCounts {
         self.plan.counts()
+    }
+
+    /// Completed migration spans in completion order. Empty unless the
+    /// machine was built with [`MachineBuilder::observability`].
+    pub fn spans(&self) -> &[Span] {
+        self.obs.spans()
+    }
+
+    /// Whether the migration observability layer is recording.
+    pub fn observability_enabled(&self) -> bool {
+        self.obs.enabled()
+    }
+
+    /// The observability histograms and gauges recorded so far (empty
+    /// when observability is off). Also folded into [`Outcome::stats`]
+    /// when a process exits.
+    pub fn observability_stats(&self) -> &Stats {
+        &self.obs_stats
     }
 
     /// Looks up a linker symbol in the image `pid` was loaded from.
@@ -627,14 +695,14 @@ impl Machine {
         quantum: u64,
     ) -> Result<Vec<(u64, Outcome)>, RunError> {
         for &pid in pids {
-            if self.kernel.task(pid).state == flick_os::TaskState::Zombie {
+            if self.kernel.task(pid)?.state == flick_os::TaskState::Zombie {
                 return Err(RunError::Build(format!("process {pid} already exited")));
             }
         }
         let n = self.hosts.len();
         let mut rq = RunQueues::new(n);
         for (i, &pid) in pids.iter().enumerate() {
-            let task = self.kernel.task_mut(pid);
+            let task = self.kernel.task_mut(pid)?;
             if matches!(
                 task.state,
                 flick_os::TaskState::Runnable | flick_os::TaskState::Running
@@ -717,7 +785,7 @@ impl Machine {
             let wake = wakes.remove(&pid).expect("heaped wake has a record");
             self.deliver_wakeup(hc, pid, wake)?;
             let now = self.hosts[hc].clock().now();
-            let task = self.kernel.task_mut(pid);
+            let task = self.kernel.task_mut(pid)?;
             task.ready_at = now;
             task.last_core = hc;
             rq.enqueue(hc, pid);
@@ -731,10 +799,10 @@ impl Machine {
                 Some(pid) => {
                     // Causality across cores: never run a task before
                     // the event that readied it (forward-only sync).
-                    let ready = self.kernel.task(pid).ready_at;
+                    let ready = self.kernel.task(pid)?.ready_at;
                     self.hosts[hc].clock_mut().sync_to(ready);
-                    self.kernel.task_mut(pid).last_core = hc;
-                    self.install_task(hc, pid);
+                    self.kernel.task_mut(pid)?.last_core = hc;
+                    self.install_task(hc, pid)?;
                     slots[hc].running = Some(pid);
                     pid
                 }
@@ -757,29 +825,31 @@ impl Machine {
                 StopReason::Halt => {
                     let code = self.hosts[hc].reg(abi::A0);
                     slots[hc].running = None;
-                    done.push((pid, self.finish(hc, pid, code)));
+                    done.push((pid, self.finish(hc, pid, code)?));
                     return Ok(());
                 }
                 StopReason::Ecall(service) => match self.host_ecall(hc, pid, service)? {
                     EcallFlow::Continue => {}
                     EcallFlow::Exit(code) => {
                         slots[hc].running = None;
-                        done.push((pid, self.finish(hc, pid, code)));
+                        done.push((pid, self.finish(hc, pid, code)?));
                         return Ok(());
                     }
                     EcallFlow::Suspended(wake) => {
-                        let due = wake.msi_at.unwrap_or_else(|| {
-                            self.kernel
-                                .task(pid)
+                        let due = match wake.msi_at {
+                            Some(at) => at,
+                            None => self
+                                .kernel
+                                .task(pid)?
                                 .deadline
-                                .unwrap_or_else(|| self.hosts[hc].clock().now())
-                        });
+                                .unwrap_or_else(|| self.hosts[hc].clock().now()),
+                        };
                         pending[hc].push(Reverse((due, pid)));
                         wakes.insert(pid, wake);
                         slots[hc].running = None;
                         return Ok(()); // this core is free for others
                     }
-                    EcallFlow::Resume => self.install_task(hc, pid),
+                    EcallFlow::Resume => self.install_task(hc, pid)?,
                 },
                 StopReason::Fault(Exception::InstFault {
                     va,
@@ -799,15 +869,20 @@ impl Machine {
                             fault_va: va.as_u64(),
                         },
                     );
+                    // The span opens only at the migrate ioctl (where
+                    // its id is assigned); stash the trigger so the
+                    // first mark can be backdated to the fault itself.
+                    self.last_nx_fault
+                        .insert(pid, (self.hosts[hc].clock().now(), hc));
                     let t = self.kernel.timing().page_fault_path;
                     self.hosts[hc].clock_mut().advance(t);
-                    if self.kernel.task(pid).degraded {
+                    if self.kernel.task(pid)?.degraded {
                         let used = self.executed() - start_insts;
                         self.emulate_segment(hc, pid, va, fuel.saturating_sub(used))?;
                     } else {
                         let handler = self.vas[&pid].host_handler;
                         self.kernel
-                            .redirect_to_handler(pid, &mut self.hosts[hc], va, handler);
+                            .redirect_to_handler(pid, &mut self.hosts[hc], va, handler)?;
                     }
                 }
                 StopReason::Fault(exception) => {
@@ -829,7 +904,7 @@ impl Machine {
                         let t = self.kernel.timing().suspend_and_switch;
                         self.hosts[hc].clock_mut().advance(t);
                         let ctx = self.hosts[hc].save_context();
-                        let task = self.kernel.task_mut(pid);
+                        let task = self.kernel.task_mut(pid)?;
                         task.context = ctx;
                         task.state = flick_os::TaskState::Runnable;
                         task.ready_at = self.hosts[hc].clock().now();
@@ -853,8 +928,8 @@ impl Machine {
             .sum()
     }
 
-    fn finish(&mut self, hc: usize, pid: u64, code: u64) -> Outcome {
-        let task = self.kernel.task_mut(pid);
+    fn finish(&mut self, hc: usize, pid: u64, code: u64) -> Result<Outcome, RunError> {
+        let task = self.kernel.task_mut(pid)?;
         task.state = flick_os::TaskState::Zombie;
         task.exit_code = code;
         let mut stats = self.stats.clone();
@@ -882,12 +957,16 @@ impl Machine {
         for emu in self.emus.iter().flatten() {
             stats.bump_by("emulated_instructions", emu.counters().instructions);
         }
-        Outcome {
+        // Observability histograms/gauges ride along in the same bag;
+        // the merge touches only the histogram map, never the counters,
+        // so stats comparisons stay bit-identical with the layer off.
+        stats.merge(&self.obs_stats);
+        Ok(Outcome {
             exit_code: code,
             sim_time: self.hosts[hc].clock().now(),
             console: self.kernel.console().to_vec(),
             stats,
-        }
+        })
     }
 
     /// Handles a host `ecall`.
@@ -1024,9 +1103,15 @@ impl Machine {
         };
         let seq = self.chans[nc].h2n;
         self.chans[nc].h2n += 1;
+        // The span id is assigned unconditionally — it lives in the
+        // descriptor's wire bytes, so it must not depend on whether
+        // span *recording* is enabled (bit-inert observability).
+        let span = self.next_span;
+        self.next_span += 1;
+        self.span_of.insert(pid, span);
         let desc = match kind {
             DescKind::HostToNxpCall => {
-                let task = self.kernel.task_mut(pid);
+                let task = self.kernel.task_mut(pid)?;
                 let Some(target) = task.fault_va.take() else {
                     return Err(RunError::Protocol {
                         side: Side::Host,
@@ -1046,9 +1131,10 @@ impl Machine {
                         self.hosts[hc].reg(abi::A5),
                     ],
                     pid,
-                    cr3: self.kernel.task(pid).cr3.as_u64(),
-                    nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
+                    cr3: self.kernel.task(pid)?.cr3.as_u64(),
+                    nxp_sp: self.kernel.task(pid)?.nxp_stack_ptr.as_u64(),
                     seq,
+                    span,
                 }
             }
             DescKind::HostToNxpReturn => {
@@ -1063,7 +1149,7 @@ impl Machine {
                         &mut ret,
                     )
                     .map_err(RunError::Load)?;
-                let t = self.kernel.task(pid);
+                let t = self.kernel.task(pid)?;
                 MigrationDescriptor {
                     kind,
                     target: 0,
@@ -1073,6 +1159,7 @@ impl Machine {
                     cr3: t.cr3.as_u64(),
                     nxp_sp: t.nxp_stack_ptr.as_u64(),
                     seq,
+                    span,
                 }
             }
             _ => {
@@ -1086,8 +1173,18 @@ impl Machine {
         // Suspend (TASK_KILLABLE) and context switch away; the
         // scheduler triggers the DMA *after* the switch via the
         // migration flag (§IV-D).
-        self.kernel.suspend_for_migration(pid, &self.hosts[hc]);
+        self.kernel.suspend_for_migration(pid, &self.hosts[hc])?;
         self.hosts[hc].clock_mut().advance(timing.suspend_and_switch);
+        self.obs.begin(span, pid, kind.label());
+        if let Some((at, core)) = self.last_nx_fault.remove(&pid) {
+            self.obs.mark(span, SpanStage::NxFault, at, CoreId::host(core));
+        }
+        self.obs.mark(
+            span,
+            SpanStage::DescPack,
+            self.hosts[hc].clock().now(),
+            CoreId::host(hc),
+        );
         self.trace.record_on(
             CoreId::host(hc),
             self.hosts[hc].clock().now(),
@@ -1115,6 +1212,8 @@ impl Machine {
             attempt += 1;
             if attempt > timing.max_link_attempts {
                 return if kind == DescKind::HostToNxpCall {
+                    self.span_of.remove(&pid);
+                    self.obs.abandon(span);
                     self.degrade_unwind(hc, pid, &desc)?;
                     Ok(EcallFlow::Resume)
                 } else {
@@ -1137,9 +1236,17 @@ impl Machine {
                 );
             }
             let now = self.hosts[hc].clock().now();
+            if attempt == 1 {
+                self.obs.mark(span, SpanStage::DmaSubmit, now, CoreId::host(hc));
+            }
             let (arrival, pert) =
                 self.fabric
                     .kick_to_nxp_faulty(nc, now, desc.to_bytes(), &mut self.plan);
+            if self.obs.enabled() {
+                let depth = self.fabric.channel(nc).depth_to_nxp() as u64;
+                self.obs_stats
+                    .record_hist(&format!("qdepth:h2n:nxp{nc}"), depth);
+            }
             self.note_burst_faults(CoreId::host(hc), Side::Nxp, now, &pert);
             if pert.dropped {
                 // Posted write lost: the driver's completion timer
@@ -1175,7 +1282,7 @@ impl Machine {
         let base = wake
             .msi_at
             .unwrap_or_else(|| self.nxps[nc].clock().now().max(self.hosts[hc].clock().now()));
-        self.kernel.task_mut(pid).deadline = Some(base + timing.migration_watchdog);
+        self.kernel.task_mut(pid)?.deadline = Some(base + timing.migration_watchdog);
         Ok(EcallFlow::Suspended(wake))
     }
 
@@ -1259,7 +1366,7 @@ impl Machine {
         let mut expect_msi = wake.msi_at;
         let mut attempt = 1u32; // kicks of the current descriptor so far
         loop {
-            let Some(deadline) = self.kernel.task(pid).deadline else {
+            let Some(deadline) = self.kernel.task(pid)?.deadline else {
                 return Err(RunError::Protocol {
                     side: Side::Host,
                     context: "suspended thread without an armed watchdog",
@@ -1275,6 +1382,10 @@ impl Machine {
                             context: "expected wake-up MSI was not queued",
                         });
                     };
+                    if let Some(&span) = self.span_of.get(&pid) {
+                        self.obs
+                            .mark(span, SpanStage::MsiDelivery, now, CoreId::host(hc));
+                    }
                     self.hosts[hc].clock_mut().advance(timing.irq_entry);
                     let r = self.try_accept_host_desc(hc, wake.chan, pid, &timing)?;
                     // A duplicated MSI sits at the same instant; the
@@ -1348,10 +1459,15 @@ impl Machine {
                     let (_arrival, maybe_msi, pert) =
                         self.fabric
                             .kick_to_host_faulty(chan, now, bytes, &mut self.plan);
+                    if self.obs.enabled() {
+                        let depth = self.fabric.channel(chan).depth_to_host() as u64;
+                        self.obs_stats
+                            .record_hist(&format!("qdepth:n2h:nxp{chan}"), depth);
+                    }
                     self.note_burst_faults(CoreId::host(hc), Side::Host, now, &pert);
                     expect_msi =
                         maybe_msi.and_then(|m| self.raise_msi(CoreId::host(hc), m, now));
-                    self.kernel.task_mut(pid).deadline =
+                    self.kernel.task_mut(pid)?.deadline =
                         Some(self.hosts[hc].clock().now() + timing.migration_watchdog);
                 }
             }
@@ -1431,7 +1547,7 @@ impl Machine {
                         .write_user(&mut self.mem, pid, VirtAddr(layout::DESC_PAGE_VA), &bytes)
                         .map_err(RunError::Load)?;
                     self.hosts[hc].clock_mut().advance(timing.wakeup_and_schedule);
-                    if !self.kernel.try_wake_from_migration(pid) {
+                    if !self.kernel.try_wake_from_migration(pid)? {
                         return Err(RunError::Protocol {
                             side: Side::Host,
                             context: "woken thread was not in migration wait",
@@ -1442,6 +1558,27 @@ impl Machine {
                         self.hosts[hc].clock().now(),
                         Event::ThreadWoken { pid },
                     );
+                    if let Some(span) = self.span_of.remove(&pid) {
+                        self.obs.mark(
+                            span,
+                            SpanStage::Woken,
+                            self.hosts[hc].clock().now(),
+                            CoreId::host(hc),
+                        );
+                        if let Some(s) = self.obs.finish(span) {
+                            for (from, to) in s.segments() {
+                                let key = format!(
+                                    "seg:{}->{}",
+                                    from.stage.label(),
+                                    to.stage.label()
+                                );
+                                self.obs_stats
+                                    .record_hist(&key, to.at.saturating_sub(from.at).as_picos());
+                            }
+                            self.obs_stats
+                                .record_hist("span:total", s.total().as_picos());
+                        }
+                    }
                     self.retained_n2h.remove(&pid);
                     return Ok(HostAccept::Woken(d.seq));
                 }
@@ -1464,7 +1601,7 @@ impl Machine {
             self.hosts[hc].clock().now(),
             Event::Degraded { pid },
         );
-        let sp = self.kernel.task(pid).context.regs[abi::SP.index()];
+        let sp = self.kernel.task(pid)?.context.regs[abi::SP.index()];
         let mut ra = [0u8; 8];
         let mut s0 = [0u8; 8];
         self.kernel
@@ -1473,7 +1610,7 @@ impl Machine {
         self.kernel
             .read_user(&self.mem, pid, VirtAddr(sp + 8), &mut s0)
             .map_err(RunError::Load)?;
-        let task = self.kernel.task_mut(pid);
+        let task = self.kernel.task_mut(pid)?;
         task.degraded = true;
         task.deadline = None;
         task.context.regs[abi::RA.index()] = u64::from_le_bytes(ra);
@@ -1486,7 +1623,7 @@ impl Machine {
             task.context.regs[r.index()] = desc.args[i];
         }
         task.context.pc = VirtAddr(desc.target);
-        if !self.kernel.try_wake_from_migration(pid) {
+        if !self.kernel.try_wake_from_migration(pid)? {
             return Err(RunError::Protocol {
                 side: Side::Host,
                 context: "degraded thread was not in migration wait",
@@ -1594,8 +1731,8 @@ impl Machine {
     }
 
     /// Installs a runnable task onto host core `hc` (context switch in).
-    fn install_task(&mut self, hc: usize, pid: u64) {
-        let task = self.kernel.task_mut(pid);
+    fn install_task(&mut self, hc: usize, pid: u64) -> Result<(), RunError> {
+        let task = self.kernel.task_mut(pid)?;
         task.state = flick_os::TaskState::Running;
         let ctx = task.context.clone();
         let cr3 = task.cr3;
@@ -1603,6 +1740,7 @@ impl Machine {
         if self.hosts[hc].cr3() != cr3 {
             self.hosts[hc].set_cr3(cr3);
         }
+        Ok(())
     }
 
     /// One NxP scheduler pickup of a host→NxP burst: poll the DMA
@@ -1641,6 +1779,14 @@ impl Machine {
                     },
                 );
                 self.nxps[nc].clock_mut().advance(nt.dispatch);
+                // The wire bytes carry the span id, so the NxP side
+                // attributes its mark without any host-side channel.
+                self.obs.mark(
+                    d.span,
+                    SpanStage::NxpDispatch,
+                    self.nxps[nc].clock().now(),
+                    CoreId::nxp(nc),
+                );
                 Pickup::Accept(in_bytes, d)
             }
             Err(_) => {
@@ -1744,8 +1890,9 @@ impl Machine {
                         ],
                         pid,
                         cr3: self.nxps[nc].cr3().as_u64(),
-                        nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
+                        nxp_sp: self.kernel.task(pid)?.nxp_stack_ptr.as_u64(),
                         seq: 0, // assigned by nxp_send
+                        span: self.span_of.get(&pid).copied().unwrap_or(0),
                     };
                     self.stats.bump("migrations_nxp_to_host");
                     return Ok(self.nxp_send(nc, pid, out));
@@ -1759,8 +1906,9 @@ impl Machine {
                         args: [0; 6],
                         pid,
                         cr3: self.nxps[nc].cr3().as_u64(),
-                        nxp_sp: self.kernel.task(pid).nxp_stack_ptr.as_u64(),
+                        nxp_sp: self.kernel.task(pid)?.nxp_stack_ptr.as_u64(),
                         seq: 0, // assigned by nxp_send
+                        span: self.span_of.get(&pid).copied().unwrap_or(0),
                     };
                     self.stats.bump("returns_nxp_to_host");
                     return Ok(self.nxp_send(nc, pid, out));
@@ -1859,11 +2007,22 @@ impl Machine {
                 bytes: bytes.len(),
             },
         );
+        self.obs.mark(
+            desc.span,
+            SpanStage::NxpSubmit,
+            self.nxps[nc].clock().now(),
+            CoreId::nxp(nc),
+        );
         self.retained_n2h.insert(pid, (nc, bytes.clone()));
         let now = self.nxps[nc].clock().now();
         let (_arrival, maybe_msi, pert) =
             self.fabric
                 .kick_to_host_faulty(nc, now, bytes, &mut self.plan);
+        if self.obs.enabled() {
+            let depth = self.fabric.channel(nc).depth_to_host() as u64;
+            self.obs_stats
+                .record_hist(&format!("qdepth:n2h:nxp{nc}"), depth);
+        }
         self.note_burst_faults(CoreId::nxp(nc), Side::Host, now, &pert);
         let msi_at = maybe_msi.and_then(|msi| self.raise_msi(CoreId::nxp(nc), msi, now));
         PendingWake { msi_at, chan: nc }

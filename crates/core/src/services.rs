@@ -68,6 +68,12 @@ pub mod desc_layout {
     /// previously-reserved padding, so the handlers' field offsets are
     /// unchanged.
     pub const CRC: u64 = 104;
+    /// Observability span id (lives in formerly-reserved padding): both
+    /// sides of the link attribute their lifecycle marks to the same
+    /// migration without any side channel. Always written — the id is
+    /// assigned deterministically whether or not span *recording* is
+    /// on, so enabling observability never changes the wire bytes.
+    pub const SPAN: u64 = 112;
     /// Total wire size — one PCIe burst.
     pub const SIZE: u64 = 128;
     /// Host descriptor page only: the thread-control word holding the
@@ -80,7 +86,8 @@ pub mod desc_layout {
 const _: () = {
     assert!(desc_layout::NXP_SP + 8 <= desc_layout::SEQ);
     assert!(desc_layout::SEQ + 8 == desc_layout::CRC);
-    assert!(desc_layout::CRC + 8 <= desc_layout::SIZE);
+    assert!(desc_layout::CRC + 8 == desc_layout::SPAN);
+    assert!(desc_layout::SPAN + 8 <= desc_layout::SIZE);
     assert!(desc_layout::SIZE.is_multiple_of(64), "whole 64-byte beats");
     assert!(NXP_MIGRATE_AND_SUSPEND > MIGRATE_RETURN_AND_SUSPEND);
     assert!(EXIT < ALLOC_NXP_STACK);

@@ -569,7 +569,11 @@ impl Core {
                 }
                 Ok(entry)
             }
-            Err(WalkError::NotPresent { .. }) => {
+            // A corrupted table (reserved-bit entry) faults exactly like
+            // a missing one: real hardware raises a page fault with the
+            // RSVD error-code bit, and either way the access cannot
+            // complete — the task degrades to a fault, not an abort.
+            Err(WalkError::NotPresent { .. } | WalkError::CorruptEntry { .. }) => {
                 if exec {
                     Err(Exception::InstFault {
                         va,

@@ -12,6 +12,31 @@ use flick_toolchain::{MultiIsaImage, Placement, SegmentKind};
 use std::error::Error;
 use std::fmt;
 
+/// Task-table errors: the caller named a task the kernel does not have
+/// (or one in the wrong state). These are reachable from any public API
+/// that takes a pid, so they are typed errors, not panics — the machine
+/// surfaces them as `RunError`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// No task with this pid exists.
+    NoSuchTask(u64),
+    /// A wake was requested for a task not in migration wait.
+    SpuriousWake(u64),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchTask(pid) => write!(f, "no task with pid {pid}"),
+            KernelError::SpuriousWake(pid) => {
+                write!(f, "task {pid} woken while not in migration wait")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
 /// Errors while loading a multi-ISA executable or servicing a process's
 /// memory requests. The resource-exhaustion and bad-pointer variants
 /// are *guest-reachable*: a user program can trigger them with a large
@@ -32,6 +57,8 @@ pub enum LoadError {
     NxpSramExhausted,
     /// The per-process NxP DRAM heap window is exhausted.
     NxpDramExhausted,
+    /// The request named a task that does not exist.
+    NoSuchTask(u64),
 }
 
 impl fmt::Display for LoadError {
@@ -47,6 +74,7 @@ impl fmt::Display for LoadError {
             }
             LoadError::NxpSramExhausted => write!(f, "NxP stack SRAM exhausted"),
             LoadError::NxpDramExhausted => write!(f, "NxP DRAM heap exhausted"),
+            LoadError::NoSuchTask(pid) => write!(f, "no task with pid {pid}"),
         }
     }
 }
@@ -56,6 +84,16 @@ impl Error for LoadError {}
 impl From<MapError> for LoadError {
     fn from(e: MapError) -> Self {
         LoadError::Map(e)
+    }
+}
+
+impl From<KernelError> for LoadError {
+    fn from(e: KernelError) -> Self {
+        match e {
+            KernelError::NoSuchTask(pid) | KernelError::SpuriousWake(pid) => {
+                LoadError::NoSuchTask(pid)
+            }
+        }
     }
 }
 
@@ -159,26 +197,27 @@ impl Kernel {
 
     /// Looks up a task.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `pid` does not exist.
-    pub fn task(&self, pid: u64) -> &TaskStruct {
+    /// [`KernelError::NoSuchTask`] if `pid` does not exist — reachable
+    /// from any caller-supplied pid, so a typed error, not a panic.
+    pub fn task(&self, pid: u64) -> Result<&TaskStruct, KernelError> {
         self.tasks
             .iter()
             .find(|t| t.pid == pid)
-            .unwrap_or_else(|| panic!("no task {pid}"))
+            .ok_or(KernelError::NoSuchTask(pid))
     }
 
     /// Mutable task lookup.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `pid` does not exist.
-    pub fn task_mut(&mut self, pid: u64) -> &mut TaskStruct {
+    /// [`KernelError::NoSuchTask`] if `pid` does not exist.
+    pub fn task_mut(&mut self, pid: u64) -> Result<&mut TaskStruct, KernelError> {
         self.tasks
             .iter_mut()
             .find(|t| t.pid == pid)
-            .unwrap_or_else(|| panic!("no task {pid}"))
+            .ok_or(KernelError::NoSuchTask(pid))
     }
 
     /// Console lines printed by user programs.
@@ -327,16 +366,21 @@ impl Kernel {
     /// target in the `task_struct` and hijack the return so the thread
     /// resumes in the user-space migration handler with the original
     /// call's argument registers intact (§IV-B1).
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] if `pid` does not exist.
     pub fn redirect_to_handler(
         &mut self,
         pid: u64,
         core: &mut Core,
         fault_va: VirtAddr,
         handler_va: VirtAddr,
-    ) {
-        let task = self.task_mut(pid);
+    ) -> Result<(), KernelError> {
+        let task = self.task_mut(pid)?;
         task.fault_va = Some(fault_va);
         core.set_pc(handler_va);
+        Ok(())
     }
 
     /// Allocates this thread's NxP stack (an SRAM slot by default, a
@@ -352,7 +396,7 @@ impl Kernel {
         if self.config.stacks_in_host_dram {
             let base = self.alloc_host_heap(mem, pid, NXP_STACK_SLOT)?;
             let sp = VirtAddr(base.as_u64() + NXP_STACK_SLOT - 128);
-            self.task_mut(pid).nxp_stack_ptr = sp;
+            self.task_mut(pid)?.nxp_stack_ptr = sp;
             return Ok(sp);
         }
         // Keep the last page for the descriptor buffer.
@@ -365,7 +409,7 @@ impl Kernel {
         // Stack grows down from the top of the slot; keep a small
         // red zone below the top.
         let sp = VirtAddr(layout::NXP_STACK_VA + (slot + 1) * NXP_STACK_SLOT - 128);
-        self.task_mut(pid).nxp_stack_ptr = sp;
+        self.task_mut(pid)?.nxp_stack_ptr = sp;
         Ok(sp)
     }
 
@@ -377,8 +421,8 @@ impl Kernel {
         pid: u64,
         size: u64,
     ) -> Result<VirtAddr, LoadError> {
-        let cr3 = self.task(pid).cr3;
-        let brk = self.task(pid).host_brk;
+        let cr3 = self.task(pid)?.cr3;
+        let brk = self.task(pid)?.host_brk;
         let base = VirtAddr((brk.as_u64() + 15) & !15);
         let new_brk = VirtAddr(base.as_u64() + size);
         // Map any pages in [page(old mapped end), page_end(new_brk)).
@@ -398,7 +442,7 @@ impl Kernel {
             )?;
             page += PAGE_SIZE;
         }
-        self.task_mut(pid).host_brk = new_brk;
+        self.task_mut(pid)?.host_brk = new_brk;
         Ok(base)
     }
 
@@ -411,7 +455,7 @@ impl Kernel {
     /// [`LoadError::NxpDramExhausted`] when the bump pointer would
     /// leave the window — reachable from the guest's `nxp_malloc`.
     pub fn alloc_nxp_heap(&mut self, pid: u64, size: u64) -> Result<VirtAddr, LoadError> {
-        let task = self.task_mut(pid);
+        let task = self.task_mut(pid)?;
         let base = VirtAddr((task.nxp_brk.as_u64() + 15) & !15);
         let end = match base.as_u64().checked_add(size) {
             Some(e) if e <= layout::NXP_WINDOW_VA + layout::NXP_WINDOW_SIZE => e,
@@ -436,7 +480,7 @@ impl Kernel {
         va: VirtAddr,
         buf: &mut [u8],
     ) -> Result<(), LoadError> {
-        let cr3 = self.task(pid).cr3;
+        let cr3 = self.task(pid)?.cr3;
         let mut off = 0usize;
         while off < buf.len() {
             let cur = VirtAddr(va.as_u64() + off as u64);
@@ -462,7 +506,7 @@ impl Kernel {
         va: VirtAddr,
         buf: &[u8],
     ) -> Result<(), LoadError> {
-        let cr3 = self.task(pid).cr3;
+        let cr3 = self.task(pid)?.cr3;
         let mut off = 0usize;
         while off < buf.len() {
             let cur = VirtAddr(va.as_u64() + off as u64);
@@ -477,40 +521,54 @@ impl Kernel {
 
     /// Transitions a task into the suspended migration-wait state,
     /// saving its context and setting the migration flag (§IV-D).
-    pub fn suspend_for_migration(&mut self, pid: u64, core: &Core) {
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] if `pid` does not exist.
+    pub fn suspend_for_migration(&mut self, pid: u64, core: &Core) -> Result<(), KernelError> {
         let ctx = core.save_context();
-        let task = self.task_mut(pid);
+        let task = self.task_mut(pid)?;
         task.context = ctx;
         task.state = TaskState::MigrationWait;
         task.migration_flag = true;
+        Ok(())
     }
 
     /// Wakes a task after a descriptor arrived: `MigrationWait` →
     /// `Runnable`. The scheduler restores its context when it is next
     /// installed on a core.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the task is not in migration wait. Interrupt-driven
-    /// callers that can legitimately race a duplicate MSI should use
-    /// [`Kernel::try_wake_from_migration`] instead.
-    pub fn wake_from_migration(&mut self, pid: u64) {
-        assert!(self.try_wake_from_migration(pid), "spurious wakeup");
+    /// [`KernelError::SpuriousWake`] if the task is not in migration
+    /// wait; interrupt-driven callers that can legitimately race a
+    /// duplicate MSI should use [`Kernel::try_wake_from_migration`]
+    /// instead. [`KernelError::NoSuchTask`] for an unknown pid.
+    pub fn wake_from_migration(&mut self, pid: u64) -> Result<(), KernelError> {
+        if self.try_wake_from_migration(pid)? {
+            Ok(())
+        } else {
+            Err(KernelError::SpuriousWake(pid))
+        }
     }
 
-    /// Non-panicking wake: returns `false` (and changes nothing) if the
+    /// Non-erroring wake: returns `false` (and changes nothing) if the
     /// task is not in `MigrationWait` — a *spurious* wakeup, which a
     /// duplicated MSI produces legitimately. Clears the watchdog
     /// deadline on a real wake.
-    pub fn try_wake_from_migration(&mut self, pid: u64) -> bool {
-        let task = self.task_mut(pid);
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] if `pid` does not exist.
+    pub fn try_wake_from_migration(&mut self, pid: u64) -> Result<bool, KernelError> {
+        let task = self.task_mut(pid)?;
         if task.state != TaskState::MigrationWait {
-            return false;
+            return Ok(false);
         }
         task.state = TaskState::Runnable;
         task.migration_flag = false;
         task.deadline = None;
-        true
+        Ok(true)
     }
 }
 
@@ -547,7 +605,7 @@ mod tests {
         let pid = kernel.create_process(&mut mem, &image).unwrap();
         let mut core = Core::new(CoreConfig::host());
         let env = MemEnv::paper_default();
-        let task = kernel.task(pid);
+        let task = kernel.task(pid).unwrap();
         core.set_cr3(task.cr3);
         core.restore_context(&task.context);
         assert_eq!(core.run(&mut mem, &env, 1000), StopReason::Halt);
@@ -570,8 +628,8 @@ mod tests {
         let pid = kernel.create_process(&mut mem, &image).unwrap();
         let mut core = Core::new(CoreConfig::host());
         let env = MemEnv::paper_default();
-        core.set_cr3(kernel.task(pid).cr3);
-        core.restore_context(&kernel.task(pid).context);
+        core.set_cr3(kernel.task(pid).unwrap().cr3);
+        core.restore_context(&kernel.task(pid).unwrap().context);
         let stop = core.run(&mut mem, &env, 1000);
         let nxp_fn = image.find_symbol("nxp_fn").unwrap();
         assert_eq!(
@@ -648,7 +706,7 @@ mod tests {
         let s1 = kernel.alloc_nxp_stack(&mut mem, p1).unwrap();
         let s2 = kernel.alloc_nxp_stack(&mut mem, p2).unwrap();
         assert_ne!(s1, s2);
-        assert!(kernel.task(p1).has_nxp_stack());
+        assert!(kernel.task(p1).unwrap().has_nxp_stack());
         assert_eq!(
             (s2 - s1),
             NXP_STACK_SLOT,
@@ -665,15 +723,15 @@ mod tests {
         let mut core = Core::new(CoreConfig::host());
         core.set_reg(abi::A0, 55);
         core.set_pc(VirtAddr(0x1234));
-        kernel.suspend_for_migration(pid, &core);
-        assert_eq!(kernel.task(pid).state, TaskState::MigrationWait);
-        assert!(kernel.task(pid).migration_flag);
-        kernel.wake_from_migration(pid);
-        assert_eq!(kernel.task(pid).state, TaskState::Runnable);
-        assert!(!kernel.task(pid).migration_flag);
+        kernel.suspend_for_migration(pid, &core).unwrap();
+        assert_eq!(kernel.task(pid).unwrap().state, TaskState::MigrationWait);
+        assert!(kernel.task(pid).unwrap().migration_flag);
+        kernel.wake_from_migration(pid).unwrap();
+        assert_eq!(kernel.task(pid).unwrap().state, TaskState::Runnable);
+        assert!(!kernel.task(pid).unwrap().migration_flag);
         // The saved context is what the scheduler will install.
-        assert_eq!(kernel.task(pid).context.regs[abi::A0.index()], 55);
-        assert_eq!(kernel.task(pid).context.pc, VirtAddr(0x1234));
+        assert_eq!(kernel.task(pid).unwrap().context.regs[abi::A0.index()], 55);
+        assert_eq!(kernel.task(pid).unwrap().context.pc, VirtAddr(0x1234));
     }
 
     #[test]
@@ -683,9 +741,66 @@ mod tests {
         let image = simple_image();
         let pid = kernel.create_process(&mut mem, &image).unwrap();
         let mut core = Core::new(CoreConfig::host());
-        kernel.redirect_to_handler(pid, &mut core, VirtAddr(0xAAA000), VirtAddr(0x40_1000));
-        assert_eq!(kernel.task(pid).fault_va, Some(VirtAddr(0xAAA000)));
+        kernel
+            .redirect_to_handler(pid, &mut core, VirtAddr(0xAAA000), VirtAddr(0x40_1000))
+            .unwrap();
+        assert_eq!(kernel.task(pid).unwrap().fault_va, Some(VirtAddr(0xAAA000)));
         assert_eq!(core.pc(), VirtAddr(0x40_1000));
+    }
+
+    #[test]
+    fn unknown_pid_is_a_typed_error_everywhere() {
+        // Regression for the old `panic!("no task {pid}")`: every
+        // pid-taking entry point must surface NoSuchTask instead.
+        let mut mem = PhysMem::new();
+        let mut kernel = Kernel::new(&mut mem);
+        assert_eq!(kernel.task(42).err(), Some(KernelError::NoSuchTask(42)));
+        assert_eq!(kernel.task_mut(42).err(), Some(KernelError::NoSuchTask(42)));
+        let mut buf = [0u8; 4];
+        assert_eq!(
+            kernel.read_user(&mem, 42, VirtAddr(0x1000), &mut buf),
+            Err(LoadError::NoSuchTask(42))
+        );
+        assert_eq!(
+            kernel.write_user(&mut mem, 42, VirtAddr(0x1000), &buf),
+            Err(LoadError::NoSuchTask(42))
+        );
+        assert_eq!(
+            kernel.alloc_host_heap(&mut mem, 42, 64),
+            Err(LoadError::NoSuchTask(42))
+        );
+        assert_eq!(kernel.alloc_nxp_heap(42, 64), Err(LoadError::NoSuchTask(42)));
+        assert_eq!(
+            kernel.alloc_nxp_stack(&mut mem, 42),
+            Err(LoadError::NoSuchTask(42))
+        );
+        let core = Core::new(CoreConfig::host());
+        assert_eq!(
+            kernel.suspend_for_migration(42, &core),
+            Err(KernelError::NoSuchTask(42))
+        );
+        assert_eq!(
+            kernel.try_wake_from_migration(42),
+            Err(KernelError::NoSuchTask(42))
+        );
+        assert_eq!(
+            kernel.wake_from_migration(42),
+            Err(KernelError::NoSuchTask(42))
+        );
+    }
+
+    #[test]
+    fn wake_of_running_task_is_spurious_not_fatal() {
+        let mut mem = PhysMem::new();
+        let mut kernel = Kernel::new(&mut mem);
+        let pid = kernel.create_process(&mut mem, &simple_image()).unwrap();
+        // Task is Runnable, not MigrationWait: try-wake reports false,
+        // the strict wake reports the typed SpuriousWake error.
+        assert_eq!(kernel.try_wake_from_migration(pid), Ok(false));
+        assert_eq!(
+            kernel.wake_from_migration(pid),
+            Err(KernelError::SpuriousWake(pid))
+        );
     }
 
     #[test]
@@ -695,7 +810,7 @@ mod tests {
         let image = simple_image();
         let p1 = kernel.create_process(&mut mem, &image).unwrap();
         let p2 = kernel.create_process(&mut mem, &image).unwrap();
-        assert_ne!(kernel.task(p1).cr3, kernel.task(p2).cr3);
+        assert_ne!(kernel.task(p1).unwrap().cr3, kernel.task(p2).unwrap().cr3);
         let hostvar = image.find_symbol("hostvar").unwrap();
         // Writing p1's copy must not affect p2's.
         kernel.write_user(&mut mem, p1, VirtAddr(hostvar), &[0xFF]).unwrap();

@@ -34,7 +34,7 @@ pub mod sched;
 pub mod task;
 pub mod timing;
 
-pub use kernel::{Kernel, KernelConfig, LoadError};
+pub use kernel::{Kernel, KernelConfig, KernelError, LoadError};
 pub use sched::RunQueues;
 pub use task::{TaskState, TaskStruct};
 pub use timing::OsTiming;

@@ -176,6 +176,17 @@ pub enum WalkError {
         /// The address whose translation failed.
         va: VirtAddr,
     },
+    /// An entry used a layout the hardware forbids — e.g. the PS (huge)
+    /// bit set in a PML4 entry, which x86-64 reserves. Real MMUs raise a
+    /// reserved-bit page fault here; the model surfaces the same thing
+    /// as a typed error so a corrupted table degrades to a fault instead
+    /// of aborting the simulator.
+    CorruptEntry {
+        /// Level index of the malformed entry.
+        level: u8,
+        /// The address whose translation failed.
+        va: VirtAddr,
+    },
 }
 
 impl fmt::Display for WalkError {
@@ -183,6 +194,9 @@ impl fmt::Display for WalkError {
         match self {
             WalkError::NotPresent { level, va } => {
                 write!(f, "page not present at level {level} translating {va}")
+            }
+            WalkError::CorruptEntry { level, va } => {
+                write!(f, "corrupt page-table entry at level {level} translating {va}")
             }
         }
     }
@@ -197,7 +211,8 @@ impl Error for WalkError {}
 /// # Errors
 ///
 /// Returns [`WalkError::NotPresent`] when an entry on the path is not
-/// present.
+/// present, [`WalkError::CorruptEntry`] when an entry sets reserved
+/// bits (the PS bit in a PML4 entry).
 pub fn walk(
     mut read_pte: impl FnMut(PhysAddr) -> u64,
     cr3: PhysAddr,
@@ -212,6 +227,11 @@ pub fn walk(
         let pte = Pte(read_pte(slot.as_u64().into()));
         if !pte.present() {
             return Err(WalkError::NotPresent { level, va });
+        }
+        if level == 3 && pte.huge() {
+            // PS is reserved in PML4 entries: a table this malformed can
+            // only come from corruption, and hardware faults on it.
+            return Err(WalkError::CorruptEntry { level, va });
         }
         nx |= pte.nx();
         writable &= pte.writable();
@@ -236,7 +256,10 @@ pub fn walk(
         }
         table = pte.addr();
     }
-    unreachable!("level-0 entries are always leaves");
+    // Level 0 entries are always leaves, so the loop cannot fall
+    // through — but a typed error beats `unreachable!` if that
+    // invariant ever breaks under corruption.
+    Err(WalkError::CorruptEntry { level: 0, va })
 }
 
 /// Allocates physical frames for page tables (and anything else the OS
@@ -469,13 +492,19 @@ impl AddressSpace {
         Ok(())
     }
 
-    /// Finds the leaf PTE slot for `va`, if mapped.
+    /// Finds the leaf PTE slot for `va`, if mapped. Returns `None` for
+    /// unmapped addresses *and* for malformed tables (PS bit in a PML4
+    /// entry), so `protect` reports [`MapError::NotMapped`] on a
+    /// corrupted subtree rather than aborting.
     fn leaf_slot(&self, mem: &PhysMem, va: VirtAddr) -> Option<(PhysAddr, PageSize)> {
         let mut table = self.cr3;
         for level in (0..=3u8).rev() {
             let slot = PhysAddr(table.as_u64() + va.pt_index(level) as u64 * 8);
             let pte = Pte(mem.read_u64(slot));
             if !pte.present() {
+                return None;
+            }
+            if level == 3 && pte.huge() {
                 return None;
             }
             let is_leaf = level == 0 || (pte.huge() && level <= 2);
@@ -489,7 +518,7 @@ impl AddressSpace {
             }
             table = pte.addr();
         }
-        unreachable!()
+        None
     }
 
     /// The `mprotect`-style primitive Flick's loader uses: sets or clears
@@ -741,6 +770,40 @@ mod tests {
         let pte = mem.read_u64(slot);
         mem.write_u64(slot, pte & !flags::WRITABLE);
         assert!(!asp.translate(&mem, VirtAddr(0x1000)).unwrap().writable);
+    }
+
+    #[test]
+    fn corrupt_pml4_entry_degrades_to_typed_error() {
+        // Regression for the `unreachable!` walk paths: a PML4 entry
+        // with the reserved PS bit set (only possible via corruption)
+        // must produce a typed error, not abort the simulator.
+        let (mut mem, mut alloc) = setup();
+        let mut asp = AddressSpace::new(&mut mem, &mut alloc);
+        asp.map(
+            &mut mem,
+            &mut alloc,
+            VirtAddr(0x1000),
+            PhysAddr(0x1000),
+            PageSize::Size4K,
+            flags::PRESENT | flags::USER,
+        )
+        .unwrap();
+        // Corrupt the PML4 entry: set the reserved huge bit.
+        let slot = PhysAddr(asp.cr3().as_u64() + VirtAddr(0x1000).pt_index(3) as u64 * 8);
+        let pte = mem.read_u64(slot);
+        mem.write_u64(slot, pte | flags::HUGE);
+        assert_eq!(
+            asp.translate(&mem, VirtAddr(0x1000)),
+            Err(WalkError::CorruptEntry { level: 3, va: VirtAddr(0x1000) })
+        );
+        // protect over the corrupted subtree degrades to NotMapped.
+        assert_eq!(
+            asp.protect(&mut mem, VirtAddr(0x1000), 0x1000, flags::NX, 0),
+            Err(MapError::NotMapped(VirtAddr(0x1000)))
+        );
+        // Repairing the entry restores translation.
+        mem.write_u64(slot, pte);
+        assert!(asp.translate(&mem, VirtAddr(0x1000)).is_ok());
     }
 
     #[test]

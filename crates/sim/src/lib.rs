@@ -15,7 +15,12 @@
 //!   migrations and DMA transfers for inspection and testing.
 //! * [`fault`] — seeded, deterministic fault injection ([`FaultPlan`])
 //!   for chaos-testing the interconnect and migration recovery paths.
-//! * [`stats`] — counters and summary statistics helpers.
+//! * [`stats`] — counters, summary statistics and log-bucketed
+//!   latency histograms ([`Histogram`]).
+//! * [`span`] — migration lifecycle spans ([`Span`], [`SpanRecorder`])
+//!   attributing per-call latency to pipeline stages.
+//! * [`trace_export`] — Chrome-trace/Perfetto JSON export
+//!   ([`chrome_trace`]) of traces and spans.
 //!
 //! # Examples
 //!
@@ -30,13 +35,17 @@
 pub mod clock;
 pub mod fault;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod trace_export;
 
 pub use clock::Clock;
 pub use fault::{BurstPerturbation, FaultCounts, FaultPlan, MsiFate};
 pub use rng::{SplitMix64, Xoshiro256};
-pub use stats::{Counter, Stats, Summary};
+pub use span::{Span, SpanMark, SpanRecorder, SpanStage};
+pub use stats::{Counter, Histogram, Stats, Summary};
 pub use time::{Cycles, Hertz, Picos};
 pub use trace::{CoreId, Event, Side, Trace, TraceConfig};
+pub use trace_export::{chrome_trace, validate_json};

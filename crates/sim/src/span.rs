@@ -1,0 +1,300 @@
+//! Migration lifecycle spans.
+//!
+//! A *span* follows one cross-ISA call from the moment the host core
+//! traps (NX fault) to the moment the suspended thread wakes with the
+//! return value. Along the way the machine drops *marks* — timestamped
+//! stage transitions tagged with the core they happened on — so a run
+//! can answer "where did the 1.8 µs go?" per migration, not just in
+//! aggregate counters.
+//!
+//! The span id is carried inside the migration descriptor's padding
+//! bytes, so both sides of the PCIe link attribute their marks to the
+//! same span without any side channel. Ids are assigned by the machine
+//! deterministically (a plain counter driven by simulated events), which
+//! keeps chaos-seed replays bit-identical with observability on.
+//!
+//! The whole layer is inert when disabled: [`SpanRecorder::mark`] and
+//! friends return immediately and allocate nothing, and nothing here
+//! ever advances a clock.
+
+use crate::time::Picos;
+use crate::trace::CoreId;
+
+/// A stage transition inside a migration span.
+///
+/// Stages are marked in wall-clock (simulated) order but not every span
+/// visits every stage: a return leg has no NX fault, and a migration
+/// recovered by the watchdog never sees `MsiDelivery`. Segment
+/// reporting therefore pairs *consecutive recorded* marks rather than
+/// assuming the full pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanStage {
+    /// Host core executed an NX-protected page: the migration trigger.
+    NxFault,
+    /// Kernel packed the 128-byte migration descriptor (ioctl path).
+    DescPack,
+    /// Descriptor burst handed to the DMA engine (first attempt).
+    DmaSubmit,
+    /// NxP accepted the descriptor and dispatched the thread.
+    NxpDispatch,
+    /// NxP finished its leg and submitted the return descriptor.
+    NxpSubmit,
+    /// MSI for the return descriptor delivered to the host IRQ path.
+    MsiDelivery,
+    /// Suspended host thread woken with the return value: span end.
+    Woken,
+}
+
+impl SpanStage {
+    /// Short stable label used in histogram keys and trace exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanStage::NxFault => "nx-fault",
+            SpanStage::DescPack => "desc-pack",
+            SpanStage::DmaSubmit => "dma-submit",
+            SpanStage::NxpDispatch => "nxp-dispatch",
+            SpanStage::NxpSubmit => "nxp-submit",
+            SpanStage::MsiDelivery => "msi",
+            SpanStage::Woken => "woken",
+        }
+    }
+}
+
+/// One timestamped stage transition: when, where, and which stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanMark {
+    /// The stage reached.
+    pub stage: SpanStage,
+    /// Simulated time of the transition.
+    pub at: Picos,
+    /// Core on which the transition happened.
+    pub core: CoreId,
+}
+
+/// The recorded lifecycle of one cross-ISA call.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{CoreId, Picos, Span, SpanStage};
+///
+/// let mut s = Span::new(1, 7, "h2n-call");
+/// s.push(SpanStage::NxFault, Picos::from_nanos(10), CoreId::host(0));
+/// s.push(SpanStage::Woken, Picos::from_nanos(1810), CoreId::host(0));
+/// assert_eq!(s.total(), Picos::from_nanos(1800));
+/// assert_eq!(s.segments().count(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// Span id as carried in the descriptor (never zero for real spans).
+    pub id: u64,
+    /// Pid of the migrating task.
+    pub pid: u64,
+    /// Descriptor-kind label of the leg that opened the span.
+    pub label: &'static str,
+    marks: Vec<SpanMark>,
+}
+
+impl Span {
+    /// Creates an empty span.
+    pub fn new(id: u64, pid: u64, label: &'static str) -> Self {
+        Span { id, pid, label, marks: Vec::new() }
+    }
+
+    /// Appends a mark unless this stage was already recorded
+    /// (first occurrence wins, so retransmitted legs keep the time of
+    /// the attempt that started the recovery dance).
+    pub fn push(&mut self, stage: SpanStage, at: Picos, core: CoreId) {
+        if self.marks.iter().any(|m| m.stage == stage) {
+            return;
+        }
+        self.marks.push(SpanMark { stage, at, core });
+    }
+
+    /// All marks in recording order.
+    pub fn marks(&self) -> &[SpanMark] {
+        &self.marks
+    }
+
+    /// Time of the first mark, zero when empty.
+    pub fn begin(&self) -> Picos {
+        self.marks.first().map(|m| m.at).unwrap_or(Picos::ZERO)
+    }
+
+    /// Time of the last mark, zero when empty.
+    pub fn end(&self) -> Picos {
+        self.marks.last().map(|m| m.at).unwrap_or(Picos::ZERO)
+    }
+
+    /// End-to-end duration (last mark minus first).
+    pub fn total(&self) -> Picos {
+        self.end().saturating_sub(self.begin())
+    }
+
+    /// Iterates consecutive mark pairs as `(from, to)` segments.
+    pub fn segments(&self) -> impl Iterator<Item = (&SpanMark, &SpanMark)> + '_ {
+        self.marks.windows(2).map(|w| (&w[0], &w[1]))
+    }
+
+    /// True when simulated intervals `[self.begin(), self.end()]` and
+    /// `[other.begin(), other.end()]` overlap — i.e. both migrations
+    /// were in flight at the same simulated instant.
+    pub fn overlaps(&self, other: &Span) -> bool {
+        !self.marks.is_empty()
+            && !other.marks.is_empty()
+            && self.begin() <= other.end()
+            && other.begin() <= self.end()
+    }
+}
+
+/// Collects spans for a whole run.
+///
+/// When constructed disabled, every method is a no-op and the recorder
+/// holds no allocations beyond two empty containers — this is the
+/// "provably inert" half of the observability contract.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{CoreId, Picos, SpanRecorder, SpanStage};
+///
+/// let mut r = SpanRecorder::new(true);
+/// r.begin(1, 7, "h2n-call");
+/// r.mark(1, SpanStage::NxFault, Picos::from_nanos(5), CoreId::host(0));
+/// r.mark(1, SpanStage::Woken, Picos::from_nanos(25), CoreId::host(0));
+/// let span = r.finish(1).unwrap();
+/// assert_eq!(span.total(), Picos::from_nanos(20));
+/// assert_eq!(r.spans().len(), 1);
+///
+/// let mut off = SpanRecorder::new(false);
+/// off.begin(1, 7, "h2n-call");
+/// assert!(off.finish(1).is_none());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SpanRecorder {
+    enabled: bool,
+    open: Vec<Span>,
+    done: Vec<Span>,
+}
+
+impl SpanRecorder {
+    /// Creates a recorder; a disabled recorder ignores every call.
+    pub fn new(enabled: bool) -> Self {
+        SpanRecorder { enabled, open: Vec::new(), done: Vec::new() }
+    }
+
+    /// Whether recording is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Opens a span. Re-opening an id that is already open is ignored.
+    pub fn begin(&mut self, id: u64, pid: u64, label: &'static str) {
+        if !self.enabled || id == 0 {
+            return;
+        }
+        if self.open.iter().any(|s| s.id == id) {
+            return;
+        }
+        self.open.push(Span::new(id, pid, label));
+    }
+
+    /// Marks a stage on an open span; unknown ids are ignored.
+    pub fn mark(&mut self, id: u64, stage: SpanStage, at: Picos, core: CoreId) {
+        if !self.enabled {
+            return;
+        }
+        if let Some(s) = self.open.iter_mut().find(|s| s.id == id) {
+            s.push(stage, at, core);
+        }
+    }
+
+    /// Closes a span, moving it to the completed list, and returns it.
+    pub fn finish(&mut self, id: u64) -> Option<&Span> {
+        let idx = self.open.iter().position(|s| s.id == id)?;
+        let span = self.open.remove(idx);
+        self.done.push(span);
+        self.done.last()
+    }
+
+    /// Drops an open span without completing it (degraded migrations).
+    pub fn abandon(&mut self, id: u64) {
+        if let Some(idx) = self.open.iter().position(|s| s.id == id) {
+            self.open.remove(idx);
+        }
+    }
+
+    /// Completed spans in completion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.done
+    }
+
+    /// Number of spans still open (in-flight migrations).
+    pub fn open_count(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(id: u64) -> Span {
+        let mut s = Span::new(id, 3, "h2n-call");
+        s.push(SpanStage::NxFault, Picos::from_nanos(10 * id), CoreId::host(0));
+        s.push(SpanStage::Woken, Picos::from_nanos(10 * id + 15), CoreId::host(0));
+        s
+    }
+
+    #[test]
+    fn first_occurrence_wins() {
+        let mut s = Span::new(1, 1, "x");
+        s.push(SpanStage::DmaSubmit, Picos::from_nanos(5), CoreId::host(0));
+        s.push(SpanStage::DmaSubmit, Picos::from_nanos(9), CoreId::host(0));
+        assert_eq!(s.marks().len(), 1);
+        assert_eq!(s.marks()[0].at, Picos::from_nanos(5));
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let a = mk(1); // [10, 25] ns
+        let b = mk(2); // [20, 35] ns
+        let c = mk(9); // [90, 105] ns
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+        assert!(!Span::new(4, 4, "empty").overlaps(&a));
+    }
+
+    #[test]
+    fn recorder_lifecycle() {
+        let mut r = SpanRecorder::new(true);
+        r.begin(1, 7, "h2n-call");
+        r.begin(2, 8, "h2n-call");
+        assert_eq!(r.open_count(), 2);
+        r.mark(1, SpanStage::NxFault, Picos::from_nanos(1), CoreId::host(0));
+        r.mark(99, SpanStage::NxFault, Picos::from_nanos(1), CoreId::host(0)); // ignored
+        assert!(r.finish(1).is_some());
+        assert!(r.finish(1).is_none());
+        r.abandon(2);
+        assert_eq!(r.open_count(), 0);
+        assert_eq!(r.spans().len(), 1);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let mut r = SpanRecorder::new(false);
+        r.begin(1, 7, "h2n-call");
+        r.mark(1, SpanStage::NxFault, Picos::from_nanos(1), CoreId::host(0));
+        assert_eq!(r.open_count(), 0);
+        assert!(r.finish(1).is_none());
+        assert!(r.spans().is_empty());
+    }
+
+    #[test]
+    fn zero_id_never_opens() {
+        let mut r = SpanRecorder::new(true);
+        r.begin(0, 7, "h2n-call");
+        assert_eq!(r.open_count(), 0);
+    }
+}

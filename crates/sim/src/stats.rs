@@ -42,8 +42,191 @@ impl fmt::Display for Counter {
     }
 }
 
+/// A log-bucketed histogram over `u64` samples.
+///
+/// Samples land in power-of-two buckets (bucket `i` holds values whose
+/// highest set bit is `i - 1`; bucket 0 holds zero), so `record` is O(1)
+/// and the whole histogram is a fixed 65-slot array regardless of range.
+/// Quantiles are estimated by linear interpolation inside the bucket that
+/// crosses the requested rank — good to within a factor-of-two bucket
+/// width, which is plenty for latency attribution — except for the very
+/// last sample, where [`Histogram::max`] is exact.
+///
+/// The machine uses this for migration-span segment latencies (in
+/// picoseconds) and descriptor-channel queue depths; see
+/// [`Stats::record_hist`].
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.max(), 1000);
+/// let p50 = h.quantile(0.50);
+/// assert!((256..=512).contains(&p50));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// `buckets[0]` counts zeros; `buckets[i]` counts samples in
+    /// `[2^(i-1), 2^i)` for `i in 1..=64`.
+    buckets: [u64; 65],
+    count: u64,
+    total: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            total: 0,
+            min: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// Adds one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.total += u128::from(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest sample, zero when empty.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest sample, zero when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample, zero when empty.
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            (self.total / u128::from(self.count)) as u64
+        }
+    }
+
+    /// Estimated value at quantile `q` (clamped to `0.0..=1.0`), zero when
+    /// empty. The estimate interpolates linearly within the bucket that
+    /// crosses rank `q * count`, clamped to the observed `[min, max]`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut seen = 0.0f64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = seen + n as f64;
+            if next >= rank {
+                // Interpolate inside bucket `i`: value range [lo, hi).
+                let (lo, hi) = if i == 0 {
+                    (0u64, 1u64)
+                } else {
+                    (1u64 << (i - 1), if i == 64 { u64::MAX } else { 1u64 << i })
+                };
+                let frac = if n == 0 { 0.0 } else { (rank - seen) / n as f64 };
+                let est = lo as f64 + frac * (hi - lo) as f64;
+                return (est as u64).clamp(self.min, self.max);
+            }
+            seen = next;
+        }
+        self.max
+    }
+
+    /// Median estimate (`quantile(0.50)`).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total += other.total;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.p50(),
+            self.p90(),
+            self.p99(),
+            self.max
+        )
+    }
+}
+
 /// A bag of named counters, used by the machine to expose run statistics
 /// (migrations, faults, TLB misses, DMA bursts, instructions retired, …).
+///
+/// Alongside the flat counters, a `Stats` can carry named [`Histogram`]s
+/// (migration-span segment latencies, queue-depth gauges). The histogram
+/// map is empty unless something records into it, so runs that never use
+/// it produce `Stats` indistinguishable from pre-histogram builds.
 ///
 /// # Examples
 ///
@@ -59,6 +242,7 @@ impl fmt::Display for Counter {
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     counters: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<String, Histogram>,
 }
 
 impl Stats {
@@ -82,16 +266,36 @@ impl Stats {
         self.counters.iter().map(|(k, v)| (*k, *v))
     }
 
-    /// Merges another stats bag into this one (summing counters).
+    /// Adds one sample to histogram `name`, creating it when absent.
+    pub fn record_hist(&mut self, name: &str, sample: u64) {
+        self.hists.entry(name.to_string()).or_default().record(sample);
+    }
+
+    /// Reads histogram `name`, `None` when absent.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.get(name)
+    }
+
+    /// Iterates `(name, histogram)` in name order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.hists.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Merges another stats bag into this one (summing counters and
+    /// merging histograms).
     pub fn merge(&mut self, other: &Stats) {
         for (k, v) in other.iter() {
             *self.counters.entry(k).or_insert(0) += v;
         }
+        for (k, h) in other.hists() {
+            self.hists.entry(k.to_string()).or_default().merge(h);
+        }
     }
 
-    /// Clears every counter.
+    /// Clears every counter and histogram.
     pub fn clear(&mut self) {
         self.counters.clear();
+        self.hists.clear();
     }
 }
 
@@ -99,6 +303,9 @@ impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (k, v) in &self.counters {
             writeln!(f, "{k:>32}: {v}")?;
+        }
+        for (k, h) in &self.hists {
+            writeln!(f, "{k:>32}: {h}")?;
         }
         Ok(())
     }
@@ -234,5 +441,100 @@ mod tests {
         let s = Summary::default();
         assert_eq!(s.mean(), Picos::ZERO);
         assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn histogram_empty_is_all_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+    }
+
+    #[test]
+    fn histogram_single_sample_quantiles_are_exact() {
+        let mut h = Histogram::default();
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 42);
+        assert_eq!(h.max(), 42);
+        // Every quantile clamps into [min, max] = {42}.
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+    }
+
+    #[test]
+    fn histogram_zero_and_extremes() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_order_and_bounds() {
+        let mut h = Histogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let (p50, p90, p99) = (h.p50(), h.p90(), h.p99());
+        assert!(p50 <= p90 && p90 <= p99 && p99 <= h.max());
+        // Log-bucket estimate is within a factor of two of the truth.
+        assert!((2_500..=10_000).contains(&p50), "p50={p50}");
+        assert!((4_500..=10_000).contains(&p90), "p90={p90}");
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined_recording() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut both = Histogram::default();
+        for v in [3u64, 17, 900, 5] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 2_000_000, 64] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn stats_hist_roundtrip_and_merge() {
+        let mut s = Stats::default();
+        s.record_hist("seg", 10);
+        s.record_hist("seg", 20);
+        assert_eq!(s.hist("seg").unwrap().count(), 2);
+        assert!(s.hist("missing").is_none());
+
+        let mut t = Stats::default();
+        t.record_hist("seg", 30);
+        t.record_hist("other", 1);
+        s.merge(&t);
+        assert_eq!(s.hist("seg").unwrap().count(), 3);
+        assert_eq!(s.hist("other").unwrap().count(), 1);
+        assert_eq!(s.hists().count(), 2);
+
+        s.clear();
+        assert_eq!(s.hists().count(), 0);
+    }
+
+    #[test]
+    fn stats_display_appends_hists_only_when_present() {
+        let mut s = Stats::default();
+        s.bump("a");
+        let plain = s.to_string();
+        assert!(!plain.contains("p50"));
+        s.record_hist("lat", 100);
+        let with = s.to_string();
+        assert!(with.contains("lat"));
+        assert!(with.contains("p50"));
     }
 }

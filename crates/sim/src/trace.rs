@@ -387,6 +387,85 @@ mod tests {
     }
 
     #[test]
+    fn overflow_dropped_accounting_is_exact() {
+        let cap = 8;
+        let mut t = Trace::new(TraceConfig {
+            enabled: true,
+            capacity: cap,
+        });
+        let total = 1000;
+        for i in 0..total {
+            t.record_on(
+                CoreId::host(i % 3),
+                Picos::from_nanos(i as u64),
+                Event::Marker("m"),
+            );
+        }
+        assert_eq!(t.len(), cap);
+        assert_eq!(t.dropped(), (total - cap) as u64);
+        // Dropping is stable: the survivors are exactly the first `cap`
+        // records, still in order.
+        for (i, (at, _)) in t.events().iter().enumerate() {
+            assert_eq!(*at, Picos::from_nanos(i as u64));
+        }
+        // Draining more after overflow keeps counting.
+        t.record(Picos::ZERO, Event::Marker("late"));
+        assert_eq!(t.dropped(), (total - cap) as u64 + 1);
+    }
+
+    #[test]
+    fn overflow_never_misattributes_cores() {
+        // Interleave three cores, overflow the ring, then check that
+        // per-core views only ever return that core's events and that
+        // the tag column stays exactly parallel to the event column.
+        let mut t = Trace::new(TraceConfig {
+            enabled: true,
+            capacity: 10,
+        });
+        for i in 0..50u64 {
+            let core = match i % 3 {
+                0 => CoreId::host(0),
+                1 => CoreId::host(1),
+                _ => CoreId::nxp(0),
+            };
+            // Timestamp encodes the owning core so any cross-talk is
+            // detectable from the surviving records alone.
+            t.record_on(core, Picos(i % 3), Event::Marker("m"));
+        }
+        assert_eq!(t.core_tags().len(), t.events().len());
+        for (want, core) in [
+            (0u64, CoreId::host(0)),
+            (1, CoreId::host(1)),
+            (2, CoreId::nxp(0)),
+        ] {
+            for (at, _) in t.events_on(core) {
+                assert_eq!(at.0, want, "event leaked across core tracks");
+            }
+        }
+        // An overflow-dropped record must not leave a dangling tag.
+        let tagged: usize = t
+            .core_tags()
+            .iter()
+            .filter(|c| c.is_some())
+            .count();
+        assert_eq!(tagged, t.len());
+    }
+
+    #[test]
+    fn overflow_drops_tag_and_event_together() {
+        let mut t = Trace::new(TraceConfig {
+            enabled: true,
+            capacity: 1,
+        });
+        t.record_on(CoreId::host(0), Picos::ZERO, Event::Marker("kept"));
+        t.record_on(CoreId::nxp(5), Picos::ZERO, Event::Marker("dropped"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.dropped(), 1);
+        assert_eq!(t.core_tags(), &[Some(CoreId::host(0))]);
+        assert_eq!(t.events_on(CoreId::nxp(5)).count(), 0);
+    }
+
+    #[test]
     fn core_tags_parallel_events() {
         let mut t = Trace::default();
         t.record_on(CoreId::host(0), Picos::from_nanos(1), Event::Marker("a"));

@@ -1,0 +1,464 @@
+//! Chrome-trace / Perfetto JSON export.
+//!
+//! Renders a [`Trace`] plus completed migration [`Span`]s as the Chrome
+//! trace-event format (the JSON flavour understood by `ui.perfetto.dev`
+//! and `chrome://tracing`): one track per [`CoreId`], an instant event
+//! per traced hardware/OS event, a complete ("X") slice per span
+//! segment on the core that executed it, and an async ("b"/"e") track
+//! per migration so concurrent in-flight migrations are visible as
+//! overlapping bars.
+//!
+//! The format is documented in the "Trace Event Format" spec; only the
+//! stable subset is emitted (`traceEvents` array, `ph` ∈ {M, i, X, b,
+//! e}, timestamps in microseconds). The workspace deliberately has no
+//! external dependencies, so the JSON is built by hand and a small
+//! validator ([`validate_json`]) is provided for tests and CI smokes.
+
+use crate::span::Span;
+use crate::time::Picos;
+use crate::trace::{CoreId, Event, Side, Trace};
+use std::fmt::Write as _;
+
+/// Stable thread id for a core's track (hosts first, then NxPs).
+fn tid_of(core: Option<CoreId>) -> u64 {
+    match core {
+        Some(CoreId { side: Side::Host, index }) => index as u64,
+        Some(CoreId { side: Side::Nxp, index }) => 1000 + index as u64,
+        None => 9990,
+    }
+}
+
+fn track_name(core: Option<CoreId>) -> String {
+    match core {
+        Some(c) => c.to_string(),
+        None => "untagged".to_string(),
+    }
+}
+
+/// Simulated picoseconds → trace microseconds (the unit Chrome expects).
+fn us(p: Picos) -> String {
+    let v = p.as_picos() as f64 / 1e6;
+    let mut s = format!("{v:.6}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    if s.ends_with('.') {
+        s.pop();
+    }
+    s
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Short human name for a traced event, used as the instant-event label.
+fn event_name(e: &Event) -> String {
+    match e {
+        Event::NxFault { side, fault_va } => format!("nx-fault {side} va={fault_va:#x}"),
+        Event::MisalignedFetch { fault_va } => format!("misaligned-fetch va={fault_va:#x}"),
+        Event::DescriptorSent { from, kind, bytes } => {
+            format!("desc-sent {from} {kind} {bytes}B")
+        }
+        Event::DescriptorReceived { to, kind } => format!("desc-recv {to} {kind}"),
+        Event::ThreadSuspended { pid } => format!("suspend pid{pid}"),
+        Event::ThreadWoken { pid } => format!("wake pid{pid}"),
+        Event::NxpContextSwitch { switch_in } => {
+            format!("ctx-switch-{}", if *switch_in { "in" } else { "out" })
+        }
+        Event::TlbMiss { side, va, levels } => {
+            format!("tlb-miss {side} va={va:#x} levels={levels}")
+        }
+        Event::FaultInjected { kind, to } => format!("fault-injected {kind} -> {to}"),
+        Event::CorruptDescriptor { to, seq } => format!("crc-reject {to} seq={seq}"),
+        Event::DuplicateDescriptor { to, seq } => format!("dup-drop {to} seq={seq}"),
+        Event::NakSent { from, seq } => format!("nak {from} seq={seq}"),
+        Event::Retransmit { to, seq, attempt } => {
+            format!("retransmit -> {to} seq={seq} attempt={attempt}")
+        }
+        Event::SpuriousWakeup { pid } => format!("spurious-wake pid{pid}"),
+        Event::WatchdogFired { pid } => format!("watchdog pid{pid}"),
+        Event::MsiLossRecovered { pid, seq } => format!("msi-loss-recovered pid{pid} seq={seq}"),
+        Event::Degraded { pid } => format!("degraded pid{pid}"),
+        Event::EmulatedSegment { pid, from_va } => {
+            format!("emulate pid{pid} va={from_va:#x}")
+        }
+        Event::Marker(m) => format!("marker {m}"),
+    }
+}
+
+/// Renders `trace` and `spans` as a Chrome trace-event JSON document.
+///
+/// Open the result in `ui.perfetto.dev` (or `chrome://tracing`) to see
+/// per-core tracks with migration spans overlaid. Deterministic: the
+/// same trace and spans always produce byte-identical JSON.
+///
+/// # Examples
+///
+/// ```
+/// use flick_sim::{chrome_trace, validate_json, CoreId, Event, Picos, Trace};
+///
+/// let mut t = Trace::default();
+/// t.record_on(CoreId::host(0), Picos::from_nanos(5), Event::Marker("boot"));
+/// let json = chrome_trace(&t, &[]);
+/// assert!(validate_json(&json).is_ok());
+/// assert!(json.contains("\"traceEvents\""));
+/// ```
+pub fn chrome_trace(trace: &Trace, spans: &[Span]) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    // Track metadata: one named, sorted track per core that appears in
+    // either the trace tags or the span marks.
+    let mut tids: Vec<(u64, String)> = Vec::new();
+    let mut note = |core: Option<CoreId>| {
+        let tid = tid_of(core);
+        if !tids.iter().any(|(t, _)| *t == tid) {
+            tids.push((tid, track_name(core)));
+        }
+    };
+    for c in trace.core_tags() {
+        note(*c);
+    }
+    for s in spans {
+        for m in s.marks() {
+            note(Some(m.core));
+        }
+    }
+    tids.sort_by_key(|(t, _)| *t);
+    for (tid, name) in &tids {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+        events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":1,\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{tid}}}}}"
+        ));
+    }
+
+    // Instant events, one per traced event, on the recording core's track.
+    for ((at, e), core) in trace.events().iter().zip(trace.core_tags()) {
+        events.push(format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":1,\"tid\":{},\
+             \"name\":\"{}\",\"cat\":\"event\"}}",
+            us(*at),
+            tid_of(*core),
+            esc(&event_name(e))
+        ));
+    }
+
+    // Span segments as complete slices on the core where each began,
+    // plus one async track per migration for the overlap picture.
+    for s in spans {
+        for (from, to) in s.segments() {
+            let dur = to.at.saturating_sub(from.at);
+            events.push(format!(
+                "{{\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\
+                 \"name\":\"{}\",\"cat\":\"span\",\"args\":{{\"span\":{},\"pid\":{}}}}}",
+                us(from.at),
+                us(dur),
+                tid_of(Some(from.core)),
+                esc(&format!("{} {}->{}", s.label, from.stage.label(), to.stage.label())),
+                s.id,
+                s.pid
+            ));
+        }
+        if !s.marks().is_empty() {
+            let name = esc(&format!("{} pid{}", s.label, s.pid));
+            events.push(format!(
+                "{{\"ph\":\"b\",\"cat\":\"migration\",\"id\":{},\"ts\":{},\
+                 \"pid\":1,\"tid\":0,\"name\":\"{name}\"}}",
+                s.id,
+                us(s.begin())
+            ));
+            events.push(format!(
+                "{{\"ph\":\"e\",\"cat\":\"migration\",\"id\":{},\"ts\":{},\
+                 \"pid\":1,\"tid\":0,\"name\":\"{name}\"}}",
+                s.id,
+                us(s.end())
+            ));
+        }
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Minimal JSON syntax validator (structure only, no data model).
+///
+/// Returns `Err(byte_offset)` at the first syntax violation. Used by
+/// tests and the CI timeline smoke to check exporter output without an
+/// external JSON dependency.
+pub fn validate_json(s: &str) -> Result<(), usize> {
+    let b = s.as_bytes();
+    let mut p = Parser { b, i: 0 };
+    p.ws();
+    p.value()?;
+    p.ws();
+    if p.i == b.len() {
+        Ok(())
+    } else {
+        Err(p.i)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), usize> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn value(&mut self) -> Result<(), usize> {
+        match self.peek().ok_or(self.i)? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string(),
+            b't' => self.lit(b"true"),
+            b'f' => self.lit(b"false"),
+            b'n' => self.lit(b"null"),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => Err(self.i),
+        }
+    }
+
+    fn lit(&mut self, w: &[u8]) -> Result<(), usize> {
+        if self.b[self.i..].starts_with(w) {
+            self.i += w.len();
+            Ok(())
+        } else {
+            Err(self.i)
+        }
+    }
+
+    fn object(&mut self) -> Result<(), usize> {
+        self.eat(b'{')?;
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek().ok_or(self.i)? {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), usize> {
+        self.eat(b'[')?;
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(());
+        }
+        loop {
+            self.ws();
+            self.value()?;
+            self.ws();
+            match self.peek().ok_or(self.i)? {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(());
+                }
+                _ => return Err(self.i),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), usize> {
+        self.eat(b'"')?;
+        while let Some(c) = self.peek() {
+            self.i += 1;
+            match c {
+                b'"' => return Ok(()),
+                b'\\' => {
+                    let e = self.peek().ok_or(self.i)?;
+                    self.i += 1;
+                    match e {
+                        b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' => {}
+                        b'u' => {
+                            for _ in 0..4 {
+                                let h = self.peek().ok_or(self.i)?;
+                                if !h.is_ascii_hexdigit() {
+                                    return Err(self.i);
+                                }
+                                self.i += 1;
+                            }
+                        }
+                        _ => return Err(self.i - 1),
+                    }
+                }
+                0x00..=0x1f => return Err(self.i - 1),
+                _ => {}
+            }
+        }
+        Err(self.i)
+    }
+
+    fn number(&mut self) -> Result<(), usize> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.i += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.i += 1;
+                }
+            }
+            _ => return Err(start),
+        }
+        if self.peek() == Some(b'.') {
+            self.i += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(self.i);
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.i += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(self.i);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanStage;
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert!(validate_json("{}").is_ok());
+        assert!(validate_json("[1, -2.5, 1e9, \"a\\n\", true, null]").is_ok());
+        assert!(validate_json("{\"a\":{\"b\":[]}}").is_ok());
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("{\"a\":}").is_err());
+        assert!(validate_json("[1,]").is_err());
+        assert!(validate_json("\"unterminated").is_err());
+        assert!(validate_json("01").is_err()); // trailing garbage after `0`
+    }
+
+    #[test]
+    fn empty_export_is_valid() {
+        let json = chrome_trace(&Trace::disabled(), &[]);
+        validate_json(&json).unwrap();
+        assert!(json.contains("traceEvents"));
+    }
+
+    #[test]
+    fn export_names_tracks_and_events() {
+        let mut t = Trace::default();
+        t.record_on(
+            CoreId::host(0),
+            Picos::from_nanos(3),
+            Event::NxFault { side: Side::Host, fault_va: 0x4000 },
+        );
+        t.record_on(
+            CoreId::nxp(1),
+            Picos::from_nanos(9),
+            Event::DescriptorReceived { to: Side::Nxp, kind: "h2n-call" },
+        );
+        let mut span = Span::new(7, 3, "h2n-call");
+        span.push(SpanStage::NxFault, Picos::from_nanos(3), CoreId::host(0));
+        span.push(SpanStage::NxpDispatch, Picos::from_nanos(9), CoreId::nxp(1));
+        span.push(SpanStage::Woken, Picos::from_nanos(20), CoreId::host(0));
+        let json = chrome_trace(&t, &[span]);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"host0\""));
+        assert!(json.contains("\"nxp1\""));
+        assert!(json.contains("nx-fault host va=0x4000"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"b\""));
+        assert!(json.contains("nx-fault->nxp-dispatch"));
+    }
+
+    #[test]
+    fn microsecond_formatting_trims_zeros() {
+        assert_eq!(us(Picos::from_micros(2)), "2");
+        assert_eq!(us(Picos::from_nanos(1500)), "1.5");
+        assert_eq!(us(Picos(1)), "0.000001");
+        assert_eq!(us(Picos::ZERO), "0");
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let mut t = Trace::default();
+        t.record_on(CoreId::host(1), Picos::from_nanos(5), Event::Marker("x"));
+        let a = chrome_trace(&t, &[]);
+        let b = chrome_trace(&t, &[]);
+        assert_eq!(a, b);
+    }
+}

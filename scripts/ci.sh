@@ -16,3 +16,10 @@ cargo bench -p flick-bench --bench simulator -- --samples 1
 # run the same concurrent workload to completion.
 cargo run --release --example topology -- 1 1
 cargo run --release --example topology -- 2 2
+
+# Timeline-export smoke: a 2x2 observability run must emit a non-empty
+# Chrome-trace JSON file (the example itself validates the JSON).
+tmp_trace="$(mktemp -t flick-timeline-XXXXXX.json)"
+trap 'rm -f "$tmp_trace"' EXIT
+cargo run --release --example timeline -- 2 2 "$tmp_trace"
+test -s "$tmp_trace"

@@ -347,3 +347,30 @@ fn abandoned_migration_wait_deadlocks_instead_of_wedging() {
         "some fuel level must abort inside MigrationWait"
     );
 }
+
+#[test]
+fn running_an_unknown_pid_is_a_typed_kernel_error() {
+    // Regression: `Machine::run` with a PID that was never loaded used
+    // to panic inside the kernel's task lookup. It must surface as a
+    // typed error the caller can match on.
+    use flick_os::KernelError;
+
+    let mut m = Machine::paper_default();
+    match m.run(4242) {
+        Err(RunError::Kernel(KernelError::NoSuchTask(pid))) => assert_eq!(pid, 4242),
+        other => panic!("expected NoSuchTask, got {other:?}"),
+    }
+    // A machine that already ran real work rejects bad PIDs the same
+    // way, without corrupting its own state.
+    let mut p = ProgramBuilder::new("ok");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 5);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let pid = m.load_program(&mut p).unwrap();
+    assert!(matches!(
+        m.run_concurrent(&[pid, 9999], u64::MAX / 2),
+        Err(RunError::Kernel(KernelError::NoSuchTask(9999)))
+    ));
+    assert_eq!(m.run(pid).unwrap().exit_code, 5);
+}

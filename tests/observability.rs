@@ -1,0 +1,243 @@
+//! Differential proof that the migration observability layer is inert:
+//! a machine with spans/histograms enabled must produce **bit-identical**
+//! simulated results — final clock, every stats counter, the full trace
+//! event stream, exit code and console — to one with it off, for plain
+//! and chaos-injected workloads alike. On top of that, the layer itself
+//! must be deterministic (seeded chaos replays yield identical spans)
+//! and useful (a 2×2 topology shows genuinely overlapping migrations,
+//! and the Perfetto export is valid Chrome-trace JSON).
+
+use flick::{chrome_trace, validate_json, Machine, Outcome, SpanStage, Topology};
+use flick_isa::{abi, FuncBuilder, TargetIsa};
+use flick_sim::{FaultPlan, TraceConfig};
+use flick_toolchain::ProgramBuilder;
+
+/// Four back-to-back migration round trips plus a nested ping-pong.
+fn build_workload(p: &mut ProgramBuilder) {
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::S1, 0);
+    for k in 1..=4 {
+        main.li(abi::A0, k);
+        main.call("nxp_inc");
+        main.add(abi::S1, abi::S1, abi::A0);
+    }
+    main.li(abi::A0, 3);
+    main.call("nxp_pingpong");
+    main.add(abi::A0, abi::A0, abi::S1);
+    main.call("flick_exit");
+    p.func(main.finish());
+
+    let mut inc = FuncBuilder::new("nxp_inc", TargetIsa::Nxp);
+    inc.addi(abi::A0, abi::A0, 1);
+    inc.ret();
+    p.func(inc.finish());
+
+    // NxP leg that calls back into host code: exercises the
+    // NxP→host-call span as well as the return legs.
+    let mut pp = FuncBuilder::new("nxp_pingpong", TargetIsa::Nxp);
+    pp.prologue(16, &[]);
+    pp.call("host_leaf");
+    pp.epilogue(16, &[]);
+    p.func(pp.finish());
+
+    let mut leaf = FuncBuilder::new("host_leaf", TargetIsa::Host);
+    leaf.slli(abi::T0, abi::A0, 1);
+    leaf.add(abi::A0, abi::A0, abi::T0);
+    leaf.ret();
+    p.func(leaf.finish());
+}
+
+fn run_one(observability: bool, plan: Option<FaultPlan>) -> (Machine, Outcome) {
+    let mut p = ProgramBuilder::new("obs");
+    build_workload(&mut p);
+    let mut b = Machine::builder()
+        .observability(observability)
+        .trace(TraceConfig {
+            enabled: true,
+            capacity: 1 << 20,
+        });
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    let mut m = b.build();
+    let pid = m.load_program(&mut p).expect("load");
+    let out = m.run(pid).expect("run");
+    (m, out)
+}
+
+/// Everything simulated must match between obs-on and obs-off runs.
+fn assert_sim_identical(label: &str, plan: Option<FaultPlan>) -> (Machine, Outcome) {
+    let (m_on, out_on) = run_one(true, plan.clone());
+    let (m_off, out_off) = run_one(false, plan);
+
+    assert_eq!(out_on.exit_code, out_off.exit_code, "{label}: exit code");
+    assert_eq!(out_on.console, out_off.console, "{label}: console");
+    assert_eq!(out_on.sim_time, out_off.sim_time, "{label}: final clock");
+
+    // Counter identity: same keys, same values. (The obs-on run also
+    // carries histograms, but those live in a separate map and must
+    // never perturb the counters.)
+    let counters_on: Vec<(&str, u64)> = out_on.stats.iter().collect();
+    let counters_off: Vec<(&str, u64)> = out_off.stats.iter().collect();
+    assert_eq!(counters_on, counters_off, "{label}: counters");
+
+    // Byte-identical trace streams: same events, timestamps, order.
+    assert_eq!(
+        m_on.trace().events(),
+        m_off.trace().events(),
+        "{label}: trace"
+    );
+
+    // And the off side really recorded nothing.
+    assert!(m_off.spans().is_empty(), "{label}: off side has spans");
+    assert_eq!(
+        m_off.observability_stats().hists().count(),
+        0,
+        "{label}: off side has histograms"
+    );
+    (m_on, out_on)
+}
+
+#[test]
+fn observability_is_bit_inert_on_clean_runs() {
+    let (m, out) = assert_sim_identical("clean", None);
+    // The on side did record: one span per host suspension round trip.
+    let expected = out.stats.get("migrations_host_to_nxp") + out.stats.get("returns_host_to_nxp");
+    assert_eq!(m.spans().len(), expected as usize, "span per round trip");
+    // Histograms rode into the outcome without touching counters.
+    let total = out.stats.hist("span:total").expect("span:total histogram");
+    assert_eq!(total.count(), expected);
+    assert!(total.p50() > 0, "round trips take simulated time");
+}
+
+#[test]
+fn observability_is_bit_inert_under_chaos() {
+    for seed in [1u64, 3, 5, 0xD1CE] {
+        assert_sim_identical(
+            &format!("chaos seed {seed}"),
+            Some(FaultPlan::chaos(seed)),
+        );
+    }
+}
+
+#[test]
+fn chaos_replays_identically_with_observability_on() {
+    for seed in [2u64, 7, 0xD1CE] {
+        let (m1, o1) = run_one(true, Some(FaultPlan::chaos(seed)));
+        let (m2, o2) = run_one(true, Some(FaultPlan::chaos(seed)));
+        assert_eq!(o1.exit_code, o2.exit_code, "seed {seed}: exit");
+        assert_eq!(o1.sim_time, o2.sim_time, "seed {seed}: clock");
+        assert_eq!(m1.spans(), m2.spans(), "seed {seed}: spans replay");
+        let h1: Vec<String> = m1
+            .observability_stats()
+            .hists()
+            .map(|(k, h)| format!("{k}: {h}"))
+            .collect();
+        let h2: Vec<String> = m2
+            .observability_stats()
+            .hists()
+            .map(|(k, h)| format!("{k}: {h}"))
+            .collect();
+        assert_eq!(h1, h2, "seed {seed}: histograms replay");
+    }
+}
+
+#[test]
+fn clean_call_span_visits_the_full_pipeline() {
+    let (m, _) = run_one(true, None);
+    let span = m
+        .spans()
+        .iter()
+        .find(|s| s.label == "h2n-call")
+        .expect("at least one call span");
+    let stages: Vec<SpanStage> = span.marks().iter().map(|mk| mk.stage).collect();
+    assert_eq!(
+        stages,
+        vec![
+            SpanStage::NxFault,
+            SpanStage::DescPack,
+            SpanStage::DmaSubmit,
+            SpanStage::NxpDispatch,
+            SpanStage::NxpSubmit,
+            SpanStage::MsiDelivery,
+            SpanStage::Woken,
+        ],
+        "clean call pipeline"
+    );
+    // Marks are monotone in simulated time.
+    for w in span.marks().windows(2) {
+        assert!(w[0].at <= w[1].at, "span time went backwards");
+    }
+    // Queue-depth gauges were sampled on both directions.
+    assert!(m.observability_stats().hist("qdepth:h2n:nxp0").is_some());
+    assert!(m.observability_stats().hist("qdepth:n2h:nxp0").is_some());
+}
+
+/// A 2×2 machine running a fleet must show migrations genuinely in
+/// flight at the same simulated instant — the paper's concurrency
+/// story, now visible per-span.
+#[test]
+fn two_by_two_topology_overlaps_migrations() {
+    let mut m = Machine::builder()
+        .topology(Topology::new(2, 2))
+        .observability(true)
+        .build();
+    let mut pids = Vec::new();
+    for tag in 0..4i64 {
+        let mut p = ProgramBuilder::new("fleet");
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        let lp = main.new_label();
+        main.li(abi::S1, 4);
+        main.bind(lp);
+        main.li(abi::A0, 2_000);
+        main.call("nxp_spin");
+        main.addi(abi::S1, abi::S1, -1);
+        main.bne(abi::S1, abi::ZERO, lp);
+        main.li(abi::A0, tag);
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_spin", TargetIsa::Nxp);
+        let sl = f.new_label();
+        let done = f.new_label();
+        f.li(abi::T0, 0);
+        f.bind(sl);
+        f.bge(abi::T0, abi::A0, done);
+        f.addi(abi::T0, abi::T0, 1);
+        f.jmp(sl);
+        f.bind(done);
+        f.ret();
+        p.func(f.finish());
+        pids.push(m.load_program(&mut p).unwrap());
+    }
+    m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+
+    let spans = m.spans();
+    assert!(spans.len() >= 8, "fleet produced {} spans", spans.len());
+    let mut overlapping = 0usize;
+    for (i, a) in spans.iter().enumerate() {
+        for b in &spans[i + 1..] {
+            if a.pid != b.pid && a.overlaps(b) {
+                overlapping += 1;
+            }
+        }
+    }
+    assert!(
+        overlapping >= 2,
+        "expected concurrent in-flight migrations, found {overlapping} overlapping pairs"
+    );
+
+    // The Perfetto export of this run is valid Chrome-trace JSON with
+    // per-core tracks and per-span async slices.
+    let json = chrome_trace(m.trace(), spans);
+    validate_json(&json).expect("export is valid JSON");
+    assert!(json.contains("\"thread_name\""), "per-core track metadata");
+    assert!(json.contains("host0") && json.contains("nxp1"), "core tracks");
+    assert!(json.contains("\"cat\":\"migration\""), "async span events");
+}
+
+#[test]
+fn export_of_empty_run_is_still_valid_json() {
+    let m = Machine::builder().observability(true).build();
+    let json = chrome_trace(m.trace(), m.spans());
+    validate_json(&json).expect("empty export parses");
+}

@@ -178,6 +178,7 @@ fn descriptor_wire_format_total() {
             cr3: rng.next_u64(),
             nxp_sp: rng.next_u64(),
             seq: rng.next_u64(),
+            span: rng.next_u64(),
         };
         assert_eq!(MigrationDescriptor::from_bytes(&d.to_bytes()), Some(d));
         assert_eq!(
@@ -200,6 +201,7 @@ fn descriptor_checksum_rejects_any_single_byte_flip() {
             cr3: rng.next_u64(),
             nxp_sp: rng.next_u64(),
             seq: rng.next_u64(),
+            span: rng.next_u64(),
         };
         let mut bytes = d.to_bytes();
         let idx = rng.gen_range(0, bytes.len() as u64) as usize;
