@@ -1,0 +1,95 @@
+//! CI bench-regression gate: compares a fresh bench JSON against the
+//! committed baseline (`BENCH_simulator.json`) and fails loudly when a
+//! gated benchmark's `mean_ns` regressed beyond the threshold.
+//!
+//! Only benches that are cheap enough to be stable at 1 sample are
+//! gated — `interpret` (the pure step-loop ceiling the block engine
+//! owns) and `migration_throughput_1nxp` (the end-to-end descriptor
+//! path). A 1-sample smoke run is noisy, so the threshold is generous
+//! (30%): this catches "the fast path fell off a cliff", not 2% drift.
+//!
+//! Usage: `bench_gate <baseline.json> <current.json>`
+
+use std::process::ExitCode;
+
+/// Benchmarks gated against the committed baseline.
+const GATED: [&str; 2] = ["interpret", "migration_throughput_1nxp"];
+
+/// Maximum tolerated `mean_ns` growth over the baseline.
+const MAX_REGRESSION: f64 = 0.30;
+
+/// Extracts `mean_ns` for the bench entry whose name is exactly `name`
+/// from the flat JSON the harness emits. Dependency-free by design: the
+/// match is on the `"name": "<name>"` key so that `interpret` does not
+/// collide with `interpret_100k_instructions`.
+fn mean_ns(json: &str, name: &str) -> Option<u64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let line = json.lines().find(|l| l.contains(&needle))?;
+    let rest = line.split("\"mean_ns\": ").nth(1)?;
+    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: bench_gate <baseline.json> <current.json>");
+        return ExitCode::FAILURE;
+    }
+    let baseline = std::fs::read_to_string(&args[1])
+        .unwrap_or_else(|e| panic!("cannot read baseline {}: {e}", args[1]));
+    let current = std::fs::read_to_string(&args[2])
+        .unwrap_or_else(|e| panic!("cannot read current {}: {e}", args[2]));
+
+    let mut failed = false;
+    for name in GATED {
+        let base = mean_ns(&baseline, name)
+            .unwrap_or_else(|| panic!("baseline has no mean_ns for {name}"));
+        let cur = mean_ns(&current, name)
+            .unwrap_or_else(|| panic!("current run has no mean_ns for {name}"));
+        let ratio = cur as f64 / base as f64;
+        let verdict = if ratio > 1.0 + MAX_REGRESSION {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_gate: {name}: baseline {base}ns, current {cur}ns ({:+.1}%) {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: FAIL — a gated benchmark regressed more than {:.0}% \
+             (re-measure with scripts/bench.sh and update BENCH_simulator.json \
+             only if the slowdown is intended)",
+            MAX_REGRESSION * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("bench_gate: all gated benchmarks within {:.0}%", MAX_REGRESSION * 100.0);
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::mean_ns;
+
+    const SAMPLE: &str = r#"{
+  "samples": 1,
+  "benches": [
+    {"name": "interpret_100k_instructions", "mean_ns": 1198760, "best_ns": 1031501},
+    {"name": "interpret", "mean_ns": 1127794, "best_ns": 1049135},
+    {"name": "migration_throughput_1nxp", "mean_ns": 8400840, "best_ns": 6940299}
+  ]
+}"#;
+
+    #[test]
+    fn exact_name_does_not_match_prefixed_bench() {
+        assert_eq!(mean_ns(SAMPLE, "interpret"), Some(1127794));
+        assert_eq!(mean_ns(SAMPLE, "interpret_100k_instructions"), Some(1198760));
+        assert_eq!(mean_ns(SAMPLE, "migration_throughput_1nxp"), Some(8400840));
+        assert_eq!(mean_ns(SAMPLE, "missing"), None);
+    }
+}

@@ -398,6 +398,7 @@ impl MachineBuilder {
             next_span: 1,
             span_of: HashMap::new(),
             last_nx_fault: HashMap::new(),
+            retired: 0,
             topology,
             mem,
             env,
@@ -458,6 +459,11 @@ pub struct Machine {
     /// the span that opens at the migrate `ioctl` can backdate its
     /// first mark to the trigger.
     last_nx_fault: HashMap<u64, (Picos, usize)>,
+    /// Running total of instructions retired across the whole fleet
+    /// (hosts, NxPs, emulators). Bumped after every `Core::run` so the
+    /// scheduling loop's fuel accounting reads one field instead of
+    /// re-summing every core each iteration.
+    retired: u64,
 }
 
 impl fmt::Debug for Machine {
@@ -820,7 +826,9 @@ impl Machine {
             if used >= fuel {
                 return Err(RunError::FuelExhausted);
             }
+            let before = self.hosts[hc].counters().instructions;
             let stop = self.hosts[hc].run(&mut self.mem, &self.env, quantum.min(fuel - used));
+            self.retired += self.hosts[hc].counters().instructions - before;
             match stop {
                 StopReason::Halt => {
                     let code = self.hosts[hc].reg(abi::A0);
@@ -918,14 +926,20 @@ impl Machine {
     }
 
     fn executed(&self) -> u64 {
-        // Polled every scheduling-loop iteration: read the cores' raw
-        // counters instead of materializing a Stats bag each time.
-        self.hosts
-            .iter()
-            .chain(self.nxps.iter())
-            .chain(self.emus.iter().flatten())
-            .map(|c| c.counters().instructions)
-            .sum()
+        // Polled every scheduling-loop iteration: a running total
+        // maintained at each `Core::run` call site, instead of
+        // re-summing every core in the fleet per poll.
+        debug_assert_eq!(
+            self.retired,
+            self.hosts
+                .iter()
+                .chain(self.nxps.iter())
+                .chain(self.emus.iter().flatten())
+                .map(|c| c.counters().instructions)
+                .sum::<u64>(),
+            "running retired total out of sync with core counters"
+        );
+        self.retired
     }
 
     fn finish(&mut self, hc: usize, pid: u64, code: u64) -> Result<Outcome, RunError> {
@@ -1674,6 +1688,7 @@ impl Machine {
             let before = emu.counters().instructions;
             let stop = emu.run(&mut self.mem, &self.env, left);
             let ran = emu.counters().instructions - before;
+            self.retired += ran;
             left = left.saturating_sub(ran);
             match stop {
                 StopReason::Fault(Exception::InstFault {
@@ -1867,7 +1882,9 @@ impl Machine {
 
         // Run until the thread emits a descriptor toward the host.
         loop {
+            let before = self.nxps[nc].counters().instructions;
             let stop = self.nxps[nc].run(&mut self.mem, &self.env, u64::MAX / 2);
+            self.retired += self.nxps[nc].counters().instructions - before;
             match stop {
                 StopReason::Ecall(s) if s == svc::NXP_MIGRATE_AND_SUSPEND => {
                     let Some(fault_va) = self.nxp_rt.thread_mut(pid).fault_va.take() else {

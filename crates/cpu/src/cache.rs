@@ -124,7 +124,10 @@ impl Cache {
     }
 
     /// The line number `addr` falls in (for callers that memoize the
-    /// last accessed line).
+    /// last accessed line). The block builder precomputes, per decoded
+    /// instruction, whether this value differs from the previous
+    /// instruction's — the new-line flags the block engine replays in
+    /// place of calling into the cache on every fetch.
     pub fn line_index(&self, addr: u64) -> u64 {
         addr >> self.line_shift
     }

@@ -2,7 +2,7 @@
 //! cycle/latency accounting and the Flick exception surface.
 
 use crate::cache::{Cache, CacheConfig};
-use crate::decoded::DecodedCache;
+use crate::decoded::{BlockInst, DecodedBlock, DecodedCache};
 use crate::tlb::{MmuHole, Tlb, TlbEntry};
 use crate::MemEnv;
 use flick_isa::inst::AluOp;
@@ -12,6 +12,7 @@ use flick_paging::{walk, WalkError};
 use flick_sim::trace::Side;
 use flick_sim::{Clock, Hertz, Picos, Stats};
 use std::fmt;
+use std::sync::Arc;
 
 /// Cycles charged per instruction class (before memory stalls).
 #[derive(Clone, Copy, Debug)]
@@ -338,6 +339,12 @@ struct FetchFrame {
     itlb_gen: u64,
 }
 
+/// Entries in the core's front block cache ([`Core::last_blocks`]).
+/// Sized for the loop shapes the workloads actually run: a loop body
+/// split by its exit branch is two blocks, a call-in-a-loop is three
+/// or four. Lookup is a linear scan, so this must stay tiny.
+const FRONT_BLOCKS: usize = 4;
+
 /// One interpreting core.
 pub struct Core {
     cfg: CoreConfig,
@@ -352,6 +359,16 @@ pub struct Core {
     holes: Vec<MmuHole>,
     counters: CoreCounters,
     decoded: DecodedCache,
+    /// Small front cache over [`DecodedCache`]'s block store: the most
+    /// recently executed blocks, keyed by physical start address and
+    /// the text generation each was decoded under. Hot loops cycle
+    /// through a handful of blocks (a loop body split by its branch is
+    /// already two); hitting here skips the basket lookup and all `Arc`
+    /// reference traffic (the block is *moved* out and back). Misses
+    /// fall through to the shared cache and land in round-robin order.
+    last_blocks: [Option<(u64, u64, Arc<DecodedBlock>)>; FRONT_BLOCKS],
+    /// Round-robin insert cursor for `last_blocks`.
+    front_cursor: u8,
     /// Last-fetch translation memo (fast path only; see [`FetchFrame`]).
     fetch_frame: Option<FetchFrame>,
     /// `isa.fetch_align() - 1`, cached so the per-fetch alignment check
@@ -384,6 +401,8 @@ impl Core {
             holes: Vec::new(),
             counters: CoreCounters::default(),
             decoded: DecodedCache::new(),
+            last_blocks: [const { None }; FRONT_BLOCKS],
+            front_cursor: 0,
             fetch_frame: None,
             fetch_align_mask: cfg.isa.fetch_align() - 1,
             cfg,
@@ -445,21 +464,26 @@ impl Core {
     }
 
     /// Loads a new page-table base, flushing both TLBs (as a CR3 write
-    /// does) and the host-side decoded-instruction cache.
+    /// does). The decoded-instruction cache survives: it is keyed by
+    /// *physical* address and every cached page is watched in `PhysMem`,
+    /// so translation changes cannot alias it and text changes bump the
+    /// generation it validates against. (Clearing it here used to cost
+    /// migration-heavy workloads a full re-decode per context switch.)
     pub fn set_cr3(&mut self, cr3: PhysAddr) {
         self.cr3 = cr3;
         self.itlb.flush();
         self.dtlb.flush();
-        self.decoded.clear();
         self.fetch_frame = None;
     }
 
-    /// Flushes both TLBs without changing CR3 (mprotect shootdown), plus
-    /// the host-side decoded-instruction cache.
+    /// Flushes both TLBs without changing CR3 (mprotect shootdown). As
+    /// with [`set_cr3`](Self::set_cr3) the decoded cache is untouched:
+    /// permission changes are enforced by the fetch path (the fetch memo
+    /// is dropped here, so the next fetch re-walks and re-checks NX),
+    /// not by the PA-keyed decode memo.
     pub fn flush_tlbs(&mut self) {
         self.itlb.flush();
         self.dtlb.flush();
-        self.decoded.clear();
         self.fetch_frame = None;
     }
 
@@ -469,6 +493,7 @@ impl Core {
         // Holes take priority over TLB translations, so a memoized fetch
         // translation may no longer be how this VA resolves.
         self.fetch_frame = None;
+        self.last_blocks = [const { None }; FRONT_BLOCKS];
     }
 
     /// Captures the thread-visible CPU state.
@@ -965,12 +990,470 @@ impl Core {
 
     /// Runs until a stop event or `fuel` instructions.
     pub fn run(&mut self, mem: &mut PhysMem, env: &MemEnv, fuel: u64) -> StopReason {
+        if self.cfg.fast_path {
+            return self.run_blocks(mem, env, fuel);
+        }
         for _ in 0..fuel {
             if let Err(stop) = self.step(mem, env) {
                 return stop;
             }
         }
         StopReason::OutOfFuel
+    }
+
+    /// Block-at-a-time run loop (fast path only). Executes decoded
+    /// basic blocks where the per-block validation holds, and falls
+    /// back to [`step`](Self::step) for everything else — cold pages,
+    /// page-spanning instructions, MMU holes, pre-link text. Fuel is
+    /// still charged per instruction, so `OutOfFuel` lands on exactly
+    /// the same instruction as the step loop.
+    fn run_blocks(&mut self, mem: &mut PhysMem, env: &MemEnv, fuel: u64) -> StopReason {
+        let mut left = fuel;
+        while left > 0 {
+            match self.block_step(mem, env, &mut left) {
+                Ok(true) => {}
+                Ok(false) => {
+                    // One slow-path step: raises the fault the block
+                    // path declined to classify, installs the fetch
+                    // memo the next block entry validates against.
+                    if let Err(stop) = self.step(mem, env) {
+                        return stop;
+                    }
+                    left -= 1;
+                }
+                Err(stop) => return stop,
+            }
+        }
+        StopReason::OutOfFuel
+    }
+
+    /// Attempts one block execution at the current PC. Returns
+    /// `Ok(false)` — with **zero** simulated side effects — when the
+    /// per-block validation fails or no block starts here, so the
+    /// caller can replay the instruction through `step` without
+    /// double-charging anything.
+    ///
+    /// Validation is the per-instruction fetch fast path hoisted to
+    /// block granularity, checked once against state that cannot change
+    /// mid-block:
+    /// - no MMU holes (holes shadow TLB translations);
+    /// - the fetch memo covers the PC's page with a current I-TLB
+    ///   generation (data-side walks fill only the D-TLB, and
+    ///   flushes/CR3 loads/hole edits never happen inside `run`, so the
+    ///   generation is stable until the block ends);
+    /// - the PC is fetch-aligned (blocks only contain decode points
+    ///   that preserve alignment, so this holds for every instruction
+    ///   in the block);
+    /// - the decoded block's text generation is current (any store to a
+    ///   watched text frame bumps it; `exec_block` re-checks after
+    ///   every store).
+    fn block_step(
+        &mut self,
+        mem: &mut PhysMem,
+        env: &MemEnv,
+        left: &mut u64,
+    ) -> Result<bool, StopReason> {
+        if !self.holes.is_empty() {
+            return Ok(false);
+        }
+        let Some(fc) = self.fetch_frame else {
+            return Ok(false);
+        };
+        let pc = self.pc;
+        if fc.va_page != pc.page_base().as_u64()
+            || fc.itlb_gen != self.itlb.generation()
+            || pc.as_u64() & self.fetch_align_mask != 0
+        {
+            return Ok(false);
+        }
+        let pa = PhysAddr(fc.pa_page | pc.page_offset());
+        let text_gen = mem.text_gen();
+        // Front cache: hot loops cycle through a handful of blocks (a
+        // spin loop split by its branch alternates between two). A hit
+        // *moves* the Arc out and back into its slot, so steady-state
+        // execution does no reference counting and never touches the
+        // shared baskets; the (pa, text_gen) key gives the front cache
+        // exactly the shared cache's validation. Stale-generation
+        // entries can never hit (the generation only grows) and age out
+        // by round-robin replacement.
+        let hit = self.last_blocks.iter().position(
+            |e| matches!(e, Some((bpa, bgen, _)) if *bpa == pa.as_u64() && *bgen == text_gen),
+        );
+        let (slot, block) = match hit {
+            Some(i) => {
+                let (_, _, b) = self.last_blocks[i].take().expect("hit slot is occupied");
+                (i, b)
+            }
+            None => {
+                let b = match self.decoded.get_block(pa, text_gen) {
+                    Some(b) => b,
+                    None => {
+                        let Some(b) = self.build_block(fc.pa_page, pc.page_offset(), mem)
+                        else {
+                            return Ok(false);
+                        };
+                        let b = Arc::new(b);
+                        mem.watch_text(pa);
+                        self.decoded.put_block(pa, Arc::clone(&b));
+                        b
+                    }
+                };
+                let i = self.front_cursor as usize;
+                self.front_cursor = (self.front_cursor + 1) % FRONT_BLOCKS as u8;
+                (i, b)
+            }
+        };
+        let res = self.exec_block(&block, &fc, mem, env, text_gen, left);
+        self.last_blocks[slot] = Some((pa.as_u64(), text_gen, block));
+        res.map(|()| true)
+    }
+
+    /// Decodes a basic block starting at page offset `start_off` of
+    /// frame `pa_page`: straight-line instructions up to and including
+    /// the first control transfer, stopping early (exclusive) at
+    /// anything the step path must handle itself — page-spanning or
+    /// undecodable bytes, pre-link `LiSym`, or a next-PC that would
+    /// fault the alignment check. Returns `None` when not even the
+    /// first instruction qualifies.
+    ///
+    /// Pure host work: reads text bytes without simulated charges and
+    /// precomputes each instruction's CPI cycles and I-cache
+    /// line-crossing flag for replay.
+    fn build_block(&self, pa_page: u64, start_off: u64, mem: &PhysMem) -> Option<DecodedBlock> {
+        let cpi = self.cfg.cpi;
+        let mut insts = Vec::new();
+        let mut off = start_off;
+        let mut prev_line = 0u64;
+        loop {
+            let avail = ((PAGE_SIZE - off) as usize).min(16);
+            let mut buf = [0u8; 16];
+            mem.read_bytes(PhysAddr(pa_page | off), &mut buf[..avail]);
+            // Decode failures (illegal bytes, page-spanning truncation)
+            // end the block *before* the offending point; the step path
+            // raises the right fault or replays the next-page charges.
+            let Ok((inst, len)) = self.cfg.isa.decode(&buf[..avail]) else {
+                break;
+            };
+            if matches!(inst, Inst::LiSym { .. }) {
+                break; // pre-link text: step raises Illegal
+            }
+            let cycles = match inst {
+                Inst::Alu { op, .. } | Inst::AluImm { op, .. } => match op {
+                    AluOp::Mul => cpi.mul,
+                    AluOp::Divu | AluOp::Remu => cpi.div,
+                    _ => cpi.alu,
+                },
+                Inst::Li { .. } | Inst::Nop | Inst::Halt => cpi.alu,
+                Inst::Ld { .. } | Inst::St { .. } => cpi.mem,
+                Inst::Branch { .. } => cpi.branch,
+                Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Ret => cpi.jump,
+                Inst::Ecall { .. } => cpi.ecall,
+                Inst::LiSym { .. } => unreachable!("filtered above"),
+            };
+            let line = self.icache.line_index(pa_page | off);
+            insts.push(BlockInst {
+                inst,
+                off: off as u16,
+                next_off: (off + len as u64) as u16,
+                cycles,
+                // Exactly what one `Clock::tick(cycles)` call adds.
+                picos: self.clock.freq().cycles(cycles).0,
+                new_line: !insts.is_empty() && line != prev_line,
+            });
+            prev_line = line;
+            let terminator = matches!(
+                inst,
+                Inst::Branch { .. }
+                    | Inst::Jal { .. }
+                    | Inst::Jalr { .. }
+                    | Inst::Ret
+                    | Inst::Ecall { .. }
+                    | Inst::Halt
+            );
+            off += len as u64;
+            if terminator || off >= PAGE_SIZE || off & self.fetch_align_mask != 0 {
+                break;
+            }
+        }
+        if insts.is_empty() {
+            None
+        } else {
+            let total_cycles = insts.iter().map(|bi| bi.cycles).sum();
+            let total_picos = insts.iter().map(|bi| bi.picos).sum();
+            let mem_free = insts
+                .iter()
+                .all(|bi| !matches!(bi.inst, Inst::Ld { .. } | Inst::St { .. }));
+            Some(DecodedBlock {
+                insts,
+                total_cycles,
+                total_picos,
+                mem_free,
+            })
+        }
+    }
+
+    /// Executes a validated block, charging simulated time exactly as
+    /// the step loop would:
+    ///
+    /// - **Fetch charges** replay the memoized fetch-frame path: the
+    ///   first instruction charges the I-cache iff its line differs
+    ///   from the memo's `line` (the last line actually fetched); later
+    ///   instructions use the precomputed `new_line` flags, which
+    ///   encode the same line-change comparison. The memo's `line` is
+    ///   updated on every charge, so an early exit (fault, fuel,
+    ///   self-modifying store) leaves it exactly where the step loop
+    ///   would have.
+    /// - **Fuel** decrements per instruction, checked *before* each
+    ///   one: running dry mid-block stops with the PC at the first
+    ///   unexecuted instruction and none of its charges applied.
+    /// - **PC** is advanced after each instruction, so a data fault on
+    ///   the Nth instruction leaves the PC pointing at it, exactly like
+    ///   `step`.
+    /// - A **store** that bumps the text generation (self-modifying
+    ///   code into any watched frame) ends the block after the store
+    ///   retires; the next `block_step` misses on the stale generation
+    ///   and re-decodes fresh bytes, which is precisely what the
+    ///   per-instruction `DecodedCache::get` does.
+    fn exec_block(
+        &mut self,
+        block: &DecodedBlock,
+        fc: &FetchFrame,
+        mem: &mut PhysMem,
+        env: &MemEnv,
+        text_gen: u64,
+        left: &mut u64,
+    ) -> Result<(), StopReason> {
+        let va_page = fc.va_page;
+        let pa_page = fc.pa_page;
+        // The per-instruction bookkeeping — PC, fuel, retired count,
+        // tick time — lives in locals so the loop keeps it in
+        // registers; everything is flushed exactly once below, at every
+        // kind of exit. `credit` applies the tick time with per-call
+        // rounding already baked into `BlockInst::picos`, and stall
+        // charges inside `charge_fetch`/`mem_read`/`mem_write` add to
+        // the clock directly — addition commutes, so the flushed total
+        // is bit-identical to step-at-a-time ticking.
+        let mut pc = self.pc.as_u64();
+        let mut fuel = *left;
+        let mut first = true;
+        // Fast lane: a memory-free block entered with fuel for every
+        // instruction cannot exit early — ALU and control instructions
+        // never fault, the fuel check cannot trip, and `ecall`/`halt`
+        // terminators are always last — so every instruction retires
+        // and the per-instruction retired/fuel/cycle/pico arithmetic
+        // collapses into the block totals precomputed at decode time.
+        // Fetch charges and architectural effects still replay per
+        // instruction, in order, so the observable sequence (clock
+        // stalls, stats, memo line updates) is unchanged.
+        let n = block.insts.len() as u64;
+        if block.mem_free && fuel >= n {
+            let mut stop = None;
+            for bi in &block.insts {
+                let charge = if first {
+                    first = false;
+                    self.icache.line_index(pa_page | bi.off as u64) != fc.line
+                } else {
+                    bi.new_line
+                };
+                if charge {
+                    let pa = PhysAddr(pa_page | bi.off as u64);
+                    self.charge_fetch(pa, env);
+                    let line = self.icache.line_index(pa.as_u64());
+                    if let Some(fc) = &mut self.fetch_frame {
+                        fc.line = line;
+                    }
+                }
+                let next = va_page + bi.next_off as u64;
+                match bi.inst {
+                    Inst::Alu { op, rd, rs1, rs2 } => {
+                        let v = op.eval(self.reg(rs1), self.reg(rs2));
+                        self.set_reg(rd, v);
+                        pc = next;
+                    }
+                    Inst::AluImm { op, rd, rs1, imm } => {
+                        let v = op.eval(self.reg(rs1), imm as i64 as u64);
+                        self.set_reg(rd, v);
+                        pc = next;
+                    }
+                    Inst::Li { rd, imm } => {
+                        self.set_reg(rd, imm as u64);
+                        pc = next;
+                    }
+                    Inst::Branch { op, rs1, rs2, target } => {
+                        let taken = op.eval(self.reg(rs1), self.reg(rs2));
+                        pc = if taken {
+                            let pc_va = va_page + bi.off as u64;
+                            (pc_va as i64 + rel_of(target)) as u64
+                        } else {
+                            next
+                        };
+                    }
+                    Inst::Jal { rd, target } => {
+                        self.set_reg(rd, next);
+                        let pc_va = va_page + bi.off as u64;
+                        pc = (pc_va as i64 + rel_of(target)) as u64;
+                    }
+                    Inst::Jalr { rd, rs1, off } => {
+                        let dest = self.reg(rs1).wrapping_add(off as i64 as u64);
+                        self.set_reg(rd, next);
+                        pc = dest;
+                    }
+                    Inst::Ret => {
+                        pc = self.reg(abi::RA);
+                    }
+                    Inst::Ecall { service } => {
+                        // Terminator: always the block's last
+                        // instruction, so recording the stop (instead
+                        // of breaking) changes nothing.
+                        pc = next;
+                        stop = Some(StopReason::Ecall(service));
+                    }
+                    Inst::Halt => {
+                        pc = next;
+                        stop = Some(StopReason::Halt);
+                    }
+                    Inst::Nop => {
+                        pc = next;
+                    }
+                    Inst::Ld { .. } | Inst::St { .. } | Inst::LiSym { .. } => {
+                        unreachable!("excluded from mem-free blocks at build")
+                    }
+                }
+            }
+            self.pc = VirtAddr(pc);
+            *left = fuel - n;
+            self.counters.instructions += n;
+            self.clock.credit(block.total_cycles, Picos(block.total_picos));
+            return match stop {
+                None => Ok(()),
+                Some(s) => Err(s),
+            };
+        }
+        let mut retired = 0u64;
+        let mut cycles = 0u64;
+        let mut picos = 0u64;
+        // `Ok(None)`: block ended or was cut short (fuel, self-modified
+        // text) with execution simply continuing at `pc`.
+        let res: Result<Option<StopReason>, Exception> = 'blk: {
+            for bi in &block.insts {
+                if fuel == 0 {
+                    break 'blk Ok(None);
+                }
+                let charge = if first {
+                    first = false;
+                    self.icache.line_index(pa_page | bi.off as u64) != fc.line
+                } else {
+                    bi.new_line
+                };
+                if charge {
+                    let pa = PhysAddr(pa_page | bi.off as u64);
+                    self.charge_fetch(pa, env);
+                    let line = self.icache.line_index(pa.as_u64());
+                    if let Some(fc) = &mut self.fetch_frame {
+                        fc.line = line;
+                    }
+                }
+                retired += 1;
+                fuel -= 1;
+                cycles += bi.cycles;
+                picos += bi.picos;
+                let next = va_page + bi.next_off as u64;
+                match bi.inst {
+                    Inst::Alu { op, rd, rs1, rs2 } => {
+                        let v = op.eval(self.reg(rs1), self.reg(rs2));
+                        self.set_reg(rd, v);
+                        pc = next;
+                    }
+                    Inst::AluImm { op, rd, rs1, imm } => {
+                        let v = op.eval(self.reg(rs1), imm as i64 as u64);
+                        self.set_reg(rd, v);
+                        pc = next;
+                    }
+                    Inst::Li { rd, imm } => {
+                        self.set_reg(rd, imm as u64);
+                        pc = next;
+                    }
+                    Inst::Ld { rd, base, off, size } => {
+                        let va = VirtAddr(self.reg(base).wrapping_add(off as i64 as u64));
+                        match self.mem_read(va, size, mem, env) {
+                            Ok(v) => {
+                                self.set_reg(rd, v);
+                                pc = next;
+                            }
+                            // `pc` still points at this instruction.
+                            Err(e) => break 'blk Err(e),
+                        }
+                    }
+                    Inst::St { rs, base, off, size } => {
+                        let va = VirtAddr(self.reg(base).wrapping_add(off as i64 as u64));
+                        let v = self.reg(rs);
+                        match self.mem_write(va, size, v, mem, env) {
+                            Ok(()) => pc = next,
+                            Err(e) => break 'blk Err(e),
+                        }
+                        if mem.text_gen() != text_gen {
+                            // Self-modifying text: the rest of this
+                            // block may be stale. Stop here; the next
+                            // block_step re-decodes under the new
+                            // generation.
+                            break 'blk Ok(None);
+                        }
+                    }
+                    Inst::Branch { op, rs1, rs2, target } => {
+                        let taken = op.eval(self.reg(rs1), self.reg(rs2));
+                        pc = if taken {
+                            let pc_va = va_page + bi.off as u64;
+                            (pc_va as i64 + rel_of(target)) as u64
+                        } else {
+                            next
+                        };
+                    }
+                    Inst::Jal { rd, target } => {
+                        self.set_reg(rd, next);
+                        let pc_va = va_page + bi.off as u64;
+                        pc = (pc_va as i64 + rel_of(target)) as u64;
+                    }
+                    Inst::Jalr { rd, rs1, off } => {
+                        let dest = self.reg(rs1).wrapping_add(off as i64 as u64);
+                        self.set_reg(rd, next);
+                        pc = dest;
+                    }
+                    Inst::Ret => {
+                        pc = self.reg(abi::RA);
+                    }
+                    Inst::Ecall { service } => {
+                        pc = next;
+                        break 'blk Ok(Some(StopReason::Ecall(service)));
+                    }
+                    Inst::Halt => {
+                        pc = next;
+                        break 'blk Ok(Some(StopReason::Halt));
+                    }
+                    Inst::Nop => {
+                        pc = next;
+                    }
+                    Inst::LiSym { .. } => {
+                        // build_block never includes LiSym; mirror
+                        // `step`'s fault anyway so the arm is total.
+                        debug_assert!(false, "LiSym inside a decoded block");
+                        break 'blk Err(Exception::InstFault {
+                            va: VirtAddr(va_page + bi.off as u64),
+                            kind: InstFaultKind::Illegal,
+                        });
+                    }
+                }
+            }
+            Ok(None)
+        };
+        self.pc = VirtAddr(pc);
+        *left = fuel;
+        self.counters.instructions += retired;
+        self.clock.credit(cycles, Picos(picos));
+        match res {
+            Ok(None) => Ok(()),
+            Ok(Some(stop)) => Err(stop),
+            Err(e) => Err(StopReason::Fault(e)),
+        }
     }
 }
 

@@ -6,51 +6,119 @@
 //! never change. This cache memoizes the decoder's output keyed by
 //! *physical* address — per-page baskets of `(offset → (Inst, len))`
 //! slots, after terminus's `ICache`/`ICacheBasket` — so a hot loop
-//! fetches at array-index speed.
+//! fetches at array-index speed. Baskets also record [`DecodedBlock`]s:
+//! straight-line instruction runs the core's block-execution loop
+//! replays without re-entering fetch or dispatch per instruction (see
+//! `Core::run` in [`core_`](crate::core_)).
 //!
 //! Keying by physical address keeps the cache honest across address
 //! spaces: the same text frame decoded through two mappings shares one
-//! basket, and remaps cannot alias stale decodes. Two invalidation
-//! mechanisms keep it coherent:
+//! basket, and remaps cannot alias stale decodes. That key choice also
+//! means the cache needs exactly one invalidation mechanism — **text
+//! writes**: every cached page is marked *watched* in
+//! [`PhysMem`](flick_mem::PhysMem); any write into a watched frame
+//! bumps the store's `text_gen`. [`DecodedCache::get`] compares that
+//! generation against its snapshot — one `u64` compare per fetch —
+//! and drops everything on mismatch. Self-modifying or reloaded code
+//! is therefore never served stale.
 //!
-//! - **Text writes**: every cached page is marked *watched* in
-//!   [`PhysMem`](flick_mem::PhysMem); any write into a watched frame
-//!   bumps the store's `text_gen`. [`DecodedCache::get`] compares that
-//!   generation against its snapshot — one `u64` compare per fetch —
-//!   and drops everything on mismatch. Self-modifying or reloaded code
-//!   is therefore never served stale.
-//! - **Structural events**: the owning core clears the cache outright on
-//!   CR3 switches and TLB flushes/shootdowns (mprotect NX flips flow
-//!   through those). This is belt-and-braces — permissions are
-//!   re-checked by `translate_exec` on every fetch regardless, the
-//!   cache only short-circuits the byte read + decode.
+//! CR3 switches and TLB flushes/shootdowns deliberately do *not* touch
+//! the cache: decode is a pure function of text bytes, so translation
+//! changes cannot invalidate a physically-keyed decode, and permission
+//! changes (mprotect NX flips) are enforced by the fetch path, which
+//! re-walks and re-checks on every fetch-frame fill. Keeping decodes
+//! across context switches is what lets migration-heavy workloads run
+//! at fast-path speed — each switch used to force a full re-decode of
+//! both processes' hot loops.
+//!
+//! Baskets are organised as hashed, 2-way set-associative sets: the
+//! page frame number is Fibonacci-hashed into a set index, and each set
+//! holds two baskets with LRU replacement. Direct mapping by `pfn %
+//! baskets` let two hot text pages a power-of-two stride apart ping-pong
+//! one basket and re-decode forever; the hash decorrelates strides and
+//! the second way absorbs the pathological pair.
 //!
 //! The cache is purely a *host* optimization: hits and misses here are
 //! invisible to the simulated machine. Simulated I-TLB/I-cache charging
 //! still runs on every fetch, so clocks, stats, and traces are
-//! bit-identical with the cache on or off (`tests/fastpath.rs` enforces
-//! this).
+//! bit-identical with the cache on or off (`tests/fastpath.rs` and
+//! `tests/blocks.rs` enforce this).
 
 use flick_isa::Inst;
 use flick_mem::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
+use std::sync::Arc;
 
-/// Direct-mapped basket count. Conflicts only cost host time (re-decode
-/// on the next fetch), so a small power of two covering the text working
+/// Number of basket sets. Conflicts only cost host time (re-decode on
+/// the next fetch), so a small power of two covering the text working
 /// set of both cores is enough.
-const BASKETS: usize = 32;
+const SETS: usize = 32;
+
+/// Ways per set.
+const WAYS: usize = 2;
 
 /// Tag value meaning "basket holds no page".
 const NO_PAGE: u64 = u64::MAX;
 
 type Slot = Option<(Inst, u8)>;
 
-/// One cached text page: decoded instructions by page offset.
+/// One pre-decoded instruction of a [`DecodedBlock`], with everything
+/// the block-execution loop needs resolved at decode time.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockInst {
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Page offset of the instruction's first byte.
+    pub off: u16,
+    /// Page offset of the *next* instruction (`off + len`).
+    pub next_off: u16,
+    /// Base cycles this instruction ticks (its CPI class, with the
+    /// ALU-op subclass already resolved).
+    pub cycles: u64,
+    /// `cycles` converted to picoseconds with the exact per-call
+    /// rounding of `Clock::tick`, so the block loop can accumulate
+    /// time in a register and flush it once per block bit-identically.
+    pub picos: u64,
+    /// True when this instruction starts on a different I-cache line
+    /// than its predecessor in the block — the points where the
+    /// memoized fetch path would charge the I-cache. The first
+    /// instruction's charge depends on the incoming fetch memo, so it
+    /// is decided at execution time instead.
+    pub new_line: bool,
+}
+
+/// A decoded basic block: a straight-line instruction run within one
+/// page, ending at the first control transfer (branch/jump/`ecall`/
+/// `halt`), at the page boundary, or just before anything the step path
+/// must handle itself (page-spanning, undecodable, misaligned or
+/// pre-link instructions).
+#[derive(Debug)]
+pub struct DecodedBlock {
+    /// The instructions, in execution order. Never empty.
+    pub insts: Vec<BlockInst>,
+    /// Sum of every instruction's `cycles` — the whole-block charge
+    /// when nothing can cut the block short.
+    pub total_cycles: u64,
+    /// Sum of every instruction's `picos`. Each summand already
+    /// carries `Clock::tick`'s per-call rounding, so charging this
+    /// total once equals ticking instruction by instruction.
+    pub total_picos: u64,
+    /// True when the block contains no loads or stores. Such a block,
+    /// entered with fuel for every instruction, cannot exit early —
+    /// ALU and control instructions never fault and terminators are
+    /// always last — so the execution loop batches its per-instruction
+    /// accounting into the totals above.
+    pub mem_free: bool,
+}
+
+/// One cached text page: decoded instructions and blocks by page offset.
 struct Basket {
     /// Physical frame number this basket caches, or [`NO_PAGE`].
     tag: u64,
     /// One slot per byte offset (x64-style text places instructions at
     /// arbitrary byte offsets).
     slots: Vec<Slot>,
+    /// Decoded blocks by the page offset of their first instruction.
+    blocks: Vec<Option<Arc<DecodedBlock>>>,
 }
 
 impl Basket {
@@ -58,14 +126,31 @@ impl Basket {
         Basket {
             tag: NO_PAGE,
             slots: vec![None; PAGE_SIZE as usize],
+            blocks: vec![None; PAGE_SIZE as usize],
         }
     }
+}
+
+/// One associative set: its ways plus which way was used last (the
+/// other one is the eviction victim).
+struct BasketSet {
+    ways: [Option<Box<Basket>>; WAYS],
+    mru: u8,
+}
+
+/// Fibonacci hash of a page frame number into a set index. The
+/// multiplicative constant spreads arithmetic pfn progressions (text
+/// segments are contiguous, collisions used to be exact power-of-two
+/// strides) across the whole set array.
+fn set_of(pfn: u64) -> usize {
+    const SHIFT: u32 = u64::BITS - SETS.trailing_zeros();
+    (pfn.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> SHIFT) as usize
 }
 
 /// Physically-indexed decoded-instruction cache. See the module docs for
 /// keying and invalidation rules.
 pub struct DecodedCache {
-    baskets: Vec<Option<Box<Basket>>>,
+    sets: Vec<BasketSet>,
     /// `PhysMem::text_gen` snapshot the cached decodes were taken at.
     gen: u64,
 }
@@ -80,26 +165,62 @@ impl DecodedCache {
     /// Creates an empty cache. Baskets are allocated lazily, so idle
     /// cores (the degraded-mode emulator until link death) cost nothing.
     pub fn new() -> Self {
-        let mut baskets = Vec::with_capacity(BASKETS);
-        baskets.resize_with(BASKETS, || None);
-        DecodedCache { baskets, gen: 0 }
+        let mut sets = Vec::with_capacity(SETS);
+        sets.resize_with(SETS, || BasketSet {
+            ways: [None, None],
+            mru: 0,
+        });
+        DecodedCache { sets, gen: 0 }
     }
 
-    /// Looks up the decoded instruction at physical address `pa`,
-    /// validating against the current text generation. A generation
-    /// mismatch (some watched frame was written since the snapshot)
-    /// drops the whole cache and re-snapshots.
-    pub fn get(&mut self, pa: PhysAddr, text_gen: u64) -> Option<(Inst, u8)> {
+    /// Checks the generation snapshot; a mismatch (some watched frame
+    /// was written since) drops the whole cache and re-snapshots.
+    /// Returns false when the caller's lookup must miss.
+    fn check_gen(&mut self, text_gen: u64) -> bool {
         if text_gen != self.gen {
             self.clear();
             self.gen = text_gen;
-            return None;
+            return false;
         }
-        let pfn = pa.as_u64() >> PAGE_SHIFT;
-        let basket = self.baskets[(pfn as usize) % BASKETS].as_ref()?;
+        true
+    }
+
+    /// Finds the way holding `pfn` in its set and marks it
+    /// most-recently-used.
+    fn find(&mut self, pfn: u64) -> Option<&Basket> {
+        let set = &mut self.sets[set_of(pfn)];
+        let w = (0..WAYS)
+            .find(|&w| set.ways[w].as_ref().is_some_and(|b| b.tag == pfn))?;
+        set.mru = w as u8;
+        set.ways[w].as_deref()
+    }
+
+    /// Finds or claims the basket for `pfn`: a tag match, else an empty
+    /// way, else the LRU way (repurposed and scrubbed).
+    fn claim(&mut self, pfn: u64) -> &mut Basket {
+        let set = &mut self.sets[set_of(pfn)];
+        let w = (0..WAYS)
+            .find(|&w| set.ways[w].as_ref().is_some_and(|b| b.tag == pfn))
+            .or_else(|| (0..WAYS).find(|&w| set.ways[w].is_none()))
+            .unwrap_or(1 - set.mru as usize);
+        set.mru = w as u8;
+        let basket = set.ways[w].get_or_insert_with(|| Box::new(Basket::new()));
         if basket.tag != pfn {
+            // Conflict (or first use): repurpose the basket.
+            basket.slots.fill(None);
+            basket.blocks.fill(None);
+            basket.tag = pfn;
+        }
+        basket
+    }
+
+    /// Looks up the decoded instruction at physical address `pa`,
+    /// validating against the current text generation.
+    pub fn get(&mut self, pa: PhysAddr, text_gen: u64) -> Option<(Inst, u8)> {
+        if !self.check_gen(text_gen) {
             return None;
         }
+        let basket = self.find(pa.as_u64() >> PAGE_SHIFT)?;
         basket.slots[(pa.as_u64() & (PAGE_SIZE - 1)) as usize]
     }
 
@@ -115,22 +236,45 @@ impl DecodedCache {
             (pa.as_u64() & (PAGE_SIZE - 1)) + len as u64 <= PAGE_SIZE,
             "page-spanning instructions are not cacheable"
         );
-        let pfn = pa.as_u64() >> PAGE_SHIFT;
-        let basket =
-            self.baskets[(pfn as usize) % BASKETS].get_or_insert_with(|| Box::new(Basket::new()));
-        if basket.tag != pfn {
-            // Conflict (or first use): repurpose the basket.
-            basket.slots.fill(None);
-            basket.tag = pfn;
-        }
+        let basket = self.claim(pa.as_u64() >> PAGE_SHIFT);
         basket.slots[(pa.as_u64() & (PAGE_SIZE - 1)) as usize] = Some((inst, len));
     }
 
+    /// Looks up the decoded block starting at physical address `pa`,
+    /// with the same generation validation as [`get`](Self::get).
+    pub fn get_block(&mut self, pa: PhysAddr, text_gen: u64) -> Option<Arc<DecodedBlock>> {
+        if !self.check_gen(text_gen) {
+            return None;
+        }
+        let basket = self.find(pa.as_u64() >> PAGE_SHIFT)?;
+        basket.blocks[(pa.as_u64() & (PAGE_SIZE - 1)) as usize].clone()
+    }
+
+    /// Records a decoded block starting at `pa`. Same caller contract
+    /// as [`put`](Self::put): the generation snapshot must be current,
+    /// and the block must lie entirely within one page.
+    pub fn put_block(&mut self, pa: PhysAddr, block: Arc<DecodedBlock>) {
+        debug_assert!(!block.insts.is_empty(), "blocks are never empty");
+        debug_assert!(
+            block
+                .insts
+                .iter()
+                .all(|bi| bi.off as u64 >= pa.as_u64() & (PAGE_SIZE - 1)
+                    && bi.next_off as u64 <= PAGE_SIZE),
+            "blocks must lie within their page"
+        );
+        let basket = self.claim(pa.as_u64() >> PAGE_SHIFT);
+        basket.blocks[(pa.as_u64() & (PAGE_SIZE - 1)) as usize] = Some(block);
+    }
+
     /// Drops every cached decode (CR3 switch, TLB flush/shootdown).
-    /// O(baskets): slots are lazily scrubbed when a basket is reused.
+    /// O(sets): slots and blocks are lazily scrubbed when a basket is
+    /// reused.
     pub fn clear(&mut self) {
-        for b in self.baskets.iter_mut().flatten() {
-            b.tag = NO_PAGE;
+        for set in &mut self.sets {
+            for b in set.ways.iter_mut().flatten() {
+                b.tag = NO_PAGE;
+            }
         }
     }
 }
@@ -145,6 +289,39 @@ mod tests {
             rd: Reg::new(1),
             imm: i as i64,
         }
+    }
+
+    fn block(off: u16) -> Arc<DecodedBlock> {
+        Arc::new(DecodedBlock {
+            insts: vec![BlockInst {
+                inst: Inst::Halt,
+                off,
+                next_off: off + 1,
+                cycles: 1,
+                picos: 417,
+                new_line: false,
+            }],
+            total_cycles: 1,
+            total_picos: 417,
+            mem_free: true,
+        })
+    }
+
+    /// Three pfns that hash into the same set (sharing one set of two
+    /// ways forces an eviction on the third).
+    fn colliding_pfns() -> [u64; 3] {
+        let first = 1u64;
+        let mut found = [first; 3];
+        let mut n = 1;
+        let mut pfn = first + 1;
+        while n < 3 {
+            if set_of(pfn) == set_of(first) {
+                found[n] = pfn;
+                n += 1;
+            }
+            pfn += 1;
+        }
+        found
     }
 
     #[test]
@@ -162,26 +339,65 @@ mod tests {
         c.get(PhysAddr(0x1000), 0);
         c.put(PhysAddr(0x1000), inst(1), 4);
         c.put(PhysAddr(0x2000), inst(2), 4);
+        c.put_block(PhysAddr(0x1000), block(0));
         assert_eq!(c.get(PhysAddr(0x1000), 1), None, "stale gen must miss");
         assert_eq!(c.get(PhysAddr(0x2000), 1), None);
+        assert!(c.get_block(PhysAddr(0x1000), 1).is_none());
         // Re-populated under the new generation.
         c.put(PhysAddr(0x1000), inst(3), 4);
         assert_eq!(c.get(PhysAddr(0x1000), 1), Some((inst(3), 4)));
     }
 
     #[test]
-    fn conflicting_pages_evict_cleanly() {
+    fn two_conflicting_pages_coexist() {
+        // The direct-mapped layout thrashed here: two pages in one set
+        // ping-ponged a single basket. Two ways absorb the pair.
         let mut c = DecodedCache::new();
-        let a = PhysAddr(0x1000);
-        let b = PhysAddr(0x1000 + (BASKETS as u64) * PAGE_SIZE); // same basket
+        let [p0, p1, _] = colliding_pfns();
+        let a = PhysAddr(p0 << PAGE_SHIFT);
+        let b = PhysAddr(p1 << PAGE_SHIFT);
         c.get(a, 0);
         c.put(a, inst(1), 4);
         c.put(b, inst(2), 4);
-        assert_eq!(c.get(a, 0), None, "evicted by conflicting page");
+        assert_eq!(c.get(a, 0), Some((inst(1), 4)), "both ways live");
         assert_eq!(c.get(b, 0), Some((inst(2), 4)));
-        // And the offset from the old page must not leak into the new one.
-        c.put(a, inst(3), 4);
+    }
+
+    #[test]
+    fn third_conflicting_page_evicts_lru_cleanly() {
+        let mut c = DecodedCache::new();
+        let [p0, p1, p2] = colliding_pfns();
+        let a = PhysAddr(p0 << PAGE_SHIFT);
+        let b = PhysAddr(p1 << PAGE_SHIFT);
+        let d = PhysAddr(p2 << PAGE_SHIFT);
+        c.get(a, 0);
+        c.put(a, inst(1), 4);
+        c.put(b, inst(2), 4);
+        c.get(a, 0); // touch a: b becomes LRU
+        c.put(d, inst(3), 4); // evicts b
+        assert_eq!(c.get(b, 0), None, "LRU page evicted by the third");
+        assert_eq!(c.get(a, 0), Some((inst(1), 4)));
+        assert_eq!(c.get(d, 0), Some((inst(3), 4)));
+        // And the offsets from the old page must not leak into the new.
+        assert_eq!(c.get(PhysAddr(d.as_u64() + 8), 0), None);
+        c.put(b, inst(4), 4);
         assert_eq!(c.get(PhysAddr(b.as_u64() + 8), 0), None);
+    }
+
+    #[test]
+    fn blocks_follow_basket_eviction() {
+        let mut c = DecodedCache::new();
+        let [p0, p1, p2] = colliding_pfns();
+        let a = PhysAddr(p0 << PAGE_SHIFT);
+        c.get_block(a, 0);
+        c.put_block(a, block(0));
+        c.put_block(PhysAddr(p1 << PAGE_SHIFT), block(0));
+        c.put_block(PhysAddr((p2 << PAGE_SHIFT) + 16), block(16));
+        // `a` was LRU after the second put; the third evicted it.
+        assert!(c.get_block(a, 0).is_none(), "block evicted with basket");
+        assert!(c
+            .get_block(PhysAddr((p2 << PAGE_SHIFT) + 16), 0)
+            .is_some());
     }
 
     #[test]
@@ -189,7 +405,9 @@ mod tests {
         let mut c = DecodedCache::new();
         c.get(PhysAddr(0x5000), 0);
         c.put(PhysAddr(0x5000), inst(9), 2);
+        c.put_block(PhysAddr(0x5000), block(0));
         c.clear();
         assert_eq!(c.get(PhysAddr(0x5000), 0), None);
+        assert!(c.get_block(PhysAddr(0x5000), 0).is_none());
     }
 }

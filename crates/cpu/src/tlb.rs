@@ -122,8 +122,12 @@ pub struct Tlb {
     class_counts: [usize; PAGE_CLASSES.len()],
     /// Bumped whenever the entry set changes (insert, flush, shootdown).
     /// Callers that cache a translation outside the TLB (the core's
-    /// last-fetch micro-cache) compare this to detect that their entry
-    /// may have been evicted or invalidated.
+    /// last-fetch micro-cache, and through it the basic-block engine's
+    /// once-per-block validation) compare this to detect that their
+    /// entry may have been evicted or invalidated. Data-side walks fill
+    /// only the D-TLB, so the I-TLB generation is stable across a
+    /// straight-line block — the invariant that lets a block charge its
+    /// fetches without re-translating per instruction.
     generation: u64,
 }
 

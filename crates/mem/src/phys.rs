@@ -95,6 +95,16 @@ impl PhysMem {
             .watched = true;
     }
 
+    /// Whether the frame containing `addr` is watched. The basic-block
+    /// engine marks every page it decodes a block from; tests use this
+    /// to assert the watch actually landed (a missed watch would let a
+    /// self-modified block replay stale instructions).
+    pub fn watched(&self, addr: PhysAddr) -> bool {
+        self.frames
+            .get(&(addr.as_u64() >> PAGE_SHIFT))
+            .is_some_and(|fr| fr.watched)
+    }
+
     /// Generation counter for writes into watched frames. Cached decode
     /// state is valid only while this value is unchanged.
     pub fn text_gen(&self) -> u64 {
@@ -257,6 +267,8 @@ mod tests {
         mem.write_u64(PhysAddr(0x2000), 2);
         let g0 = mem.text_gen();
         mem.watch_text(PhysAddr(0x1008)); // watches the whole 0x1000 frame
+        assert!(mem.watched(PhysAddr(0x1FFF)));
+        assert!(!mem.watched(PhysAddr(0x2000)));
 
         // Writes to unwatched frames leave the generation alone.
         mem.write_u64(PhysAddr(0x2000), 3);

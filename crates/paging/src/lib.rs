@@ -449,10 +449,13 @@ impl AddressSpace {
     ///
     /// One leaf table serves 512 consecutive 4 KiB pages, so the walk
     /// from CR3 is resolved once per 2 MiB block instead of once per
-    /// page. The tables and PTEs written are byte-identical to mapping
-    /// each page individually; multi-MiB loader mappings (stacks, BAR
-    /// windows) just stop paying four `PhysMem` accesses per page to
-    /// rediscover the same table.
+    /// page, and the block's whole PTE run is read, checked and written
+    /// back as one slice (two `PhysMem` accesses per block instead of
+    /// two per page). The tables and PTEs written are byte-identical to
+    /// mapping each page individually — including on error, where every
+    /// page before the colliding one stays mapped; multi-MiB loader
+    /// mappings (stacks, BAR windows) just stop paying per-page
+    /// `PhysMem` tolls to rediscover the same table.
     ///
     /// # Errors
     ///
@@ -469,25 +472,33 @@ impl AddressSpace {
         if !va.is_aligned(PAGE_SIZE) || !pa.is_aligned(PAGE_SIZE) {
             return Err(MapError::Misaligned);
         }
+        const ENTRIES: u64 = PAGE_SIZE / 8;
         let pages = len.div_ceil(PAGE_SIZE);
-        let mut cached: Option<(u64, PhysAddr)> = None;
-        for i in 0..pages {
+        let mut i = 0u64;
+        while i < pages {
             let v = va + i * PAGE_SIZE;
-            let p = pa + i * PAGE_SIZE;
-            let block = v.as_u64() >> 21;
-            let table = match cached {
-                Some((b, t)) if b == block => t,
-                _ => {
-                    let t = self.leaf_table(mem, alloc, v, 0)?;
-                    cached = Some((block, t));
-                    t
+            let table = self.leaf_table(mem, alloc, v, 0)?;
+            let first = v.pt_index(0) as u64;
+            let run = (ENTRIES - first).min(pages - i);
+            let base = PhysAddr(table.as_u64() + first * 8);
+            let mut buf = [0u8; PAGE_SIZE as usize];
+            let bytes = (run * 8) as usize;
+            mem.read_bytes(base, &mut buf[..bytes]);
+            for k in 0..run {
+                let off = (k * 8) as usize;
+                let old = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                if Pte(old).present() {
+                    // Keep the partially-mapped state identical to
+                    // page-at-a-time mapping: everything before the
+                    // collision lands, nothing after.
+                    mem.write_bytes(base, &buf[..off]);
+                    return Err(MapError::AlreadyMapped(v + k * PAGE_SIZE));
                 }
-            };
-            let slot = PhysAddr(table.as_u64() + v.pt_index(0) as u64 * 8);
-            if Pte(mem.read_u64(slot)).present() {
-                return Err(MapError::AlreadyMapped(v));
+                let p = pa + (i + k) * PAGE_SIZE;
+                buf[off..off + 8].copy_from_slice(&Pte::new(p, fl).bits().to_le_bytes());
             }
-            mem.write_u64(slot, Pte::new(p, fl).bits());
+            mem.write_bytes(base, &buf[..bytes]);
+            i += run;
         }
         Ok(())
     }

@@ -70,7 +70,17 @@ struct InFlight {
 pub struct DmaEngine {
     latency: LatencyModel,
     to_nxp: VecDeque<InFlight>,
-    to_host: VecDeque<InFlight>,
+    /// NxP→host ring. Entries are kept in push (= arrival) order; a
+    /// selective claim ([`DmaEngine::take_host_desc_where`]) tombstones
+    /// its match to `None` instead of shifting the tail, and leading
+    /// tombstones are dropped whenever the ring is touched. The single
+    /// mover per direction makes arrivals monotone non-decreasing, so
+    /// scans can stop at the first live entry that has not arrived yet —
+    /// O(1) amortized however deep the undelivered tail grows.
+    to_host: VecDeque<Option<InFlight>>,
+    /// Live (non-tombstone) entries in `to_host` — the queue-depth
+    /// gauge, maintained so it never counts tombstones.
+    to_host_live: usize,
     msi_vector: u32,
     bursts_to_nxp: u64,
     bursts_to_host: u64,
@@ -92,6 +102,7 @@ impl DmaEngine {
             latency,
             to_nxp: VecDeque::new(),
             to_host: VecDeque::new(),
+            to_host_live: 0,
             msi_vector,
             bursts_to_nxp: 0,
             bursts_to_host: 0,
@@ -185,7 +196,15 @@ impl DmaEngine {
         }
         // The MSI is one more posted write behind the payload.
         let msi_at = arrival + self.latency.nxp_to_host_write;
-        self.to_host.push_back(InFlight { arrival, bytes });
+        debug_assert!(
+            self.to_host
+                .back()
+                .and_then(|d| d.as_ref())
+                .is_none_or(|d| d.arrival <= arrival),
+            "single mover: host-ring arrivals are monotone"
+        );
+        self.to_host.push_back(Some(InFlight { arrival, bytes }));
+        self.to_host_live += 1;
         (
             arrival,
             Some(Msi {
@@ -217,13 +236,26 @@ impl DmaEngine {
         }
     }
 
+    /// Drops tombstones at the front of the host ring so the head is
+    /// either a live descriptor or the ring is empty. Each entry is
+    /// pushed once and removed once, so all compaction work is charged
+    /// to the kick that created the entry — O(1) amortized.
+    fn compact_host_front(&mut self) {
+        while matches!(self.to_host.front(), Some(None)) {
+            self.to_host.pop_front();
+        }
+    }
+
     /// Pops the next NxP→host descriptor if it has arrived by `now`
     /// (the kernel reads it from the host-DRAM ring after the MSI).
     pub fn take_host_desc(&mut self, now: Picos) -> Option<Vec<u8>> {
-        if self.to_host.front().is_some_and(|d| d.arrival <= now) {
-            self.to_host.pop_front().map(|d| d.bytes)
-        } else {
-            None
+        self.compact_host_front();
+        match self.to_host.front() {
+            Some(Some(d)) if d.arrival <= now => {
+                self.to_host_live -= 1;
+                self.to_host.pop_front().flatten().map(|d| d.bytes)
+            }
+            _ => None,
         }
     }
 
@@ -233,16 +265,36 @@ impl DmaEngine {
     /// belongs to the thread it is waking while unrelated traffic sits
     /// in the same ring (bursts in one direction serialise, so ring
     /// order is arrival order).
+    ///
+    /// Arrival order lets the scan stop at the first live descriptor
+    /// that has not arrived yet: everything behind it arrived even
+    /// later. Combined with front compaction, the walk only ever
+    /// re-visits descriptors that are *deliverable now but claimed by
+    /// someone else*, not the undelivered tail, keeping the host
+    /// descriptor path O(1) amortized as rings deepen.
     pub fn take_host_desc_where(
         &mut self,
         now: Picos,
         mut pred: impl FnMut(&[u8]) -> bool,
     ) -> Option<Vec<u8>> {
-        let idx = self
-            .to_host
-            .iter()
-            .position(|d| d.arrival <= now && pred(&d.bytes))?;
-        self.to_host.remove(idx).map(|d| d.bytes)
+        self.compact_host_front();
+        let mut hit = None;
+        for (idx, slot) in self.to_host.iter().enumerate() {
+            match slot {
+                None => continue,
+                Some(d) if d.arrival > now => break,
+                Some(d) => {
+                    if pred(&d.bytes) {
+                        hit = Some(idx);
+                        break;
+                    }
+                }
+            }
+        }
+        let taken = self.to_host[hit?].take().map(|d| d.bytes);
+        self.to_host_live -= 1;
+        self.compact_host_front();
+        taken
     }
 
     /// Number of host→NxP bursts performed.
@@ -264,7 +316,7 @@ impl DmaEngine {
 
     /// Descriptors currently queued in the NxP→host channel.
     pub fn depth_to_host(&self) -> usize {
-        self.to_host.len()
+        self.to_host_live
     }
 }
 
@@ -638,6 +690,28 @@ mod tests {
         // Not-yet-arrived descriptors never match.
         let (c, _) = dma.kick_to_host(b2, vec![3, 3]);
         assert_eq!(dma.take_host_desc_where(c - Picos(1), |_| true), None);
+    }
+
+    #[test]
+    fn tombstoned_claims_keep_depth_and_order() {
+        let mut dma = DmaEngine::paper_default();
+        let (b1, _) = dma.kick_to_host(Picos::ZERO, vec![1]);
+        let (b2, _) = dma.kick_to_host(b1, vec![2]);
+        let (b3, _) = dma.kick_to_host(b2, vec![3]);
+        assert_eq!(dma.depth_to_host(), 3);
+        // Claim the middle descriptor: the gauge must not count the
+        // tombstone left behind, and FIFO order must survive around it.
+        assert_eq!(dma.take_host_desc_where(b3, |b| b[0] == 2), Some(vec![2]));
+        assert_eq!(dma.depth_to_host(), 2);
+        assert_eq!(dma.take_host_desc(b3), Some(vec![1]));
+        assert_eq!(dma.take_host_desc(b3), Some(vec![3]));
+        assert_eq!(dma.depth_to_host(), 0);
+        assert_eq!(dma.take_host_desc(b3), None);
+        // A predicate that matches nothing arrived leaves the ring whole.
+        let (c, _) = dma.kick_to_host(b3, vec![4]);
+        assert_eq!(dma.take_host_desc_where(c, |b| b[0] == 9), None);
+        assert_eq!(dma.depth_to_host(), 1);
+        assert_eq!(dma.take_host_desc(c), Some(vec![4]));
     }
 
     #[test]

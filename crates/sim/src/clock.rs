@@ -84,6 +84,20 @@ impl Clock {
         self.now += d;
     }
 
+    /// Applies a batch of tick credit accumulated by the caller:
+    /// `cycles` total cycles whose time `d` was pre-rounded per call
+    /// with the exact [`tick`] rounding (i.e. `d` is a sum of
+    /// `freq().cycles(n)` values, one per original tick). The block
+    /// interpreter accumulates per-instruction ticks in registers and
+    /// flushes them here once per block; the result is bit-identical to
+    /// having called [`tick`] for each instruction.
+    ///
+    /// [`tick`]: Clock::tick
+    pub fn credit(&mut self, cycles: u64, d: Picos) {
+        self.cycles += cycles;
+        self.now += d;
+    }
+
     /// Moves local time forward to `t` if `t` is later; used when an
     /// external event (descriptor arrival, interrupt) wakes the component.
     pub fn sync_to(&mut self, t: Picos) {

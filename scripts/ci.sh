@@ -9,8 +9,13 @@ cargo build --release --benches
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Smoke-run the bench harness (1 sample: checks it runs, not the timings).
-cargo bench -p flick-bench --bench simulator -- --samples 1
+# Smoke-run the bench harness (1 sample) and gate the cheap, stable
+# benches against the committed baseline: a >30% regression of the
+# interpreter or the 1-NxP migration path fails CI loudly.
+tmp_bench="$(mktemp -t flick-bench-XXXXXX.json)"
+trap 'rm -f "$tmp_bench"' EXIT
+cargo bench -p flick-bench --bench simulator -- --samples 1 --json "$tmp_bench"
+cargo run --release -p flick-bench --bin bench_gate -- BENCH_simulator.json "$tmp_bench"
 
 # Topology smoke matrix: the classic 1x1 pair and a 2x2 fleet must both
 # run the same concurrent workload to completion.
@@ -20,6 +25,6 @@ cargo run --release --example topology -- 2 2
 # Timeline-export smoke: a 2x2 observability run must emit a non-empty
 # Chrome-trace JSON file (the example itself validates the JSON).
 tmp_trace="$(mktemp -t flick-timeline-XXXXXX.json)"
-trap 'rm -f "$tmp_trace"' EXIT
+trap 'rm -f "$tmp_bench" "$tmp_trace"' EXIT
 cargo run --release --example timeline -- 2 2 "$tmp_trace"
 test -s "$tmp_trace"

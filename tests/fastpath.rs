@@ -182,6 +182,28 @@ fn chase_bit_identical() {
     assert_bit_identical("chase", None, build_chase);
 }
 
+/// Long enough that the scheduler quantum expires many times, at
+/// offsets that walk through every position inside the loop's
+/// 4-instruction block — preemption mid-block must reschedule exactly
+/// like preemption between steps.
+fn build_quantum_crossing_loop(p: &mut ProgramBuilder) {
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    let lp = main.new_label();
+    main.li(abi::S1, 60_001);
+    main.bind(lp);
+    main.addi(abi::A0, abi::A0, 1);
+    main.addi(abi::A1, abi::A1, 2);
+    main.addi(abi::S1, abi::S1, -1);
+    main.bne(abi::S1, abi::ZERO, lp);
+    main.call("flick_exit");
+    p.func(main.finish());
+}
+
+#[test]
+fn quantum_expiry_mid_block_bit_identical() {
+    assert_bit_identical("quantum_crossing", None, build_quantum_crossing_loop);
+}
+
 #[test]
 fn chaos_seeds_bit_identical() {
     // Chaos plans inject PCIe faults, retransmissions, watchdog fires
