@@ -15,7 +15,7 @@ use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
 use flick_isa::{abi, FuncBuilder, Isa, TargetIsa};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
-use flick_sim::TraceConfig;
+use flick_sim::{DeviceEvent, DeviceFaultKind, FaultPlan, Picos, TraceConfig};
 use flick_toolchain::ProgramBuilder;
 use flick_workloads::chase::{run_chase, ChaseConfig, ChaseMode};
 use flick_workloads::graph::rmat;
@@ -115,63 +115,105 @@ fn bench_migration_round_trip(samples: u32) -> BenchResult {
     })
 }
 
+/// Process count / calls-per-process / spin length of the migration
+/// throughput fleet workload.
+const TPUT_PROCS: i64 = 8;
+const TPUT_CALLS: i64 = 8;
+const TPUT_SPIN: i64 = 2_000;
+
+/// One throughput-fleet process: `TPUT_CALLS` NxP spin calls, exiting
+/// with `TPUT_CALLS * TPUT_SPIN + tag`.
+fn tput_program(tag: i64) -> ProgramBuilder {
+    let mut p = ProgramBuilder::new("tput");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    let lp = main.new_label();
+    main.li(abi::S1, TPUT_CALLS);
+    main.li(abi::S2, 0);
+    main.bind(lp);
+    main.li(abi::A0, TPUT_SPIN);
+    main.call("nxp_spin");
+    main.add(abi::S2, abi::S2, abi::A0);
+    main.addi(abi::S1, abi::S1, -1);
+    main.bne(abi::S1, abi::ZERO, lp);
+    main.li(abi::T0, tag);
+    main.add(abi::A0, abi::S2, abi::T0);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let mut f = FuncBuilder::new("nxp_spin", TargetIsa::Nxp);
+    let sl = f.new_label();
+    let done = f.new_label();
+    f.li(abi::T0, 0);
+    f.bind(sl);
+    f.bge(abi::T0, abi::A0, done);
+    f.addi(abi::T0, abi::T0, 1);
+    f.jmp(sl);
+    f.bind(done);
+    f.mv(abi::A0, abi::T0);
+    f.ret();
+    p.func(f.finish());
+    p
+}
+
+/// Runs the throughput fleet on 2 host cores × `nxps` NxPs under an
+/// optional fault plan; returns the simulated finish time.
+fn run_tput_fleet(nxps: usize, plan: Option<FaultPlan>) -> Picos {
+    let mut b = Machine::builder()
+        .trace(TraceConfig {
+            enabled: false,
+            capacity: 0,
+        })
+        .topology(Topology::new(2, nxps));
+    if let Some(plan) = plan {
+        b = b.fault_plan(plan);
+    }
+    let mut m = b.build();
+    let mut pids = Vec::new();
+    for tag in 0..TPUT_PROCS {
+        pids.push(m.load_program(&mut tput_program(tag)).unwrap());
+    }
+    m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+    m.host_now()
+}
+
 /// Migration throughput at a topology: 8 processes × 8 NxP calls over
 /// 2 host cores and a varying NxP count. The wall-clock number tracks
 /// simulator cost; the attached `sim_calls_per_sec` is the paper-side
 /// result — simulated calls/sec must scale with the NxP count.
 fn bench_migration_throughput(samples: u32, nxps: usize, name: &'static str) -> BenchResult {
-    const PROCS: i64 = 8;
-    const CALLS: i64 = 8;
-    const SPIN: i64 = 2_000;
-    let run = || {
-        let mut m = Machine::builder()
-            .trace(TraceConfig {
-                enabled: false,
-                capacity: 0,
-            })
-            .topology(Topology::new(2, nxps))
-            .build();
-        let mut pids = Vec::new();
-        for tag in 0..PROCS {
-            let mut p = ProgramBuilder::new("tput");
-            let mut main = FuncBuilder::new("main", TargetIsa::Host);
-            let lp = main.new_label();
-            main.li(abi::S1, CALLS);
-            main.li(abi::S2, 0);
-            main.bind(lp);
-            main.li(abi::A0, SPIN);
-            main.call("nxp_spin");
-            main.add(abi::S2, abi::S2, abi::A0);
-            main.addi(abi::S1, abi::S1, -1);
-            main.bne(abi::S1, abi::ZERO, lp);
-            main.li(abi::T0, tag);
-            main.add(abi::A0, abi::S2, abi::T0);
-            main.call("flick_exit");
-            p.func(main.finish());
-            let mut f = FuncBuilder::new("nxp_spin", TargetIsa::Nxp);
-            let sl = f.new_label();
-            let done = f.new_label();
-            f.li(abi::T0, 0);
-            f.bind(sl);
-            f.bge(abi::T0, abi::A0, done);
-            f.addi(abi::T0, abi::T0, 1);
-            f.jmp(sl);
-            f.bind(done);
-            f.mv(abi::A0, abi::T0);
-            f.ret();
-            p.func(f.finish());
-            pids.push(m.load_program(&mut p).unwrap());
-        }
-        m.run_concurrent(&pids, u64::MAX / 2).unwrap();
-        m.host_now()
-    };
-    let sim_elapsed = run();
-    let calls = (PROCS * CALLS) as f64;
+    let sim_elapsed = run_tput_fleet(nxps, None);
+    let calls = (TPUT_PROCS * TPUT_CALLS) as f64;
     let sim_cps = calls / (sim_elapsed.as_nanos_f64() * 1e-9);
     let mut r = bench(name, samples, None, || {
-        black_box(run());
+        black_box(run_tput_fleet(nxps, None));
     });
     println!("{:<32} {sim_cps:>12.0} simulated calls/sec", "");
+    r.sim_calls_per_sec = Some(sim_cps);
+    r
+}
+
+/// Migration throughput through a failure: the 2×2 fleet workload with
+/// NxP 1 crashed (no rejoin) at the fault-free half-way mark. Exercises
+/// death detection, channel quiescing, and re-placement on the
+/// survivor — the wall-clock cost of the failover path is what the
+/// bench gate watches.
+fn bench_migration_throughput_degraded(samples: u32) -> BenchResult {
+    let horizon = run_tput_fleet(2, None);
+    let mid = Picos::from_nanos(horizon.as_nanos() / 2);
+    let plan = || {
+        FaultPlan::none().with_device_event(DeviceEvent {
+            nxp: 1,
+            kind: DeviceFaultKind::Crash,
+            at: mid,
+            rejoin_at: None,
+        })
+    };
+    let sim_elapsed = run_tput_fleet(2, Some(plan()));
+    let calls = (TPUT_PROCS * TPUT_CALLS) as f64;
+    let sim_cps = calls / (sim_elapsed.as_nanos_f64() * 1e-9);
+    let mut r = bench("migration_throughput_degraded", samples, None, || {
+        black_box(run_tput_fleet(2, Some(plan())));
+    });
+    println!("{:<32} {sim_cps:>12.0} simulated calls/sec (one NxP down)", "");
     r.sim_calls_per_sec = Some(sim_cps);
     r
 }
@@ -332,6 +374,7 @@ fn main() {
         bench_migration_throughput(samples, 1, "migration_throughput_1nxp"),
         bench_migration_throughput(samples, 2, "migration_throughput_2nxp"),
         bench_migration_throughput(samples, 4, "migration_throughput_4nxp"),
+        bench_migration_throughput_degraded(samples),
     ];
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(samples, &results)).expect("write json");

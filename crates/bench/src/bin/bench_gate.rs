@@ -4,16 +4,22 @@
 //!
 //! Only benches that are cheap enough to be stable at 1 sample are
 //! gated — `interpret` (the pure step-loop ceiling the block engine
-//! owns) and `migration_throughput_1nxp` (the end-to-end descriptor
-//! path). A 1-sample smoke run is noisy, so the threshold is generous
-//! (30%): this catches "the fast path fell off a cliff", not 2% drift.
+//! owns), `migration_throughput_1nxp` (the end-to-end descriptor
+//! path), and `migration_throughput_degraded` (the same fleet with one
+//! NxP crashed mid-run: death detection + channel quiesce + failover).
+//! A 1-sample smoke run is noisy, so the threshold is generous (30%):
+//! this catches "the fast path fell off a cliff", not 2% drift.
 //!
 //! Usage: `bench_gate <baseline.json> <current.json>`
 
 use std::process::ExitCode;
 
 /// Benchmarks gated against the committed baseline.
-const GATED: [&str; 2] = ["interpret", "migration_throughput_1nxp"];
+const GATED: [&str; 3] = [
+    "interpret",
+    "migration_throughput_1nxp",
+    "migration_throughput_degraded",
+];
 
 /// Maximum tolerated `mean_ns` growth over the baseline.
 const MAX_REGRESSION: f64 = 0.30;

@@ -27,6 +27,9 @@
 //! * [`topology`] — N host cores × M NxPs ([`Topology`]) and the
 //!   [`NxpPlacement`] policy that spreads concurrent in-flight calls
 //!   across the NxPs.
+//! * [`health`] — per-NxP liveness tracking and the failover circuit
+//!   breaker ([`HealthMonitor`]) that routes work away from dead
+//!   devices and probes rejoining ones.
 //!
 //! # Quickstart
 //!
@@ -58,6 +61,7 @@
 
 pub mod descriptor;
 pub mod handlers;
+pub mod health;
 pub mod machine;
 pub mod nxp;
 pub mod services;
@@ -66,6 +70,7 @@ pub mod timeline;
 pub mod topology;
 
 pub use descriptor::{DescError, DescKind, MigrationDescriptor};
+pub use health::{BreakerState, HealthMonitor, NxpHealth};
 pub use machine::{Machine, MachineBuilder, Outcome, RunError};
 pub use nxp::NxpTiming;
 pub use topology::{NxpPlacement, Topology};

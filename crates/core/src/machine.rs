@@ -10,6 +10,7 @@
 
 use crate::descriptor::{DescKind, MigrationDescriptor};
 use crate::handlers;
+use crate::health::{BreakerState, HealthMonitor};
 use crate::nxp::{NxpRuntime, NxpTiming};
 use crate::services::{self as svc, desc_layout as L};
 use crate::topology::{NxpPlacement, Topology};
@@ -21,8 +22,8 @@ use flick_pcie::{InterruptController, Msi, PcieFabric};
 use flick_sim::fault::BurstPerturbation;
 use flick_sim::trace::Side;
 use flick_sim::{
-    CoreId, Event, FaultCounts, FaultPlan, MsiFate, Picos, Span, SpanRecorder, SpanStage, Stats,
-    Trace, TraceConfig,
+    CoreId, DeviceFaultKind, Event, FaultCounts, FaultPlan, MsiFate, Picos, Span, SpanRecorder,
+    SpanStage, Stats, Trace, TraceConfig,
 };
 use flick_toolchain::{layout, MultiIsaImage, ProgramBuilder};
 use std::cmp::Reverse;
@@ -167,20 +168,40 @@ struct PendingWake {
     /// The descriptor channel (= NxP index = MSI vector) the wake-up
     /// travels on.
     chan: usize,
+    /// The channel incarnation the reply was sent under. A failover
+    /// rejoin resets the channel; a wake stamped with an older
+    /// incarnation belongs to a dead device and must be re-executed,
+    /// not retransmitted, even though the rejoined device reads
+    /// healthy.
+    incarnation: u64,
 }
 
 /// Per-channel descriptor protocol state: independent sequence spaces
 /// per NxP, exactly as each device pair would keep on real hardware.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 struct ChannelSeqs {
     /// Next host→NxP descriptor sequence number.
     h2n: u64,
     /// Next NxP→host descriptor sequence number.
     n2h: u64,
-    /// Highest host→NxP sequence the NxP has accepted.
+    /// Highest host→NxP sequence the NxP has accepted. A high-water
+    /// mark suffices on this direction: allocation and pickup happen
+    /// atomically within one delivery loop, so accepts are in order.
     nxp_last: u64,
-    /// Highest NxP→host sequence the host has accepted.
-    host_last: u64,
+    /// Every NxP→host sequence `<= host_floor` has been accepted this
+    /// channel incarnation.
+    host_floor: u64,
+    /// Accepted NxP→host sequences beyond `host_floor`. An exact set,
+    /// not a high-water mark: failover stalls can reorder wake
+    /// delivery across threads sharing the channel, and a lower-seq
+    /// reply accepted late must not be mistaken for a retransmit
+    /// duplicate. Contiguous prefixes fold back into the floor, so the
+    /// set stays at the size of the reorder window, not the run.
+    host_accepted: std::collections::BTreeSet<u64>,
+    /// Bumped every time a failover rejoin resets this channel: both
+    /// sequence spaces restart, so protocol state stamped with an
+    /// older incarnation is meaningless against the new device.
+    incarnation: u64,
 }
 
 impl Default for ChannelSeqs {
@@ -189,7 +210,29 @@ impl Default for ChannelSeqs {
             h2n: 1,
             n2h: 1,
             nxp_last: 0,
-            host_last: 0,
+            host_floor: 0,
+            host_accepted: std::collections::BTreeSet::new(),
+            incarnation: 0,
+        }
+    }
+}
+
+impl ChannelSeqs {
+    /// Has the host already accepted NxP→host sequence `seq` this
+    /// incarnation?
+    fn host_has_accepted(&self, seq: u64) -> bool {
+        seq <= self.host_floor || self.host_accepted.contains(&seq)
+    }
+
+    /// Records an accepted NxP→host sequence, folding any
+    /// now-contiguous prefix into the floor.
+    fn host_mark_accepted(&mut self, seq: u64) {
+        if seq <= self.host_floor {
+            return;
+        }
+        self.host_accepted.insert(seq);
+        while self.host_accepted.remove(&(self.host_floor + 1)) {
+            self.host_floor += 1;
         }
     }
 }
@@ -228,6 +271,11 @@ enum Pickup {
     Corrupt,
     /// Sequence number already accepted (stale retransmit): discarded.
     Duplicate,
+    /// The device is crashed, hung or unplugged: its scheduler never
+    /// polls the status register, so the burst sits unclaimed and the
+    /// device clock does not move. Unlike [`Pickup::Corrupt`] no NAK
+    /// crosses the link — the host only notices by timeout.
+    Dead,
 }
 
 /// Outcome of one host-side attempt to accept the n2h descriptor.
@@ -390,6 +438,8 @@ impl MachineBuilder {
             emus: (0..topology.host_cores).map(|_| None).collect(),
             chans: vec![ChannelSeqs::default(); topology.nxp_cores],
             retained_n2h: HashMap::new(),
+            retained_h2n: HashMap::new(),
+            health: HealthMonitor::new(topology.nxp_cores),
             nxp_of: HashMap::new(),
             placement: self.nxp_placement.unwrap_or_default(),
             rr_next: 0,
@@ -436,6 +486,16 @@ pub struct Machine {
     /// descriptor, retained until acceptance so the host can demand
     /// retransmission.
     retained_n2h: HashMap<u64, (usize, Vec<u8>)>,
+    /// Channel and wire bytes of each thread's most recent host→NxP
+    /// descriptor, retained by the host driver until the round trip
+    /// completes. When an NxP dies mid-round-trip its device-side state
+    /// (including the retained NxP→host bytes) dies with it, and this
+    /// copy is what failover re-executes on a surviving NxP.
+    retained_h2n: HashMap<u64, (usize, Vec<u8>)>,
+    /// Per-NxP liveness and circuit-breaker state, driven purely by
+    /// *observed* delivery failures/successes on the deterministic
+    /// timeline — never by peeking at the fault schedule.
+    health: HealthMonitor,
     /// Which NxP currently holds each thread's continuation; return
     /// legs always follow the thread back there.
     nxp_of: HashMap<u64, usize>,
@@ -547,6 +607,28 @@ impl Machine {
         self.plan.counts()
     }
 
+    /// Per-NxP health and circuit-breaker state.
+    pub fn health(&self) -> &HealthMonitor {
+        &self.health
+    }
+
+    /// Fleet-wide task census: `(live, exited)` pids, each spawned
+    /// thread in exactly one of the two lists. The chaos tests assert
+    /// this invariant across crash/rejoin schedules — failover must
+    /// neither lose a thread nor duplicate one.
+    pub fn task_census(&self) -> (Vec<u64>, Vec<u64>) {
+        let mut live = Vec::new();
+        let mut exited = Vec::new();
+        for t in self.kernel.tasks() {
+            if t.state == flick_os::TaskState::Zombie {
+                exited.push(t.pid);
+            } else {
+                live.push(t.pid);
+            }
+        }
+        (live, exited)
+    }
+
     /// Completed migration spans in completion order. Empty unless the
     /// machine was built with [`MachineBuilder::observability`].
     pub fn spans(&self) -> &[Span] {
@@ -580,7 +662,7 @@ impl Machine {
             .iter()
             .map(|c| c.clock().now())
             .max()
-            .expect("a machine has at least one host core")
+            .unwrap_or(Picos::ZERO)
     }
 
     /// The machine's core topology.
@@ -662,7 +744,11 @@ impl Machine {
         // No quantum: a lone process is never preempted, exactly as in
         // the pre-topology single-process loop.
         let mut done = self.run_event_loop(&[pid], fuel, u64::MAX)?;
-        Ok(done.pop().expect("one pid in, one outcome out").1)
+        let (_, outcome) = done.pop().ok_or(RunError::Protocol {
+            side: Side::Host,
+            context: "event loop returned no outcome for its only pid",
+        })?;
+        Ok(outcome)
     }
 
     /// Runs several processes concurrently across the host cores.
@@ -787,8 +873,13 @@ impl Machine {
             .peek()
             .is_some_and(|&Reverse((due, _))| due <= self.hosts[hc].clock().now())
         {
-            let Reverse((_, pid)) = pending[hc].pop().expect("peeked above");
-            let wake = wakes.remove(&pid).expect("heaped wake has a record");
+            let Some(Reverse((_, pid))) = pending[hc].pop() else {
+                break;
+            };
+            let wake = wakes.remove(&pid).ok_or(RunError::Protocol {
+                side: Side::Host,
+                context: "heaped wake-up without a wake record",
+            })?;
             self.deliver_wakeup(hc, pid, wake)?;
             let now = self.hosts[hc].clock().now();
             let task = self.kernel.task_mut(pid)?;
@@ -888,7 +979,14 @@ impl Machine {
                         let used = self.executed() - start_insts;
                         self.emulate_segment(hc, pid, va, fuel.saturating_sub(used))?;
                     } else {
-                        let handler = self.vas[&pid].host_handler;
+                        let handler = self
+                            .vas
+                            .get(&pid)
+                            .ok_or(RunError::Protocol {
+                                side: Side::Host,
+                                context: "NX fault in a process with no handler table",
+                            })?
+                            .host_handler;
                         self.kernel
                             .redirect_to_handler(pid, &mut self.hosts[hc], va, handler)?;
                     }
@@ -970,6 +1068,18 @@ impl Machine {
         }
         for emu in self.emus.iter().flatten() {
             stats.bump_by("emulated_instructions", emu.counters().instructions);
+        }
+        // Per-NxP health gauges, recorded only when a device-fault
+        // schedule exists so fault-free observability output is
+        // byte-identical to the pre-failover machine.
+        if self.obs.enabled() && self.plan.has_device_events() {
+            for i in 0..self.nxps.len() {
+                let h = *self.health.health(i);
+                self.obs_stats
+                    .record_hist(&format!("health:deaths:nxp{i}"), h.deaths);
+                self.obs_stats
+                    .record_hist(&format!("health:recoveries:nxp{i}"), h.recoveries);
+            }
         }
         // Observability histograms/gauges ride along in the same bag;
         // the merge touches only the histogram map, never the counters,
@@ -1084,6 +1194,7 @@ impl Machine {
     /// re-running the remote call would double its side effects.
     fn migrate_send(&mut self, hc: usize, pid: u64, kind: DescKind) -> Result<EcallFlow, RunError> {
         let timing = self.kernel.timing().clone();
+        self.refresh_fleet(hc);
         // ioctl: gather target/CR3/PID/args from task_struct + regs
         // (call) or just the return value (return).
         self.hosts[hc].clock_mut().advance(match kind {
@@ -1101,15 +1212,33 @@ impl Machine {
                 })?
             }
             _ => {
+                // Placement sees only NxPs whose breaker admits work
+                // (closed or half-open). With every device dead, fall
+                // back to the full set and let the delivery loop
+                // detect the failure and degrade gracefully.
+                let live: Vec<usize> = self.health.live().collect();
+                let pool: Vec<usize> = if live.is_empty() {
+                    (0..self.nxps.len()).collect()
+                } else {
+                    live
+                };
+                if pool.is_empty() {
+                    return Err(RunError::Protocol {
+                        side: Side::Host,
+                        context: "placement over a machine with no NxPs",
+                    });
+                }
                 let nc = match self.placement {
                     NxpPlacement::RoundRobin => {
-                        let k = self.rr_next % self.nxps.len();
+                        let k = pool[self.rr_next % pool.len()];
                         self.rr_next = self.rr_next.wrapping_add(1);
                         k
                     }
-                    NxpPlacement::LeastLoaded => (0..self.nxps.len())
+                    NxpPlacement::LeastLoaded => pool
+                        .iter()
+                        .copied()
                         .min_by_key(|&k| (self.nxps[k].clock().now(), k))
-                        .expect("a machine has at least one NxP"),
+                        .unwrap_or(pool[0]),
                 };
                 self.nxp_of.insert(pid, nc);
                 nc
@@ -1218,13 +1347,53 @@ impl Machine {
             _ => self.stats.bump("returns_host_to_nxp"),
         }
 
+        // Retain the h2n wire bytes host-side for as long as the round
+        // trip is open: if the serving NxP dies before the reply lands,
+        // this copy is what failover re-executes on a survivor.
+        let mut nc = nc;
+        let mut desc = desc;
+        self.retained_h2n.insert(pid, (nc, desc.to_bytes()));
+
         // Host→NxP delivery: kick the DMA, let the NxP scheduler pick
         // the burst up, and retransmit — bounded, with exponential
-        // backoff — on a lost burst or a checksum NAK.
+        // backoff — on a lost burst or a checksum NAK. A device-level
+        // fault (crash, hang, unplug) exhausts the same budget —
+        // detection latency *is* the retry cost — and then fails the
+        // victim over to a surviving NxP.
         let mut attempt = 0u32;
         let (in_bytes, in_desc) = loop {
             attempt += 1;
-            if attempt > timing.max_link_attempts {
+            let now = self.hosts[hc].clock().now();
+            // An unplugged card is detected instantly: presence detect
+            // reads zero at the doorbell write, no retry budget burned.
+            let unplugged =
+                self.plan.device_state(nc, now) == Some(DeviceFaultKind::Unplug);
+            if attempt > timing.retry.max_link_attempts || unplugged {
+                if let Some(fault) = self.plan.device_state(nc, now) {
+                    self.declare_nxp_dead(hc, nc, fault);
+                    if let Some(next) = self.pick_failover_target(nc) {
+                        self.stats.bump("failover_replacements");
+                        self.trace.record_on(
+                            CoreId::host(hc),
+                            now,
+                            Event::FailoverReplaced {
+                                pid,
+                                from_nxp: nc,
+                                to_nxp: next,
+                            },
+                        );
+                        nc = next;
+                        self.nxp_of.insert(pid, nc);
+                        desc.seq = self.chans[nc].h2n;
+                        self.chans[nc].h2n += 1;
+                        self.retained_h2n.insert(pid, (nc, desc.to_bytes()));
+                        attempt = 0;
+                        continue;
+                    }
+                }
+                // Pure link death, or the whole fleet is gone: degrade
+                // a call to host-side emulation, fail a return leg.
+                self.retained_h2n.remove(&pid);
                 return if kind == DescKind::HostToNxpCall {
                     self.span_of.remove(&pid);
                     self.obs.abandon(span);
@@ -1244,14 +1413,27 @@ impl Machine {
                     self.hosts[hc].clock().now(),
                     Event::Retransmit {
                         to: Side::Nxp,
-                        seq,
+                        seq: desc.seq,
                         attempt,
                     },
                 );
             }
-            let now = self.hosts[hc].clock().now();
             if attempt == 1 {
                 self.obs.mark(span, SpanStage::DmaSubmit, now, CoreId::host(hc));
+            }
+            // Bounded admission: a ring already at capacity (a hung
+            // device stops draining it) rejects the kick at the
+            // doorbell — typed backpressure, charged as one attempt of
+            // the same bounded budget (the driver's EAGAIN path).
+            if self.fabric.channel(nc).depth_to_nxp() >= timing.retry.ring_capacity {
+                self.stats.bump("admission_rejects");
+                self.trace
+                    .record_on(CoreId::host(hc), now, Event::AdmissionRejected { chan: nc });
+                self.health.note_failure(nc);
+                self.hosts[hc]
+                    .clock_mut()
+                    .advance(timing.retry.backoff_for(attempt));
+                continue;
             }
             let (arrival, pert) =
                 self.fabric
@@ -1265,16 +1447,18 @@ impl Machine {
             if pert.dropped {
                 // Posted write lost: the driver's completion timer
                 // expires and it re-kicks after an exponential backoff.
+                self.health.note_failure(nc);
                 self.hosts[hc]
                     .clock_mut()
-                    .advance(timing.retry_backoff * (1u64 << (attempt - 1).min(8)));
+                    .advance(timing.retry.backoff_for(attempt));
                 continue;
             }
-            match self.nxp_pickup(nc, arrival, seq) {
+            match self.nxp_pickup(nc, arrival, desc.seq) {
                 Pickup::Accept(b, d) => break (b, d),
                 Pickup::Corrupt => {
                     // The NxP NAKed: the NAK crosses the link and the
                     // host driver re-kicks.
+                    self.health.note_failure(nc);
                     let t = self.nxps[nc].clock().now();
                     self.hosts[hc].clock_mut().sync_to(t);
                     self.hosts[hc].clock_mut().advance(timing.nak_path);
@@ -1284,7 +1468,16 @@ impl Machine {
                     // after a backoff.
                     self.hosts[hc]
                         .clock_mut()
-                        .advance(timing.retry_backoff * (1u64 << (attempt - 1).min(8)));
+                        .advance(timing.retry.backoff_for(attempt));
+                }
+                Pickup::Dead => {
+                    // A dead or hung scheduler never polls the status
+                    // register: the host's completion timer expires
+                    // exactly as for a lost burst and it re-kicks.
+                    self.health.note_failure(nc);
+                    self.hosts[hc]
+                        .clock_mut()
+                        .advance(timing.retry.backoff_for(attempt));
                 }
             }
         };
@@ -1296,8 +1489,81 @@ impl Machine {
         let base = wake
             .msi_at
             .unwrap_or_else(|| self.nxps[nc].clock().now().max(self.hosts[hc].clock().now()));
-        self.kernel.task_mut(pid)?.deadline = Some(base + timing.migration_watchdog);
+        self.kernel.task_mut(pid)?.deadline = Some(base + timing.retry.migration_watchdog);
         Ok(EcallFlow::Suspended(wake))
+    }
+
+    /// Scans for dead NxPs whose scheduled outage has ended (presence
+    /// detect came back): resets the channel protocol state for the new
+    /// device incarnation — fresh sequence spaces, reaped rings, purged
+    /// MSI vector — and half-opens the breaker so exactly one probe
+    /// migration is routed there before full placement resumes.
+    fn refresh_fleet(&mut self, hc: usize) {
+        if !self.plan.has_device_events() {
+            return;
+        }
+        let now = self.hosts[hc].clock().now();
+        for nc in 0..self.nxps.len() {
+            if self.health.is_open(nc) && self.plan.device_up(nc, now) {
+                self.chans[nc] = ChannelSeqs {
+                    incarnation: self.chans[nc].incarnation + 1,
+                    ..ChannelSeqs::default()
+                };
+                self.fabric.reap_channel(nc);
+                self.irq.purge_vector(nc as u32);
+                self.health.rejoin(nc);
+                self.stats.bump("nxp_rejoins");
+                self.trace
+                    .record_on(CoreId::host(hc), now, Event::NxpRejoined { nxp: nc });
+            }
+        }
+    }
+
+    /// Declares NxP `nc` dead and quiesces its channel: both ring
+    /// directions are reaped and its MSI vector purged, so nothing sent
+    /// by the dead incarnation can ever be claimed by a thread placed
+    /// on a later one. Reaping loses no work — every open round trip
+    /// retains its h2n descriptor host-side for re-execution. Idempotent.
+    fn declare_nxp_dead(&mut self, hc: usize, nc: usize, fault: DeviceFaultKind) {
+        if self.health.is_open(nc) {
+            return;
+        }
+        let now = self.hosts[hc].clock().now();
+        self.health.declare_dead(nc);
+        self.stats.bump("nxp_deaths");
+        self.trace.record_on(
+            CoreId::host(hc),
+            now,
+            Event::DeviceFault {
+                nxp: nc,
+                kind: fault.label(),
+            },
+        );
+        self.trace
+            .record_on(CoreId::host(hc), now, Event::NxpDeclaredDead { nxp: nc });
+        let reaped = self.fabric.reap_channel(nc);
+        let purged = self.irq.purge_vector(nc as u32);
+        self.stats.bump_by("descs_reaped", reaped as u64);
+        self.stats.bump_by("msis_purged", purged as u64);
+        self.trace.record_on(
+            CoreId::host(hc),
+            now,
+            Event::DescriptorsReaped {
+                nxp: nc,
+                count: reaped as u64,
+            },
+        );
+    }
+
+    /// Deterministic failover placement: the surviving NxP whose clock
+    /// is earliest (ties toward the lowest index) — a victim always
+    /// re-places onto the least-loaded survivor, whatever the
+    /// configured policy for fresh calls.
+    fn pick_failover_target(&self, dead: usize) -> Option<usize> {
+        self.health
+            .live()
+            .filter(|&k| k != dead)
+            .min_by_key(|&k| (self.nxps[k].clock().now(), k))
     }
 
     /// Records trace events and counters for injected burst faults.
@@ -1377,6 +1643,7 @@ impl Machine {
     /// process page and mark the thread runnable.
     fn deliver_wakeup(&mut self, hc: usize, pid: u64, wake: PendingWake) -> Result<(), RunError> {
         let timing = self.kernel.timing().clone();
+        let mut wake = wake;
         let mut expect_msi = wake.msi_at;
         let mut attempt = 1u32; // kicks of the current descriptor so far
         loop {
@@ -1391,6 +1658,14 @@ impl Machine {
                     self.hosts[hc].clock_mut().sync_to(at);
                     let now = self.hosts[hc].clock().now();
                     let Some(msi) = self.irq.take_due_vector(now, wake.chan as u32) else {
+                        if self.plan.has_device_events() {
+                            // The vector was purged by a failover
+                            // quiesce on this channel: fall back to the
+                            // watchdog poll, which will notice the dead
+                            // device and re-execute on a survivor.
+                            expect_msi = None;
+                            continue;
+                        }
                         return Err(RunError::Protocol {
                             side: Side::Host,
                             context: "expected wake-up MSI was not queued",
@@ -1446,7 +1721,54 @@ impl Machine {
                     // Lost or damaged burst: demand retransmission of
                     // the retained wire bytes and re-arm the watchdog.
                     attempt += 1;
-                    if attempt > timing.max_link_attempts {
+                    // A crashed or unplugged device cannot answer the
+                    // demand — its retained reply bytes died with it. A
+                    // hung one still can (link up), so it only fails
+                    // over once the retry budget exhausts.
+                    let fault = self
+                        .plan
+                        .device_state(wake.chan, self.hosts[hc].clock().now());
+                    let dead_now = matches!(
+                        fault,
+                        Some(DeviceFaultKind::Crash | DeviceFaultKind::Unplug)
+                    );
+                    // A wake stamped with an older channel incarnation
+                    // outlived its device: the reply (and its retained
+                    // retransmit copy) died with the old incarnation,
+                    // so re-execute — the rejoined device reading
+                    // healthy does not make the stale bytes deliverable.
+                    let stale = self.chans[wake.chan].incarnation != wake.incarnation;
+                    if dead_now
+                        || stale
+                        || (attempt > timing.retry.max_link_attempts && fault.is_some())
+                    {
+                        if let Some(f) = fault {
+                            self.declare_nxp_dead(hc, wake.chan, f);
+                        }
+                        match self.failover_reexecute(hc, pid)? {
+                            Some(new_wake) => {
+                                wake = new_wake;
+                                expect_msi = wake.msi_at;
+                                attempt = 1;
+                                let base = wake.msi_at.unwrap_or_else(|| {
+                                    self.nxps[wake.chan]
+                                        .clock()
+                                        .now()
+                                        .max(self.hosts[hc].clock().now())
+                                });
+                                self.kernel.task_mut(pid)?.deadline =
+                                    Some(base + timing.retry.migration_watchdog);
+                                continue;
+                            }
+                            None => {
+                                return Err(RunError::LinkDead {
+                                    pid,
+                                    stage: "nxp-to-host",
+                                })
+                            }
+                        }
+                    }
+                    if attempt > timing.retry.max_link_attempts {
                         return Err(RunError::LinkDead {
                             pid,
                             stage: "nxp-to-host",
@@ -1482,9 +1804,122 @@ impl Machine {
                     expect_msi =
                         maybe_msi.and_then(|m| self.raise_msi(CoreId::host(hc), m, now));
                     self.kernel.task_mut(pid)?.deadline =
-                        Some(self.hosts[hc].clock().now() + timing.migration_watchdog);
+                        Some(self.hosts[hc].clock().now() + timing.retry.migration_watchdog);
                 }
             }
+        }
+    }
+
+    /// Re-executes `pid`'s retained host→NxP leg on a surviving NxP
+    /// after its serving device died mid-round-trip. The NxP leg is a
+    /// pure function of its descriptor plus the thread's checkpointed
+    /// context — saved host-side at every NxP switch-out — so
+    /// re-delivery is at-least-once semantics over an offload model
+    /// with no device-resident side effects, not a correctness risk.
+    /// Returns `Ok(None)` when no live NxP remains to take the work.
+    fn failover_reexecute(
+        &mut self,
+        hc: usize,
+        pid: u64,
+    ) -> Result<Option<PendingWake>, RunError> {
+        let timing = self.kernel.timing().clone();
+        self.refresh_fleet(hc);
+        let Some((dead, bytes)) = self.retained_h2n.get(&pid).cloned() else {
+            return Err(RunError::Protocol {
+                side: Side::Host,
+                context: "no retained descriptor to re-execute",
+            });
+        };
+        let Some(mut desc) = MigrationDescriptor::from_bytes(&bytes) else {
+            return Err(RunError::Protocol {
+                side: Side::Host,
+                context: "retained host-to-nxp descriptor does not parse",
+            });
+        };
+        'candidates: loop {
+            let Some(nc) = self.pick_failover_target(dead) else {
+                return Ok(None);
+            };
+            desc.seq = self.chans[nc].h2n;
+            self.chans[nc].h2n += 1;
+            self.nxp_of.insert(pid, nc);
+            self.retained_h2n.insert(pid, (nc, desc.to_bytes()));
+            self.stats.bump("failover_reexecutions");
+            self.trace.record_on(
+                CoreId::host(hc),
+                self.hosts[hc].clock().now(),
+                Event::FailoverReexecuted { pid, on_nxp: nc },
+            );
+            let mut attempt = 0u32;
+            let (in_bytes, in_desc) = loop {
+                attempt += 1;
+                let now = self.hosts[hc].clock().now();
+                let fault = self.plan.device_state(nc, now);
+                if attempt > timing.retry.max_link_attempts
+                    || fault == Some(DeviceFaultKind::Unplug)
+                {
+                    if let Some(f) = fault {
+                        // The survivor died too: declare it and move on
+                        // to the next candidate (the live set shrinks,
+                        // so this terminates).
+                        self.declare_nxp_dead(hc, nc, f);
+                        continue 'candidates;
+                    }
+                    return Err(RunError::LinkDead {
+                        pid,
+                        stage: "nxp-to-host",
+                    });
+                }
+                if attempt > 1 {
+                    self.stats.bump("retransmits");
+                    self.trace.record_on(
+                        CoreId::host(hc),
+                        now,
+                        Event::Retransmit {
+                            to: Side::Nxp,
+                            seq: desc.seq,
+                            attempt,
+                        },
+                    );
+                }
+                if self.fabric.channel(nc).depth_to_nxp() >= timing.retry.ring_capacity {
+                    self.stats.bump("admission_rejects");
+                    self.trace
+                        .record_on(CoreId::host(hc), now, Event::AdmissionRejected { chan: nc });
+                    self.health.note_failure(nc);
+                    self.hosts[hc]
+                        .clock_mut()
+                        .advance(timing.retry.backoff_for(attempt));
+                    continue;
+                }
+                let (arrival, pert) =
+                    self.fabric
+                        .kick_to_nxp_faulty(nc, now, desc.to_bytes(), &mut self.plan);
+                self.note_burst_faults(CoreId::host(hc), Side::Nxp, now, &pert);
+                if pert.dropped {
+                    self.health.note_failure(nc);
+                    self.hosts[hc]
+                        .clock_mut()
+                        .advance(timing.retry.backoff_for(attempt));
+                    continue;
+                }
+                match self.nxp_pickup(nc, arrival, desc.seq) {
+                    Pickup::Accept(b, d) => break (b, d),
+                    Pickup::Corrupt => {
+                        self.health.note_failure(nc);
+                        let t = self.nxps[nc].clock().now();
+                        self.hosts[hc].clock_mut().sync_to(t);
+                        self.hosts[hc].clock_mut().advance(timing.nak_path);
+                    }
+                    Pickup::Duplicate | Pickup::Dead => {
+                        self.health.note_failure(nc);
+                        self.hosts[hc]
+                            .clock_mut()
+                            .advance(timing.retry.backoff_for(attempt));
+                    }
+                }
+            };
+            return self.nxp_execute(nc, pid, in_bytes, in_desc).map(Some);
         }
     }
 
@@ -1504,11 +1939,11 @@ impl Machine {
             // due descriptor that concerns *this* wakeup — ours by
             // pid, a stale duplicate to drain, or a corrupt burst
             // (unattributable, so whoever looks first NAKs it).
-            let last = self.chans[chan].host_last;
+            let seqs = &self.chans[chan];
             let Some(bytes) = self.fabric.take_host_desc_where(chan, now, |b| {
                 match MigrationDescriptor::from_bytes_checked(b) {
                     Err(_) => true,
-                    Ok(d) => d.seq <= last || d.pid == pid,
+                    Ok(d) => seqs.host_has_accepted(d.seq) || d.pid == pid,
                 }
             }) else {
                 return Ok(HostAccept::Empty);
@@ -1531,7 +1966,7 @@ impl Machine {
                     self.hosts[hc].clock_mut().advance(timing.nak_path);
                     return Ok(HostAccept::Corrupt);
                 }
-                Ok(d) if d.seq <= self.chans[chan].host_last => {
+                Ok(d) if self.chans[chan].host_has_accepted(d.seq) => {
                     self.stats.bump("duplicate_descs_dropped");
                     self.trace.record_on(
                         CoreId::host(hc),
@@ -1545,7 +1980,7 @@ impl Machine {
                     continue;
                 }
                 Ok(d) => {
-                    self.chans[chan].host_last = d.seq;
+                    self.chans[chan].host_mark_accepted(d.seq);
                     self.trace.record_on(
                         CoreId::host(hc),
                         now,
@@ -1594,6 +2029,8 @@ impl Machine {
                         }
                     }
                     self.retained_n2h.remove(&pid);
+                    self.retained_h2n.remove(&pid);
+                    self.health.note_activity(chan, now);
                     return Ok(HostAccept::Woken(d.seq));
                 }
             }
@@ -1684,7 +2121,10 @@ impl Machine {
             if left == 0 {
                 return Err(RunError::FuelExhausted);
             }
-            let emu = self.emus[hc].as_mut().expect("emulation core installed above");
+            let emu = self.emus[hc].as_mut().ok_or(RunError::Protocol {
+                side: Side::Host,
+                context: "degraded thread without an emulation core",
+            })?;
             let before = emu.counters().instructions;
             let stop = emu.run(&mut self.mem, &self.env, left);
             let ran = emu.counters().instructions - before;
@@ -1712,7 +2152,10 @@ impl Machine {
                         .map_err(RunError::Load)?;
                     self.emus[hc]
                         .as_mut()
-                        .expect("emulation core installed above")
+                        .ok_or(RunError::Protocol {
+                            side: Side::Host,
+                            context: "degraded thread without an emulation core",
+                        })?
                         .set_reg(abi::A0, va.as_u64());
                 }
                 StopReason::Ecall(s) if s == svc::CLOCK_NS => {
@@ -1765,6 +2208,12 @@ impl Machine {
         let nt = self.nxp_timing.clone();
         // The scheduler's poll loop observes the status register.
         let now = self.nxps[nc].clock().now().max(arrival);
+        // A dead device never reaches its poll: the burst stays in the
+        // ring and the device clock stays frozen. Checked before any
+        // clock moves so failover replays bit-identically.
+        if self.plan.device_state(nc, now).is_some() {
+            return Pickup::Dead;
+        }
         self.nxps[nc].clock_mut().sync_to(now + nt.poll_period);
         let Some(in_bytes) = self.fabric.poll_nxp(nc, self.nxps[nc].clock().now()) else {
             // Burst never queued — indistinguishable from a lost one.
@@ -1802,6 +2251,19 @@ impl Machine {
                     self.nxps[nc].clock().now(),
                     CoreId::nxp(nc),
                 );
+                // Sign of life: reset the failure streak; a pickup on a
+                // half-open breaker is the probe succeeding.
+                let was_probe = self.health.state(nc) == BreakerState::HalfOpen;
+                self.health
+                    .note_activity(nc, self.nxps[nc].clock().now());
+                if was_probe {
+                    self.stats.bump("nxp_probes_ok");
+                    self.trace.record_on(
+                        CoreId::nxp(nc),
+                        self.nxps[nc].clock().now(),
+                        Event::ProbeSucceeded { nxp: nc },
+                    );
+                }
                 Pickup::Accept(in_bytes, d)
             }
             Err(_) => {
@@ -1863,8 +2325,16 @@ impl Machine {
             }
             // The host initialised the stack; the thread starts inside
             // the handler's while() loop (§IV-B1).
+            let loop_va = self
+                .vas
+                .get(&pid)
+                .ok_or(RunError::Protocol {
+                    side: Side::Nxp,
+                    context: "descriptor for a process with no handler table",
+                })?
+                .nxp_handler_loop;
             let mut ctx = CpuContext {
-                pc: self.vas[&pid].nxp_handler_loop,
+                pc: loop_va,
                 ..CpuContext::default()
             };
             ctx.regs[abi::SP.index()] = desc.nxp_sp;
@@ -1876,7 +2346,10 @@ impl Machine {
                 .thread_mut(pid)
                 .ctx
                 .take()
-                .expect("has_context checked");
+                .ok_or(RunError::Protocol {
+                    side: Side::Nxp,
+                    context: "resumed thread without a checkpointed NxP context",
+                })?;
             self.nxps[nc].restore_context(&ctx);
         }
 
@@ -1968,7 +2441,14 @@ impl Machine {
                     }
                     self.nxps[nc].clock_mut().advance(nt.exception_entry);
                     self.nxp_rt.thread_mut(pid).fault_va = Some(va);
-                    let handler = self.vas[&pid].nxp_handler;
+                    let handler = self
+                        .vas
+                        .get(&pid)
+                        .ok_or(RunError::Protocol {
+                            side: Side::Nxp,
+                            context: "exec fault in a process with no handler table",
+                        })?
+                        .nxp_handler;
                     self.nxps[nc].set_pc(handler);
                 }
                 StopReason::Ecall(service) => {
@@ -2032,6 +2512,20 @@ impl Machine {
         );
         self.retained_n2h.insert(pid, (nc, bytes.clone()));
         let now = self.nxps[nc].clock().now();
+        // A crashed or unplugged device cannot DMA its reply out — the
+        // burst and its MSI die on the card. (A *hung* one still can:
+        // the link is up, only the inbound poll loop stopped.) The
+        // host-side watchdog notices the silence and fails over.
+        if matches!(
+            self.plan.device_state(nc, now),
+            Some(DeviceFaultKind::Crash | DeviceFaultKind::Unplug)
+        ) {
+            return PendingWake {
+                msi_at: None,
+                chan: nc,
+                incarnation: self.chans[nc].incarnation,
+            };
+        }
         let (_arrival, maybe_msi, pert) =
             self.fabric
                 .kick_to_host_faulty(nc, now, bytes, &mut self.plan);
@@ -2042,7 +2536,11 @@ impl Machine {
         }
         self.note_burst_faults(CoreId::nxp(nc), Side::Host, now, &pert);
         let msi_at = maybe_msi.and_then(|msi| self.raise_msi(CoreId::nxp(nc), msi, now));
-        PendingWake { msi_at, chan: nc }
+        PendingWake {
+            msi_at,
+            chan: nc,
+            incarnation: self.chans[nc].incarnation,
+        }
     }
 
     /// Physical address of the NxP-side descriptor buffer (the SRAM

@@ -67,6 +67,31 @@ fn describe(e: &Event) -> Option<(Side, String)> {
         Event::EmulatedSegment { pid, from_va } => {
             (Side::Host, format!("pid {pid} emulating NxP code @ {from_va:#x}"))
         }
+        Event::DeviceFault { nxp, kind } => {
+            (Side::Nxp, format!("💀 nxp{nxp} device fault: {kind}"))
+        }
+        Event::NxpDeclaredDead { nxp } => {
+            (Side::Host, format!("declare nxp{nxp} dead (breaker open)"))
+        }
+        Event::NxpRejoined { nxp } => {
+            (Side::Host, format!("nxp{nxp} rejoined (breaker half-open)"))
+        }
+        Event::ProbeSucceeded { nxp } => {
+            (Side::Nxp, format!("probe ok: nxp{nxp} breaker closed"))
+        }
+        Event::DescriptorsReaped { nxp, count } => {
+            (Side::Host, format!("reap {count} descriptor(s) from nxp{nxp}"))
+        }
+        Event::FailoverReplaced { pid, from_nxp, to_nxp } => (
+            Side::Host,
+            format!("failover pid {pid}: nxp{from_nxp} → nxp{to_nxp}"),
+        ),
+        Event::FailoverReexecuted { pid, on_nxp } => {
+            (Side::Host, format!("re-execute pid {pid} leg on nxp{on_nxp}"))
+        }
+        Event::AdmissionRejected { chan } => {
+            (Side::Host, format!("ring full: admission reject on chan {chan}"))
+        }
         Event::Marker(m) => (Side::Host, format!("-- {m} --")),
     })
 }

@@ -195,6 +195,13 @@ impl Kernel {
         self.tasks.len()
     }
 
+    /// All tasks in creation order — the fleet-level census view used
+    /// to audit the exactly-once invariant (every spawned thread is
+    /// live in exactly one state or has exited).
+    pub fn tasks(&self) -> impl Iterator<Item = &TaskStruct> {
+        self.tasks.iter()
+    }
+
     /// Looks up a task.
     ///
     /// # Errors

@@ -37,4 +37,4 @@ pub mod timing;
 pub use kernel::{Kernel, KernelConfig, KernelError, LoadError};
 pub use sched::RunQueues;
 pub use task::{TaskState, TaskStruct};
-pub use timing::OsTiming;
+pub use timing::{OsTiming, RetryPolicy};

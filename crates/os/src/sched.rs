@@ -30,8 +30,24 @@ impl RunQueues {
     }
 
     /// Appends `pid` to `core`'s queue.
-    pub fn enqueue(&mut self, core: usize, pid: u64) {
+    ///
+    /// Census-protecting: a pid already queued on *any* core is not
+    /// queued again (returns `false`) — a duplicate runqueue entry
+    /// would let one thread be scheduled twice, violating the
+    /// exactly-once invariant failover relies on. Spurious wakeups and
+    /// retried failover paths make double-enqueue reachable, so this is
+    /// a guard, not an assert.
+    pub fn enqueue(&mut self, core: usize, pid: u64) -> bool {
+        if self.contains(pid) {
+            return false;
+        }
         self.queues[core].push_back(pid);
+        true
+    }
+
+    /// True when `pid` is queued on any core.
+    pub fn contains(&self, pid: u64) -> bool {
+        self.queues.iter().any(|q| q.contains(&pid))
     }
 
     /// Pops the oldest task queued on `core`, if any.
@@ -92,6 +108,21 @@ mod tests {
         assert_eq!(rq.steal(0), Some(10));
         assert_eq!(rq.steal(0), Some(21));
         assert_eq!(rq.steal(0), None);
+    }
+
+    #[test]
+    fn duplicate_enqueue_is_dropped() {
+        let mut rq = RunQueues::new(2);
+        assert!(rq.enqueue(0, 7));
+        // Same pid again — even on a different core — is refused.
+        assert!(!rq.enqueue(0, 7));
+        assert!(!rq.enqueue(1, 7));
+        assert_eq!(rq.total(), 1);
+        assert!(rq.contains(7));
+        assert_eq!(rq.pop_local(0), Some(7));
+        assert!(!rq.contains(7));
+        // Once dequeued it may be queued again.
+        assert!(rq.enqueue(1, 7));
     }
 
     #[test]

@@ -8,6 +8,65 @@
 
 use flick_sim::Picos;
 
+/// Reliability knobs for the migration transport: the watchdog that
+/// guards a suspended thread, the retransmit back-off schedule, and the
+/// bounds that turn "keep retrying forever" into "declare the link or
+/// device dead and fail over". Previously hardcoded constants; the
+/// defaults reproduce them exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// How long a suspended thread waits for its wake-up MSI before the
+    /// migration watchdog fires and polls the descriptor ring directly
+    /// (recovering from a lost interrupt, or deciding to retransmit).
+    pub migration_watchdog: Picos,
+    /// Base back-off before the first retransmission; doubles per
+    /// attempt up to `1 << backoff_cap_shift` times the base.
+    pub retry_backoff: Picos,
+    /// Delivery attempts per descriptor before the link is declared
+    /// dead — after which the call degrades to the host interpreter, or
+    /// (with surviving NxPs) fails over to one of them.
+    pub max_link_attempts: u32,
+    /// Caps the exponential back-off: the multiplier saturates at
+    /// `2^backoff_cap_shift` so a long retry budget cannot produce
+    /// astronomically long sleeps.
+    pub backoff_cap_shift: u32,
+    /// Bounded admission at the descriptor ring: a kick finding this
+    /// many descriptors already in flight on the channel is rejected
+    /// with back-pressure (EAGAIN-style) instead of queueing unboundedly.
+    pub ring_capacity: usize,
+}
+
+impl RetryPolicy {
+    /// The constants PR 1 hardcoded, now in one place.
+    pub fn paper_default() -> Self {
+        RetryPolicy {
+            // Generous versus the ~18 µs round trip so the watchdog
+            // never fires on a healthy link.
+            migration_watchdog: Picos::from_micros(200),
+            retry_backoff: Picos::from_micros(5),
+            max_link_attempts: 7,
+            backoff_cap_shift: 8,
+            // The synchronous migration protocol keeps at most one
+            // descriptor in flight per channel, so a capacity of 4
+            // never rejects in fault-free runs but bounds any future
+            // pipelined sender.
+            ring_capacity: 4,
+        }
+    }
+
+    /// The back-off before retry `attempt` (1-based): exponential,
+    /// saturating at `2^backoff_cap_shift` times the base.
+    pub fn backoff_for(&self, attempt: u32) -> Picos {
+        self.retry_backoff * (1u64 << attempt.saturating_sub(1).min(self.backoff_cap_shift))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::paper_default()
+    }
+}
+
 /// Costs of kernel operations on the host.
 #[derive(Clone, Debug)]
 pub struct OsTiming {
@@ -44,18 +103,11 @@ pub struct OsTiming {
     pub nxp_stack_setup: Picos,
     /// `mmap`-style page allocation per 4 KiB page (loader, heap).
     pub page_alloc: Picos,
-    /// How long a suspended thread waits for its wake-up MSI before the
-    /// migration watchdog fires and polls the descriptor ring directly
-    /// (recovering from a lost interrupt, or deciding to retransmit).
-    pub migration_watchdog: Picos,
     /// Building and kicking a NAK after a checksum-rejected descriptor.
     pub nak_path: Picos,
-    /// Base back-off before the first host→NxP retransmission; doubles
-    /// per attempt (bounded by `max_link_attempts`).
-    pub retry_backoff: Picos,
-    /// Delivery attempts per descriptor before the link is declared
-    /// dead and the call degrades to the host interpreter.
-    pub max_link_attempts: u32,
+    /// Watchdog / retransmit / admission policy for the migration
+    /// transport (previously three hardcoded fields here).
+    pub retry: RetryPolicy,
 }
 
 impl OsTiming {
@@ -74,12 +126,8 @@ impl OsTiming {
             wakeup_and_schedule: Picos::from_nanos(8_830),
             nxp_stack_setup: Picos::from_nanos(2_000),
             page_alloc: Picos::from_nanos(400),
-            // Generous versus the ~18 µs round trip so the watchdog
-            // never fires on a healthy link.
-            migration_watchdog: Picos::from_micros(200),
             nak_path: Picos::from_nanos(900),
-            retry_backoff: Picos::from_micros(5),
-            max_link_attempts: 7,
+            retry: RetryPolicy::paper_default(),
         }
     }
 }
@@ -100,6 +148,20 @@ mod tests {
             OsTiming::paper_default().page_fault_path,
             Picos::from_nanos(700)
         );
+    }
+
+    #[test]
+    fn retry_defaults_reproduce_the_old_constants() {
+        let r = RetryPolicy::paper_default();
+        assert_eq!(r.migration_watchdog, Picos::from_micros(200));
+        assert_eq!(r.retry_backoff, Picos::from_micros(5));
+        assert_eq!(r.max_link_attempts, 7);
+        // Back-off schedule: 5µs, 10µs, 20µs, ... saturating at 2^8x.
+        assert_eq!(r.backoff_for(1), Picos::from_micros(5));
+        assert_eq!(r.backoff_for(2), Picos::from_micros(10));
+        assert_eq!(r.backoff_for(4), Picos::from_micros(40));
+        assert_eq!(r.backoff_for(9), Picos::from_micros(5 * 256));
+        assert_eq!(r.backoff_for(40), Picos::from_micros(5 * 256));
     }
 
     #[test]

@@ -252,7 +252,7 @@ impl DmaEngine {
         self.compact_host_front();
         match self.to_host.front() {
             Some(Some(d)) if d.arrival <= now => {
-                self.to_host_live -= 1;
+                self.to_host_live = self.to_host_live.saturating_sub(1);
                 self.to_host.pop_front().flatten().map(|d| d.bytes)
             }
             _ => None,
@@ -292,7 +292,7 @@ impl DmaEngine {
             }
         }
         let taken = self.to_host[hit?].take().map(|d| d.bytes);
-        self.to_host_live -= 1;
+        self.to_host_live = self.to_host_live.saturating_sub(1);
         self.compact_host_front();
         taken
     }
@@ -317,6 +317,22 @@ impl DmaEngine {
     /// Descriptors currently queued in the NxP→host channel.
     pub fn depth_to_host(&self) -> usize {
         self.to_host_live
+    }
+
+    /// Quiesces the engine after its device was declared dead: every
+    /// in-flight descriptor in both directions is reaped (the device's
+    /// buffer is gone; host-ring leftovers must not be claimed by a
+    /// later incarnation) and the movers go idle. Returns how many
+    /// descriptors were cancelled. The caller re-executes victims from
+    /// its retained copies, so reaping loses no work.
+    pub fn reap(&mut self) -> usize {
+        let reaped = self.to_nxp.len() + self.to_host_live;
+        self.to_nxp.clear();
+        self.to_host.clear();
+        self.to_host_live = 0;
+        self.nxp_busy_until = Picos::ZERO;
+        self.host_busy_until = Picos::ZERO;
+        reaped
     }
 }
 
@@ -406,6 +422,14 @@ impl PcieFabric {
         self.channels[k].take_host_desc_where(now, pred)
     }
 
+    /// Quiesces channel `k` after its NxP was declared dead or came
+    /// back from hot-unplug: reaps every in-flight descriptor in both
+    /// directions. Returns the number cancelled. See
+    /// [`DmaEngine::reap`].
+    pub fn reap_channel(&mut self, k: usize) -> usize {
+        self.channels[k].reap()
+    }
+
     /// Total bursts performed in either direction, summed over
     /// channels.
     pub fn total_bursts(&self) -> u64 {
@@ -477,6 +501,15 @@ impl InterruptController {
         self.pending.remove(idx)
     }
 
+    /// Removes every pending interrupt on `vector` — part of channel
+    /// quiesce, so a dead NxP's stale MSIs cannot wake threads placed
+    /// on its later incarnation. Returns how many were purged.
+    pub fn purge_vector(&mut self, vector: u32) -> usize {
+        let before = self.pending.len();
+        self.pending.retain(|m| m.vector != vector);
+        before - self.pending.len()
+    }
+
     /// Earliest pending delivery time, if any.
     pub fn next_due(&self) -> Option<Picos> {
         self.pending.front().map(|m| m.at)
@@ -533,6 +566,40 @@ mod tests {
         // Opposite directions do not serialise with each other.
         let (b1, _) = dma.kick_to_host(Picos::ZERO, vec![0u8; 128]);
         assert!(b1 < a2);
+    }
+
+    #[test]
+    fn reap_cancels_both_directions_and_idles_movers() {
+        let mut dma = DmaEngine::paper_default();
+        dma.kick_to_nxp(Picos::ZERO, vec![1]);
+        dma.kick_to_nxp(Picos::ZERO, vec![2]);
+        let (_, msi) = dma.kick_to_host(Picos::ZERO, vec![3]);
+        assert!(msi.is_some());
+        assert_eq!(dma.depth_to_nxp(), 2);
+        assert_eq!(dma.depth_to_host(), 1);
+        assert_eq!(dma.reap(), 3);
+        assert_eq!(dma.depth_to_nxp(), 0);
+        assert_eq!(dma.depth_to_host(), 0);
+        assert_eq!(dma.poll_nxp(Picos::from_secs(1)), None);
+        assert_eq!(dma.take_host_desc(Picos::from_secs(1)), None);
+        // A reap does not forget history: burst counters survive.
+        assert_eq!(dma.bursts_to_nxp(), 2);
+        assert_eq!(dma.bursts_to_host(), 1);
+        // Second reap is a no-op.
+        assert_eq!(dma.reap(), 0);
+    }
+
+    #[test]
+    fn purge_vector_removes_only_that_vector() {
+        let mut irq = InterruptController::new();
+        irq.raise(Msi { vector: 0, at: Picos::from_nanos(1) });
+        irq.raise(Msi { vector: 1, at: Picos::from_nanos(2) });
+        irq.raise(Msi { vector: 1, at: Picos::from_nanos(3) });
+        assert_eq!(irq.purge_vector(1), 2);
+        assert_eq!(irq.pending(), 1);
+        let left = irq.take_due(Picos::from_nanos(9)).unwrap();
+        assert_eq!(left.vector, 0);
+        assert_eq!(irq.purge_vector(7), 0);
     }
 
     #[test]

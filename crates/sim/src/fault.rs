@@ -49,6 +49,54 @@ pub enum MsiFate {
     Duplicated,
 }
 
+/// Device-level failure kinds: how an entire NxP (not just the link to
+/// it) misbehaves. These are *scheduled* rather than drawn per transfer
+/// because a device death is a state, not an event stream — the plan
+/// answers "is NxP `k` alive at time `t`?" as a pure function of the
+/// schedule, consuming no randomness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceFaultKind {
+    /// The NxP stops executing and stops responding; the link itself is
+    /// electrically up but nothing answers. Detected by retry
+    /// exhaustion.
+    Crash,
+    /// The NxP stops draining its descriptor ring but the link stays up:
+    /// already-queued outbound traffic (NAKs, retransmits of completed
+    /// work) still flows.
+    Hang,
+    /// Hot-unplug: presence detect drops, so the host sees the death
+    /// *instantly* at the next doorbell write instead of waiting out a
+    /// retry budget.
+    Unplug,
+}
+
+impl DeviceFaultKind {
+    /// Short tag used in traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeviceFaultKind::Crash => "crash",
+            DeviceFaultKind::Hang => "hang",
+            DeviceFaultKind::Unplug => "unplug",
+        }
+    }
+}
+
+/// One scheduled device-level failure: NxP `nxp` enters `kind` at
+/// simulated time `at`, and (optionally) rejoins the fleet — healthy,
+/// with empty rings and reset sequence spaces — at `rejoin_at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceEvent {
+    /// Index of the affected NxP.
+    pub nxp: usize,
+    /// What happens to it.
+    pub kind: DeviceFaultKind,
+    /// When the failure begins.
+    pub at: Picos,
+    /// When the device comes back, if ever. While `at <= t < rejoin_at`
+    /// the device is down; at `rejoin_at` it is healthy again.
+    pub rejoin_at: Option<Picos>,
+}
+
 /// Per-kind injection counters, for post-run audits ("every injected
 /// fault was recovered").
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -113,6 +161,9 @@ pub struct FaultPlan {
     max_injections: u64,
     skip: u64,
     counts: FaultCounts,
+    /// Scheduled device-level failures. Queried, never drawn: an empty
+    /// schedule keeps the plan bit-inert regardless of `enabled`.
+    device_events: Vec<DeviceEvent>,
 }
 
 impl FaultPlan {
@@ -131,6 +182,7 @@ impl FaultPlan {
             max_injections: u64::MAX,
             skip: 0,
             counts: FaultCounts::default(),
+            device_events: Vec::new(),
         }
     }
 
@@ -204,6 +256,94 @@ impl FaultPlan {
     pub fn with_skip(mut self, n: u64) -> Self {
         self.skip = n;
         self
+    }
+
+    /// Schedules one device-level failure. Device events are a static
+    /// schedule, independent of the link-fault probabilities and the
+    /// RNG stream: adding them never changes which link faults fire.
+    pub fn with_device_event(mut self, event: DeviceEvent) -> Self {
+        self.device_events.push(event);
+        self
+    }
+
+    /// Schedules a batch of device-level failures.
+    pub fn with_device_events(mut self, events: impl IntoIterator<Item = DeviceEvent>) -> Self {
+        self.device_events.extend(events);
+        self
+    }
+
+    /// A seeded device-failure schedule for chaos soaks: a handful of
+    /// crash/hang/unplug events across NxPs `1..nxps` within `horizon`,
+    /// most with a rejoin. NxP 0 is never a victim so the fleet always
+    /// has a survivor to fail over to. Uses its own RNG (derived from
+    /// `seed`) at construction time, so pairing this schedule with
+    /// [`FaultPlan::chaos`] of the same seed leaves the link-fault
+    /// stream untouched.
+    ///
+    /// Returns an empty schedule for single-NxP fleets.
+    pub fn device_chaos(seed: u64, nxps: usize, horizon: Picos) -> Vec<DeviceEvent> {
+        if nxps < 2 || horizon == Picos::ZERO {
+            return Vec::new();
+        }
+        let mut rng = Xoshiro256::seeded(seed ^ 0x00DE_71CE_FA17);
+        let n_events = rng.gen_range(1, 4);
+        let mut events = Vec::new();
+        for _ in 0..n_events {
+            let nxp = rng.gen_range(1, nxps as u64) as usize;
+            let kind = match rng.gen_range(0, 3) {
+                0 => DeviceFaultKind::Crash,
+                1 => DeviceFaultKind::Hang,
+                _ => DeviceFaultKind::Unplug,
+            };
+            let at = Picos(rng.gen_range(1, horizon.0 + 1));
+            // Two in three events rejoin, up to one horizon after the
+            // outage began; the rest stay dead.
+            let rejoin_at = if rng.gen_range(0, 3) < 2 {
+                Some(at + Picos(rng.gen_range(1, horizon.0 + 1)))
+            } else {
+                None
+            };
+            events.push(DeviceEvent {
+                nxp,
+                kind,
+                at,
+                rejoin_at,
+            });
+        }
+        events
+    }
+
+    /// The scheduled device-level failures.
+    pub fn device_events(&self) -> &[DeviceEvent] {
+        &self.device_events
+    }
+
+    /// True when this plan schedules any device-level failures.
+    pub fn has_device_events(&self) -> bool {
+        !self.device_events.is_empty()
+    }
+
+    /// The device-level failure (if any) afflicting NxP `nxp` at time
+    /// `now`. Pure query — no RNG draw, no state change — so an empty
+    /// schedule is bit-inert. Overlapping events resolve to the one
+    /// scheduled last.
+    pub fn device_state(&self, nxp: usize, now: Picos) -> Option<DeviceFaultKind> {
+        let mut state = None;
+        for e in &self.device_events {
+            if e.nxp != nxp || e.at > now {
+                continue;
+            }
+            match e.rejoin_at {
+                Some(r) if r <= now => {}
+                _ => state = Some(e.kind),
+            }
+        }
+        state
+    }
+
+    /// True when NxP `nxp` is healthy at time `now`.
+    pub fn device_up(&self, nxp: usize, now: Picos) -> bool {
+        self.device_state(nxp, now).is_none()
     }
 
     /// True when this plan can still inject faults.
@@ -365,6 +505,87 @@ mod tests {
             fates.push(plan.perturb_burst(&mut b).dropped);
         }
         assert_eq!(fates, [false, false, false, true, true]);
+    }
+
+    #[test]
+    fn device_schedule_is_a_pure_drawless_query() {
+        let mut plan = FaultPlan::chaos(42).with_device_event(DeviceEvent {
+            nxp: 1,
+            kind: DeviceFaultKind::Crash,
+            at: Picos::from_micros(10),
+            rejoin_at: Some(Picos::from_micros(50)),
+        });
+        let before = plan.rng.clone();
+        // Before onset, during the outage, after rejoin.
+        assert!(plan.device_up(1, Picos::ZERO));
+        assert_eq!(
+            plan.device_state(1, Picos::from_micros(10)),
+            Some(DeviceFaultKind::Crash)
+        );
+        assert_eq!(
+            plan.device_state(1, Picos::from_micros(49)),
+            Some(DeviceFaultKind::Crash)
+        );
+        assert!(plan.device_up(1, Picos::from_micros(50)));
+        // Other NxPs are unaffected.
+        assert!(plan.device_up(0, Picos::from_micros(20)));
+        // Querying the schedule consumed no randomness.
+        assert_eq!(plan.rng.next_u64(), before.clone().next_u64());
+    }
+
+    #[test]
+    fn device_event_without_rejoin_is_permanent() {
+        let plan = FaultPlan::none().with_device_event(DeviceEvent {
+            nxp: 2,
+            kind: DeviceFaultKind::Unplug,
+            at: Picos::from_nanos(5),
+            rejoin_at: None,
+        });
+        assert!(plan.has_device_events());
+        assert!(plan.device_up(2, Picos::from_nanos(4)));
+        assert_eq!(
+            plan.device_state(2, Picos::from_millis(999)),
+            Some(DeviceFaultKind::Unplug)
+        );
+    }
+
+    #[test]
+    fn device_chaos_spares_nxp_zero_and_replays() {
+        let horizon = Picos::from_millis(2);
+        let a = FaultPlan::device_chaos(7, 4, horizon);
+        let b = FaultPlan::device_chaos(7, 4, horizon);
+        assert_eq!(a, b, "same seed must yield the same schedule");
+        assert!(!a.is_empty());
+        for e in &a {
+            assert!(e.nxp >= 1 && e.nxp < 4, "{e:?}");
+            assert!(e.at > Picos::ZERO && e.at <= horizon, "{e:?}");
+        }
+        // Single-NxP fleets get no device events: there is nothing to
+        // fail over to.
+        assert!(FaultPlan::device_chaos(7, 1, horizon).is_empty());
+        // Different seeds usually differ.
+        assert_ne!(a, FaultPlan::device_chaos(8, 4, horizon));
+    }
+
+    #[test]
+    fn device_schedule_does_not_shift_link_fault_stream() {
+        // The acceptance-critical property: adding device events to a
+        // chaos plan must not change which link faults fire.
+        let mut plain = FaultPlan::chaos(0xBEEF);
+        let mut with_devices = FaultPlan::chaos(0xBEEF).with_device_events(
+            FaultPlan::device_chaos(0xBEEF, 3, Picos::from_millis(1)),
+        );
+        for _ in 0..300 {
+            let mut x = [0x77u8; 128];
+            let mut y = [0x77u8; 128];
+            assert_eq!(
+                plain.perturb_burst(&mut x),
+                with_devices.perturb_burst(&mut y)
+            );
+            assert_eq!(x, y);
+            assert_eq!(plain.msi_fate(), with_devices.msi_fate());
+        }
+        assert_eq!(plain.counts(), with_devices.counts());
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod trace;
 pub mod trace_export;
 
 pub use clock::Clock;
-pub use fault::{BurstPerturbation, FaultCounts, FaultPlan, MsiFate};
+pub use fault::{BurstPerturbation, DeviceEvent, DeviceFaultKind, FaultCounts, FaultPlan, MsiFate};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use span::{Span, SpanMark, SpanRecorder, SpanStage};
 pub use stats::{Counter, Histogram, Stats, Summary};

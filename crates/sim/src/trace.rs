@@ -189,6 +189,63 @@ pub enum Event {
         /// Virtual address where emulation started.
         from_va: u64,
     },
+    /// A scheduled device-level failure took effect (first observed by
+    /// the host at this time).
+    DeviceFault {
+        /// The afflicted NxP.
+        nxp: usize,
+        /// `"crash"`, `"hang"` or `"unplug"`.
+        kind: &'static str,
+    },
+    /// The health monitor declared an NxP dead: its circuit breaker
+    /// opened and failover begins.
+    NxpDeclaredDead {
+        /// The dead NxP.
+        nxp: usize,
+    },
+    /// A previously-dead NxP rejoined the fleet: rings cleared, sequence
+    /// spaces reset, breaker half-open pending a probe.
+    NxpRejoined {
+        /// The rejoining NxP.
+        nxp: usize,
+    },
+    /// A half-open breaker's probe migration completed and the breaker
+    /// closed: the NxP is back in normal rotation.
+    ProbeSucceeded {
+        /// The probed NxP.
+        nxp: usize,
+    },
+    /// In-flight descriptors for a dead NxP were reaped from its channel
+    /// rings during quiesce.
+    DescriptorsReaped {
+        /// The quiesced NxP/channel.
+        nxp: usize,
+        /// How many in-flight descriptors were cancelled.
+        count: u64,
+    },
+    /// A victim thread was re-placed from a dead NxP onto a survivor.
+    FailoverReplaced {
+        /// The re-placed thread.
+        pid: u64,
+        /// The NxP it was running toward.
+        from_nxp: usize,
+        /// The surviving NxP now hosting it.
+        to_nxp: usize,
+    },
+    /// A retained descriptor was re-executed on a survivor after its
+    /// original NxP died holding the in-flight leg.
+    FailoverReexecuted {
+        /// The thread whose leg was re-executed.
+        pid: u64,
+        /// The surviving NxP that re-ran it.
+        on_nxp: usize,
+    },
+    /// Bounded admission rejected a kick: the channel's descriptor ring
+    /// was full, so the sender backed off instead of queueing unboundedly.
+    AdmissionRejected {
+        /// The saturated channel.
+        chan: usize,
+    },
     /// Free-form annotation (used by workloads to mark phases).
     Marker(&'static str),
 }

@@ -98,6 +98,20 @@ fn event_name(e: &Event) -> String {
         Event::EmulatedSegment { pid, from_va } => {
             format!("emulate pid{pid} va={from_va:#x}")
         }
+        Event::DeviceFault { nxp, kind } => format!("device-fault nxp{nxp} {kind}"),
+        Event::NxpDeclaredDead { nxp } => format!("nxp-dead nxp{nxp}"),
+        Event::NxpRejoined { nxp } => format!("nxp-rejoin nxp{nxp}"),
+        Event::ProbeSucceeded { nxp } => format!("probe-ok nxp{nxp}"),
+        Event::DescriptorsReaped { nxp, count } => {
+            format!("reaped nxp{nxp} count={count}")
+        }
+        Event::FailoverReplaced { pid, from_nxp, to_nxp } => {
+            format!("failover pid{pid} nxp{from_nxp}->nxp{to_nxp}")
+        }
+        Event::FailoverReexecuted { pid, on_nxp } => {
+            format!("reexecute pid{pid} on nxp{on_nxp}")
+        }
+        Event::AdmissionRejected { chan } => format!("admission-reject chan{chan}"),
         Event::Marker(m) => format!("marker {m}"),
     }
 }

@@ -22,6 +22,17 @@ cargo run --release -p flick-bench --bin bench_gate -- BENCH_simulator.json "$tm
 cargo run --release --example topology -- 1 1
 cargo run --release --example topology -- 2 2
 
+# Failover chaos smoke: the dedicated suite soaks 12 seeds of combined
+# link + device chaos in release (crash/hang/unplug/rejoin must be
+# result-invisible with a balanced task census), then the example
+# drives 8 more seeds end to end — it asserts its results against a
+# fault-free twin internally.
+cargo test -q --release --test failover
+for seed in 1 2 3 4 5 6 7 8; do
+    cargo run --release --example failover -- "$seed" > /dev/null
+done
+echo "failover chaos smoke: 8 seeds ok"
+
 # Timeline-export smoke: a 2x2 observability run must emit a non-empty
 # Chrome-trace JSON file (the example itself validates the JSON).
 tmp_trace="$(mktemp -t flick-timeline-XXXXXX.json)"

@@ -348,6 +348,162 @@ fn abandoned_migration_wait_deadlocks_instead_of_wedging() {
     );
 }
 
+// ---- device-level failures -------------------------------------------------
+
+use flick::Topology;
+use flick_sim::{DeviceEvent, DeviceFaultKind, Picos};
+
+/// Like [`run_faulty`] but on an explicit topology.
+fn run_faulty_topo(
+    topology: Topology,
+    plan: FaultPlan,
+    build: impl FnOnce(&mut ProgramBuilder),
+) -> (Machine, Result<flick::Outcome, RunError>) {
+    let mut p = ProgramBuilder::new("err");
+    build(&mut p);
+    let mut m = Machine::builder().topology(topology).fault_plan(plan).build();
+    let pid = m.load_program(&mut p).expect("load");
+    let out = m.run(pid);
+    (m, out)
+}
+
+/// One long NxP leg: `main` calls `nxp_spin(spin)` once and exits with
+/// the spin count — a wide window for mid-leg device death.
+fn spin_call(spin: i64) -> impl FnOnce(&mut ProgramBuilder) {
+    move |p: &mut ProgramBuilder| {
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.li(abi::A0, spin);
+        main.call("nxp_spin");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut f = FuncBuilder::new("nxp_spin", TargetIsa::Nxp);
+        let sl = f.new_label();
+        let done = f.new_label();
+        f.li(abi::T0, 0);
+        f.bind(sl);
+        f.bge(abi::T0, abi::A0, done);
+        f.addi(abi::T0, abi::T0, 1);
+        f.jmp(sl);
+        f.bind(done);
+        f.mv(abi::A0, abi::T0);
+        f.ret();
+        p.func(f.finish());
+    }
+}
+
+#[test]
+fn crash_of_the_only_nxp_degrades_to_host_emulation() {
+    // The whole fleet (of one) is gone before the first call: detection
+    // costs the retry budget, then — with no survivor to fail over to —
+    // the call degrades to the host-side interpreter.
+    let plan = FaultPlan::none().with_device_event(DeviceEvent {
+        nxp: 0,
+        kind: DeviceFaultKind::Crash,
+        at: Picos::from_nanos(1),
+        rejoin_at: None,
+    });
+    let (m, out) = run_faulty(plan, null_call);
+    let out = out.expect("degraded run still completes");
+    assert_eq!(out.exit_code, 42);
+    assert_eq!(out.stats.get("migrations_degraded"), 1);
+    assert_eq!(m.stats().get("nxp_deaths"), 1);
+    assert_eq!(m.health().health(0).deaths, 1);
+}
+
+#[test]
+fn crash_mid_call_reexecutes_on_survivor() {
+    // The serving NxP dies while the leg is in flight: the reply dies
+    // with it, the watchdog notices, and the retained call descriptor
+    // is re-executed on the survivor. The program sees nothing.
+    let topo = Topology::new(1, 2);
+    let (_, clean) = run_faulty_topo(topo, FaultPlan::none(), spin_call(4_000));
+    let clean = clean.expect("clean run");
+    let mid = Picos::from_nanos(clean.sim_time.as_nanos() / 2);
+    let plan = FaultPlan::none().with_device_event(DeviceEvent {
+        nxp: 0,
+        kind: DeviceFaultKind::Crash,
+        at: mid,
+        rejoin_at: None,
+    });
+    let (m, out) = run_faulty_topo(topo, plan, spin_call(4_000));
+    let out = out.expect("failover run completes");
+    assert_eq!(out.exit_code, clean.exit_code);
+    assert_eq!(m.stats().get("nxp_deaths"), 1);
+    assert_eq!(m.stats().get("failover_reexecutions"), 1);
+    assert_eq!(out.stats.get("migrations_degraded"), 0);
+}
+
+#[test]
+fn nxp_death_during_link_outage_fails_over() {
+    // Double failure on one delivery: the first kicks are eaten by the
+    // link, and by the time the driver retries the device itself is
+    // gone. The shared retry budget detects it and the victim lands on
+    // the survivor.
+    let plan = FaultPlan::seeded(23)
+        .with_drop_burst(1.0)
+        .with_max_injections(2)
+        .with_device_event(DeviceEvent {
+            nxp: 0,
+            kind: DeviceFaultKind::Crash,
+            at: Picos::from_nanos(1),
+            rejoin_at: None,
+        });
+    let (m, out) = run_faulty_topo(Topology::new(1, 2), plan, null_call);
+    let out = out.expect("failover run completes");
+    assert_eq!(out.exit_code, 42);
+    assert_eq!(m.stats().get("nxp_deaths"), 1);
+    assert_eq!(m.stats().get("failover_replacements"), 1);
+    assert_eq!(out.stats.get("migrations_degraded"), 0);
+}
+
+#[test]
+fn task_census_balances_across_randomized_device_chaos() {
+    // Property: whatever the crash/rejoin schedule — including double
+    // failures — every spawned thread is exactly-once live or exited.
+    // Here all runs complete, so the census must show every pid exited
+    // exactly once, with no thread lost and none duplicated.
+    let topo = Topology::new(2, 3);
+    let horizon = {
+        let mut m = Machine::builder().topology(topo).build();
+        let mut pids = Vec::new();
+        for _ in 0..3 {
+            let mut p = ProgramBuilder::new("err");
+            spin_call(400)(&mut p);
+            pids.push(m.load_program(&mut p).unwrap());
+        }
+        m.run_concurrent(&pids, u64::MAX / 2).unwrap();
+        m.host_now()
+    };
+    for seed in 0..16u64 {
+        let plan = FaultPlan::chaos(seed)
+            .with_device_events(FaultPlan::device_chaos(seed, 3, horizon));
+        let mut m = Machine::builder().topology(topo).fault_plan(plan).build();
+        let mut pids = Vec::new();
+        for _ in 0..3 {
+            let mut p = ProgramBuilder::new("err");
+            spin_call(400)(&mut p);
+            pids.push(m.load_program(&mut p).unwrap());
+        }
+        m.run_concurrent(&pids, u64::MAX / 2)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e:?}"));
+        let (live, mut exited) = m.task_census();
+        assert!(live.is_empty(), "seed {seed}: live threads remain: {live:?}");
+        exited.sort_unstable();
+        let mut want = pids.clone();
+        want.sort_unstable();
+        assert_eq!(exited, want, "seed {seed}: census does not balance");
+    }
+}
+
+#[test]
+fn host_now_on_a_fresh_machine_is_zero() {
+    // Regression: `host_now` on a machine whose cores never ticked used
+    // to assume a nonempty clock set; it must report time zero, not
+    // panic.
+    let m = Machine::paper_default();
+    assert_eq!(m.host_now(), Picos::ZERO);
+}
+
 #[test]
 fn running_an_unknown_pid_is_a_typed_kernel_error() {
     // Regression: `Machine::run` with a PID that was never loaded used
