@@ -44,6 +44,19 @@ struct BenchResult {
     /// topology (deterministic — a property of the simulation, not of
     /// wall clock).
     sim_calls_per_sec: Option<f64>,
+    /// Worker-thread count and mean of the parallel-host-execution
+    /// timing, for benches that re-run the same workload with the
+    /// fleet sharded across OS threads. `mean` stays the sequential
+    /// (threads=1) number so the regression gate keeps comparing
+    /// like with like; the speedup is `mean / par_mean`.
+    par_threads: Option<usize>,
+    par_mean: Option<Duration>,
+}
+
+impl BenchResult {
+    fn host_speedup(&self) -> Option<f64> {
+        Some(self.mean.as_secs_f64() / self.par_mean?.as_secs_f64())
+    }
 }
 
 impl BenchResult {
@@ -53,13 +66,9 @@ impl BenchResult {
     }
 }
 
-/// Times `f` over `samples` iterations after `WARMUP` unrecorded ones.
-fn bench(
-    name: &'static str,
-    samples: u32,
-    insts_per_iter: Option<u64>,
-    mut f: impl FnMut(),
-) -> BenchResult {
+/// Times `f` over `samples` iterations after `WARMUP` unrecorded ones;
+/// returns `(mean, best)`.
+fn time_loop(samples: u32, mut f: impl FnMut()) -> (Duration, Duration) {
     const WARMUP: u32 = 2;
     for _ in 0..WARMUP {
         f();
@@ -73,7 +82,17 @@ fn bench(
         total += dt;
         best = best.min(dt);
     }
-    let mean = total / samples;
+    (total / samples, best)
+}
+
+/// Times `f` over `samples` iterations after the warm-up ones.
+fn bench(
+    name: &'static str,
+    samples: u32,
+    insts_per_iter: Option<u64>,
+    f: impl FnMut(),
+) -> BenchResult {
+    let (mean, best) = time_loop(samples, f);
     let r = BenchResult {
         name,
         mean,
@@ -81,6 +100,8 @@ fn bench(
         samples,
         insts_per_iter,
         sim_calls_per_sec: None,
+        par_threads: None,
+        par_mean: None,
     };
     let n = r.samples;
     match r.insts_per_sec() {
@@ -154,15 +175,25 @@ fn tput_program(tag: i64) -> ProgramBuilder {
     p
 }
 
-/// Runs the throughput fleet on 2 host cores × `nxps` NxPs under an
-/// optional fault plan; returns the simulated finish time.
-fn run_tput_fleet(nxps: usize, plan: Option<FaultPlan>) -> Picos {
+/// Worker-thread count the parallel-host-execution timings run at.
+const PAR_WORKERS: usize = 4;
+
+/// Runs the throughput fleet on `hosts` host cores × `nxps` NxPs with
+/// `threads` OS worker threads, under an optional fault plan; returns
+/// the simulated finish time (identical for every `threads` value).
+fn run_tput_fleet_at(
+    hosts: usize,
+    nxps: usize,
+    threads: usize,
+    plan: Option<FaultPlan>,
+) -> Picos {
     let mut b = Machine::builder()
         .trace(TraceConfig {
             enabled: false,
             capacity: 0,
         })
-        .topology(Topology::new(2, nxps));
+        .threads(threads)
+        .topology(Topology::new(hosts, nxps));
     if let Some(plan) = plan {
         b = b.fault_plan(plan);
     }
@@ -175,19 +206,43 @@ fn run_tput_fleet(nxps: usize, plan: Option<FaultPlan>) -> Picos {
     m.host_now()
 }
 
+/// The 2-host variant every pre-parallel bench used.
+fn run_tput_fleet(nxps: usize, plan: Option<FaultPlan>) -> Picos {
+    run_tput_fleet_at(2, nxps, 1, plan)
+}
+
 /// Migration throughput at a topology: 8 processes × 8 NxP calls over
-/// 2 host cores and a varying NxP count. The wall-clock number tracks
-/// simulator cost; the attached `sim_calls_per_sec` is the paper-side
-/// result — simulated calls/sec must scale with the NxP count.
-fn bench_migration_throughput(samples: u32, nxps: usize, name: &'static str) -> BenchResult {
-    let sim_elapsed = run_tput_fleet(nxps, None);
+/// `hosts` host cores and a varying NxP count. The wall-clock number
+/// tracks simulator cost; the attached `sim_calls_per_sec` is the
+/// paper-side result — simulated calls/sec must scale with the NxP
+/// count. Each topology is timed twice: sequential (`mean_ns`, what
+/// the regression gate watches) and sharded across [`PAR_WORKERS`] OS
+/// threads (`par_mean_ns` / `host_speedup`); both produce the same
+/// simulated timeline.
+fn bench_migration_throughput(
+    samples: u32,
+    hosts: usize,
+    nxps: usize,
+    name: &'static str,
+) -> BenchResult {
+    let sim_elapsed = run_tput_fleet_at(hosts, nxps, 1, None);
     let calls = (TPUT_PROCS * TPUT_CALLS) as f64;
     let sim_cps = calls / (sim_elapsed.as_nanos_f64() * 1e-9);
     let mut r = bench(name, samples, None, || {
-        black_box(run_tput_fleet(nxps, None));
+        black_box(run_tput_fleet_at(hosts, nxps, 1, None));
     });
-    println!("{:<32} {sim_cps:>12.0} simulated calls/sec", "");
+    let (par_mean, par_best) = time_loop(samples, || {
+        black_box(run_tput_fleet_at(hosts, nxps, PAR_WORKERS, None));
+    });
     r.sim_calls_per_sec = Some(sim_cps);
+    r.par_threads = Some(PAR_WORKERS);
+    r.par_mean = Some(par_mean);
+    println!("{:<32} {sim_cps:>12.0} simulated calls/sec", "");
+    println!(
+        "{:<32} par({PAR_WORKERS}) mean {par_mean:>8.3?}  best {par_best:>8.3?}  (host speedup {:.2}x)",
+        "",
+        r.host_speedup().unwrap()
+    );
     r
 }
 
@@ -331,6 +386,12 @@ fn to_json(samples: u32, results: &[BenchResult]) -> String {
         if let Some(cps) = r.sim_calls_per_sec {
             extra.push_str(&format!(", \"sim_calls_per_sec\": {cps:.0}"));
         }
+        if let (Some(t), Some(p), Some(s)) = (r.par_threads, r.par_mean, r.host_speedup()) {
+            extra.push_str(&format!(
+                ", \"threads\": {t}, \"par_mean_ns\": {}, \"host_speedup\": {s:.2}",
+                p.as_nanos()
+            ));
+        }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}{}}}{}\n",
             r.name,
@@ -371,9 +432,11 @@ fn main() {
         bench_pure_interpret(samples),
         bench_pointer_chase(samples),
         bench_graph_generation(samples),
-        bench_migration_throughput(samples, 1, "migration_throughput_1nxp"),
-        bench_migration_throughput(samples, 2, "migration_throughput_2nxp"),
-        bench_migration_throughput(samples, 4, "migration_throughput_4nxp"),
+        bench_migration_throughput(samples, 2, 1, "migration_throughput_1nxp"),
+        bench_migration_throughput(samples, 2, 2, "migration_throughput_2nxp"),
+        bench_migration_throughput(samples, 2, 4, "migration_throughput_4nxp"),
+        bench_migration_throughput(samples, 2, 8, "migration_throughput_8nxp"),
+        bench_migration_throughput(samples, 4, 16, "migration_throughput_16nxp"),
         bench_migration_throughput_degraded(samples),
     ];
     if let Some(path) = json_path {

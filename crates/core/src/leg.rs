@@ -1,0 +1,455 @@
+//! The NxP migration leg as a pure function over owned state.
+//!
+//! A *leg* is one NxP-side execution episode: a descriptor lands on the
+//! device, the thread context-switches in, runs interpreted FIR (taking
+//! exec-fault redirects and runtime services), and finally hands a
+//! descriptor back toward the host. In the sequential engine the leg
+//! ran inline inside `Machine::nxp_execute`; here it is extracted into
+//! [`leg_run`], a free function over a [`LegJob`] that owns everything
+//! the leg touches — the NxP [`Core`], a private [`PhysMem`] holding
+//! the process's frames, the thread's checkpointed context, and the
+//! descriptor bytes.
+//!
+//! Ownership is what makes parallel host execution deterministic: a
+//! job carries no shared mutable state, so `leg_run(job)` computes the
+//! same [`LegResult`] whether it runs inline on the coordinator thread
+//! (serialized mode, `threads = 1`) or on a worker thread of the
+//! [`ParEngine`] (pipelined mode). All timestamps come from the leg's
+//! own simulated NxP clock; trace events are buffered in dispatch
+//! order and spliced into the global trace at join time, so the merged
+//! timeline is independent of worker count and OS scheduling.
+
+use crate::descriptor::{DescKind, MigrationDescriptor};
+use crate::machine::RunError;
+use crate::nxp::{NxpThread, NxpTiming};
+use crate::services::{self as svc, desc_layout as L};
+use flick_cpu::{Core, CpuContext, Exception, InstFaultKind, MemEnv, StopReason};
+use flick_isa::abi;
+use flick_mem::{PhysAddr, PhysMem, VirtAddr};
+use flick_os::kernel::nxp_heap_bump;
+use flick_sim::trace::Side;
+use flick_sim::{CoreId, Event, Picos};
+use flick_toolchain::layout;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Everything one NxP leg needs, owned. Built by the coordinator at
+/// dispatch, consumed by [`leg_run`] on whichever thread executes it.
+pub(crate) struct LegJob {
+    /// Monotone dispatch counter; joins match results back by this.
+    pub leg_id: u64,
+    /// Channel / NxP index the leg runs on.
+    pub nc: usize,
+    /// The migrating thread.
+    pub pid: u64,
+    /// The NxP core, moved out of the fleet for the leg's duration.
+    pub core: Core,
+    /// Private physical memory: the whole machine memory in serialized
+    /// mode, or just this process's frames in pipelined mode.
+    pub mem: PhysMem,
+    /// Memory map + latency model (cheap clone, `Arc`s inside).
+    pub env: MemEnv,
+    /// NxP runtime path costs.
+    pub timing: NxpTiming,
+    /// Wire bytes of the inbound descriptor.
+    pub in_bytes: Vec<u8>,
+    /// The decoded inbound descriptor.
+    pub desc: MigrationDescriptor,
+    /// The thread's NxP-side state, detached from the runtime.
+    pub thread: NxpThread,
+    /// `(handler_loop, handler_entry)` VAs, if the program has a
+    /// handler table.
+    pub handlers: Option<(VirtAddr, VirtAddr)>,
+    /// The thread's NxP stack pointer (for outbound descriptors).
+    pub nxp_stack_ptr: u64,
+    /// Observability span carried on outbound descriptors.
+    pub span: u64,
+    /// NxP heap cursor; `ALLOC_NXP` bumps it leg-locally.
+    pub nxp_brk: VirtAddr,
+    /// Physical address of the SRAM descriptor buffer.
+    pub desc_phys: PhysAddr,
+    /// Fuel per `Core::run` call. Serialized mode uses one huge chunk
+    /// (byte-identical to the original inline loop); pipelined mode
+    /// uses small chunks so the leg's clock snapshot stays fresh.
+    pub chunk_fuel: u64,
+    /// The leg publishes its NxP clock here after every chunk; the
+    /// coordinator polls it to decide when a join cannot be deferred.
+    pub clock_pub: Arc<AtomicU64>,
+}
+
+/// What a leg hands back at join time.
+pub(crate) struct LegResult {
+    /// Copied from the job.
+    pub leg_id: u64,
+    /// Copied from the job.
+    pub nc: usize,
+    /// Copied from the job.
+    pub pid: u64,
+    /// The core, with its advanced clock and counters.
+    pub core: Core,
+    /// The private memory, frames to be adopted back.
+    pub mem: PhysMem,
+    /// The thread state (checkpointed context, fault target).
+    pub thread: NxpThread,
+    /// Final heap cursor, written back to the task at join.
+    pub nxp_brk: VirtAddr,
+    /// Instructions retired by this leg.
+    pub retired: u64,
+    /// `migrations_nxp_to_host` delta.
+    pub migrations_nxp_to_host: u64,
+    /// `returns_nxp_to_host` delta.
+    pub returns_nxp_to_host: u64,
+    /// `nxp_exec_faults` delta.
+    pub nxp_exec_faults: u64,
+    /// Trace events in emission order, spliced at the leg's dispatch
+    /// position in the global trace.
+    pub events: Vec<(Option<CoreId>, Picos, Event)>,
+    /// NxP clock when the outbound descriptor was handed to the DMA
+    /// engine (the `NxpSubmit` span mark instant).
+    pub submit_at: Option<Picos>,
+    /// The outbound descriptor (`seq` still 0 — the coordinator owns
+    /// sequence spaces), or the error that ended the leg.
+    pub outcome: Result<MigrationDescriptor, RunError>,
+}
+
+/// Runs `core` until a terminal stop, in `chunk_fuel`-sized slices,
+/// publishing the simulated clock after each slice. The per-segment
+/// budget mirrors the sequential engine's single `u64::MAX / 2` run
+/// call: the leg only reports `OutOfFuel` once the whole budget is
+/// spent, so chunking is invisible to the simulated timeline.
+fn run_segment(
+    core: &mut Core,
+    mem: &mut PhysMem,
+    env: &MemEnv,
+    chunk_fuel: u64,
+    clock_pub: &AtomicU64,
+    retired: &mut u64,
+) -> StopReason {
+    let mut budget = u64::MAX / 2;
+    loop {
+        let before = core.counters().instructions;
+        let stop = core.run(mem, env, chunk_fuel.min(budget));
+        let used = core.counters().instructions - before;
+        *retired += used;
+        budget = budget.saturating_sub(used);
+        clock_pub.store(core.clock().now().as_picos(), Ordering::Relaxed);
+        match stop {
+            StopReason::OutOfFuel if budget > 0 => continue,
+            other => return other,
+        }
+    }
+}
+
+/// Executes one NxP leg to completion over owned state. This is the
+/// body of the sequential engine's `nxp_execute` plus the device half
+/// of `nxp_send`, verbatim in behavior: same clock advances, same
+/// trace events at the same instants, same error surfaces.
+pub(crate) fn leg_run(job: LegJob) -> LegResult {
+    let LegJob {
+        leg_id,
+        nc,
+        pid,
+        mut core,
+        mut mem,
+        env,
+        timing: nt,
+        in_bytes,
+        desc,
+        mut thread,
+        handlers,
+        nxp_stack_ptr,
+        span,
+        mut nxp_brk,
+        desc_phys,
+        chunk_fuel,
+        clock_pub,
+    } = job;
+    let mut events: Vec<(Option<CoreId>, Picos, Event)> = Vec::new();
+    let mut retired = 0u64;
+    let mut migrations_nxp_to_host = 0u64;
+    let mut returns_nxp_to_host = 0u64;
+    let mut nxp_exec_faults = 0u64;
+
+    macro_rules! finish {
+        ($outcome:expr, $submit:expr) => {
+            return LegResult {
+                leg_id,
+                nc,
+                pid,
+                core,
+                mem,
+                thread,
+                nxp_brk,
+                retired,
+                migrations_nxp_to_host,
+                returns_nxp_to_host,
+                nxp_exec_faults,
+                events,
+                submit_at: $submit,
+                outcome: $outcome,
+            }
+        };
+    }
+    macro_rules! fail {
+        ($err:expr) => {
+            finish!(Err($err), None)
+        };
+    }
+
+    // Land the descriptor in the NxP-local buffer the handler reads.
+    mem.write_bytes(desc_phys, &in_bytes);
+
+    // Context switch the thread in.
+    core.clock_mut().advance(nt.context_switch);
+    events.push((
+        Some(CoreId::nxp(nc)),
+        core.clock().now(),
+        Event::NxpContextSwitch { switch_in: true },
+    ));
+    if core.cr3() != PhysAddr(desc.cr3) {
+        core.set_cr3(PhysAddr(desc.cr3));
+    }
+    let fresh = thread.ctx.is_none();
+    if fresh {
+        if desc.kind != DescKind::HostToNxpCall {
+            fail!(RunError::Protocol {
+                side: Side::Nxp,
+                context: "first descriptor for a thread must be a call",
+            });
+        }
+        // The host initialised the stack; the thread starts inside
+        // the handler's while() loop (§IV-B1).
+        let Some((loop_va, _)) = handlers else {
+            fail!(RunError::Protocol {
+                side: Side::Nxp,
+                context: "descriptor for a process with no handler table",
+            });
+        };
+        let mut ctx = CpuContext {
+            pc: loop_va,
+            ..CpuContext::default()
+        };
+        ctx.regs[abi::SP.index()] = desc.nxp_sp;
+        ctx.regs[abi::S0.index()] = layout::NXP_DESC_VA;
+        core.restore_context(&ctx);
+    } else {
+        let Some(ctx) = thread.ctx.take() else {
+            fail!(RunError::Protocol {
+                side: Side::Nxp,
+                context: "resumed thread without a checkpointed NxP context",
+            });
+        };
+        core.restore_context(&ctx);
+    }
+
+    // Run until the thread emits a descriptor toward the host.
+    let out = loop {
+        let stop = run_segment(
+            &mut core,
+            &mut mem,
+            &env,
+            chunk_fuel,
+            &clock_pub,
+            &mut retired,
+        );
+        match stop {
+            StopReason::Ecall(s) if s == svc::NXP_MIGRATE_AND_SUSPEND => {
+                let Some(fault_va) = thread.fault_va.take() else {
+                    fail!(RunError::Protocol {
+                        side: Side::Nxp,
+                        context: "NxP migrate without a saved fault target",
+                    });
+                };
+                let out = MigrationDescriptor {
+                    kind: DescKind::NxpToHostCall,
+                    target: fault_va.as_u64(),
+                    ret: 0,
+                    args: [
+                        core.reg(abi::A0),
+                        core.reg(abi::A1),
+                        core.reg(abi::A2),
+                        core.reg(abi::A3),
+                        core.reg(abi::A4),
+                        core.reg(abi::A5),
+                    ],
+                    pid,
+                    cr3: core.cr3().as_u64(),
+                    nxp_sp: nxp_stack_ptr,
+                    seq: 0, // assigned by the coordinator at join
+                    span,
+                };
+                migrations_nxp_to_host += 1;
+                break out;
+            }
+            StopReason::Ecall(s) if s == svc::NXP_RETURN_AND_SWITCH => {
+                let ret = mem.read_u64(PhysAddr(desc_phys.as_u64() + L::RET));
+                let out = MigrationDescriptor {
+                    kind: DescKind::NxpToHostReturn,
+                    target: 0,
+                    ret,
+                    args: [0; 6],
+                    pid,
+                    cr3: core.cr3().as_u64(),
+                    nxp_sp: nxp_stack_ptr,
+                    seq: 0, // assigned by the coordinator at join
+                    span,
+                };
+                returns_nxp_to_host += 1;
+                break out;
+            }
+            StopReason::Ecall(s) if s == svc::ALLOC_NXP => {
+                let size = core.reg(abi::A0);
+                match nxp_heap_bump(nxp_brk, size) {
+                    Ok((base, new_brk)) => {
+                        nxp_brk = new_brk;
+                        core.set_reg(abi::A0, base.as_u64());
+                    }
+                    Err(e) => fail!(RunError::Load(e)),
+                }
+            }
+            StopReason::Ecall(s) if s == svc::CLOCK_NS => {
+                let ns = core.clock().now().as_nanos();
+                core.set_reg(abi::A0, ns);
+            }
+            StopReason::Fault(Exception::InstFault { va, kind })
+                if matches!(kind, InstFaultKind::IsaMismatch | InstFaultKind::Misaligned) =>
+            {
+                // The NxP called a host function: redirect into the
+                // NxP migration handler (§IV-B2).
+                nxp_exec_faults += 1;
+                match kind {
+                    InstFaultKind::Misaligned => events.push((
+                        Some(CoreId::nxp(nc)),
+                        core.clock().now(),
+                        Event::MisalignedFetch {
+                            fault_va: va.as_u64(),
+                        },
+                    )),
+                    _ => events.push((
+                        Some(CoreId::nxp(nc)),
+                        core.clock().now(),
+                        Event::NxFault {
+                            side: Side::Nxp,
+                            fault_va: va.as_u64(),
+                        },
+                    )),
+                }
+                core.clock_mut().advance(nt.exception_entry);
+                thread.fault_va = Some(va);
+                let Some((_, handler)) = handlers else {
+                    fail!(RunError::Protocol {
+                        side: Side::Nxp,
+                        context: "exec fault in a process with no handler table",
+                    });
+                };
+                core.set_pc(handler);
+            }
+            StopReason::Ecall(service) => fail!(RunError::UnknownService {
+                side: Side::Nxp,
+                service,
+            }),
+            StopReason::Fault(exception) => fail!(RunError::Crash {
+                side: Side::Nxp,
+                exception,
+            }),
+            StopReason::Halt => {
+                let va = core.pc();
+                fail!(RunError::Crash {
+                    side: Side::Nxp,
+                    exception: Exception::InstFault {
+                        va,
+                        kind: InstFaultKind::Illegal,
+                    },
+                })
+            }
+            StopReason::OutOfFuel => fail!(RunError::FuelExhausted),
+        }
+    };
+
+    // The device half of the send: save the thread, switch to the
+    // scheduler, stamp the outbound descriptor. Sequence assignment,
+    // DMA, and the MSI happen at join on the coordinator — they touch
+    // shared channel state.
+    core.clock_mut().advance(nt.desc_build);
+    let ctx = core.save_context();
+    thread.ctx = Some(ctx);
+    core.clock_mut().advance(nt.context_switch);
+    events.push((
+        Some(CoreId::nxp(nc)),
+        core.clock().now(),
+        Event::NxpContextSwitch { switch_in: false },
+    ));
+    // The wire length is seq-independent, so stamping seq at join
+    // keeps this event byte-identical to the sequential engine's.
+    let wire_len = out.to_bytes().len();
+    events.push((
+        Some(CoreId::nxp(nc)),
+        core.clock().now(),
+        Event::DescriptorSent {
+            from: Side::Nxp,
+            kind: out.kind.label(),
+            bytes: wire_len,
+        },
+    ));
+    let submit_at = core.clock().now();
+    clock_pub
+        .store(submit_at.as_picos(), Ordering::Relaxed);
+    finish!(Ok(out), Some(submit_at))
+}
+
+/// The worker pool for pipelined mode: one OS thread per worker, a
+/// dedicated job channel per worker (channel `nc` always maps to
+/// worker `nc % workers`, so legs of one NxP channel never reorder),
+/// and a shared result channel the coordinator joins on.
+pub(crate) struct ParEngine {
+    txs: Vec<Sender<LegJob>>,
+    rx: Receiver<LegResult>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl ParEngine {
+    /// Spawns `workers` leg-execution threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (res_tx, rx) = channel::<LegResult>();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, job_rx) = channel::<LegJob>();
+            let res = res_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = job_rx.recv() {
+                    if res.send(leg_run(job)).is_err() {
+                        break;
+                    }
+                }
+            }));
+            txs.push(tx);
+        }
+        ParEngine { txs, rx, handles }
+    }
+
+    /// Ships a job to the worker owning channel `nc`.
+    pub fn submit(&self, nc: usize, job: LegJob) {
+        let w = nc % self.txs.len();
+        self.txs[w].send(job).expect("leg worker thread died");
+    }
+
+    /// Blocks for the next completed leg, in completion order. The
+    /// coordinator parks results whose `leg_id` it is not waiting for.
+    pub fn recv(&self) -> LegResult {
+        self.rx.recv().expect("leg worker thread died")
+    }
+}
+
+impl Drop for ParEngine {
+    fn drop(&mut self) {
+        // Closing the job channels lets the workers drain and exit.
+        self.txs.clear();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}

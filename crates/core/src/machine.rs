@@ -11,10 +11,11 @@
 use crate::descriptor::{DescKind, MigrationDescriptor};
 use crate::handlers;
 use crate::health::{BreakerState, HealthMonitor};
+use crate::leg;
 use crate::nxp::{NxpRuntime, NxpTiming};
 use crate::services::{self as svc, desc_layout as L};
 use crate::topology::{NxpPlacement, Topology};
-use flick_cpu::{Core, CoreConfig, CpuContext, Exception, InstFaultKind, MemEnv, StopReason};
+use flick_cpu::{Core, CoreConfig, Exception, InstFaultKind, MemEnv, StopReason};
 use flick_isa::abi;
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_os::{Kernel, KernelError, LoadError, OsTiming, RunQueues};
@@ -261,6 +262,10 @@ enum EcallFlow {
     /// context (graceful degradation unwound the migration); reinstall
     /// it and keep running.
     Resume,
+    /// The thread suspended for migration and its NxP leg was handed
+    /// to a worker thread (pipelined mode); the wake surfaces via
+    /// `ready_wakes` when the leg joins.
+    Dispatched,
 }
 
 /// Outcome of one NxP pickup attempt of a host→NxP burst.
@@ -304,6 +309,7 @@ pub struct MachineBuilder {
     topology: Option<Topology>,
     nxp_placement: Option<NxpPlacement>,
     observability: Option<bool>,
+    threads: Option<usize>,
 }
 
 impl MachineBuilder {
@@ -399,6 +405,17 @@ impl MachineBuilder {
         self
     }
 
+    /// Number of OS worker threads for NxP leg execution. `1` (the
+    /// default) keeps the fully sequential engine; `0` means "auto" —
+    /// one worker per available host hardware thread. Any value keeps
+    /// the simulated timeline bit-identical: parallelism only changes
+    /// which *host* thread interprets an NxP leg, never when the leg
+    /// happens on the simulated clock.
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
     /// Builds the machine.
     pub fn build(self) -> Machine {
         let mut env = MemEnv::paper_default();
@@ -418,6 +435,13 @@ impl MachineBuilder {
             nxp_cfg.fast_path = fp;
         }
         let topology = self.topology.unwrap_or_default();
+        let threads = match self.threads {
+            None => 1,
+            Some(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(n) => n,
+        };
         Machine {
             hosts: (0..topology.host_cores)
                 .map(|_| Core::new(host_cfg.clone()))
@@ -449,6 +473,15 @@ impl MachineBuilder {
             span_of: HashMap::new(),
             last_nx_fault: HashMap::new(),
             retired: 0,
+            threads,
+            par: None,
+            pipelined: false,
+            spares: (0..topology.nxp_cores).map(|_| None).collect(),
+            in_flight: HashMap::new(),
+            parked: HashMap::new(),
+            ready_wakes: Vec::new(),
+            par_counter_offset: 0,
+            next_leg_id: 0,
             topology,
             mem,
             env,
@@ -524,6 +557,57 @@ pub struct Machine {
     /// scheduling loop's fuel accounting reads one field instead of
     /// re-summing every core each iteration.
     retired: u64,
+    /// Worker-thread count for NxP leg execution (1 = sequential).
+    threads: usize,
+    /// The worker pool, spawned lazily on the first pipelined run.
+    par: Option<leg::ParEngine>,
+    /// Whether the *current* run may overlap NxP legs with host
+    /// execution. Decided once per event loop: requires `threads > 1`,
+    /// effectively unbounded fuel (preemption quanta stay per-call),
+    /// and an inert fault plan — chaos and failover runs always take
+    /// the serialized engine, whose state evolution is byte-identical
+    /// to the original inline one.
+    pipelined: bool,
+    /// Stand-in cores occupying fleet slots while the real core is out
+    /// on a leg; swapped back at join. A spare never executes, so its
+    /// clock and counters stay zero.
+    spares: Vec<Option<Core>>,
+    /// In-flight leg bookkeeping, keyed by channel. The engine keeps at
+    /// most one leg in flight per channel — that invariant is what
+    /// makes per-channel sequence assignment order-identical to the
+    /// sequential engine.
+    in_flight: HashMap<usize, InFlightLeg>,
+    /// Completed legs received out of join order, parked by leg id.
+    parked: HashMap<u64, leg::LegResult>,
+    /// Wakes produced by joins, drained into the scheduler's pending
+    /// heaps at the next event-loop touchpoint. `(host core, pid, wake)`.
+    ready_wakes: Vec<(usize, u64, PendingWake)>,
+    /// Instructions already retired by cores currently out on legs —
+    /// keeps the `executed()` invariant exact while a core is detached.
+    par_counter_offset: u64,
+    /// Monotone dispatch counter for legs.
+    next_leg_id: u64,
+}
+
+/// Coordinator-side record of one dispatched leg.
+struct InFlightLeg {
+    /// Matches [`leg::LegResult::leg_id`].
+    leg_id: u64,
+    /// Host core that dispatched (and will be woken by) the leg.
+    hc: usize,
+    /// The migrating thread.
+    pid: u64,
+    /// Instructions the NxP core had retired before it left the fleet.
+    pre_insts: u64,
+    /// Global text generation at dispatch (sharded-memory mode).
+    init_gen: u64,
+    /// Global trace length at dispatch: the splice position where this
+    /// leg's events belong.
+    trace_pos: usize,
+    /// Whole-memory (serialized) vs per-process-frames (pipelined).
+    whole_mem: bool,
+    /// The leg's published NxP clock, polled to decide due joins.
+    clock_pub: std::sync::Arc<std::sync::atomic::AtomicU64>,
 }
 
 impl fmt::Debug for Machine {
@@ -670,23 +754,31 @@ impl Machine {
         self.topology
     }
 
-    /// Per-core statistics snapshots, labelled `host{i}`, `nxp{i}` and
-    /// (for host cores that ran degraded threads) `emu{i}`. The
-    /// aggregate counters in [`Outcome::stats`] are the sums of these.
-    pub fn per_core_stats(&self) -> Vec<(String, Stats)> {
+    /// Per-core statistics snapshots, keyed by [`CoreId`] (host, NxP,
+    /// and — for host cores that ran degraded threads — emulator
+    /// cores). The aggregate counters in [`Outcome::stats`] are the
+    /// sums of these. Format a key with `Display` (`host0`, `nxp1`,
+    /// `emu0`) when a label is needed.
+    pub fn per_core_stats(&self) -> Vec<(CoreId, Stats)> {
         let mut out = Vec::new();
         for (i, c) in self.hosts.iter().enumerate() {
-            out.push((format!("host{i}"), c.stats()));
+            out.push((CoreId::host(i), c.stats()));
         }
         for (i, c) in self.nxps.iter().enumerate() {
-            out.push((format!("nxp{i}"), c.stats()));
+            out.push((CoreId::nxp(i), c.stats()));
         }
         for (i, c) in self.emus.iter().enumerate() {
             if let Some(c) = c {
-                out.push((format!("emu{i}"), c.stats()));
+                out.push((CoreId::emu(i), c.stats()));
             }
         }
         out
+    }
+
+    /// Number of OS worker threads used for parallel host execution
+    /// (1 = fully sequential in-process execution).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Allocates NxP-DRAM heap for `pid` without charging simulated
@@ -786,6 +878,39 @@ impl Machine {
         fuel: u64,
         quantum: u64,
     ) -> Result<Vec<(u64, Outcome)>, RunError> {
+        // Pipelined mode: overlap NxP legs with host execution on
+        // worker threads. Only worth engaging (and only proven
+        // equivalent) for effectively-unbounded fuel budgets and an
+        // inert fault plan; everything else takes the serialized
+        // engine, whose state evolution is byte-identical to the
+        // original inline one.
+        self.pipelined = self.threads > 1
+            && fuel > u64::MAX / 4
+            && !self.plan.is_active()
+            && !self.plan.has_device_events();
+        if self.pipelined && self.par.is_none() {
+            self.par = Some(leg::ParEngine::new(self.threads));
+        }
+        let r = self.event_loop_inner(pids, fuel, quantum);
+        if r.is_err() {
+            // A failed run must not leave legs in flight: join them
+            // (best-effort — the run's error is what gets reported)
+            // and drop their wakes.
+            while let Some(&nc) = self.in_flight.keys().min() {
+                let _ = self.join_leg(nc);
+            }
+            self.ready_wakes.clear();
+        }
+        debug_assert!(self.in_flight.is_empty());
+        r
+    }
+
+    fn event_loop_inner(
+        &mut self,
+        pids: &[u64],
+        fuel: u64,
+        quantum: u64,
+    ) -> Result<Vec<(u64, Outcome)>, RunError> {
         for &pid in pids {
             if self.kernel.task(pid)?.state == flick_os::TaskState::Zombie {
                 return Err(RunError::Build(format!("process {pid} already exited")));
@@ -817,6 +942,7 @@ impl Machine {
             if self.executed() - start_insts >= fuel {
                 return Err(RunError::FuelExhausted);
             }
+            self.drain_ready_wakes(&mut pending, &mut wakes)?;
             let stealable = rq.total() > 0;
             let hc = (0..n)
                 .filter(|&c| {
@@ -825,6 +951,7 @@ impl Machine {
                         || rq.len(c) > 0
                         || stealable
                         || !pending[c].is_empty()
+                        || self.has_inflight_for(c)
                 })
                 .min_by_key(|&c| (self.hosts[c].clock().now(), c));
             let Some(hc) = hc else {
@@ -868,11 +995,19 @@ impl Machine {
     ) -> Result<(), RunError> {
         // Deliver every wake-up that has already fired on this core,
         // oldest first; a preempted thread re-queues *behind* the
-        // freshly woken ones.
-        while pending[hc]
-            .peek()
-            .is_some_and(|&Reverse((due, _))| due <= self.hosts[hc].clock().now())
-        {
+        // freshly woken ones. Delivery advances the host clock, so
+        // in-flight legs are re-checked for due joins every iteration
+        // — the heap must hold exactly the wakes the sequential engine
+        // would have at each delivery decision.
+        loop {
+            self.resolve_due_legs(hc)?;
+            self.drain_ready_wakes(pending, wakes)?;
+            if pending[hc]
+                .peek()
+                .is_none_or(|&Reverse((due, _))| due > self.hosts[hc].clock().now())
+            {
+                break;
+            }
             let Some(Reverse((_, pid))) = pending[hc].pop() else {
                 break;
             };
@@ -880,6 +1015,11 @@ impl Machine {
                 side: Side::Host,
                 context: "heaped wake-up without a wake record",
             })?;
+            // Another thread's leg may still be in flight on this
+            // wake's channel; the sequential engine had it complete
+            // before this delivery reads the channel's rings.
+            self.join_leg(wake.chan)?;
+            self.drain_ready_wakes(pending, wakes)?;
             self.deliver_wakeup(hc, pid, wake)?;
             let now = self.hosts[hc].clock().now();
             let task = self.kernel.task_mut(pid)?;
@@ -904,7 +1044,13 @@ impl Machine {
                     pid
                 }
                 None => {
-                    // Idle: fast-forward to this core's earliest wake.
+                    // Idle: nothing to run until a wake arrives, so any
+                    // leg this core dispatched must land first — this
+                    // join is the conservative-synchronization barrier
+                    // (wait = the slowest in-flight leg, not the sum).
+                    self.join_core_legs(hc)?;
+                    self.drain_ready_wakes(pending, wakes)?;
+                    // Fast-forward to this core's earliest wake.
                     if let Some(&Reverse((due, _))) = pending[hc].peek() {
                         self.hosts[hc].clock_mut().sync_to(due);
                     }
@@ -949,6 +1095,13 @@ impl Machine {
                         return Ok(()); // this core is free for others
                     }
                     EcallFlow::Resume => self.install_task(hc, pid)?,
+                    EcallFlow::Dispatched => {
+                        // The NxP leg is running on a worker thread;
+                        // its wake joins the pending heap at the next
+                        // touchpoint. The core is free meanwhile.
+                        slots[hc].running = None;
+                        return Ok(());
+                    }
                 },
                 StopReason::Fault(Exception::InstFault {
                     va,
@@ -1001,7 +1154,11 @@ impl Machine {
                     // Quantum expired. Preempt only if a wake-up is
                     // actually due here — otherwise the task keeps the
                     // core and the turn ends (another core may hold
-                    // the globally earliest clock now).
+                    // the globally earliest clock now). The heap must
+                    // match the sequential engine's at this decision,
+                    // so due legs join first.
+                    self.resolve_due_legs(hc)?;
+                    self.drain_ready_wakes(pending, wakes)?;
                     let now = self.hosts[hc].clock().now();
                     if pending[hc]
                         .peek()
@@ -1027,20 +1184,29 @@ impl Machine {
         // Polled every scheduling-loop iteration: a running total
         // maintained at each `Core::run` call site, instead of
         // re-summing every core in the fleet per poll.
+        // While a core is out on a leg a zero-counter spare holds its
+        // fleet slot; `par_counter_offset` carries the detached core's
+        // pre-dispatch count so the invariant stays exact. (The leg's
+        // own retirements are accounted at join.)
         debug_assert_eq!(
             self.retired,
-            self.hosts
-                .iter()
-                .chain(self.nxps.iter())
-                .chain(self.emus.iter().flatten())
-                .map(|c| c.counters().instructions)
-                .sum::<u64>(),
+            self.par_counter_offset
+                + self
+                    .hosts
+                    .iter()
+                    .chain(self.nxps.iter())
+                    .chain(self.emus.iter().flatten())
+                    .map(|c| c.counters().instructions)
+                    .sum::<u64>(),
             "running retired total out of sync with core counters"
         );
         self.retired
     }
 
     fn finish(&mut self, hc: usize, pid: u64, code: u64) -> Result<Outcome, RunError> {
+        // The outcome snapshots fleet-wide stats; in the sequential
+        // engine every dispatched leg has completed by any exit point.
+        self.join_all_legs()?;
         let task = self.kernel.task_mut(pid)?;
         task.state = flick_os::TaskState::Zombie;
         task.exit_code = code;
@@ -1228,6 +1394,12 @@ impl Machine {
                         context: "placement over a machine with no NxPs",
                     });
                 }
+                // Least-loaded placement compares every NxP clock; a
+                // detached core's slot holds a zero-clock spare, so
+                // every leg must land before the comparison reads.
+                if matches!(self.placement, NxpPlacement::LeastLoaded) {
+                    self.join_all_legs()?;
+                }
                 let nc = match self.placement {
                     NxpPlacement::RoundRobin => {
                         let k = pool[self.rr_next % pool.len()];
@@ -1244,6 +1416,13 @@ impl Machine {
                 nc
             }
         };
+        // At most one leg in flight per channel, ever: the previous
+        // leg on this channel (possibly another thread's) must land
+        // before this one touches the channel's sequence spaces,
+        // rings, or NxP clock. Per-channel join order therefore equals
+        // dispatch order, which is what keeps sequence assignment
+        // identical to the sequential engine.
+        self.join_leg(nc)?;
         let seq = self.chans[nc].h2n;
         self.chans[nc].h2n += 1;
         // The span id is assigned unconditionally — it lives in the
@@ -1485,12 +1664,17 @@ impl Machine {
         // Accepted: run the NxP leg until it sends a descriptor back,
         // then arm the watchdog from the *expected* wake time so a lost
         // wake-up interrupt is always noticed.
-        let wake = self.nxp_execute(nc, pid, in_bytes, in_desc)?;
-        let base = wake
-            .msi_at
-            .unwrap_or_else(|| self.nxps[nc].clock().now().max(self.hosts[hc].clock().now()));
-        self.kernel.task_mut(pid)?.deadline = Some(base + timing.retry.migration_watchdog);
-        Ok(EcallFlow::Suspended(wake))
+        match self.dispatch_leg(hc, nc, pid, in_bytes, in_desc)? {
+            Some(wake) => {
+                let base = wake.msi_at.unwrap_or_else(|| {
+                    self.nxps[nc].clock().now().max(self.hosts[hc].clock().now())
+                });
+                self.kernel.task_mut(pid)?.deadline =
+                    Some(base + timing.retry.migration_watchdog);
+                Ok(EcallFlow::Suspended(wake))
+            }
+            None => Ok(EcallFlow::Dispatched),
+        }
     }
 
     /// Scans for dead NxPs whose scheduled outage has ended (presence
@@ -1919,7 +2103,7 @@ impl Machine {
                     }
                 }
             };
-            return self.nxp_execute(nc, pid, in_bytes, in_desc).map(Some);
+            return self.nxp_execute(hc, nc, pid, in_bytes, in_desc).map(Some);
         }
     }
 
@@ -2290,257 +2474,378 @@ impl Machine {
         }
     }
 
-    /// The NxP side after a descriptor is accepted: context switch,
-    /// interpreted execution, exec-fault redirects, until the thread
-    /// hands a descriptor back to the host.
+    /// The NxP side after a descriptor is accepted, serialized:
+    /// dispatch the leg inline and join it immediately. Used by the
+    /// failover re-execution path, which only exists under device
+    /// fault plans — always serialized runs.
     fn nxp_execute(
         &mut self,
+        hc: usize,
         nc: usize,
         pid: u64,
         in_bytes: Vec<u8>,
         desc: MigrationDescriptor,
     ) -> Result<PendingWake, RunError> {
-        let nt = self.nxp_timing.clone();
-        // Land the descriptor in the NxP-local buffer the handler reads.
-        let desc_phys = self.nxp_desc_phys();
-        self.mem.write_bytes(desc_phys, &in_bytes);
+        self.dispatch_leg(hc, nc, pid, in_bytes, desc)?
+            .ok_or(RunError::Protocol {
+                side: Side::Nxp,
+                context: "failover leg dispatched asynchronously",
+            })
+    }
 
-        // Context switch the thread in.
-        self.nxps[nc].clock_mut().advance(nt.context_switch);
-        self.trace.record_on(
-            CoreId::nxp(nc),
-            self.nxps[nc].clock().now(),
-            Event::NxpContextSwitch { switch_in: true },
-        );
-        if self.nxps[nc].cr3() != PhysAddr(desc.cr3) {
-            self.nxps[nc].set_cr3(PhysAddr(desc.cr3));
+    /// True when host core `hc` has dispatched a leg that is still in
+    /// flight — it must stay schedulable to eventually join it.
+    fn has_inflight_for(&self, hc: usize) -> bool {
+        self.in_flight.values().any(|l| l.hc == hc)
+    }
+
+    /// Joins every in-flight leg dispatched by `hc` whose *published*
+    /// NxP clock is at or behind `hc`'s host clock. Such a leg's wake
+    /// would already sit in the sequential engine's pending heap, so
+    /// deferring its join any further could change a scheduling
+    /// decision. The published clock only lags the leg's true clock
+    /// (both are monotone), so a snapshot past `now` proves the wake
+    /// is not yet due; a stale snapshot merely joins early — blocking
+    /// until the leg lands — which never changes any observable.
+    fn resolve_due_legs(&mut self, hc: usize) -> Result<(), RunError> {
+        if self.in_flight.is_empty() {
+            return Ok(());
         }
-        let fresh = !self.nxp_rt.has_context(pid);
-        if fresh {
-            if desc.kind != DescKind::HostToNxpCall {
-                return Err(RunError::Protocol {
-                    side: Side::Nxp,
-                    context: "first descriptor for a thread must be a call",
-                });
-            }
-            // The host initialised the stack; the thread starts inside
-            // the handler's while() loop (§IV-B1).
-            let loop_va = self
-                .vas
-                .get(&pid)
-                .ok_or(RunError::Protocol {
-                    side: Side::Nxp,
-                    context: "descriptor for a process with no handler table",
-                })?
-                .nxp_handler_loop;
-            let mut ctx = CpuContext {
-                pc: loop_va,
-                ..CpuContext::default()
+        let now = self.hosts[hc].clock().now();
+        let mut due: Vec<usize> = self
+            .in_flight
+            .iter()
+            .filter(|(_, l)| {
+                l.hc == hc
+                    && Picos(l.clock_pub.load(std::sync::atomic::Ordering::Relaxed)) <= now
+            })
+            .map(|(&c, _)| c)
+            .collect();
+        due.sort_unstable();
+        for c in due {
+            self.join_leg(c)?;
+        }
+        Ok(())
+    }
+
+    /// Joins every in-flight leg dispatched by `hc`, due or not — the
+    /// idle path's conservative barrier before fast-forwarding.
+    fn join_core_legs(&mut self, hc: usize) -> Result<(), RunError> {
+        let mut chans: Vec<usize> = self
+            .in_flight
+            .iter()
+            .filter(|(_, l)| l.hc == hc)
+            .map(|(&c, _)| c)
+            .collect();
+        chans.sort_unstable();
+        for c in chans {
+            self.join_leg(c)?;
+        }
+        Ok(())
+    }
+
+    /// Joins every in-flight leg in the machine.
+    fn join_all_legs(&mut self) -> Result<(), RunError> {
+        let mut chans: Vec<usize> = self.in_flight.keys().copied().collect();
+        chans.sort_unstable();
+        for c in chans {
+            self.join_leg(c)?;
+        }
+        Ok(())
+    }
+
+    /// Moves wakes produced by joins into the scheduler's pending
+    /// heaps, with exactly the due computation of the sequential
+    /// engine's suspend path.
+    fn drain_ready_wakes(
+        &mut self,
+        pending: &mut [BinaryHeap<Reverse<(Picos, u64)>>],
+        wakes: &mut HashMap<u64, PendingWake>,
+    ) -> Result<(), RunError> {
+        if self.ready_wakes.is_empty() {
+            return Ok(());
+        }
+        for (hc, pid, wake) in std::mem::take(&mut self.ready_wakes) {
+            let due = match wake.msi_at {
+                Some(at) => at,
+                None => self
+                    .kernel
+                    .task(pid)?
+                    .deadline
+                    .unwrap_or_else(|| self.hosts[hc].clock().now()),
             };
-            ctx.regs[abi::SP.index()] = desc.nxp_sp;
-            ctx.regs[abi::S0.index()] = layout::NXP_DESC_VA;
-            self.nxps[nc].restore_context(&ctx);
-        } else {
-            let ctx = self
-                .nxp_rt
-                .thread_mut(pid)
-                .ctx
-                .take()
-                .ok_or(RunError::Protocol {
-                    side: Side::Nxp,
-                    context: "resumed thread without a checkpointed NxP context",
-                })?;
-            self.nxps[nc].restore_context(&ctx);
+            pending[hc].push(Reverse((due, pid)));
+            wakes.insert(pid, wake);
         }
+        Ok(())
+    }
 
-        // Run until the thread emits a descriptor toward the host.
-        loop {
-            let before = self.nxps[nc].counters().instructions;
-            let stop = self.nxps[nc].run(&mut self.mem, &self.env, u64::MAX / 2);
-            self.retired += self.nxps[nc].counters().instructions - before;
-            match stop {
-                StopReason::Ecall(s) if s == svc::NXP_MIGRATE_AND_SUSPEND => {
-                    let Some(fault_va) = self.nxp_rt.thread_mut(pid).fault_va.take() else {
-                        return Err(RunError::Protocol {
-                            side: Side::Nxp,
-                            context: "NxP migrate without a saved fault target",
-                        });
-                    };
-                    let out = MigrationDescriptor {
-                        kind: DescKind::NxpToHostCall,
-                        target: fault_va.as_u64(),
-                        ret: 0,
-                        args: [
-                            self.nxps[nc].reg(abi::A0),
-                            self.nxps[nc].reg(abi::A1),
-                            self.nxps[nc].reg(abi::A2),
-                            self.nxps[nc].reg(abi::A3),
-                            self.nxps[nc].reg(abi::A4),
-                            self.nxps[nc].reg(abi::A5),
-                        ],
-                        pid,
-                        cr3: self.nxps[nc].cr3().as_u64(),
-                        nxp_sp: self.kernel.task(pid)?.nxp_stack_ptr.as_u64(),
-                        seq: 0, // assigned by nxp_send
-                        span: self.span_of.get(&pid).copied().unwrap_or(0),
-                    };
-                    self.stats.bump("migrations_nxp_to_host");
-                    return Ok(self.nxp_send(nc, pid, out));
-                }
-                StopReason::Ecall(s) if s == svc::NXP_RETURN_AND_SWITCH => {
-                    let ret = self.mem.read_u64(PhysAddr(desc_phys.as_u64() + L::RET));
-                    let out = MigrationDescriptor {
-                        kind: DescKind::NxpToHostReturn,
-                        target: 0,
-                        ret,
-                        args: [0; 6],
-                        pid,
-                        cr3: self.nxps[nc].cr3().as_u64(),
-                        nxp_sp: self.kernel.task(pid)?.nxp_stack_ptr.as_u64(),
-                        seq: 0, // assigned by nxp_send
-                        span: self.span_of.get(&pid).copied().unwrap_or(0),
-                    };
-                    self.stats.bump("returns_nxp_to_host");
-                    return Ok(self.nxp_send(nc, pid, out));
-                }
-                StopReason::Ecall(s) if s == svc::ALLOC_NXP => {
-                    let size = self.nxps[nc].reg(abi::A0);
-                    let va = self
-                        .kernel
-                        .alloc_nxp_heap(pid, size)
-                        .map_err(RunError::Load)?;
-                    self.nxps[nc].set_reg(abi::A0, va.as_u64());
-                }
-                StopReason::Ecall(s) if s == svc::CLOCK_NS => {
-                    let ns = self.nxps[nc].clock().now().as_nanos();
-                    self.nxps[nc].set_reg(abi::A0, ns);
-                }
-                StopReason::Fault(Exception::InstFault { va, kind })
-                    if matches!(
-                        kind,
-                        InstFaultKind::IsaMismatch | InstFaultKind::Misaligned
-                    ) =>
-                {
-                    // The NxP called a host function: redirect into the
-                    // NxP migration handler (§IV-B2).
-                    self.stats.bump("nxp_exec_faults");
-                    match kind {
-                        InstFaultKind::Misaligned => self.trace.record_on(
-                            CoreId::nxp(nc),
-                            self.nxps[nc].clock().now(),
-                            Event::MisalignedFetch { fault_va: va.as_u64() },
-                        ),
-                        _ => self.trace.record_on(
-                            CoreId::nxp(nc),
-                            self.nxps[nc].clock().now(),
-                            Event::NxFault {
-                                side: Side::Nxp,
-                                fault_va: va.as_u64(),
-                            },
-                        ),
-                    }
-                    self.nxps[nc].clock_mut().advance(nt.exception_entry);
-                    self.nxp_rt.thread_mut(pid).fault_va = Some(va);
-                    let handler = self
-                        .vas
-                        .get(&pid)
-                        .ok_or(RunError::Protocol {
-                            side: Side::Nxp,
-                            context: "exec fault in a process with no handler table",
-                        })?
-                        .nxp_handler;
-                    self.nxps[nc].set_pc(handler);
-                }
-                StopReason::Ecall(service) => {
-                    return Err(RunError::UnknownService {
-                        side: Side::Nxp,
-                        service,
-                    })
-                }
-                StopReason::Fault(exception) => {
-                    return Err(RunError::Crash {
-                        side: Side::Nxp,
-                        exception,
-                    })
-                }
-                StopReason::Halt => {
-                    return Err(RunError::Crash {
-                        side: Side::Nxp,
-                        exception: Exception::InstFault {
-                            va: self.nxps[nc].pc(),
-                            kind: InstFaultKind::Illegal,
-                        },
-                    })
-                }
-                StopReason::OutOfFuel => return Err(RunError::FuelExhausted),
+    /// Dispatches one NxP leg. Serialized mode (the default, and every
+    /// chaos/failover/bounded-fuel run) executes it inline over the
+    /// whole machine memory and returns its wake — byte-identical to
+    /// the historical inline `nxp_execute`. Pipelined mode ships the
+    /// leg (core + the process's frames, moved; shared pages, copied)
+    /// to a worker thread and returns `None`; the wake surfaces via
+    /// `ready_wakes` when the leg joins.
+    fn dispatch_leg(
+        &mut self,
+        hc: usize,
+        nc: usize,
+        pid: u64,
+        in_bytes: Vec<u8>,
+        desc: MigrationDescriptor,
+    ) -> Result<Option<PendingWake>, RunError> {
+        debug_assert!(
+            !self.in_flight.contains_key(&nc),
+            "channel must be quiescent before dispatch"
+        );
+        let pipelined = self.pipelined;
+        let leg_id = self.next_leg_id;
+        self.next_leg_id += 1;
+
+        // Detach the NxP core, leaving a never-run spare in its slot.
+        let spare = self.spares[nc]
+            .take()
+            .unwrap_or_else(|| Core::new(self.nxps[nc].config().clone()));
+        let core = std::mem::replace(&mut self.nxps[nc], spare);
+        let pre_insts = core.counters().instructions;
+        self.par_counter_offset += pre_insts;
+
+        let thread = self.nxp_rt.take_thread(pid);
+        let task = self.kernel.task(pid)?;
+        let nxp_stack_ptr = task.nxp_stack_ptr.as_u64();
+        let nxp_brk = task.nxp_brk;
+        let frame_ranges = task.frame_ranges.clone();
+        let handlers = self
+            .vas
+            .get(&pid)
+            .map(|v| (v.nxp_handler_loop, v.nxp_handler));
+        let span = self.span_of.get(&pid).copied().unwrap_or(0);
+        let desc_phys = self.nxp_desc_phys();
+        let init_gen = self.mem.text_gen();
+
+        let (mem, chunk_fuel) = if pipelined {
+            let mut leg_mem = PhysMem::new();
+            leg_mem.force_text_gen(init_gen);
+            // The process's own frames (text, data, heap, page tables,
+            // descriptor page) move with the leg.
+            for &(start, len) in &frame_ranges {
+                let frames = self.mem.take_range(start, len);
+                leg_mem.adopt_frames(frames);
             }
+            // The thread's SRAM stack slot is private: moved.
+            if (layout::NXP_STACK_VA..layout::NXP_STACK_VA + layout::NXP_STACK_SIZE)
+                .contains(&nxp_stack_ptr)
+            {
+                let slot = (nxp_stack_ptr - layout::NXP_STACK_VA) / layout::NXP_STACK_SLOT;
+                let base = self.env.map.nxp_sram_host_base() + slot * layout::NXP_STACK_SLOT;
+                leg_mem.adopt_frames(self.mem.take_range(base, layout::NXP_STACK_SLOT));
+            }
+            // The SRAM descriptor buffer page is shared by every
+            // channel: copied (the leg overwrites it with its own
+            // inbound descriptor before any read).
+            leg_mem.adopt_frames(self.mem.clone_range(desc_phys, flick_mem::PAGE_SIZE));
+            // The resident NxP-DRAM window (cross-process globals):
+            // copied in, adopted back at join in deterministic join
+            // order.
+            let resident = nxp_brk.as_u64().saturating_sub(layout::NXP_WINDOW_VA);
+            if resident > 0 {
+                let bar0 = self.env.map.nxp_dram_host_base();
+                leg_mem.adopt_frames(self.mem.clone_range(bar0, resident));
+            }
+            // Small chunks keep the published clock fresh enough for
+            // the coordinator's due-join polling.
+            (leg_mem, 65_536)
+        } else {
+            // Serialized: the leg owns the whole memory for its
+            // (exclusive) duration, one run call per segment.
+            (std::mem::replace(&mut self.mem, PhysMem::new()), u64::MAX / 2)
+        };
+
+        let clock_pub = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(
+            core.clock().now().as_picos(),
+        ));
+        let job = leg::LegJob {
+            leg_id,
+            nc,
+            pid,
+            core,
+            mem,
+            env: self.env.clone(),
+            timing: self.nxp_timing.clone(),
+            in_bytes,
+            desc,
+            thread,
+            handlers,
+            nxp_stack_ptr,
+            span,
+            nxp_brk,
+            desc_phys,
+            chunk_fuel,
+            clock_pub: clock_pub.clone(),
+        };
+        self.in_flight.insert(
+            nc,
+            InFlightLeg {
+                leg_id,
+                hc,
+                pid,
+                pre_insts,
+                init_gen,
+                trace_pos: self.trace.len(),
+                whole_mem: !pipelined,
+                clock_pub,
+            },
+        );
+        if pipelined {
+            self.par
+                .as_ref()
+                .expect("pipelined run without a worker engine")
+                .submit(nc, job);
+            Ok(None)
+        } else {
+            let res = leg::leg_run(job);
+            self.parked.insert(leg_id, res);
+            self.join_leg(nc)?;
+            let (_, wpid, wake) = self.ready_wakes.pop().ok_or(RunError::Protocol {
+                side: Side::Nxp,
+                context: "serialized leg joined without producing a wake",
+            })?;
+            debug_assert_eq!(wpid, pid);
+            Ok(Some(wake))
         }
     }
 
-    /// Saves the NxP thread, switches to the scheduler and DMAs a
-    /// descriptor into host memory (plus its wake-up MSI). The wire
-    /// bytes are retained until the host accepts them so the watchdog
-    /// can demand retransmission.
-    fn nxp_send(&mut self, nc: usize, pid: u64, mut desc: MigrationDescriptor) -> PendingWake {
-        let nt = self.nxp_timing.clone();
+    /// Joins the in-flight leg on channel `nc` (no-op when there is
+    /// none): re-attaches the core, memory, and thread state, splices
+    /// the leg's trace events at its dispatch position, and performs
+    /// the coordinator half of the send — sequence assignment, DMA
+    /// kick, MSI — exactly as the sequential engine's `nxp_send` did.
+    fn join_leg(&mut self, nc: usize) -> Result<(), RunError> {
+        let Some(inf) = self.in_flight.remove(&nc) else {
+            return Ok(());
+        };
+        let res = loop {
+            if let Some(r) = self.parked.remove(&inf.leg_id) {
+                break r;
+            }
+            let r = self
+                .par
+                .as_ref()
+                .ok_or(RunError::Protocol {
+                    side: Side::Nxp,
+                    context: "in-flight leg with no worker engine",
+                })?
+                .recv();
+            if r.leg_id == inf.leg_id {
+                break r;
+            }
+            self.parked.insert(r.leg_id, r);
+        };
+        debug_assert_eq!(res.nc, nc);
+        debug_assert_eq!(res.pid, inf.pid);
+        let pid = res.pid;
+
+        // Re-attach the core; its spare never ran, so counters are
+        // exact with the dispatch-time offset removed.
+        let spare = std::mem::replace(&mut self.nxps[nc], res.core);
+        self.spares[nc] = Some(spare);
+        self.par_counter_offset -= inf.pre_insts;
+        self.retired += res.retired;
+
+        // Re-attach memory. Sharded mode moves the frames back and
+        // replays the leg's text-generation delta onto the global
+        // counter, so decoded-code caches shared with other cores
+        // invalidate exactly as if the writes had happened in place.
+        if inf.whole_mem {
+            self.mem = res.mem;
+        } else {
+            let leg_gen = res.mem.text_gen();
+            let gen = self.mem.text_gen() + (leg_gen - inf.init_gen);
+            self.mem.adopt_frames(res.mem.into_frames());
+            self.mem.force_text_gen(gen);
+        }
+
+        self.nxp_rt.put_thread(pid, res.thread);
+        self.kernel.task_mut(pid)?.nxp_brk = res.nxp_brk;
+        if res.migrations_nxp_to_host > 0 {
+            self.stats
+                .bump_by("migrations_nxp_to_host", res.migrations_nxp_to_host);
+        }
+        if res.returns_nxp_to_host > 0 {
+            self.stats
+                .bump_by("returns_nxp_to_host", res.returns_nxp_to_host);
+        }
+        if res.nxp_exec_faults > 0 {
+            self.stats.bump_by("nxp_exec_faults", res.nxp_exec_faults);
+        }
+
+        // Splice the leg's events where they belong: the trace length
+        // at its dispatch. Later-dispatched in-flight legs splice
+        // after these events, so their positions shift.
+        let inserted = self.trace.splice_at(inf.trace_pos, res.events);
+        if inserted > 0 {
+            for other in self.in_flight.values_mut() {
+                if (other.trace_pos, other.leg_id) > (inf.trace_pos, inf.leg_id) {
+                    other.trace_pos += inserted;
+                }
+            }
+        }
+
+        let mut desc = res.outcome?;
+        // Coordinator half of the send (shared channel state).
         desc.seq = self.chans[nc].n2h;
         self.chans[nc].n2h += 1;
-        self.nxps[nc].clock_mut().advance(nt.desc_build);
-        let ctx = self.nxps[nc].save_context();
-        self.nxp_rt.thread_mut(pid).ctx = Some(ctx);
-        self.nxps[nc].clock_mut().advance(nt.context_switch);
-        self.trace.record_on(
-            CoreId::nxp(nc),
-            self.nxps[nc].clock().now(),
-            Event::NxpContextSwitch { switch_in: false },
-        );
         let bytes = desc.to_bytes();
-        self.trace.record_on(
-            CoreId::nxp(nc),
-            self.nxps[nc].clock().now(),
-            Event::DescriptorSent {
-                from: Side::Nxp,
-                kind: desc.kind.label(),
-                bytes: bytes.len(),
-            },
-        );
-        self.obs.mark(
-            desc.span,
-            SpanStage::NxpSubmit,
-            self.nxps[nc].clock().now(),
-            CoreId::nxp(nc),
-        );
+        if let Some(at) = res.submit_at {
+            self.obs
+                .mark(desc.span, SpanStage::NxpSubmit, at, CoreId::nxp(nc));
+        }
         self.retained_n2h.insert(pid, (nc, bytes.clone()));
         let now = self.nxps[nc].clock().now();
         // A crashed or unplugged device cannot DMA its reply out — the
         // burst and its MSI die on the card. (A *hung* one still can:
         // the link is up, only the inbound poll loop stopped.) The
         // host-side watchdog notices the silence and fails over.
-        if matches!(
+        let wake = if matches!(
             self.plan.device_state(nc, now),
             Some(DeviceFaultKind::Crash | DeviceFaultKind::Unplug)
         ) {
-            return PendingWake {
+            PendingWake {
                 msi_at: None,
                 chan: nc,
                 incarnation: self.chans[nc].incarnation,
-            };
+            }
+        } else {
+            let (_arrival, maybe_msi, pert) =
+                self.fabric
+                    .kick_to_host_faulty(nc, now, bytes, &mut self.plan);
+            if self.obs.enabled() {
+                let depth = self.fabric.channel(nc).depth_to_host() as u64;
+                self.obs_stats
+                    .record_hist(&format!("qdepth:n2h:nxp{nc}"), depth);
+            }
+            self.note_burst_faults(CoreId::nxp(nc), Side::Host, now, &pert);
+            let msi_at = maybe_msi.and_then(|msi| self.raise_msi(CoreId::nxp(nc), msi, now));
+            PendingWake {
+                msi_at,
+                chan: nc,
+                incarnation: self.chans[nc].incarnation,
+            }
+        };
+        // In pipelined mode the dispatching ecall has long returned;
+        // arm the watchdog here. Under an inert plan `msi_at` is
+        // always `Some`, so the base — and therefore the deadline —
+        // matches the sequential engine's to the picosecond.
+        if !inf.whole_mem {
+            let watchdog = self.kernel.timing().retry.migration_watchdog;
+            let base = wake
+                .msi_at
+                .unwrap_or_else(|| now.max(self.hosts[inf.hc].clock().now()));
+            self.kernel.task_mut(pid)?.deadline = Some(base + watchdog);
         }
-        let (_arrival, maybe_msi, pert) =
-            self.fabric
-                .kick_to_host_faulty(nc, now, bytes, &mut self.plan);
-        if self.obs.enabled() {
-            let depth = self.fabric.channel(nc).depth_to_host() as u64;
-            self.obs_stats
-                .record_hist(&format!("qdepth:n2h:nxp{nc}"), depth);
-        }
-        self.note_burst_faults(CoreId::nxp(nc), Side::Host, now, &pert);
-        let msi_at = maybe_msi.and_then(|msi| self.raise_msi(CoreId::nxp(nc), msi, now));
-        PendingWake {
-            msi_at,
-            chan: nc,
-            incarnation: self.chans[nc].incarnation,
-        }
+        self.ready_wakes.push((inf.hc, pid, wake));
+        Ok(())
     }
 
     /// Physical address of the NxP-side descriptor buffer (the SRAM
@@ -2964,9 +3269,9 @@ mod tests {
         }
         let done = m.run_concurrent(&pids, u64::MAX / 2).unwrap();
         assert_eq!(done.len(), 2);
-        for (name, stats) in m.per_core_stats() {
-            if name.starts_with("nxp") {
-                assert!(stats.get("instructions") > 0, "{name} starved");
+        for (core, stats) in m.per_core_stats() {
+            if core.side == Side::Nxp {
+                assert!(stats.get("instructions") > 0, "{core} starved");
             }
         }
     }
@@ -2986,7 +3291,7 @@ mod tests {
         let nxp_insts: Vec<u64> = m
             .per_core_stats()
             .into_iter()
-            .filter(|(n, _)| n.starts_with("nxp"))
+            .filter(|(c, _)| c.side == Side::Nxp)
             .map(|(_, s)| s.get("instructions"))
             .collect();
         assert_eq!(nxp_insts.len(), 2);

@@ -104,7 +104,9 @@ pub fn rows(trace: &Trace) -> Vec<Row> {
         .filter_map(|(t, e)| {
             let (side, text) = describe(e)?;
             Some(match side {
-                Side::Host => Row {
+                // Emulator events render in the host column: a degraded
+                // leg runs on a host core.
+                Side::Host | Side::Emu => Row {
                     at: format!("{t}"),
                     host: text,
                     nxp: String::new(),

@@ -522,14 +522,14 @@ impl Core {
 
     fn requester(&self) -> Requester {
         match self.cfg.side {
-            Side::Host => Requester::HostCpu,
+            Side::Host | Side::Emu => Requester::HostCpu,
             Side::Nxp => Requester::NxpCore,
         }
     }
 
     fn walk_requester(&self) -> Requester {
         match self.cfg.side {
-            Side::Host => Requester::HostCpu,
+            Side::Host | Side::Emu => Requester::HostCpu,
             Side::Nxp => Requester::NxpMmu,
         }
     }
@@ -793,7 +793,7 @@ impl Core {
 
     fn dcacheable(&self, region: Region) -> bool {
         match (self.cfg.side, region) {
-            (Side::Host, Region::HostDram) => true,
+            (Side::Host | Side::Emu, Region::HostDram) => true,
             (Side::Nxp, Region::NxpDram) => self.cfg.dcache_nxp_dram,
             _ => false,
         }

@@ -24,6 +24,7 @@ fn tid_of(core: Option<CoreId>) -> u64 {
     match core {
         Some(CoreId { side: Side::Host, index }) => index as u64,
         Some(CoreId { side: Side::Nxp, index }) => 1000 + index as u64,
+        Some(CoreId { side: Side::Emu, index }) => 2000 + index as u64,
         None => 9990,
     }
 }

@@ -8,7 +8,10 @@
 //! wider topologies finish the same fleet sooner.
 //!
 //! Run with: `cargo run --release --example topology -- 2 2`
-//! (arguments are `<host_cores> <nxp_cores>`, default 2 2)
+//! (arguments are `<host_cores> <nxp_cores>`, default 2 2; add
+//! `--threads N` or `--threads auto` to shard the fleet across OS
+//! worker threads — the simulated timeline is identical either way,
+//! only the wall clock moves)
 
 use flick::{Machine, Topology};
 use flick_isa::{abi, FuncBuilder, TargetIsa};
@@ -47,13 +50,33 @@ fn worker(calls: i64, spin: i64, tag: i64) -> ProgramBuilder {
     p
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Parses `--threads N|auto` out of the argument list (`auto` = one
+/// worker per available host core), returning the remaining
+/// positional arguments and the worker count.
+fn parse_args() -> Result<(Vec<String>, usize), Box<dyn std::error::Error>> {
+    let mut positional = Vec::new();
+    let mut threads = 1usize;
     let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let v = args.next().ok_or("--threads needs a value (N or auto)")?;
+            threads = if v == "auto" { 0 } else { v.parse()? };
+        } else {
+            positional.push(a);
+        }
+    }
+    Ok((positional, threads))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (positional, threads) = parse_args()?;
+    let mut args = positional.into_iter();
     let hosts: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(2);
     let nxps: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(2);
     let topo = Topology::new(hosts, nxps);
 
-    let mut m = Machine::builder().topology(topo).build();
+    let mut m = Machine::builder().topology(topo).threads(threads).build();
+    println!("host execution: {} worker thread(s)", m.threads());
     let (procs, calls, spin) = (4, 6, 3_000);
     let mut pids = Vec::new();
     for tag in 0..procs {
@@ -73,7 +96,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (core, stats) in m.per_core_stats() {
         let insts = stats.get("instructions");
         if insts > 0 {
-            println!("  {core:<6} {insts:>9} instructions");
+            let label = format!("{core}");
+            println!("  {label:<6} {insts:>9} instructions");
         }
     }
     println!("\nall {procs} processes done at {}", m.host_now());

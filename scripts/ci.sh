@@ -17,10 +17,16 @@ trap 'rm -f "$tmp_bench"' EXIT
 cargo bench -p flick-bench --bench simulator -- --samples 1 --json "$tmp_bench"
 cargo run --release -p flick-bench --bin bench_gate -- BENCH_simulator.json "$tmp_bench"
 
-# Topology smoke matrix: the classic 1x1 pair and a 2x2 fleet must both
-# run the same concurrent workload to completion.
-cargo run --release --example topology -- 1 1
-cargo run --release --example topology -- 2 2
+# Topology x threads smoke matrix: every worker count must carry every
+# topology's concurrent workload to completion. The simulated timeline
+# is worker-count-invariant (tests/determinism.rs proves bit-identity;
+# this drives the examples end to end at each configuration).
+for threads in 1 2 4; do
+    for topo in "1 1" "2 2" "4 4"; do
+        cargo run --release --example topology -- $topo --threads "$threads" > /dev/null
+    done
+done
+echo "topology x threads smoke matrix: 9 configurations ok"
 
 # Failover chaos smoke: the dedicated suite soaks 12 seeds of combined
 # link + device chaos in release (crash/hang/unplug/rejoin must be
@@ -32,6 +38,26 @@ for seed in 1 2 3 4 5 6 7 8; do
     cargo run --release --example failover -- "$seed" > /dev/null
 done
 echo "failover chaos smoke: 8 seeds ok"
+
+# Nightly ThreadSanitizer soak over the parallel host engine,
+# non-blocking: data races in the worker/coordinator handoff surface
+# here long before they perturb a timeline. Requires a nightly
+# toolchain with rust-src (for -Zbuild-std); skipped when absent, and
+# a finding is reported without failing the gate (TSan on an
+# interpreter this hot is slow and occasionally flaky in CI runners).
+if rustup toolchain list 2>/dev/null | grep -q '^nightly' \
+    && rustup component list --toolchain nightly --installed 2>/dev/null | grep -q '^rust-src'; then
+    host_triple="$(rustc -vV | sed -n 's/^host: //p')"
+    if RUSTFLAGS="-Zsanitizer=thread" cargo +nightly test -q \
+        -Zbuild-std --target "$host_triple" --test determinism; then
+        echo "tsan: determinism suite clean"
+    else
+        echo "tsan: FINDINGS (non-blocking) — run the determinism suite under" \
+             "RUSTFLAGS=-Zsanitizer=thread locally to triage"
+    fi
+else
+    echo "tsan: nightly toolchain with rust-src not installed, skipped"
+fi
 
 # Timeline-export smoke: a 2x2 observability run must emit a non-empty
 # Chrome-trace JSON file (the example itself validates the JSON).

@@ -206,8 +206,8 @@ fn unplug_with_rejoin_probes_and_closes_the_breaker() {
     assert!(m.stats().get("nxp_probes_ok") >= 1);
     // After recovery both NxPs serve work again.
     let per_core = m.per_core_stats();
-    for want in ["nxp0", "nxp1"] {
-        let (_, stats) = per_core.iter().find(|(name, _)| name == want).unwrap();
+    for want in [flick_sim::CoreId::nxp(0), flick_sim::CoreId::nxp(1)] {
+        let (_, stats) = per_core.iter().find(|(core, _)| *core == want).unwrap();
         assert!(stats.get("instructions") > 0, "{want} never ran");
     }
 }

@@ -345,10 +345,10 @@ fn two_nxps_overlap_migrations_in_simulated_time() {
     // Both NxPs served work (round-robin placement spreads the calls),
     // and the per-core breakdown agrees.
     let per_core = m.per_core_stats();
-    for want in ["nxp0", "nxp1"] {
+    for want in [CoreId::nxp(0), CoreId::nxp(1)] {
         let (_, stats) = per_core
             .iter()
-            .find(|(name, _)| name == want)
+            .find(|(core, _)| *core == want)
             .expect("per-core stats cover every NxP");
         assert!(stats.get("instructions") > 0, "{want} never ran");
     }
@@ -362,7 +362,7 @@ fn two_nxps_overlap_migrations_in_simulated_time() {
     let outcome_insts = done.last().unwrap().1.stats.get("instructions");
     let per_core_sum: u64 = per_core
         .iter()
-        .filter(|(name, _)| name.starts_with("host"))
+        .filter(|(core, _)| core.side == flick_sim::trace::Side::Host)
         .map(|(_, s)| s.get("instructions"))
         .sum();
     assert_eq!(per_core_sum, outcome_insts);
@@ -381,10 +381,10 @@ fn least_loaded_placement_also_uses_both_nxps() {
     }
     m.run_concurrent(&pids, u64::MAX / 2).unwrap();
     let per_core = m.per_core_stats();
-    for want in ["nxp0", "nxp1"] {
+    for want in [CoreId::nxp(0), CoreId::nxp(1)] {
         let (_, stats) = per_core
             .iter()
-            .find(|(name, _)| name == want)
+            .find(|(core, _)| *core == want)
             .expect("per-core stats cover every NxP");
         assert!(stats.get("instructions") > 0, "{want} never ran");
     }
