@@ -12,7 +12,7 @@
 
 use flick::{Machine, Topology};
 use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
-use flick_isa::{abi, FuncBuilder, Isa, TargetIsa};
+use flick_isa::{abi, FuncBuilder, Isa, IsaId, TargetIsa};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
 use flick_sim::{DeviceEvent, DeviceFaultKind, FaultPlan, Picos, TraceConfig};
@@ -51,6 +51,10 @@ struct BenchResult {
     /// like with like; the speedup is `mean / par_mean`.
     par_threads: Option<usize>,
     par_mean: Option<Duration>,
+    /// Simulated cost of one migration round trip, for the
+    /// `fig_isa_matrix` family (deterministic — the bench gate compares
+    /// it exactly, so any ISA-pair timing change fails CI explicitly).
+    sim_round_trip_ns: Option<u64>,
 }
 
 impl BenchResult {
@@ -102,6 +106,7 @@ fn bench(
         sim_calls_per_sec: None,
         par_threads: None,
         par_mean: None,
+        sim_round_trip_ns: None,
     };
     let n = r.samples;
     match r.insts_per_sec() {
@@ -273,6 +278,125 @@ fn bench_migration_throughput_degraded(samples: u32) -> BenchResult {
     r
 }
 
+/// The `fig_isa_matrix` family: migration round-trip cost for every
+/// ordered ISA pair on a 3-ISA fleet (x64 host + rv64 NxP + arm64 NxP).
+/// `(bench name, caller placement, callee placement)`.
+const ISA_PAIRS: [(&str, TargetIsa, TargetIsa); 6] = [
+    ("fig_isa_matrix_x64_rv64", TargetIsa::Host, TargetIsa::Nxp),
+    ("fig_isa_matrix_x64_arm64", TargetIsa::Host, TargetIsa::Arm64),
+    ("fig_isa_matrix_rv64_x64", TargetIsa::Nxp, TargetIsa::Host),
+    ("fig_isa_matrix_rv64_arm64", TargetIsa::Nxp, TargetIsa::Arm64),
+    ("fig_isa_matrix_arm64_x64", TargetIsa::Arm64, TargetIsa::Host),
+    ("fig_isa_matrix_arm64_rv64", TargetIsa::Arm64, TargetIsa::Nxp),
+];
+
+/// A program whose steady state is `calls` round trips from a function
+/// placed on `from` to a leaf placed on `to` (the setup legs that get
+/// the thread onto `from` in the first place cancel out when two call
+/// counts are differenced).
+fn isa_pair_program(from: TargetIsa, to: TargetIsa, calls: i64) -> ProgramBuilder {
+    let mut p = ProgramBuilder::new("pair");
+    if from == TargetIsa::Host {
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        let lp = main.new_label();
+        main.li(abi::S1, calls);
+        main.bind(lp);
+        main.call("leg");
+        main.addi(abi::S1, abi::S1, -1);
+        main.bne(abi::S1, abi::ZERO, lp);
+        main.call("flick_exit");
+        p.func(main.finish());
+    } else {
+        let mut main = FuncBuilder::new("main", TargetIsa::Host);
+        main.li(abi::A0, calls);
+        main.call("entry");
+        main.call("flick_exit");
+        p.func(main.finish());
+        let mut entry = FuncBuilder::new("entry", from);
+        entry.prologue(16, &[abi::S1]);
+        entry.mv(abi::S1, abi::A0);
+        let lp = entry.new_label();
+        let done = entry.new_label();
+        entry.bind(lp);
+        entry.beq(abi::S1, abi::ZERO, done);
+        entry.call("leg");
+        entry.addi(abi::S1, abi::S1, -1);
+        entry.jmp(lp);
+        entry.bind(done);
+        entry.epilogue(16, &[abi::S1]);
+        p.func(entry.finish());
+    }
+    let mut leg = FuncBuilder::new("leg", to);
+    leg.addi(abi::A0, abi::A0, 1);
+    leg.ret();
+    p.func(leg.finish());
+    p
+}
+
+/// Simulated finish time of the pair workload at a call count.
+fn isa_pair_sim_time(from: TargetIsa, to: TargetIsa, calls: i64) -> Picos {
+    let mut m = Machine::builder()
+        .trace(TraceConfig {
+            enabled: false,
+            capacity: 0,
+        })
+        .topology(Topology::new(1, 2))
+        .nxp_isas(vec![IsaId::Rv64, IsaId::Arm64])
+        .build();
+    let pid = m.load_program(&mut isa_pair_program(from, to, calls)).unwrap();
+    m.run(pid).unwrap();
+    m.host_now()
+}
+
+/// One ordered ISA pair of the matrix: the simulated per-round-trip
+/// cost (two call counts differenced, so process startup and the legs
+/// that place the caller cancel), plus the usual wall-clock timing of
+/// simulating the workload.
+fn bench_isa_pair(samples: u32, name: &'static str, from: TargetIsa, to: TargetIsa) -> BenchResult {
+    const LO: i64 = 4;
+    const HI: i64 = 36;
+    let lo = isa_pair_sim_time(from, to, LO);
+    let hi = isa_pair_sim_time(from, to, HI);
+    let per_trip =
+        (hi.as_nanos_f64() - lo.as_nanos_f64()) / (HI - LO) as f64;
+    let mut r = bench(name, samples, None, || {
+        black_box(isa_pair_sim_time(from, to, HI));
+    });
+    r.sim_round_trip_ns = Some(per_trip.round() as u64);
+    println!("{:<32} {per_trip:>12.0} ns simulated round trip", "");
+    r
+}
+
+/// The whole ordered-pair matrix, plus a readable summary grid.
+fn bench_isa_matrix(samples: u32) -> Vec<BenchResult> {
+    let results: Vec<BenchResult> = ISA_PAIRS
+        .iter()
+        .map(|&(name, from, to)| bench_isa_pair(samples, name, from, to))
+        .collect();
+    println!("\nfig_isa_matrix: simulated migration round trip (ns), caller -> callee");
+    println!("{:>8} {:>10} {:>10} {:>10}", "", "x64", "rv64", "arm64");
+    for from in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
+        let cell = |to: TargetIsa| -> String {
+            ISA_PAIRS
+                .iter()
+                .zip(&results)
+                .find(|((_, f, t), _)| *f == from && *t == to)
+                .and_then(|(_, r)| r.sim_round_trip_ns)
+                .map(|ns| ns.to_string())
+                .unwrap_or_else(|| "-".into())
+        };
+        println!(
+            "{:>8} {:>10} {:>10} {:>10}",
+            from.isa().name(),
+            cell(TargetIsa::Host),
+            cell(TargetIsa::Nxp),
+            cell(TargetIsa::Arm64)
+        );
+    }
+    println!();
+    results
+}
+
 /// Number of loop iterations in the interpreter benches (4 instructions
 /// per iteration).
 const INTERP_ITERS: i64 = 25_000;
@@ -374,6 +498,15 @@ fn bench_graph_generation(samples: u32) -> BenchResult {
 fn to_json(samples: u32, results: &[BenchResult]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"samples\": {samples},\n"));
+    // Self-annotate the recording host: host_speedup < 1 is expected
+    // when the recorder has one core, and the gate skips parallel
+    // fields accordingly.
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    out.push_str(&format!("  \"host_parallelism\": {cores},\n"));
+    out.push_str(
+        "  \"par_note\": \"par_mean_ns/host_speedup are informational when \
+         host_parallelism is 1; bench_gate only gates them on multi-core runners\",\n",
+    );
     out.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         let sep = if i + 1 < results.len() { "," } else { "" };
@@ -391,6 +524,9 @@ fn to_json(samples: u32, results: &[BenchResult]) -> String {
                 ", \"threads\": {t}, \"par_mean_ns\": {}, \"host_speedup\": {s:.2}",
                 p.as_nanos()
             ));
+        }
+        if let Some(ns) = r.sim_round_trip_ns {
+            extra.push_str(&format!(", \"sim_round_trip_ns\": {ns}"));
         }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}{}}}{}\n",
@@ -426,7 +562,7 @@ fn main() {
             other => panic!("unknown argument: {other}"),
         }
     }
-    let results = vec![
+    let mut results = vec![
         bench_migration_round_trip(samples),
         bench_interpreter(samples),
         bench_pure_interpret(samples),
@@ -439,6 +575,7 @@ fn main() {
         bench_migration_throughput(samples, 4, 16, "migration_throughput_16nxp"),
         bench_migration_throughput_degraded(samples),
     ];
+    results.extend(bench_isa_matrix(samples));
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(samples, &results)).expect("write json");
         println!("wrote {path}");

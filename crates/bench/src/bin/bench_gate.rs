@@ -1,39 +1,77 @@
 //! CI bench-regression gate: compares a fresh bench JSON against the
 //! committed baseline (`BENCH_simulator.json`) and fails loudly when a
-//! gated benchmark's `mean_ns` regressed beyond the threshold.
+//! gated benchmark regressed.
 //!
-//! Only benches that are cheap enough to be stable at 1 sample are
-//! gated — `interpret` (the pure step-loop ceiling the block engine
-//! owns), `migration_throughput_1nxp` (the end-to-end descriptor
-//! path), and `migration_throughput_degraded` (the same fleet with one
-//! NxP crashed mid-run: death detection + channel quiesce + failover).
-//! A 1-sample smoke run is noisy, so the threshold is generous (30%):
-//! this catches "the fast path fell off a cliff", not 2% drift.
+//! Three kinds of gates:
+//!
+//! - **Wall-clock** (`mean_ns`): only benches cheap enough to be stable
+//!   at 1 sample — `interpret` (the pure step-loop ceiling the block
+//!   engine owns), `migration_throughput_1nxp` (the end-to-end
+//!   descriptor path), and `migration_throughput_degraded` (the same
+//!   fleet with one NxP crashed mid-run). A 1-sample smoke run is
+//!   noisy, so the threshold is generous (30%): this catches "the fast
+//!   path fell off a cliff", not 2% drift.
+//! - **Parallel host execution** (`par_mean_ns`): gated with the same
+//!   threshold, but only when both the baseline recorder and the
+//!   current runner have more than one core (`host_parallelism` in the
+//!   JSON / `available_parallelism()` here) — a 1-core container runs
+//!   the sharded fleet slower than sequential by construction, and
+//!   that is not a regression.
+//! - **ISA matrix** (`sim_round_trip_ns`): the `fig_isa_matrix_*`
+//!   family reports *simulated* migration round-trip cost per ordered
+//!   ISA pair. Simulated time is deterministic, so these are compared
+//!   exactly: any drift means the cross-ISA call path's timing
+//!   semantics changed and must be an intentional, re-recorded change.
 //!
 //! Usage: `bench_gate <baseline.json> <current.json>`
 
 use std::process::ExitCode;
 
-/// Benchmarks gated against the committed baseline.
+/// Benchmarks gated on wall-clock `mean_ns`.
 const GATED: [&str; 3] = [
     "interpret",
     "migration_throughput_1nxp",
     "migration_throughput_degraded",
 ];
 
-/// Maximum tolerated `mean_ns` growth over the baseline.
+/// Benchmarks gated exactly on deterministic `sim_round_trip_ns`.
+const ISA_MATRIX: [&str; 6] = [
+    "fig_isa_matrix_x64_rv64",
+    "fig_isa_matrix_x64_arm64",
+    "fig_isa_matrix_rv64_x64",
+    "fig_isa_matrix_rv64_arm64",
+    "fig_isa_matrix_arm64_x64",
+    "fig_isa_matrix_arm64_rv64",
+];
+
+/// Maximum tolerated wall-clock growth over the baseline.
 const MAX_REGRESSION: f64 = 0.30;
 
-/// Extracts `mean_ns` for the bench entry whose name is exactly `name`
-/// from the flat JSON the harness emits. Dependency-free by design: the
-/// match is on the `"name": "<name>"` key so that `interpret` does not
-/// collide with `interpret_100k_instructions`.
-fn mean_ns(json: &str, name: &str) -> Option<u64> {
+/// Extracts numeric `field` from the bench entry whose name is exactly
+/// `name` in the flat JSON the harness emits. Dependency-free by
+/// design: the match is on the `"name": "<name>"` key so that
+/// `interpret` does not collide with `interpret_100k_instructions`.
+fn bench_field(json: &str, name: &str, field: &str) -> Option<u64> {
     let needle = format!("\"name\": \"{name}\"");
     let line = json.lines().find(|l| l.contains(&needle))?;
-    let rest = line.split("\"mean_ns\": ").nth(1)?;
+    field_in(line, field)
+}
+
+/// Extracts a top-level numeric field (e.g. `host_parallelism`).
+fn top_field(json: &str, field: &str) -> Option<u64> {
+    json.lines()
+        .find(|l| !l.contains("\"name\":") && l.contains(&format!("\"{field}\":")))
+        .and_then(|l| field_in(l, field))
+}
+
+fn field_in(line: &str, field: &str) -> Option<u64> {
+    let rest = line.split(&format!("\"{field}\": ")).nth(1)?;
     let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
     digits.parse().ok()
+}
+
+fn mean_ns(json: &str, name: &str) -> Option<u64> {
+    bench_field(json, name, "mean_ns")
 }
 
 fn main() -> ExitCode {
@@ -65,29 +103,85 @@ fn main() -> ExitCode {
             (ratio - 1.0) * 100.0
         );
     }
+
+    // Parallel host execution: only meaningful when both the recorder
+    // and this runner actually have cores to shard across.
+    let here = std::thread::available_parallelism().map_or(1, |n| n.get() as u64);
+    let recorded = top_field(&baseline, "host_parallelism").unwrap_or(1);
+    if here > 1 && recorded > 1 {
+        for name in GATED {
+            let (Some(base), Some(cur)) = (
+                bench_field(&baseline, name, "par_mean_ns"),
+                bench_field(&current, name, "par_mean_ns"),
+            ) else {
+                continue;
+            };
+            let ratio = cur as f64 / base as f64;
+            let verdict = if ratio > 1.0 + MAX_REGRESSION {
+                failed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "bench_gate: {name} (parallel): baseline {base}ns, current {cur}ns \
+                 ({:+.1}%) {verdict}",
+                (ratio - 1.0) * 100.0
+            );
+        }
+    } else {
+        println!(
+            "bench_gate: parallel fields not gated (runner has {here} core(s), \
+             baseline recorded on {recorded})"
+        );
+    }
+
+    // ISA matrix: deterministic simulated cost, compared exactly.
+    for name in ISA_MATRIX {
+        let base = bench_field(&baseline, name, "sim_round_trip_ns")
+            .unwrap_or_else(|| panic!("baseline has no sim_round_trip_ns for {name}"));
+        let cur = bench_field(&current, name, "sim_round_trip_ns")
+            .unwrap_or_else(|| panic!("current run has no sim_round_trip_ns for {name}"));
+        if base == cur {
+            println!("bench_gate: {name}: {cur}ns simulated round trip, exact match");
+        } else {
+            failed = true;
+            println!(
+                "bench_gate: {name}: simulated round trip changed \
+                 {base}ns -> {cur}ns CHANGED"
+            );
+        }
+    }
+
     if failed {
         eprintln!(
-            "bench_gate: FAIL — a gated benchmark regressed more than {:.0}% \
-             (re-measure with scripts/bench.sh and update BENCH_simulator.json \
-             only if the slowdown is intended)",
+            "bench_gate: FAIL — a gated benchmark regressed more than {:.0}% or an \
+             ISA-pair's simulated migration cost drifted (re-measure with \
+             scripts/bench.sh and update BENCH_simulator.json only if the change \
+             is intended)",
             MAX_REGRESSION * 100.0
         );
         return ExitCode::FAILURE;
     }
-    println!("bench_gate: all gated benchmarks within {:.0}%", MAX_REGRESSION * 100.0);
+    println!(
+        "bench_gate: all gated benchmarks within {:.0}%; ISA matrix exact",
+        MAX_REGRESSION * 100.0
+    );
     ExitCode::SUCCESS
 }
 
 #[cfg(test)]
 mod tests {
-    use super::mean_ns;
+    use super::{bench_field, mean_ns, top_field};
 
     const SAMPLE: &str = r#"{
   "samples": 1,
+  "host_parallelism": 4,
   "benches": [
     {"name": "interpret_100k_instructions", "mean_ns": 1198760, "best_ns": 1031501},
     {"name": "interpret", "mean_ns": 1127794, "best_ns": 1049135},
-    {"name": "migration_throughput_1nxp", "mean_ns": 8400840, "best_ns": 6940299}
+    {"name": "migration_throughput_1nxp", "mean_ns": 8400840, "best_ns": 6940299, "par_mean_ns": 9000000},
+    {"name": "fig_isa_matrix_rv64_arm64", "mean_ns": 120000, "best_ns": 110000, "sim_round_trip_ns": 41250}
   ]
 }"#;
 
@@ -97,5 +191,21 @@ mod tests {
         assert_eq!(mean_ns(SAMPLE, "interpret_100k_instructions"), Some(1198760));
         assert_eq!(mean_ns(SAMPLE, "migration_throughput_1nxp"), Some(8400840));
         assert_eq!(mean_ns(SAMPLE, "missing"), None);
+    }
+
+    #[test]
+    fn extracts_named_and_top_level_fields() {
+        assert_eq!(
+            bench_field(SAMPLE, "fig_isa_matrix_rv64_arm64", "sim_round_trip_ns"),
+            Some(41250)
+        );
+        assert_eq!(
+            bench_field(SAMPLE, "migration_throughput_1nxp", "par_mean_ns"),
+            Some(9000000)
+        );
+        assert_eq!(bench_field(SAMPLE, "interpret", "par_mean_ns"), None);
+        assert_eq!(top_field(SAMPLE, "host_parallelism"), Some(4));
+        assert_eq!(top_field(SAMPLE, "samples"), Some(1));
+        assert_eq!(top_field(SAMPLE, "absent"), None);
     }
 }

@@ -21,6 +21,28 @@ pub const NXP_HANDLER: &str = "__flick_nxp_handler";
 /// execution inside the while() loop", §IV-B1).
 pub const NXP_HANDLER_LOOP: &str = "__flick_nxp_handler_loop";
 
+/// Symbol of the accelerator-side migration handler for `isa`. The
+/// classic NxP keeps its historical name ([`NXP_HANDLER`]); further
+/// ISAs get a name carrying the descriptor name, so an N-way binary
+/// links one handler per accelerator ISA it uses.
+pub fn nxp_handler_symbol(isa: TargetIsa) -> String {
+    if isa == TargetIsa::Nxp {
+        NXP_HANDLER.to_string()
+    } else {
+        format!("__flick_{}_handler", isa.name())
+    }
+}
+
+/// Symbol of the while-loop entry of `isa`'s migration handler (the
+/// scheduler's landing point for fresh host→accelerator call threads).
+pub fn nxp_handler_loop_symbol(isa: TargetIsa) -> String {
+    if isa == TargetIsa::Nxp {
+        NXP_HANDLER_LOOP.to_string()
+    } else {
+        format!("__flick_{}_handler_loop", isa.name())
+    }
+}
+
 /// Builds the host migration handler (paper Listing 1).
 ///
 /// Entered via the kernel's return-address hijack with the original
@@ -78,7 +100,23 @@ pub fn host_migration_handler() -> flick_isa::Func {
 /// Builds the NxP migration handler (paper Listing 2), exporting the
 /// loop entry as [`NXP_HANDLER_LOOP`].
 pub fn nxp_migration_handler() -> flick_isa::Func {
-    let mut f = FuncBuilder::new(NXP_HANDLER, TargetIsa::Nxp);
+    nxp_migration_handler_for(TargetIsa::Nxp)
+}
+
+/// Builds the accelerator-side migration handler for any registered
+/// NX-text ISA — the same Listing 2 logic, compiled for `isa` and
+/// linked under its own symbols. Every accelerator ISA shares the one
+/// descriptor-ring protocol; only the encoding differs.
+///
+/// # Panics
+///
+/// Panics when `isa` is the host's own encoding.
+pub fn nxp_migration_handler_for(isa: TargetIsa) -> flick_isa::Func {
+    assert!(
+        isa.descriptor().nx_text,
+        "{isa} is host text; the host handler is separate"
+    );
+    let mut f = FuncBuilder::new(nxp_handler_symbol(isa), isa);
     let lp = f.new_label();
     let done = f.new_label();
 
@@ -93,7 +131,7 @@ pub fn nxp_migration_handler() -> flick_isa::Func {
     f.ecall(svc::NXP_MIGRATE_AND_SUSPEND);
 
     // while (host_to_nxp_call) { ... }                  (lines 5-10)
-    f.export_label(NXP_HANDLER_LOOP, lp);
+    f.export_label(nxp_handler_loop_symbol(isa), lp);
     f.bind(lp);
     f.ld(abi::T0, abi::S0, L::KIND as i32, MemSize::B8);
     f.li(abi::T1, crate::DescKind::HostToNxpCall.tag() as i64);
@@ -158,12 +196,49 @@ pub fn runtime_funcs() -> Vec<flick_isa::Func> {
 /// Links the migration handlers and runtime library into a program —
 /// the reproduction's analogue of "the migration handler \[is\] linked
 /// into the application binary" (§III-B).
+///
+/// The host handler, the classic NxP handler and the two-ISA runtime
+/// are always linked (keeping two-ISA binaries byte-identical to the
+/// pre-registry toolchain). If the program already contains functions
+/// for further accelerator ISAs, a migration handler and local runtime
+/// wrappers for each of those ISAs are linked too.
 pub fn add_runtime(p: &mut ProgramBuilder) {
+    let mut extra: Vec<TargetIsa> = p
+        .funcs()
+        .iter()
+        .map(|f| f.target)
+        .filter(|t| t.descriptor().nx_text && *t != TargetIsa::Nxp)
+        .collect();
+    extra.sort();
+    extra.dedup();
+
     p.func(host_migration_handler());
     p.func(nxp_migration_handler());
     for f in runtime_funcs() {
         p.func(f);
     }
+    for isa in extra {
+        p.func(nxp_migration_handler_for(isa));
+        for f in accel_runtime_funcs(isa) {
+            p.func(f);
+        }
+    }
+}
+
+/// Local runtime wrappers for one extra accelerator ISA, named with the
+/// descriptor-name prefix (`arm64_malloc_nxp`, …) per the stdlib
+/// convention.
+fn accel_runtime_funcs(isa: TargetIsa) -> Vec<flick_isa::Func> {
+    let wrapper = |name: String, service: u16| {
+        let mut f = FuncBuilder::new(name, isa);
+        f.ecall(service);
+        f.ret();
+        f.finish()
+    };
+    vec![
+        wrapper(format!("{}_malloc_nxp", isa.name()), svc::ALLOC_NXP),
+        wrapper(format!("{}_clock_ns", isa.name()), svc::CLOCK_NS),
+    ]
 }
 
 #[cfg(test)]

@@ -211,34 +211,42 @@ pub(crate) fn leg_run(job: LegJob) -> LegResult {
     if core.cr3() != PhysAddr(desc.cr3) {
         core.set_cr3(PhysAddr(desc.cr3));
     }
-    let fresh = thread.ctx.is_none();
-    if fresh {
-        if desc.kind != DescKind::HostToNxpCall {
-            fail!(RunError::Protocol {
-                side: Side::Nxp,
-                context: "first descriptor for a thread must be a call",
-            });
+    let leg_isa = core.config().isa;
+    if desc.kind == DescKind::HostToNxpCall {
+        if let Some(ctx) = thread.idle[leg_isa.tag() as usize].take() {
+            // The thread is idle in this ISA's handler loop: resume
+            // it; the loop re-reads the descriptor page.
+            core.restore_context(&ctx);
+        } else {
+            // First call of this ISA: the host initialised the stack;
+            // the thread starts inside the handler's while() loop
+            // (§IV-B1). A nested call — outer accelerator frames
+            // parked elsewhere — continues below the innermost parked
+            // frame, so the per-thread stack slot nests naturally.
+            let Some((loop_va, _)) = handlers else {
+                fail!(RunError::Protocol {
+                    side: Side::Nxp,
+                    context: "descriptor for a process with no handler table",
+                });
+            };
+            let sp = thread
+                .parks
+                .last()
+                .map(|c| c.regs[abi::SP.index()])
+                .unwrap_or(desc.nxp_sp);
+            let mut ctx = CpuContext {
+                pc: loop_va,
+                ..CpuContext::default()
+            };
+            ctx.regs[abi::SP.index()] = sp;
+            ctx.regs[abi::S0.index()] = layout::NXP_DESC_VA;
+            core.restore_context(&ctx);
         }
-        // The host initialised the stack; the thread starts inside
-        // the handler's while() loop (§IV-B1).
-        let Some((loop_va, _)) = handlers else {
-            fail!(RunError::Protocol {
-                side: Side::Nxp,
-                context: "descriptor for a process with no handler table",
-            });
-        };
-        let mut ctx = CpuContext {
-            pc: loop_va,
-            ..CpuContext::default()
-        };
-        ctx.regs[abi::SP.index()] = desc.nxp_sp;
-        ctx.regs[abi::S0.index()] = layout::NXP_DESC_VA;
-        core.restore_context(&ctx);
     } else {
-        let Some(ctx) = thread.ctx.take() else {
+        let Some(ctx) = thread.parks.pop() else {
             fail!(RunError::Protocol {
                 side: Side::Nxp,
-                context: "resumed thread without a checkpointed NxP context",
+                context: "return descriptor for a thread with no parked frame",
             });
         };
         core.restore_context(&ctx);
@@ -314,10 +322,20 @@ pub(crate) fn leg_run(job: LegJob) -> LegResult {
                 core.set_reg(abi::A0, ns);
             }
             StopReason::Fault(Exception::InstFault { va, kind })
-                if matches!(kind, InstFaultKind::IsaMismatch | InstFaultKind::Misaligned) =>
+                if matches!(
+                    kind,
+                    InstFaultKind::IsaMismatch
+                        | InstFaultKind::Misaligned
+                        | InstFaultKind::NxViolation
+                ) =>
             {
-                // The NxP called a host function: redirect into the
-                // NxP migration handler (§IV-B2).
+                // The NxP called a function it cannot execute — host
+                // text (`IsaMismatch`), or another accelerator's text
+                // (`NxViolation`: NX set but a foreign ISA tag).
+                // Either way control escalates through the NxP
+                // migration handler (§IV-B2); for a cross-accelerator
+                // call the host then re-faults at the same target and
+                // re-places it on an NxP of the right ISA.
                 nxp_exec_faults += 1;
                 match kind {
                     InstFaultKind::Misaligned => events.push((
@@ -374,7 +392,14 @@ pub(crate) fn leg_run(job: LegJob) -> LegResult {
     // shared channel state.
     core.clock_mut().advance(nt.desc_build);
     let ctx = core.save_context();
-    thread.ctx = Some(ctx);
+    match out.kind {
+        // Escalated a call to the host: the frame parks mid-function,
+        // awaiting its return descriptor.
+        DescKind::NxpToHostCall => thread.parks.push(ctx),
+        // Completed: the thread settles back into this ISA's handler
+        // loop, ready for the next call descriptor.
+        _ => thread.idle[leg_isa.tag() as usize] = Some(ctx),
+    }
     core.clock_mut().advance(nt.context_switch);
     events.push((
         Some(CoreId::nxp(nc)),

@@ -77,4 +77,4 @@ pub use nxp::NxpTiming;
 pub use topology::{NxpPlacement, Topology};
 
 // Observability building blocks re-exported for timeline/export users.
-pub use flick_sim::{chrome_trace, validate_json, Histogram, Span, SpanMark, SpanStage};
+pub use flick_sim::{chrome_trace, chrome_trace_named, validate_json, Histogram, Span, SpanMark, SpanStage};

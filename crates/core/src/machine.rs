@@ -16,7 +16,7 @@ use crate::nxp::{NxpRuntime, NxpTiming};
 use crate::services::{self as svc, desc_layout as L};
 use crate::topology::{NxpPlacement, Topology};
 use flick_cpu::{Core, CoreConfig, Exception, InstFaultKind, MemEnv, StopReason};
-use flick_isa::abi;
+use flick_isa::{abi, IsaId};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_os::{Kernel, KernelError, LoadError, OsTiming, RunQueues};
 use flick_pcie::{InterruptController, Msi, PcieFabric};
@@ -152,11 +152,35 @@ pub struct Outcome {
 }
 
 /// Handler addresses for one loaded process.
+///
+/// The accelerator handlers are kept per ISA: `accel[isa.tag()]` holds
+/// the `(entry, loop)` pair of that ISA's migration handler, or `None`
+/// when the image was linked without functions of that ISA. The host
+/// ISA's slot is always `None` — host-side migration goes through
+/// `host_handler`.
 #[derive(Clone, Copy, Debug)]
 struct ProcessVas {
     host_handler: VirtAddr,
-    nxp_handler: VirtAddr,
-    nxp_handler_loop: VirtAddr,
+    accel: [Option<(VirtAddr, VirtAddr)>; flick_isa::IsaId::COUNT],
+}
+
+impl ProcessVas {
+    /// `(entry, loop)` of the migration handler for accelerator `isa`.
+    fn accel_handlers(&self, isa: IsaId) -> Option<(VirtAddr, VirtAddr)> {
+        self.accel[isa.tag() as usize]
+    }
+}
+
+/// Maps a PTE ISA tag (stored as `tag + 1`; `0` = untagged) to the
+/// accelerator ISA it names. Untagged and non-accelerator tags resolve
+/// to the classic rv64 NxP — the behaviour of the two-ISA machine.
+fn isa_from_tag(tag: u8) -> IsaId {
+    match tag {
+        0 => IsaId::Rv64,
+        t => IsaId::from_tag(t - 1)
+            .filter(|g| g.descriptor().nx_text)
+            .unwrap_or(IsaId::Rv64),
+    }
 }
 
 /// How a suspended thread expects to be woken.
@@ -310,6 +334,7 @@ pub struct MachineBuilder {
     nxp_placement: Option<NxpPlacement>,
     observability: Option<bool>,
     threads: Option<usize>,
+    nxp_isas: Option<Vec<IsaId>>,
 }
 
 impl MachineBuilder {
@@ -390,6 +415,19 @@ impl MachineBuilder {
         self
     }
 
+    /// Assigns an ISA to each NxP slot, making the fleet heterogeneous
+    /// beyond the classic all-rv64 accelerator pool. Slot `i` runs
+    /// `isas[i]`; slots past the end of the list default to
+    /// [`IsaId::Rv64`]. Every listed ISA must be an accelerator ISA
+    /// (descriptor `nx_text` set). A custom [`MachineBuilder::nxp_core`]
+    /// configuration applies to the rv64 slots only; other ISAs derive
+    /// their configuration from the descriptor via
+    /// [`CoreConfig::accel`].
+    pub fn nxp_isas(mut self, isas: Vec<IsaId>) -> Self {
+        self.nxp_isas = Some(isas);
+        self
+    }
+
     /// Enables the migration observability layer: a lifecycle
     /// [`Span`] per cross-ISA call (NX fault → descriptor pack → DMA
     /// submit → NxP dispatch → return submit → MSI → wake), per-segment
@@ -442,13 +480,30 @@ impl MachineBuilder {
                 .unwrap_or(1),
             Some(n) => n,
         };
+        let listed = self.nxp_isas.unwrap_or_default();
+        let nxp_isas: Vec<IsaId> = (0..topology.nxp_cores)
+            .map(|i| listed.get(i).copied().unwrap_or(IsaId::Rv64))
+            .collect();
+        let nxp_cfgs: Vec<CoreConfig> = nxp_isas
+            .iter()
+            .map(|&isa| {
+                if isa == IsaId::Rv64 {
+                    nxp_cfg.clone()
+                } else {
+                    let mut c = CoreConfig::accel(isa);
+                    if let Some(fp) = self.fast_path {
+                        c.fast_path = fp;
+                    }
+                    c
+                }
+            })
+            .collect();
         Machine {
             hosts: (0..topology.host_cores)
                 .map(|_| Core::new(host_cfg.clone()))
                 .collect(),
-            nxps: (0..topology.nxp_cores)
-                .map(|_| Core::new(nxp_cfg.clone()))
-                .collect(),
+            nxps: nxp_cfgs.iter().map(|c| Core::new(c.clone())).collect(),
+            nxp_isas,
             fabric: PcieFabric::new(env.latency.clone(), topology.nxp_cores),
             irq: InterruptController::new(),
             kernel,
@@ -498,6 +553,9 @@ pub struct Machine {
     topology: Topology,
     hosts: Vec<Core>,
     nxps: Vec<Core>,
+    /// ISA of each NxP slot, in slot order (stable across detach /
+    /// spare swaps and failover rejoins).
+    nxp_isas: Vec<IsaId>,
     fabric: PcieFabric,
     irq: InterruptController,
     kernel: Kernel,
@@ -529,9 +587,12 @@ pub struct Machine {
     /// *observed* delivery failures/successes on the deterministic
     /// timeline — never by peeking at the fault schedule.
     health: HealthMonitor,
-    /// Which NxP currently holds each thread's continuation; return
-    /// legs always follow the thread back there.
-    nxp_of: HashMap<u64, usize>,
+    /// Which NxPs hold each thread's accelerator continuations,
+    /// outermost first: return legs always follow the thread back to
+    /// the innermost (last) entry. Depth exceeds one only when a
+    /// cross-accelerator call bounces through the host while an outer
+    /// frame stays parked on its own NxP.
+    nxp_of: HashMap<u64, Vec<usize>>,
     /// Placement policy for fresh host→NxP calls.
     placement: NxpPlacement,
     /// Round-robin cursor for [`NxpPlacement::RoundRobin`].
@@ -646,10 +707,27 @@ impl Machine {
                 .map(VirtAddr)
                 .ok_or_else(|| RunError::Build(format!("image lacks runtime symbol `{name}`")))
         };
+        // Host and classic-NxP handlers are mandatory (every runtime
+        // links them); handlers of other accelerator ISAs are optional
+        // — present only when the image holds functions of that ISA.
+        let mut accel = [None; flick_isa::IsaId::COUNT];
+        accel[flick_isa::IsaId::Nxp.tag() as usize] = Some((
+            need(handlers::NXP_HANDLER)?,
+            need(handlers::NXP_HANDLER_LOOP)?,
+        ));
+        for d in flick_isa::IsaId::all() {
+            if !d.nx_text || d.id == flick_isa::IsaId::Nxp {
+                continue;
+            }
+            let entry = image.find_symbol(&handlers::nxp_handler_symbol(d.id));
+            let lp = image.find_symbol(&handlers::nxp_handler_loop_symbol(d.id));
+            if let (Some(e), Some(l)) = (entry, lp) {
+                accel[d.id.tag() as usize] = Some((VirtAddr(e), VirtAddr(l)));
+            }
+        }
         let vas = ProcessVas {
             host_handler: need(handlers::HOST_HANDLER)?,
-            nxp_handler: need(handlers::NXP_HANDLER)?,
-            nxp_handler_loop: need(handlers::NXP_HANDLER_LOOP)?,
+            accel,
         };
         let pid = self.kernel.create_process(&mut self.mem, image)?;
         self.vas.insert(pid, vas);
@@ -773,6 +851,43 @@ impl Machine {
             }
         }
         out
+    }
+
+    /// Human label for a core with its ISA name rendered from the
+    /// descriptor — `host0 (x64)`, `nxp1 (arm64)`, `emu0 (rv64 on
+    /// x64)` — so heterogeneous-fleet timelines and per-core reports
+    /// stay readable. Falls back to the bare `Display` form for cores
+    /// the machine does not have.
+    pub fn core_label(&self, core: CoreId) -> String {
+        match core.side {
+            Side::Host => match self.hosts.get(core.index) {
+                Some(c) => format!("{core} ({})", c.config().isa.name()),
+                None => core.to_string(),
+            },
+            Side::Nxp => match self.nxp_isas.get(core.index) {
+                Some(isa) => format!("{core} ({})", isa.name()),
+                None => core.to_string(),
+            },
+            Side::Emu => match self.emus.get(core.index).and_then(|c| c.as_ref()) {
+                Some(c) => format!(
+                    "{core} ({} on {})",
+                    c.config().isa.name(),
+                    self.hosts
+                        .get(core.index)
+                        .map_or("host", |h| h.config().isa.name())
+                ),
+                None => core.to_string(),
+            },
+        }
+    }
+
+    /// Track namer for [`flick_sim::chrome_trace_named`]: every
+    /// Perfetto track carries the core's ISA via [`Machine::core_label`].
+    pub fn track_namer(&self) -> impl Fn(Option<CoreId>) -> String + '_ {
+        move |core| match core {
+            Some(c) => self.core_label(c),
+            None => "untagged".to_string(),
+        }
     }
 
     /// Number of OS worker threads used for parallel host execution
@@ -1180,6 +1295,24 @@ impl Machine {
         }
     }
 
+    /// The ISA of the thread's saved call target, read from the
+    /// faulting page's PTE ISA tag (the metadata the loader's extended
+    /// `mprotect()` of §IV-C3 stored). Untagged pages — data reached
+    /// through a wild pointer, or images predating tagging — resolve
+    /// to the classic rv64 accelerator.
+    fn call_target_isa(&self, pid: u64) -> IsaId {
+        let Ok(task) = self.kernel.task(pid) else {
+            return IsaId::Rv64;
+        };
+        let Some(va) = task.fault_va else {
+            return IsaId::Rv64;
+        };
+        let tag = flick_paging::walk(|a| self.mem.read_u64(a), task.cr3, va)
+            .map(|t| t.isa_tag)
+            .unwrap_or(0);
+        isa_from_tag(tag)
+    }
+
     fn executed(&self) -> u64 {
         // Polled every scheduling-loop iteration: a running total
         // maintained at each `Core::run` call site, instead of
@@ -1372,16 +1505,20 @@ impl Machine {
         // placement policy says.
         let nc = match kind {
             DescKind::HostToNxpReturn => {
-                *self.nxp_of.get(&pid).ok_or(RunError::Protocol {
-                    side: Side::Host,
-                    context: "return leg for a thread with no NxP continuation",
-                })?
+                self.nxp_of
+                    .get(&pid)
+                    .and_then(|stack| stack.last().copied())
+                    .ok_or(RunError::Protocol {
+                        side: Side::Host,
+                        context: "return leg for a thread with no NxP continuation",
+                    })?
             }
             _ => {
                 // Placement sees only NxPs whose breaker admits work
                 // (closed or half-open). With every device dead, fall
                 // back to the full set and let the delivery loop
                 // detect the failure and degrade gracefully.
+                let want = self.call_target_isa(pid);
                 let live: Vec<usize> = self.health.live().collect();
                 let pool: Vec<usize> = if live.is_empty() {
                     (0..self.nxps.len()).collect()
@@ -1394,6 +1531,31 @@ impl Machine {
                         context: "placement over a machine with no NxPs",
                     });
                 }
+                // Narrow to the callee's ISA (read off the faulting
+                // page's PTE tag). When every NxP of that ISA is
+                // breaker-open, prefer a matching-but-unhealthy slot —
+                // delivery failure degrades to host emulation, which
+                // speaks any ISA — over a healthy slot that would
+                // fault `NxViolation` at the first fetch and bounce
+                // the call straight back. A fleet with no slot of the
+                // wanted ISA at all keeps the generic pool.
+                let of_isa: Vec<usize> = pool
+                    .iter()
+                    .copied()
+                    .filter(|&k| self.nxp_isas[k] == want)
+                    .collect();
+                let pool: Vec<usize> = if !of_isa.is_empty() {
+                    of_isa
+                } else {
+                    let all_of_isa: Vec<usize> = (0..self.nxps.len())
+                        .filter(|&k| self.nxp_isas[k] == want)
+                        .collect();
+                    if all_of_isa.is_empty() {
+                        pool
+                    } else {
+                        all_of_isa
+                    }
+                };
                 // Least-loaded placement compares every NxP clock; a
                 // detached core's slot holds a zero-clock spare, so
                 // every leg must land before the comparison reads.
@@ -1412,7 +1574,7 @@ impl Machine {
                         .min_by_key(|&k| (self.nxps[k].clock().now(), k))
                         .unwrap_or(pool[0]),
                 };
-                self.nxp_of.insert(pid, nc);
+                self.nxp_of.entry(pid).or_default().push(nc);
                 nc
             }
         };
@@ -1562,7 +1724,7 @@ impl Machine {
                             },
                         );
                         nc = next;
-                        self.nxp_of.insert(pid, nc);
+                        self.set_continuation_top(pid, nc);
                         desc.seq = self.chans[nc].h2n;
                         self.chans[nc].h2n += 1;
                         self.retained_h2n.insert(pid, (nc, desc.to_bytes()));
@@ -1742,12 +1904,26 @@ impl Machine {
     /// Deterministic failover placement: the surviving NxP whose clock
     /// is earliest (ties toward the lowest index) — a victim always
     /// re-places onto the least-loaded survivor, whatever the
-    /// configured policy for fresh calls.
+    /// configured policy for fresh calls. Only same-ISA survivors
+    /// qualify: a leg re-executed on a core of another ISA would fault
+    /// at its first fetch instead of making progress.
     fn pick_failover_target(&self, dead: usize) -> Option<usize> {
+        let isa = self.nxp_isas[dead];
         self.health
             .live()
-            .filter(|&k| k != dead)
+            .filter(|&k| k != dead && self.nxp_isas[k] == isa)
             .min_by_key(|&k| (self.nxps[k].clock().now(), k))
+    }
+
+    /// Repoints the innermost continuation of `pid` at `nc` (delivery
+    /// retries and failover re-executions move a leg between NxPs
+    /// without changing nesting depth).
+    fn set_continuation_top(&mut self, pid: u64, nc: usize) {
+        let stack = self.nxp_of.entry(pid).or_default();
+        match stack.last_mut() {
+            Some(top) => *top = nc,
+            None => stack.push(nc),
+        }
     }
 
     /// Records trace events and counters for injected burst faults.
@@ -2026,7 +2202,7 @@ impl Machine {
             };
             desc.seq = self.chans[nc].h2n;
             self.chans[nc].h2n += 1;
-            self.nxp_of.insert(pid, nc);
+            self.set_continuation_top(pid, nc);
             self.retained_h2n.insert(pid, (nc, desc.to_bytes()));
             self.stats.bump("failover_reexecutions");
             self.trace.record_on(
@@ -2286,13 +2462,28 @@ impl Machine {
         let host_now = self.hosts[hc].clock().now();
         let mut ctx = self.hosts[hc].save_context();
         ctx.pc = va;
+        // The guest ISA is whatever the faulting page is tagged with;
+        // a cached emulator of another ISA retires (its instruction
+        // count folds into the offset so the `executed()` invariant
+        // holds) and a fresh core of the right ISA takes its slot.
+        let tag = flick_paging::walk(|a| self.mem.read_u64(a), host_cr3, va)
+            .map(|t| t.isa_tag)
+            .unwrap_or(0);
+        let guest = isa_from_tag(tag);
+        if self.emus[hc]
+            .as_ref()
+            .is_some_and(|e| e.config().isa != guest)
+        {
+            let old = self.emus[hc].take().expect("emulator checked present");
+            self.par_counter_offset += old.counters().instructions;
+        }
         // The degraded-mode interpreter inherits the host's fast-path
         // setting so the differential tests cover it too.
         let fast_path = self.hosts[hc].config().fast_path;
         let emu = self.emus[hc].get_or_insert_with(|| {
             Core::new(CoreConfig {
                 fast_path,
-                ..CoreConfig::host_emulator()
+                ..CoreConfig::host_emulator_for(guest)
             })
         });
         emu.restore_context(&ctx);
@@ -2317,10 +2508,14 @@ impl Machine {
             match stop {
                 StopReason::Fault(Exception::InstFault {
                     va: back,
-                    kind: InstFaultKind::IsaMismatch,
+                    kind: InstFaultKind::IsaMismatch | InstFaultKind::NxViolation,
                 }) => {
-                    // Control reached host text: hand the context back
-                    // to the native core.
+                    // Control reached text this emulator cannot speak —
+                    // host text (`IsaMismatch`) or another
+                    // accelerator's (`NxViolation`). Hand the context
+                    // back to the native core; a cross-accelerator
+                    // target re-faults there and re-enters emulation
+                    // under the right guest ISA.
                     let mut ctx = emu.save_context();
                     ctx.pc = back;
                     let at = emu.clock().now();
@@ -2616,10 +2811,16 @@ impl Machine {
         let nxp_stack_ptr = task.nxp_stack_ptr.as_u64();
         let nxp_brk = task.nxp_brk;
         let frame_ranges = task.frame_ranges.clone();
+        // The leg runs on this slot's ISA: hand it that ISA's
+        // migration handler pair. A program without functions of the
+        // slot's ISA has no such handlers — any exec fault on the leg
+        // then fails loudly instead of jumping through a wrong-ISA
+        // handler.
         let handlers = self
             .vas
             .get(&pid)
-            .map(|v| (v.nxp_handler_loop, v.nxp_handler));
+            .and_then(|v| v.accel_handlers(self.nxp_isas[nc]))
+            .map(|(entry, lp)| (lp, entry));
         let span = self.span_of.get(&pid).copied().unwrap_or(0);
         let desc_phys = self.nxp_desc_phys();
         let init_gen = self.mem.text_gen();
@@ -2793,6 +2994,14 @@ impl Machine {
         }
 
         let mut desc = res.outcome?;
+        // A final return means the thread has left this NxP: pop its
+        // innermost continuation. (An escalated call keeps the frame
+        // parked here — the entry stays until that frame returns.)
+        if desc.kind == DescKind::NxpToHostReturn {
+            if let Some(stack) = self.nxp_of.get_mut(&pid) {
+                stack.pop();
+            }
+        }
         // Coordinator half of the send (shared channel state).
         desc.seq = self.chans[nc].n2h;
         self.chans[nc].n2h += 1;

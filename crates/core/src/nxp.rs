@@ -68,14 +68,35 @@ impl Default for NxpTiming {
 }
 
 /// Per-thread NxP state held by the scheduler.
+///
+/// A thread may hold accelerator frames on several cores at once — an
+/// rv64 function that calls an arm64 function parks its rv64 frame,
+/// bounces through the host, and opens a fresh arm64 frame — so the
+/// saved state is a *stack* of mid-frame parks plus one idle
+/// handler-loop checkpoint per accelerator ISA.
 #[derive(Clone, Debug)]
 pub struct NxpThread {
-    /// Saved context, once the thread has run on the NxP.
-    pub ctx: Option<CpuContext>,
+    /// Mid-frame parks, innermost last: one per accelerator frame that
+    /// escalated a call to the host and awaits its return descriptor.
+    pub parks: Vec<CpuContext>,
+    /// Idle handler-loop checkpoints by ISA tag: where the thread sits
+    /// between calls of that ISA (the §IV-B1 `while()` loop).
+    pub idle: [Option<CpuContext>; flick_isa::IsaId::COUNT],
     /// Fault target saved by the exec-fault redirect, consumed by
     /// `NXP_MIGRATE_AND_SUSPEND` (the runtime's analogue of the
     /// kernel-side `task_struct.fault_va`).
     pub fault_va: Option<VirtAddr>,
+}
+
+impl NxpThread {
+    /// A thread that has never run on an accelerator.
+    pub fn fresh() -> Self {
+        NxpThread {
+            parks: Vec::new(),
+            idle: std::array::from_fn(|_| None),
+            fault_va: None,
+        }
+    }
 }
 
 /// The NxP scheduler/runtime state.
@@ -92,15 +113,14 @@ impl NxpRuntime {
 
     /// Per-thread state, created on first touch.
     pub fn thread_mut(&mut self, pid: u64) -> &mut NxpThread {
-        self.threads.entry(pid).or_insert_with(|| NxpThread {
-            ctx: None,
-            fault_va: None,
-        })
+        self.threads.entry(pid).or_insert_with(NxpThread::fresh)
     }
 
-    /// True when `pid` has previously run on the NxP.
+    /// True when `pid` has previously run on an accelerator.
     pub fn has_context(&self, pid: u64) -> bool {
-        self.threads.get(&pid).is_some_and(|t| t.ctx.is_some())
+        self.threads
+            .get(&pid)
+            .is_some_and(|t| !t.parks.is_empty() || t.idle.iter().any(Option::is_some))
     }
 
     /// Detaches `pid`'s thread state (created fresh on first touch) so
@@ -110,10 +130,7 @@ impl NxpRuntime {
     /// hardware, where a thread's context lives on whichever side is
     /// executing it.
     pub fn take_thread(&mut self, pid: u64) -> NxpThread {
-        self.threads.remove(&pid).unwrap_or(NxpThread {
-            ctx: None,
-            fault_va: None,
-        })
+        self.threads.remove(&pid).unwrap_or_else(NxpThread::fresh)
     }
 
     /// Re-attaches thread state detached by [`NxpRuntime::take_thread`].
@@ -135,7 +152,7 @@ mod tests {
     fn thread_state_created_on_demand() {
         let mut rt = NxpRuntime::new();
         assert!(!rt.has_context(5));
-        rt.thread_mut(5).ctx = Some(CpuContext::default());
+        rt.thread_mut(5).idle[0] = Some(CpuContext::default());
         assert!(rt.has_context(5));
         assert_eq!(rt.thread_count(), 1);
     }

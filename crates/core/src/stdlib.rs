@@ -17,9 +17,13 @@ use flick_isa::{abi, Func, FuncBuilder, MemSize, TargetIsa};
 use flick_toolchain::ProgramBuilder;
 
 fn name_for(base: &str, target: TargetIsa) -> String {
-    match target {
-        TargetIsa::Host => base.to_string(),
-        TargetIsa::Nxp => format!("nxp_{base}"),
+    if target == TargetIsa::Host {
+        base.to_string()
+    } else if target == TargetIsa::Nxp {
+        // The classic NxP keeps its historical prefix (§III-D).
+        format!("nxp_{base}")
+    } else {
+        format!("{}_{base}", target.name())
     }
 }
 

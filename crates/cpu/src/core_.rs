@@ -60,6 +60,21 @@ impl CpiModel {
         }
     }
 
+    /// Costs from an ISA descriptor's registry table (what
+    /// [`CoreConfig::accel`] uses to build cores for any registered
+    /// accelerator ISA).
+    pub fn from_table(t: &flick_isa::CpiTable) -> Self {
+        CpiModel {
+            alu: t.alu,
+            mul: t.mul,
+            div: t.div,
+            mem: t.mem,
+            branch: t.branch,
+            jump: t.jump,
+            ecall: t.ecall,
+        }
+    }
+
     /// Host core running the software *interpreter* for foreign (NxP)
     /// text — the graceful-degradation path taken when the PCIe link is
     /// declared dead. Each guest instruction costs a dispatch loop on
@@ -141,8 +156,18 @@ impl CoreConfig {
     /// RV64 text at host frequency with interpreter-loop CPI, and
     /// accepts NX-set pages (see `emulates_foreign_isa`).
     pub fn host_emulator() -> Self {
+        CoreConfig::host_emulator_for(Isa::Rv64)
+    }
+
+    /// A host core interpreting `guest` text in software — the
+    /// graceful-degradation path, for any registered accelerator ISA.
+    pub fn host_emulator_for(guest: Isa) -> Self {
+        assert!(
+            guest.descriptor().nx_text,
+            "{guest} is host text; nothing to emulate"
+        );
         CoreConfig {
-            isa: Isa::Rv64,
+            isa: guest,
             cpi: CpiModel::host_emulating(),
             emulates_foreign_isa: true,
             ..CoreConfig::host()
@@ -152,11 +177,27 @@ impl CoreConfig {
     /// The RV64-like NxP core of Table I (200 MHz, 16-entry TLBs,
     /// programmable MMU).
     pub fn nxp() -> Self {
+        CoreConfig::accel(Isa::Rv64)
+    }
+
+    /// An accelerator-side core for any registered NX-text ISA, with
+    /// clock and CPI drawn from the ISA's registry descriptor. The
+    /// platform plumbing (tiny TLBs, small caches, firmware-walked MMU)
+    /// is common to every NxP card slot, so `accel(Isa::Rv64)` is
+    /// exactly [`CoreConfig::nxp`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `isa` is the host's own encoding (host cores are
+    /// [`CoreConfig::host`]; they are not behind the PCIe link).
+    pub fn accel(isa: Isa) -> Self {
+        let d = isa.descriptor();
+        assert!(d.nx_text, "{isa} is the host ISA, not an accelerator ISA");
         CoreConfig {
             side: Side::Nxp,
-            isa: Isa::Rv64,
-            freq: Hertz::mhz(200),
-            cpi: CpiModel::nxp(),
+            isa,
+            freq: Hertz::khz(d.clock_khz),
+            cpi: CpiModel::from_table(&d.cpi),
             itlb_entries: 16,
             dtlb_entries: 16,
             icache: CacheConfig::nxp(),
@@ -639,14 +680,23 @@ impl Core {
                 e
             }
         };
-        // Fetch NX convention: host cores execute NX-clear pages, NxP
-        // cores NX-set pages; an emulating core accepts the opposite
-        // side's pages (it interprets foreign text in software). The
-        // fault kind follows the page, not the core: fetching NX-set
-        // text on a non-accepting core is the Flick migration trigger
-        // (NxViolation); fetching NX-clear text is an encoding mismatch.
-        let expects_nx = matches!(self.cfg.side, Side::Nxp) != self.cfg.emulates_foreign_isa;
-        if entry.nx != expects_nx {
+        // Fetch NX convention: a core executes pages matching its ISA's
+        // descriptor — host ISAs run NX-clear pages, accelerator ISAs
+        // NX-set pages (this also covers the host-side emulator, whose
+        // `cfg.isa` is the *guest* ISA and which therefore accepts NX-set
+        // pages, interpreting foreign text in software). In N-way fleets
+        // the PTE additionally carries an ISA tag, so an accelerator core
+        // rejects NX-set text of a *different* accelerator ISA; tag 0
+        // (pre-tagging images, host text, data) is accepted by any
+        // NX-side core, preserving classic two-ISA behaviour. The fault
+        // kind follows the page, not the core: fetching NX-set text the
+        // core cannot run is the Flick migration trigger (NxViolation);
+        // fetching NX-clear text is an encoding mismatch.
+        let expects_nx = self.cfg.isa.descriptor().nx_text;
+        let wrong_nx = entry.nx != expects_nx;
+        let wrong_tag =
+            entry.nx && entry.isa_tag != 0 && entry.isa_tag != self.cfg.isa.tag() + 1;
+        if wrong_nx || wrong_tag {
             return Err(Exception::InstFault {
                 va,
                 kind: if entry.nx {

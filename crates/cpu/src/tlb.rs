@@ -25,6 +25,9 @@ pub struct TlbEntry {
     pub nx: bool,
     /// Effective writability.
     pub writable: bool,
+    /// ISA tag of the leaf PTE (0 = untagged; otherwise `isa.tag() + 1`
+    /// of the ISA whose text the page holds).
+    pub isa_tag: u8,
 }
 
 impl TlbEntry {
@@ -36,6 +39,7 @@ impl TlbEntry {
             page: t.page,
             nx: t.nx,
             writable: t.writable,
+            isa_tag: t.isa_tag,
         }
     }
 
@@ -97,6 +101,7 @@ impl MmuHole {
 ///     page: PageSize::Size4K,
 ///     nx: false,
 ///     writable: true,
+///     isa_tag: 0,
 /// });
 /// let e = tlb.lookup(VirtAddr(0x1abc)).unwrap();
 /// assert_eq!(e.translate(VirtAddr(0x1abc)), PhysAddr(0x8abc));
@@ -307,6 +312,7 @@ mod tests {
             page,
             nx: false,
             writable: true,
+            isa_tag: 0,
         }
     }
 

@@ -5,7 +5,7 @@
 
 use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
 use flick_isa::inst::AluOp;
-use flick_isa::{abi, BranchOp, FuncBuilder, Isa, MemSize, TargetIsa};
+use flick_isa::{abi, BranchOp, FuncBuilder, MemSize, TargetIsa};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
 use flick_sim::Xoshiro256;
@@ -31,14 +31,15 @@ fn fixture(target: TargetIsa) -> Fx {
         flags::PRESENT | flags::WRITABLE | flags::USER,
     )
     .unwrap();
-    if target == TargetIsa::Nxp {
-        // The NxP executes only from NX pages (inverted convention).
+    if target != TargetIsa::Host {
+        // Accelerators execute only from NX pages (inverted convention).
         asp.protect(&mut mem, VirtAddr(0x40_0000), 0x10_0000, flags::NX, 0)
             .unwrap();
     }
-    let cfg = match target {
-        TargetIsa::Host => CoreConfig::host(),
-        TargetIsa::Nxp => CoreConfig::nxp(),
+    let cfg = if target == TargetIsa::Host {
+        CoreConfig::host()
+    } else {
+        CoreConfig::accel(target)
     };
     let mut core = Core::new(cfg);
     core.set_cr3(asp.cr3());
@@ -57,10 +58,7 @@ fn execute(target: TargetIsa, build: impl FnOnce(&mut FuncBuilder)) -> u64 {
     let mut f = FuncBuilder::new("t", target);
     build(&mut f);
     f.halt();
-    let isa = match target {
-        TargetIsa::Host => Isa::X64,
-        TargetIsa::Nxp => Isa::Rv64,
-    };
+    let isa = target.isa();
     let enc = isa.encode(&f.finish()).unwrap();
     fx.mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
     let stop = fx.core.run(&mut fx.mem, &fx.env, 10_000);
@@ -92,7 +90,7 @@ fn every_alu_op_matches_reference_on_both_cores() {
     for _ in 0..6 {
         operands.push(rng.next_u64());
     }
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         for op in ALL_ALU {
             for (i, &a) in operands.iter().enumerate() {
                 // Pair each operand with a rotated partner.
@@ -115,7 +113,7 @@ fn every_alu_op_matches_reference_on_both_cores() {
 
 #[test]
 fn alu_immediates_sign_extend() {
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         let got = execute(target, |f| {
             f.li(abi::A0, 10);
             f.addi(abi::A0, abi::A0, -11);
@@ -138,7 +136,7 @@ fn every_branch_condition_both_directions() {
         (u64::MAX, 0), // -1 vs 0: signed/unsigned diverge
         (0, u64::MAX),
     ];
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         for op in [
             BranchOp::Eq,
             BranchOp::Ne,
@@ -177,7 +175,7 @@ fn every_branch_condition_both_directions() {
 
 #[test]
 fn loads_zero_extend_per_width() {
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         for (size, expect) in [
             (MemSize::B1, 0xF8u64),
             (MemSize::B2, 0xF7F8),
@@ -197,7 +195,7 @@ fn loads_zero_extend_per_width() {
 
 #[test]
 fn stores_truncate_per_width() {
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         let got = execute(target, |f| {
             f.li(abi::A1, 0x50_0000);
             f.li(abi::T0, -1); // all ones
@@ -212,7 +210,7 @@ fn stores_truncate_per_width() {
 
 #[test]
 fn negative_offsets_and_sp_addressing() {
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         let got = execute(target, |f| {
             f.li(abi::T0, 777);
             f.st(abi::T0, abi::SP, -24, MemSize::B8);
@@ -224,7 +222,7 @@ fn negative_offsets_and_sp_addressing() {
 
 #[test]
 fn jalr_links_and_jumps() {
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         // call a local leaf via function pointer; leaf returns 31.
         let got = execute(target, |f| {
             let leaf = f.new_label();
@@ -252,7 +250,7 @@ fn jalr_links_and_jumps() {
 
 #[test]
 fn division_by_zero_follows_riscv_semantics() {
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         let q = execute(target, |f| {
             f.li(abi::A1, 42);
             f.li(abi::A2, 0);
@@ -271,7 +269,7 @@ fn division_by_zero_follows_riscv_semantics() {
 #[test]
 fn deep_call_chain_uses_stack_correctly() {
     // 64 nested local calls each pushing a frame.
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         let got = execute(target, |f| {
             let rec = f.new_label();
             let base = f.new_label();

@@ -1,0 +1,393 @@
+//! The fixed-width accelerator encoding ("arm64-like").
+//!
+//! Every instruction is built from 4-byte words, 4-byte aligned, like
+//! AArch64. Register-only operations take one word `[opcode, rd, rs1,
+//! rs2]`; operations with a 32-bit immediate/displacement field take a
+//! second word holding the field; a full 64-bit constant takes *two*
+//! header+payload pairs (`li.lo` + `li.hi`, 16 bytes), mirroring how
+//! real AArch64 synthesises wide constants with `movz`/`movk`
+//! sequences. Opcodes live in `0x40..=0x7F`, disjoint from both the
+//! rv64 (`0x01..=0x3F`) and x64 (`0x80..=0xBD`) spaces, so fetching
+//! either of their bytes fails to decode — and a 4-byte alignment rule
+//! strictly looser than rv64's means an arm64 core can *also* fault on
+//! alignment before decoding x64 bytes (§IV-B2's two trigger flavours).
+
+use super::{check_reg, DecodeError, EncodeError, Encoded, Reloc, RelocKind};
+use crate::func::Func;
+use crate::inst::{AluOp, BranchOp, Inst, MemSize, Target};
+
+/// Word size in bytes.
+const W: u32 = 4;
+
+const OP_ALU: u8 = 0x40; // +alu_tag (13) -> 0x40..=0x4C, one word
+const OP_ALUI: u8 = 0x50; // +alu_tag -> 0x50..=0x5C, two words
+const OP_LI_LO: u8 = 0x60; // two words (header + lo32)
+const OP_LI_HI: u8 = 0x61; // two words (header + hi32)
+const OP_LD: u8 = 0x62; // +size_tag -> 0x62..=0x65, two words
+const OP_ST: u8 = 0x66; // +size_tag -> 0x66..=0x69, two words
+const OP_BR: u8 = 0x6A; // +branch_tag -> 0x6A..=0x6F, two words
+const OP_JAL: u8 = 0x70; // two words
+const OP_JALR: u8 = 0x71; // two words
+const OP_RET: u8 = 0x72; // one word
+const OP_ECALL: u8 = 0x73; // one word (service packed in operand bytes)
+const OP_HALT: u8 = 0x74; // one word
+const OP_NOP: u8 = 0x75; // one word
+
+/// Encoded length of one instruction.
+fn inst_len(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Alu { .. } | Inst::Ret | Inst::Ecall { .. } | Inst::Halt | Inst::Nop => W,
+        Inst::Li { .. } | Inst::LiSym { .. } => 4 * W,
+        _ => 2 * W,
+    }
+}
+
+/// One header word.
+fn head(op: u8, b1: u8, b2: u8, b3: u8) -> [u8; 4] {
+    [op, b1, b2, b3]
+}
+
+/// Encodes `func` into arm64 bytes.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::BranchOutOfRange`] if a label displacement
+/// overflows 32 bits.
+pub fn encode(func: &Func) -> Result<Encoded, EncodeError> {
+    // Pass 1: layout.
+    let mut offsets = Vec::with_capacity(func.insts.len());
+    let mut off = 0u32;
+    for inst in &func.insts {
+        offsets.push(off);
+        off += inst_len(inst);
+    }
+    let label_off = |l: crate::func::Label| offsets[func.labels[l.0 as usize].unwrap()];
+
+    // Pass 2: emit.
+    let mut out = Encoded {
+        bytes: Vec::with_capacity(off as usize),
+        relocs: Vec::new(),
+        offsets: offsets.clone(),
+    };
+    for (i, inst) in func.insts.iter().enumerate() {
+        let start = offsets[i];
+        let b = &mut out.bytes;
+        match *inst {
+            Inst::Alu { op, rd, rs1, rs2 } => {
+                b.extend_from_slice(&head(OP_ALU + op.tag(), rd.0, rs1.0, rs2.0));
+            }
+            Inst::AluImm { op, rd, rs1, imm } => {
+                b.extend_from_slice(&head(OP_ALUI + op.tag(), rd.0, rs1.0, 0));
+                b.extend_from_slice(&imm.to_le_bytes());
+            }
+            Inst::Li { rd, imm } => {
+                let lo = imm as u32;
+                let hi = ((imm as u64) >> 32) as u32;
+                b.extend_from_slice(&head(OP_LI_LO, rd.0, 0, 0));
+                b.extend_from_slice(&lo.to_le_bytes());
+                b.extend_from_slice(&head(OP_LI_HI, rd.0, 0, 0));
+                b.extend_from_slice(&hi.to_le_bytes());
+            }
+            Inst::LiSym { rd, sym } => {
+                // Low half at start+4, high half at start+12 — exactly
+                // the `field_at` / `field_at + 8` split Abs64Pair
+                // patches (the rv64 pair uses the same spacing).
+                out.relocs.push(Reloc {
+                    field_at: start + W,
+                    inst_start: start,
+                    kind: RelocKind::Abs64Pair,
+                    symbol: func.symbol_name(sym).to_string(),
+                });
+                b.extend_from_slice(&head(OP_LI_LO, rd.0, 0, 0));
+                b.extend_from_slice(&0u32.to_le_bytes());
+                b.extend_from_slice(&head(OP_LI_HI, rd.0, 0, 0));
+                b.extend_from_slice(&0u32.to_le_bytes());
+            }
+            Inst::Ld { rd, base, off, size } => {
+                b.extend_from_slice(&head(OP_LD + size.tag(), rd.0, base.0, 0));
+                b.extend_from_slice(&off.to_le_bytes());
+            }
+            Inst::St { rs, base, off, size } => {
+                b.extend_from_slice(&head(OP_ST + size.tag(), rs.0, base.0, 0));
+                b.extend_from_slice(&off.to_le_bytes());
+            }
+            Inst::Branch { op, rs1, rs2, target } => {
+                let rel: i64 = match target {
+                    Target::Label(l) => label_off(l) as i64 - start as i64,
+                    Target::Rel(d) => d,
+                    Target::Symbol(_) => unreachable!("branches use labels"),
+                };
+                let rel32 =
+                    i32::try_from(rel).map_err(|_| EncodeError::BranchOutOfRange { inst: i })?;
+                b.extend_from_slice(&head(OP_BR + op.tag(), rs1.0, rs2.0, 0));
+                b.extend_from_slice(&rel32.to_le_bytes());
+            }
+            Inst::Jal { rd, target } => {
+                let rel32: i32 = match target {
+                    Target::Label(l) => {
+                        i32::try_from(label_off(l) as i64 - start as i64)
+                            .map_err(|_| EncodeError::BranchOutOfRange { inst: i })?
+                    }
+                    Target::Rel(d) => {
+                        i32::try_from(d).map_err(|_| EncodeError::BranchOutOfRange { inst: i })?
+                    }
+                    Target::Symbol(s) => {
+                        out.relocs.push(Reloc {
+                            field_at: start + W,
+                            inst_start: start,
+                            kind: RelocKind::Rel32,
+                            symbol: func.symbol_name(s).to_string(),
+                        });
+                        0
+                    }
+                };
+                b.extend_from_slice(&head(OP_JAL, rd.0, 0, 0));
+                b.extend_from_slice(&rel32.to_le_bytes());
+            }
+            Inst::Jalr { rd, rs1, off } => {
+                b.extend_from_slice(&head(OP_JALR, rd.0, rs1.0, 0));
+                b.extend_from_slice(&off.to_le_bytes());
+            }
+            Inst::Ret => b.extend_from_slice(&head(OP_RET, 0, 0, 0)),
+            Inst::Ecall { service } => {
+                let s = service.to_le_bytes();
+                b.extend_from_slice(&head(OP_ECALL, s[0], s[1], 0));
+            }
+            Inst::Halt => b.extend_from_slice(&head(OP_HALT, 0, 0, 0)),
+            Inst::Nop => b.extend_from_slice(&head(OP_NOP, 0, 0, 0)),
+        }
+        debug_assert_eq!(out.bytes.len() as u32, start + inst_len(inst));
+    }
+    Ok(out)
+}
+
+/// True when `op` is a valid first byte of an arm64 instruction (the
+/// registry's foreign-encoding classifier).
+pub fn owns_opcode(op: u8) -> bool {
+    (OP_ALU..OP_ALU + 13).contains(&op)
+        || (OP_ALUI..OP_ALUI + 13).contains(&op)
+        || (OP_LI_LO..=OP_NOP).contains(&op)
+}
+
+fn need(bytes: &[u8], n: usize) -> Result<(), DecodeError> {
+    if bytes.len() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn i32_at(bytes: &[u8], at: usize) -> i32 {
+    i32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+/// Decodes one arm64 instruction (4, 8 or 16 bytes).
+///
+/// # Errors
+///
+/// [`DecodeError::UnknownOpcode`] for non-arm64 opcodes (e.g. host or
+/// rv64 code), [`DecodeError::StrayConstHigh`] for a jump into the
+/// middle of a `li` group, [`DecodeError::Truncated`] on short input.
+pub fn decode(bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
+    need(bytes, W as usize)?;
+    let op = bytes[0];
+    match op {
+        _ if (OP_ALU..OP_ALU + 13).contains(&op) => Ok((
+            Inst::Alu {
+                op: AluOp::from_tag(op - OP_ALU).unwrap(),
+                rd: check_reg(bytes[1])?,
+                rs1: check_reg(bytes[2])?,
+                rs2: check_reg(bytes[3])?,
+            },
+            W as usize,
+        )),
+        _ if (OP_ALUI..OP_ALUI + 13).contains(&op) => {
+            need(bytes, 2 * W as usize)?;
+            Ok((
+                Inst::AluImm {
+                    op: AluOp::from_tag(op - OP_ALUI).unwrap(),
+                    rd: check_reg(bytes[1])?,
+                    rs1: check_reg(bytes[2])?,
+                    imm: i32_at(bytes, 4),
+                },
+                2 * W as usize,
+            ))
+        }
+        OP_LI_LO => {
+            need(bytes, 4 * W as usize)?;
+            if bytes[8] != OP_LI_HI {
+                return Err(DecodeError::StrayConstHigh);
+            }
+            let lo = i32_at(bytes, 4) as u32 as u64;
+            let hi = i32_at(bytes, 12) as u32 as u64;
+            Ok((
+                Inst::Li {
+                    rd: check_reg(bytes[1])?,
+                    imm: (lo | (hi << 32)) as i64,
+                },
+                4 * W as usize,
+            ))
+        }
+        OP_LI_HI => Err(DecodeError::StrayConstHigh),
+        _ if (OP_LD..OP_LD + 4).contains(&op) => {
+            need(bytes, 2 * W as usize)?;
+            Ok((
+                Inst::Ld {
+                    rd: check_reg(bytes[1])?,
+                    base: check_reg(bytes[2])?,
+                    off: i32_at(bytes, 4),
+                    size: MemSize::from_tag(op - OP_LD).unwrap(),
+                },
+                2 * W as usize,
+            ))
+        }
+        _ if (OP_ST..OP_ST + 4).contains(&op) => {
+            need(bytes, 2 * W as usize)?;
+            Ok((
+                Inst::St {
+                    rs: check_reg(bytes[1])?,
+                    base: check_reg(bytes[2])?,
+                    off: i32_at(bytes, 4),
+                    size: MemSize::from_tag(op - OP_ST).unwrap(),
+                },
+                2 * W as usize,
+            ))
+        }
+        _ if (OP_BR..OP_BR + 6).contains(&op) => {
+            need(bytes, 2 * W as usize)?;
+            Ok((
+                Inst::Branch {
+                    op: BranchOp::from_tag(op - OP_BR).unwrap(),
+                    rs1: check_reg(bytes[1])?,
+                    rs2: check_reg(bytes[2])?,
+                    target: Target::Rel(i32_at(bytes, 4) as i64),
+                },
+                2 * W as usize,
+            ))
+        }
+        OP_JAL => {
+            need(bytes, 2 * W as usize)?;
+            Ok((
+                Inst::Jal {
+                    rd: check_reg(bytes[1])?,
+                    target: Target::Rel(i32_at(bytes, 4) as i64),
+                },
+                2 * W as usize,
+            ))
+        }
+        OP_JALR => {
+            need(bytes, 2 * W as usize)?;
+            Ok((
+                Inst::Jalr {
+                    rd: check_reg(bytes[1])?,
+                    rs1: check_reg(bytes[2])?,
+                    off: i32_at(bytes, 4),
+                },
+                2 * W as usize,
+            ))
+        }
+        OP_RET => Ok((Inst::Ret, W as usize)),
+        OP_ECALL => Ok((
+            Inst::Ecall {
+                service: u16::from_le_bytes(bytes[1..3].try_into().unwrap()),
+            },
+            W as usize,
+        )),
+        OP_HALT => Ok((Inst::Halt, W as usize)),
+        OP_NOP => Ok((Inst::Nop, W as usize)),
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::abi;
+    use crate::{FuncBuilder, TargetIsa};
+
+    #[test]
+    fn all_lengths_are_word_multiples() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Arm64);
+        f.li(abi::A0, 0x1234_5678_9ABC_DEF0u64 as i64);
+        f.addi(abi::A0, abi::A0, 1);
+        f.add(abi::A0, abi::A0, abi::A0);
+        f.ecall(7);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(enc.bytes.len() % 4, 0);
+        for &o in &enc.offsets {
+            assert_eq!(o % 4, 0, "every arm64 instruction is 4-aligned");
+        }
+        // li 16 + addi 8 + add 4 + ecall 4 + ret 4.
+        assert_eq!(enc.bytes.len(), 36);
+    }
+
+    #[test]
+    fn li_round_trips_and_rejects_mid_entry() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Arm64);
+        f.li(abi::A0, -2);
+        f.li(abi::A1, 0x7FFF_FFFF_FFFF_FFFF);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        let (i0, l0) = decode(&enc.bytes).unwrap();
+        assert_eq!(i0, Inst::Li { rd: abi::A0, imm: -2 });
+        assert_eq!(l0, 16);
+        let (i1, _) = decode(&enc.bytes[16..]).unwrap();
+        assert_eq!(i1, Inst::Li { rd: abi::A1, imm: 0x7FFF_FFFF_FFFF_FFFF });
+        // A jump to the high header is a stray-const fault, as in rv64.
+        assert_eq!(decode(&enc.bytes[8..]), Err(DecodeError::StrayConstHigh));
+    }
+
+    #[test]
+    fn li_sym_reloc_matches_abs64_pair_spacing() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Arm64);
+        f.nop();
+        f.li_sym(abi::A2, "table");
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(enc.relocs.len(), 1);
+        let r = &enc.relocs[0];
+        assert_eq!(r.kind, RelocKind::Abs64Pair);
+        assert_eq!(r.inst_start, 4);
+        // Low half at +4 from the instruction, high at field_at + 8.
+        assert_eq!(r.field_at, 8);
+    }
+
+    #[test]
+    fn jal_symbol_emits_rel32_reloc() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Arm64);
+        f.call("target_fn");
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        assert_eq!(enc.relocs.len(), 1);
+        let r = &enc.relocs[0];
+        assert_eq!(r.kind, RelocKind::Rel32);
+        assert_eq!(r.inst_start, 0);
+        assert_eq!(r.field_at, 4);
+        assert_eq!(r.symbol, "target_fn");
+    }
+
+    #[test]
+    fn ecall_service_packs_into_one_word() {
+        let mut f = FuncBuilder::new("f", TargetIsa::Arm64);
+        f.ecall(0x1FF);
+        f.ret();
+        let enc = encode(&f.finish()).unwrap();
+        let (inst, len) = decode(&enc.bytes).unwrap();
+        assert_eq!(inst, Inst::Ecall { service: 0x1FF });
+        assert_eq!(len, 4);
+    }
+
+    #[test]
+    fn decode_rejects_register_out_of_range() {
+        let bytes = [OP_ALU, 40, 0, 0];
+        assert_eq!(decode(&bytes), Err(DecodeError::BadRegister(40)));
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        assert_eq!(decode(&[OP_JAL, 0, 0]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[OP_JAL, 0, 0, 0]), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
+    }
+}

@@ -3,6 +3,7 @@
 //! The multi-ISA linker resolves symbols "using each ISA's relocation
 //! methods" selected by section name (§IV-C2); these are those methods.
 
+pub mod arm64;
 pub mod rv64;
 pub mod x64;
 
@@ -82,13 +83,22 @@ impl Error for EncodeError {}
 /// Errors while decoding machine bytes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DecodeError {
-    /// The opcode byte does not belong to this ISA — fetching the other
-    /// ISA's code lands here (the illegal-opcode migration trigger).
+    /// The opcode byte does not belong to this ISA and no other
+    /// registered ISA claims it either (plain garbage, e.g. a jump into
+    /// data).
     UnknownOpcode(u8),
+    /// The opcode byte belongs to a *different* registered ISA — the
+    /// typed form of the wrong-ISA-fetch migration trigger (§IV-B2).
+    /// Produced by [`IsaId::decode`](crate::IsaId::decode), which
+    /// classifies unknown opcodes against the registry.
+    ForeignEncoding {
+        /// The ISA whose opcode space the byte belongs to.
+        isa: crate::IsaId,
+    },
     /// Fewer bytes than the instruction needs.
     Truncated,
-    /// An rv64 constant-high word without its constant-low partner
-    /// (a jump into the middle of a `li` pair).
+    /// A constant-high word without its constant-low partner (a jump
+    /// into the middle of an rv64 or arm64 `li` group).
     StrayConstHigh,
     /// A register field holds an out-of-range index — another reliable
     /// way wrong-ISA bytes fail to decode.
@@ -99,6 +109,9 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::ForeignEncoding { isa } => {
+                write!(f, "foreign encoding (opcode belongs to {isa})")
+            }
             DecodeError::Truncated => write!(f, "truncated instruction"),
             DecodeError::StrayConstHigh => write!(f, "stray li-high word"),
             DecodeError::BadRegister(r) => write!(f, "bad register index {r}"),
@@ -218,15 +231,34 @@ mod tests {
     #[test]
     fn isas_reject_each_other() {
         let func = sample_func();
+        for victim in [Isa::X64, Isa::Rv64, Isa::Arm64] {
+            for foreign in [Isa::X64, Isa::Rv64, Isa::Arm64] {
+                if victim == foreign {
+                    continue;
+                }
+                let enc = foreign.encode(&func).unwrap();
+                match victim.decode(&enc.bytes) {
+                    Err(DecodeError::ForeignEncoding { isa }) => assert_eq!(
+                        isa, foreign,
+                        "{victim} decoding {foreign} bytes misattributed"
+                    ),
+                    // Wrong-ISA bytes may also die on a register field
+                    // before the opcode gives them away.
+                    Err(DecodeError::BadRegister(_)) => {}
+                    other => panic!("{victim} decoding {foreign} bytes: {other:?}"),
+                }
+            }
+        }
+        // The common pairs classify precisely.
         let x = Isa::X64.encode(&func).unwrap();
         let rv = Isa::Rv64.encode(&func).unwrap();
+        assert_eq!(
+            Isa::X64.decode(&rv.bytes),
+            Err(DecodeError::ForeignEncoding { isa: Isa::Rv64 })
+        );
         assert!(matches!(
             Isa::Rv64.decode(&x.bytes),
-            Err(DecodeError::UnknownOpcode(_) | DecodeError::BadRegister(_))
-        ));
-        assert!(matches!(
-            Isa::X64.decode(&rv.bytes),
-            Err(DecodeError::UnknownOpcode(_))
+            Err(DecodeError::ForeignEncoding { isa: Isa::X64 } | DecodeError::BadRegister(_))
         ));
     }
 

@@ -142,6 +142,14 @@ pub fn encode(func: &Func) -> Result<Encoded, EncodeError> {
     Ok(out)
 }
 
+/// True when `op` is a valid first byte of an rv64 instruction (the
+/// registry's foreign-encoding classifier).
+pub fn owns_opcode(op: u8) -> bool {
+    (OP_ALU..OP_ALU + 13).contains(&op)
+        || (OP_ALUI..OP_ALUI + 13).contains(&op)
+        || (OP_LI_LO..=OP_NOP).contains(&op)
+}
+
 /// Decodes one NxP instruction (8 or 16 bytes).
 ///
 /// # Errors

@@ -144,6 +144,18 @@ pub fn encode(func: &Func) -> Result<Encoded, EncodeError> {
     Ok(out)
 }
 
+/// True when `op` is a valid first byte of an x64 instruction (the
+/// registry's foreign-encoding classifier).
+pub fn owns_opcode(op: u8) -> bool {
+    (OP_ALU..OP_ALU + 13).contains(&op)
+        || (OP_ALUI..OP_ALUI + 13).contains(&op)
+        || op == OP_LI
+        || (OP_LD..OP_LD + 4).contains(&op)
+        || (OP_ST..OP_ST + 4).contains(&op)
+        || (OP_BR..OP_BR + 6).contains(&op)
+        || (OP_JAL..=OP_NOP).contains(&op)
+}
+
 fn need(bytes: &[u8], n: usize) -> Result<(), DecodeError> {
     if bytes.len() < n {
         Err(DecodeError::Truncated)

@@ -1,22 +1,28 @@
 #![warn(missing_docs)]
-//! The Flick IR (FIR) and its two machine encodings.
+//! The Flick IR (FIR) and its registered machine encodings.
 //!
 //! The paper's prototype runs one logical program on two real ISAs:
 //! x86-64 on the host and RV64-I on the NxP, with functions assigned to
 //! an ISA by user annotation and compiled by *unmodified* per-ISA
-//! compilers (§IV-C). Reproducing two full commercial ISAs would add
+//! compilers (§IV-C). Reproducing full commercial ISAs would add
 //! enormous bulk without adding fidelity to the thing the paper is
 //! about — the *migration mechanism* — so this reproduction defines one
-//! small register IR (FIR) with two deliberately different machine
-//! encodings that preserve the properties the mechanism depends on:
+//! small register IR (FIR) with deliberately different machine
+//! encodings that preserve the properties the mechanism depends on.
+//! Each encoding is described by an [`IsaDescriptor`] in a static
+//! registry, so the rest of the system (cores, linker, loader,
+//! placement) is generic over the ISA set:
 //!
-//! * [`X64`](Isa::X64) — a *variable-length* encoding (1–10 byte
+//! * [`X64`](IsaId::X64) — a *variable-length* encoding (1–10 byte
 //!   instructions, no alignment), like x86-64. Host cores decode this.
-//! * [`Rv64`](Isa::Rv64) — a *fixed-width* encoding (8-byte words,
-//!   8-byte aligned), like RISC-V. The NxP decodes this, and fetching
-//!   x64 bytes raises exactly the exceptions §IV-B2 describes: a
-//!   misaligned-instruction-address fault or an illegal opcode (the two
+//! * [`Rv64`](IsaId::Rv64) — a *fixed-width* encoding (8-byte words,
+//!   8-byte aligned), like RISC-V. The classic NxP decodes this, and
+//!   fetching x64 bytes raises exactly the exceptions §IV-B2 describes:
+//!   a misaligned-instruction-address fault or an illegal opcode (the
 //!   opcode spaces are disjoint).
+//! * [`Arm64`](IsaId::Arm64) — a *fixed-width* encoding built from
+//!   4-byte words (wide operands take extra words), like AArch64, at a
+//!   third clock/CPI point. Opcodes `0x40..=0x7F`, disjoint from both.
 //!
 //! The crate provides:
 //!
@@ -30,11 +36,11 @@
 //!
 //! # Examples
 //!
-//! Build a function, encode it for both ISAs, and observe the decoders
-//! reject each other's bytes:
+//! Build a function, encode it for two ISAs, and observe the decoders
+//! reject each other's bytes with a typed foreign-encoding error:
 //!
 //! ```
-//! use flick_isa::{abi, FuncBuilder, Isa, MemSize, TargetIsa};
+//! use flick_isa::{abi, DecodeError, FuncBuilder, Isa, MemSize, TargetIsa};
 //!
 //! let mut f = FuncBuilder::new("add_one", TargetIsa::Nxp);
 //! f.addi(abi::A0, abi::A0, 1);
@@ -44,8 +50,11 @@
 //! let rv = Isa::Rv64.encode(&func)?;
 //! let x = Isa::X64.encode(&func)?;
 //! assert_ne!(rv.bytes, x.bytes);
-//! // The x64 decoder cannot decode rv64 bytes:
-//! assert!(Isa::X64.decode(&rv.bytes).is_err());
+//! // The x64 decoder cannot decode rv64 bytes — and says whose they are:
+//! assert_eq!(
+//!     Isa::X64.decode(&rv.bytes),
+//!     Err(DecodeError::ForeignEncoding { isa: Isa::Rv64 })
+//! );
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -63,50 +72,206 @@ pub use inst::{abi, AluOp, BranchOp, Inst, MemSize, Reg, Target};
 
 use std::fmt;
 
-/// Which ISA a function targets (the user annotation of §IV-C1).
+/// Identifies a registered machine encoding.
+///
+/// The discriminant doubles as the registry index and as the on-disk /
+/// page-table ISA tag (via [`IsaId::tag`]), so the order here is ABI:
+/// never reorder existing entries, only append.
+#[repr(u8)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum TargetIsa {
-    /// Runs on the host cores (x64-like encoding).
-    Host,
-    /// Runs on the NxP core (rv64-like encoding).
-    Nxp,
+pub enum IsaId {
+    /// Variable-length host encoding (1–10 bytes, unaligned).
+    X64 = 0,
+    /// Fixed-width NxP encoding (8-byte words, 8-aligned).
+    Rv64 = 1,
+    /// Fixed-width accelerator encoding (4-byte words, 4-aligned; wide
+    /// operands take extra words).
+    Arm64 = 2,
 }
 
-impl TargetIsa {
-    /// The machine encoding used for this target.
+/// A machine encoding. Alias of [`IsaId`] kept for source compatibility
+/// with the two-ISA era, where "which encoding" and "which target" were
+/// separate closed enums.
+pub type Isa = IsaId;
+
+/// Which ISA a function targets (the user annotation of §IV-C1).
+/// Alias of [`IsaId`]: a target *is* its ISA now that placement ranges
+/// over an open set of core kinds instead of a host/NxP dichotomy.
+pub type TargetIsa = IsaId;
+
+/// Signature of a registered whole-function encoder.
+pub type EncodeFn = fn(&Func) -> Result<Encoded, EncodeError>;
+
+/// Signature of a registered single-instruction decoder: bytes →
+/// `(instruction, encoded length)`.
+pub type DecodeFn = fn(&[u8]) -> Result<(Inst, usize), DecodeError>;
+
+/// Static description of one registered ISA: everything the rest of the
+/// system needs to encode, decode, place, schedule and charge time for
+/// code of this ISA. One entry per [`IsaId`] lives in the registry
+/// ([`IsaId::descriptor`]).
+#[derive(Debug)]
+pub struct IsaDescriptor {
+    /// The ID this descriptor describes.
+    pub id: IsaId,
+    /// Short lower-case name (`"x64"`, `"rv64"`, `"arm64"`) — used for
+    /// fleet specs, section suffix selection and trace track names.
+    pub name: &'static str,
+    /// Name of the text section holding this ISA's code in objects and
+    /// images (`.text`, `.text.riscv`, `.text.arm`). Drives the
+    /// linker's per-ISA relocation-method selection (§IV-C2).
+    pub text_section: &'static str,
+    /// Instruction alignment requirement in bytes (power of two).
+    pub fetch_align: u64,
+    /// Longest instruction in bytes (fetch buffer sizing).
+    pub max_inst_len: usize,
+    /// True when this ISA's text pages carry the NX bit under the Flick
+    /// convention — i.e. the ISA runs on accelerator-side cores and a
+    /// *host* fetch of its text must trap (§III-B). False only for the
+    /// host's own encoding.
+    pub nx_text: bool,
+    /// Nominal core clock in kHz for cores of this ISA.
+    pub clock_khz: u64,
+    /// Per-instruction-class cycle costs for cores of this ISA.
+    pub cpi: CpiTable,
+    /// Encodes a whole function into this ISA's bytes.
+    pub encode: EncodeFn,
+    /// Decodes one instruction, returning it and its byte length.
+    pub decode: DecodeFn,
+    /// True when `op` is a valid first byte of this ISA's encoding —
+    /// used to classify wrong-ISA bytes as [`DecodeError::ForeignEncoding`].
+    pub owns_opcode: fn(u8) -> bool,
+}
+
+/// Per-instruction-class cycle costs, as registry data. The CPU crate
+/// converts this into its timing model when building a core for an ISA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpiTable {
+    /// Simple ALU / immediate ops.
+    pub alu: u64,
+    /// Multiply.
+    pub mul: u64,
+    /// Divide / remainder.
+    pub div: u64,
+    /// Load/store issue overhead (memory latency added separately).
+    pub mem: u64,
+    /// Conditional branch.
+    pub branch: u64,
+    /// Jumps, calls, returns.
+    pub jump: u64,
+    /// Trap entry for `ecall`.
+    pub ecall: u64,
+}
+
+/// The ISA registry, indexed by `IsaId as usize`.
+static REGISTRY: [IsaDescriptor; 3] = [
+    IsaDescriptor {
+        id: IsaId::X64,
+        name: "x64",
+        text_section: ".text",
+        fetch_align: 1,
+        max_inst_len: 10,
+        nx_text: false,
+        // Xeon-like host core of Table I: 2.4 GHz, everything cheap.
+        clock_khz: 2_400_000,
+        cpi: CpiTable { alu: 1, mul: 3, div: 20, mem: 1, branch: 1, jump: 2, ecall: 50 },
+        encode: encode::x64::encode,
+        decode: encode::x64::decode,
+        owns_opcode: encode::x64::owns_opcode,
+    },
+    IsaDescriptor {
+        id: IsaId::Rv64,
+        name: "rv64",
+        text_section: ".text.riscv",
+        fetch_align: 8,
+        max_inst_len: 16,
+        nx_text: true,
+        // RV64-like soft core of Table I: 200 MHz, in-order scalar.
+        clock_khz: 200_000,
+        cpi: CpiTable { alu: 1, mul: 5, div: 35, mem: 3, branch: 2, jump: 2, ecall: 10 },
+        encode: encode::rv64::encode,
+        decode: encode::rv64::decode,
+        owns_opcode: encode::rv64::owns_opcode,
+    },
+    IsaDescriptor {
+        id: IsaId::Arm64,
+        name: "arm64",
+        text_section: ".text.arm",
+        fetch_align: 4,
+        max_inst_len: 16,
+        nx_text: true,
+        // A third design point between the two: 1 GHz hard macro,
+        // in-order but wider than the soft core.
+        clock_khz: 1_000_000,
+        cpi: CpiTable { alu: 1, mul: 4, div: 24, mem: 2, branch: 1, jump: 2, ecall: 20 },
+        encode: encode::arm64::encode,
+        decode: encode::arm64::decode,
+        owns_opcode: encode::arm64::owns_opcode,
+    },
+];
+
+impl IsaId {
+    /// The host's own encoding (compatibility name from the two-ISA
+    /// era; prefer [`IsaId::X64`] in new code).
+    #[allow(non_upper_case_globals)]
+    pub const Host: IsaId = IsaId::X64;
+    /// The classic NxP encoding (compatibility name from the two-ISA
+    /// era; prefer [`IsaId::Rv64`] in new code).
+    #[allow(non_upper_case_globals)]
+    pub const Nxp: IsaId = IsaId::Rv64;
+
+    /// Number of registered ISAs (the registry length).
+    pub const COUNT: usize = 3;
+
+    /// Every registered ISA, in registry (tag) order.
+    pub fn all() -> &'static [IsaDescriptor; Self::COUNT] {
+        &REGISTRY
+    }
+
+    /// This ISA's registry entry.
+    pub fn descriptor(self) -> &'static IsaDescriptor {
+        &REGISTRY[self as usize]
+    }
+
+    /// The machine encoding used for this target — the identity, kept
+    /// so two-ISA-era call sites (`target.isa()`) still read naturally.
     pub fn isa(self) -> Isa {
-        match self {
-            TargetIsa::Host => Isa::X64,
-            TargetIsa::Nxp => Isa::Rv64,
+        self
+    }
+
+    /// Short lower-case name from the descriptor.
+    pub fn name(self) -> &'static str {
+        self.descriptor().name
+    }
+
+    /// Registry tag (stable; used in image kind bytes and PTE ISA tags).
+    pub const fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`IsaId::tag`].
+    pub const fn from_tag(tag: u8) -> Option<IsaId> {
+        match tag {
+            0 => Some(IsaId::X64),
+            1 => Some(IsaId::Rv64),
+            2 => Some(IsaId::Arm64),
+            _ => None,
         }
     }
-}
 
-impl fmt::Display for TargetIsa {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TargetIsa::Host => write!(f, "host"),
-            TargetIsa::Nxp => write!(f, "nxp"),
-        }
+    /// Looks an ISA up by its descriptor name (fleet specs, CLI flags).
+    pub fn from_name(name: &str) -> Option<IsaId> {
+        REGISTRY.iter().find(|d| d.name == name).map(|d| d.id)
     }
-}
 
-/// A machine encoding.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Isa {
-    /// Variable-length host encoding.
-    X64,
-    /// Fixed-width (8-byte) NxP encoding.
-    Rv64,
-}
-
-impl Isa {
     /// Instruction alignment requirement in bytes.
-    pub const fn fetch_align(self) -> u64 {
-        match self {
-            Isa::X64 => 1,
-            Isa::Rv64 => 8,
-        }
+    pub fn fetch_align(self) -> u64 {
+        self.descriptor().fetch_align
+    }
+
+    /// Name of the text section for this ISA's code.
+    pub fn text_section(self) -> &'static str {
+        self.descriptor().text_section
     }
 
     /// Encodes a whole function, resolving internal labels and emitting
@@ -117,10 +282,7 @@ impl Isa {
     /// Returns [`EncodeError`] when a label is unbound or a branch
     /// offset overflows its field.
     pub fn encode(self, func: &Func) -> Result<Encoded, EncodeError> {
-        match self {
-            Isa::X64 => encode::x64::encode(func),
-            Isa::Rv64 => encode::rv64::encode(func),
-        }
+        (self.descriptor().encode)(func)
     }
 
     /// Decodes one instruction from `bytes`, returning it and its length.
@@ -128,20 +290,26 @@ impl Isa {
     /// # Errors
     ///
     /// Returns [`DecodeError`] for unknown opcodes or truncated input.
+    /// An opcode byte that belongs to a *different* registered ISA is
+    /// reported as [`DecodeError::ForeignEncoding`] naming that ISA —
+    /// the typed form of the §IV-B2 wrong-ISA-fetch trigger. The
+    /// classification runs only on the (cold) decode-failure path.
     pub fn decode(self, bytes: &[u8]) -> Result<(Inst, usize), DecodeError> {
-        match self {
-            Isa::X64 => encode::x64::decode(bytes),
-            Isa::Rv64 => encode::rv64::decode(bytes),
+        match (self.descriptor().decode)(bytes) {
+            Err(DecodeError::UnknownOpcode(op)) => {
+                match REGISTRY.iter().find(|d| d.id != self && (d.owns_opcode)(op)) {
+                    Some(owner) => Err(DecodeError::ForeignEncoding { isa: owner.id }),
+                    None => Err(DecodeError::UnknownOpcode(op)),
+                }
+            }
+            other => other,
         }
     }
 }
 
-impl fmt::Display for Isa {
+impl fmt::Display for IsaId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Isa::X64 => write!(f, "x64"),
-            Isa::Rv64 => write!(f, "rv64"),
-        }
+        f.write_str(self.name())
     }
 }
 
@@ -159,5 +327,42 @@ mod tests {
     fn alignment_requirements() {
         assert_eq!(Isa::X64.fetch_align(), 1);
         assert_eq!(Isa::Rv64.fetch_align(), 8);
+        assert_eq!(Isa::Arm64.fetch_align(), 4);
+    }
+
+    #[test]
+    fn registry_is_consistent() {
+        for (i, d) in IsaId::all().iter().enumerate() {
+            assert_eq!(d.id as usize, i, "registry order matches tags");
+            assert_eq!(d.id.descriptor().name, d.name);
+            assert_eq!(IsaId::from_name(d.name), Some(d.id));
+            assert_eq!(IsaId::from_tag(d.id.tag()), Some(d.id));
+            assert!(d.fetch_align.is_power_of_two());
+            assert!(d.text_section.starts_with(".text"));
+        }
+        let sections: std::collections::BTreeSet<_> =
+            IsaId::all().iter().map(|d| d.text_section).collect();
+        assert_eq!(sections.len(), IsaId::all().len());
+        assert_eq!(IsaId::from_name("z80"), None);
+        assert_eq!(IsaId::from_tag(3), None);
+    }
+
+    #[test]
+    fn opcode_spaces_are_disjoint() {
+        for op in 0..=255u8 {
+            let owners: Vec<_> = IsaId::all()
+                .iter()
+                .filter(|d| (d.owns_opcode)(op))
+                .map(|d| d.name)
+                .collect();
+            assert!(owners.len() <= 1, "opcode {op:#04x} owned by {owners:?}");
+        }
+    }
+
+    #[test]
+    fn only_host_text_is_nx_clear() {
+        for d in IsaId::all() {
+            assert_eq!(d.nx_text, d.id != IsaId::Host, "{}", d.name);
+        }
     }
 }

@@ -343,8 +343,17 @@ impl Kernel {
                         fl,
                     )?;
                     if seg.is_nxp_text() {
-                        // The extended mprotect() of §IV-C3.
-                        aspace.protect(mem, VirtAddr(seg.va), seg.size, flags::NX, 0)?;
+                        // The extended mprotect() of §IV-C3: NX plus the
+                        // text ISA's tag, so N-way fleets can tell whose
+                        // accelerator code a page holds.
+                        let isa = seg.text_isa().expect("nxp text segment has an ISA");
+                        aspace.protect(
+                            mem,
+                            VirtAddr(seg.va),
+                            seg.size,
+                            flags::NX | flags::isa_tag_bits(isa.tag() + 1),
+                            0,
+                        )?;
                     }
                 }
                 Placement::NxpDram => {

@@ -53,6 +53,27 @@ pub mod flags {
     pub const HUGE: u64 = 1 << 7;
     /// No-execute (XD). This is the bit Flick's migration trigger rides.
     pub const NX: u64 = 1 << 63;
+
+    /// Low bit of the ISA-tag field. Bits 52–62 of an x86-64 PTE are
+    /// software-available when 4-level paging is in use; Flick's loader
+    /// stores `isa.tag() + 1` of the text's ISA in bits 52–54 of NX-set
+    /// text pages so an N-way fleet can tell *whose* accelerator code a
+    /// page holds. `0` means untagged (host text, data, stacks — or
+    /// images produced before tagging existed, which every consumer must
+    /// treat as classic-NxP text).
+    pub const ISA_TAG_SHIFT: u64 = 52;
+    /// Mask of the ISA-tag field (bits 52–54).
+    pub const ISA_TAG_MASK: u64 = 0x7 << ISA_TAG_SHIFT;
+
+    /// Flag bits encoding ISA tag `t` (pass `isa.tag() + 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `t` does not fit the 3-bit field.
+    pub const fn isa_tag_bits(t: u8) -> u64 {
+        assert!(t < 8, "ISA tag field is 3 bits");
+        (t as u64) << ISA_TAG_SHIFT
+    }
 }
 
 /// Mask of the physical-frame address bits in a PTE.
@@ -139,6 +160,11 @@ impl Pte {
         self.0 & flags::WRITABLE != 0
     }
 
+    /// The ISA-tag field (0 = untagged; otherwise `isa.tag() + 1`).
+    pub fn isa_tag(self) -> u8 {
+        ((self.0 & flags::ISA_TAG_MASK) >> flags::ISA_TAG_SHIFT) as u8
+    }
+
     /// Raw bits.
     pub fn bits(self) -> u64 {
         self.0
@@ -160,6 +186,9 @@ pub struct Translation {
     pub nx: bool,
     /// Effective writability: true only if every level allows writes.
     pub writable: bool,
+    /// ISA tag of the *leaf* entry (0 = untagged). Unlike NX, the tag is
+    /// pure software metadata, so intermediate levels do not contribute.
+    pub isa_tag: u8,
     /// Number of page-table loads the walk performed (1 GiB page = 2,
     /// 2 MiB = 3, 4 KiB = 4) — this is what the programmable MMU pays
     /// over PCIe per miss.
@@ -251,6 +280,7 @@ pub fn walk(
                 pa_base,
                 nx,
                 writable,
+                isa_tag: pte.isa_tag(),
                 levels: loads,
             });
         }
@@ -719,6 +749,36 @@ mod tests {
         // And clear it back.
         asp.protect(&mut mem, VirtAddr(0x9000), 0x1000, 0, flags::NX).unwrap();
         assert!(!asp.translate(&mem, VirtAddr(0x9000)).unwrap().nx);
+    }
+
+    #[test]
+    fn protect_sets_isa_tag_with_nx() {
+        // The N-way loader's actual call shape: NX plus the text ISA's
+        // tag in one protect, and both visible through the walker.
+        let (mut mem, mut alloc) = setup();
+        let mut asp = AddressSpace::new(&mut mem, &mut alloc);
+        let fl = flags::PRESENT | flags::USER;
+        asp.map_range(&mut mem, &mut alloc, VirtAddr(0x8000), PhysAddr(0x8000), 0x2000, fl)
+            .unwrap();
+        asp.protect(
+            &mut mem,
+            VirtAddr(0x9000),
+            0x1000,
+            flags::NX | flags::isa_tag_bits(3),
+            0,
+        )
+        .unwrap();
+        let t = asp.translate(&mem, VirtAddr(0x9000)).unwrap();
+        assert!(t.nx);
+        assert_eq!(t.isa_tag, 3);
+        assert_eq!(asp.translate(&mem, VirtAddr(0x8000)).unwrap().isa_tag, 0);
+        // Retagging: clear the old field, then set the new one (`protect`
+        // applies `set` before `clear`, so one call cannot do both).
+        asp.protect(&mut mem, VirtAddr(0x9000), 0x1000, 0, flags::ISA_TAG_MASK)
+            .unwrap();
+        asp.protect(&mut mem, VirtAddr(0x9000), 0x1000, flags::isa_tag_bits(1), 0)
+            .unwrap();
+        assert_eq!(asp.translate(&mem, VirtAddr(0x9000)).unwrap().isa_tag, 1);
     }
 
     #[test]

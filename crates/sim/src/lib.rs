@@ -48,4 +48,4 @@ pub use span::{Span, SpanMark, SpanRecorder, SpanStage};
 pub use stats::{Counter, Histogram, Stats, Summary};
 pub use time::{Cycles, Hertz, Picos};
 pub use trace::{CoreId, Event, Side, Trace, TraceConfig};
-pub use trace_export::{chrome_trace, validate_json};
+pub use trace_export::{chrome_trace, chrome_trace_named, validate_json};

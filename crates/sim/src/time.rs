@@ -175,6 +175,11 @@ impl Hertz {
         Hertz(mhz * 1_000_000)
     }
 
+    /// Frequency from kilohertz (the unit ISA descriptors carry).
+    pub const fn khz(khz: u64) -> Self {
+        Hertz(khz * 1_000)
+    }
+
     /// Frequency from thousandths of a gigahertz (e.g. `2_400` → 2.4 GHz).
     pub const fn ghz_milli(milli_ghz: u64) -> Self {
         Hertz(milli_ghz * 1_000_000)

@@ -135,6 +135,22 @@ fn event_name(e: &Event) -> String {
 /// assert!(json.contains("\"traceEvents\""));
 /// ```
 pub fn chrome_trace(trace: &Trace, spans: &[Span]) -> String {
+    chrome_trace_named(trace, spans, track_name)
+}
+
+/// [`chrome_trace`] with caller-supplied track names.
+///
+/// `namer` maps each core (or `None` for the untagged track) to its
+/// Perfetto track name — a heterogeneous machine uses this to render
+/// each core's ISA from its descriptor (`nxp1 (arm64)`) instead of the
+/// bare default. `chrome_trace(t, s)` is byte-identical to
+/// `chrome_trace_named(t, s, |c| ...default...)`; only the
+/// `thread_name` metadata records differ under a custom namer.
+pub fn chrome_trace_named(
+    trace: &Trace,
+    spans: &[Span],
+    namer: impl Fn(Option<CoreId>) -> String,
+) -> String {
     let mut events: Vec<String> = Vec::new();
 
     // Track metadata: one named, sorted track per core that appears in
@@ -143,7 +159,7 @@ pub fn chrome_trace(trace: &Trace, spans: &[Span]) -> String {
     let mut note = |core: Option<CoreId>| {
         let tid = tid_of(core);
         if !tids.iter().any(|(t, _)| *t == tid) {
-            tids.push((tid, track_name(core)));
+            tids.push((tid, namer(core)));
         }
     };
     for c in trace.core_tags() {
@@ -466,6 +482,39 @@ mod tests {
         assert_eq!(us(Picos::from_nanos(1500)), "1.5");
         assert_eq!(us(Picos(1)), "0.000001");
         assert_eq!(us(Picos::ZERO), "0");
+    }
+
+    #[test]
+    fn named_export_defaults_byte_identical() {
+        let mut t = Trace::default();
+        t.record_on(
+            CoreId::nxp(0),
+            Picos::from_nanos(3),
+            Event::NxFault { side: Side::Nxp, fault_va: 0x4000 },
+        );
+        let mut span = Span::new(1, 2, "h2n-call");
+        span.push(SpanStage::NxFault, Picos::from_nanos(3), CoreId::host(0));
+        span.push(SpanStage::Woken, Picos::from_nanos(9), CoreId::host(0));
+        let spans = [span];
+        assert_eq!(
+            chrome_trace(&t, &spans),
+            chrome_trace_named(&t, &spans, super::track_name)
+        );
+        let named = chrome_trace_named(&t, &spans, |c| match c {
+            Some(c) => format!("{c} (rv64)"),
+            None => "untagged".into(),
+        });
+        validate_json(&named).unwrap();
+        assert!(named.contains("\"nxp0 (rv64)\""));
+        // Only thread_name metadata differs from the default export.
+        let default = chrome_trace(&t, &spans);
+        let strip = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| !l.contains("thread_name"))
+                .map(str::to_string)
+                .collect()
+        };
+        assert_eq!(strip(&named), strip(&default));
     }
 
     #[test]

@@ -10,7 +10,8 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum SegmentKind {
     /// Executable code for one ISA. The loader sets the host NX bit on
-    /// `Text(TargetIsa::Nxp)` pages — that is Flick's whole trigger.
+    /// text pages of every `nx_text` ISA — that is Flick's whole
+    /// trigger.
     Text(TargetIsa),
     /// Initialised data.
     Data,
@@ -36,9 +37,18 @@ pub struct Segment {
 }
 
 impl Segment {
-    /// True when this segment holds NxP instructions.
+    /// True when this segment holds accelerator-side instructions
+    /// (NX-set under the Flick convention).
     pub fn is_nxp_text(&self) -> bool {
-        self.kind == SegmentKind::Text(TargetIsa::Nxp)
+        matches!(self.kind, SegmentKind::Text(isa) if isa.descriptor().nx_text)
+    }
+
+    /// The ISA whose code this segment holds, if it is a text segment.
+    pub fn text_isa(&self) -> Option<TargetIsa> {
+        match self.kind {
+            SegmentKind::Text(isa) => Some(isa),
+            _ => None,
+        }
     }
 
     /// True when `va` falls inside this segment.
@@ -90,9 +100,12 @@ impl MultiIsaImage {
         out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
         for s in &self.segments {
             write_str(&mut out, &s.name);
+            // Kind bytes 0/1 predate the registry (host text / NxP
+            // text); 2/3 are data/bss. Text of later ISAs continues at
+            // 4 (`tag + 2`) so old images parse unchanged.
             let kind: u8 = match s.kind {
-                SegmentKind::Text(TargetIsa::Host) => 0,
-                SegmentKind::Text(TargetIsa::Nxp) => 1,
+                SegmentKind::Text(isa) if isa.tag() < 2 => isa.tag(),
+                SegmentKind::Text(isa) => isa.tag() + 2,
                 SegmentKind::Data => 2,
                 SegmentKind::Bss => 3,
             };
@@ -135,7 +148,10 @@ impl MultiIsaImage {
                 1 => SegmentKind::Text(TargetIsa::Nxp),
                 2 => SegmentKind::Data,
                 3 => SegmentKind::Bss,
-                k => return Err(ImageFormatError::BadTag(k)),
+                k => match TargetIsa::from_tag(k - 2) {
+                    Some(isa) => SegmentKind::Text(isa),
+                    None => return Err(ImageFormatError::BadTag(k)),
+                },
             };
             let placement = match r.u8()? {
                 0 => Placement::HostDram,

@@ -96,10 +96,18 @@ impl Section {
         }
     }
 
-    /// True for `.text.riscv`-style sections: NxP code, which the loader
-    /// must mark NX for the host.
+    /// True for `.text.riscv` / `.text.arm`-style sections: accelerator
+    /// code, which the loader must mark NX for the host.
     pub fn is_nxp_text(&self) -> bool {
-        self.kind == SectionKind::Text(TargetIsa::Nxp)
+        matches!(self.kind, SectionKind::Text(isa) if isa.descriptor().nx_text)
+    }
+
+    /// The ISA whose code this section holds, if it is a text section.
+    pub fn text_isa(&self) -> Option<TargetIsa> {
+        match self.kind {
+            SectionKind::Text(isa) => Some(isa),
+            _ => None,
+        }
     }
 }
 
@@ -201,8 +209,11 @@ fn pad_to(sec: &mut Section, align: u64) {
 }
 
 /// The "compiler": partitions `funcs` by annotation, encodes each with
-/// its ISA's encoder and gathers `.text` / `.text.riscv` sections plus
-/// data sections from `data`.
+/// its ISA's encoder and gathers one text section per registered ISA
+/// (`.text`, `.text.riscv`, `.text.arm`) plus data sections from
+/// `data`. The classic host and NxP sections are always present; text
+/// sections of further ISAs appear only when the program uses them, so
+/// two-ISA programs produce byte-identical objects to the two-ISA era.
 ///
 /// This mirrors §IV-C1: no instrumentation is inserted anywhere — the
 /// migration trigger is entirely the OS's business.
@@ -211,24 +222,21 @@ fn pad_to(sec: &mut Section, align: u64) {
 ///
 /// Propagates [`EncodeError`] from the per-ISA encoders.
 pub fn compile(funcs: &[Func], data: &[DataDef]) -> Result<ObjectFile, CompileError> {
-    let mut host_text = Section::new(
-        ".text",
-        SectionKind::Text(TargetIsa::Host),
-        Placement::HostDram,
-        crate::layout::TEXT_ALIGN,
-    );
-    let mut nxp_text = Section::new(
-        ".text.riscv",
-        SectionKind::Text(TargetIsa::Nxp),
-        Placement::HostDram, // NxP instructions stay in host DRAM (§III-D)
-        crate::layout::TEXT_ALIGN,
-    );
+    // One text section slot per registry entry, in tag order.
+    let mut texts: Vec<Section> = flick_isa::IsaId::all()
+        .iter()
+        .map(|d| {
+            Section::new(
+                d.text_section,
+                SectionKind::Text(d.id),
+                Placement::HostDram, // accelerator instructions stay in host DRAM (§III-D)
+                crate::layout::TEXT_ALIGN,
+            )
+        })
+        .collect();
 
     for func in funcs {
-        let sec = match func.target {
-            TargetIsa::Host => &mut host_text,
-            TargetIsa::Nxp => &mut nxp_text,
-        };
+        let sec = &mut texts[func.target.tag() as usize];
         // Function entries align to the ISA's fetch alignment only — host
         // entries land at arbitrary byte offsets (variable length).
         pad_to(sec, func.target.isa().fetch_align());
@@ -253,7 +261,14 @@ pub fn compile(funcs: &[Func], data: &[DataDef]) -> Result<ObjectFile, CompileEr
         sec.size += enc.bytes.len() as u64;
     }
 
-    let mut sections = vec![host_text, nxp_text];
+    // Host and classic-NxP text are always emitted (even empty), as in
+    // the two-ISA era; later ISAs' sections only when populated.
+    let mut sections: Vec<Section> = texts
+        .into_iter()
+        .enumerate()
+        .filter(|(i, s)| *i < 2 || s.size > 0)
+        .map(|(_, s)| s)
+        .collect();
 
     // Data sections, one per (placement, initialised?) bucket.
     let mut buckets: BTreeMap<(&str, SectionKind, Placement), Section> = BTreeMap::new();

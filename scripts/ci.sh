@@ -11,22 +11,28 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Smoke-run the bench harness (1 sample) and gate the cheap, stable
 # benches against the committed baseline: a >30% regression of the
-# interpreter or the 1-NxP migration path fails CI loudly.
+# interpreter or the 1-NxP migration path fails CI loudly, and any
+# drift in the deterministic fig_isa_matrix per-ISA-pair migration
+# cost fails exactly (1 sample is enough — simulated time is exact).
 tmp_bench="$(mktemp -t flick-bench-XXXXXX.json)"
 trap 'rm -f "$tmp_bench"' EXIT
 cargo bench -p flick-bench --bench simulator -- --samples 1 --json "$tmp_bench"
 cargo run --release -p flick-bench --bin bench_gate -- BENCH_simulator.json "$tmp_bench"
 
 # Topology x threads smoke matrix: every worker count must carry every
-# topology's concurrent workload to completion. The simulated timeline
+# topology's concurrent workload to completion, including a 3-ISA
+# heterogeneous column (x64 host + rv64/arm64/rv64 accelerators —
+# ISA-aware placement must route every call). The simulated timeline
 # is worker-count-invariant (tests/determinism.rs proves bit-identity;
 # this drives the examples end to end at each configuration).
 for threads in 1 2 4; do
     for topo in "1 1" "2 2" "4 4"; do
         cargo run --release --example topology -- $topo --threads "$threads" > /dev/null
     done
+    cargo run --release --example topology -- 1 3 --isas rv64,arm64 \
+        --threads "$threads" > /dev/null
 done
-echo "topology x threads smoke matrix: 9 configurations ok"
+echo "topology x threads smoke matrix: 12 configurations ok"
 
 # Failover chaos smoke: the dedicated suite soaks 12 seeds of combined
 # link + device chaos in release (crash/hang/unplug/rejoin must be
@@ -60,8 +66,12 @@ else
 fi
 
 # Timeline-export smoke: a 2x2 observability run must emit a non-empty
-# Chrome-trace JSON file (the example itself validates the JSON).
+# Chrome-trace JSON file (the example itself validates the JSON), and
+# a heterogeneous run must name its Perfetto tracks by ISA.
 tmp_trace="$(mktemp -t flick-timeline-XXXXXX.json)"
 trap 'rm -f "$tmp_bench" "$tmp_trace"' EXIT
 cargo run --release --example timeline -- 2 2 "$tmp_trace"
+test -s "$tmp_trace"
+cargo run --release --example timeline -- 1 2 "$tmp_trace" --isas rv64,arm64
+grep -q 'nxp1 (arm64)' "$tmp_trace"
 test -s "$tmp_trace"

@@ -23,10 +23,7 @@ use flick_sim::{Picos, Xoshiro256};
 const TEXT: u64 = 0x40_0000;
 
 fn isa_of(target: TargetIsa) -> Isa {
-    match target {
-        TargetIsa::Host => Isa::X64,
-        TargetIsa::Nxp => Isa::Rv64,
-    }
+    target.isa()
 }
 
 /// Identity-maps the low 16 MiB, plants `bytes` at [`TEXT`], and marks
@@ -55,9 +52,10 @@ fn fixture(target: TargetIsa, bytes: &[u8]) -> (PhysMem, PhysAddr) {
 }
 
 fn core_for(target: TargetIsa, fast_path: bool, cr3: PhysAddr) -> Core {
-    let mut cfg = match target {
-        TargetIsa::Host => CoreConfig::host(),
-        TargetIsa::Nxp => CoreConfig::nxp(),
+    let mut cfg = if target == TargetIsa::Host {
+        CoreConfig::host()
+    } else {
+        CoreConfig::accel(target)
     };
     cfg.fast_path = fast_path;
     let mut core = Core::new(cfg);

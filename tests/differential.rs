@@ -9,7 +9,7 @@
 
 use flick_cpu::{Core, CoreConfig, MemEnv, StopReason};
 use flick_isa::inst::AluOp;
-use flick_isa::{abi, compile_expr, Expr, FuncBuilder, Inst, Isa, Reg, TargetIsa};
+use flick_isa::{abi, compile_expr, Expr, FuncBuilder, Inst, Reg, TargetIsa};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_paging::{flags, AddressSpace, BumpFrameAlloc};
 use flick_sim::Xoshiro256;
@@ -111,15 +111,13 @@ fn execute_on(target: TargetIsa, steps: &[Step], init: &[u64; 8]) -> [u64; 8] {
         }
     }
     f.halt();
-    let isa = match target {
-        TargetIsa::Host => Isa::X64,
-        TargetIsa::Nxp => Isa::Rv64,
-    };
+    let isa = target.isa();
     let enc = isa.encode(&f.finish()).unwrap();
     mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
-    let cfg = match target {
-        TargetIsa::Host => CoreConfig::host(),
-        TargetIsa::Nxp => CoreConfig::nxp(),
+    let cfg = if target == TargetIsa::Host {
+        CoreConfig::host()
+    } else {
+        CoreConfig::accel(target)
     };
     let mut core = Core::new(cfg);
     core.set_cr3(asp.cr3());
@@ -173,15 +171,13 @@ fn run_expr(target: TargetIsa, e: &Expr, args: &[u64; 6]) -> u64 {
     let mut f = FuncBuilder::new("e", target);
     compile_expr(&mut f, e).unwrap();
     f.halt();
-    let isa = match target {
-        TargetIsa::Host => Isa::X64,
-        TargetIsa::Nxp => Isa::Rv64,
-    };
+    let isa = target.isa();
     let enc = isa.encode(&f.finish()).unwrap();
     mem.write_bytes(PhysAddr(0x40_0000), &enc.bytes);
-    let mut core = Core::new(match target {
-        TargetIsa::Host => CoreConfig::host(),
-        TargetIsa::Nxp => CoreConfig::nxp(),
+    let mut core = Core::new(if target == TargetIsa::Host {
+        CoreConfig::host()
+    } else {
+        CoreConfig::accel(target)
     });
     core.set_cr3(asp.cr3());
     core.set_pc(VirtAddr(0x40_0000));

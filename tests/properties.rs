@@ -7,7 +7,7 @@
 //! rerunning the test, no external shrinker required.
 
 use flick::{DescKind, MigrationDescriptor};
-use flick_isa::{abi, AluOp, FuncBuilder, Isa, MemSize, Reg, TargetIsa};
+use flick_isa::{abi, AluOp, FuncBuilder, MemSize, Reg, TargetIsa};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_paging::{flags, AddressSpace, BumpFrameAlloc, PageSize};
 use flick_sim::Xoshiro256;
@@ -81,17 +81,19 @@ fn arb_inst(rng: &mut Xoshiro256) -> flick_isa::Inst {
 }
 
 #[test]
-fn any_instruction_sequence_round_trips_both_isas() {
+fn any_instruction_sequence_round_trips_every_registered_isa() {
     let mut rng = Xoshiro256::seeded(0x9cb1);
     for _case in 0..64 {
         let n = rng.gen_range(1, 40) as usize;
         let insts: Vec<_> = (0..n).map(|_| arb_inst(&mut rng)).collect();
-        for isa in [Isa::X64, Isa::Rv64] {
+        for d in flick_isa::IsaId::all() {
+            let isa = d.id;
             let mut f = FuncBuilder::new("f", TargetIsa::Host);
             for i in &insts {
                 f.push(*i);
             }
             let enc = isa.encode(&f.finish()).unwrap();
+            // decode(encode(func)) == func …
             let mut off = 0usize;
             let mut decoded = Vec::new();
             while off < enc.bytes.len() {
@@ -100,6 +102,14 @@ fn any_instruction_sequence_round_trips_both_isas() {
                 off += len;
             }
             assert_eq!(&decoded, &insts, "{isa} mis-round-tripped");
+            // … and encode(decode(bytes)) == bytes: re-encoding the
+            // decoded sequence reproduces the wire bytes exactly.
+            let mut g = FuncBuilder::new("f", TargetIsa::Host);
+            for i in &decoded {
+                g.push(*i);
+            }
+            let re = isa.encode(&g.finish()).unwrap();
+            assert_eq!(re.bytes, enc.bytes, "{isa} re-encode diverged");
         }
     }
 }
@@ -254,25 +264,28 @@ fn rng_range_always_in_bounds() {
 
 // ---- machine-level properties ---------------------------------------------
 
-/// Reference semantics of the random cross-ISA pipeline below.
-fn reference_chain(stages: &[(bool, u32, u32)], x0: u64) -> u64 {
+/// Reference semantics of the random cross-ISA pipeline below — the
+/// placement (which ISA runs each stage) must never change the value.
+fn reference_chain(stages: &[(TargetIsa, u32, u32)], x0: u64) -> u64 {
     stages
         .iter()
         .fold(x0, |x, (_, k, c)| x.wrapping_mul(*k as u64).wrapping_add(*c as u64))
 }
 
-/// Random chains of functions with random ISA placements compute the
-/// same value as native Rust, no matter how many times the thread
-/// crosses the boundary.
+/// Random chains of functions with random placements across all three
+/// ISAs compute the same value as native Rust, no matter how many times
+/// the thread crosses which boundary. Adjacent stages of different
+/// accelerator ISAs exercise the nested cross-accelerator bounce.
 #[test]
 fn random_cross_isa_chain_matches_reference() {
+    const TARGETS: [TargetIsa; 3] = [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64];
     let mut rng = Xoshiro256::seeded(0x9cb8);
     for _case in 0..12 {
         let n = rng.gen_range(1, 6) as usize;
-        let stages: Vec<(bool, u32, u32)> = (0..n)
+        let stages: Vec<(TargetIsa, u32, u32)> = (0..n)
             .map(|_| {
                 (
-                    rng.gen_bool(0.5),
+                    TARGETS[rng.gen_range(0, 3) as usize],
                     rng.gen_range(1, 50) as u32,
                     rng.gen_range(0, 1000) as u32,
                 )
@@ -286,9 +299,8 @@ fn random_cross_isa_chain_matches_reference() {
         main.call("stage0");
         main.call("flick_exit");
         p.func(main.finish());
-        for (i, (on_nxp, k, c)) in stages.iter().enumerate() {
-            let target = if *on_nxp { TargetIsa::Nxp } else { TargetIsa::Host };
-            let mut f = FuncBuilder::new(format!("stage{i}"), target);
+        for (i, (target, k, c)) in stages.iter().enumerate() {
+            let mut f = FuncBuilder::new(format!("stage{i}"), *target);
             f.li(abi::T0, *k as i64);
             f.mul(abi::A0, abi::A0, abi::T0);
             f.addi(abi::A0, abi::A0, *c as i32);
@@ -302,6 +314,11 @@ fn random_cross_isa_chain_matches_reference() {
             p.func(f.finish());
         }
         let mut m = flick::Machine::builder()
+            .topology(flick::Topology {
+                host_cores: 1,
+                nxp_cores: 2,
+            })
+            .nxp_isas(vec![flick_isa::IsaId::Rv64, flick_isa::IsaId::Arm64])
             .trace(flick_sim::TraceConfig {
                 enabled: false,
                 capacity: 0,
@@ -309,6 +326,10 @@ fn random_cross_isa_chain_matches_reference() {
             .build();
         let pid = m.load_program(&mut p).unwrap();
         let out = m.run(pid).unwrap();
-        assert_eq!(out.exit_code, reference_chain(&stages, x0));
+        assert_eq!(
+            out.exit_code,
+            reference_chain(&stages, x0),
+            "stages {stages:?} x0 {x0}"
+        );
     }
 }
