@@ -19,6 +19,7 @@ use flick_sim::{DeviceEvent, DeviceFaultKind, FaultPlan, Picos, TraceConfig};
 use flick_toolchain::ProgramBuilder;
 use flick_workloads::chase::{run_chase, ChaseConfig, ChaseMode};
 use flick_workloads::graph::rmat;
+use flick_workloads::serving::{run_serving_scenario, summarize, ServingScenario, ServingSummary};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -55,6 +56,11 @@ struct BenchResult {
     /// `fig_isa_matrix` family (deterministic — the bench gate compares
     /// it exactly, so any ISA-pair timing change fails CI explicitly).
     sim_round_trip_ns: Option<u64>,
+    /// Simulated serving summary at one offered load, for the
+    /// `fig_tail_latency` family (deterministic — the bench gate
+    /// watches goodput and p99 so a queueing or admission regression
+    /// fails CI, while `mean_ns` keeps tracking simulator wall cost).
+    tail: Option<ServingSummary>,
 }
 
 impl BenchResult {
@@ -107,6 +113,7 @@ fn bench(
         par_threads: None,
         par_mean: None,
         sim_round_trip_ns: None,
+        tail: None,
     };
     let n = r.samples;
     match r.insts_per_sec() {
@@ -397,6 +404,74 @@ fn bench_isa_matrix(samples: u32) -> Vec<BenchResult> {
     results
 }
 
+/// The `fig_tail_latency` family: the datacenter-serving scenario — 32
+/// tenant processes, 400 open-loop Poisson requests — at a sweep of
+/// offered loads on the default 2-host × 4-NxP heterogeneous fleet
+/// (rv64/arm64 alternating). The fleet saturates near 75k completed
+/// requests per simulated second, so the sweep brackets the knee: the
+/// first two points are below saturation (rejects = 0, flat tail), the
+/// last three are past it, where the occupancy admission path rejects
+/// at the doorbell and queueing delay dominates p99/p99.9.
+/// `(bench name, offered requests per simulated second)`.
+const TAIL_LOADS: [(&str, f64); 5] = [
+    ("fig_tail_latency_25k", 25_000.0),
+    ("fig_tail_latency_50k", 50_000.0),
+    ("fig_tail_latency_100k", 100_000.0),
+    ("fig_tail_latency_200k", 200_000.0),
+    ("fig_tail_latency_400k", 400_000.0),
+];
+
+/// The fixed serving scenario the tail-latency sweep varies load over.
+fn tail_cfg(offered_rps: f64) -> ServingScenario {
+    ServingScenario {
+        tenants: 32,
+        requests: 400,
+        offered_rps,
+        ..ServingScenario::default()
+    }
+}
+
+/// One offered-load point: the deterministic serving summary (goodput,
+/// tail quantiles, admission rejects — what the bench gate watches)
+/// plus the usual wall-clock timing of simulating the scenario.
+fn bench_tail_point(samples: u32, name: &'static str, offered_rps: f64) -> BenchResult {
+    let cfg = tail_cfg(offered_rps);
+    let report = run_serving_scenario(&cfg).expect("serving scenario");
+    let summary = summarize(&cfg, &report);
+    let mut r = bench(name, samples, None, || {
+        black_box(run_serving_scenario(&cfg).expect("serving scenario").finished_at);
+    });
+    println!(
+        "{:<32} goodput {:>7.0} rps  p50 {:>7} ns  p99 {:>7} ns  p99.9 {:>7} ns  rejects {}",
+        "", summary.goodput_rps, summary.p50_ns, summary.p99_ns, summary.p999_ns,
+        summary.admission_rejects
+    );
+    r.tail = Some(summary);
+    r
+}
+
+/// The whole load sweep, plus a readable saturation table.
+fn bench_tail_latency(samples: u32) -> Vec<BenchResult> {
+    let results: Vec<BenchResult> = TAIL_LOADS
+        .iter()
+        .map(|&(name, rps)| bench_tail_point(samples, name, rps))
+        .collect();
+    println!("\nfig_tail_latency: 32 tenants on 2x4 rv64/arm64, open-loop Poisson");
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>10} {:>8}",
+        "offered", "goodput", "p50_ns", "p99_ns", "p99.9_ns", "rejects"
+    );
+    for r in &results {
+        let t = r.tail.as_ref().unwrap();
+        println!(
+            "{:>12.0} {:>12.0} {:>10} {:>10} {:>10} {:>8}",
+            t.offered_rps, t.goodput_rps, t.p50_ns, t.p99_ns, t.p999_ns, t.admission_rejects
+        );
+    }
+    println!();
+    results
+}
+
 /// Number of loop iterations in the interpreter benches (4 instructions
 /// per iteration).
 const INTERP_ITERS: i64 = 25_000;
@@ -528,6 +603,14 @@ fn to_json(samples: u32, results: &[BenchResult]) -> String {
         if let Some(ns) = r.sim_round_trip_ns {
             extra.push_str(&format!(", \"sim_round_trip_ns\": {ns}"));
         }
+        if let Some(t) = &r.tail {
+            extra.push_str(&format!(
+                ", \"offered_rps\": {:.0}, \"goodput_rps\": {:.0}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}, \"p999_ns\": {}, \"admission_rejects\": {}",
+                t.offered_rps, t.goodput_rps, t.p50_ns, t.p99_ns, t.p999_ns,
+                t.admission_rejects
+            ));
+        }
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"mean_ns\": {}, \"best_ns\": {}{}}}{}\n",
             r.name,
@@ -576,6 +659,7 @@ fn main() {
         bench_migration_throughput_degraded(samples),
     ];
     results.extend(bench_isa_matrix(samples));
+    results.extend(bench_tail_latency(samples));
     if let Some(path) = json_path {
         std::fs::write(&path, to_json(samples, &results)).expect("write json");
         println!("wrote {path}");

@@ -22,6 +22,13 @@
 //!   ISA pair. Simulated time is deterministic, so these are compared
 //!   exactly: any drift means the cross-ISA call path's timing
 //!   semantics changed and must be an intentional, re-recorded change.
+//! - **Tail latency** (`goodput_rps` / `p99_ns`): the
+//!   `fig_tail_latency_*` serving sweep. Also deterministic, but gated
+//!   at the generous threshold rather than exactly: small intentional
+//!   scheduler or timing tweaks legitimately move queueing delay a
+//!   little, and the gate's job is to catch a collapsed drain rate or
+//!   an exploded tail, not to force a re-record for every nudge.
+//!   Goodput regresses downward, p99 regresses upward.
 //!
 //! Usage: `bench_gate <baseline.json> <current.json>`
 
@@ -42,6 +49,16 @@ const ISA_MATRIX: [&str; 6] = [
     "fig_isa_matrix_rv64_arm64",
     "fig_isa_matrix_arm64_x64",
     "fig_isa_matrix_arm64_rv64",
+];
+
+/// The serving tail-latency sweep, gated on simulated `goodput_rps`
+/// (lower is worse) and `p99_ns` (higher is worse).
+const TAIL_LATENCY: [&str; 5] = [
+    "fig_tail_latency_25k",
+    "fig_tail_latency_50k",
+    "fig_tail_latency_100k",
+    "fig_tail_latency_200k",
+    "fig_tail_latency_400k",
 ];
 
 /// Maximum tolerated wall-clock growth over the baseline.
@@ -153,6 +170,43 @@ fn main() -> ExitCode {
         }
     }
 
+    // Tail-latency serving sweep: goodput must not collapse, p99 must
+    // not explode. Both directions use the same generous threshold.
+    for name in TAIL_LATENCY {
+        let base_good = bench_field(&baseline, name, "goodput_rps")
+            .unwrap_or_else(|| panic!("baseline has no goodput_rps for {name}"));
+        let cur_good = bench_field(&current, name, "goodput_rps")
+            .unwrap_or_else(|| panic!("current run has no goodput_rps for {name}"));
+        let good_ratio = cur_good as f64 / base_good as f64;
+        let good_verdict = if good_ratio < 1.0 - MAX_REGRESSION {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_gate: {name}: goodput baseline {base_good}rps, current {cur_good}rps \
+             ({:+.1}%) {good_verdict}",
+            (good_ratio - 1.0) * 100.0
+        );
+        let base_p99 = bench_field(&baseline, name, "p99_ns")
+            .unwrap_or_else(|| panic!("baseline has no p99_ns for {name}"));
+        let cur_p99 = bench_field(&current, name, "p99_ns")
+            .unwrap_or_else(|| panic!("current run has no p99_ns for {name}"));
+        let p99_ratio = cur_p99 as f64 / base_p99 as f64;
+        let p99_verdict = if p99_ratio > 1.0 + MAX_REGRESSION {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_gate: {name}: p99 baseline {base_p99}ns, current {cur_p99}ns \
+             ({:+.1}%) {p99_verdict}",
+            (p99_ratio - 1.0) * 100.0
+        );
+    }
+
     if failed {
         eprintln!(
             "bench_gate: FAIL — a gated benchmark regressed more than {:.0}% or an \
@@ -164,7 +218,8 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!(
-        "bench_gate: all gated benchmarks within {:.0}%; ISA matrix exact",
+        "bench_gate: all gated benchmarks within {:.0}%; ISA matrix exact; \
+         tail-latency sweep within bounds",
         MAX_REGRESSION * 100.0
     );
     ExitCode::SUCCESS
@@ -181,7 +236,8 @@ mod tests {
     {"name": "interpret_100k_instructions", "mean_ns": 1198760, "best_ns": 1031501},
     {"name": "interpret", "mean_ns": 1127794, "best_ns": 1049135},
     {"name": "migration_throughput_1nxp", "mean_ns": 8400840, "best_ns": 6940299, "par_mean_ns": 9000000},
-    {"name": "fig_isa_matrix_rv64_arm64", "mean_ns": 120000, "best_ns": 110000, "sim_round_trip_ns": 41250}
+    {"name": "fig_isa_matrix_rv64_arm64", "mean_ns": 120000, "best_ns": 110000, "sim_round_trip_ns": 41250},
+    {"name": "fig_tail_latency_100k", "mean_ns": 17000000, "best_ns": 16000000, "offered_rps": 100000, "goodput_rps": 65852, "p50_ns": 943156, "p99_ns": 2742964, "p999_ns": 2965975, "admission_rejects": 181}
   ]
 }"#;
 
@@ -204,6 +260,18 @@ mod tests {
             Some(9000000)
         );
         assert_eq!(bench_field(SAMPLE, "interpret", "par_mean_ns"), None);
+        assert_eq!(
+            bench_field(SAMPLE, "fig_tail_latency_100k", "goodput_rps"),
+            Some(65852)
+        );
+        assert_eq!(
+            bench_field(SAMPLE, "fig_tail_latency_100k", "p99_ns"),
+            Some(2742964)
+        );
+        assert_eq!(
+            bench_field(SAMPLE, "fig_tail_latency_100k", "admission_rejects"),
+            Some(181)
+        );
         assert_eq!(top_field(SAMPLE, "host_parallelism"), Some(4));
         assert_eq!(top_field(SAMPLE, "samples"), Some(1));
         assert_eq!(top_field(SAMPLE, "absent"), None);

@@ -77,6 +77,9 @@ pub(crate) struct LegJob {
     /// The leg publishes its NxP clock here after every chunk; the
     /// coordinator polls it to decide when a join cannot be deferred.
     pub clock_pub: Arc<AtomicU64>,
+    /// Chaos seam: the executing worker panics instead of running the
+    /// leg. Only set by tests, to exercise the `WorkerDied` surface.
+    pub panic_inject: bool,
 }
 
 /// What a leg hands back at join time.
@@ -147,6 +150,7 @@ fn run_segment(
 /// of `nxp_send`, verbatim in behavior: same clock advances, same
 /// trace events at the same instants, same error surfaces.
 pub(crate) fn leg_run(job: LegJob) -> LegResult {
+    assert!(!job.panic_inject, "injected leg-worker panic");
     let LegJob {
         leg_id,
         nc,
@@ -165,6 +169,7 @@ pub(crate) fn leg_run(job: LegJob) -> LegResult {
         desc_phys,
         chunk_fuel,
         clock_pub,
+        panic_inject: _,
     } = job;
     let mut events: Vec<(Option<CoreId>, Picos, Event)> = Vec::new();
     let mut retired = 0u64;
@@ -428,9 +433,15 @@ pub(crate) fn leg_run(job: LegJob) -> LegResult {
 /// dedicated job channel per worker (channel `nc` always maps to
 /// worker `nc % workers`, so legs of one NxP channel never reorder),
 /// and a shared result channel the coordinator joins on.
+///
+/// A worker that panics mid-leg does not abort the process: the panic
+/// is caught, a failure marker is posted on the result channel, and
+/// the coordinator surfaces it as [`RunError::WorkerDied`]. The leg's
+/// core and private memory are lost with the worker, so the run itself
+/// cannot continue — but the caller gets an error, not a crash.
 pub(crate) struct ParEngine {
     txs: Vec<Sender<LegJob>>,
-    rx: Receiver<LegResult>,
+    rx: Receiver<Result<LegResult, usize>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -438,15 +449,22 @@ impl ParEngine {
     /// Spawns `workers` leg-execution threads.
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
-        let (res_tx, rx) = channel::<LegResult>();
+        let (res_tx, rx) = channel::<Result<LegResult, usize>>();
         let mut txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let (tx, job_rx) = channel::<LegJob>();
             let res = res_tx.clone();
             handles.push(std::thread::spawn(move || {
                 while let Ok(job) = job_rx.recv() {
-                    if res.send(leg_run(job)).is_err() {
+                    // The job is moved into the leg, so there is no
+                    // shared state a mid-leg panic could have poisoned.
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        leg_run(job)
+                    }))
+                    .map_err(|_| w);
+                    let died = out.is_err();
+                    if res.send(out).is_err() || died {
                         break;
                     }
                 }
@@ -457,15 +475,37 @@ impl ParEngine {
     }
 
     /// Ships a job to the worker owning channel `nc`.
-    pub fn submit(&self, nc: usize, job: LegJob) {
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::WorkerDied`] when that worker's thread has exited
+    /// (its job channel is disconnected).
+    pub fn submit(&self, nc: usize, job: LegJob) -> Result<(), RunError> {
         let w = nc % self.txs.len();
-        self.txs[w].send(job).expect("leg worker thread died");
+        self.txs[w]
+            .send(job)
+            .map_err(|_| RunError::WorkerDied { worker: w })
     }
 
     /// Blocks for the next completed leg, in completion order. The
     /// coordinator parks results whose `leg_id` it is not waiting for.
-    pub fn recv(&self) -> LegResult {
-        self.rx.recv().expect("leg worker thread died")
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::WorkerDied`] when a worker panicked instead of
+    /// producing a result.
+    pub fn recv(&self) -> Result<LegResult, RunError> {
+        match self.rx.recv() {
+            Ok(Ok(res)) => Ok(res),
+            Ok(Err(worker)) => Err(RunError::WorkerDied { worker }),
+            // Unreachable while the engine is alive: a panicking worker
+            // posts its failure marker before exiting, and the result
+            // receiver outlives every sender otherwise.
+            Err(_) => Err(RunError::Protocol {
+                side: Side::Host,
+                context: "leg result channel closed with no failure marker",
+            }),
+        }
     }
 }
 

@@ -66,6 +66,7 @@ mod leg;
 pub mod machine;
 pub mod nxp;
 pub mod services;
+pub mod serving;
 pub mod stdlib;
 pub mod timeline;
 pub mod topology;
@@ -74,6 +75,7 @@ pub use descriptor::{DescError, DescKind, MigrationDescriptor};
 pub use health::{BreakerState, HealthMonitor, NxpHealth};
 pub use machine::{Machine, MachineBuilder, Outcome, RunError};
 pub use nxp::NxpTiming;
+pub use serving::{ServingCompletion, ServingReport, ServingRequest};
 pub use topology::{NxpPlacement, Topology};
 
 // Observability building blocks re-exported for timeline/export users.

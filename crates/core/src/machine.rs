@@ -14,6 +14,7 @@ use crate::health::{BreakerState, HealthMonitor};
 use crate::leg;
 use crate::nxp::{NxpRuntime, NxpTiming};
 use crate::services::{self as svc, desc_layout as L};
+use crate::serving::{ServingCompletion, ServingCtx, ServingReport, ServingRequest};
 use crate::topology::{NxpPlacement, Topology};
 use flick_cpu::{Core, CoreConfig, Exception, InstFaultKind, MemEnv, StopReason};
 use flick_isa::{abi, IsaId};
@@ -28,7 +29,7 @@ use flick_sim::{
 };
 use flick_toolchain::{layout, MultiIsaImage, ProgramBuilder};
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
@@ -91,6 +92,14 @@ pub enum RunError {
         /// The pids that never completed.
         stuck: Vec<u64>,
     },
+    /// A parallel-host leg worker thread died (panicked mid-leg or
+    /// exited early). The leg's core and private memory went down with
+    /// it, so the run cannot continue — but the failure surfaces as an
+    /// error the caller can report instead of aborting the process.
+    WorkerDied {
+        /// Index of the dead worker thread.
+        worker: usize,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -116,6 +125,9 @@ impl fmt::Display for RunError {
                     "scheduler deadlock: no runnable task or pending wake-up; \
                      stuck pids {stuck:?}"
                 )
+            }
+            RunError::WorkerDied { worker } => {
+                write!(f, "leg worker thread {worker} died")
             }
         }
     }
@@ -335,6 +347,7 @@ pub struct MachineBuilder {
     observability: Option<bool>,
     threads: Option<usize>,
     nxp_isas: Option<Vec<IsaId>>,
+    ring_occupancy: Option<bool>,
 }
 
 impl MachineBuilder {
@@ -443,6 +456,23 @@ impl MachineBuilder {
         self
     }
 
+    /// Enables simulated-time ring-occupancy admission control. The
+    /// stock admission check reads the channel's *wall* ring depth,
+    /// which only fills when a device stops draining — under pure
+    /// overload the NxP drains each burst before the next kick, so the
+    /// doorbell never says no even as device clocks run minutes behind
+    /// offered load. With this knob on, the host driver also counts
+    /// kicks whose *simulated* pickup instant is still in the doorbell
+    /// write's future — the slots a real ring would have occupied — and
+    /// rejects at [`flick_os::RetryPolicy::ring_capacity`] just like a
+    /// wall-full ring: same `admission_rejects` counter, same
+    /// [`Event::AdmissionRejected`], same bounded backoff-and-degrade
+    /// budget. Off by default (bit-inert: no occupancy is recorded).
+    pub fn ring_occupancy_admission(mut self, enabled: bool) -> Self {
+        self.ring_occupancy = Some(enabled);
+        self
+    }
+
     /// Number of OS worker threads for NxP leg execution. `1` (the
     /// default) keeps the fully sequential engine; `0` means "auto" —
     /// one worker per available host hardware thread. Any value keeps
@@ -537,6 +567,13 @@ impl MachineBuilder {
             ready_wakes: Vec::new(),
             par_counter_offset: 0,
             next_leg_id: 0,
+            kill_next_leg: false,
+            serving: None,
+            ring_occupancy: if self.ring_occupancy.unwrap_or(false) {
+                Some((0..topology.nxp_cores).map(|_| VecDeque::new()).collect())
+            } else {
+                None
+            },
             topology,
             mem,
             env,
@@ -648,6 +685,18 @@ pub struct Machine {
     par_counter_offset: u64,
     /// Monotone dispatch counter for legs.
     next_leg_id: u64,
+    /// Chaos seam: when set, the next dispatched leg's worker panics
+    /// (tests use this to prove worker death surfaces as an error).
+    kill_next_leg: bool,
+    /// Open-loop serving state while [`Machine::run_serving`] drives
+    /// the event loop; `None` in every other mode, which keeps the
+    /// closed-loop paths byte-identical to the pre-serving machine.
+    serving: Option<ServingCtx>,
+    /// Per-channel simulated pickup instants of kicked bursts, used by
+    /// the ring-occupancy admission check
+    /// ([`MachineBuilder::ring_occupancy_admission`]). `None` = knob
+    /// off, nothing recorded.
+    ring_occupancy: Option<Vec<VecDeque<Picos>>>,
 }
 
 /// Coordinator-side record of one dispatched leg.
@@ -900,10 +949,13 @@ impl Machine {
     /// time — workload harnesses use this to stage data structures
     /// (linked lists, graphs) before the measured run, the way the
     /// paper's harness prepares the NxP-side storage.
-    pub fn stage_alloc_nxp(&mut self, pid: u64, size: u64) -> VirtAddr {
-        self.kernel
-            .alloc_nxp_heap(pid, size)
-            .expect("staging allocation fits the NxP window")
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Load`] when the allocation does not fit the NxP
+    /// window or the pid is unknown.
+    pub fn stage_alloc_nxp(&mut self, pid: u64, size: u64) -> Result<VirtAddr, RunError> {
+        Ok(self.kernel.alloc_nxp_heap(pid, size)?)
     }
 
     /// Allocates host heap for `pid` without charging simulated time.
@@ -918,17 +970,23 @@ impl Machine {
     }
 
     /// Writes user memory without charging simulated time (staging).
-    pub fn stage_write(&mut self, pid: u64, va: VirtAddr, bytes: &[u8]) {
-        self.kernel
-            .write_user(&mut self.mem, pid, va, bytes)
-            .expect("staging writes touch mapped memory");
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Load`] when the range touches unmapped memory or the
+    /// pid is unknown.
+    pub fn stage_write(&mut self, pid: u64, va: VirtAddr, bytes: &[u8]) -> Result<(), RunError> {
+        Ok(self.kernel.write_user(&mut self.mem, pid, va, bytes)?)
     }
 
     /// Reads user memory without charging simulated time (inspection).
-    pub fn stage_read(&self, pid: u64, va: VirtAddr, buf: &mut [u8]) {
-        self.kernel
-            .read_user(&self.mem, pid, va, buf)
-            .expect("staging reads touch mapped memory");
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Load`] when the range touches unmapped memory or the
+    /// pid is unknown.
+    pub fn stage_read(&self, pid: u64, va: VirtAddr, buf: &mut [u8]) -> Result<(), RunError> {
+        Ok(self.kernel.read_user(&self.mem, pid, va, buf)?)
     }
 
     /// Runs process `pid` to completion with a default budget of two
@@ -979,6 +1037,125 @@ impl Machine {
         fuel: u64,
     ) -> Result<Vec<(u64, Outcome)>, RunError> {
         self.run_event_loop(pids, fuel, QUANTUM)
+    }
+
+    /// Pre-allocates `pid`'s NxP SRAM stack slot and records it in the
+    /// descriptor-page TCB word, without charging simulated time — the
+    /// staging analog of the `ALLOC_NXP_STACK` service. The migration
+    /// handler's first-time check then sees a live stack pointer and
+    /// skips the allocation `ecall` on the first cross-ISA call.
+    ///
+    /// Serving setups call this once per tenant: every request task
+    /// spawned from the tenant's prototype inherits the slot, so a
+    /// fleet of hundreds of tenants uses one SRAM slot each instead of
+    /// exhausting the 255-slot SRAM on per-request allocations.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Load`] when the pid is unknown, the slot was already
+    /// allocated, or the SRAM is out of slots.
+    pub fn stage_nxp_stack(&mut self, pid: u64) -> Result<VirtAddr, RunError> {
+        let sp = self
+            .kernel
+            .alloc_nxp_stack(&mut self.mem, pid)
+            .map_err(RunError::Load)?;
+        self.kernel
+            .write_user(
+                &mut self.mem,
+                pid,
+                VirtAddr(layout::DESC_PAGE_VA + L::TCB_NXP_SP),
+                &sp.as_u64().to_le_bytes(),
+            )
+            .map_err(RunError::Load)?;
+        Ok(sp)
+    }
+
+    /// Runs an open-loop multi-tenant serving schedule to completion.
+    ///
+    /// `tenants` are loaded prototype processes (one address space,
+    /// CR3, staged data set and SRAM stack slot each — see
+    /// [`Machine::stage_nxp_stack`]); they never run themselves.
+    /// Each [`ServingRequest`] names a tenant by index, an absolute
+    /// simulated arrival instant, and an argument delivered in `A0`; at
+    /// its arrival the machine spawns a fresh task from the tenant's
+    /// prototype ([`flick_os::Kernel::spawn_task`] — pristine entry
+    /// context, shared address space) on host core `tenant % hosts` and
+    /// schedules it like any other thread, preemption quantum
+    /// `quantum`. Tasks of one tenant share its host stack and
+    /// descriptor page, so they serialize: a request arriving while its
+    /// tenant is busy waits its turn, and the wait is charged to its
+    /// latency (open-loop accounting — [`ServingCompletion::latency`]
+    /// runs from *arrival*, not admission, so queueing delay under
+    /// overload shows up in the tail instead of vanishing into
+    /// coordinated omission).
+    ///
+    /// The run is bit-identical for any worker-thread count and any
+    /// rerun at the same schedule, like every other mode of the
+    /// machine: arrivals are just one more deterministic event source.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Build`] on an empty tenant list, an out-of-range
+    /// tenant index, or a zombie prototype; otherwise see [`RunError`]
+    /// — a crashing request fails the whole run.
+    pub fn run_serving(
+        &mut self,
+        tenants: &[u64],
+        requests: &[ServingRequest],
+        fuel: u64,
+        quantum: u64,
+    ) -> Result<ServingReport, RunError> {
+        if tenants.is_empty() {
+            return Err(RunError::Build("serving run with no tenants".into()));
+        }
+        for &pid in tenants {
+            if self.kernel.task(pid)?.state == flick_os::TaskState::Zombie {
+                return Err(RunError::Build(format!(
+                    "serving tenant {pid} already exited"
+                )));
+            }
+        }
+        if let Some(r) = requests.iter().find(|r| r.tenant >= tenants.len()) {
+            return Err(RunError::Build(format!(
+                "request names tenant {} but only {} tenants were given",
+                r.tenant,
+                tenants.len()
+            )));
+        }
+        // Ensure every tenant owns its SRAM stack slot up front, so
+        // request tasks never race the first-call allocation path.
+        for &pid in tenants {
+            if self.kernel.task(pid)?.nxp_stack_ptr.as_u64() == 0 {
+                self.stage_nxp_stack(pid)?;
+            }
+        }
+        self.serving = Some(ServingCtx::new(
+            tenants,
+            requests.to_vec(),
+            self.hosts.len(),
+        ));
+        let res = self.run_event_loop(&[], fuel, quantum);
+        let ctx = self.serving.take();
+        res?;
+        let ctx = ctx.ok_or(RunError::Protocol {
+            side: Side::Host,
+            context: "serving context vanished during the run",
+        })?;
+        // All requests completed, so no task is suspended and no leg
+        // can still be in flight; land any stragglers defensively so
+        // the fleet clocks are final before the snapshot.
+        self.join_all_legs()?;
+        let finished_at = ctx
+            .completions
+            .iter()
+            .map(|c| c.finished)
+            .max()
+            .unwrap_or(Picos::ZERO);
+        Ok(ServingReport {
+            completions: ctx.completions,
+            stats: self.fleet_stats(),
+            finished_at,
+        })
     }
 
     /// The deterministic discrete-event interleave driving every run:
@@ -1053,7 +1230,15 @@ impl Machine {
         let mut slots: Vec<CoreSlot> = vec![CoreSlot::default(); n];
         let mut done: Vec<(u64, Outcome)> = Vec::new();
         let start_insts = self.executed();
-        while done.len() < pids.len() {
+        // Closed-loop runs finish when every submitted process exits;
+        // a serving run finishes when every request of the open-loop
+        // schedule has completed (its `pids` list is empty — work
+        // enters through the arrival queues instead).
+        let finished = |m: &Machine, done: &[(u64, Outcome)]| match &m.serving {
+            Some(ctx) => ctx.completions.len() >= ctx.total,
+            None => done.len() >= pids.len(),
+        };
+        while !finished(self, &done) {
             if self.executed() - start_insts >= fuel {
                 return Err(RunError::FuelExhausted);
             }
@@ -1067,14 +1252,25 @@ impl Machine {
                         || stealable
                         || !pending[c].is_empty()
                         || self.has_inflight_for(c)
+                        || self
+                            .serving
+                            .as_ref()
+                            .is_some_and(|ctx| !ctx.arrivals[c].is_empty())
                 })
                 .min_by_key(|&c| (self.hosts[c].clock().now(), c));
             let Some(hc) = hc else {
-                let stuck = pids
-                    .iter()
-                    .copied()
-                    .filter(|p| !done.iter().any(|(d, _)| d == p))
-                    .collect();
+                let stuck = match &self.serving {
+                    Some(ctx) => {
+                        let mut live: Vec<u64> = ctx.live.keys().copied().collect();
+                        live.sort_unstable();
+                        live
+                    }
+                    None => pids
+                        .iter()
+                        .copied()
+                        .filter(|p| !done.iter().any(|(d, _)| d == p))
+                        .collect(),
+                };
                 return Err(RunError::Deadlock { stuck });
             };
             self.core_turn(
@@ -1142,6 +1338,10 @@ impl Machine {
             task.last_core = hc;
             rq.enqueue(hc, pid);
         }
+        // Open-loop arrivals land like wake-ups: every request whose
+        // arrival instant this core's clock has reached is spawned (or
+        // queued behind its tenant's live request) before scheduling.
+        self.admit_due_arrivals(hc, rq)?;
         if let Some(p) = slots[hc].preempted.take() {
             rq.enqueue(hc, p);
         }
@@ -1165,8 +1365,20 @@ impl Machine {
                     // (wait = the slowest in-flight leg, not the sum).
                     self.join_core_legs(hc)?;
                     self.drain_ready_wakes(pending, wakes)?;
-                    // Fast-forward to this core's earliest wake.
-                    if let Some(&Reverse((due, _))) = pending[hc].peek() {
+                    // Fast-forward to this core's earliest wake — or,
+                    // in serving mode, its next request arrival if that
+                    // comes sooner (an idle open-loop core must advance
+                    // to the next arrival or the fleet would deadlock
+                    // waiting for work that is due in its future).
+                    let mut next = pending[hc].peek().map(|&Reverse((due, _))| due);
+                    if let Some(&Reverse((due, _))) = self
+                        .serving
+                        .as_ref()
+                        .and_then(|ctx| ctx.arrivals[hc].peek())
+                    {
+                        next = Some(next.map_or(due, |n| n.min(due)));
+                    }
+                    if let Some(due) = next {
                         self.hosts[hc].clock_mut().sync_to(due);
                     }
                     return Ok(());
@@ -1185,14 +1397,22 @@ impl Machine {
                 StopReason::Halt => {
                     let code = self.hosts[hc].reg(abi::A0);
                     slots[hc].running = None;
-                    done.push((pid, self.finish(hc, pid, code)?));
+                    if self.serving.is_some() {
+                        self.finish_serving(hc, pid, code, rq)?;
+                    } else {
+                        done.push((pid, self.finish(hc, pid, code)?));
+                    }
                     return Ok(());
                 }
                 StopReason::Ecall(service) => match self.host_ecall(hc, pid, service)? {
                     EcallFlow::Continue => {}
                     EcallFlow::Exit(code) => {
                         slots[hc].running = None;
-                        done.push((pid, self.finish(hc, pid, code)?));
+                        if self.serving.is_some() {
+                            self.finish_serving(hc, pid, code, rq)?;
+                        } else {
+                            done.push((pid, self.finish(hc, pid, code)?));
+                        }
                         return Ok(());
                     }
                     EcallFlow::Suspended(wake) => {
@@ -1343,6 +1563,23 @@ impl Machine {
         let task = self.kernel.task_mut(pid)?;
         task.state = flick_os::TaskState::Zombie;
         task.exit_code = code;
+        let stats = self.fleet_stats();
+        Ok(Outcome {
+            exit_code: code,
+            sim_time: self.hosts[hc].clock().now(),
+            console: self.kernel.console().to_vec(),
+            stats,
+        })
+    }
+
+    /// Fleet-wide stats snapshot: machine counters plus every core's
+    /// counters (NxPs folded under the `nxp_` name space), emulated
+    /// instruction totals, health gauges, and the observability bag.
+    /// Shared by the per-process [`Outcome`] and the end-of-run
+    /// [`ServingReport`] — serving takes it exactly once, because the
+    /// per-exit clone would serialize the pipelined engine under
+    /// thousands of request completions.
+    fn fleet_stats(&mut self) -> Stats {
         let mut stats = self.stats.clone();
         for host in &self.hosts {
             stats.merge(&host.stats());
@@ -1384,12 +1621,144 @@ impl Machine {
         // the merge touches only the histogram map, never the counters,
         // so stats comparisons stay bit-identical with the layer off.
         stats.merge(&self.obs_stats);
-        Ok(Outcome {
+        stats
+    }
+
+    /// Spawns every request whose arrival instant host core `hc` has
+    /// reached: a fresh task from the tenant's prototype if the tenant
+    /// is free, else a FIFO deferral behind its live request. No-op
+    /// outside serving mode.
+    fn admit_due_arrivals(&mut self, hc: usize, rq: &mut RunQueues) -> Result<(), RunError> {
+        if self.serving.is_none() {
+            return Ok(());
+        }
+        loop {
+            let now = self.hosts[hc].clock().now();
+            let Some(ctx) = self.serving.as_mut() else {
+                return Ok(());
+            };
+            let Some(&Reverse((due, idx))) = ctx.arrivals[hc].peek() else {
+                return Ok(());
+            };
+            if due > now {
+                return Ok(());
+            }
+            ctx.arrivals[hc].pop();
+            let tenant = ctx.reqs[idx].tenant;
+            if ctx.tenants[tenant].busy {
+                ctx.tenants[tenant].deferred.push_back(idx);
+            } else {
+                self.spawn_request(hc, idx, due, rq)?;
+            }
+        }
+    }
+
+    /// Spawns the task for request `idx` (ready at `ready`, queued on
+    /// host core `hc`) and marks its tenant busy.
+    fn spawn_request(
+        &mut self,
+        hc: usize,
+        idx: usize,
+        ready: Picos,
+        rq: &mut RunQueues,
+    ) -> Result<(), RunError> {
+        let (proto, arg, tenant) = {
+            let ctx = self.serving.as_ref().ok_or(RunError::Protocol {
+                side: Side::Host,
+                context: "request spawn outside a serving run",
+            })?;
+            let req = ctx.reqs[idx];
+            (ctx.tenants[req.tenant].proto, req.arg, req.tenant)
+        };
+        let pid = self.kernel.spawn_task(proto)?;
+        // The request task migrates through its tenant's handler table
+        // (same address space, same handler VAs).
+        if let Some(v) = self.vas.get(&proto).copied() {
+            self.vas.insert(pid, v);
+        }
+        let task = self.kernel.task_mut(pid)?;
+        // The request argument rides in A0: the tenant program's
+        // `main` dispatches on it (request kind, key, …). Spawning
+        // charges no simulated time — the model is a pre-forked worker
+        // picking a request off its tenant's queue, not a fork.
+        task.context.regs[abi::A0.index()] = arg;
+        task.ready_at = ready;
+        task.last_core = hc;
+        if let Some(ctx) = self.serving.as_mut() {
+            ctx.tenants[tenant].busy = true;
+            ctx.live.insert(pid, idx);
+        }
+        rq.enqueue(hc, pid);
+        Ok(())
+    }
+
+    /// Serving-mode request exit: record the completion, reap the
+    /// task, and hand the tenant to its next deferred request (which
+    /// becomes ready *now* — its queueing delay stays charged to its
+    /// open-loop latency). Deliberately does none of [`Machine::finish`]'s
+    /// fleet-wide work: no leg barrier, no stats clone — a saturated
+    /// run retires thousands of requests and takes its one snapshot at
+    /// the end.
+    fn finish_serving(
+        &mut self,
+        hc: usize,
+        pid: u64,
+        code: u64,
+        rq: &mut RunQueues,
+    ) -> Result<(), RunError> {
+        self.span_of.remove(&pid);
+        self.nxp_of.remove(&pid);
+        self.retained_n2h.remove(&pid);
+        self.retained_h2n.remove(&pid);
+        self.last_nx_fault.remove(&pid);
+        self.vas.remove(&pid);
+        let now = self.hosts[hc].clock().now();
+        let ctx = self.serving.as_mut().ok_or(RunError::Protocol {
+            side: Side::Host,
+            context: "serving exit outside a serving run",
+        })?;
+        let idx = ctx.live.remove(&pid).ok_or(RunError::Protocol {
+            side: Side::Host,
+            context: "serving exit from a task with no live request",
+        })?;
+        let req = ctx.reqs[idx];
+        ctx.completions.push(ServingCompletion {
+            request: idx,
+            tenant: req.tenant,
+            arrival: req.arrival,
+            finished: now,
             exit_code: code,
-            sim_time: self.hosts[hc].clock().now(),
-            console: self.kernel.console().to_vec(),
-            stats,
-        })
+        });
+        let next = {
+            let t = &mut ctx.tenants[req.tenant];
+            let n = t.deferred.pop_front();
+            if n.is_none() {
+                t.busy = false;
+            }
+            n
+        };
+        self.kernel.reap_task(pid)?;
+        if let Some(nidx) = next {
+            self.spawn_request(hc, nidx, now, rq)?;
+        }
+        Ok(())
+    }
+
+    /// The simulated-time half of the admission check
+    /// ([`MachineBuilder::ring_occupancy_admission`]): true when
+    /// `ring_capacity` kicked bursts on channel `nc` have pickup
+    /// instants still in the doorbell write's future. Entries are
+    /// pushed in NxP-clock order, so draining the due prefix keeps the
+    /// queue exactly the not-yet-picked-up set.
+    fn ring_sim_occupied(&mut self, nc: usize, now: Picos, cap: usize) -> bool {
+        let Some(occ) = self.ring_occupancy.as_mut() else {
+            return false;
+        };
+        let q = &mut occ[nc];
+        while q.front().is_some_and(|&t| t <= now) {
+            q.pop_front();
+        }
+        q.len() >= cap
     }
 
     /// Handles a host `ecall`.
@@ -1763,10 +2132,15 @@ impl Machine {
                 self.obs.mark(span, SpanStage::DmaSubmit, now, CoreId::host(hc));
             }
             // Bounded admission: a ring already at capacity (a hung
-            // device stops draining it) rejects the kick at the
-            // doorbell — typed backpressure, charged as one attempt of
-            // the same bounded budget (the driver's EAGAIN path).
-            if self.fabric.channel(nc).depth_to_nxp() >= timing.retry.ring_capacity {
+            // device stops draining it — wall depth — or, with the
+            // occupancy knob on, one whose slots are all awaiting
+            // pickups in this doorbell write's simulated future)
+            // rejects the kick at the doorbell — typed backpressure,
+            // charged as one attempt of the same bounded budget (the
+            // driver's EAGAIN path).
+            if self.ring_sim_occupied(nc, now, timing.retry.ring_capacity)
+                || self.fabric.channel(nc).depth_to_nxp() >= timing.retry.ring_capacity
+            {
                 self.stats.bump("admission_rejects");
                 self.trace
                     .record_on(CoreId::host(hc), now, Event::AdmissionRejected { chan: nc });
@@ -2017,7 +2391,11 @@ impl Machine {
                 Some(at) => {
                     self.hosts[hc].clock_mut().sync_to(at);
                     let now = self.hosts[hc].clock().now();
-                    let Some(msi) = self.irq.take_due_vector(now, wake.chan as u32) else {
+                    // Claim exactly the interrupt this wake raised (by
+                    // its recorded arrival instant): several tenants
+                    // can be suspended on one channel, and a due-time
+                    // scan here would steal a neighbour's MSI.
+                    let Some(msi) = self.irq.take_vector_at(at, wake.chan as u32) else {
                         if self.plan.has_device_events() {
                             // The vector was purged by a failover
                             // quiesce on this channel: fall back to the
@@ -2040,7 +2418,7 @@ impl Machine {
                     // A duplicated MSI sits at the same instant; the
                     // kernel takes the extra interrupt, finds nothing
                     // to deliver, and returns.
-                    while self.irq.take_due_vector(msi.at, wake.chan as u32).is_some() {
+                    while self.irq.take_vector_at(msi.at, wake.chan as u32).is_some() {
                         self.stats.bump("spurious_wakeups");
                         self.trace.record_on(
                             CoreId::host(hc),
@@ -2242,7 +2620,9 @@ impl Machine {
                         },
                     );
                 }
-                if self.fabric.channel(nc).depth_to_nxp() >= timing.retry.ring_capacity {
+                if self.ring_sim_occupied(nc, now, timing.retry.ring_capacity)
+                    || self.fabric.channel(nc).depth_to_nxp() >= timing.retry.ring_capacity
+                {
                     self.stats.bump("admission_rejects");
                     self.trace
                         .record_on(CoreId::host(hc), now, Event::AdmissionRejected { chan: nc });
@@ -2622,6 +3002,11 @@ impl Machine {
                     },
                 );
                 self.nxps[nc].clock_mut().advance(nt.dispatch);
+                // Occupancy admission bookkeeping: this burst's ring
+                // slot frees at the instant the scheduler picked it up.
+                if let Some(occ) = self.ring_occupancy.as_mut() {
+                    occ[nc].push_back(self.nxps[nc].clock().now());
+                }
                 // The wire bytes carry the span id, so the NxP side
                 // attributes its mark without any host-side channel.
                 self.obs.mark(
@@ -2884,6 +3269,7 @@ impl Machine {
             desc_phys,
             chunk_fuel,
             clock_pub: clock_pub.clone(),
+            panic_inject: std::mem::take(&mut self.kill_next_leg),
         };
         self.in_flight.insert(
             nc,
@@ -2901,8 +3287,11 @@ impl Machine {
         if pipelined {
             self.par
                 .as_ref()
-                .expect("pipelined run without a worker engine")
-                .submit(nc, job);
+                .ok_or(RunError::Protocol {
+                    side: Side::Host,
+                    context: "pipelined run without a worker engine",
+                })?
+                .submit(nc, job)?;
             Ok(None)
         } else {
             let res = leg::leg_run(job);
@@ -2937,7 +3326,7 @@ impl Machine {
                     side: Side::Nxp,
                     context: "in-flight leg with no worker engine",
                 })?
-                .recv();
+                .recv()?;
             if r.leg_id == inf.leg_id {
                 break r;
             }
@@ -3361,6 +3750,26 @@ mod tests {
     /// A process that calls an NxP spin function `calls` times; each
     /// call keeps the NxP busy for a while, leaving the host core idle
     /// in single-process mode.
+    #[test]
+    fn dead_leg_worker_surfaces_as_error() {
+        // A worker thread panicking mid-leg must degrade to a typed
+        // RunError::WorkerDied, not abort the process.
+        let mut m = Machine::builder()
+            .topology(Topology::new(1, 1))
+            .threads(2)
+            .build();
+        let mut p = migration_loop_program(4, 1_000, 0);
+        let pid = m.load_program(&mut p).unwrap();
+        m.kill_next_leg = true;
+        let err = m.run_concurrent(&[pid], u64::MAX / 2).unwrap_err();
+        assert!(
+            matches!(err, RunError::WorkerDied { worker: 0 }),
+            "expected WorkerDied, got {err:?}"
+        );
+        // The display form names the worker for operator logs.
+        assert!(err.to_string().contains("leg worker thread 0 died"));
+    }
+
     fn migration_loop_program(calls: i64, spin: i64, tag: i64) -> ProgramBuilder {
         let mut p = ProgramBuilder::new("loop");
         let mut main = FuncBuilder::new("main", TargetIsa::Host);

@@ -111,6 +111,12 @@ pub struct KernelConfig {
     /// on-chip SRAM, making every NxP stack access cross PCIe
     /// (questioning the §III-D local-stack design point).
     pub stacks_in_host_dram: bool,
+    /// Bytes of host stack mapped per process, clamped to
+    /// `[PAGE_SIZE, HOST_STACK_SIZE]` and rounded up to a page. The
+    /// default maps the full 8 MiB window; multi-tenant serving
+    /// scenarios shrink it (their request `main`s use a few KiB) so
+    /// hundreds of processes fit the user-frame pool.
+    pub host_stack_bytes: u64,
 }
 
 impl Default for KernelConfig {
@@ -119,6 +125,7 @@ impl Default for KernelConfig {
             timing: OsTiming::paper_default(),
             nxp_window_page: PageSize::Size1G,
             stacks_in_host_dram: false,
+            host_stack_bytes: layout::HOST_STACK_SIZE,
         }
     }
 }
@@ -305,17 +312,22 @@ impl Kernel {
             flags::PRESENT | flags::WRITABLE | flags::USER | flags::NX,
         )?;
 
-        // 4. Host stack.
-        let stack_base = layout::HOST_STACK_TOP - layout::HOST_STACK_SIZE;
-        let stack_frames = self
-            .user_frames
-            .alloc_contiguous(layout::HOST_STACK_SIZE / PAGE_SIZE);
+        // 4. Host stack: only the configured top slice of the 8 MiB
+        //    window is backed by frames (the stack grows down from
+        //    HOST_STACK_TOP, so the mapped slice is the hot one).
+        let stack_bytes = self
+            .config
+            .host_stack_bytes
+            .clamp(PAGE_SIZE, layout::HOST_STACK_SIZE)
+            .next_multiple_of(PAGE_SIZE);
+        let stack_base = layout::HOST_STACK_TOP - stack_bytes;
+        let stack_frames = self.user_frames.alloc_contiguous(stack_bytes / PAGE_SIZE);
         aspace.map_range(
             mem,
             &mut self.pt_frames,
             VirtAddr(stack_base),
             stack_frames,
-            layout::HOST_STACK_SIZE,
+            stack_bytes,
             flags::PRESENT | flags::WRITABLE | flags::USER | flags::NX,
         )?;
 
@@ -384,6 +396,53 @@ impl Kernel {
         task.record_frames(user_mark, self.user_frames.watermark());
         self.tasks.push(task);
         Ok(pid)
+    }
+
+    /// Spawns a task into an *existing* process: clones the prototype
+    /// `task_struct` (same CR3, same heap cursors, same NxP stack slot)
+    /// under a fresh pid, runnable at the image entry point. This is
+    /// the serving scenario's cheap per-request spawn — the address
+    /// space, page tables and staged data are loaded once per tenant,
+    /// and each request reuses them. Callers must serialize tasks that
+    /// share a prototype: the clone shares the host stack, descriptor
+    /// page and NxP SRAM slot, so at most one may run at a time.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] if `proto_pid` does not exist.
+    pub fn spawn_task(&mut self, proto_pid: u64) -> Result<u64, KernelError> {
+        let mut t = self.task(proto_pid)?.clone();
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        t.pid = pid;
+        t.state = TaskState::Runnable;
+        t.fault_va = None;
+        t.migration_flag = false;
+        t.deadline = None;
+        t.degraded = false;
+        t.ready_at = flick_sim::Picos::ZERO;
+        t.exit_code = 0;
+        self.tasks.push(t);
+        Ok(pid)
+    }
+
+    /// Removes a zombie task from the table. The task table is a
+    /// linear-scan vector, so long-running serving loops reap finished
+    /// request tasks to keep every `task(pid)` lookup O(live tasks)
+    /// instead of O(all requests ever served). The process's memory is
+    /// untouched — it belongs to the prototype task's address space.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::NoSuchTask`] if `pid` does not exist.
+    pub fn reap_task(&mut self, pid: u64) -> Result<(), KernelError> {
+        let i = self
+            .tasks
+            .iter()
+            .position(|t| t.pid == pid)
+            .ok_or(KernelError::NoSuchTask(pid))?;
+        self.tasks.remove(i);
+        Ok(())
     }
 
     /// The Flick hook: after an NX instruction fault, save the faulting
@@ -847,6 +906,62 @@ mod tests {
             kernel.wake_from_migration(pid),
             Err(KernelError::SpuriousWake(pid))
         );
+    }
+
+    #[test]
+    fn spawn_task_clones_proto_and_reap_removes() {
+        let mut mem = PhysMem::new();
+        let mut kernel = Kernel::new(&mut mem);
+        let image = simple_image();
+        let proto = kernel.create_process(&mut mem, &image).unwrap();
+        kernel.alloc_nxp_stack(&mut mem, proto).unwrap();
+        let spawned = kernel.spawn_task(proto).unwrap();
+        assert_ne!(spawned, proto);
+        let p = kernel.task(proto).unwrap().clone();
+        let s = kernel.task(spawned).unwrap();
+        // Same address space, heap cursors and NxP stack slot; fresh
+        // runnable state at the entry point.
+        assert_eq!(s.cr3, p.cr3);
+        assert_eq!(s.nxp_brk, p.nxp_brk);
+        assert_eq!(s.nxp_stack_ptr, p.nxp_stack_ptr);
+        assert_eq!(s.context.pc, p.context.pc);
+        assert_eq!(s.state, TaskState::Runnable);
+        assert_eq!(s.exit_code, 0);
+        // Reap removes exactly the spawned task.
+        kernel.reap_task(spawned).unwrap();
+        assert_eq!(
+            kernel.task(spawned).err(),
+            Some(KernelError::NoSuchTask(spawned))
+        );
+        assert!(kernel.task(proto).is_ok());
+        // Unknown pids are typed errors.
+        assert_eq!(kernel.spawn_task(999).err(), Some(KernelError::NoSuchTask(999)));
+        assert_eq!(kernel.reap_task(999).err(), Some(KernelError::NoSuchTask(999)));
+    }
+
+    #[test]
+    fn host_stack_bytes_maps_only_the_top_slice() {
+        let mut mem = PhysMem::new();
+        let mut kernel = Kernel::with_config(
+            SystemMap::paper_default(),
+            KernelConfig {
+                host_stack_bytes: 64 * 1024,
+                ..KernelConfig::default()
+            },
+        );
+        let image = simple_image();
+        let pid = kernel.create_process(&mut mem, &image).unwrap();
+        // The top 64 KiB is mapped...
+        let top = VirtAddr(layout::HOST_STACK_TOP - 64);
+        kernel.write_user(&mut mem, pid, top, &[1u8; 8]).unwrap();
+        let lo_mapped = VirtAddr(layout::HOST_STACK_TOP - 64 * 1024);
+        kernel.write_user(&mut mem, pid, lo_mapped, &[2u8; 8]).unwrap();
+        // ...and the bottom of the 8 MiB window is not.
+        let unmapped = VirtAddr(layout::HOST_STACK_TOP - layout::HOST_STACK_SIZE);
+        assert!(matches!(
+            kernel.write_user(&mut mem, pid, unmapped, &[3u8; 8]),
+            Err(LoadError::UserFault(_))
+        ));
     }
 
     #[test]

@@ -501,6 +501,20 @@ impl InterruptController {
         self.pending.remove(idx)
     }
 
+    /// Removes the interrupt on `vector` raised for delivery at exactly
+    /// `at`, leaving every other entry queued. A waiter that recorded
+    /// its own MSI's arrival instant at raise time claims precisely
+    /// that edge — with several threads suspended on one channel, a
+    /// due-time scan would let an out-of-order waiter consume a
+    /// neighbour's earlier interrupt and strand the neighbour.
+    pub fn take_vector_at(&mut self, at: Picos, vector: u32) -> Option<Msi> {
+        let idx = self
+            .pending
+            .iter()
+            .position(|m| m.at == at && m.vector == vector)?;
+        self.pending.remove(idx)
+    }
+
     /// Removes every pending interrupt on `vector` — part of channel
     /// quiesce, so a dead NxP's stale MSIs cannot wake threads placed
     /// on its later incarnation. Returns how many were purged.
@@ -833,6 +847,28 @@ mod tests {
         assert_eq!(ic.pending(), 1);
         assert_eq!(ic.take_due_vector(now, 0), None);
         assert_eq!(ic.take_due_vector(now, 1).unwrap().at, Picos::from_nanos(10));
+    }
+
+    #[test]
+    fn take_vector_at_claims_only_the_exact_instant() {
+        let mut ic = InterruptController::new();
+        // Two waiters on one channel: an earlier and a later MSI.
+        ic.raise(Msi { vector: 2, at: Picos::from_nanos(10) });
+        ic.raise(Msi { vector: 2, at: Picos::from_nanos(25) });
+        // The later waiter claims its own edge, not the earlier one.
+        assert_eq!(
+            ic.take_vector_at(Picos::from_nanos(25), 2).unwrap().at,
+            Picos::from_nanos(25)
+        );
+        // The earlier waiter's MSI is untouched; a wrong vector or a
+        // wrong instant claims nothing.
+        assert_eq!(ic.take_vector_at(Picos::from_nanos(25), 2), None);
+        assert_eq!(ic.take_vector_at(Picos::from_nanos(10), 3), None);
+        assert_eq!(
+            ic.take_vector_at(Picos::from_nanos(10), 2).unwrap().at,
+            Picos::from_nanos(10)
+        );
+        assert_eq!(ic.pending(), 0);
     }
 
     #[test]

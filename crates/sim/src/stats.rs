@@ -142,7 +142,11 @@ impl Histogram {
 
     /// Estimated value at quantile `q` (clamped to `0.0..=1.0`), zero when
     /// empty. The estimate interpolates linearly within the bucket that
-    /// crosses rank `q * count`, clamped to the observed `[min, max]`.
+    /// crosses rank `q * count`. The bucket's nominal power-of-two value
+    /// range is first tightened against the observed extremes — every
+    /// sample in the crossing bucket lies in `[max(lo, min), min(hi,
+    /// max+1))` — so tight distributions (all samples in a narrow slice of
+    /// one bucket) are not overstated by a whole bucket width.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -162,6 +166,10 @@ impl Histogram {
                 } else {
                     (1u64 << (i - 1), if i == 64 { u64::MAX } else { 1u64 << i })
                 };
+                // Tighten against observed extremes: the bucket holds at
+                // least one sample, and all samples are in [min, max].
+                let lo = lo.max(self.min);
+                let hi = hi.min(self.max.saturating_add(1)).max(lo + 1);
                 let frac = if n == 0 { 0.0 } else { (rank - seen) / n as f64 };
                 let est = lo as f64 + frac * (hi - lo) as f64;
                 return (est as u64).clamp(self.min, self.max);
@@ -184,6 +192,12 @@ impl Histogram {
     /// 99th-percentile estimate.
     pub fn p99(&self) -> u64 {
         self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate — the tail that decides serving
+    /// viability under open-loop load.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
     }
 
     /// Merges another histogram into this one.
@@ -487,6 +501,105 @@ mod tests {
         assert!((2_500..=10_000).contains(&p50), "p50={p50}");
         assert!((4_500..=10_000).contains(&p90), "p90={p90}");
         assert_eq!(h.max(), 10_000);
+    }
+
+    /// Nearest-rank quantile over a sorted sample vector, matching the
+    /// histogram's `rank = q * count` crossing rule.
+    fn ref_quantile(sorted: &[u64], q: f64) -> u64 {
+        assert!(!sorted.is_empty());
+        let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.max(1) - 1]
+    }
+
+    #[test]
+    fn histogram_quantile_tracks_sorted_reference() {
+        // Property: across seeded uniform / tight / bimodal / constant
+        // distributions, every estimated quantile (a) is monotone in q,
+        // (b) stays inside the observed [min, max], and (c) lands in the
+        // same log2 bucket as the sorted-vector reference, i.e. within a
+        // factor of two.
+        for seed in 0..8u64 {
+            let mut rng = crate::rng::Xoshiro256::seeded(0xC0FFEE + seed);
+            let mut dists: Vec<Vec<u64>> = Vec::new();
+            dists.push((0..5_000).map(|_| rng.gen_range(1, 1_000_000)).collect());
+            dists.push((0..5_000).map(|_| rng.gen_range(1_024, 1_101)).collect());
+            dists.push(
+                (0..4_000)
+                    .map(|i| {
+                        if i % 10 == 0 {
+                            rng.gen_range(1 << 20, 1 << 21)
+                        } else {
+                            rng.gen_range(100, 200)
+                        }
+                    })
+                    .collect(),
+            );
+            dists.push(vec![77; 1_000]);
+            for samples in dists {
+                let mut h = Histogram::default();
+                let mut sorted = samples.clone();
+                for &v in &samples {
+                    h.record(v);
+                }
+                sorted.sort_unstable();
+                let mut prev = 0u64;
+                for q in [0.01, 0.10, 0.25, 0.50, 0.90, 0.99, 0.999, 1.0] {
+                    let est = h.quantile(q);
+                    let truth = ref_quantile(&sorted, q);
+                    assert!(est >= prev, "quantiles not monotone at q={q}");
+                    assert!(
+                        (h.min()..=h.max()).contains(&est),
+                        "q={q}: est {est} outside [{}, {}]",
+                        h.min(),
+                        h.max()
+                    );
+                    assert!(
+                        est <= truth.saturating_mul(2) && est >= truth / 2,
+                        "q={q}: est {est} not within 2x of reference {truth}"
+                    );
+                    prev = est;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_tight_distribution_not_overstated() {
+        // All samples in [1024, 1100]: the distribution occupies a thin
+        // slice of the [1024, 2048) bucket. Interpolating over the full
+        // bucket width put p50 at ~1536, clamped back to 1100 — i.e. the
+        // "median" reported the maximum. Tightened interpolation against
+        // the observed [min, max] lands next to the true median.
+        let mut rng = crate::rng::Xoshiro256::seeded(0xBEEF);
+        let samples: Vec<u64> = (0..5_000).map(|_| rng.gen_range(1_024, 1_101)).collect();
+        let mut h = Histogram::default();
+        let mut sorted = samples.clone();
+        for &v in &samples {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        for q in [0.50, 0.99, 0.999] {
+            let est = h.quantile(q);
+            let truth = ref_quantile(&sorted, q);
+            assert!(
+                est.abs_diff(truth) <= 8,
+                "q={q}: est {est} vs reference {truth}"
+            );
+        }
+        assert!(h.p50() < 1_100, "tight-distribution p50 clamped to max");
+    }
+
+    #[test]
+    fn histogram_p999_orders_with_tail() {
+        let mut h = Histogram::default();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        let (p99, p999) = (h.p99(), h.p999());
+        assert!(p99 <= p999 && p999 <= h.max());
+        // The tightened estimate keeps the 99.9th inside the true tail's
+        // bucket: within a factor of two of 99_900.
+        assert!((50_000..=100_000).contains(&p999), "p999={p999}");
     }
 
     #[test]

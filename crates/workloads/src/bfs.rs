@@ -189,22 +189,22 @@ fn stage(
     cfg: &BfsConfig,
 ) -> Result<(), RunError> {
     let _ = cfg;
-    let rowptr_va = m.stage_alloc_nxp(pid, (g.row_ptr.len() as u64) * 8);
-    let col_va = m.stage_alloc_nxp(pid, (g.col.len() as u64) * 4);
+    let rowptr_va = m.stage_alloc_nxp(pid, (g.row_ptr.len() as u64) * 8)?;
+    let col_va = m.stage_alloc_nxp(pid, (g.col.len() as u64) * 4)?;
     let (visited_va, queue_va) = (
-        m.stage_alloc_nxp(pid, g.v),
-        m.stage_alloc_nxp(pid, g.v * 4),
+        m.stage_alloc_nxp(pid, g.v)?,
+        m.stage_alloc_nxp(pid, g.v * 4)?,
     );
     let mut bytes = Vec::with_capacity(g.row_ptr.len() * 8);
     for &x in &g.row_ptr {
         bytes.extend_from_slice(&x.to_le_bytes());
     }
-    m.stage_write(pid, rowptr_va, &bytes);
+    m.stage_write(pid, rowptr_va, &bytes)?;
     let mut bytes = Vec::with_capacity(g.col.len() * 4);
     for &x in &g.col {
         bytes.extend_from_slice(&x.to_le_bytes());
     }
-    m.stage_write(pid, col_va, &bytes);
+    m.stage_write(pid, col_va, &bytes)?;
 
     for (name, value) in [
         ("g_rowptr", rowptr_va.as_u64()),
@@ -215,7 +215,7 @@ fn stage(
         ("g_iters", cfg.iterations),
     ] {
         let sym = m.symbol(pid, name).expect("bfs program defines globals");
-        m.stage_write(pid, sym, &value.to_le_bytes());
+        m.stage_write(pid, sym, &value.to_le_bytes())?;
     }
     Ok(())
 }
@@ -250,7 +250,7 @@ pub fn run_bfs(graph: &Graph, cfg: &BfsConfig) -> Result<BfsResult, RunError> {
     let per_iteration = Picos::from_nanos(out.exit_code);
     let mut count = [0u8; 8];
     let count_sym = m.symbol(pid, "g_count").expect("bfs defines g_count");
-    m.stage_read(pid, count_sym, &mut count);
+    m.stage_read(pid, count_sym, &mut count)?;
     Ok(BfsResult {
         per_iteration,
         total: per_iteration * cfg.iterations,

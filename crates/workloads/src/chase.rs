@@ -130,13 +130,13 @@ fn chase_program(cfg: &ChaseConfig) -> ProgramBuilder {
 
 /// Stages a linked list of `n` nodes at random 8-byte-aligned addresses
 /// inside the NxP DRAM window and returns the head VA.
-fn stage_list(m: &mut Machine, pid: u64, n: u64, seed: u64) -> VirtAddr {
+fn stage_list(m: &mut Machine, pid: u64, n: u64, seed: u64) -> Result<VirtAddr, RunError> {
     // Reserve a big slab of NxP DRAM and scatter nodes inside it. The
     // paper spreads nodes across the whole 4 GiB storage; we scatter
     // across a 1 GiB slab, which equally defeats the caches and keeps
     // the same per-access latency.
     let slab_bytes: u64 = 1 << 30;
-    let slab = m.stage_alloc_nxp(pid, slab_bytes);
+    let slab = m.stage_alloc_nxp(pid, slab_bytes)?;
     let mut rng = Xoshiro256::seeded(seed);
     let slots = slab_bytes / 8;
     // Distinct random slots via random probing.
@@ -156,9 +156,9 @@ fn stage_list(m: &mut Machine, pid: u64, n: u64, seed: u64) -> VirtAddr {
         } else {
             0
         };
-        m.stage_write(pid, va, &next.to_le_bytes());
+        m.stage_write(pid, va, &next.to_le_bytes())?;
     }
-    VirtAddr(slab.as_u64() + offsets[0] * 8)
+    Ok(VirtAddr(slab.as_u64() + offsets[0] * 8))
 }
 
 /// Runs one pointer-chasing configuration on `machine`.
@@ -170,20 +170,17 @@ fn stage_list(m: &mut Machine, pid: u64, n: u64, seed: u64) -> VirtAddr {
 ///
 /// # Errors
 ///
-/// Propagates program build/run failures.
-///
-/// # Panics
-///
-/// Panics when the NxP DRAM window is exhausted by repeated staging.
+/// Propagates program build/run failures, including NxP DRAM window
+/// exhaustion from repeated staging.
 pub fn run_chase_on(machine: &mut Machine, cfg: &ChaseConfig) -> Result<ChaseResult, RunError> {
     let mut p = chase_program(cfg);
     let pid = machine.load_program(&mut p)?;
-    let head = stage_list(machine, pid, cfg.nodes_per_call, cfg.seed);
+    let head = stage_list(machine, pid, cfg.nodes_per_call, cfg.seed)?;
     // Point the `chase_head` global at the staged list.
     let head_sym = machine
         .symbol(pid, "chase_head")
         .expect("program defines chase_head");
-    machine.stage_write(pid, head_sym, &head.as_u64().to_le_bytes());
+    machine.stage_write(pid, head_sym, &head.as_u64().to_le_bytes())?;
     let out = machine.run(pid)?;
     let per_call = Picos::from_nanos(out.exit_code);
     Ok(ChaseResult {

@@ -144,7 +144,7 @@ fn kv_program(cfg: &KvConfig) -> ProgramBuilder {
 /// `[0, 1_000_000)` so a range `[0, selectivity_ppm)` matches the
 /// requested fraction in expectation.
 fn stage(m: &mut Machine, pid: u64, cfg: &KvConfig) -> Result<(), RunError> {
-    let base = m.stage_alloc_nxp(pid, cfg.records * RECORD_BYTES);
+    let base = m.stage_alloc_nxp(pid, cfg.records * RECORD_BYTES)?;
     let mut rng = Xoshiro256::seeded(cfg.seed);
     let mut bytes = Vec::with_capacity((cfg.records * RECORD_BYTES) as usize);
     for i in 0..cfg.records {
@@ -153,7 +153,7 @@ fn stage(m: &mut Machine, pid: u64, cfg: &KvConfig) -> Result<(), RunError> {
         bytes.extend_from_slice(&(i * 7).to_le_bytes()); // value
         bytes.extend_from_slice(&[0u8; 16]); // payload
     }
-    m.stage_write(pid, base, &bytes);
+    m.stage_write(pid, base, &bytes)?;
     for (sym, val) in [
         ("kv_base", base.as_u64()),
         ("kv_n", cfg.records),
@@ -161,7 +161,7 @@ fn stage(m: &mut Machine, pid: u64, cfg: &KvConfig) -> Result<(), RunError> {
         ("kv_hi", cfg.selectivity_ppm),
     ] {
         let va = m.symbol(pid, sym).expect("kv globals exist");
-        m.stage_write(pid, va, &val.to_le_bytes());
+        m.stage_write(pid, va, &val.to_le_bytes())?;
     }
     Ok(())
 }
@@ -184,7 +184,7 @@ pub fn run_kvscan(cfg: &KvConfig) -> Result<KvResult, RunError> {
     let out = m.run(pid)?;
     let mut matches = [0u8; 8];
     let sym = m.symbol(pid, "kv_matches").expect("kv_matches exists");
-    m.stage_read(pid, sym, &mut matches);
+    m.stage_read(pid, sym, &mut matches)?;
     Ok(KvResult {
         scan_time: Picos::from_nanos(out.exit_code),
         matches: u64::from_le_bytes(matches),

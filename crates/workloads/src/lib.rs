@@ -15,9 +15,14 @@ pub mod chase;
 pub mod graph;
 pub mod kvscan;
 pub mod nullcall;
+pub mod serving;
 
 pub use bfs::{BfsConfig, BfsResult};
 pub use kvscan::{run_kvscan, KvConfig, KvResult};
 pub use chase::{ChaseConfig, ChaseResult};
 pub use graph::{Dataset, Graph};
 pub use nullcall::{measure_null_call, NullCallReport};
+pub use serving::{
+    gen_requests, run_serving_scenario, summarize, ArrivalModel, RequestMix, ServingScenario,
+    ServingSummary,
+};

@@ -1,0 +1,567 @@
+//! The datacenter-serving scenario: an open-loop multi-tenant fleet
+//! whose requests each execute a short cross-ISA call chain.
+//!
+//! The paper's microbenchmarks measure a migration in isolation; a
+//! serving fleet asks the operational question instead — what do the
+//! p99/p99.9 of *request* latency look like as offered load approaches
+//! the migration path's saturation point? Each tenant is one loaded
+//! process (its CR3, staged data set and NxP SRAM stack slot are set up
+//! once); each request is a cheap task spawn into the tenant's address
+//! space whose `main` dispatches on the request argument to one of
+//! three legs from the paper's workload suite:
+//!
+//! * **nullcall** — the Table III round trip (rv64 NxP leg),
+//! * **chase** — a short pointer chase through NxP DRAM (rv64),
+//! * **kvscan** — a key-range count over NxP-resident records, run on
+//!   the arm64 accelerator slots of a heterogeneous fleet.
+//!
+//! All three kernels are *read-only* in the NxP DRAM window and return
+//! their result in `A0` (the request's exit code). That is a hard
+//! requirement, not a style choice: the pipelined engine ships each
+//! leg a private copy of the window and adopts it back at join, so
+//! concurrent legs writing the shared window would make the adopted
+//! bytes depend on join order. Read-only kernels keep the serving
+//! timeline bit-identical for any worker-thread count.
+//!
+//! Arrivals come from a seeded open-loop generator — Poisson or a
+//! 2-state MMPP (bursty) — so a load sweep replays bit-identically at
+//! the same seed.
+
+use flick::{Machine, NxpPlacement, RunError, ServingReport, ServingRequest, Topology};
+use flick_isa::{abi, FuncBuilder, IsaId, MemSize, TargetIsa};
+use flick_mem::VirtAddr;
+use flick_sim::{Picos, TraceConfig, Xoshiro256};
+use flick_toolchain::{DataDef, ProgramBuilder};
+
+/// Nodes in the per-request pointer chase.
+pub const CHASE_NODES: u64 = 64;
+/// Bytes of the chase slab (nodes scattered inside it).
+const CHASE_SLAB_BYTES: u64 = 64 << 10;
+/// Records in the kv table (32 bytes each).
+pub const KV_RECORDS: u64 = 256;
+/// Bytes per kv record: key (8) + value (8) + payload (16).
+const KV_RECORD_BYTES: u64 = 32;
+/// Keys are uniform in `[0, KEY_SPACE)`.
+const KEY_SPACE: u64 = 1_000_000;
+/// The kv leg counts keys in `[0, KV_HI)` — ~10% selectivity.
+const KV_HI: u64 = 100_000;
+
+/// Request-kind arguments (the `A0` dispatch values).
+pub mod kind {
+    /// Null call: one rv64 round trip.
+    pub const NULL: u64 = 0;
+    /// Pointer chase: one rv64 leg over [`super::CHASE_NODES`] nodes.
+    pub const CHASE: u64 = 1;
+    /// Key-range count: one arm64 leg over [`super::KV_RECORDS`] records.
+    pub const KV: u64 = 2;
+}
+
+/// Open-loop arrival process.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArrivalModel {
+    /// Memoryless arrivals at the offered rate.
+    Poisson,
+    /// 2-state Markov-modulated Poisson process: calm and burst phases
+    /// with exponential dwell times, rates chosen so the long-run
+    /// average stays at the offered rate while the burst phase runs
+    /// `burst_factor`× hotter.
+    Mmpp {
+        /// Burst-phase rate multiplier (> 1).
+        burst_factor: f64,
+        /// Mean phase dwell time in microseconds.
+        mean_dwell_us: f64,
+    },
+}
+
+/// Request-kind mix in percent (must sum to 100).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RequestMix {
+    /// Percent of null-call requests.
+    pub null_pct: u64,
+    /// Percent of pointer-chase requests.
+    pub chase_pct: u64,
+    /// Percent of kv-scan requests.
+    pub kv_pct: u64,
+}
+
+impl Default for RequestMix {
+    fn default() -> Self {
+        RequestMix {
+            null_pct: 40,
+            chase_pct: 30,
+            kv_pct: 30,
+        }
+    }
+}
+
+/// One serving-scenario configuration.
+#[derive(Clone, Debug)]
+pub struct ServingScenario {
+    /// Tenant processes (each owns one NxP SRAM stack slot; ≤ 250).
+    pub tenants: usize,
+    /// Total requests in the open-loop schedule.
+    pub requests: usize,
+    /// Aggregate offered load in requests per simulated second.
+    pub offered_rps: f64,
+    /// Arrival process.
+    pub arrivals: ArrivalModel,
+    /// Request-kind mix.
+    pub mix: RequestMix,
+    /// Seed for arrivals, tenant draws and data layout.
+    pub seed: u64,
+    /// Fleet shape.
+    pub topology: Topology,
+    /// Per-slot NxP ISAs (slots past the end default to rv64).
+    pub nxp_isas: Vec<IsaId>,
+    /// OS worker threads for NxP leg execution.
+    pub threads: usize,
+    /// Placement policy for fresh host→NxP calls.
+    pub placement: NxpPlacement,
+    /// Preemption quantum in instructions.
+    pub quantum: u64,
+    /// Simulated-time ring-occupancy admission control
+    /// (see `MachineBuilder::ring_occupancy_admission`).
+    pub ring_admission: bool,
+    /// Record migration spans and per-stage latency histograms.
+    pub observability: bool,
+    /// Record the full event trace (needed for the Perfetto timeline
+    /// export; off for benches and tests, where it only costs memory).
+    pub trace: bool,
+}
+
+impl Default for ServingScenario {
+    fn default() -> Self {
+        ServingScenario {
+            tenants: 64,
+            requests: 2_000,
+            offered_rps: 40_000.0,
+            arrivals: ArrivalModel::Poisson,
+            mix: RequestMix::default(),
+            seed: 0x5E21_1106,
+            topology: Topology {
+                host_cores: 2,
+                nxp_cores: 4,
+            },
+            nxp_isas: vec![IsaId::Rv64, IsaId::Arm64, IsaId::Rv64, IsaId::Arm64],
+            threads: 1,
+            placement: NxpPlacement::RoundRobin,
+            quantum: 50_000,
+            ring_admission: true,
+            observability: false,
+            trace: false,
+        }
+    }
+}
+
+/// Headline numbers of one serving run.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingSummary {
+    /// Offered load the schedule was generated for.
+    pub offered_rps: f64,
+    /// Requests completed.
+    pub completions: usize,
+    /// Median end-to-end latency in nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile latency in nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile latency in nanoseconds.
+    pub p999_ns: u64,
+    /// Completed requests per simulated second.
+    pub goodput_rps: f64,
+    /// Doorbell-level admission rejections over the whole run.
+    pub admission_rejects: u64,
+    /// Host→NxP call migrations over the whole run.
+    pub migrations: u64,
+    /// Calls that exhausted delivery and degraded to host emulation.
+    pub degraded_calls: u64,
+    /// Simulated time at the last completion, in milliseconds.
+    pub sim_ms: f64,
+}
+
+/// Generates the seeded open-loop schedule for `cfg`: arrival instants
+/// from the configured process, tenant and request-kind draws uniform /
+/// by mix. Same seed → bit-identical schedule.
+///
+/// # Panics
+///
+/// Panics when the mix does not sum to 100 or the offered rate is not
+/// positive.
+pub fn gen_requests(cfg: &ServingScenario) -> Vec<ServingRequest> {
+    assert!(
+        cfg.mix.null_pct + cfg.mix.chase_pct + cfg.mix.kv_pct == 100,
+        "request mix must sum to 100"
+    );
+    assert!(cfg.offered_rps > 0.0, "offered rate must be positive");
+    let mut rng = Xoshiro256::seeded(cfg.seed);
+    let mean_gap_ps = 1e12 / cfg.offered_rps;
+    // MMPP phase state. Rates are scaled so the long-run mean matches
+    // the offered rate with 50/50 expected phase occupancy.
+    let mut burst_phase = false;
+    let mut next_switch = f64::INFINITY;
+    if let ArrivalModel::Mmpp { mean_dwell_us, .. } = cfg.arrivals {
+        next_switch = -mean_dwell_us * 1e6 * (1.0 - rng.gen_f64()).ln();
+    }
+    let mut t = 0.0f64; // picoseconds
+    let mut reqs = Vec::with_capacity(cfg.requests);
+    for _ in 0..cfg.requests {
+        let gap_mean = match cfg.arrivals {
+            ArrivalModel::Poisson => mean_gap_ps,
+            ArrivalModel::Mmpp { burst_factor, .. } => {
+                if burst_phase {
+                    mean_gap_ps * (1.0 + burst_factor) / (2.0 * burst_factor)
+                } else {
+                    mean_gap_ps * (1.0 + burst_factor) / 2.0
+                }
+            }
+        };
+        t += -gap_mean * (1.0 - rng.gen_f64()).ln();
+        if let ArrivalModel::Mmpp { mean_dwell_us, .. } = cfg.arrivals {
+            while t >= next_switch {
+                burst_phase = !burst_phase;
+                next_switch += -mean_dwell_us * 1e6 * (1.0 - rng.gen_f64()).ln();
+            }
+        }
+        let tenant = rng.gen_range(0, cfg.tenants as u64) as usize;
+        let draw = rng.gen_range(0, 100);
+        let arg = if draw < cfg.mix.null_pct {
+            kind::NULL
+        } else if draw < cfg.mix.null_pct + cfg.mix.chase_pct {
+            kind::CHASE
+        } else {
+            kind::KV
+        };
+        reqs.push(ServingRequest {
+            tenant,
+            arrival: Picos(t as u64),
+            arg,
+        });
+    }
+    reqs
+}
+
+/// Builds the tenant program: `main` (host) dispatches on the request
+/// argument in `A0` to one of the three NxP legs. Every leg returns its
+/// result in `A0`, which becomes the request's exit code — no leg
+/// writes NxP DRAM (see the module docs for why that is load-bearing).
+fn serving_program() -> ProgramBuilder {
+    let mut p = ProgramBuilder::new("serving");
+    for g in ["srv_head", "srv_kv_base", "srv_kv_n", "srv_kv_lo", "srv_kv_hi"] {
+        p.data(DataDef::bss(g, 8));
+    }
+
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    let do_chase = main.new_label();
+    let do_kv = main.new_label();
+    main.li(abi::T1, kind::CHASE as i64);
+    main.beq(abi::A0, abi::T1, do_chase);
+    main.li(abi::T1, kind::KV as i64);
+    main.beq(abi::A0, abi::T1, do_kv);
+    // Null call: one migration round trip, nothing else.
+    main.li(abi::A0, 7);
+    main.call("req_null");
+    main.call("flick_exit"); // exit code 42
+    main.bind(do_chase);
+    main.li_sym(abi::T0, "srv_head");
+    main.ld(abi::A0, abi::T0, 0, MemSize::B8);
+    main.call("req_chase");
+    main.call("flick_exit"); // exit code = nodes visited
+    main.bind(do_kv);
+    for (reg, sym) in [
+        (abi::A0, "srv_kv_base"),
+        (abi::A1, "srv_kv_n"),
+        (abi::A2, "srv_kv_lo"),
+        (abi::A3, "srv_kv_hi"),
+    ] {
+        main.li_sym(abi::T0, sym);
+        main.ld(reg, abi::T0, 0, MemSize::B8);
+    }
+    main.call("req_kv");
+    main.call("flick_exit"); // exit code = matches
+    p.func(main.finish());
+
+    // req_null(x) = x + 35, on the classic rv64 NxP.
+    let mut null = FuncBuilder::new("req_null", TargetIsa::Nxp);
+    null.addi(abi::A0, abi::A0, 35);
+    null.ret();
+    p.func(null.finish());
+
+    // req_chase(head): while (p) { p = *p; n++ }  — rv64, leaf.
+    let mut chase = FuncBuilder::new("req_chase", TargetIsa::Nxp);
+    let top = chase.new_label();
+    let out = chase.new_label();
+    chase.li(abi::T1, 0);
+    chase.bind(top);
+    chase.beq(abi::A0, abi::ZERO, out);
+    chase.ld(abi::A0, abi::A0, 0, MemSize::B8);
+    chase.addi(abi::T1, abi::T1, 1);
+    chase.jmp(top);
+    chase.bind(out);
+    chase.mv(abi::A0, abi::T1);
+    chase.ret();
+    p.func(chase.finish());
+
+    // req_kv(base, n, lo, hi): count keys in [lo, hi) — arm64, leaf,
+    // pure reads (no match store, unlike the closed-loop kvscan).
+    let mut kv = FuncBuilder::new("req_kv", TargetIsa::Arm64);
+    let lp = kv.new_label();
+    let skip = kv.new_label();
+    let done = kv.new_label();
+    kv.li(abi::T1, 0);
+    kv.bind(lp);
+    kv.beq(abi::A1, abi::ZERO, done);
+    kv.ld(abi::T0, abi::A0, 0, MemSize::B8);
+    kv.bltu(abi::T0, abi::A2, skip);
+    kv.bgeu(abi::T0, abi::A3, skip);
+    kv.addi(abi::T1, abi::T1, 1);
+    kv.bind(skip);
+    kv.addi(abi::A0, abi::A0, KV_RECORD_BYTES as i32);
+    kv.addi(abi::A1, abi::A1, -1);
+    kv.jmp(lp);
+    kv.bind(done);
+    kv.mv(abi::A0, abi::T1);
+    kv.ret();
+    p.func(kv.finish());
+    p
+}
+
+/// Stages the shared data set through tenant 0 and wires every
+/// tenant's heap cursor and globals to it.
+///
+/// The NxP DRAM window is physically shared across processes at
+/// identical offsets, so allocating the same sizes in the same order
+/// gives every tenant the same virtual addresses over the same bytes —
+/// tenant 0 writes them once, everyone reads them. Advancing each
+/// tenant's heap cursor over the data set also keeps it inside the
+/// resident window slice the pipelined engine ships to legs.
+fn stage_dataset(m: &mut Machine, tenants: &[u64], seed: u64) -> Result<(), RunError> {
+    let mut slab = VirtAddr(0);
+    let mut table = VirtAddr(0);
+    for (i, &pid) in tenants.iter().enumerate() {
+        let s = m.stage_alloc_nxp(pid, CHASE_SLAB_BYTES)?;
+        let t = m.stage_alloc_nxp(pid, KV_RECORDS * KV_RECORD_BYTES)?;
+        if i == 0 {
+            slab = s;
+            table = t;
+        } else if s != slab || t != table {
+            return Err(RunError::Build(
+                "tenant NxP heap cursors diverged during staging".into(),
+            ));
+        }
+    }
+    let pid0 = tenants[0];
+    let mut rng = Xoshiro256::seeded(seed ^ 0xDA7A);
+    // Chase list: CHASE_NODES distinct 8-byte slots scattered in the slab.
+    let slots = CHASE_SLAB_BYTES / 8;
+    let mut offsets = Vec::with_capacity(CHASE_NODES as usize);
+    let mut used = std::collections::HashSet::new();
+    while offsets.len() < CHASE_NODES as usize {
+        let s = rng.gen_range(0, slots);
+        if used.insert(s) {
+            offsets.push(s);
+        }
+    }
+    for i in 0..offsets.len() {
+        let va = VirtAddr(slab.as_u64() + offsets[i] * 8);
+        let next = if i + 1 < offsets.len() {
+            slab.as_u64() + offsets[i + 1] * 8
+        } else {
+            0
+        };
+        m.stage_write(pid0, va, &next.to_le_bytes())?;
+    }
+    let head = slab.as_u64() + offsets[0] * 8;
+    // KV table: KV_RECORDS 32-byte records, keys uniform in KEY_SPACE.
+    let mut bytes = Vec::with_capacity((KV_RECORDS * KV_RECORD_BYTES) as usize);
+    for i in 0..KV_RECORDS {
+        let key = rng.gen_range(0, KEY_SPACE);
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(i * 3).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+    }
+    m.stage_write(pid0, table, &bytes)?;
+    // Globals live in per-process host DRAM: set them for every tenant.
+    for &pid in tenants {
+        for (sym, val) in [
+            ("srv_head", head),
+            ("srv_kv_base", table.as_u64()),
+            ("srv_kv_n", KV_RECORDS),
+            ("srv_kv_lo", 0),
+            ("srv_kv_hi", KV_HI),
+        ] {
+            let va = m
+                .symbol(pid, sym)
+                .ok_or_else(|| RunError::Build(format!("serving image lacks `{sym}`")))?;
+            m.stage_write(pid, va, &val.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds the serving machine and its tenant fleet for `cfg`: one
+/// image, loaded once per tenant (shrunken 64 KiB host stacks so
+/// hundreds of tenants fit the frame pool), data set staged and every
+/// tenant's SRAM stack slot pre-allocated by the run driver.
+///
+/// # Errors
+///
+/// Propagates build/load/staging failures; rejects configurations the
+/// SRAM cannot hold (more than 250 tenants) or with no requests.
+pub fn build_serving_fleet(cfg: &ServingScenario) -> Result<(Machine, Vec<u64>), RunError> {
+    if cfg.tenants == 0 || cfg.tenants > 250 {
+        return Err(RunError::Build(format!(
+            "tenant count {} outside [1, 250] (one SRAM stack slot each)",
+            cfg.tenants
+        )));
+    }
+    let mut m = Machine::builder()
+        .trace(TraceConfig {
+            enabled: cfg.trace,
+            capacity: if cfg.trace { 1 << 20 } else { 0 },
+        })
+        .topology(cfg.topology)
+        .nxp_isas(cfg.nxp_isas.clone())
+        .nxp_placement(cfg.placement)
+        .threads(cfg.threads)
+        .observability(cfg.observability)
+        .ring_occupancy_admission(cfg.ring_admission)
+        .kernel_config(flick_os::KernelConfig {
+            host_stack_bytes: 64 << 10,
+            ..Default::default()
+        })
+        .build();
+    let mut p = serving_program();
+    flick::handlers::add_runtime(&mut p);
+    let image = p.build().map_err(|e| RunError::Build(e.to_string()))?;
+    let tenants: Vec<u64> = (0..cfg.tenants)
+        .map(|_| m.load(&image))
+        .collect::<Result<_, _>>()?;
+    stage_dataset(&mut m, &tenants, cfg.seed)?;
+    Ok((m, tenants))
+}
+
+/// Runs one serving configuration end to end: build the fleet,
+/// generate the schedule, serve it.
+///
+/// # Errors
+///
+/// Propagates build/run failures.
+pub fn run_serving_scenario(cfg: &ServingScenario) -> Result<ServingReport, RunError> {
+    let (mut m, tenants) = build_serving_fleet(cfg)?;
+    let reqs = gen_requests(cfg);
+    m.run_serving(&tenants, &reqs, u64::MAX, cfg.quantum)
+}
+
+/// Boils a report down to the numbers the load-sweep tables print.
+pub fn summarize(cfg: &ServingScenario, r: &ServingReport) -> ServingSummary {
+    ServingSummary {
+        offered_rps: cfg.offered_rps,
+        completions: r.completions.len(),
+        p50_ns: r.latency_quantile(0.50).as_nanos(),
+        p99_ns: r.latency_quantile(0.99).as_nanos(),
+        p999_ns: r.latency_quantile(0.999).as_nanos(),
+        goodput_rps: r.goodput_rps(),
+        admission_rejects: r.stats.get("admission_rejects"),
+        migrations: r.stats.get("migrations_host_to_nxp"),
+        degraded_calls: r.stats.get("degraded_calls"),
+        sim_ms: r.finished_at.as_nanos_f64() / 1e6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_seed_deterministic_and_sorted() {
+        let cfg = ServingScenario {
+            requests: 500,
+            ..ServingScenario::default()
+        };
+        let a = gen_requests(&cfg);
+        let b = gen_requests(&cfg);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let other = gen_requests(&ServingScenario {
+            seed: cfg.seed + 1,
+            ..cfg
+        });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn mix_and_tenants_cover_the_space() {
+        let cfg = ServingScenario {
+            requests: 3_000,
+            tenants: 16,
+            ..ServingScenario::default()
+        };
+        let reqs = gen_requests(&cfg);
+        for k in [kind::NULL, kind::CHASE, kind::KV] {
+            assert!(reqs.iter().any(|r| r.arg == k), "kind {k} never drawn");
+        }
+        let hit: std::collections::HashSet<usize> = reqs.iter().map(|r| r.tenant).collect();
+        assert_eq!(hit.len(), 16, "every tenant should receive requests");
+    }
+
+    #[test]
+    fn mmpp_bursts_tighten_gaps() {
+        let base = ServingScenario {
+            requests: 2_000,
+            offered_rps: 20_000.0,
+            ..ServingScenario::default()
+        };
+        let poisson = gen_requests(&base);
+        let mmpp = gen_requests(&ServingScenario {
+            arrivals: ArrivalModel::Mmpp {
+                burst_factor: 8.0,
+                mean_dwell_us: 200.0,
+            },
+            ..base
+        });
+        // Same average rate: total spans within 3x of each other...
+        let span = |r: &[ServingRequest]| r.last().unwrap().arrival.as_picos() as f64;
+        assert!(span(&mmpp) < span(&poisson) * 3.0);
+        assert!(span(&mmpp) > span(&poisson) / 3.0);
+        // ...but the bursty schedule's minimum gaps are much tighter in
+        // aggregate: count gaps under a quarter of the mean.
+        let tight = |r: &[ServingRequest]| {
+            r.windows(2)
+                .filter(|w| ((w[1].arrival - w[0].arrival).as_picos() as f64) < 1e12 / 20_000.0 / 4.0)
+                .count()
+        };
+        assert!(
+            tight(&mmpp) > tight(&poisson),
+            "mmpp {} vs poisson {}",
+            tight(&mmpp),
+            tight(&poisson)
+        );
+    }
+
+    #[test]
+    fn small_serving_run_completes_every_request() {
+        let cfg = ServingScenario {
+            tenants: 8,
+            requests: 60,
+            offered_rps: 5_000.0,
+            ..ServingScenario::default()
+        };
+        let r = run_serving_scenario(&cfg).unwrap();
+        assert_eq!(r.completions.len(), 60);
+        // Every request kind exits with its known result: null = 42,
+        // chase = CHASE_NODES, kv = the staged match count (> 0 would
+        // be flaky at 256 records; just pin the two deterministic ones
+        // and range-check kv).
+        let reqs = gen_requests(&cfg);
+        for c in &r.completions {
+            match reqs[c.request].arg {
+                kind::NULL => assert_eq!(c.exit_code, 42),
+                kind::CHASE => assert_eq!(c.exit_code, CHASE_NODES),
+                _ => assert!(c.exit_code <= KV_RECORDS),
+            }
+            assert!(c.finished > c.arrival);
+        }
+        let s = summarize(&cfg, &r);
+        assert!(s.migrations >= 60, "one migration per request minimum");
+        assert!(s.p50_ns > 0 && s.p999_ns >= s.p99_ns && s.p99_ns >= s.p50_ns);
+    }
+}

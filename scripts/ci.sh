@@ -75,3 +75,19 @@ test -s "$tmp_trace"
 cargo run --release --example timeline -- 1 2 "$tmp_trace" --isas rv64,arm64
 grep -q 'nxp1 (arm64)' "$tmp_trace"
 test -s "$tmp_trace"
+
+# Serving-scenario smoke: the open-loop multi-tenant example must carry
+# its load point end to end at two seeds and both worker counts (the
+# dedicated suite in tests/serving.rs proves the sweep replays
+# bit-identically; this drives the example binary itself), and the
+# saturated fleet's Perfetto export must be non-empty (the example
+# validates the JSON before writing).
+for seed in 7 99; do
+    for threads in 1 4; do
+        cargo run --release --example serving -- \
+            --seed "$seed" --threads "$threads" > /dev/null
+    done
+done
+cargo run --release --example serving -- --timeline "$tmp_trace" > /dev/null
+test -s "$tmp_trace"
+echo "serving smoke: 2 seeds x threads {1,4} ok"

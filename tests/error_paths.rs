@@ -496,6 +496,45 @@ fn task_census_balances_across_randomized_device_chaos() {
 }
 
 #[test]
+fn staging_paths_report_typed_errors() {
+    // Regression: the staging helpers (`stage_alloc_nxp`, `stage_write`,
+    // `stage_read`) used to `.expect(...)` and abort the process on NxP
+    // window exhaustion or an unmapped address. They must surface typed
+    // errors instead.
+    use flick_mem::VirtAddr;
+
+    let mut m = Machine::paper_default();
+    let mut p = ProgramBuilder::new("stage");
+    let mut main = FuncBuilder::new("main", TargetIsa::Host);
+    main.li(abi::A0, 0);
+    main.call("flick_exit");
+    p.func(main.finish());
+    let pid = m.load_program(&mut p).unwrap();
+
+    // Exhaust the 4 GiB NxP window: the oversized allocation is a typed
+    // load error, not a panic.
+    assert!(matches!(
+        m.stage_alloc_nxp(pid, u64::MAX / 2),
+        Err(RunError::Load(_))
+    ));
+    // Unmapped staging writes and reads report the fault.
+    let unmapped = VirtAddr(0x0BAD_0000_0000);
+    assert!(matches!(
+        m.stage_write(pid, unmapped, &[1, 2, 3]),
+        Err(RunError::Load(_))
+    ));
+    let mut buf = [0u8; 8];
+    assert!(matches!(
+        m.stage_read(pid, unmapped, &mut buf),
+        Err(RunError::Load(_))
+    ));
+    // Staging against a pid that was never loaded fails the same way.
+    assert!(m.stage_alloc_nxp(4242, 64).is_err());
+    // None of the failures corrupted the machine: the program still runs.
+    assert_eq!(m.run(pid).unwrap().exit_code, 0);
+}
+
+#[test]
 fn host_now_on_a_fresh_machine_is_zero() {
     // Regression: `host_now` on a machine whose cores never ticked used
     // to assume a nonempty clock set; it must report time zero, not

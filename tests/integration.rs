@@ -110,15 +110,15 @@ fn nxp_sums_array_staged_in_nxp_dram() {
     let mut m = machine();
     let pid = m.load_program(&mut p).unwrap();
     let n = 257u64;
-    let arr = m.stage_alloc_nxp(pid, n * 8);
+    let arr = m.stage_alloc_nxp(pid, n * 8).unwrap();
     let mut bytes = Vec::new();
     for i in 0..n {
         bytes.extend_from_slice(&(i * 3).to_le_bytes());
     }
-    m.stage_write(pid, arr, &bytes);
+    m.stage_write(pid, arr, &bytes).unwrap();
     for (sym, val) in [("arr_ptr", arr.as_u64()), ("arr_len", n)] {
         let va = m.symbol(pid, sym).unwrap();
-        m.stage_write(pid, va, &val.to_le_bytes());
+        m.stage_write(pid, va, &val.to_le_bytes()).unwrap();
     }
     let expected: u64 = (0..n).map(|i| i * 3).sum();
     assert_eq!(m.run(pid).unwrap().exit_code, expected);

@@ -173,15 +173,15 @@ fn lang_near_data_reduce_with_host_callbacks() {
     let mut m = machine();
     let pid = m.load_program(&mut p).unwrap();
     let n = 200u64;
-    let base = m.stage_alloc_nxp(pid, n * 8);
+    let base = m.stage_alloc_nxp(pid, n * 8).unwrap();
     let mut bytes = Vec::new();
     for i in 0..n {
         bytes.extend_from_slice(&(i * i).to_le_bytes());
     }
-    m.stage_write(pid, base, &bytes);
+    m.stage_write(pid, base, &bytes).unwrap();
     for (sym, v) in [("rptr", base.as_u64()), ("rlen", n)] {
         let va = m.symbol(pid, sym).unwrap();
-        m.stage_write(pid, va, &v.to_le_bytes());
+        m.stage_write(pid, va, &v.to_le_bytes()).unwrap();
     }
     let out = m.run(pid).unwrap();
     let expected: u64 = (0..n).map(|i| i * i).sum();
