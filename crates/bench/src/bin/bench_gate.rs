@@ -6,7 +6,8 @@
 //!
 //! - **Wall-clock** (`mean_ns`): only benches cheap enough to be stable
 //!   at 1 sample — `interpret` (the pure step-loop ceiling the block
-//!   engine owns), `migration_throughput_1nxp` (the end-to-end
+//!   engine owns), `interpret_hotloop` (the back-edge-dominated
+//!   chaining best case), `migration_throughput_1nxp` (the end-to-end
 //!   descriptor path), and `migration_throughput_degraded` (the same
 //!   fleet with one NxP crashed mid-run). A 1-sample smoke run is
 //!   noisy, so the threshold is generous (30%): this catches "the fast
@@ -35,8 +36,9 @@
 use std::process::ExitCode;
 
 /// Benchmarks gated on wall-clock `mean_ns`.
-const GATED: [&str; 3] = [
+const GATED: [&str; 4] = [
     "interpret",
+    "interpret_hotloop",
     "migration_throughput_1nxp",
     "migration_throughput_degraded",
 ];

@@ -73,7 +73,7 @@ pub mod topology;
 
 pub use descriptor::{DescError, DescKind, MigrationDescriptor};
 pub use health::{BreakerState, HealthMonitor, NxpHealth};
-pub use machine::{Machine, MachineBuilder, Outcome, RunError};
+pub use machine::{best_fit_accel_isa, Machine, MachineBuilder, Outcome, RunError};
 pub use nxp::NxpTiming;
 pub use serving::{ServingCompletion, ServingReport, ServingRequest};
 pub use topology::{NxpPlacement, Topology};

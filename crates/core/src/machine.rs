@@ -16,7 +16,7 @@ use crate::nxp::{NxpRuntime, NxpTiming};
 use crate::services::{self as svc, desc_layout as L};
 use crate::serving::{ServingCompletion, ServingCtx, ServingReport, ServingRequest};
 use crate::topology::{NxpPlacement, Topology};
-use flick_cpu::{Core, CoreConfig, Exception, InstFaultKind, MemEnv, StopReason};
+use flick_cpu::{ChainCounters, Core, CoreConfig, Exception, InstFaultKind, MemEnv, StopReason};
 use flick_isa::{abi, IsaId};
 use flick_mem::{PhysAddr, PhysMem, VirtAddr};
 use flick_os::{Kernel, KernelError, LoadError, OsTiming, RunQueues};
@@ -185,14 +185,47 @@ impl ProcessVas {
 
 /// Maps a PTE ISA tag (stored as `tag + 1`; `0` = untagged) to the
 /// accelerator ISA it names. Untagged and non-accelerator tags resolve
-/// to the classic rv64 NxP — the behaviour of the two-ISA machine.
-fn isa_from_tag(tag: u8) -> IsaId {
+/// by **best fit** over the machine's accelerator fleet (see
+/// [`best_fit_accel_isa`]) instead of hard-defaulting to rv64 — on a
+/// fleet with no rv64 slot the old default would bounce every untagged
+/// call through the wrong-ISA fallback path.
+fn isa_from_tag(tag: u8, fleet: &[IsaId]) -> IsaId {
     match tag {
-        0 => IsaId::Rv64,
+        0 => best_fit_accel_isa(fleet),
         t => IsaId::from_tag(t - 1)
             .filter(|g| g.descriptor().nx_text)
-            .unwrap_or(IsaId::Rv64),
+            .unwrap_or_else(|| best_fit_accel_isa(fleet)),
     }
+}
+
+/// The accelerator ISA an *untagged* call target should land on: the
+/// fleet's best single-thread performance point, scored from the ISA
+/// descriptors as nominal clock over ALU CPI (compared exactly by
+/// cross-multiplication, no float rounding). Ties break toward the
+/// lower ISA tag and the result ignores slot order, so placement is
+/// deterministic for any fleet spec permutation. Non-accelerator
+/// (host-encoding) entries are skipped; an empty or all-host fleet
+/// keeps the classic two-ISA machine's rv64 default.
+pub fn best_fit_accel_isa(fleet: &[IsaId]) -> IsaId {
+    let mut best: Option<IsaId> = None;
+    for &isa in fleet {
+        if !isa.descriptor().nx_text {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) if b == isa => false,
+            Some(b) => {
+                let (d, e) = (isa.descriptor(), b.descriptor());
+                let (s, t) = (d.clock_khz * e.cpi.alu, e.clock_khz * d.cpi.alu);
+                s > t || (s == t && isa.tag() < b.tag())
+            }
+        };
+        if better {
+            best = Some(isa);
+        }
+    }
+    best.unwrap_or(IsaId::Rv64)
 }
 
 /// How a suspended thread expects to be woken.
@@ -902,6 +935,28 @@ impl Machine {
         out
     }
 
+    /// Fleet-wide fold of every core's host-side chain-efficacy
+    /// tallies (hits, patches, breaks, fallback steps). Host-only
+    /// telemetry: deliberately *not* part of [`stats`](Self::stats) or
+    /// [`per_core_stats`](Self::per_core_stats), whose contents the
+    /// differential suites compare bit-for-bit across engine configs.
+    pub fn chain_stats(&self) -> ChainCounters {
+        let mut total = ChainCounters::default();
+        let cores = self
+            .hosts
+            .iter()
+            .chain(self.nxps.iter())
+            .chain(self.emus.iter().flatten());
+        for c in cores {
+            let ch = c.chain_counters();
+            total.chain_hits += ch.chain_hits;
+            total.chain_patches += ch.chain_patches;
+            total.chain_breaks += ch.chain_breaks;
+            total.block_fallback_steps += ch.block_fallback_steps;
+        }
+        total
+    }
+
     /// Human label for a core with its ISA name rendered from the
     /// descriptor — `host0 (x64)`, `nxp1 (arm64)`, `emu0 (rv64 on
     /// x64)` — so heterogeneous-fleet timelines and per-core reports
@@ -1519,18 +1574,18 @@ impl Machine {
     /// faulting page's PTE ISA tag (the metadata the loader's extended
     /// `mprotect()` of §IV-C3 stored). Untagged pages — data reached
     /// through a wild pointer, or images predating tagging — resolve
-    /// to the classic rv64 accelerator.
+    /// by best fit over the accelerator fleet ([`best_fit_accel_isa`]).
     fn call_target_isa(&self, pid: u64) -> IsaId {
         let Ok(task) = self.kernel.task(pid) else {
-            return IsaId::Rv64;
+            return best_fit_accel_isa(&self.nxp_isas);
         };
         let Some(va) = task.fault_va else {
-            return IsaId::Rv64;
+            return best_fit_accel_isa(&self.nxp_isas);
         };
         let tag = flick_paging::walk(|a| self.mem.read_u64(a), task.cr3, va)
             .map(|t| t.isa_tag)
             .unwrap_or(0);
-        isa_from_tag(tag)
+        isa_from_tag(tag, &self.nxp_isas)
     }
 
     fn executed(&self) -> u64 {
@@ -2849,7 +2904,7 @@ impl Machine {
         let tag = flick_paging::walk(|a| self.mem.read_u64(a), host_cr3, va)
             .map(|t| t.isa_tag)
             .unwrap_or(0);
-        let guest = isa_from_tag(tag);
+        let guest = isa_from_tag(tag, &self.nxp_isas);
         if self.emus[hc]
             .as_ref()
             .is_some_and(|e| e.config().isa != guest)

@@ -2,17 +2,19 @@
 //! cycle/latency accounting and the Flick exception surface.
 
 use crate::cache::{Cache, CacheConfig};
-use crate::decoded::{BlockInst, DecodedBlock, DecodedCache};
+use crate::decoded::{
+    BlockInst, DecodedBlock, DecodedCache, SpinBranch, SpinFoldKind, SpinOp, NO_SUCC,
+};
 use crate::tlb::{MmuHole, Tlb, TlbEntry};
 use crate::MemEnv;
 use flick_isa::inst::AluOp;
-use flick_isa::{abi, DecodeError, Inst, Isa, MemSize, Reg, Target};
+use flick_isa::{abi, ControlKind, DecodeError, Inst, Isa, MemSize, Reg, Target};
 use flick_mem::{AccessKind, PhysAddr, PhysMem, Region, Requester, VirtAddr, PAGE_SIZE};
 use flick_paging::{walk, WalkError};
 use flick_sim::trace::Side;
 use flick_sim::{Clock, Hertz, Picos, Stats};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Cycles charged per instruction class (before memory stalls).
 #[derive(Clone, Copy, Debug)]
@@ -131,6 +133,17 @@ pub struct CoreConfig {
     /// (enforced by `tests/fastpath.rs`). On by default; switched off by
     /// the differential tests.
     pub fast_path: bool,
+    /// Enables block chaining: a completed block whose control transfer
+    /// lands on a statically known same-page successor continues in the
+    /// block lane through a lazily patched [`DecodedBlock`] link instead
+    /// of returning to `Core::run`'s top-level dispatch. Like
+    /// `fast_path` this is purely a host wall-clock optimization —
+    /// every chain follow re-validates exactly what dispatch would have
+    /// (fuel, page, I-TLB generation, text generation), so simulated
+    /// clocks, stats, and traces are bit-identical with chaining on or
+    /// off (enforced by `tests/blocks.rs`). Only meaningful with
+    /// `fast_path`; on by default.
+    pub chain: bool,
 }
 
 impl CoreConfig {
@@ -149,6 +162,7 @@ impl CoreConfig {
             dcache_nxp_dram: false,
             emulates_foreign_isa: false,
             fast_path: true,
+            chain: true,
         }
     }
 
@@ -208,6 +222,7 @@ impl CoreConfig {
             dcache_nxp_dram: false,
             emulates_foreign_isa: false,
             fast_path: true,
+            chain: true,
         }
     }
 }
@@ -359,6 +374,52 @@ impl CoreCounters {
     }
 }
 
+/// Host-side chain-efficacy tallies, deliberately a *separate* bag from
+/// [`CoreCounters`]: those materialize into the simulated [`Stats`] the
+/// differential suites compare bit-for-bit between engine variants, and
+/// chain behaviour must differ between chaining on and off. These
+/// counters describe the host execution strategy (which lane retired
+/// the work), not the simulated machine, so they are reported through
+/// their own accessor ([`Core::chain_counters`]) and never folded into
+/// simulated stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChainCounters {
+    /// Control transfers that continued in the block lane through a
+    /// chained successor instead of returning to top-level dispatch.
+    pub chain_hits: u64,
+    /// Successor links patched (first resolution of an edge).
+    pub chain_patches: u64,
+    /// Chain exits where the finished block *had* a static successor
+    /// edge but the follow validation declined it (fuel exhausted, a
+    /// cross-page or unexpected target, self-modified text, or an
+    /// unresolvable successor), forcing a return to dispatch.
+    pub chain_breaks: u64,
+    /// Single instructions retired through the step-path fallback
+    /// inside the block run loop (cold pages, MMU holes, page-spanning
+    /// or pre-link text).
+    pub block_fallback_steps: u64,
+}
+
+impl ChainCounters {
+    /// Materializes the tallies into a named [`Stats`] bag (zero-valued
+    /// counters skipped), for report-time printing. Never merged into
+    /// simulated stats — see the type docs.
+    pub fn to_stats(self) -> Stats {
+        let mut s = Stats::default();
+        for (name, v) in [
+            ("chain_hits", self.chain_hits),
+            ("chain_patches", self.chain_patches),
+            ("chain_breaks", self.chain_breaks),
+            ("block_fallback_steps", self.block_fallback_steps),
+        ] {
+            if v != 0 {
+                s.bump_by(name, v);
+            }
+        }
+        s
+    }
+}
+
 /// Host-side memo of the last successful fetch translation: the page it
 /// landed in, that page's physical frame, and the I-cache line it
 /// touched. A fetch that stays on the same page with the same I-TLB
@@ -386,6 +447,12 @@ struct FetchFrame {
 /// or four. Lookup is a linear scan, so this must stay tiny.
 const FRONT_BLOCKS: usize = 4;
 
+/// Maximum instructions in one decoded (super)block. Extension through
+/// direct jumps would otherwise decode forever (a `jal` to itself
+/// re-decodes the same bytes); the cap also bounds how much decode work
+/// a fuel cut can discard mid-block.
+const SUPERBLOCK_CAP: usize = 128;
+
 /// One interpreting core.
 pub struct Core {
     cfg: CoreConfig,
@@ -399,6 +466,7 @@ pub struct Core {
     dcache: Cache,
     holes: Vec<MmuHole>,
     counters: CoreCounters,
+    chain: ChainCounters,
     decoded: DecodedCache,
     /// Small front cache over [`DecodedCache`]'s block store: the most
     /// recently executed blocks, keyed by physical start address and
@@ -441,6 +509,7 @@ impl Core {
             dcache: Cache::new(cfg.dcache),
             holes: Vec::new(),
             counters: CoreCounters::default(),
+            chain: ChainCounters::default(),
             decoded: DecodedCache::new(),
             last_blocks: [const { None }; FRONT_BLOCKS],
             front_cursor: 0,
@@ -475,6 +544,15 @@ impl Core {
     /// Raw hot-path counters (no materialization cost).
     pub fn counters(&self) -> &CoreCounters {
         &self.counters
+    }
+
+    /// Host-side chain-efficacy tallies. Kept out of [`stats`]
+    /// (see [`ChainCounters`]): they describe which host lane retired
+    /// the work, not the simulated machine.
+    ///
+    /// [`stats`]: Self::stats
+    pub fn chain_counters(&self) -> &ChainCounters {
+        &self.chain
     }
 
     /// Reads a register (`zero` always reads 0).
@@ -1066,6 +1144,7 @@ impl Core {
                     // One slow-path step: raises the fault the block
                     // path declined to classify, installs the fetch
                     // memo the next block entry validates against.
+                    self.chain.block_fallback_steps += 1;
                     if let Err(stop) = self.step(mem, env) {
                         return stop;
                     }
@@ -1116,64 +1195,258 @@ impl Core {
         {
             return Ok(false);
         }
-        let pa = PhysAddr(fc.pa_page | pc.page_offset());
+        let pa_page = fc.pa_page;
         let text_gen = mem.text_gen();
-        // Front cache: hot loops cycle through a handful of blocks (a
-        // spin loop split by its branch alternates between two). A hit
-        // *moves* the Arc out and back into its slot, so steady-state
-        // execution does no reference counting and never touches the
-        // shared baskets; the (pa, text_gen) key gives the front cache
-        // exactly the shared cache's validation. Stale-generation
-        // entries can never hit (the generation only grows) and age out
-        // by round-robin replacement.
-        let hit = self.last_blocks.iter().position(
-            |e| matches!(e, Some((bpa, bgen, _)) if *bpa == pa.as_u64() && *bgen == text_gen),
-        );
-        let (slot, block) = match hit {
-            Some(i) => {
-                let (_, _, b) = self.last_blocks[i].take().expect("hit slot is occupied");
-                (i, b)
+        // Lane-local working set, seeded from the front cache: every
+        // front-cache block of this page and generation, keyed by start
+        // offset (page and generation are lane constants, so the short
+        // key suffices). Chain follows hit here with a 4-entry scan and
+        // *move* the Arc out — steady-state loops do no reference
+        // counting and never touch the shared baskets. Everything is
+        // written back at lane exit. Stale-generation front entries are
+        // dropped on the way in (the generation only grows); entries
+        // for other pages stay put.
+        let mut ws: [Option<(u16, Arc<DecodedBlock>)>; FRONT_BLOCKS] =
+            [const { None }; FRONT_BLOCKS];
+        let mut n_ws = 0;
+        for e in &mut self.last_blocks {
+            match e {
+                Some((bpa, bgen, _))
+                    if *bgen == text_gen && *bpa & !(PAGE_SIZE - 1) == pa_page =>
+                {
+                    let (bpa, _, b) = e.take().expect("matched entry is occupied");
+                    ws[n_ws] = Some(((bpa & (PAGE_SIZE - 1)) as u16, b));
+                    n_ws += 1;
+                }
+                Some((_, bgen, _)) if *bgen != text_gen => *e = None,
+                _ => {}
             }
-            None => {
-                let b = match self.decoded.get_block(pa, text_gen) {
-                    Some(b) => b,
-                    None => {
-                        let Some(b) = self.build_block(fc.pa_page, pc.page_offset(), mem)
-                        else {
-                            return Ok(false);
-                        };
-                        let b = Arc::new(b);
-                        mem.watch_text(pa);
-                        self.decoded.put_block(pa, Arc::clone(&b));
-                        b
+        }
+        let mut ws_cursor = 0usize;
+        let mut cur_off = pc.page_offset() as u16;
+        let mut cur = match Self::ws_take(&mut ws, cur_off) {
+            Some(b) => b,
+            None => match self.lookup_or_build(pa_page, cur_off, text_gen, mem) {
+                Some(b) => b,
+                None => {
+                    // Not even the first instruction decodes into a
+                    // block; restore the working set and fall back.
+                    self.park_front(pa_page, text_gen, ws);
+                    return Ok(false);
+                }
+            },
+        };
+        let chain = self.cfg.chain;
+        // The chain loop: run the current block; while its control
+        // transfer lands on a statically known same-page successor and
+        // the follow validation holds, continue in the lane. The
+        // validation re-checks exactly what top-level dispatch would
+        // have: fuel, the PC's page against the (unchanged) fetch
+        // frame, the I-TLB generation, and the text generation.
+        // Alignment needs no re-check — successor offsets were
+        // alignment-checked at decode time. Holes cannot appear inside
+        // `run`, and only the fetch frame's `line` mutates in the lane,
+        // so the entry validation above still covers everything else.
+        let res = 'lane: loop {
+            let Some(fcv) = self.fetch_frame else {
+                // The lane never drops the frame; defensive only.
+                break Ok(());
+            };
+            match self.exec_block(&cur, &fcv, mem, env, text_gen, left) {
+                Err(stop) => break Err(stop),
+                Ok(completed) => {
+                    if !chain || !completed {
+                        break Ok(());
                     }
+                }
+            }
+            // Follow edges until a block must execute again (`continue
+            // 'lane`) or the lane ends. Iterates without an intervening
+            // exec only after a spin batch, whose exit PC is a fresh
+            // transfer target needing its own validation.
+            loop {
+                let Some(fcv) = self.fetch_frame else {
+                    break 'lane Ok(());
                 };
-                let i = self.front_cursor as usize;
-                self.front_cursor = (self.front_cursor + 1) % FRONT_BLOCKS as u8;
-                (i, b)
+                let pc = self.pc;
+                let off = pc.page_offset() as u16;
+                // Which successor edge did the transfer take?
+                // (succ_off entries are NO_SUCC when absent, which no
+                // in-page offset equals.)
+                let idx = if cur.succ_off[0] == off {
+                    0
+                } else if cur.succ_off[1] == off {
+                    1
+                } else {
+                    2
+                };
+                if idx == 2
+                    || *left == 0
+                    || pc.page_base().as_u64() != fcv.va_page
+                    || mem.text_gen() != text_gen
+                    || self.itlb.generation() != fcv.itlb_gen
+                {
+                    if cur.succ_off != [NO_SUCC; 2] {
+                        self.chain.chain_breaks += 1;
+                    }
+                    break 'lane Ok(());
+                }
+                if off == cur_off {
+                    // Self-loop — the tightest hot loops chain to
+                    // themselves; skip the working-set traffic.
+                    if cur.links[idx].get().is_none() && cur.patch(idx, &cur) {
+                        self.chain.chain_patches += 1;
+                    }
+                    self.chain.chain_hits += 1;
+                    if cur.mem_free && *left >= cur.insts.len() as u64 {
+                        // Spin batch: replay full iterations back to
+                        // back (see `exec_block_spin` for why the
+                        // per-follow validation is provably constant
+                        // here), then re-validate from the exit PC.
+                        let iters = self.exec_block_spin(&cur, env, left);
+                        self.chain.chain_hits += iters - 1;
+                        continue;
+                    }
+                    // Memory-touching or fuel-short self-loop: execute
+                    // normally (handles faults, SMC, partial fuel).
+                    continue 'lane;
+                }
+                let next = match Self::ws_take(&mut ws, off) {
+                    Some(b) => b,
+                    None => match cur.link(idx) {
+                        Some(b) => b,
+                        None => match self.lookup_or_build(pa_page, off, text_gen, mem) {
+                            Some(b) => b,
+                            None => {
+                                // Successor bytes don't decode;
+                                // dispatch + step will fault.
+                                self.chain.chain_breaks += 1;
+                                break 'lane Ok(());
+                            }
+                        },
+                    },
+                };
+                if cur.links[idx].get().is_none() && cur.patch(idx, &next) {
+                    self.chain.chain_patches += 1;
+                }
+                Self::ws_park(&mut ws, &mut ws_cursor, cur_off, cur);
+                cur_off = off;
+                cur = next;
+                self.chain.chain_hits += 1;
+                continue 'lane;
             }
         };
-        let res = self.exec_block(&block, &fc, mem, env, text_gen, left);
-        self.last_blocks[slot] = Some((pa.as_u64(), text_gen, block));
+        Self::ws_park(&mut ws, &mut ws_cursor, cur_off, cur);
+        self.park_front(pa_page, text_gen, ws);
         res.map(|()| true)
     }
 
-    /// Decodes a basic block starting at page offset `start_off` of
-    /// frame `pa_page`: straight-line instructions up to and including
-    /// the first control transfer, stopping early (exclusive) at
-    /// anything the step path must handle itself — page-spanning or
-    /// undecodable bytes, pre-link `LiSym`, or a next-PC that would
-    /// fault the alignment check. Returns `None` when not even the
-    /// first instruction qualifies.
+    /// Takes the working-set block starting at page offset `off`.
+    #[inline]
+    fn ws_take(
+        ws: &mut [Option<(u16, Arc<DecodedBlock>)>; FRONT_BLOCKS],
+        off: u16,
+    ) -> Option<Arc<DecodedBlock>> {
+        ws.iter_mut()
+            .find(|e| matches!(e, Some((o, _)) if *o == off))
+            .and_then(|e| e.take())
+            .map(|(_, b)| b)
+    }
+
+    /// Parks a block into the lane working set: an empty slot if any,
+    /// else round-robin replacement.
+    #[inline]
+    fn ws_park(
+        ws: &mut [Option<(u16, Arc<DecodedBlock>)>; FRONT_BLOCKS],
+        cursor: &mut usize,
+        off: u16,
+        b: Arc<DecodedBlock>,
+    ) {
+        let slot = match ws.iter().position(|e| e.is_none()) {
+            Some(s) => s,
+            None => {
+                let s = *cursor;
+                *cursor = (*cursor + 1) % FRONT_BLOCKS;
+                s
+            }
+        };
+        ws[slot] = Some((off, b));
+    }
+
+    /// Writes a lane's working set back into the front cache: empty
+    /// slots first, then round-robin replacement. Entries for other
+    /// pages were left in place by the lane entry scan, so keys never
+    /// duplicate.
+    fn park_front(
+        &mut self,
+        pa_page: u64,
+        text_gen: u64,
+        ws: [Option<(u16, Arc<DecodedBlock>)>; FRONT_BLOCKS],
+    ) {
+        for (off, b) in ws.into_iter().flatten() {
+            let slot = match self.last_blocks.iter().position(|e| e.is_none()) {
+                Some(s) => s,
+                None => {
+                    let s = self.front_cursor as usize;
+                    self.front_cursor = (self.front_cursor + 1) % FRONT_BLOCKS as u8;
+                    s
+                }
+            };
+            self.last_blocks[slot] = Some((pa_page | off as u64, text_gen, b));
+        }
+    }
+
+    /// Resolves the decoded block starting at page offset `off` of the
+    /// lane's (validated) frame: shared-cache lookup, else a fresh
+    /// decode, watched and published. `None` when not even the first
+    /// instruction decodes into a block.
+    fn lookup_or_build(
+        &mut self,
+        pa_page: u64,
+        off: u16,
+        text_gen: u64,
+        mem: &mut PhysMem,
+    ) -> Option<Arc<DecodedBlock>> {
+        let pa = PhysAddr(pa_page | off as u64);
+        if let Some(b) = self.decoded.get_block(pa, text_gen) {
+            return Some(b);
+        }
+        let b = Arc::new(self.build_block(pa_page, off as u64, mem)?);
+        mem.watch_text(pa);
+        self.decoded.put_block(pa, Arc::clone(&b));
+        Some(b)
+    }
+
+    /// Decodes a (super)block starting at page offset `start_off` of
+    /// frame `pa_page`: straight-line instructions, decoding *through*
+    /// unconditional direct jumps/calls whose target is in the same
+    /// page and fetch-aligned — the vec's order is execution order, so
+    /// a hot trace replays as one block with one validation — and
+    /// ending at the first conditional branch, indirect transfer, or
+    /// trap, at the page boundary, or just before anything the step
+    /// path must handle itself (page-spanning or undecodable bytes,
+    /// pre-link `LiSym`, a next-PC that would fault the alignment
+    /// check). Returns `None` when not even the first instruction
+    /// qualifies.
+    ///
+    /// The terminator's statically known same-page successors are
+    /// recorded in `succ_off` (`[taken, fall-through]` for a branch)
+    /// for the chain lane to follow; offsets are PA-anchored, so the
+    /// edges stay valid across CR3 scopes.
     ///
     /// Pure host work: reads text bytes without simulated charges and
     /// precomputes each instruction's CPI cycles and I-cache
     /// line-crossing flag for replay.
     fn build_block(&self, pa_page: u64, start_off: u64, mem: &PhysMem) -> Option<DecodedBlock> {
         let cpi = self.cfg.cpi;
+        let align_mask = self.fetch_align_mask;
+        // In-page, fetch-aligned — what a decoded transfer target must
+        // satisfy for the lane to keep going without a re-walk.
+        let fits = |t: i64| t >= 0 && (t as u64) < PAGE_SIZE && t as u64 & align_mask == 0;
         let mut insts = Vec::new();
         let mut off = start_off;
         let mut prev_line = 0u64;
+        let mut succ = [NO_SUCC; 2];
         loop {
             let avail = ((PAGE_SIZE - off) as usize).min(16);
             let mut buf = [0u8; 16];
@@ -1211,18 +1484,40 @@ impl Core {
                 new_line: !insts.is_empty() && line != prev_line,
             });
             prev_line = line;
-            let terminator = matches!(
-                inst,
-                Inst::Branch { .. }
-                    | Inst::Jal { .. }
-                    | Inst::Jalr { .. }
-                    | Inst::Ret
-                    | Inst::Ecall { .. }
-                    | Inst::Halt
-            );
-            off += len as u64;
-            if terminator || off >= PAGE_SIZE || off & self.fetch_align_mask != 0 {
-                break;
+            let next_off = off + len as u64;
+            match inst.control_kind() {
+                ControlKind::Straight => {
+                    if next_off >= PAGE_SIZE || next_off & align_mask != 0 {
+                        break;
+                    }
+                    off = next_off;
+                }
+                ControlKind::DirectJump(d) => {
+                    let t = off as i64 + d;
+                    if insts.len() < SUPERBLOCK_CAP && fits(t) {
+                        // Superblock extension: keep decoding at the
+                        // jump target. Backward targets re-decode bytes
+                        // already in the block (natural loop unrolling),
+                        // bounded by the cap.
+                        off = t as u64;
+                    } else {
+                        if fits(t) {
+                            succ[0] = t as u16;
+                        }
+                        break;
+                    }
+                }
+                ControlKind::CondBranch(d) => {
+                    let t = off as i64 + d;
+                    if fits(t) {
+                        succ[0] = t as u16;
+                    }
+                    if fits(next_off as i64) {
+                        succ[1] = next_off as u16;
+                    }
+                    break;
+                }
+                ControlKind::Indirect | ControlKind::Trap => break,
             }
         }
         if insts.is_empty() {
@@ -1233,11 +1528,23 @@ impl Core {
             let mem_free = insts
                 .iter()
                 .all(|bi| !matches!(bi.inst, Inst::Ld { .. } | Inst::St { .. }));
+            // Only blocks with a successor edge can ever spin; skip the
+            // lowering for the rest (trap terminators, page exits).
+            let spin = if mem_free && succ != [NO_SUCC; 2] {
+                DecodedBlock::lower_spin(&insts)
+            } else {
+                Vec::new()
+            };
+            let fold = DecodedBlock::fold_spin(&spin, insts[0].off);
             Some(DecodedBlock {
                 insts,
                 total_cycles,
                 total_picos,
                 mem_free,
+                succ_off: succ,
+                links: [OnceLock::new(), OnceLock::new()],
+                spin,
+                fold,
             })
         }
     }
@@ -1264,6 +1571,13 @@ impl Core {
     ///   retires; the next `block_step` misses on the stale generation
     ///   and re-decodes fresh bytes, which is precisely what the
     ///   per-instruction `DecodedCache::get` does.
+    ///
+    /// `Ok(true)` means the block *completed*: every instruction
+    /// retired, so the PC is wherever the final transfer (or
+    /// fall-through) sent it and the chain lane may consider following
+    /// a successor edge. `Ok(false)` means the block was cut short
+    /// (fuel, self-modified text) — the PC points mid-block and
+    /// coincidental matches against successor offsets must not chain.
     fn exec_block(
         &mut self,
         block: &DecodedBlock,
@@ -1272,7 +1586,7 @@ impl Core {
         env: &MemEnv,
         text_gen: u64,
         left: &mut u64,
-    ) -> Result<(), StopReason> {
+    ) -> Result<bool, StopReason> {
         let va_page = fc.va_page;
         let pa_page = fc.pa_page;
         // The per-instruction bookkeeping — PC, fuel, retired count,
@@ -1375,7 +1689,7 @@ impl Core {
             self.counters.instructions += n;
             self.clock.credit(block.total_cycles, Picos(block.total_picos));
             return match stop {
-                None => Ok(()),
+                None => Ok(true),
                 Some(s) => Err(s),
             };
         }
@@ -1500,10 +1814,269 @@ impl Core {
         self.counters.instructions += retired;
         self.clock.credit(cycles, Picos(picos));
         match res {
-            Ok(None) => Ok(()),
+            Ok(None) => Ok(retired == n),
             Ok(Some(stop)) => Err(stop),
             Err(e) => Err(StopReason::Fault(e)),
         }
+    }
+
+    /// Replays a validated, memory-free self-loop block — the hottest
+    /// shape there is — for as many *full* iterations as fuel allows
+    /// without leaving the function between follows. Correctness leans
+    /// on `mem_free`: no loads or stores means no data walks, no
+    /// faults, and no way to bump the text or I-TLB generations
+    /// mid-batch, so the per-follow validation the chain loop normally
+    /// re-runs is provably constant and the only live exit conditions
+    /// are the loop transfer leaving the block start and fuel.
+    /// Per-instruction effects (register writes, PC, I-cache line
+    /// charges) still replay in order; only the accounting is batched,
+    /// flushed once by multiplying the pre-rounded per-iteration
+    /// totals — bit-identical to per-iteration crediting because each
+    /// summand already carries `Clock::tick`'s rounding.
+    ///
+    /// A trap or indirect terminator never carries a successor edge, so
+    /// a self-chained block can only end in a conditional branch or
+    /// direct jump; `Ecall`/`Halt` (and, via `mem_free`, loads and
+    /// stores) are structurally absent.
+    ///
+    /// Returns the number of iterations executed (≥ 1; the caller
+    /// checked fuel covers one). The caller re-validates the exit PC.
+    fn exec_block_spin(&mut self, block: &DecodedBlock, env: &MemEnv, left: &mut u64) -> u64 {
+        let Some(fc) = self.fetch_frame else {
+            unreachable!("spin is entered from a validated lane");
+        };
+        let va_page = fc.va_page;
+        let pa_page = fc.pa_page;
+        let start = self.pc.as_u64();
+        let mut cur_line = fc.line;
+        let mut pc = start;
+        let mut fuel = *left;
+        let n = block.insts.len() as u64;
+        let mut iters = 0u64;
+        // Charge-free tier: when no instruction inside the block starts
+        // a new I-cache line and the block's first line is the memoized
+        // one, an iteration performs *zero* I-cache charges — and since
+        // charges are the only thing that can move `cur_line`, that
+        // holds for every subsequent iteration too. The loop body then
+        // shrinks to pure architectural effects, executed from the
+        // block's pre-lowered micro-ops ([`SpinOp`]): one jump table
+        // per instruction, bounds-check-free register-file indexing,
+        // pre-resolved branch displacements. The register file moves
+        // into a local array for the duration (no aliasing with `self`,
+        // so nothing reloads across instructions); `r0` stays zero
+        // because lowering turned every write to it into a `Nop` (the
+        // `Jalr` link is the one runtime discard left). The simulated
+        // machine sees the identical hit sequence the careful tier
+        // would have replayed (all hits, all free).
+        if !block.spin.is_empty()
+            && block.insts.iter().all(|bi| !bi.new_line)
+            && self.icache.line_index(pa_page | block.insts[0].off as u64) == cur_line
+        {
+            // Affine fold: when the loop has a closed form (see
+            // [`SpinFold`]), the whole run of iterations collapses to
+            // O(1) — trip count solved from the counter's entry value,
+            // each register bumped by `delta × iters`, and the same
+            // batched accounting flush the iterating tiers do. `iters`
+            // is clamped so the accounting multiplications cannot
+            // overflow; a clamped entry exits with `pc` still at the
+            // block start and the caller simply re-enters.
+            if let Some(f) = &block.fold {
+                let t_fuel = fuel / n;
+                let t_cond = match f.kind {
+                    SpinFoldKind::Never => u64::MAX,
+                    SpinFoldKind::Down => match self.regs[f.counter as usize & 31] {
+                        0 => u64::MAX,
+                        v => v,
+                    },
+                    SpinFoldKind::Up => match self.regs[f.counter as usize & 31] {
+                        0 => u64::MAX,
+                        v => v.wrapping_neg(),
+                    },
+                };
+                let cap = (u64::MAX / block.total_picos.max(1))
+                    .min(u64::MAX / block.total_cycles.max(1))
+                    .max(1);
+                let iters = t_cond.min(t_fuel).min(cap);
+                for &(r, d) in &f.deltas {
+                    let i = r as usize & 31;
+                    self.regs[i] = self.regs[i].wrapping_add(d.wrapping_mul(iters));
+                }
+                let cond_exit = iters == t_cond && !matches!(f.kind, SpinFoldKind::Never);
+                self.pc = VirtAddr(if cond_exit {
+                    va_page + f.next as u64
+                } else {
+                    start
+                });
+                *left = fuel - iters * n;
+                self.counters.instructions += iters * n;
+                self.clock
+                    .credit(iters * block.total_cycles, Picos(iters * block.total_picos));
+                return iters;
+            }
+            let mut lr = self.regs;
+            let take = |b: &SpinBranch, cond: bool| -> u64 {
+                if cond {
+                    (va_page as i64 + b.taken) as u64
+                } else {
+                    va_page + b.next as u64
+                }
+            };
+            loop {
+                for op in &block.spin {
+                    match *op {
+                        SpinOp::AddImm { rd, rs1, imm } => {
+                            lr[rd as usize & 31] = lr[rs1 as usize & 31].wrapping_add(imm);
+                        }
+                        SpinOp::Add { rd, rs1, rs2 } => {
+                            lr[rd as usize & 31] =
+                                lr[rs1 as usize & 31].wrapping_add(lr[rs2 as usize & 31]);
+                        }
+                        SpinOp::Alu { op, rd, rs1, rs2 } => {
+                            lr[rd as usize & 31] =
+                                op.eval(lr[rs1 as usize & 31], lr[rs2 as usize & 31]);
+                        }
+                        SpinOp::AluImm { op, rd, rs1, imm } => {
+                            lr[rd as usize & 31] = op.eval(lr[rs1 as usize & 31], imm);
+                        }
+                        SpinOp::Li { rd, imm } => {
+                            lr[rd as usize & 31] = imm;
+                        }
+                        SpinOp::Beq(ref b) => {
+                            pc = take(b, lr[b.rs1 as usize & 31] == lr[b.rs2 as usize & 31]);
+                        }
+                        SpinOp::Bne(ref b) => {
+                            pc = take(b, lr[b.rs1 as usize & 31] != lr[b.rs2 as usize & 31]);
+                        }
+                        SpinOp::Blt(ref b) => {
+                            pc = take(
+                                b,
+                                (lr[b.rs1 as usize & 31] as i64) < (lr[b.rs2 as usize & 31] as i64),
+                            );
+                        }
+                        SpinOp::Bge(ref b) => {
+                            pc = take(
+                                b,
+                                (lr[b.rs1 as usize & 31] as i64)
+                                    >= (lr[b.rs2 as usize & 31] as i64),
+                            );
+                        }
+                        SpinOp::Bltu(ref b) => {
+                            pc = take(b, lr[b.rs1 as usize & 31] < lr[b.rs2 as usize & 31]);
+                        }
+                        SpinOp::Bgeu(ref b) => {
+                            pc = take(b, lr[b.rs1 as usize & 31] >= lr[b.rs2 as usize & 31]);
+                        }
+                        SpinOp::Jal { rd, taken, next } => {
+                            lr[rd as usize & 31] = va_page + next as u64;
+                            pc = (va_page as i64 + taken) as u64;
+                        }
+                        SpinOp::Jmp { taken } => {
+                            pc = (va_page as i64 + taken) as u64;
+                        }
+                        SpinOp::Jalr { rd, rs1, off, next } => {
+                            let dest = lr[rs1 as usize & 31].wrapping_add(off);
+                            lr[rd as usize & 31] = va_page + next as u64;
+                            lr[0] = 0;
+                            pc = dest;
+                        }
+                        SpinOp::Ret => {
+                            pc = lr[abi::RA.index()];
+                        }
+                        SpinOp::Nop => {}
+                    }
+                }
+                iters += 1;
+                fuel -= n;
+                if pc != start || fuel < n {
+                    break;
+                }
+            }
+            self.regs = lr;
+            self.pc = VirtAddr(pc);
+            *left = fuel;
+            self.counters.instructions += iters * n;
+            self.clock
+                .credit(iters * block.total_cycles, Picos(iters * block.total_picos));
+            return iters;
+        }
+        loop {
+            let mut first = true;
+            for bi in &block.insts {
+                let charge = if first {
+                    first = false;
+                    self.icache.line_index(pa_page | bi.off as u64) != cur_line
+                } else {
+                    bi.new_line
+                };
+                if charge {
+                    let pa = PhysAddr(pa_page | bi.off as u64);
+                    self.charge_fetch(pa, env);
+                    cur_line = self.icache.line_index(pa.as_u64());
+                }
+                let next = va_page + bi.next_off as u64;
+                match bi.inst {
+                    Inst::Alu { op, rd, rs1, rs2 } => {
+                        let v = op.eval(self.reg(rs1), self.reg(rs2));
+                        self.set_reg(rd, v);
+                        pc = next;
+                    }
+                    Inst::AluImm { op, rd, rs1, imm } => {
+                        let v = op.eval(self.reg(rs1), imm as i64 as u64);
+                        self.set_reg(rd, v);
+                        pc = next;
+                    }
+                    Inst::Li { rd, imm } => {
+                        self.set_reg(rd, imm as u64);
+                        pc = next;
+                    }
+                    Inst::Branch { op, rs1, rs2, target } => {
+                        let taken = op.eval(self.reg(rs1), self.reg(rs2));
+                        pc = if taken {
+                            let pc_va = va_page + bi.off as u64;
+                            (pc_va as i64 + rel_of(target)) as u64
+                        } else {
+                            next
+                        };
+                    }
+                    Inst::Jal { rd, target } => {
+                        self.set_reg(rd, next);
+                        let pc_va = va_page + bi.off as u64;
+                        pc = (pc_va as i64 + rel_of(target)) as u64;
+                    }
+                    Inst::Jalr { rd, rs1, off } => {
+                        let dest = self.reg(rs1).wrapping_add(off as i64 as u64);
+                        self.set_reg(rd, next);
+                        pc = dest;
+                    }
+                    Inst::Ret => {
+                        pc = self.reg(abi::RA);
+                    }
+                    Inst::Nop => {
+                        pc = next;
+                    }
+                    Inst::Ecall { .. } | Inst::Halt => {
+                        unreachable!("trap terminator cannot carry a successor edge")
+                    }
+                    Inst::Ld { .. } | Inst::St { .. } | Inst::LiSym { .. } => {
+                        unreachable!("excluded from mem-free blocks at build")
+                    }
+                }
+            }
+            iters += 1;
+            fuel -= n;
+            if pc != start || fuel < n {
+                break;
+            }
+        }
+        self.pc = VirtAddr(pc);
+        *left = fuel;
+        self.counters.instructions += iters * n;
+        self.clock
+            .credit(iters * block.total_cycles, Picos(iters * block.total_picos));
+        if let Some(fc) = &mut self.fetch_frame {
+            fc.line = cur_line;
+        }
+        iters
     }
 }
 

@@ -44,9 +44,12 @@
 //! bit-identical with the cache on or off (`tests/fastpath.rs` and
 //! `tests/blocks.rs` enforce this).
 
-use flick_isa::Inst;
+use flick_isa::{AluOp, BranchOp, Inst, Target};
 use flick_mem::{PhysAddr, PAGE_SHIFT, PAGE_SIZE};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, Weak};
+
+/// Successor-offset value meaning "no static successor on this edge".
+pub const NO_SUCC: u16 = u16::MAX;
 
 /// Number of basket sets. Conflicts only cost host time (re-decode on
 /// the next fetch), so a small power of two covering the text working
@@ -86,6 +89,317 @@ pub struct BlockInst {
     pub new_line: bool,
 }
 
+/// Operand bundle of a lowered conditional branch ([`SpinOp`]): source
+/// register indices pre-masked, the taken target pre-resolved to a
+/// displacement from the page base (it may leave the page; the spin
+/// loop exits on the resulting PC mismatch), and the fall-through page
+/// offset.
+#[derive(Clone, Copy, Debug)]
+pub struct SpinBranch {
+    /// First source register index, pre-masked.
+    pub rs1: u8,
+    /// Second source register index, pre-masked.
+    pub rs2: u8,
+    /// Taken-target displacement from the page base.
+    pub taken: i64,
+    /// Fall-through page offset.
+    pub next: u16,
+}
+
+/// A pre-lowered micro-op of the *spin* tier: the memory-free
+/// instruction subset re-encoded for single-dispatch execution. The
+/// general [`Inst`] form needs two jump tables per instruction (the
+/// `Inst` match, then `AluOp::eval`/`BranchOp::eval`) plus nested
+/// payload decode; lowering at block-build time folds the dominant
+/// ALU forms and every comparison into dedicated variants, pre-masks
+/// register indices (so indexing a `[u64; 32]` file needs no bounds
+/// check), pre-converts immediates to their wrapping-`u64` form, and
+/// pre-resolves control targets to page-relative displacements.
+/// Writes to `r0` are lowered to [`SpinOp::Nop`], so the executing
+/// register file never needs a zero-discard check.
+///
+/// Straight-line variants carry no "next PC": within one decoded
+/// block the intermediate PC values are dead (the vec order *is* the
+/// execution order, and a spin-lowered block always ends in a control
+/// op — [`lower_spin`] callers gate on a successor edge existing), so
+/// only control variants set the PC. Purely a host-side re-encoding:
+/// the net architectural effect of one pass over the micro-ops equals
+/// one pass over the source instructions.
+#[derive(Clone, Copy, Debug)]
+pub enum SpinOp {
+    /// `rd = rs1 + imm` — the dominant ALU-immediate form.
+    AddImm {
+        /// Destination register index, pre-masked.
+        rd: u8,
+        /// Source register index, pre-masked.
+        rs1: u8,
+        /// Immediate, pre-converted for `wrapping_add`.
+        imm: u64,
+    },
+    /// `rd = rs1 + rs2`.
+    Add {
+        /// Destination register index, pre-masked.
+        rd: u8,
+        /// First source register index, pre-masked.
+        rs1: u8,
+        /// Second source register index, pre-masked.
+        rs2: u8,
+    },
+    /// Any other register-register ALU operation.
+    Alu {
+        /// The operation.
+        op: AluOp,
+        /// Destination register index, pre-masked.
+        rd: u8,
+        /// First source register index, pre-masked.
+        rs1: u8,
+        /// Second source register index, pre-masked.
+        rs2: u8,
+    },
+    /// Any other ALU-immediate operation.
+    AluImm {
+        /// The operation.
+        op: AluOp,
+        /// Destination register index, pre-masked.
+        rd: u8,
+        /// Source register index, pre-masked.
+        rs1: u8,
+        /// Immediate, pre-converted to the `u64` operand form.
+        imm: u64,
+    },
+    /// `rd = imm`.
+    Li {
+        /// Destination register index, pre-masked.
+        rd: u8,
+        /// The value.
+        imm: u64,
+    },
+    /// Branch if equal.
+    Beq(SpinBranch),
+    /// Branch if not equal.
+    Bne(SpinBranch),
+    /// Branch if less-than, signed.
+    Blt(SpinBranch),
+    /// Branch if greater-or-equal, signed.
+    Bge(SpinBranch),
+    /// Branch if less-than, unsigned.
+    Bltu(SpinBranch),
+    /// Branch if greater-or-equal, unsigned.
+    Bgeu(SpinBranch),
+    /// Direct jump with link.
+    Jal {
+        /// Link register index, pre-masked (never `r0`; that lowers to
+        /// [`SpinOp::Jmp`]).
+        rd: u8,
+        /// Target displacement from the page base.
+        taken: i64,
+        /// Page offset of the next instruction (the link value).
+        next: u16,
+    },
+    /// Direct jump without link (`jal r0`).
+    Jmp {
+        /// Target displacement from the page base.
+        taken: i64,
+    },
+    /// Indirect jump with link. The executor must discard the link
+    /// write when `rd` is 0 (the only runtime zero-register case left).
+    Jalr {
+        /// Link register index, pre-masked.
+        rd: u8,
+        /// Base register index, pre-masked.
+        rs1: u8,
+        /// Displacement, pre-converted for `wrapping_add`.
+        off: u64,
+        /// Page offset of the next instruction (the link value).
+        next: u16,
+    },
+    /// Return (`pc = ra`).
+    Ret,
+    /// No architectural effect (including lowered writes to `r0`).
+    Nop,
+}
+
+/// How an affine spin block's trip count derives from its counter
+/// register's entry value (see [`SpinFold`]).
+#[derive(Clone, Copy, Debug)]
+pub enum SpinFoldKind {
+    /// Counter nets −1 per iteration, `bne counter, r0` terminator:
+    /// the loop runs `counter` iterations (entry value 0 wraps first,
+    /// so it reads as "practically unbounded" — fuel exits long before
+    /// 2⁶⁴ iterations).
+    Down,
+    /// Counter nets +1 per iteration: `counter.wrapping_neg()`
+    /// iterations until the wrap back to zero falls through.
+    Up,
+    /// Unconditional self-jump — only fuel ever exits.
+    Never,
+}
+
+/// Closed-form execution plan for an *affine* self-loop: a spin block
+/// whose body is nothing but self-increments (`rd = rd + imm`) and
+/// `Nop`s, terminated by a back-edge that tests one of those counters
+/// against `r0` (or by an unconditional self-jump). Such a loop's
+/// state after `k` iterations is linear in `k` — each register gains
+/// `delta × k` (wrapping multiplication *is* `k` wrapping additions,
+/// addition being associative mod 2⁶⁴) and the first fall-through
+/// iteration solves exactly from the counter's entry value — so the
+/// spin tier executes the whole run of iterations in O(1) instead of
+/// O(k), with bit-identical registers, PC, fuel, instruction counts
+/// and clock credit. The canonical `li n; lp: ...; addi n, n, -1;
+/// bne n, r0, lp` countdown every toolchain loop emits folds; anything
+/// with a cross-register read falls back to the per-op spin loop.
+#[derive(Clone, Debug)]
+pub struct SpinFold {
+    /// Net per-iteration wrapping delta for every register the body
+    /// writes (register index, delta). Applied as `reg += delta × k`.
+    pub deltas: Vec<(u8, u64)>,
+    /// The register the terminator tests against `r0` (unused for
+    /// [`SpinFoldKind::Never`]). Never `r0` itself.
+    pub counter: u8,
+    /// Trip-count rule.
+    pub kind: SpinFoldKind,
+    /// Fall-through page offset on a condition exit.
+    pub next: u16,
+}
+
+/// Derives the closed form of an affine self-loop from its lowered
+/// ops, or `None` when the block is not affine: any body op that is
+/// not a self-increment or `Nop`, a terminator other than
+/// `bne counter, r0` / self-`Jmp`, a back-edge that is not the block
+/// entry, or a counter step other than ±1 (other steps need modular
+/// division to solve and are not worth the code).
+fn fold_spin(ops: &[SpinOp], entry_off: u16) -> Option<SpinFold> {
+    let (last, body) = ops.split_last()?;
+    let mut deltas: Vec<(u8, u64)> = Vec::new();
+    for op in body {
+        match *op {
+            SpinOp::AddImm { rd, rs1, imm } if rd == rs1 => {
+                match deltas.iter_mut().find(|e| e.0 == rd) {
+                    Some(e) => e.1 = e.1.wrapping_add(imm),
+                    None => deltas.push((rd, imm)),
+                }
+            }
+            SpinOp::Nop => {}
+            _ => return None,
+        }
+    }
+    match *last {
+        SpinOp::Jmp { taken } if taken == entry_off as i64 => Some(SpinFold {
+            deltas,
+            counter: 0,
+            kind: SpinFoldKind::Never,
+            next: 0,
+        }),
+        SpinOp::Bne(b) if b.taken == entry_off as i64 => {
+            let counter = match (b.rs1, b.rs2) {
+                (c, 0) if c != 0 => c,
+                (0, c) if c != 0 => c,
+                _ => return None,
+            };
+            let step = deltas.iter().find(|e| e.0 == counter).map_or(0, |e| e.1);
+            let kind = match step {
+                u64::MAX => SpinFoldKind::Down,
+                1 => SpinFoldKind::Up,
+                _ => return None,
+            };
+            Some(SpinFold { deltas, counter, kind, next: b.next })
+        }
+        _ => None,
+    }
+}
+
+/// Lowers a block's instructions to [`SpinOp`]s. Returns an empty
+/// vector when any instruction falls outside the spin subset (loads,
+/// stores, traps, unresolved targets) — such a block either is not
+/// `mem_free` or ends in a trap terminator, and the spin tier never
+/// runs it.
+fn lower_spin(insts: &[BlockInst]) -> Vec<SpinOp> {
+    let m = |r: flick_isa::Reg| (r.index() & 31) as u8;
+    let rel = |t: Target| match t {
+        Target::Rel(d) => Some(d),
+        Target::Label(_) | Target::Symbol(_) => None,
+    };
+    let mut ops = Vec::with_capacity(insts.len());
+    for bi in insts {
+        let next = bi.next_off;
+        let op = match bi.inst {
+            Inst::Alu { rd, .. } | Inst::AluImm { rd, .. } | Inst::Li { rd, .. }
+                if rd.index() & 31 == 0 =>
+            {
+                SpinOp::Nop
+            }
+            Inst::Alu { op: AluOp::Add, rd, rs1, rs2 } => SpinOp::Add {
+                rd: m(rd),
+                rs1: m(rs1),
+                rs2: m(rs2),
+            },
+            Inst::Alu { op, rd, rs1, rs2 } => SpinOp::Alu {
+                op,
+                rd: m(rd),
+                rs1: m(rs1),
+                rs2: m(rs2),
+            },
+            Inst::AluImm { op: AluOp::Add, rd, rs1, imm } => SpinOp::AddImm {
+                rd: m(rd),
+                rs1: m(rs1),
+                imm: imm as i64 as u64,
+            },
+            Inst::AluImm { op, rd, rs1, imm } => SpinOp::AluImm {
+                op,
+                rd: m(rd),
+                rs1: m(rs1),
+                imm: imm as i64 as u64,
+            },
+            Inst::Li { rd, imm } => SpinOp::Li {
+                rd: m(rd),
+                imm: imm as u64,
+            },
+            Inst::Branch { op, rs1, rs2, target } => match rel(target) {
+                Some(d) => {
+                    let b = SpinBranch {
+                        rs1: m(rs1),
+                        rs2: m(rs2),
+                        taken: bi.off as i64 + d,
+                        next,
+                    };
+                    match op {
+                        BranchOp::Eq => SpinOp::Beq(b),
+                        BranchOp::Ne => SpinOp::Bne(b),
+                        BranchOp::Lt => SpinOp::Blt(b),
+                        BranchOp::Ge => SpinOp::Bge(b),
+                        BranchOp::Ltu => SpinOp::Bltu(b),
+                        BranchOp::Geu => SpinOp::Bgeu(b),
+                    }
+                }
+                None => return Vec::new(),
+            },
+            Inst::Jal { rd, target } => match rel(target) {
+                Some(d) => {
+                    let taken = bi.off as i64 + d;
+                    if rd.index() & 31 == 0 {
+                        SpinOp::Jmp { taken }
+                    } else {
+                        SpinOp::Jal { rd: m(rd), taken, next }
+                    }
+                }
+                None => return Vec::new(),
+            },
+            Inst::Jalr { rd, rs1, off } => SpinOp::Jalr {
+                rd: m(rd),
+                rs1: m(rs1),
+                off: off as i64 as u64,
+                next,
+            },
+            Inst::Ret => SpinOp::Ret,
+            Inst::Nop => SpinOp::Nop,
+            Inst::Ld { .. } | Inst::St { .. } | Inst::LiSym { .. } | Inst::Ecall { .. }
+            | Inst::Halt => return Vec::new(),
+        };
+        ops.push(op);
+    }
+    ops
+}
+
 /// A decoded basic block: a straight-line instruction run within one
 /// page, ending at the first control transfer (branch/jump/`ecall`/
 /// `halt`), at the page boundary, or just before anything the step path
@@ -108,6 +422,65 @@ pub struct DecodedBlock {
     /// always last — so the execution loop batches its per-instruction
     /// accounting into the totals above.
     pub mem_free: bool,
+    /// Page offsets of the terminator's static successors within the
+    /// same page — `[taken, fall-through]` for a conditional branch,
+    /// `[target, NO_SUCC]` for a direct jump the builder chose not to
+    /// extend through, `[NO_SUCC; 2]` otherwise (indirect transfers,
+    /// traps, page exits). Offsets are PA-anchored (blocks are keyed by
+    /// physical address), so a successor edge is valid in *every*
+    /// address space that maps the frame — links never need clearing on
+    /// a CR3 switch, only on text_gen invalidation, which drops the
+    /// blocks themselves.
+    pub succ_off: [u16; 2],
+    /// Lazily patched successor links, parallel to `succ_off`: the
+    /// first execution that resolves an edge stores a `Weak` to the
+    /// successor block. `Weak` (not `Arc`) so self-loops and cycles —
+    /// every hot loop is one — cannot keep invalidated blocks alive
+    /// past a text_gen bump; `OnceLock` keeps the block `Sync`, so an
+    /// `Arc<DecodedBlock>` inside a `Core` still crosses the leg-handoff
+    /// thread boundary. An upgrade failure (the successor's basket was
+    /// evicted) degrades to a shared-cache lookup on that follow.
+    pub links: [OnceLock<Weak<DecodedBlock>>; 2],
+    /// The block pre-lowered to spin micro-ops ([`SpinOp`]), parallel
+    /// to `insts`, or empty when any instruction falls outside the spin
+    /// subset. Only the charge-free spin tier reads this.
+    pub spin: Vec<SpinOp>,
+    /// The closed form of this block as an affine self-loop (see
+    /// [`SpinFold`]), when it has one. Only the charge-free spin tier
+    /// reads this.
+    pub fold: Option<SpinFold>,
+}
+
+impl DecodedBlock {
+    /// Lowers `insts` to the spin micro-op form (see [`SpinOp`]);
+    /// block builders populate the `spin` field with this.
+    pub fn lower_spin(insts: &[BlockInst]) -> Vec<SpinOp> {
+        lower_spin(insts)
+    }
+
+    /// Derives the affine-self-loop closed form of a lowered block
+    /// (see [`SpinFold`]); block builders populate the `fold` field
+    /// with this. `entry_off` is the block's first instruction offset
+    /// — only a back-edge to it makes a self-loop.
+    pub fn fold_spin(ops: &[SpinOp], entry_off: u16) -> Option<SpinFold> {
+        fold_spin(ops, entry_off)
+    }
+    /// Resolves successor edge `idx` if it has been patched and the
+    /// target block is still alive.
+    #[inline]
+    pub fn link(&self, idx: usize) -> Option<Arc<DecodedBlock>> {
+        self.links[idx].get().and_then(Weak::upgrade)
+    }
+
+    /// Patches successor edge `idx`; returns true when this call did
+    /// the patch. First writer wins — a dead `Weak` can never be
+    /// replaced (`OnceLock` is write-once), so that edge degrades to a
+    /// cache lookup per follow, which is rare (it needs a basket
+    /// eviction under a live chain) and only costs host time.
+    #[inline]
+    pub fn patch(&self, idx: usize, succ: &Arc<DecodedBlock>) -> bool {
+        self.links[idx].set(Arc::downgrade(succ)).is_ok()
+    }
 }
 
 /// One cached text page: decoded instructions and blocks by page offset.
@@ -255,13 +628,22 @@ impl DecodedCache {
     /// and the block must lie entirely within one page.
     pub fn put_block(&mut self, pa: PhysAddr, block: Arc<DecodedBlock>) {
         debug_assert!(!block.insts.is_empty(), "blocks are never empty");
+        // Superblocks decode through direct jumps, so offsets are not
+        // monotonic and may land before the entry offset; the only
+        // invariant is containment in the page.
         debug_assert!(
             block
                 .insts
                 .iter()
-                .all(|bi| bi.off as u64 >= pa.as_u64() & (PAGE_SIZE - 1)
-                    && bi.next_off as u64 <= PAGE_SIZE),
+                .all(|bi| (bi.off as u64) < PAGE_SIZE && bi.next_off as u64 <= PAGE_SIZE),
             "blocks must lie within their page"
+        );
+        debug_assert!(
+            block
+                .succ_off
+                .iter()
+                .all(|&s| s == NO_SUCC || (s as u64) < PAGE_SIZE),
+            "successor offsets must lie within the page"
         );
         let basket = self.claim(pa.as_u64() >> PAGE_SHIFT);
         basket.blocks[(pa.as_u64() & (PAGE_SIZE - 1)) as usize] = Some(block);
@@ -304,6 +686,10 @@ mod tests {
             total_cycles: 1,
             total_picos: 417,
             mem_free: true,
+            succ_off: [NO_SUCC; 2],
+            links: [OnceLock::new(), OnceLock::new()],
+            spin: Vec::new(),
+            fold: None,
         })
     }
 
@@ -398,6 +784,25 @@ mod tests {
         assert!(c
             .get_block(PhysAddr((p2 << PAGE_SHIFT) + 16), 0)
             .is_some());
+    }
+
+    #[test]
+    fn chain_links_are_weak_and_write_once() {
+        let a = block(0);
+        let b = block(8);
+        assert!(a.link(0).is_none(), "unpatched edge resolves to none");
+        assert!(a.patch(0, &b), "first patch wins");
+        assert!(!a.patch(0, &b), "second patch is a no-op");
+        assert!(Arc::ptr_eq(&a.link(0).unwrap(), &b));
+        // Self-loops must not keep the block alive through its own link.
+        assert!(b.patch(0, &b));
+        let w = Arc::downgrade(&b);
+        drop(b);
+        assert!(w.upgrade().is_none(), "weak links cannot leak cycles");
+        drop(a.link(0)); // dead edge now resolves to none...
+        assert!(a.link(0).is_none());
+        let c = block(16);
+        assert!(!a.patch(0, &c), "...and cannot be re-patched (write-once)");
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub mod tlb;
 
 pub use cache::{Cache, CacheConfig};
 pub use core_::{
-    Core, CoreConfig, CoreCounters, CpiModel, CpuContext, Exception, InstFaultKind, StopReason,
+    ChainCounters, Core, CoreConfig, CoreCounters, CpiModel, CpuContext, Exception, InstFaultKind,
+    StopReason,
 };
 pub use decoded::DecodedCache;
 pub use tlb::{MmuHole, Tlb, TlbEntry};

@@ -471,6 +471,31 @@ pub enum Inst {
     Nop,
 }
 
+/// How an instruction affects straight-line decoding — the terminator
+/// classification superblock formation and block chaining key off.
+/// Shared across every registered ISA: the encodings differ, but the
+/// decoded IR's control-flow shape does not, so one classification
+/// serves x64, rv64 and arm64 blocks alike.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Falls through to the next instruction; never ends a block.
+    Straight,
+    /// Conditional branch: two static successors — the taken target at
+    /// this displacement (relative to the instruction start) and the
+    /// fall-through.
+    CondBranch(i64),
+    /// Unconditional direct transfer (`jal`/`jmp`/direct call) with one
+    /// static successor at this displacement. Superblock formation may
+    /// decode straight through it.
+    DirectJump(i64),
+    /// Register-indirect transfer (`jalr`, `ret`): the successor is
+    /// dynamic, so the block ends and chaining cannot link it.
+    Indirect,
+    /// Traps or stops the core (`ecall`, `halt`): execution leaves the
+    /// block lane entirely.
+    Trap,
+}
+
 impl Inst {
     /// True for instructions that transfer control.
     pub fn is_control_flow(&self) -> bool {
@@ -483,6 +508,26 @@ impl Inst {
     /// True for loads and stores.
     pub fn is_mem(&self) -> bool {
         matches!(self, Inst::Ld { .. } | Inst::St { .. })
+    }
+
+    /// Terminator classification for block decoding. Unresolved targets
+    /// (labels/symbols, which never reach execution) classify as
+    /// [`ControlKind::Indirect`] so callers conservatively end the
+    /// block rather than chase a displacement that does not exist yet.
+    pub fn control_kind(&self) -> ControlKind {
+        match self {
+            Inst::Branch { target, .. } => match target {
+                Target::Rel(d) => ControlKind::CondBranch(*d),
+                _ => ControlKind::Indirect,
+            },
+            Inst::Jal { target, .. } => match target {
+                Target::Rel(d) => ControlKind::DirectJump(*d),
+                _ => ControlKind::Indirect,
+            },
+            Inst::Jalr { .. } | Inst::Ret => ControlKind::Indirect,
+            Inst::Ecall { .. } | Inst::Halt => ControlKind::Trap,
+            _ => ControlKind::Straight,
+        }
     }
 }
 

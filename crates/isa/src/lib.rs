@@ -68,7 +68,7 @@ pub mod inst;
 pub use encode::{DecodeError, EncodeError, Encoded, Reloc, RelocKind};
 pub use expr::{compile_expr, Expr, ExprError};
 pub use func::{Func, FuncBuilder, Label};
-pub use inst::{abi, AluOp, BranchOp, Inst, MemSize, Reg, Target};
+pub use inst::{abi, AluOp, BranchOp, ControlKind, Inst, MemSize, Reg, Target};
 
 use std::fmt;
 

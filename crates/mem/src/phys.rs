@@ -120,7 +120,9 @@ impl PhysMem {
     }
 
     /// Generation counter for writes into watched frames. Cached decode
-    /// state is valid only while this value is unchanged.
+    /// state is valid only while this value is unchanged. Inlined: the
+    /// chain lane re-reads it after every followed block.
+    #[inline]
     pub fn text_gen(&self) -> u64 {
         self.text_gen
     }

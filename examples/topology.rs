@@ -151,6 +151,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  {label:<14} {insts:>9} instructions");
         }
     }
+    let ch = m.chain_stats();
+    println!(
+        "\nblock-lane chaining (host-side): {} hits, {} patches, {} breaks, {} fallback steps",
+        ch.chain_hits, ch.chain_patches, ch.chain_breaks, ch.block_fallback_steps
+    );
     println!("\nall {procs} processes done at {}", m.host_now());
     println!("(re-run with different core counts to watch the finish time move)");
     Ok(())

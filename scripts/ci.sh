@@ -19,6 +19,13 @@ trap 'rm -f "$tmp_bench"' EXIT
 cargo bench -p flick-bench --bench simulator -- --samples 1 --json "$tmp_bench"
 cargo run --release -p flick-bench --bin bench_gate -- BENCH_simulator.json "$tmp_bench"
 
+# Block-lane differential smoke: the chaining suite proves step vs
+# block vs chained engines bit-identical (timing, stats, faults) in
+# release across all three ISAs, every fuel cutoff, SMC rewriting a
+# chained successor mid-loop, and CR3 reloads between quanta.
+cargo test -q --release --test blocks
+echo "block chaining differential: ok"
+
 # Topology x threads smoke matrix: every worker count must carry every
 # topology's concurrent workload to completion, including a 3-ISA
 # heterogeneous column (x64 host + rv64/arm64/rv64 accelerators —

@@ -2,11 +2,15 @@
 //! host-side optimization at the **core** level: a `Core` with the fast
 //! path disabled steps one instruction at a time through the full
 //! fetch→translate→decode→execute path; with it enabled the core
-//! replays decoded superblocks. Both must agree bit-for-bit on the
-//! simulated clock, cycle count, every counter, the PC, all registers
-//! and the stop reason — for random programs, at every fuel cutoff,
-//! across faults raised mid-block, self-modifying text, page-spanning
-//! instructions and TLB/CR3 invalidations, on both ISAs.
+//! replays decoded superblocks, and with block *chaining* enabled on
+//! top it follows patched successor links (and spins batched self-loop
+//! iterations) without returning to top-level dispatch. All three
+//! engines must agree bit-for-bit on the simulated clock, cycle count,
+//! every counter, the PC, all registers and the stop reason — for
+//! random programs, at every fuel cutoff, across faults raised
+//! mid-block, self-modifying text (including text a live chain points
+//! at), page-spanning instructions and TLB/CR3 invalidations, on all
+//! three ISAs.
 //!
 //! Cases are generated from the repo's own deterministic [`Xoshiro256`]
 //! so every run explores the same inputs — a failure reproduces by
@@ -42,7 +46,7 @@ fn fixture(target: TargetIsa, bytes: &[u8]) -> (PhysMem, PhysAddr) {
         flags::PRESENT | flags::WRITABLE | flags::USER,
     )
     .unwrap();
-    if target == TargetIsa::Nxp {
+    if target != TargetIsa::Host {
         asp.protect(&mut mem, VirtAddr(TEXT), 0x10_0000, flags::NX, 0)
             .unwrap();
     }
@@ -51,13 +55,20 @@ fn fixture(target: TargetIsa, bytes: &[u8]) -> (PhysMem, PhysAddr) {
     (mem, cr3)
 }
 
-fn core_for(target: TargetIsa, fast_path: bool, cr3: PhysAddr) -> Core {
+/// The engine variants every differential runs: blocks with chaining
+/// (the production default), blocks without chaining, and the pure
+/// step path. Chaining without the block engine is meaningless, so
+/// `(false, true)` is not a configuration.
+const ENGINES: [(bool, bool); 3] = [(true, true), (true, false), (false, false)];
+
+fn core_for(target: TargetIsa, (fast_path, chain): (bool, bool), cr3: PhysAddr) -> Core {
     let mut cfg = if target == TargetIsa::Host {
         CoreConfig::host()
     } else {
         CoreConfig::accel(target)
     };
     cfg.fast_path = fast_path;
+    cfg.chain = chain;
     let mut core = Core::new(cfg);
     core.set_cr3(cr3);
     core.set_pc(VirtAddr(TEXT));
@@ -97,16 +108,21 @@ fn snap(stop: StopReason, core: &Core) -> Snap {
 /// the snapshots are identical; returns one of them for further checks.
 fn diff_run(target: TargetIsa, bytes: &[u8], fuel: u64, label: &str) -> Snap {
     let mut snaps = Vec::new();
-    for fast_path in [true, false] {
+    for engine in ENGINES {
         let (mut mem, cr3) = fixture(target, bytes);
-        let mut core = core_for(target, fast_path, cr3);
+        let mut core = core_for(target, engine, cr3);
         let stop = core.run(&mut mem, &MemEnv::paper_default(), fuel);
         snaps.push(snap(stop, &core));
     }
     let step = snaps.pop().unwrap();
-    let fast = snaps.pop().unwrap();
-    assert_eq!(fast, step, "{label}: block vs step diverged at fuel {fuel}");
-    fast
+    let blocks = snaps.pop().unwrap();
+    let chained = snaps.pop().unwrap();
+    assert_eq!(blocks, step, "{label}: block vs step diverged at fuel {fuel}");
+    assert_eq!(
+        chained, step,
+        "{label}: chained vs step diverged at fuel {fuel}"
+    );
+    chained
 }
 
 const ALL_ALU: [AluOp; 13] = [
@@ -195,14 +211,15 @@ fn encode(target: TargetIsa, insts: &[Inst]) -> Vec<u8> {
     isa_of(target).encode(&f.finish()).unwrap().bytes
 }
 
-/// Random programs, both ISAs, several fuel cutoffs each — including
-/// cutoffs that land mid-block and past the program's natural stop.
+/// Random programs, all three ISAs, several fuel cutoffs each —
+/// including cutoffs that land mid-block and past the program's
+/// natural stop.
 #[test]
 fn random_programs_step_vs_block_identical() {
     let mut rng = Xoshiro256::seeded(0xb10c_0001);
     for case in 0..48 {
         let n = rng.gen_range(1, 48);
-        for target in [TargetIsa::Host, TargetIsa::Nxp] {
+        for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
             let insts: Vec<Inst> = (0..n).map(|_| arb_inst(&mut rng)).collect();
             let bytes = encode(target, &insts);
             let extra = rng.gen_range(1, n + 1);
@@ -218,7 +235,7 @@ fn random_programs_step_vs_block_identical() {
 /// same instruction whether or not that instruction sits mid-block.
 #[test]
 fn tight_loop_identical_at_every_fuel_cutoff() {
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         let mut f = FuncBuilder::new("t", target);
         let lp = f.new_label();
         f.li(abi::S1, 12);
@@ -338,6 +355,92 @@ fn self_modifying_text_mid_block_identical() {
     );
 }
 
+/// Builds the chained-SMC program for `target`: a loop whose body
+/// stores an 8-byte patch over the loop's *fall-through successor*
+/// (the first instruction after the backward branch), turning
+/// `addi a1, a1, 2` into `addi a1, a1, 7`. The loop block and its
+/// fall-through are exactly the shape the chain lane links, so every
+/// iteration's store hits text a live chain points at. Immediates feed
+/// back into the layout (and the patch payload contains the victim's
+/// tail bytes), so iterate to a fixpoint like [`smc_program`].
+fn chained_smc_program(target: TargetIsa) -> Vec<u8> {
+    let new_inst = encode(
+        target,
+        &[Inst::AluImm {
+            op: AluOp::Add,
+            rd: abi::A1,
+            rs1: abi::A1,
+            imm: 7,
+        }],
+    );
+    assert!(new_inst.len() <= 8, "patched add must fit the 8-byte store");
+    let mut patch = 0u64;
+    let mut victim_off = 0i32;
+    for _round in 0..8 {
+        let mut f = FuncBuilder::new("t", target);
+        let lp = f.new_label();
+        f.li(abi::T0, TEXT as i64);
+        f.li(abi::T1, patch as i64);
+        f.li(abi::S1, 6);
+        f.bind(lp);
+        f.addi(abi::A0, abi::A0, 1);
+        f.push(Inst::St {
+            rs: abi::T1,
+            base: abi::T0,
+            off: victim_off,
+            size: MemSize::B8,
+        });
+        f.addi(abi::S1, abi::S1, -1);
+        f.bne(abi::S1, abi::ZERO, lp);
+        f.addi(abi::A1, abi::A1, 2);
+        f.halt();
+        let bytes = isa_of(target).encode(&f.finish()).unwrap().bytes;
+        let offs = offsets(isa_of(target), &bytes);
+        let new_off = offs[offs.len() - 2] as i32; // the victim add
+        let mut p = [0u8; 8];
+        let have = (bytes.len() - new_off as usize).min(8);
+        p[..have].copy_from_slice(&bytes[new_off as usize..new_off as usize + have]);
+        p[..new_inst.len()].copy_from_slice(&new_inst);
+        let new_patch = u64::from_le_bytes(p);
+        if new_off == victim_off && new_patch == patch {
+            return bytes;
+        }
+        victim_off = new_off;
+        patch = new_patch;
+    }
+    panic!("chained smc layout did not converge");
+}
+
+/// Self-modifying text aimed at a **chained successor**: every loop
+/// iteration stores over the first instruction of the loop's
+/// fall-through block, so a live chain repeatedly points at text that
+/// just changed. Each store bumps the text generation, which must
+/// break the chain and drop the decode — on loop exit the *patched*
+/// fall-through executes, never the stale one, at every fuel cutoff,
+/// on all three ISAs.
+#[test]
+fn smc_rewriting_chained_successor_identical() {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
+        let bytes = chained_smc_program(target);
+        let full = diff_run(target, &bytes, u64::MAX, "chained smc full");
+        assert_eq!(full.stop, StopReason::Halt, "{target:?}");
+        // Six loop iterations, then the patched `addi a1, a1, 7`.
+        assert_eq!(
+            full.regs[abi::A0.0 as usize],
+            0x2000 * abi::A0.0 as u64 + 6,
+            "{target:?}: loop iterations"
+        );
+        assert_eq!(
+            full.regs[abi::A1.0 as usize],
+            0x2000 * abi::A1.0 as u64 + 7,
+            "{target:?}: patched successor must execute"
+        );
+        for fuel in 0..40 {
+            diff_run(target, &bytes, fuel, "chained smc");
+        }
+    }
+}
+
 /// A straight-line run long enough that one x86-64 instruction straddles
 /// the 0x1000 page boundary: blocks must end at the boundary and the
 /// spanning instruction must replay identically through the step path.
@@ -373,7 +476,7 @@ fn page_spanning_instruction_identical() {
 /// leave the block engine's caches coherent, not just its first run.
 #[test]
 fn flush_and_cr3_reload_between_quanta_identical() {
-    for target in [TargetIsa::Host, TargetIsa::Nxp] {
+    for target in [TargetIsa::Host, TargetIsa::Nxp, TargetIsa::Arm64] {
         let mut f = FuncBuilder::new("t", target);
         let lp = f.new_label();
         f.li(abi::S1, 40);
@@ -386,9 +489,9 @@ fn flush_and_cr3_reload_between_quanta_identical() {
         let bytes = isa_of(target).encode(&f.finish()).unwrap().bytes;
 
         let mut cores = Vec::new();
-        for fast_path in [true, false] {
+        for engine in ENGINES {
             let (mut mem, cr3) = fixture(target, &bytes);
-            let mut core = core_for(target, fast_path, cr3);
+            let mut core = core_for(target, engine, cr3);
             let env = MemEnv::paper_default();
             let mut stops = Vec::new();
             // Fuel 7 never divides the 4-instruction iteration, so every
@@ -407,10 +510,14 @@ fn flush_and_cr3_reload_between_quanta_identical() {
             }
             cores.push((snap(*stops.last().unwrap(), &core), stops));
         }
-        let (snap_b, stops_b) = cores.pop().unwrap();
-        let (snap_a, stops_a) = cores.pop().unwrap();
-        assert_eq!(stops_a, stops_b, "{target:?}: stop sequence");
-        assert_eq!(snap_a, snap_b, "{target:?}: state after interleaved invalidations");
-        assert_eq!(snap_a.stop, StopReason::Halt);
+        let (snap_step, stops_step) = cores.pop().unwrap();
+        for (snap_x, stops_x) in cores {
+            assert_eq!(stops_x, stops_step, "{target:?}: stop sequence");
+            assert_eq!(
+                snap_x, snap_step,
+                "{target:?}: state after interleaved invalidations"
+            );
+        }
+        assert_eq!(snap_step.stop, StopReason::Halt);
     }
 }

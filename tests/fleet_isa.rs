@@ -233,6 +233,35 @@ fn wrong_isa_fetch_mid_migration_raises_nx_violation() {
     assert_eq!(arm.reg(abi::A0), 1);
 }
 
+/// Untagged (tag-0) and stale-tag call targets place by **best fit**
+/// over the fleet's ISA descriptors — highest nominal ALU throughput
+/// (clock over ALU CPI) wins, ties break to the lower tag, and the
+/// choice ignores slot order.
+#[test]
+fn best_fit_placement_follows_descriptor_throughput() {
+    use flick::best_fit_accel_isa;
+    // Single-ISA fleets are their own best fit.
+    assert_eq!(best_fit_accel_isa(&[IsaId::Rv64]), IsaId::Rv64);
+    assert_eq!(best_fit_accel_isa(&[IsaId::Arm64]), IsaId::Arm64);
+    // arm64 (1 GHz / CPI 1) outruns rv64 (200 MHz / CPI 1) — it wins
+    // whatever slot it sits in and however often rv64 is duplicated.
+    assert_eq!(best_fit_accel_isa(&[IsaId::Rv64, IsaId::Arm64]), IsaId::Arm64);
+    assert_eq!(best_fit_accel_isa(&[IsaId::Arm64, IsaId::Rv64]), IsaId::Arm64);
+    assert_eq!(
+        best_fit_accel_isa(&[IsaId::Rv64, IsaId::Rv64, IsaId::Arm64, IsaId::Rv64]),
+        IsaId::Arm64
+    );
+    // Host-encoding entries are not accelerator targets and are
+    // skipped; an empty or all-host fleet keeps the classic rv64
+    // default of the two-ISA machine.
+    assert_eq!(best_fit_accel_isa(&[IsaId::X64, IsaId::Rv64]), IsaId::Rv64);
+    assert_eq!(best_fit_accel_isa(&[]), IsaId::Rv64);
+    assert_eq!(best_fit_accel_isa(&[IsaId::X64]), IsaId::Rv64);
+    // Deterministic: same multiset in, same answer out, every time.
+    let fleet = [IsaId::Arm64, IsaId::Rv64, IsaId::Arm64];
+    assert_eq!(best_fit_accel_isa(&fleet), best_fit_accel_isa(&fleet));
+}
+
 /// The same program computes the same results whatever the fleet's ISA
 /// mix — rv64-only, arm64-assisted, or arm64-heavy.
 #[test]
